@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by `anasim` analyses.
+///
+/// All analysis entry points ([`crate::dc::dc_operating_point`],
+/// [`crate::transient::TransientAnalysis::run`]) return this type on
+/// failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The Newton–Raphson iteration failed to converge.
+    ///
+    /// Carries the simulation time at which convergence was lost (0.0 for a
+    /// DC operating point) and the worst residual seen on the final
+    /// iteration.
+    NoConvergence {
+        /// Simulation time in seconds at which convergence failed.
+        time: f64,
+        /// Infinity norm of the residual on the last Newton iteration.
+        residual: f64,
+    },
+    /// The MNA matrix was singular (e.g. a floating node with no DC path).
+    SingularMatrix {
+        /// Row index at which elimination found no usable pivot.
+        row: usize,
+    },
+    /// An analysis parameter was invalid (non-positive timestep, reversed
+    /// time interval, ...).
+    InvalidParameter(String),
+    /// The netlist references a node or device that does not exist.
+    UnknownElement(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoConvergence { time, residual } => write!(
+                f,
+                "newton iteration failed to converge at t = {time:.3e} s (residual {residual:.3e})"
+            ),
+            AnalysisError::SingularMatrix { row } => {
+                write!(f, "singular MNA matrix at row {row}")
+            }
+            AnalysisError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AnalysisError::UnknownElement(name) => write!(f, "unknown element: {name}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+impl From<linsys::SingularMatrixError> for AnalysisError {
+    fn from(err: linsys::SingularMatrixError) -> Self {
+        AnalysisError::SingularMatrix { row: err.row }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = AnalysisError::NoConvergence {
+            time: 1e-3,
+            residual: 0.5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("converge"));
+        assert!(msg.contains("1.000e-3"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisError>();
+    }
+
+    #[test]
+    fn singular_matrix_reports_row() {
+        assert_eq!(
+            AnalysisError::SingularMatrix { row: 3 }.to_string(),
+            "singular MNA matrix at row 3"
+        );
+    }
+}

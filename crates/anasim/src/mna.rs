@@ -1,0 +1,749 @@
+//! Modified nodal analysis: unknown layout, device stamps and the shared
+//! Newton–Raphson solver used by DC and transient analyses.
+
+use crate::dense::{Lu, Matrix};
+use crate::devices::{Device, MosPolarity};
+use crate::netlist::{DeviceId, Netlist, NodeId};
+use crate::AnalysisError;
+
+/// Mapping from circuit topology to MNA unknown indices.
+///
+/// Unknowns are ordered: node voltages for nodes `1..node_count` (ground is
+/// eliminated), followed by one branch current per voltage-defined element
+/// (independent voltage sources, VCVSs, inductors).
+#[derive(Debug, Clone)]
+pub struct MnaLayout {
+    node_count: usize,
+    branch_of_device: Vec<Option<usize>>,
+    size: usize,
+}
+
+impl MnaLayout {
+    /// Builds the layout for a netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        let node_count = netlist.node_count();
+        let mut branch_of_device = vec![None; netlist.device_count()];
+        let mut next_branch = 0;
+        for (id, _, dev) in netlist.devices() {
+            if dev.needs_branch_current() {
+                branch_of_device[id.index()] = Some(next_branch);
+                next_branch += 1;
+            }
+        }
+        MnaLayout {
+            node_count,
+            branch_of_device,
+            size: (node_count - 1) + next_branch,
+        }
+    }
+
+    /// Total number of unknowns.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of circuit nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Unknown index of a node voltage, or `None` for ground.
+    #[inline]
+    pub fn node_index(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Unknown index of a device's branch current, if it has one.
+    #[inline]
+    pub fn branch_index(&self, device: DeviceId) -> Option<usize> {
+        self.branch_of_device[device.index()].map(|b| (self.node_count - 1) + b)
+    }
+
+    /// Reads a node voltage out of a solution vector.
+    #[inline]
+    pub fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.node_index(node) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+}
+
+/// Numerical integration method for reactive elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order implicit Euler: very stable, damps ringing.
+    BackwardEuler,
+    /// Second-order trapezoidal rule: more accurate, may ring on
+    /// discontinuities.
+    #[default]
+    Trapezoidal,
+}
+
+/// Per-device history for reactive companion models, indexed by device.
+#[derive(Debug, Clone)]
+pub struct ReactiveHistory {
+    /// Branch voltage `v(a) − v(b)` at the previous accepted timepoint.
+    pub v: Vec<f64>,
+    /// Branch current at the previous accepted timepoint.
+    pub i: Vec<f64>,
+}
+
+impl ReactiveHistory {
+    /// Zero-initialised history for a netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        ReactiveHistory {
+            v: vec![0.0; netlist.device_count()],
+            i: vec![0.0; netlist.device_count()],
+        }
+    }
+}
+
+/// How reactive elements are stamped.
+#[derive(Debug, Clone)]
+pub enum CompanionMode<'a> {
+    /// DC: capacitors open, inductors shorted.
+    Dc,
+    /// Transient step of size `dt` from the state in `history`.
+    Transient {
+        /// Integration rule.
+        method: Integrator,
+        /// Timestep in seconds.
+        dt: f64,
+        /// State at the previous accepted timepoint.
+        history: &'a ReactiveHistory,
+    },
+}
+
+/// Everything the stamper needs to evaluate devices at one time/iterate.
+#[derive(Debug, Clone)]
+pub struct StampParams<'a> {
+    /// Absolute simulation time (seconds).
+    pub time: f64,
+    /// Reactive element handling.
+    pub companion: CompanionMode<'a>,
+    /// Conductance added from every node to ground for robustness.
+    pub gmin: f64,
+    /// Scale factor on independent sources (1.0 normally; <1 during
+    /// source stepping).
+    pub source_scale: f64,
+}
+
+/// Stamps the full linearised MNA system `A·x_new = b` around the guess `x`.
+pub fn stamp_system(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    x: &[f64],
+    params: &StampParams<'_>,
+    a: &mut Matrix,
+    b: &mut [f64],
+) {
+    a.clear();
+    b.iter_mut().for_each(|v| *v = 0.0);
+
+    // Helper closures for ground-aware stamping.
+    let v_at = |node: NodeId| layout.voltage(x, node);
+
+    for (dev_id, _, dev) in netlist.devices() {
+        match dev {
+            Device::Resistor { a: na, b: nb, ohms } => {
+                stamp_conductance(layout, a, *na, *nb, 1.0 / ohms);
+            }
+            Device::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+                ..
+            } => match &params.companion {
+                CompanionMode::Dc => {}
+                CompanionMode::Transient {
+                    method,
+                    dt,
+                    history,
+                } => {
+                    let (geq, irhs) = match method {
+                        Integrator::BackwardEuler => {
+                            let geq = farads / dt;
+                            (geq, geq * history.v[dev_id.index()])
+                        }
+                        Integrator::Trapezoidal => {
+                            let geq = 2.0 * farads / dt;
+                            (
+                                geq,
+                                geq * history.v[dev_id.index()] + history.i[dev_id.index()],
+                            )
+                        }
+                    };
+                    stamp_conductance(layout, a, *na, *nb, geq);
+                    stamp_current_injection(layout, b, *na, *nb, irhs);
+                }
+            },
+            Device::Inductor {
+                a: na,
+                b: nb,
+                henries,
+            } => {
+                let j = layout
+                    .branch_index(dev_id)
+                    .expect("inductor has a branch index");
+                stamp_branch_kcl(layout, a, *na, *nb, j);
+                // Branch equation: v(a) - v(b) - z*i = rhs
+                match &params.companion {
+                    CompanionMode::Dc => {
+                        // Short: v(a) - v(b) = 0.
+                    }
+                    CompanionMode::Transient {
+                        method,
+                        dt,
+                        history,
+                    } => {
+                        let (z, rhs) = match method {
+                            Integrator::BackwardEuler => {
+                                let z = henries / dt;
+                                (z, -z * history.i[dev_id.index()])
+                            }
+                            Integrator::Trapezoidal => {
+                                let z = 2.0 * henries / dt;
+                                (
+                                    z,
+                                    -z * history.i[dev_id.index()] - history.v[dev_id.index()],
+                                )
+                            }
+                        };
+                        a.add(j, j, -z);
+                        b[j] += rhs;
+                    }
+                }
+            }
+            Device::Vsource { pos, neg, wave } => {
+                let j = layout
+                    .branch_index(dev_id)
+                    .expect("vsource has a branch index");
+                stamp_branch_kcl(layout, a, *pos, *neg, j);
+                b[j] += wave.value_at(params.time) * params.source_scale;
+            }
+            Device::Isource { pos, neg, wave } => {
+                let i = wave.value_at(params.time) * params.source_scale;
+                stamp_current_injection(layout, b, *pos, *neg, i);
+            }
+            Device::Vcvs {
+                pos,
+                neg,
+                cpos,
+                cneg,
+                gain,
+            } => {
+                let j = layout
+                    .branch_index(dev_id)
+                    .expect("vcvs has a branch index");
+                stamp_branch_kcl(layout, a, *pos, *neg, j);
+                if let Some(ic) = layout.node_index(*cpos) {
+                    a.add(j, ic, -gain);
+                }
+                if let Some(ic) = layout.node_index(*cneg) {
+                    a.add(j, ic, *gain);
+                }
+            }
+            Device::Vccs {
+                pos,
+                neg,
+                cpos,
+                cneg,
+                gm,
+            } => {
+                stamp_transconductance(layout, a, *pos, *neg, *cpos, *cneg, *gm);
+            }
+            Device::Mosfet {
+                drain,
+                gate,
+                source,
+                polarity,
+                params: mp,
+            } => {
+                stamp_mosfet(layout, a, b, v_at, *drain, *gate, *source, *polarity, mp);
+            }
+            Device::Diode {
+                anode,
+                cathode,
+                params: dp,
+            } => {
+                let vd = v_at(*anode) - v_at(*cathode);
+                let (id, gd) = dp.evaluate(vd);
+                let ieq = id - gd * vd;
+                stamp_conductance(layout, a, *anode, *cathode, gd);
+                stamp_current_injection(layout, b, *anode, *cathode, -ieq);
+            }
+            Device::Switch {
+                a: na,
+                b: nb,
+                cpos,
+                cneg,
+                params: sp,
+            } => {
+                let vc = v_at(*cpos) - v_at(*cneg);
+                stamp_conductance(layout, a, *na, *nb, sp.conductance(vc));
+            }
+        }
+    }
+
+    // gmin to ground on every node for numerical robustness.
+    if params.gmin > 0.0 {
+        for n in 0..layout.node_count - 1 {
+            a.add(n, n, params.gmin);
+        }
+    }
+}
+
+/// Stamps a two-terminal conductance.
+#[inline]
+fn stamp_conductance(layout: &MnaLayout, a: &mut Matrix, na: NodeId, nb: NodeId, g: f64) {
+    let ia = layout.node_index(na);
+    let ib = layout.node_index(nb);
+    if let Some(i) = ia {
+        a.add(i, i, g);
+        if let Some(j) = ib {
+            a.add(i, j, -g);
+        }
+    }
+    if let Some(j) = ib {
+        a.add(j, j, g);
+        if let Some(i) = ia {
+            a.add(j, i, -g);
+        }
+    }
+}
+
+/// Injects a constant current `i` into node `pos` and out of node `neg`.
+#[inline]
+fn stamp_current_injection(layout: &MnaLayout, b: &mut [f64], pos: NodeId, neg: NodeId, i: f64) {
+    if let Some(ip) = layout.node_index(pos) {
+        b[ip] += i;
+    }
+    if let Some(in_) = layout.node_index(neg) {
+        b[in_] -= i;
+    }
+}
+
+/// Stamps the KCL ±1 entries and the branch-row voltage terms for a
+/// voltage-defined branch `j` between `pos` and `neg`.
+#[inline]
+fn stamp_branch_kcl(layout: &MnaLayout, a: &mut Matrix, pos: NodeId, neg: NodeId, j: usize) {
+    if let Some(ip) = layout.node_index(pos) {
+        a.add(ip, j, 1.0);
+        a.add(j, ip, 1.0);
+    }
+    if let Some(in_) = layout.node_index(neg) {
+        a.add(in_, j, -1.0);
+        a.add(j, in_, -1.0);
+    }
+}
+
+/// Stamps a transconductance `gm·(v(cpos) − v(cneg))` flowing `pos → neg`.
+#[inline]
+fn stamp_transconductance(
+    layout: &MnaLayout,
+    a: &mut Matrix,
+    pos: NodeId,
+    neg: NodeId,
+    cpos: NodeId,
+    cneg: NodeId,
+    gm: f64,
+) {
+    for (row, sign_row) in [(pos, 1.0), (neg, -1.0)] {
+        let Some(ir) = layout.node_index(row) else {
+            continue;
+        };
+        if let Some(ic) = layout.node_index(cpos) {
+            a.add(ir, ic, sign_row * gm);
+        }
+        if let Some(ic) = layout.node_index(cneg) {
+            a.add(ir, ic, -sign_row * gm);
+        }
+    }
+}
+
+/// Stamps a level-1 MOSFET linearised around the present guess.
+#[allow(clippy::too_many_arguments)]
+fn stamp_mosfet(
+    layout: &MnaLayout,
+    a: &mut Matrix,
+    b: &mut [f64],
+    v_at: impl Fn(NodeId) -> f64,
+    drain: NodeId,
+    gate: NodeId,
+    source: NodeId,
+    polarity: MosPolarity,
+    mp: &crate::devices::MosParams,
+) {
+    let vd = v_at(drain);
+    let vg = v_at(gate);
+    let vs = v_at(source);
+
+    // Work in a "hi/lo" channel frame so the model only ever sees
+    // vds >= 0; the physical source/drain swap when reverse-biased.
+    //
+    // For each polarity we compute the current `i` leaving node `hi`
+    // through the channel into `lo`, plus its partial derivatives w.r.t.
+    // (v_hi, v_g, v_lo).
+    let (hi, lo, i0, d_hi, d_g, d_lo) = match polarity {
+        MosPolarity::Nmos => {
+            let (hi, lo) = if vd >= vs { (drain, source) } else { (source, drain) };
+            let vhi = v_at(hi);
+            let vlo = v_at(lo);
+            let op = mp.evaluate(vg - vlo, vhi - vlo);
+            // i(v_hi, v_g, v_lo) = Ids(vgs = vg - vlo, vds = vhi - vlo)
+            (
+                hi,
+                lo,
+                op.ids,
+                op.gds,
+                op.gm,
+                -(op.gm + op.gds),
+            )
+        }
+        MosPolarity::Pmos => {
+            // PMOS conducts source -> drain when Vsg > Vt; the "hi" node is
+            // the more positive of source/drain and acts as the source.
+            let (hi, lo) = if vs >= vd { (source, drain) } else { (drain, source) };
+            let vhi = v_at(hi);
+            let vlo = v_at(lo);
+            let op = mp.evaluate(vhi - vg, vhi - vlo);
+            // i(v_hi, v_g, v_lo) = Ids(vgs = vhi - vg, vds = vhi - vlo)
+            (
+                hi,
+                lo,
+                op.ids,
+                op.gm + op.gds,
+                -op.gm,
+                -op.gds,
+            )
+        }
+    };
+
+    let vhi = v_at(hi);
+    let vlo = v_at(lo);
+    // Linearisation: i ≈ i0 + d_hi·(v_hi−vhi0) + d_g·(v_g−vg0) + d_lo·(v_lo−vlo0)
+    let ieq = i0 - d_hi * vhi - d_g * vg - d_lo * vlo;
+
+    let ihi = layout.node_index(hi);
+    let ilo = layout.node_index(lo);
+    let ig = layout.node_index(gate);
+
+    // Current leaves `hi`, enters `lo`; gate carries no current.
+    for (row, sign) in [(ihi, 1.0), (ilo, -1.0)] {
+        let Some(r) = row else { continue };
+        if let Some(c) = ihi {
+            a.add(r, c, sign * d_hi);
+        }
+        if let Some(c) = ig {
+            a.add(r, c, sign * d_g);
+        }
+        if let Some(c) = ilo {
+            a.add(r, c, sign * d_lo);
+        }
+        b[r] -= sign * ieq;
+    }
+}
+
+/// Options for the Newton–Raphson solve.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOptions {
+    /// Maximum iterations before declaring non-convergence.
+    pub max_iterations: usize,
+    /// Absolute voltage tolerance (volts).
+    pub vabstol: f64,
+    /// Absolute current tolerance (amperes).
+    pub iabstol: f64,
+    /// Relative tolerance.
+    pub reltol: f64,
+    /// Per-iteration clamp on voltage updates (volts); limits Newton
+    /// overshoot through the exponential/quadratic device models.
+    pub vstep_limit: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 150,
+            vabstol: 1e-6,
+            iabstol: 1e-9,
+            reltol: 1e-4,
+            vstep_limit: 1.0,
+        }
+    }
+}
+
+/// Runs damped Newton–Raphson from the guess in `x`, overwriting it with
+/// the solution.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NoConvergence`] after `max_iterations`, or
+/// [`AnalysisError::SingularMatrix`] if the Jacobian cannot be factored.
+pub fn newton_solve(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    params: &StampParams<'_>,
+    options: &NewtonOptions,
+    x: &mut Vec<f64>,
+) -> Result<(), AnalysisError> {
+    let n = layout.size();
+    let nv = layout.node_count() - 1;
+    let mut a = Matrix::zeros(n, n);
+    let mut b = vec![0.0; n];
+
+    // Linear circuits need exactly one solve.
+    let linear = !netlist.has_nonlinear_devices();
+
+    let mut worst = f64::INFINITY;
+    for _ in 0..options.max_iterations {
+        stamp_system(netlist, layout, x, params, &mut a, &mut b);
+        let lu = Lu::factor(&a)?;
+        let x_new = lu.solve(&b);
+
+        if linear {
+            *x = x_new;
+            return Ok(());
+        }
+
+        // Damped update with convergence check.
+        worst = 0.0;
+        let mut converged = true;
+        for k in 0..n {
+            let mut delta = x_new[k] - x[k];
+            if !delta.is_finite() {
+                return Err(AnalysisError::NoConvergence {
+                    time: params.time,
+                    residual: f64::INFINITY,
+                });
+            }
+            let (abstol, limit) = if k < nv {
+                (options.vabstol, options.vstep_limit)
+            } else {
+                (options.iabstol, f64::INFINITY)
+            };
+            if delta.abs() > abstol + options.reltol * x_new[k].abs() {
+                converged = false;
+            }
+            worst = worst.max(delta.abs());
+            if delta.abs() > limit {
+                delta = limit.copysign(delta);
+            }
+            x[k] += delta;
+        }
+        if converged {
+            return Ok(());
+        }
+    }
+    Err(AnalysisError::NoConvergence {
+        time: params.time,
+        residual: worst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+
+    fn divider() -> (Netlist, NodeId, NodeId) {
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", vin, Netlist::GROUND, SourceWaveform::dc(10.0));
+        nl.resistor("R1", vin, out, 1e3);
+        nl.resistor("R2", out, Netlist::GROUND, 3e3);
+        (nl, vin, out)
+    }
+
+    fn solve_dc(nl: &Netlist) -> (MnaLayout, Vec<f64>) {
+        let layout = MnaLayout::new(nl);
+        let mut x = vec![0.0; layout.size()];
+        let params = StampParams {
+            time: 0.0,
+            companion: CompanionMode::Dc,
+            gmin: 1e-12,
+            source_scale: 1.0,
+        };
+        newton_solve(nl, &layout, &params, &NewtonOptions::default(), &mut x).unwrap();
+        (layout, x)
+    }
+
+    #[test]
+    fn layout_counts_branches() {
+        let (nl, _, _) = divider();
+        let layout = MnaLayout::new(&nl);
+        // 2 non-ground nodes + 1 vsource branch.
+        assert_eq!(layout.size(), 3);
+    }
+
+    #[test]
+    fn resistive_divider_solution() {
+        let (nl, vin, out) = divider();
+        let (layout, x) = solve_dc(&nl);
+        // gmin (1e-12 S) to ground leaks a little current, so allow 1e-6.
+        assert!((layout.voltage(&x, vin) - 10.0).abs() < 1e-6);
+        assert!((layout.voltage(&x, out) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vsource_branch_current() {
+        let (nl, _, _) = divider();
+        let (layout, x) = solve_dc(&nl);
+        let v1 = nl.find_device("V1").unwrap();
+        let j = layout.branch_index(v1).unwrap();
+        // 10 V across 4 kΩ: branch current convention is current flowing
+        // pos -> neg *through the source*, i.e. -2.5 mA here.
+        assert!((x[j] + 2.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vccs_injects_proportional_current() {
+        let mut nl = Netlist::new();
+        let c = nl.node("ctl");
+        let o = nl.node("out");
+        nl.vsource("V1", c, Netlist::GROUND, SourceWaveform::dc(2.0));
+        // i = gm * v(ctl) flows out -> ground through the source; with a
+        // load resistor the output voltage is -gm*R*vc.
+        nl.vccs("G1", o, Netlist::GROUND, c, Netlist::GROUND, 1e-3);
+        nl.resistor("RL", o, Netlist::GROUND, 1e3);
+        let (layout, x) = solve_dc(&nl);
+        assert!((layout.voltage(&x, o) + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let mut nl = Netlist::new();
+        let c = nl.node("ctl");
+        let o = nl.node("out");
+        nl.vsource("V1", c, Netlist::GROUND, SourceWaveform::dc(0.5));
+        nl.vcvs("E1", o, Netlist::GROUND, c, Netlist::GROUND, 10.0);
+        nl.resistor("RL", o, Netlist::GROUND, 1e3);
+        let (layout, x) = solve_dc(&nl);
+        assert!((layout.voltage(&x, o) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_diode_connected_bias() {
+        // Diode-connected NMOS pulled up through a resistor: solves the
+        // classic quadratic bias point.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let d = nl.node("d");
+        nl.vsource("V1", vdd, Netlist::GROUND, SourceWaveform::dc(5.0));
+        nl.resistor("R1", vdd, d, 100e3);
+        nl.mosfet(
+            "M1",
+            d,
+            d,
+            Netlist::GROUND,
+            MosPolarity::Nmos,
+            crate::devices::MosParams {
+                vt0: 1.0,
+                beta: 100e-6,
+                lambda: 0.0,
+            },
+        );
+        let (layout, x) = solve_dc(&nl);
+        let vgs = layout.voltage(&x, d);
+        // Check KCL: (5 - vgs)/100k = beta/2 (vgs-1)^2
+        let i_r = (5.0 - vgs) / 100e3;
+        let i_m = 0.5 * 100e-6 * (vgs - 1.0).powi(2);
+        assert!(
+            (i_r - i_m).abs() < 1e-9,
+            "vgs = {vgs}, i_r = {i_r}, i_m = {i_m}"
+        );
+    }
+
+    #[test]
+    fn pmos_source_follower_direction() {
+        // PMOS with gate grounded, source pulled to VDD through resistor:
+        // conducts, dropping the source node near Vt above gate.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let s = nl.node("s");
+        nl.vsource("V1", vdd, Netlist::GROUND, SourceWaveform::dc(5.0));
+        nl.resistor("R1", vdd, s, 10e3);
+        // PMOS: source at node s, drain at ground, gate at ground.
+        nl.mosfet(
+            "M1",
+            Netlist::GROUND,
+            Netlist::GROUND,
+            s,
+            MosPolarity::Pmos,
+            crate::devices::MosParams {
+                vt0: 1.0,
+                beta: 400e-6,
+                lambda: 0.0,
+            },
+        );
+        let (layout, x) = solve_dc(&nl);
+        let vs = layout.voltage(&x, s);
+        // The device conducts hard, so v(s) sits a little above Vt = 1 V.
+        assert!(vs > 1.0 && vs < 2.5, "vs = {vs}");
+    }
+
+    #[test]
+    fn cmos_inverter_transfers() {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("VDD", vdd, Netlist::GROUND, SourceWaveform::dc(5.0));
+        nl.vsource("VIN", vin, Netlist::GROUND, SourceWaveform::dc(0.0));
+        nl.mosfet(
+            "MN",
+            out,
+            vin,
+            Netlist::GROUND,
+            MosPolarity::Nmos,
+            crate::devices::MosParams::nmos_5um().with_aspect(2.0),
+        );
+        nl.mosfet(
+            "MP",
+            out,
+            vin,
+            vdd,
+            MosPolarity::Pmos,
+            crate::devices::MosParams::pmos_5um().with_aspect(5.0),
+        );
+        let (layout, x) = solve_dc(&nl);
+        // Input low -> output high.
+        assert!(layout.voltage(&x, out) > 4.5);
+    }
+
+    #[test]
+    fn diode_clamp() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::dc(5.0));
+        let k = nl.node("k");
+        nl.resistor("R1", a, k, 1e3);
+        nl.diode("D1", k, Netlist::GROUND, crate::devices::DiodeParams::default());
+        let (layout, x) = solve_dc(&nl);
+        let vk = layout.voltage(&x, k);
+        assert!(vk > 0.4 && vk < 0.8, "diode drop was {vk}");
+    }
+
+    #[test]
+    fn floating_node_fails_without_gmin() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b_node = nl.node("b");
+        nl.resistor("R1", a, b_node, 1e3);
+        // Nothing connects to ground: singular without gmin.
+        let layout = MnaLayout::new(&nl);
+        let mut x = vec![0.0; layout.size()];
+        let params = StampParams {
+            time: 0.0,
+            companion: CompanionMode::Dc,
+            gmin: 0.0,
+            source_scale: 1.0,
+        };
+        assert!(newton_solve(&nl, &layout, &params, &NewtonOptions::default(), &mut x).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Property-based tests for the analogue circuit simulator.
+
+use anasim::dc::dc_operating_point;
+use anasim::netlist::Netlist;
+use anasim::source::SourceWaveform;
+use anasim::transient::{StartCondition, TransientAnalysis};
+use anasim::waveform::Waveform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn divider_voltage_between_rails(
+        r1 in 1.0..1e6f64,
+        r2 in 1.0..1e6f64,
+        vs in -10.0..10.0f64,
+    ) {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::dc(vs));
+        nl.resistor("R1", a, b, r1);
+        nl.resistor("R2", b, Netlist::GROUND, r2);
+        let op = dc_operating_point(&nl).expect("divider solves");
+        let v = op.voltage(b);
+        let expect = vs * r2 / (r1 + r2);
+        prop_assert!((v - expect).abs() < 1e-6 * (1.0 + vs.abs()) + 1e-4);
+    }
+
+    #[test]
+    fn ladder_network_satisfies_kcl(
+        rs in proptest::collection::vec(10.0..100e3f64, 3..8),
+        vs in 0.1..10.0f64,
+    ) {
+        // A resistor ladder; check the source current equals the current
+        // into the first resistor computed from node voltages.
+        let mut nl = Netlist::new();
+        let top = nl.node("n0");
+        let v1 = nl.vsource("V1", top, Netlist::GROUND, SourceWaveform::dc(vs));
+        let mut prev = top;
+        for (k, &r) in rs.iter().enumerate() {
+            let next = if k == rs.len() - 1 {
+                Netlist::GROUND
+            } else {
+                nl.node(&format!("n{}", k + 1))
+            };
+            nl.resistor(&format!("R{k}"), prev, next, r);
+            prev = next;
+        }
+        let op = dc_operating_point(&nl).expect("ladder solves");
+        let total_r: f64 = rs.iter().sum();
+        let i_expect = vs / total_r;
+        let i_branch = -op.branch_current(v1).expect("source current");
+        // Tolerance includes the per-node gmin (1e-12 S) leakage paths.
+        prop_assert!(
+            (i_branch - i_expect).abs() < 1e-5 * i_expect + 1e-10,
+            "{i_branch} vs {i_expect}"
+        );
+    }
+
+    #[test]
+    fn rc_step_response_is_monotone_and_bounded(
+        r in 100.0..100e3f64,
+        c in 1e-10..1e-6f64,
+        v in 0.1..5.0f64,
+    ) {
+        let tau = r * c;
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", vin, Netlist::GROUND, SourceWaveform::step(v, 0.0));
+        nl.resistor("R1", vin, out, r);
+        nl.capacitor("C1", out, Netlist::GROUND, c);
+        let res = TransientAnalysis::new(5.0 * tau, tau / 50.0)
+            .start_condition(StartCondition::Uic)
+            .run(&nl)
+            .expect("rc simulates");
+        let w = res.voltage(out);
+        let mut last = -1e-9;
+        for &val in w.values() {
+            prop_assert!(val >= last - 1e-6 * v, "non-monotone");
+            prop_assert!(val <= v * (1.0 + 1e-6), "overshoot {val}");
+            last = val;
+        }
+        // Near the analytic value at one tau.
+        let at_tau = w.value_at(tau);
+        let expect = v * (1.0 - (-1.0_f64).exp());
+        prop_assert!((at_tau - expect).abs() < 0.03 * v);
+    }
+
+    #[test]
+    fn capacitor_charge_is_conserved_in_share(
+        c1 in 1e-12..1e-9f64,
+        c2 in 1e-12..1e-9f64,
+        v0 in 0.5..5.0f64,
+    ) {
+        // Classic charge-sharing: C1 at v0 dumped into C2 through R; the
+        // final voltage is the charge-conservation value.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.capacitor_ic("C1", a, Netlist::GROUND, c1, v0);
+        nl.resistor("R1", a, b, 1e3);
+        nl.capacitor_ic("C2", b, Netlist::GROUND, c2, 0.0);
+        let tau = 1e3 * (c1 * c2) / (c1 + c2);
+        let res = TransientAnalysis::new(20.0 * tau, tau / 20.0)
+            .start_condition(StartCondition::Uic)
+            .run(&nl)
+            .expect("share simulates");
+        let v_final = res.final_voltage(a);
+        let expect = v0 * c1 / (c1 + c2);
+        prop_assert!(
+            (v_final - expect).abs() < 0.02 * v0,
+            "{v_final} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn waveform_interpolation_within_sample_bounds(
+        samples in proptest::collection::vec(-10.0..10.0f64, 2..20),
+        frac in 0.0..1.0f64,
+    ) {
+        let t: Vec<f64> = (0..samples.len()).map(|i| i as f64).collect();
+        let w = Waveform::from_samples(t, samples.clone());
+        let q = frac * (samples.len() - 1) as f64;
+        let v = w.value_at(q);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn pwl_source_stays_within_point_range(
+        points in proptest::collection::vec((0.0..1.0f64, -5.0..5.0f64), 2..8),
+        t in -0.5..1.5f64,
+    ) {
+        let mut pts = points.clone();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+        prop_assume!(pts.len() >= 2);
+        let w = SourceWaveform::Pwl(pts.clone());
+        let v = w.value_at(t);
+        let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SPICE export/import must preserve DC behaviour for arbitrary
+    /// resistor ladder networks with mixed sources.
+    #[test]
+    fn spice_roundtrip_preserves_dc(
+        rs in proptest::collection::vec(10.0..1e6f64, 2..8),
+        vs in 0.1..10.0f64,
+        i_leak in 0.0..1e-4f64,
+    ) {
+        use anasim::spice::{from_spice, to_spice};
+
+        let mut nl = Netlist::new();
+        let top = nl.node("n0");
+        nl.vsource("V1", top, Netlist::GROUND, SourceWaveform::dc(vs));
+        let mut prev = top;
+        let mut nodes = vec![top];
+        for (k, &r) in rs.iter().enumerate() {
+            let next = if k == rs.len() - 1 {
+                Netlist::GROUND
+            } else {
+                nl.node(&format!("n{}", k + 1))
+            };
+            nl.resistor(&format!("R{k}"), prev, next, r);
+            if next != Netlist::GROUND {
+                nodes.push(next);
+            }
+            prev = next;
+        }
+        // A current source injecting into the middle node makes the
+        // test sensitive to sign conventions too.
+        let mid = nodes[nodes.len() / 2];
+        nl.isource("I1", mid, Netlist::GROUND, SourceWaveform::dc(i_leak));
+
+        let deck = to_spice(&nl, "prop roundtrip");
+        let nl2 = from_spice(&deck).expect("deck parses");
+        let op1 = dc_operating_point(&nl).expect("original solves");
+        let op2 = dc_operating_point(&nl2).expect("reimport solves");
+        for (k, &node) in nodes.iter().enumerate() {
+            let name = nl.node_name(node).to_string();
+            let node2 = nl2.find_node(&name).expect("node preserved");
+            let (a, b) = (op1.voltage(node), op2.voltage(node2));
+            // The deck carries ~7 significant digits.
+            prop_assert!(
+                (a - b).abs() < 1e-5 * (1.0 + a.abs()),
+                "node {k}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The SPICE parser must never panic, whatever bytes arrive: it
+    /// either parses or reports a lined error (non-physical passive
+    /// values and duplicate names included).
+    #[test]
+    fn spice_parser_never_panics(text in "[ RCLVIEGMDSQXx0-9a-z.()=+*\\-\n]{0,200}") {
+        let outcome = std::panic::catch_unwind(|| anasim::spice::from_spice(&text));
+        prop_assert!(outcome.is_ok(), "parser panicked on {text:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// AC analysis of an RC low-pass reports the analytic corner
+    /// frequency and -90° asymptotic phase for any component values.
+    #[test]
+    fn ac_rc_corner_matches_analytic(
+        r in 100.0..1e6f64,
+        c in 1e-12..1e-6f64,
+    ) {
+        use anasim::ac::{ac_analysis, log_sweep};
+
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        // Keep the sweep in a sane band around the corner.
+        prop_assume!(fc > 1e-2 && fc < 1e12);
+
+        let mut nl = Netlist::new();
+        let vin = nl.node("in");
+        let out = nl.node("out");
+        let src = nl.vsource("V1", vin, Netlist::GROUND, SourceWaveform::dc(0.0));
+        nl.resistor("R1", vin, out, r);
+        nl.capacitor("C1", out, Netlist::GROUND, c);
+
+        let freqs = log_sweep(fc / 100.0, fc * 100.0, 24);
+        let res = ac_analysis(&nl, src, &freqs).expect("ac solves");
+        let measured = res.corner_frequency(out).expect("corner in sweep");
+        prop_assert!(
+            (measured - fc).abs() / fc < 0.03,
+            "corner {measured:.3e} vs {fc:.3e}"
+        );
+        // Far above the corner the phase approaches -90 degrees.
+        let phase = res.phase_deg(out);
+        let last = *phase.last().expect("non-empty");
+        prop_assert!((last + 90.0).abs() < 2.0, "asymptotic phase {last}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Ablation bench: the transistor-budget accounting of the BIST macros
+//! against their gross-fault catch rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msbist_bench::experiments::ablation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_bist_overhead");
+    group.bench_function("gross_fault_screen", |b| {
+        b.iter(|| {
+            let a = ablation::bist_overhead();
+            assert!(a.catch_rate() >= 0.75);
+            a
+        })
+    });
+    group.finish();
+
+    let a = ablation::bist_overhead();
+    println!(
+        "\noverhead ablation: {} test transistors ({:.0} % of macro), catch rate {:.0} %",
+        a.budget.test_total(),
+        a.budget.overhead_fraction() * 100.0,
+        a.catch_rate() * 100.0
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E2 bench: regenerates the ramp test table and the gain-masking
+//! demonstration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msbist_bench::experiments::e2;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ramp");
+    group.bench_function("ramp_test_with_masking", |b| {
+        b.iter(|| {
+            let report = e2::run(0.05);
+            assert_eq!(report.masked_deviations(), 0);
+            report
+        })
+    });
+    group.finish();
+
+    println!("\n{}", e2::run(0.05));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

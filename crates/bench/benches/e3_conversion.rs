@@ -1,0 +1,22 @@
+//! E3 bench: regenerates the digital test results (conversion timing,
+//! 10 mV per code) and times the mixed behavioural/gate-level checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msbist_bench::experiments::e3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_conversion");
+    group.bench_function("digital_test_suite", |b| {
+        b.iter(|| {
+            let report = e3::run();
+            assert!(report.passed());
+            report
+        })
+    });
+    group.finish();
+
+    println!("\n{}", e3::run());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

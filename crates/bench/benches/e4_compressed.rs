@@ -1,0 +1,22 @@
+//! E4 bench: regenerates the compressed-test batch table (10 devices,
+//! all passing) and times a full batch screening.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msbist_bench::experiments::e4;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_compressed");
+    group.bench_function("batch_of_ten_screening", |b| {
+        b.iter(|| {
+            let report = e4::run(10, 1996);
+            assert!(report.all_passed());
+            report
+        })
+    });
+    group.finish();
+
+    println!("\n{}", e4::run(10, 1996));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

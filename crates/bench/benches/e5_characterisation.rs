@@ -1,0 +1,23 @@
+//! E5 bench: regenerates Figure 2 (per-code DNL) and the full static
+//! characterisation, and times the transition-level sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msbist_bench::experiments::e5;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_characterisation");
+    group.sample_size(20);
+    group.bench_function("characterise_100_codes", |b| {
+        b.iter(|| {
+            let report = e5::run(100);
+            assert!(!report.spec.dnl_ok); // the paper's macro exceeds DNL spec
+            report
+        })
+    });
+    group.finish();
+
+    println!("\n{}", e5::run(100));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

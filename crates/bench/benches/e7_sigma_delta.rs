@@ -1,0 +1,22 @@
+//! E7 bench: regenerates the sigma-delta SNR-vs-OSR study and times a
+//! full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msbist_bench::experiments::e7;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_sigma_delta");
+    group.bench_function("snr_sweep", |b| {
+        b.iter(|| {
+            let report = e7::run(0.1);
+            assert!(report.db_per_octave() > 5.0);
+            report
+        })
+    });
+    group.finish();
+
+    println!("\n{}", e7::run(0.1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! E2 — the ramp test and its gain-masking blind spot.
+//!
+//! Paper: "The ramp signal generator varied from 0 to 2.5 volts over a
+//! 1 Sec period, allowing time for 6 measurements at 200 mSec
+//! intervals. If there was a gain error in the ADC, which was
+//! compensated by a gain error in the ramp input, there will be no
+//! indication of an error at the output."
+
+use std::fmt;
+
+use msbist::adc::{AdcConverter, AdcErrorModel, DualSlopeAdc};
+use msbist::bist::RampGenerator;
+
+/// Codes read at the six ramp sample instants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RampReading {
+    /// Sample instants, seconds.
+    pub times: Vec<f64>,
+    /// ADC output codes at those instants.
+    pub codes: Vec<u64>,
+}
+
+/// The E2 report: the golden ramp test plus the masking demonstration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E2Report {
+    /// Golden ADC, golden ramp.
+    pub golden: RampReading,
+    /// Gain-faulty ADC, golden ramp (fault visible).
+    pub faulty_adc: RampReading,
+    /// Gain-faulty ADC, ramp with the *compensating* gain error (fault
+    /// masked — the paper's caveat).
+    pub masked: RampReading,
+}
+
+impl E2Report {
+    /// Number of sample slots at which the faulty ADC differs from
+    /// golden when driven by the correct ramp.
+    pub fn visible_deviations(&self) -> usize {
+        count_differences(&self.golden.codes, &self.faulty_adc.codes)
+    }
+
+    /// Number of sample slots at which the faulty ADC differs from
+    /// golden when the ramp error compensates (should be ~0: masked).
+    pub fn masked_deviations(&self) -> usize {
+        count_differences(&self.golden.codes, &self.masked.codes)
+    }
+}
+
+fn count_differences(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| (**x as i64 - **y as i64).abs() > 1)
+        .count()
+}
+
+impl fmt::Display for E2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E2 — ramp test (0→2.5 V in 1 s, 6 samples at 200 ms)")?;
+        writeln!(f, "t (ms)    golden   faulty-adc   masked")?;
+        for (k, &t) in self.golden.times.iter().enumerate() {
+            writeln!(
+                f,
+                "{:>6.0}   {:>6}   {:>10}   {:>6}",
+                t * 1e3,
+                self.golden.codes[k],
+                self.faulty_adc.codes[k],
+                self.masked.codes[k]
+            )?;
+        }
+        writeln!(
+            f,
+            "gain fault visible at {}/6 slots with a true ramp; masked to {}/6 \
+             when the ramp gain error compensates (the paper's caveat)",
+            self.visible_deviations(),
+            self.masked_deviations()
+        )
+    }
+}
+
+fn read_ramp(adc: &DualSlopeAdc, ramp: &RampGenerator) -> RampReading {
+    let times = ramp.sample_times();
+    let codes = times.iter().map(|&t| adc.convert(ramp.value_at(t))).collect();
+    RampReading { times, codes }
+}
+
+/// Runs E2 with a `gain_error` magnitude (relative; the paper's caveat
+/// is exercised by giving the ramp the same error).
+pub fn run(gain_error: f64) -> E2Report {
+    let golden_adc = DualSlopeAdc::ideal();
+    // A reference error of -g scales codes by ~1/(1-g); a ramp slowed by
+    // g compensates.
+    let faulty_adc = DualSlopeAdc::with_errors(AdcErrorModel {
+        gain_error: -gain_error,
+        ..AdcErrorModel::none()
+    });
+    let true_ramp = RampGenerator::paper();
+    let compensating_ramp = RampGenerator::paper().with_gain_error(-gain_error);
+
+    E2Report {
+        golden: read_ramp(&golden_adc, &true_ramp),
+        faulty_adc: read_ramp(&faulty_adc, &true_ramp),
+        masked: read_ramp(&faulty_adc, &compensating_ramp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_fault_is_visible_with_true_ramp() {
+        let report = run(0.05);
+        assert!(report.visible_deviations() >= 4, "{report}");
+    }
+
+    #[test]
+    fn compensating_ramp_masks_the_fault() {
+        let report = run(0.05);
+        assert_eq!(report.masked_deviations(), 0, "{report}");
+    }
+
+    #[test]
+    fn golden_codes_track_the_ramp() {
+        let report = run(0.02);
+        // 0, 0.5, 1.0 ... 2.5 V at 10 mV/code.
+        assert_eq!(report.golden.codes.len(), 6);
+        for (k, &code) in report.golden.codes.iter().enumerate() {
+            let expect = (k as f64 * 0.5 / 0.010) as i64;
+            assert!(
+                (code as i64 - expect).abs() <= 1,
+                "slot {k}: {code} vs {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! E3 — Digital test results: conversion timing and code resolution.
+//!
+//! Paper: "The conversion time for the control logic was specified as a
+//! maximum of 5.6 msec. The counter macro was run at 100 kHz clock speed
+//! as recommended. The measured time difference in fall time was 10 µsec.
+//! This represented 10 mV input for each incremented output code
+//! change."
+
+use std::fmt;
+
+use digisim::circuit::Circuit;
+use digisim::components::Counter;
+use digisim::fsm::{DualSlopeController, DualSlopePhase};
+use msbist::adc::{AdcConverter, DualSlopeAdc};
+
+/// The E3 report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E3Report {
+    /// Worst-case conversion time over the input range, seconds.
+    pub max_conversion_time: f64,
+    /// The specification limit (5.6 ms).
+    pub spec_conversion_time: f64,
+    /// Measured fall-time difference for one LSB of input, seconds
+    /// (paper: 10 µs).
+    pub fall_time_per_code: f64,
+    /// Input step per output code, volts (paper: 10 mV).
+    pub volts_per_code: f64,
+    /// Clocks consumed by the gate-level counter counting one full
+    /// phase (validates the structural counter at the 100 kHz cadence).
+    pub counter_clocks: u64,
+    /// Clocks the control FSM took for a mid-scale conversion.
+    pub fsm_clocks: u64,
+}
+
+impl E3Report {
+    /// True if every digital parameter is within specification.
+    pub fn passed(&self) -> bool {
+        self.max_conversion_time <= self.spec_conversion_time
+            && (self.fall_time_per_code - 10e-6).abs() < 2e-6
+            && (self.volts_per_code - 0.010).abs() < 1e-3
+    }
+}
+
+impl fmt::Display for E3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E3 — digital test results (100 kHz clock)")?;
+        writeln!(
+            f,
+            "max conversion time : {:.2} ms (spec {:.1} ms)   paper: within spec",
+            self.max_conversion_time * 1e3,
+            self.spec_conversion_time * 1e3
+        )?;
+        writeln!(
+            f,
+            "fall time per code  : {:.1} µs               paper: 10 µs",
+            self.fall_time_per_code * 1e6
+        )?;
+        writeln!(
+            f,
+            "input per code      : {:.1} mV               paper: 10 mV",
+            self.volts_per_code * 1e3
+        )?;
+        writeln!(
+            f,
+            "counter clocks (gate level): {}; control FSM clocks (mid-scale): {}",
+            self.counter_clocks, self.fsm_clocks
+        )?;
+        writeln!(f, "digital test {}", if self.passed() { "PASSED" } else { "FAILED" })
+    }
+}
+
+/// Runs E3 on the behavioural macro plus the gate-level digital
+/// sub-macros.
+pub fn run() -> E3Report {
+    let adc = DualSlopeAdc::ideal();
+
+    // Worst conversion time across the range.
+    let max_conversion_time = (0..=25)
+        .map(|k| adc.conversion_time(k as f64 * 0.1))
+        .fold(0.0, f64::max);
+
+    // Fall-time delta for one LSB of input.
+    let mid = 1.25;
+    let fall_time_per_code =
+        adc.deintegration_time(mid + adc.lsb()) - adc.deintegration_time(mid);
+
+    // Gate-level counter: count one full input phase (250 clocks) and
+    // verify it lands on the expected value.
+    let mut circuit = Circuit::new();
+    let counter = Counter::build(&mut circuit, "conv", 9);
+    counter.reset(&mut circuit);
+    let mut counter_clocks = 0;
+    for _ in 0..250 {
+        counter.clock_pulse(&mut circuit, 5);
+        counter_clocks += 1;
+    }
+    assert_eq!(counter.read(&circuit), Some(250), "counter miscounted");
+
+    // Control FSM: a mid-scale conversion (comparator fires at half the
+    // reference phase).
+    let mut ctl = DualSlopeController::new(250);
+    ctl.start();
+    let mut fsm_clocks = 0;
+    while ctl.phase() != DualSlopePhase::Done {
+        let comparator = ctl.phase() == DualSlopePhase::IntegrateReference && ctl.counter() >= 125;
+        ctl.clock(comparator);
+        fsm_clocks += 1;
+    }
+
+    E3Report {
+        max_conversion_time,
+        spec_conversion_time: 5.6e-3,
+        fall_time_per_code,
+        volts_per_code: adc.lsb(),
+        counter_clocks,
+        fsm_clocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_passes_all_digital_checks() {
+        let report = run();
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn fall_time_per_code_is_ten_microseconds() {
+        let report = run();
+        assert!(
+            (report.fall_time_per_code - 10e-6).abs() < 1e-7,
+            "{}",
+            report.fall_time_per_code
+        );
+    }
+
+    #[test]
+    fn fsm_takes_expected_clocks() {
+        let report = run();
+        // 250 input-phase clocks + 125 reference + 1 to latch.
+        assert_eq!(report.fsm_clocks, 376);
+    }
+}

@@ -1,0 +1,139 @@
+//! E4 — Compressed test results across the batch of devices.
+//!
+//! Paper: "A batch of 10 devices were fabricated. These comprised the
+//! built-in self test macros described and the ADC system. All devices
+//! passed the analogue, digital and compressed tests."
+
+use std::fmt;
+
+use macrolib::process::VariationModel;
+use msbist::adc::DualSlopeAdc;
+use msbist::bist::quick_test::{run_quick_tests, QuickTestLimits, QuickTestReport};
+use msbist::device::DieBatch;
+
+/// One die's quick-test outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieResult {
+    /// Die index.
+    pub die: usize,
+    /// Full quick-test report.
+    pub report: QuickTestReport,
+}
+
+/// The E4 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E4Report {
+    /// Reference (golden) digital signature.
+    pub reference_signature: u16,
+    /// Per-die outcomes.
+    pub dies: Vec<DieResult>,
+}
+
+impl E4Report {
+    /// Number of dies that passed all three tests.
+    pub fn pass_count(&self) -> usize {
+        self.dies.iter().filter(|d| d.report.passed()).count()
+    }
+
+    /// True if the whole batch passed (the paper's result).
+    pub fn all_passed(&self) -> bool {
+        self.pass_count() == self.dies.len()
+    }
+}
+
+impl fmt::Display for E4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E4 — compressed tests over the fabricated batch")?;
+        writeln!(
+            f,
+            "reference digital signature: {:#06x}",
+            self.reference_signature
+        )?;
+        writeln!(f, "die   analogue  digital  compressed  signature  2-bit")?;
+        for d in &self.dies {
+            writeln!(
+                f,
+                "{:>3}   {:^8}  {:^7}  {:^10}  {:#06x}    0b{:02b}",
+                d.die,
+                pass(d.report.analog.passed),
+                pass(d.report.digital.passed),
+                pass(d.report.compressed.passed),
+                d.report.compressed.digital_signature,
+                d.report.compressed.analog_code,
+            )?;
+        }
+        writeln!(
+            f,
+            "{}/{} devices passed all tests (paper: 10/10)",
+            self.pass_count(),
+            self.dies.len()
+        )
+    }
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "pass"
+    } else {
+        "FAIL"
+    }
+}
+
+/// Runs E4: fabricates `count` virtual dies, takes the golden signature
+/// from the nominal macro, and applies all three quick tests to every
+/// die.
+pub fn run(count: usize, seed: u64) -> E4Report {
+    // Golden reference from the nominal device.
+    let golden = run_quick_tests(&DualSlopeAdc::paper_measured(), &QuickTestLimits::paper());
+    let reference_signature = golden.compressed.digital_signature;
+    let limits = QuickTestLimits::paper().with_reference(reference_signature);
+
+    let batch = DieBatch::fabricate(count, &VariationModel::typical(), seed);
+    let dies = batch
+        .iter()
+        .map(|die| DieResult {
+            die: die.index,
+            report: run_quick_tests(&die.adc, &limits),
+        })
+        .collect();
+    E4Report {
+        reference_signature,
+        dies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msbist::adc::AdcErrorModel;
+
+    #[test]
+    fn batch_of_ten_all_pass() {
+        // Paper seed: the 1996 batch. All typical-variation dies pass.
+        let report = run(10, 1996);
+        assert!(report.all_passed(), "{report}");
+    }
+
+    #[test]
+    fn different_seeds_also_pass() {
+        for seed in [1, 42, 7777] {
+            let report = run(10, seed);
+            assert!(report.all_passed(), "seed {seed}: {report}");
+        }
+    }
+
+    #[test]
+    fn gross_fault_would_be_caught() {
+        // Control experiment: the signature reference must catch a badly
+        // faulty device that variation alone cannot produce.
+        let golden = run_quick_tests(&DualSlopeAdc::paper_measured(), &QuickTestLimits::paper());
+        let limits =
+            QuickTestLimits::paper().with_reference(golden.compressed.digital_signature);
+        let broken = DualSlopeAdc::with_errors(AdcErrorModel {
+            gain_error: 0.25,
+            ..AdcErrorModel::paper_measured()
+        });
+        let report = run_quick_tests(&broken, &limits);
+        assert!(!report.passed());
+    }
+}

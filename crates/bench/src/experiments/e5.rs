@@ -1,0 +1,193 @@
+//! E5 — Figure 2 and the full ADC characterisation.
+//!
+//! Paper: specification max clock 100 kHz, zero offset < 0.3 LSB, gain
+//! error < 0.5 LSB, INL < 1 LSB, DNL < 1 LSB. Measured: gain error
+//! ±0.5 LSB, zero offset < 0.2 LSB, **max INL 1.3 LSB and max DNL
+//! 1.2 LSB** (out of specification) — Figure 2 plots the DNL over input
+//! codes 0–100.
+
+use std::fmt;
+
+use msbist::adc::spec::{AdcSpecification, SpecReport};
+use msbist::adc::DualSlopeAdc;
+use msbist::charac::histogram::{characterise_histogram, HistogramCharacterisation};
+use msbist::charac::{characterise, Characterisation};
+
+/// The E5 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E5Report {
+    /// The measured characterisation (transition-level sweep, the
+    /// paper's bench method).
+    pub charac: Characterisation,
+    /// The same macro measured by code-density histogram (the on-chip
+    /// production method).
+    pub histogram: HistogramCharacterisation,
+    /// Spec compliance.
+    pub spec: SpecReport,
+}
+
+impl E5Report {
+    /// Worst disagreement between the sweep and histogram DNL series,
+    /// LSB — the two independent methods must corroborate each other.
+    pub fn method_disagreement_lsb(&self) -> f64 {
+        let sweep: std::collections::HashMap<u64, f64> =
+            self.charac.dnl_series().into_iter().collect();
+        self.histogram
+            .dnl_series()
+            .into_iter()
+            .filter_map(|(code, h)| sweep.get(&code).map(|s| (h - s).abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl E5Report {
+    /// The Figure-2 series: `(code, dnl)` over the characterised range.
+    pub fn figure2_series(&self) -> Vec<(u64, f64)> {
+        self.charac.dnl_series()
+    }
+
+    /// ASCII rendering of Figure 2 (DNL vs code).
+    pub fn figure2_ascii(&self, width: usize) -> String {
+        let mut out = String::new();
+        out.push_str("DNL (LSB) vs ADC output code — Figure 2\n");
+        let scale = width as f64 / 3.0; // columns per LSB, range ±1.5
+        for (code, dnl) in self.figure2_series() {
+            if code % 4 != 0 {
+                continue; // decimate for terminal width
+            }
+            let centre = width / 2;
+            let pos = (centre as f64 + dnl * scale)
+                .round()
+                .clamp(0.0, width as f64 - 1.0) as usize;
+            let mut line: Vec<char> = vec![' '; width];
+            line[centre] = '|';
+            line[pos] = '*';
+            out.push_str(&format!("{:>4} {}\n", code, line.iter().collect::<String>()));
+        }
+        out
+    }
+}
+
+impl fmt::Display for E5Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E5 — full ADC characterisation (Figure 2)")?;
+        writeln!(f, "parameter        measured    paper      spec")?;
+        writeln!(
+            f,
+            "zero offset    {:>7.2} LSB   <0.2 LSB   <0.3 LSB  [{}]",
+            self.charac.offset_lsb,
+            pass(self.spec.offset_ok)
+        )?;
+        writeln!(
+            f,
+            "gain error     {:>7.2} LSB   ±0.5 LSB   <0.5 LSB  [{}]",
+            self.charac.gain_error_lsb,
+            pass(self.spec.gain_ok)
+        )?;
+        writeln!(
+            f,
+            "max INL        {:>7.2} LSB    1.3 LSB   <1.0 LSB  [{}]",
+            self.charac.max_inl_lsb(),
+            pass(self.spec.inl_ok)
+        )?;
+        writeln!(
+            f,
+            "max DNL        {:>7.2} LSB    1.2 LSB   <1.0 LSB  [{}]",
+            self.charac.max_dnl_lsb(),
+            pass(self.spec.dnl_ok)
+        )?;
+        writeln!(
+            f,
+            "quantisation   {:>7.2} LSB rms (truncating converter ideal: 0.58)",
+            self.charac.quantisation_rms_lsb
+        )?;
+        writeln!(
+            f,
+            "histogram method: max DNL {:.2} LSB, max INL {:.2} LSB \
+             (sweep-vs-histogram worst Δ {:.2} LSB)",
+            self.histogram.max_dnl_lsb(),
+            self.histogram.max_inl_lsb(),
+            self.method_disagreement_lsb()
+        )?;
+        write!(f, "{}", self.figure2_ascii(61))
+    }
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "EXCEEDED"
+    }
+}
+
+/// Runs E5: characterises the paper-measured macro over the first
+/// `codes` output codes (the paper's Figure 2 covers 0–100).
+pub fn run(codes: u64) -> E5Report {
+    let adc = DualSlopeAdc::paper_measured();
+    let charac = characterise(&adc, codes);
+    let histogram = characterise_histogram(&adc, codes, 64);
+    let spec = AdcSpecification::paper().check(&charac);
+    E5Report {
+        charac,
+        histogram,
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_reproduces_the_paper_shape() {
+        let report = run(100);
+        // Offset and gain within spec...
+        assert!(report.spec.offset_ok, "{report}");
+        assert!(report.spec.gain_ok, "{report}");
+        // ...but INL and DNL exceed 1 LSB like the paper's macro.
+        assert!(!report.spec.inl_ok, "{report}");
+        assert!(!report.spec.dnl_ok, "{report}");
+    }
+
+    #[test]
+    fn magnitudes_near_paper_values() {
+        let report = run(200);
+        let inl = report.charac.max_inl_lsb();
+        let dnl = report.charac.max_dnl_lsb();
+        assert!((1.0..1.8).contains(&inl), "INL {inl}");
+        assert!((1.0..1.8).contains(&dnl), "DNL {dnl}");
+        assert!(report.charac.offset_lsb.abs() < 0.3);
+        assert!(report.charac.gain_error_lsb.abs() < 0.6);
+    }
+
+    #[test]
+    fn figure2_has_sawtooth_character() {
+        // The ripple error source must produce alternating-sign DNL.
+        let report = run(100);
+        let series = report.figure2_series();
+        let sign_changes = series
+            .windows(2)
+            .filter(|w| (w[0].1 > 0.0) != (w[1].1 > 0.0))
+            .count();
+        assert!(sign_changes > 10, "only {sign_changes} sign changes");
+    }
+
+    #[test]
+    fn methods_corroborate() {
+        let report = run(100);
+        assert!(
+            report.method_disagreement_lsb() < 0.2,
+            "methods disagree by {} LSB",
+            report.method_disagreement_lsb()
+        );
+    }
+
+    #[test]
+    fn ascii_plot_renders() {
+        let report = run(50);
+        let plot = report.figure2_ascii(41);
+        assert!(plot.contains('*'));
+        assert!(plot.lines().count() > 5);
+    }
+}

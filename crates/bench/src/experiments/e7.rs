@@ -1,0 +1,140 @@
+//! E7 — the future-work sigma-delta architecture study.
+//!
+//! The paper's conclusions point the on-chip testing work at "larger
+//! full-custom ADC devices designed with sigma-delta modulation
+//! architecture, where the switched capacitor integrator forms a major
+//! part of the circuit". This experiment quantifies that architecture's
+//! behaviour and shows the SC-integrator fault mechanisms (leakage,
+//! gain) are observable in the modulator's SNR — the hook for the same
+//! BIST machinery.
+
+use std::fmt;
+
+use msbist::sigma_delta::{measure_snr_db, SecondOrderModulator, SigmaDeltaModulator};
+
+/// SNR at one oversampling ratio for clean and leaky integrators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrPoint {
+    /// Oversampling ratio.
+    pub osr: usize,
+    /// SNR of the fault-free first-order modulator, dB.
+    pub clean_db: f64,
+    /// SNR with a leaky integrator, dB.
+    pub leaky_db: f64,
+    /// SNR of the second-order modulator (PSD-based estimate), dB.
+    pub second_order_db: f64,
+}
+
+/// The E7 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E7Report {
+    /// SNR sweep over oversampling ratios.
+    pub points: Vec<SnrPoint>,
+    /// The integrator leak used for the faulty variant.
+    pub leak: f64,
+}
+
+impl E7Report {
+    /// Average SNR improvement per octave of OSR for the clean
+    /// modulator (first-order ideal: ~9 dB).
+    pub fn db_per_octave(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let first = self.points.first().expect("non-empty");
+        let last = self.points.last().expect("non-empty");
+        let octaves = (last.osr as f64 / first.osr as f64).log2();
+        (last.clean_db - first.clean_db) / octaves
+    }
+
+    /// Worst SNR penalty of the leak across the sweep, dB.
+    pub fn worst_leak_penalty_db(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.clean_db - p.leaky_db)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for E7Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E7 — sigma-delta modulator (future-work architecture)")?;
+        writeln!(
+            f,
+            "OSR    1st-order SNR   leaky SNR   penalty   2nd-order SNR (dB)"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>4}   {:>11.1}   {:>9.1}   {:>7.1}   {:>14.1}",
+                p.osr,
+                p.clean_db,
+                p.leaky_db,
+                p.clean_db - p.leaky_db,
+                p.second_order_db
+            )?;
+        }
+        writeln!(
+            f,
+            "noise shaping: {:.1} dB/octave (1st-order ideal ≈ 9); worst leak \
+             penalty {:.1} dB at leak = {}",
+            self.db_per_octave(),
+            self.worst_leak_penalty_db(),
+            self.leak
+        )
+    }
+}
+
+/// Runs E7: sweeps the oversampling ratio for the fault-free modulator
+/// and for one with integrator leakage `leak`.
+pub fn run(leak: f64) -> E7Report {
+    let osrs = [8usize, 16, 32, 64, 128];
+    let points = osrs
+        .iter()
+        .map(|&osr| {
+            let mut clean = SigmaDeltaModulator::new(1.0 / 6.8);
+            let mut leaky = SigmaDeltaModulator::new(1.0 / 6.8).with_leak(leak);
+            let second_order_db = msbist::sigma_delta::measure_snr_psd(
+                |x| {
+                    let mut m = SecondOrderModulator::new();
+                    m.modulate(x)
+                },
+                0.5,
+                osr,
+                16384,
+            );
+            SnrPoint {
+                osr,
+                clean_db: measure_snr_db(&mut clean, 0.5, osr),
+                leaky_db: measure_snr_db(&mut leaky, 0.5, osr),
+                second_order_db,
+            }
+        })
+        .collect();
+    E7Report { points, leak }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snr_grows_with_osr() {
+        let report = run(0.1);
+        assert!(
+            report.db_per_octave() > 5.0,
+            "only {:.1} dB/octave\n{report}",
+            report.db_per_octave()
+        );
+    }
+
+    #[test]
+    fn leak_costs_snr_at_high_osr() {
+        let report = run(0.1);
+        assert!(
+            report.worst_leak_penalty_db() > 5.0,
+            "penalty {:.1} dB\n{report}",
+            report.worst_leak_penalty_db()
+        );
+    }
+}

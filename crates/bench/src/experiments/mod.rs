@@ -1,0 +1,11 @@
+//! Experiment implementations, one module per table/figure.
+
+pub mod ablation;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;

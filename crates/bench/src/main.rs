@@ -1,0 +1,58 @@
+//! The `experiments` binary: regenerates every table and figure of the
+//! paper and prints paper-vs-measured reports.
+//!
+//! Usage: `experiments [e1|e2|e3|e4|e5|e6|e7|ablation|all]`
+
+use std::env;
+use std::process::ExitCode;
+
+use msbist_bench::experiments;
+
+fn main() -> ExitCode {
+    let which = env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut ran = false;
+    let want = |tag: &str| which == tag || which == "all";
+
+    if want("e1") {
+        ran = true;
+        println!("{}\n", experiments::e1::run(4e-6));
+    }
+    if want("e2") {
+        ran = true;
+        println!("{}\n", experiments::e2::run(0.05));
+    }
+    if want("e3") {
+        ran = true;
+        println!("{}\n", experiments::e3::run());
+    }
+    if want("e4") {
+        ran = true;
+        println!("{}\n", experiments::e4::run(10, 1996));
+    }
+    if want("e5") {
+        ran = true;
+        println!("{}\n", experiments::e5::run(100));
+    }
+    if want("e6") {
+        ran = true;
+        println!("{}\n", experiments::e6::run());
+    }
+    if want("e7") {
+        ran = true;
+        println!("{}\n", experiments::e7::run(0.1));
+    }
+    if want("e8") {
+        ran = true;
+        println!("{}\n", experiments::e8::run(50, 1996));
+    }
+    if want("ablation") {
+        ran = true;
+        println!("{}\n", experiments::ablation::run());
+    }
+
+    if !ran {
+        eprintln!("unknown experiment '{which}'; expected e1..e8, ablation or all");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,343 @@
+//! Behavioural dual-slope ADC with physically-motivated error sources.
+
+use super::AdcConverter;
+
+/// Error sources of the dual-slope ADC macro.
+///
+/// An ideal dual-slope converter rejects integrator-capacitor
+/// nonlinearity (the same integrator serves both phases, so the charge
+/// balance cancels it); what is left — and what the paper measures — are:
+///
+/// * **zero offset** from comparator and integrator input offsets,
+/// * **gain error** from reference-voltage and phase-resistor mismatch,
+/// * **INL** from integrator leakage (the de-integration time becomes a
+///   logarithmic, not linear, function of the peak) — the integrator
+///   sub-macro faults the paper says "affect the linearity errors",
+/// * **DNL** structure from switched-capacitor ripple riding on the
+///   integrator output as it crosses the comparator threshold,
+/// * small **threshold noise**, modelled deterministically so repeated
+///   conversions of the same input are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcErrorModel {
+    /// Input-referred offset in volts (comparator + integrator offsets).
+    pub offset_v: f64,
+    /// Relative reference/gain error (e.g. `0.002` = +0.2 %).
+    pub gain_error: f64,
+    /// Integrator leakage rate in 1/s (exponential droop of the
+    /// integrator state).
+    pub leak_per_s: f64,
+    /// Peak SC ripple on the integrator output, in volts, at the
+    /// comparator crossing.
+    pub ripple_v: f64,
+    /// Ripple period expressed in output codes.
+    pub ripple_period_codes: f64,
+    /// A second, slower disturbance on the crossing (supply/substrate
+    /// coupling), volts peak.
+    pub slow_ripple_v: f64,
+    /// Period of the slow disturbance, output codes.
+    pub slow_ripple_period_codes: f64,
+    /// RMS-equivalent threshold noise in volts (deterministic
+    /// pseudo-noise derived from the input value).
+    pub noise_v: f64,
+}
+
+impl AdcErrorModel {
+    /// No errors at all.
+    pub fn none() -> Self {
+        AdcErrorModel {
+            offset_v: 0.0,
+            gain_error: 0.0,
+            leak_per_s: 0.0,
+            ripple_v: 0.0,
+            ripple_period_codes: 16.0,
+            slow_ripple_v: 0.0,
+            slow_ripple_period_codes: 64.0,
+            noise_v: 0.0,
+        }
+    }
+
+    /// Error magnitudes tuned to reproduce the paper's measured macro:
+    /// zero offset < 0.2 LSB, gain error ≈ ±0.5 LSB, max INL ≈ 1.3 LSB
+    /// and max DNL ≈ 1.2 LSB (Figure 2).
+    pub fn paper_measured() -> Self {
+        AdcErrorModel {
+            offset_v: 0.0012,
+            gain_error: -0.010,
+            leak_per_s: 6.0,
+            ripple_v: 0.0085,
+            ripple_period_codes: 9.0,
+            slow_ripple_v: 0.005,
+            slow_ripple_period_codes: 67.0,
+            noise_v: 0.0004,
+        }
+    }
+}
+
+impl Default for AdcErrorModel {
+    fn default() -> Self {
+        AdcErrorModel::none()
+    }
+}
+
+/// Behavioural model of the paper's dual-slope ADC macro.
+///
+/// Nominal design values follow the paper's digital test results:
+/// 100 kHz clock, 10 mV per output code over a 2.5 V range (250 counts
+/// per phase), worst-case conversion inside the 5.6 ms specification.
+///
+/// # Example
+///
+/// ```
+/// use msbist::adc::{AdcConverter, DualSlopeAdc};
+///
+/// let adc = DualSlopeAdc::ideal();
+/// assert_eq!(adc.convert(0.0), 0);
+/// assert_eq!(adc.convert(2.5), 250);
+/// assert!((adc.lsb() - 0.010).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualSlopeAdc {
+    vref: f64,
+    full_count: u64,
+    clock_hz: f64,
+    errors: AdcErrorModel,
+}
+
+impl DualSlopeAdc {
+    /// The error-free nominal macro: 2.5 V reference, 250 counts,
+    /// 100 kHz clock.
+    pub fn ideal() -> Self {
+        DualSlopeAdc {
+            vref: 2.5,
+            full_count: 250,
+            clock_hz: 100e3,
+            errors: AdcErrorModel::none(),
+        }
+    }
+
+    /// The macro with the paper's measured error magnitudes.
+    pub fn paper_measured() -> Self {
+        DualSlopeAdc {
+            errors: AdcErrorModel::paper_measured(),
+            ..DualSlopeAdc::ideal()
+        }
+    }
+
+    /// A macro with an explicit error model.
+    pub fn with_errors(errors: AdcErrorModel) -> Self {
+        DualSlopeAdc {
+            errors,
+            ..DualSlopeAdc::ideal()
+        }
+    }
+
+    /// Overrides the clock rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not positive.
+    pub fn with_clock(mut self, hz: f64) -> Self {
+        assert!(hz > 0.0, "clock must be positive");
+        self.clock_hz = hz;
+        self
+    }
+
+    /// The error model in force.
+    pub fn errors(&self) -> &AdcErrorModel {
+        &self.errors
+    }
+
+    /// Clock frequency in hertz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// The integrator peak voltage reached for input `vin` at the end of
+    /// the fixed input-integration phase (exposed for the BIST step test,
+    /// which watches the integrator node directly).
+    ///
+    /// The nominal design integrates to `vin · T1 / tau` with
+    /// `tau = T1·v_fs/v_peak_fs` chosen so full scale peaks at 2.5 V.
+    pub fn integrator_peak(&self, vin: f64) -> f64 {
+        let t1 = self.full_count as f64 / self.clock_hz;
+        let v = vin + self.errors.offset_v;
+        // tau chosen so that full-scale input peaks at vref.
+        let tau = t1; // v_peak(fs) = v_fs * t1/tau = 2.5 V
+        if self.errors.leak_per_s == 0.0 {
+            v * t1 / tau
+        } else {
+            // dV/dt = v/tau − leak·V
+            let leak = self.errors.leak_per_s;
+            v / (tau * leak) * (1.0 - (-leak * t1).exp())
+        }
+    }
+
+    /// The de-integration time for input `vin`, in seconds (before
+    /// quantisation by the counter clock).
+    pub fn deintegration_time(&self, vin: f64) -> f64 {
+        let t1 = self.full_count as f64 / self.clock_hz;
+        let tau = t1;
+        let v1 = self.integrator_peak(vin).max(0.0);
+        let vref_eff = self.vref * (1.0 + self.errors.gain_error);
+        let leak = self.errors.leak_per_s;
+        let mut t2 = if leak == 0.0 {
+            v1 * tau / vref_eff
+        } else {
+            // dV/dt = −vref/tau − leak·V from V1 down to 0:
+            // t2 = (1/leak)·ln(1 + leak·V1·tau/vref)
+            (1.0 / leak) * (1.0 + leak * v1 * tau / vref_eff).ln()
+        };
+        // SC ripple modulates the exact comparator crossing instant. The
+        // phase reference sits at the first code so the ripple does not
+        // alias into the zero-offset measurement.
+        if self.errors.ripple_v > 0.0 || self.errors.slow_ripple_v > 0.0 {
+            let slope = vref_eff / tau; // de-integration slope, V/s
+            let code_equiv = t2 * self.clock_hz;
+            let phase = 2.0 * std::f64::consts::PI * (code_equiv - 1.0)
+                / self.errors.ripple_period_codes;
+            let slow_phase = 2.0 * std::f64::consts::PI * (code_equiv - 1.0)
+                / self.errors.slow_ripple_period_codes;
+            t2 += (self.errors.ripple_v * phase.sin()
+                + self.errors.slow_ripple_v * slow_phase.sin())
+                / slope;
+        }
+        // Deterministic pseudo-noise on the crossing.
+        if self.errors.noise_v > 0.0 {
+            let slope = vref_eff / tau;
+            t2 += self.errors.noise_v * pseudo_noise(vin) / slope;
+        }
+        t2.max(0.0)
+    }
+}
+
+/// Deterministic noise in [−1, 1] derived from the input bits, so the
+/// model is reproducible while still exercising noise-sensitive code.
+fn pseudo_noise(vin: f64) -> f64 {
+    let mut x = vin.to_bits().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    (x as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+impl AdcConverter for DualSlopeAdc {
+    fn convert(&self, vin: f64) -> u64 {
+        let t2 = self.deintegration_time(vin);
+        let code = (t2 * self.clock_hz).floor();
+        (code.max(0.0) as u64).min(2 * self.full_count)
+    }
+
+    fn full_scale(&self) -> f64 {
+        self.vref
+    }
+
+    fn full_count(&self) -> u64 {
+        self.full_count
+    }
+
+    fn conversion_time(&self, vin: f64) -> f64 {
+        let code = self.convert(vin);
+        (self.full_count + code) as f64 / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_transfer_is_exact() {
+        let adc = DualSlopeAdc::ideal();
+        for k in [0u64, 1, 50, 125, 249, 250] {
+            // Input just above the code's nominal level converts to k.
+            let vin = k as f64 * 0.010 + 0.001;
+            assert_eq!(adc.convert(vin), k, "at code {k}");
+        }
+    }
+
+    #[test]
+    fn over_range_clamps() {
+        let adc = DualSlopeAdc::ideal();
+        assert_eq!(adc.convert(100.0), 500);
+        assert_eq!(adc.convert(-1.0), 0);
+    }
+
+    #[test]
+    fn conversion_time_within_spec() {
+        // Paper spec: maximum conversion time 5.6 ms at 100 kHz.
+        let adc = DualSlopeAdc::paper_measured();
+        for k in 0..=250 {
+            let vin = k as f64 * 0.010;
+            assert!(adc.conversion_time(vin) <= 5.6e-3, "slow at {vin}");
+        }
+    }
+
+    #[test]
+    fn offset_error_shifts_zero() {
+        let adc = DualSlopeAdc::with_errors(AdcErrorModel {
+            offset_v: 0.025, // 2.5 LSB
+            ..AdcErrorModel::none()
+        });
+        assert_eq!(adc.convert(0.0), 2);
+    }
+
+    #[test]
+    fn gain_error_scales_full_scale() {
+        let adc = DualSlopeAdc::with_errors(AdcErrorModel {
+            gain_error: -0.01, // reference 1 % low -> codes 1 % high
+            ..AdcErrorModel::none()
+        });
+        let code = adc.convert(2.5);
+        assert!(code >= 252, "code = {code}");
+    }
+
+    #[test]
+    fn leak_compresses_top_of_range() {
+        let leaky = DualSlopeAdc::with_errors(AdcErrorModel {
+            leak_per_s: 20.0,
+            ..AdcErrorModel::none()
+        });
+        let ideal = DualSlopeAdc::ideal();
+        // Leakage droops the peak, so high inputs read low...
+        assert!(leaky.convert(2.4) < ideal.convert(2.4));
+        // ...and the effect is progressive (nonlinear), not a pure gain.
+        let mid_loss = ideal.convert(1.25) as i64 - leaky.convert(1.25) as i64;
+        let top_loss = ideal.convert(2.4) as i64 - leaky.convert(2.4) as i64;
+        assert!(top_loss > 2 * mid_loss - 1, "mid {mid_loss}, top {top_loss}");
+    }
+
+    #[test]
+    fn integrator_peak_is_linear_without_leak() {
+        let adc = DualSlopeAdc::ideal();
+        let p1 = adc.integrator_peak(1.0);
+        let p2 = adc.integrator_peak(2.0);
+        assert!((p2 - 2.0 * p1).abs() < 1e-12);
+        assert!((adc.integrator_peak(2.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_noise_is_deterministic_and_bounded() {
+        for v in [0.0, 0.1, 1.2345, 2.5] {
+            let a = pseudo_noise(v);
+            let b = pseudo_noise(v);
+            assert_eq!(a, b);
+            assert!((-1.0..=1.0).contains(&a));
+        }
+        assert_ne!(pseudo_noise(0.1), pseudo_noise(0.2));
+    }
+
+    #[test]
+    fn paper_measured_is_close_to_ideal_but_not_equal() {
+        let ideal = DualSlopeAdc::ideal();
+        let real = DualSlopeAdc::paper_measured();
+        let mut differs = false;
+        for k in 0..=250u64 {
+            let vin = k as f64 * 0.010 + 0.005;
+            let ci = ideal.convert(vin);
+            let cr = real.convert(vin);
+            assert!((ci as i64 - cr as i64).abs() <= 3, "code {ci} vs {cr}");
+            differs |= ci != cr;
+        }
+        assert!(differs);
+    }
+}

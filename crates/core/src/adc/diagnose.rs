@@ -1,0 +1,208 @@
+//! Fault-to-sub-macro diagnosis.
+//!
+//! The paper partitions the ADC macro at functional level and maps
+//! measured failure signatures back onto sub-macros:
+//!
+//! > "faults in the comparator submacro will contribute to the offset
+//! > error and gain error. The integrator submacro faults will affect
+//! > the linearity errors, the gain error and the offset error. Counter
+//! > submacro faults will show in the INL or DNL error or as regular
+//! > missed codes. Faults in the output latch submacro will manifest as
+//! > multiple incorrect output codes. Finally control circuit faults
+//! > will stop the conversion process."
+
+use crate::adc::spec::SpecReport;
+use crate::charac::Characterisation;
+
+/// The five sub-macros of the dual-slope ADC macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubMacro {
+    /// Switched-capacitor integrator.
+    Integrator,
+    /// Comparator.
+    Comparator,
+    /// Conversion counter.
+    Counter,
+    /// Output latch.
+    OutputLatch,
+    /// Control logic.
+    Control,
+}
+
+/// Symptoms extracted from a characterisation / conversion run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Symptoms {
+    /// Zero offset out of specification.
+    pub offset_fail: bool,
+    /// Gain error out of specification.
+    pub gain_fail: bool,
+    /// INL out of specification.
+    pub inl_fail: bool,
+    /// DNL out of specification.
+    pub dnl_fail: bool,
+    /// Output codes missing at regular intervals.
+    pub regular_missed_codes: bool,
+    /// Many scattered incorrect output codes.
+    pub multiple_incorrect_codes: bool,
+    /// Conversion never completes.
+    pub conversion_stopped: bool,
+}
+
+impl Symptoms {
+    /// Derives symptoms from a spec report and characterisation.
+    pub fn from_characterisation(report: &SpecReport, c: &Characterisation) -> Self {
+        Symptoms {
+            offset_fail: !report.offset_ok,
+            gain_fail: !report.gain_ok,
+            inl_fail: !report.inl_ok,
+            dnl_fail: !report.dnl_ok,
+            regular_missed_codes: has_regular_gaps(&c.missing_codes),
+            multiple_incorrect_codes: c.missing_codes.len() > c.transitions.len() / 4,
+            conversion_stopped: false,
+        }
+    }
+
+    /// The symptom set of a conversion that never finishes.
+    pub fn stopped() -> Self {
+        Symptoms {
+            offset_fail: false,
+            gain_fail: false,
+            inl_fail: false,
+            dnl_fail: false,
+            regular_missed_codes: false,
+            multiple_incorrect_codes: false,
+            conversion_stopped: true,
+        }
+    }
+}
+
+/// True if the missing codes are evenly spaced (the counter-fault
+/// signature the paper describes as "regular missed codes").
+fn has_regular_gaps(missing: &[u64]) -> bool {
+    if missing.len() < 3 {
+        return false;
+    }
+    let d = missing[1] - missing[0];
+    // Spacing 1 is a contiguous dead band (range/compression loss), not
+    // the counter's periodic skip pattern.
+    d >= 2 && missing.windows(2).all(|w| w[1] - w[0] == d)
+}
+
+/// Ranks sub-macros by how well their failure signature explains the
+/// symptoms, most likely first. Sub-macros with zero matching symptoms
+/// are omitted.
+pub fn diagnose(symptoms: &Symptoms) -> Vec<(SubMacro, u32)> {
+    if symptoms.conversion_stopped {
+        return vec![(SubMacro::Control, u32::MAX)];
+    }
+    let mut scores: Vec<(SubMacro, u32)> = Vec::new();
+    let mut add = |m: SubMacro, s: u32| {
+        if s > 0 {
+            scores.push((m, s));
+        }
+    };
+
+    add(
+        SubMacro::Comparator,
+        symptoms.offset_fail as u32 + symptoms.gain_fail as u32,
+    );
+    add(
+        SubMacro::Integrator,
+        symptoms.inl_fail as u32
+            + symptoms.dnl_fail as u32
+            + symptoms.gain_fail as u32
+            + symptoms.offset_fail as u32,
+    );
+    add(
+        SubMacro::Counter,
+        symptoms.inl_fail as u32
+            + symptoms.dnl_fail as u32
+            + 3 * symptoms.regular_missed_codes as u32,
+    );
+    add(
+        SubMacro::OutputLatch,
+        4 * symptoms.multiple_incorrect_codes as u32,
+    );
+
+    scores.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_symptoms() -> Symptoms {
+        Symptoms {
+            offset_fail: false,
+            gain_fail: false,
+            inl_fail: false,
+            dnl_fail: false,
+            regular_missed_codes: false,
+            multiple_incorrect_codes: false,
+            conversion_stopped: false,
+        }
+    }
+
+    #[test]
+    fn stopped_conversion_points_to_control() {
+        let d = diagnose(&Symptoms::stopped());
+        assert_eq!(d[0].0, SubMacro::Control);
+    }
+
+    #[test]
+    fn regular_missed_codes_point_to_counter() {
+        let d = diagnose(&Symptoms {
+            regular_missed_codes: true,
+            ..no_symptoms()
+        });
+        assert_eq!(d[0].0, SubMacro::Counter);
+    }
+
+    #[test]
+    fn offset_and_gain_implicate_comparator_and_integrator() {
+        let d = diagnose(&Symptoms {
+            offset_fail: true,
+            gain_fail: true,
+            ..no_symptoms()
+        });
+        let macros: Vec<SubMacro> = d.iter().map(|&(m, _)| m).collect();
+        assert!(macros.contains(&SubMacro::Comparator));
+        assert!(macros.contains(&SubMacro::Integrator));
+        assert!(!macros.contains(&SubMacro::OutputLatch));
+    }
+
+    #[test]
+    fn linearity_failures_favor_integrator() {
+        let d = diagnose(&Symptoms {
+            inl_fail: true,
+            dnl_fail: true,
+            gain_fail: true,
+            ..no_symptoms()
+        });
+        assert_eq!(d[0].0, SubMacro::Integrator);
+    }
+
+    #[test]
+    fn scattered_bad_codes_point_to_latch() {
+        let d = diagnose(&Symptoms {
+            multiple_incorrect_codes: true,
+            ..no_symptoms()
+        });
+        assert_eq!(d[0].0, SubMacro::OutputLatch);
+    }
+
+    #[test]
+    fn healthy_symptoms_diagnose_nothing() {
+        assert!(diagnose(&no_symptoms()).is_empty());
+    }
+
+    #[test]
+    fn regular_gap_detector() {
+        assert!(has_regular_gaps(&[8, 16, 24, 32]));
+        assert!(!has_regular_gaps(&[8, 16, 25]));
+        assert!(!has_regular_gaps(&[8, 16]));
+        // Contiguous dead band is not the counter signature.
+        assert!(!has_regular_gaps(&[98, 99, 100]));
+    }
+}

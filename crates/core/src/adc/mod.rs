@@ -1,0 +1,64 @@
+//! The dual-slope ADC macro and its sub-macros.
+//!
+//! The paper's device under test is a CMOS dual-slope ADC gate-array
+//! macro (250 gates, ≈1000 transistors) built from five sub-macros:
+//! switched-capacitor integrator, comparator, counter, output latch and
+//! control logic. This module provides:
+//!
+//! * [`AdcConverter`] — the converter abstraction the characterisation
+//!   and BIST layers test against,
+//! * [`DualSlopeAdc`] — a behavioural model with physically-motivated
+//!   error sources (leakage, offsets, reference error, switching ripple),
+//! * [`circuit`] — a circuit-level realisation that simulates the two
+//!   integration phases on an `anasim` netlist,
+//! * [`spec`] — the macro's datasheet limits and compliance checking,
+//! * [`diagnose`] — the paper's fault-to-sub-macro diagnosis map.
+
+pub mod circuit;
+pub mod cosim;
+pub mod diagnose;
+pub mod spec;
+
+mod behavioral;
+
+pub use behavioral::{AdcErrorModel, DualSlopeAdc};
+pub use cosim::{CosimAdc, CosimConversion};
+
+/// An analogue-to-digital converter under test.
+///
+/// The characterisation machinery ([`crate::charac`]) and the BIST
+/// macros ([`crate::bist`]) drive any implementation of this trait —
+/// behavioural, circuit-level, or an injected-fault variant.
+pub trait AdcConverter {
+    /// Converts an input voltage to an output code.
+    ///
+    /// Out-of-range inputs clamp to the code range.
+    fn convert(&self, vin: f64) -> u64;
+
+    /// Nominal full-scale input voltage.
+    fn full_scale(&self) -> f64;
+
+    /// The code produced at exactly full scale (the number of nominal
+    /// LSB steps across the range).
+    fn full_count(&self) -> u64;
+
+    /// Nominal LSB size in volts.
+    fn lsb(&self) -> f64 {
+        self.full_scale() / self.full_count() as f64
+    }
+
+    /// Time one conversion takes, in seconds (input-dependent for
+    /// dual-slope converters).
+    fn conversion_time(&self, vin: f64) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_default_lsb() {
+        let adc = DualSlopeAdc::ideal();
+        assert!((adc.lsb() - adc.full_scale() / adc.full_count() as f64).abs() < 1e-18);
+    }
+}

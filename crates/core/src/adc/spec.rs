@@ -1,0 +1,123 @@
+//! The ADC macro's datasheet specification and compliance checking.
+
+use crate::charac::Characterisation;
+
+/// The dual-slope ADC macro specification from the paper:
+/// max clock 100 kHz, zero offset < 0.3 LSB, gain error < 0.5 LSB,
+/// INL < 1 LSB, DNL < 1 LSB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcSpecification {
+    /// Maximum clock rate in hertz.
+    pub max_clock_hz: f64,
+    /// Maximum zero offset error magnitude in LSB.
+    pub max_offset_lsb: f64,
+    /// Maximum gain error magnitude in LSB.
+    pub max_gain_error_lsb: f64,
+    /// Maximum INL magnitude in LSB.
+    pub max_inl_lsb: f64,
+    /// Maximum DNL magnitude in LSB.
+    pub max_dnl_lsb: f64,
+    /// Maximum conversion time in seconds.
+    pub max_conversion_time: f64,
+}
+
+impl AdcSpecification {
+    /// The paper's specification for the dual-slope macro.
+    pub fn paper() -> Self {
+        AdcSpecification {
+            max_clock_hz: 100e3,
+            max_offset_lsb: 0.3,
+            max_gain_error_lsb: 0.5,
+            max_inl_lsb: 1.0,
+            max_dnl_lsb: 1.0,
+            max_conversion_time: 5.6e-3,
+        }
+    }
+
+    /// Checks a characterisation against the specification.
+    pub fn check(&self, c: &Characterisation) -> SpecReport {
+        SpecReport {
+            offset_ok: c.offset_lsb.abs() <= self.max_offset_lsb,
+            gain_ok: c.gain_error_lsb.abs() <= self.max_gain_error_lsb,
+            inl_ok: c.max_inl_lsb() <= self.max_inl_lsb,
+            dnl_ok: c.max_dnl_lsb() <= self.max_dnl_lsb,
+            no_missing_codes: c.missing_codes.is_empty(),
+        }
+    }
+}
+
+impl Default for AdcSpecification {
+    fn default() -> Self {
+        AdcSpecification::paper()
+    }
+}
+
+/// Outcome of checking a characterisation against the specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecReport {
+    /// Zero offset within limit.
+    pub offset_ok: bool,
+    /// Gain error within limit.
+    pub gain_ok: bool,
+    /// INL within limit.
+    pub inl_ok: bool,
+    /// DNL within limit.
+    pub dnl_ok: bool,
+    /// No missing output codes.
+    pub no_missing_codes: bool,
+}
+
+impl SpecReport {
+    /// True only if every parameter passed.
+    pub fn passed(&self) -> bool {
+        self.offset_ok && self.gain_ok && self.inl_ok && self.dnl_ok && self.no_missing_codes
+    }
+
+    /// Names of the failing parameters.
+    pub fn failures(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if !self.offset_ok {
+            out.push("zero offset");
+        }
+        if !self.gain_ok {
+            out.push("gain error");
+        }
+        if !self.inl_ok {
+            out.push("INL");
+        }
+        if !self.dnl_ok {
+            out.push("DNL");
+        }
+        if !self.no_missing_codes {
+            out.push("missing codes");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::DualSlopeAdc;
+    use crate::charac::characterise;
+
+    #[test]
+    fn ideal_adc_meets_spec() {
+        let c = characterise(&DualSlopeAdc::ideal(), 100);
+        let report = AdcSpecification::paper().check(&c);
+        assert!(report.passed(), "failures: {:?}", report.failures());
+    }
+
+    #[test]
+    fn failures_list_names() {
+        let report = SpecReport {
+            offset_ok: true,
+            gain_ok: false,
+            inl_ok: false,
+            dnl_ok: true,
+            no_missing_codes: true,
+        };
+        assert!(!report.passed());
+        assert_eq!(report.failures(), vec!["gain error", "INL"]);
+    }
+}

@@ -1,0 +1,167 @@
+//! The DC level sensor macro.
+//!
+//! Two comparators watch an analogue node against fixed thresholds
+//! (1.9 V and 3.6 V in the paper) and compress the result into a 2-bit
+//! code — the "analogue signature" of the compressed test.
+
+use anasim::netlist::{Netlist, NodeId};
+use anasim::source::SourceWaveform;
+use anasim::waveform::Waveform;
+use macrolib::opamp::{BehavioralOpamp, OpampParams};
+use sigproc::signature::LevelSignature;
+
+/// The on-chip DC level sensor.
+///
+/// Wraps the encoding of [`LevelSignature`] and provides the
+/// circuit-level realisation (two comparator macros).
+///
+/// # Example
+///
+/// ```
+/// use msbist::bist::DcLevelSensor;
+///
+/// let sensor = DcLevelSensor::paper();
+/// assert_eq!(sensor.encode(1.0), 0b00);
+/// assert_eq!(sensor.encode(2.5), 0b01);
+/// assert_eq!(sensor.encode(4.0), 0b11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcLevelSensor {
+    coding: LevelSignature,
+}
+
+impl DcLevelSensor {
+    /// The paper's sensor: thresholds 1.9 V and 3.6 V.
+    pub fn paper() -> Self {
+        DcLevelSensor {
+            coding: LevelSignature::paper_defaults(),
+        }
+    }
+
+    /// A sensor with custom thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        DcLevelSensor {
+            coding: LevelSignature::new(low, high),
+        }
+    }
+
+    /// Lower threshold, volts.
+    pub fn low_threshold(&self) -> f64 {
+        self.coding.low_threshold
+    }
+
+    /// Upper threshold, volts.
+    pub fn high_threshold(&self) -> f64 {
+        self.coding.high_threshold
+    }
+
+    /// Encodes one voltage into its 2-bit region code.
+    pub fn encode(&self, volts: f64) -> u8 {
+        self.coding.encode(volts)
+    }
+
+    /// Encodes the maximum of a waveform — the paper compresses "the
+    /// maximum integrator voltage signal" into the 2-bit code during the
+    /// ramped-input test.
+    pub fn encode_peak(&self, w: &Waveform) -> u8 {
+        self.encode(w.max())
+    }
+
+    /// Builds the sensor as circuit hardware: two behavioural
+    /// comparators against threshold references. Returns the
+    /// `(above_low, above_high)` output nodes.
+    pub fn build(
+        &self,
+        netlist: &mut Netlist,
+        prefix: &str,
+        monitored: NodeId,
+    ) -> (NodeId, NodeId) {
+        let gnd = Netlist::GROUND;
+        let cmp_against = |nl: &mut Netlist, tag: &str, threshold: f64| {
+            let c = BehavioralOpamp::build(
+                nl,
+                &format!("{prefix}:{tag}"),
+                &OpampParams::comparator_5um(),
+            );
+            let vref = nl.node(&format!("{prefix}:{tag}:ref"));
+            nl.vsource(
+                &format!("{prefix}:{tag}:VREF"),
+                vref,
+                gnd,
+                SourceWaveform::dc(threshold),
+            );
+            nl.resistor(&format!("{prefix}:{tag}:RINP"), c.in_p, monitored, 1.0);
+            nl.resistor(&format!("{prefix}:{tag}:RINN"), c.in_n, vref, 1.0);
+            nl.resistor(&format!("{prefix}:{tag}:RLOAD"), c.out, gnd, 1e6);
+            c.out
+        };
+        let low_out = cmp_against(netlist, "lo", self.coding.low_threshold);
+        let high_out = cmp_against(netlist, "hi", self.coding.high_threshold);
+        (low_out, high_out)
+    }
+
+    /// Interprets the two comparator output voltages as the 2-bit code
+    /// (logic threshold at mid-rail).
+    pub fn decode_outputs(&self, above_low_v: f64, above_high_v: f64) -> u8 {
+        let lo = above_low_v > 2.5;
+        let hi = above_high_v > 2.5;
+        match (lo, hi) {
+            (false, _) => 0b00,
+            (true, false) => 0b01,
+            (true, true) => 0b11,
+        }
+    }
+}
+
+impl Default for DcLevelSensor {
+    fn default() -> Self {
+        DcLevelSensor::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::dc_operating_point;
+
+    #[test]
+    fn paper_thresholds() {
+        let s = DcLevelSensor::paper();
+        assert_eq!(s.low_threshold(), 1.9);
+        assert_eq!(s.high_threshold(), 3.6);
+    }
+
+    #[test]
+    fn encode_peak_uses_waveform_maximum() {
+        let s = DcLevelSensor::paper();
+        let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.5, 2.4, 1.0]);
+        assert_eq!(s.encode_peak(&w), 0b01);
+    }
+
+    #[test]
+    fn circuit_realisation_encodes_each_region() {
+        for (vin, expect) in [(1.0, 0b00u8), (2.7, 0b01), (4.2, 0b11)] {
+            let mut nl = Netlist::new();
+            let mon = nl.node("mon");
+            nl.vsource("VMON", mon, Netlist::GROUND, SourceWaveform::dc(vin));
+            let sensor = DcLevelSensor::paper();
+            let (lo, hi) = sensor.build(&mut nl, "ls", mon);
+            let op = dc_operating_point(&nl).unwrap();
+            let code = sensor.decode_outputs(op.voltage(lo), op.voltage(hi));
+            assert_eq!(code, expect, "vin = {vin}");
+        }
+    }
+
+    #[test]
+    fn decode_is_consistent_with_encode() {
+        let s = DcLevelSensor::paper();
+        // Comparator outputs at the rails mirror direct encoding.
+        assert_eq!(s.decode_outputs(0.1, 0.1), s.encode(1.0));
+        assert_eq!(s.decode_outputs(4.9, 0.1), s.encode(2.5));
+        assert_eq!(s.decode_outputs(4.9, 4.9), s.encode(4.5));
+    }
+}

@@ -1,0 +1,31 @@
+//! On-chip BIST macros for the ADC.
+//!
+//! The paper adds low-cost analogue and digital test macros next to the
+//! ADC macro: a DC step generator, a ramp generator, a DC level sensor
+//! and digital signature compression. The analogue section of the
+//! testing macro cost 152 transistors, the digital section 484.
+//!
+//! * [`StepGenerator`] — the six-level step input macro,
+//! * [`RampGenerator`] — 0 → 2.5 V in 1 s with six 200 ms sample slots,
+//! * [`DcLevelSensor`] — two comparators producing the 2-bit analogue
+//!   signature (thresholds 1.9 V / 3.6 V),
+//! * [`monotonicity`] — the AT&T-patent ramp/state-machine monotonicity
+//!   BIST the paper adopts for initial ADC testing,
+//! * [`quick_test`] — the three quick on-chip tests (analogue, digital,
+//!   compressed) and the batch report,
+//! * [`scan_access`] — the serial test bus / scan architecture of the
+//!   paper's research background,
+//! * [`overhead`] — transistor-count accounting of the test macros.
+
+pub mod monotonicity;
+pub mod overhead;
+pub mod quick_test;
+pub mod scan_access;
+
+mod level_sensor;
+mod ramp_gen;
+mod step_gen;
+
+pub use level_sensor::DcLevelSensor;
+pub use ramp_gen::RampGenerator;
+pub use step_gen::StepGenerator;

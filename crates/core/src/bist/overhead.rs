@@ -1,0 +1,86 @@
+//! Transistor-count overhead accounting of the BIST macros.
+//!
+//! The paper reports: ADC macro ≈ 250 gates / ≈1000 transistors; the
+//! analogue section of the testing macro adds 152 transistors, the
+//! digital section 484 (reusable for other digital areas of the chip).
+
+/// Transistor budget of the chip's functional and test sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadBudget {
+    /// Transistors in the ADC macro itself.
+    pub adc_transistors: u32,
+    /// Transistors in the analogue test macros.
+    pub analog_test_transistors: u32,
+    /// Transistors in the digital test structures.
+    pub digital_test_transistors: u32,
+}
+
+impl OverheadBudget {
+    /// The paper's published budget.
+    pub fn paper() -> Self {
+        OverheadBudget {
+            adc_transistors: 1000,
+            analog_test_transistors: 152,
+            digital_test_transistors: 484,
+        }
+    }
+
+    /// Total test transistors.
+    pub fn test_total(&self) -> u32 {
+        self.analog_test_transistors + self.digital_test_transistors
+    }
+
+    /// Test overhead as a fraction of the functional macro
+    /// (paper: 636 / 1000 = 63.6 %, though the digital part is shared
+    /// with the rest of the chip).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.test_total() as f64 / self.adc_transistors as f64
+    }
+
+    /// Overhead fraction when the digital test structures are amortised
+    /// over `sharing` functional blocks (the paper notes they "could
+    /// also be used to test further digital areas of a mixed chip").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sharing` is zero.
+    pub fn amortised_overhead_fraction(&self, sharing: u32) -> f64 {
+        assert!(sharing >= 1, "sharing factor must be at least 1");
+        (self.analog_test_transistors as f64
+            + self.digital_test_transistors as f64 / sharing as f64)
+            / self.adc_transistors as f64
+    }
+}
+
+impl Default for OverheadBudget {
+    fn default() -> Self {
+        OverheadBudget::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let b = OverheadBudget::paper();
+        assert_eq!(b.test_total(), 636);
+        assert!((b.overhead_fraction() - 0.636).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amortisation_reduces_overhead() {
+        let b = OverheadBudget::paper();
+        let alone = b.amortised_overhead_fraction(1);
+        let shared = b.amortised_overhead_fraction(4);
+        assert!((alone - 0.636).abs() < 1e-12);
+        assert!(shared < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_sharing_rejected() {
+        let _ = OverheadBudget::paper().amortised_overhead_fraction(0);
+    }
+}

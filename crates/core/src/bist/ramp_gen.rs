@@ -1,0 +1,151 @@
+//! The on-chip ramp generator macro.
+//!
+//! The paper's "ramp signal generator varied from 0 to 2.5 volts over a
+//! 1 Sec period, allowing time for 6 measurements at 200 mSec
+//! intervals". It also notes the blind spot this test has: a gain error
+//! in the ADC compensated by a matching gain error in the ramp leaves
+//! the output looking correct.
+
+use anasim::source::SourceWaveform;
+
+/// The on-chip ramp generator macro.
+///
+/// # Example
+///
+/// ```
+/// use msbist::bist::RampGenerator;
+///
+/// let rg = RampGenerator::paper();
+/// let times = rg.sample_times();
+/// assert_eq!(times.len(), 6);
+/// assert!((rg.value_at(times[1]) - 0.5).abs() < 1e-9); // 200 ms into a 2.5 V/s ramp
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampGenerator {
+    v_start: f64,
+    v_end: f64,
+    duration: f64,
+    samples: usize,
+    /// Relative gain error of the generator itself (the paper's caveat:
+    /// a ramp gain error can mask an ADC gain error).
+    gain_error: f64,
+}
+
+impl RampGenerator {
+    /// The paper's ramp: 0 → 2.5 V over 1 s, six samples at 200 ms.
+    pub fn paper() -> Self {
+        RampGenerator {
+            v_start: 0.0,
+            v_end: 2.5,
+            duration: 1.0,
+            samples: 6,
+            gain_error: 0.0,
+        }
+    }
+
+    /// A custom ramp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive or `samples` is zero.
+    pub fn new(v_start: f64, v_end: f64, duration: f64, samples: usize) -> Self {
+        assert!(duration > 0.0, "duration must be positive");
+        assert!(samples >= 1, "need at least one sample");
+        RampGenerator {
+            v_start,
+            v_end,
+            duration,
+            samples,
+            gain_error: 0.0,
+        }
+    }
+
+    /// Adds a generator gain error (e.g. `0.02` = ramp runs 2 % fast).
+    pub fn with_gain_error(mut self, rel: f64) -> Self {
+        self.gain_error = rel;
+        self
+    }
+
+    /// The generator's gain error.
+    pub fn gain_error(&self) -> f64 {
+        self.gain_error
+    }
+
+    /// Ramp duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// The value driven at time `t` (holds the end value after the
+    /// ramp).
+    pub fn value_at(&self, t: f64) -> f64 {
+        let span = (self.v_end - self.v_start) * (1.0 + self.gain_error);
+        if t <= 0.0 {
+            self.v_start
+        } else if t >= self.duration {
+            self.v_start + span
+        } else {
+            self.v_start + span * t / self.duration
+        }
+    }
+
+    /// The measurement instants: evenly spaced from the ramp start to
+    /// its end — six measurements at 200 ms intervals for the paper's
+    /// configuration.
+    pub fn sample_times(&self) -> Vec<f64> {
+        if self.samples == 1 {
+            return vec![self.duration / 2.0];
+        }
+        let dt = self.duration / (self.samples - 1) as f64;
+        (0..self.samples).map(|k| k as f64 * dt).collect()
+    }
+
+    /// The ramp as a simulator source waveform.
+    pub fn waveform(&self) -> SourceWaveform {
+        let span = (self.v_end - self.v_start) * (1.0 + self.gain_error);
+        SourceWaveform::ramp(self.v_start, self.v_start + span, self.duration)
+    }
+}
+
+impl Default for RampGenerator {
+    fn default() -> Self {
+        RampGenerator::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ramp_reaches_full_scale() {
+        let rg = RampGenerator::paper();
+        assert_eq!(rg.value_at(0.0), 0.0);
+        assert!((rg.value_at(1.0) - 2.5).abs() < 1e-12);
+        assert_eq!(rg.value_at(2.0), 2.5); // held
+    }
+
+    #[test]
+    fn six_samples_at_200ms_spacing() {
+        let times = RampGenerator::paper().sample_times();
+        assert_eq!(times.len(), 6);
+        for w in times.windows(2) {
+            assert!((w[1] - w[0] - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_error_scales_slope() {
+        let rg = RampGenerator::paper().with_gain_error(0.04);
+        assert!((rg.value_at(1.0) - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waveform_matches_value_at() {
+        let rg = RampGenerator::paper().with_gain_error(-0.02);
+        let w = rg.waveform();
+        for t in [0.0, 0.3, 0.77, 1.0, 1.5] {
+            assert!((w.value_at(t) - rg.value_at(t)).abs() < 1e-12);
+        }
+    }
+}

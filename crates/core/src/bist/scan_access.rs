@@ -1,0 +1,264 @@
+//! Scan-based serial test access.
+//!
+//! The paper's research background describes the standard mixed-signal
+//! DfT of its era: "The digital section includes scan architecture, so
+//! that the test data for the analogue section can be scanned in via
+//! scan shift registers and the response monitored and captured on the
+//! serial test bus via ADC macros." This module models that test bus at
+//! gate level: a command scan chain selects the analogue stimulus, the
+//! conversion result is captured in a latch bank, and the response is
+//! shifted back out serially.
+
+use digisim::circuit::Circuit;
+use digisim::components::{Register, ShiftRegister, StructuralMisr};
+use digisim::logic::Logic;
+
+use crate::adc::{AdcConverter, DualSlopeAdc};
+use crate::bist::StepGenerator;
+
+/// The serial test-access port around the ADC macro.
+///
+/// # Example
+///
+/// ```
+/// use msbist::adc::{AdcConverter, DualSlopeAdc};
+/// use msbist::bist::scan_access::SerialTestBus;
+///
+/// let mut bus = SerialTestBus::new();
+/// // Select step level 4 (1.8 V), run a conversion, read it back.
+/// bus.scan_in_command(4);
+/// let adc = DualSlopeAdc::ideal();
+/// bus.execute(&adc);
+/// assert_eq!(bus.scan_out_result(), adc.convert(1.8));
+/// ```
+#[derive(Debug)]
+pub struct SerialTestBus {
+    circuit: Circuit,
+    command: ShiftRegister,
+    result: Register,
+    /// Gate-level response analyser: every captured result is absorbed
+    /// so a whole session compresses to one signature on-chip.
+    analyzer: StructuralMisr,
+    generator: StepGenerator,
+    result_bits: usize,
+}
+
+impl SerialTestBus {
+    /// Command-register width: addresses up to 8 stimulus levels.
+    pub const COMMAND_BITS: usize = 3;
+
+    /// Builds the test bus with the paper's step generator as the
+    /// analogue stimulus source and a 9-bit result latch.
+    pub fn new() -> Self {
+        let mut circuit = Circuit::new();
+        let command = ShiftRegister::build(&mut circuit, "cmd", Self::COMMAND_BITS);
+        let result_bits = 9;
+        let result = Register::build(&mut circuit, "res", result_bits);
+        let analyzer = StructuralMisr::build(&mut circuit, "sig", result_bits, &[8, 4]);
+        let mut bus = SerialTestBus {
+            circuit,
+            command,
+            result,
+            analyzer,
+            generator: StepGenerator::paper(),
+            result_bits,
+        };
+        bus.analyzer.reset(&mut bus.circuit);
+        bus
+    }
+
+    /// Scans a stimulus-level index into the command chain, LSB last
+    /// (so the LSB ends in stage 0).
+    pub fn scan_in_command(&mut self, level_index: u8) {
+        for k in (0..Self::COMMAND_BITS).rev() {
+            self.command
+                .shift_in(&mut self.circuit, level_index >> k & 1 == 1);
+        }
+    }
+
+    /// The stimulus-level index currently held in the command chain,
+    /// `None` until a full command has been scanned in.
+    pub fn command_value(&self) -> Option<u8> {
+        // Stage 0 holds the most recently shifted bit = LSB.
+        self.command.read(&self.circuit).map(|w| w as u8)
+    }
+
+    /// Executes the selected test: routes the commanded step level to
+    /// the ADC, converts, and latches the code into the result register.
+    ///
+    /// Out-of-range commands select the highest level (the analogue
+    /// multiplexer saturates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no command has been scanned in.
+    pub fn execute(&mut self, adc: &DualSlopeAdc) {
+        let idx = self
+            .command_value()
+            .expect("scan a command in before executing") as usize;
+        let idx = idx.min(self.generator.levels().len() - 1);
+        let vin = self.generator.level(idx);
+        let code = adc.convert(vin);
+        self.result.load(&mut self.circuit, code);
+        self.analyzer.absorb(&mut self.circuit, code);
+    }
+
+    /// The gate-level session signature: the MISR compaction of every
+    /// result executed since the last reset.
+    pub fn response_signature(&self) -> Option<u64> {
+        self.analyzer.signature(&self.circuit)
+    }
+
+    /// Resets the response analyser for a new session.
+    pub fn reset_signature(&mut self) {
+        self.analyzer.reset(&mut self.circuit);
+    }
+
+    /// Reads the captured result in parallel (as the on-chip comparator
+    /// would).
+    pub fn result_value(&self) -> Option<u64> {
+        self.result.read(&self.circuit)
+    }
+
+    /// Shifts the captured result out serially, reconstructing the code
+    /// (models the tester reading the serial test bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no result has been captured.
+    pub fn scan_out_result(&mut self) -> u64 {
+        // The result register is parallel-out; a production scan path
+        // would mux it onto the chain. Model the serial read by sampling
+        // each latch output in turn.
+        let word = self
+            .result_value()
+            .expect("execute a test before scanning out");
+        // Re-serialise through the command chain to exercise the serial
+        // path end to end: shift the word through and rebuild it.
+        let mut rebuilt = 0u64;
+        for k in 0..self.result_bits {
+            let bit = word >> k & 1 == 1;
+            self.command.shift_in(&mut self.circuit, bit);
+            let observed = self.circuit.value(self.command.stages[0]);
+            if observed == Logic::One {
+                rebuilt |= 1 << k;
+            }
+        }
+        rebuilt
+    }
+
+    /// Runs the complete scan-test session: every generator level is
+    /// commanded, executed and read back; returns `(level, code)` pairs.
+    pub fn run_session(&mut self, adc: &DualSlopeAdc) -> Vec<(f64, u64)> {
+        (0..self.generator.levels().len())
+            .map(|idx| {
+                self.scan_in_command(idx as u8);
+                self.execute(adc);
+                let code = self.scan_out_result();
+                (self.generator.level(idx), code)
+            })
+            .collect()
+    }
+
+    /// Gate count of the digital test-access structures (scan chain,
+    /// result latch and response analyser), for overhead accounting.
+    pub fn gate_count(&self) -> usize {
+        self.circuit.gate_count()
+    }
+}
+
+impl Default for SerialTestBus {
+    fn default() -> Self {
+        SerialTestBus::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_scan_roundtrip() {
+        let mut bus = SerialTestBus::new();
+        for idx in 0..6u8 {
+            bus.scan_in_command(idx);
+            assert_eq!(bus.command_value(), Some(idx), "command {idx}");
+        }
+    }
+
+    #[test]
+    fn execute_latches_the_conversion() {
+        let mut bus = SerialTestBus::new();
+        let adc = DualSlopeAdc::ideal();
+        bus.scan_in_command(5); // 2.5 V
+        bus.execute(&adc);
+        assert_eq!(bus.result_value(), Some(adc.convert(2.5)));
+    }
+
+    #[test]
+    fn serial_readback_matches_parallel() {
+        let mut bus = SerialTestBus::new();
+        let adc = DualSlopeAdc::paper_measured();
+        bus.scan_in_command(3);
+        bus.execute(&adc);
+        let parallel = bus.result_value().unwrap();
+        assert_eq!(bus.scan_out_result(), parallel);
+    }
+
+    #[test]
+    fn full_session_matches_direct_conversions() {
+        let mut bus = SerialTestBus::new();
+        let adc = DualSlopeAdc::paper_measured();
+        let session = bus.run_session(&adc);
+        assert_eq!(session.len(), 6);
+        for (level, code) in session {
+            assert_eq!(code, adc.convert(level), "level {level}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_command_saturates() {
+        let mut bus = SerialTestBus::new();
+        let adc = DualSlopeAdc::ideal();
+        bus.scan_in_command(7);
+        bus.execute(&adc);
+        assert_eq!(bus.result_value(), Some(adc.convert(2.5)));
+    }
+
+    #[test]
+    fn structures_cost_gates() {
+        let bus = SerialTestBus::new();
+        // 3 scan stages + 9 latch DFFs + the 9-stage MISR (one XOR and
+        // one DFF per stage plus the feedback XOR).
+        assert!(bus.gate_count() > 25, "{}", bus.gate_count());
+    }
+
+    #[test]
+    fn session_signature_is_deterministic_and_sensitive() {
+        let run_session_sig = |adc: &DualSlopeAdc| {
+            let mut bus = SerialTestBus::new();
+            bus.run_session(adc);
+            bus.response_signature().expect("signature known")
+        };
+        let a = run_session_sig(&DualSlopeAdc::ideal());
+        let b = run_session_sig(&DualSlopeAdc::ideal());
+        assert_eq!(a, b);
+        // A grossly faulty device produces a different signature.
+        let faulty = DualSlopeAdc::with_errors(crate::adc::AdcErrorModel {
+            gain_error: 0.3,
+            ..crate::adc::AdcErrorModel::none()
+        });
+        assert_ne!(a, run_session_sig(&faulty));
+    }
+
+    #[test]
+    fn signature_reset_restores_seed() {
+        let mut bus = SerialTestBus::new();
+        let seed = bus.response_signature();
+        bus.scan_in_command(2);
+        bus.execute(&DualSlopeAdc::ideal());
+        assert_ne!(bus.response_signature(), seed);
+        bus.reset_signature();
+        assert_eq!(bus.response_signature(), seed);
+    }
+}

@@ -1,0 +1,180 @@
+//! The on-chip DC step input generator macro.
+//!
+//! A resistor-string DAC tapped at six levels; the paper's macro
+//! "produced voltage steps of 0, 0.59, 0.96, 1.41, 1.8 and 2.5 volts".
+
+use anasim::netlist::{Netlist, NodeId};
+use anasim::source::SourceWaveform;
+use macrolib::process::ProcessParams;
+
+/// The six step levels the paper's generator produces, in volts.
+pub const PAPER_STEP_LEVELS: [f64; 6] = [0.0, 0.59, 0.96, 1.41, 1.8, 2.5];
+
+/// The on-chip step generator macro.
+///
+/// # Example
+///
+/// ```
+/// use msbist::bist::StepGenerator;
+///
+/// let sg = StepGenerator::paper();
+/// assert_eq!(sg.levels().len(), 6);
+/// assert_eq!(sg.level(5), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepGenerator {
+    levels: Vec<f64>,
+    dwell: f64,
+}
+
+impl StepGenerator {
+    /// The paper's generator: six levels, one conversion slot each.
+    pub fn paper() -> Self {
+        StepGenerator {
+            levels: PAPER_STEP_LEVELS.to_vec(),
+            dwell: 10e-3,
+        }
+    }
+
+    /// A generator with custom levels and per-level dwell time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or `dwell` is not positive.
+    pub fn new(levels: Vec<f64>, dwell: f64) -> Self {
+        assert!(!levels.is_empty(), "need at least one level");
+        assert!(dwell > 0.0, "dwell must be positive");
+        StepGenerator { levels, dwell }
+    }
+
+    /// The step levels in application order.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// A single level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn level(&self, index: usize) -> f64 {
+        self.levels[index]
+    }
+
+    /// Time each level is held, seconds.
+    pub fn dwell(&self) -> f64 {
+        self.dwell
+    }
+
+    /// The staircase waveform the macro drives onto the ADC input.
+    pub fn waveform(&self) -> SourceWaveform {
+        let mut points = Vec::with_capacity(self.levels.len() * 2);
+        for (k, &v) in self.levels.iter().enumerate() {
+            let t0 = k as f64 * self.dwell;
+            points.push((t0, v));
+            points.push(((k + 1) as f64 * self.dwell - 1e-9, v));
+        }
+        SourceWaveform::Pwl(points)
+    }
+
+    /// Builds the generator as circuit hardware: a resistor-string DAC
+    /// between ground and a 2.5 V reference, with one tap node per
+    /// level. Returns the tap nodes in level order.
+    ///
+    /// This is the "available low-cost analogue CMOS macro" realisation;
+    /// its transistor/element cost feeds the overhead accounting.
+    pub fn build_resistor_string(
+        &self,
+        netlist: &mut Netlist,
+        prefix: &str,
+        process: &ProcessParams,
+    ) -> Vec<NodeId> {
+        let gnd = Netlist::GROUND;
+        let vtop = *self
+            .levels
+            .iter()
+            .last()
+            .expect("at least one level");
+        let top = netlist.node(&format!("{prefix}:top"));
+        netlist.vsource(&format!("{prefix}:VREF"), top, gnd, SourceWaveform::dc(vtop));
+
+        // Segment resistances proportional to the level gaps, on a
+        // 10 kΩ-total string (scaled by the die's resistor corner; taps
+        // are ratiometric, so the levels are process-insensitive).
+        let total_r = process.resistor(10e3);
+        let mut taps = Vec::with_capacity(self.levels.len());
+        let mut below = gnd;
+        let mut v_below = 0.0;
+        for (k, &v) in self.levels.iter().enumerate() {
+            let node = if v == 0.0 {
+                gnd
+            } else if (v - vtop).abs() < 1e-12 {
+                top
+            } else {
+                netlist.node(&format!("{prefix}:tap{k}"))
+            };
+            if node != gnd && node != top {
+                let r = total_r * (v - v_below) / vtop;
+                netlist.resistor(&format!("{prefix}:R{k}"), below, node, r.max(1.0));
+                below = node;
+                v_below = v;
+            }
+            taps.push(node);
+        }
+        // Final segment up to the reference.
+        if v_below < vtop {
+            let r = total_r * (vtop - v_below) / vtop;
+            netlist.resistor(&format!("{prefix}:Rtop"), below, top, r.max(1.0));
+        }
+        taps
+    }
+}
+
+impl Default for StepGenerator {
+    fn default() -> Self {
+        StepGenerator::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::dc_operating_point;
+
+    #[test]
+    fn paper_levels_are_the_published_six() {
+        let sg = StepGenerator::paper();
+        assert_eq!(sg.levels(), &[0.0, 0.59, 0.96, 1.41, 1.8, 2.5]);
+    }
+
+    #[test]
+    fn waveform_steps_through_levels() {
+        let sg = StepGenerator::new(vec![1.0, 2.0, 3.0], 1e-3);
+        let w = sg.waveform();
+        assert_eq!(w.value_at(0.5e-3), 1.0);
+        assert_eq!(w.value_at(1.5e-3), 2.0);
+        assert_eq!(w.value_at(2.5e-3), 3.0);
+    }
+
+    #[test]
+    fn resistor_string_taps_hit_levels() {
+        let sg = StepGenerator::paper();
+        let mut nl = Netlist::new();
+        let taps = sg.build_resistor_string(&mut nl, "sg", &ProcessParams::nominal());
+        let op = dc_operating_point(&nl).unwrap();
+        for (k, &tap) in taps.iter().enumerate() {
+            let v = op.voltage(tap);
+            assert!(
+                (v - sg.level(k)).abs() < 1e-3,
+                "tap {k}: {v} vs {}",
+                sg.level(k)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_levels_rejected() {
+        let _ = StepGenerator::new(vec![], 1.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Digital self-calibration from a measured transfer function.
+//!
+//! The paper's research background gives the converter measurements a
+//! second purpose: "This measurement can be used during the final
+//! complete ASUT test, to self-calibrate the ADC / DAC macros and
+//! formulate the required compensation in the remaining analogue
+//! macros." This module closes that loop: a characterisation becomes a
+//! per-code correction table, and the wrapped converter presents the
+//! corrected transfer.
+//!
+//! Scope: a lookup table relabels codes but cannot move transition
+//! positions, so it corrects the *smooth* error components — offset,
+//! gain, integrator-leak bow — down to the ±0.5 LSB relabelling
+//! granularity, while sub-code ripple (the DNL saw-tooth) is
+//! untouchable digitally and needs analogue trim. Relabelling also
+//! redistributes code widths, so post-calibration DNL approaches 1 LSB
+//! wherever codes were merged or stretched.
+
+use crate::adc::AdcConverter;
+use crate::charac::Characterisation;
+
+/// A per-code digital correction table derived from a characterisation.
+///
+/// Each raw code maps to the code the *ideal* converter would have
+/// produced for the measured transition position — a lookup that
+/// removes offset, gain and INL to the resolution of the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrectionTable {
+    first_code: u64,
+    /// `corrected[k]` is the replacement for raw code `first_code + k`.
+    corrected: Vec<u64>,
+}
+
+impl CorrectionTable {
+    /// Builds the table from a characterisation.
+    ///
+    /// A lookup table can relabel codes but cannot move their
+    /// transitions, so each raw code is assigned the ideal code whose
+    /// transition is *nearest* the raw code's own measured transition —
+    /// minimising the residual INL of the relabelled transfer.
+    pub fn from_characterisation(c: &Characterisation) -> Self {
+        let lsb = c.lsb;
+        let first_code = c.first_code;
+        // transitions[i] is the input where code first_code+1+i begins;
+        // the ideal converter's code k begins at exactly k·lsb.
+        let corrected = c
+            .transitions
+            .iter()
+            .map(|&t| (t / lsb).round().max(0.0) as u64)
+            .collect();
+        CorrectionTable {
+            first_code: first_code + 1,
+            corrected,
+        }
+    }
+
+    /// Corrects a raw code (identity outside the calibrated range).
+    pub fn correct(&self, raw: u64) -> u64 {
+        if raw < self.first_code {
+            return raw;
+        }
+        let idx = (raw - self.first_code) as usize;
+        self.corrected.get(idx).copied().unwrap_or(raw)
+    }
+
+    /// Number of calibrated codes.
+    pub fn len(&self) -> usize {
+        self.corrected.len()
+    }
+
+    /// True if no codes were calibrated.
+    pub fn is_empty(&self) -> bool {
+        self.corrected.is_empty()
+    }
+}
+
+/// A converter with the digital correction applied after conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratedAdc<A> {
+    inner: A,
+    table: CorrectionTable,
+}
+
+impl<A: AdcConverter> CalibratedAdc<A> {
+    /// Wraps `adc` with the given correction table.
+    pub fn new(adc: A, table: CorrectionTable) -> Self {
+        CalibratedAdc { inner: adc, table }
+    }
+
+    /// Characterises `adc` over `codes` codes and wraps it with the
+    /// resulting correction (the full self-calibration flow).
+    pub fn self_calibrated(adc: A, codes: u64) -> Self {
+        let c = crate::charac::characterise(&adc, codes);
+        let table = CorrectionTable::from_characterisation(&c);
+        CalibratedAdc { inner: adc, table }
+    }
+
+    /// The correction table in use.
+    pub fn table(&self) -> &CorrectionTable {
+        &self.table
+    }
+
+    /// The wrapped converter.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: AdcConverter> AdcConverter for CalibratedAdc<A> {
+    fn convert(&self, vin: f64) -> u64 {
+        self.table.correct(self.inner.convert(vin))
+    }
+
+    fn full_scale(&self) -> f64 {
+        self.inner.full_scale()
+    }
+
+    fn full_count(&self) -> u64 {
+        self.inner.full_count()
+    }
+
+    fn conversion_time(&self, vin: f64) -> f64 {
+        self.inner.conversion_time(vin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::spec::AdcSpecification;
+    use crate::adc::{AdcErrorModel, DualSlopeAdc};
+    use crate::charac::characterise;
+
+    #[test]
+    fn identity_on_an_ideal_converter() {
+        let adc = DualSlopeAdc::ideal();
+        let cal = CalibratedAdc::self_calibrated(adc, 60);
+        for k in 1..60u64 {
+            let vin = k as f64 * 0.010 + 0.003;
+            assert_eq!(cal.convert(vin), adc.convert(vin), "code {k}");
+        }
+    }
+
+    #[test]
+    fn calibration_removes_offset_and_gain() {
+        let adc = DualSlopeAdc::with_errors(AdcErrorModel {
+            offset_v: 0.02,    // 2 LSB
+            gain_error: 0.015, // ~1.5 LSB at code 100
+            ..AdcErrorModel::none()
+        });
+        let cal = CalibratedAdc::self_calibrated(adc, 110);
+        let c = characterise(&cal, 100);
+        assert!(c.offset_lsb.abs() < 0.6, "offset {}", c.offset_lsb);
+        assert!(c.gain_error_lsb.abs() < 0.8, "gain {}", c.gain_error_lsb);
+    }
+
+    #[test]
+    fn leak_bow_is_substantially_corrected() {
+        // The headline application: a macro whose smooth INL bow puts it
+        // far out of spec is pulled back to the relabelling floor
+        // (~1 LSB: ±0.5 of code reassignment plus the endpoint-fit
+        // convention) by the self-calibration the paper's background
+        // proposes.
+        let raw = DualSlopeAdc::with_errors(AdcErrorModel {
+            leak_per_s: 40.0,
+            offset_v: 0.003,
+            gain_error: -0.01,
+            ..AdcErrorModel::none()
+        });
+        let before = characterise(&raw, 200);
+        assert!(
+            before.max_inl_lsb() > 2.0,
+            "raw INL {} should be far out of spec",
+            before.max_inl_lsb()
+        );
+        assert!(!AdcSpecification::paper().check(&before).passed());
+
+        let cal = CalibratedAdc::self_calibrated(raw, 230);
+        let after = characterise(&cal, 200);
+        assert!(
+            after.max_inl_lsb() < 1.1,
+            "INL after calibration {}",
+            after.max_inl_lsb()
+        );
+        assert!(
+            after.max_inl_lsb() < before.max_inl_lsb() - 0.8,
+            "calibration gained too little: {} -> {}",
+            before.max_inl_lsb(),
+            after.max_inl_lsb()
+        );
+    }
+
+    #[test]
+    fn ripple_is_beyond_digital_calibration() {
+        // Counter-experiment documenting the scope limit: sub-code
+        // ripple cannot be relabelled away.
+        let raw = DualSlopeAdc::paper_measured();
+        let cal = CalibratedAdc::self_calibrated(raw, 110);
+        let after = characterise(&cal, 100);
+        assert!(
+            after.max_dnl_lsb() > 0.8,
+            "ripple DNL should remain, got {}",
+            after.max_dnl_lsb()
+        );
+    }
+
+    #[test]
+    fn out_of_range_codes_pass_through() {
+        let table = CorrectionTable::from_characterisation(&characterise(
+            &DualSlopeAdc::ideal(),
+            40,
+        ));
+        assert_eq!(table.correct(0), 0);
+        assert_eq!(table.correct(400), 400);
+    }
+
+    #[test]
+    fn timing_is_unchanged_by_calibration() {
+        let adc = DualSlopeAdc::paper_measured();
+        let cal = CalibratedAdc::self_calibrated(adc, 60);
+        assert_eq!(cal.conversion_time(1.0), adc.conversion_time(1.0));
+        assert_eq!(cal.full_count(), adc.full_count());
+    }
+}

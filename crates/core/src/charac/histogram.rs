@@ -1,0 +1,190 @@
+//! Histogram (code-density) characterisation.
+//!
+//! The industry-standard alternative to the transition-level sweep the
+//! paper's "full manual test" performed: apply an input of known
+//! amplitude density (a slow linear ramp gives a uniform density),
+//! record how often each output code occurs, and derive DNL from the
+//! bin counts and INL by accumulation. On-chip, this needs only the
+//! BIST ramp generator plus a counter per code — the natural production
+//! follow-on to the bench characterisation of [`super::characterise`].
+
+use crate::adc::AdcConverter;
+
+/// Result of a histogram characterisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramCharacterisation {
+    /// First interior code analysed.
+    pub first_code: u64,
+    /// Occurrence count per analysed code.
+    pub counts: Vec<u64>,
+    /// Per-code DNL in LSB (`counts/mean − 1`).
+    pub dnl: Vec<f64>,
+    /// INL in LSB by DNL accumulation (endpoint-corrected).
+    pub inl: Vec<f64>,
+    /// Codes with zero hits (missing codes).
+    pub missing_codes: Vec<u64>,
+}
+
+impl HistogramCharacterisation {
+    /// Maximum |DNL| in LSB.
+    pub fn max_dnl_lsb(&self) -> f64 {
+        self.dnl.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Maximum |INL| in LSB.
+    pub fn max_inl_lsb(&self) -> f64 {
+        self.inl.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// `(code, dnl)` pairs.
+    pub fn dnl_series(&self) -> Vec<(u64, f64)> {
+        self.dnl
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (self.first_code + k as u64, v))
+            .collect()
+    }
+}
+
+/// Characterises a converter by code density over its first `codes`
+/// codes, sampling the ramp `samples_per_code` times per nominal LSB.
+///
+/// The first and last analysed codes absorb the ramp's end effects and
+/// are excluded, as is standard for histogram testing.
+///
+/// # Panics
+///
+/// Panics if `codes < 5`, `samples_per_code == 0`, or `codes` exceeds
+/// the converter range.
+pub fn characterise_histogram<A: AdcConverter>(
+    adc: &A,
+    codes: u64,
+    samples_per_code: usize,
+) -> HistogramCharacterisation {
+    assert!(codes >= 5, "need at least 5 codes");
+    assert!(samples_per_code >= 1, "need at least one sample per code");
+    assert!(
+        codes <= adc.full_count(),
+        "codes exceeds the converter range"
+    );
+    let lsb = adc.lsb();
+
+    // Uniform-density ramp over [0, codes·lsb) with end margin.
+    let total = codes as usize * samples_per_code;
+    let mut hist = vec![0u64; codes as usize + 2];
+    for k in 0..total {
+        // Sample mid-step to avoid systematic alignment with transitions.
+        let vin = (k as f64 + 0.5) / samples_per_code as f64 * lsb;
+        let code = adc.convert(vin).min(codes + 1) as usize;
+        hist[code] += 1;
+    }
+
+    // Interior codes only (1..codes-1): the ends absorb offset/clipping.
+    let first_code = 1u64;
+    let interior = &hist[1..codes as usize - 1];
+    let counts: Vec<u64> = interior.to_vec();
+    let missing_codes: Vec<u64> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c == 0)
+        .map(|(k, _)| first_code + k as u64)
+        .collect();
+
+    let mean = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
+    let dnl: Vec<f64> = counts.iter().map(|&c| c as f64 / mean - 1.0).collect();
+
+    // INL by accumulation, endpoint-corrected so INL starts and ends at 0.
+    let mut inl = Vec::with_capacity(dnl.len());
+    let mut acc = 0.0;
+    for &d in &dnl {
+        acc += d;
+        inl.push(acc);
+    }
+    let n = inl.len().max(1);
+    let end = *inl.last().unwrap_or(&0.0);
+    for (k, v) in inl.iter_mut().enumerate() {
+        *v -= end * (k + 1) as f64 / n as f64;
+    }
+
+    HistogramCharacterisation {
+        first_code,
+        counts,
+        dnl,
+        inl,
+        missing_codes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::{AdcErrorModel, DualSlopeAdc};
+    use crate::charac::characterise;
+
+    #[test]
+    fn ideal_adc_has_flat_histogram() {
+        let h = characterise_histogram(&DualSlopeAdc::ideal(), 50, 64);
+        assert!(h.max_dnl_lsb() < 0.05, "dnl {}", h.max_dnl_lsb());
+        assert!(h.max_inl_lsb() < 0.1, "inl {}", h.max_inl_lsb());
+        assert!(h.missing_codes.is_empty());
+        // Every interior bin holds roughly samples_per_code hits.
+        for &c in &h.counts {
+            assert!((c as i64 - 64).abs() <= 3, "count {c}");
+        }
+    }
+
+    #[test]
+    fn histogram_and_sweep_agree_on_dnl() {
+        // The two independent methods must produce the same DNL profile
+        // for the paper-measured macro.
+        let adc = DualSlopeAdc::paper_measured();
+        let h = characterise_histogram(&adc, 100, 64);
+        let s = characterise(&adc, 100);
+        let sweep: std::collections::HashMap<u64, f64> = s.dnl_series().into_iter().collect();
+        let mut compared = 0;
+        for (code, dnl_h) in h.dnl_series() {
+            if let Some(&dnl_s) = sweep.get(&code) {
+                assert!(
+                    (dnl_h - dnl_s).abs() < 0.15,
+                    "code {code}: histogram {dnl_h:.3} vs sweep {dnl_s:.3}"
+                );
+                compared += 1;
+            }
+        }
+        assert!(compared > 80, "only {compared} codes compared");
+    }
+
+    #[test]
+    fn histogram_flags_starved_bins() {
+        // A violent ripple makes the transfer non-monotone: some code
+        // bins starve (strongly negative DNL) while neighbours bloat.
+        let adc = DualSlopeAdc::with_errors(AdcErrorModel {
+            ripple_v: 0.02,
+            ripple_period_codes: 7.0,
+            ..AdcErrorModel::none()
+        });
+        let h = characterise_histogram(&adc, 60, 32);
+        // Non-monotone transfer redistributes hits, so bins starve
+        // without fully closing.
+        assert!(
+            h.dnl.iter().any(|&d| d < -0.5),
+            "no starved bins: min {}",
+            h.dnl.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+        );
+        assert!(h.max_dnl_lsb() >= 1.0);
+    }
+
+    #[test]
+    fn inl_is_endpoint_corrected() {
+        let adc = DualSlopeAdc::paper_measured();
+        let h = characterise_histogram(&adc, 80, 32);
+        let last = *h.inl.last().expect("non-empty");
+        assert!(last.abs() < 1e-9, "endpoint INL {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5")]
+    fn too_few_codes_rejected() {
+        let _ = characterise_histogram(&DualSlopeAdc::ideal(), 3, 8);
+    }
+}

@@ -1,0 +1,231 @@
+//! DAC characterisation and the DAC→ADC loopback self-test.
+//!
+//! The paper's background positions the converter pair as the core of
+//! mixed-signal self-test: measure the converters' transfer functions,
+//! then use them to test (and self-calibrate for) the remaining
+//! analogue macros. This module provides the DAC side — static
+//! characterisation mirroring [`crate::charac`] — and the on-chip
+//! loopback test that exercises both converters without any analogue
+//! I/O.
+
+use macrolib::dac::BinaryDac;
+
+use crate::adc::AdcConverter;
+
+/// A digital-to-analogue converter under test.
+pub trait DacConverter {
+    /// The analogue output for a code.
+    fn output(&self, code: u64) -> f64;
+
+    /// Resolution in bits.
+    fn bits(&self) -> u32;
+
+    /// Full-scale reference voltage.
+    fn vref(&self) -> f64;
+
+    /// Nominal LSB in volts.
+    fn lsb(&self) -> f64 {
+        self.vref() / (1u64 << self.bits()) as f64
+    }
+
+    /// Number of codes.
+    fn code_count(&self) -> u64 {
+        1u64 << self.bits()
+    }
+}
+
+impl DacConverter for BinaryDac {
+    fn output(&self, code: u64) -> f64 {
+        BinaryDac::output(self, code)
+    }
+
+    fn bits(&self) -> u32 {
+        BinaryDac::bits(self)
+    }
+
+    fn vref(&self) -> f64 {
+        BinaryDac::vref(self)
+    }
+}
+
+/// Static characterisation of a DAC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DacCharacterisation {
+    /// Nominal LSB, volts.
+    pub lsb: f64,
+    /// Offset error in LSB (output at code 0).
+    pub offset_lsb: f64,
+    /// Gain error in LSB (full-scale deviation after offset removal).
+    pub gain_error_lsb: f64,
+    /// Per-code DNL in LSB.
+    pub dnl: Vec<f64>,
+    /// Per-code INL in LSB against the endpoint line.
+    pub inl: Vec<f64>,
+    /// True if the transfer is monotonic.
+    pub monotonic: bool,
+}
+
+impl DacCharacterisation {
+    /// Maximum |DNL| in LSB.
+    pub fn max_dnl_lsb(&self) -> f64 {
+        self.dnl.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Maximum |INL| in LSB.
+    pub fn max_inl_lsb(&self) -> f64 {
+        self.inl.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+}
+
+/// Characterises a DAC over its full code range by direct output
+/// measurement.
+pub fn characterise_dac<D: DacConverter>(dac: &D) -> DacCharacterisation {
+    let lsb = dac.lsb();
+    let n = dac.code_count();
+    let outputs: Vec<f64> = (0..n).map(|c| dac.output(c)).collect();
+
+    let offset_lsb = outputs[0] / lsb;
+    let ideal_span = (n - 1) as f64 * lsb;
+    let gain_error_lsb = (outputs[n as usize - 1] - outputs[0] - ideal_span) / lsb;
+
+    // Endpoint line.
+    let fit = |code: u64| {
+        outputs[0] + (outputs[n as usize - 1] - outputs[0]) * code as f64 / (n - 1) as f64
+    };
+    let inl: Vec<f64> = (0..n).map(|c| (outputs[c as usize] - fit(c)) / lsb).collect();
+    let dnl: Vec<f64> = outputs
+        .windows(2)
+        .map(|w| (w[1] - w[0]) / lsb - 1.0)
+        .collect();
+    let monotonic = outputs.windows(2).all(|w| w[1] >= w[0]);
+
+    DacCharacterisation {
+        lsb,
+        offset_lsb,
+        gain_error_lsb,
+        dnl,
+        inl,
+        monotonic,
+    }
+}
+
+/// Result of the DAC→ADC loopback self-test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopbackReport {
+    /// `(dac code, adc code)` pairs.
+    pub readings: Vec<(u64, u64)>,
+    /// Worst absolute code error after removing the scale factor.
+    pub max_code_error: f64,
+    /// Scale factor between DAC and ADC code spaces.
+    pub scale: f64,
+}
+
+impl LoopbackReport {
+    /// True if every reading lands within `tol` ADC codes of the scaled
+    /// DAC code.
+    pub fn passed(&self, tol: f64) -> bool {
+        self.max_code_error <= tol
+    }
+}
+
+/// Runs the loopback: the DAC drives the ADC at `points` evenly spaced
+/// codes; readings are compared against the expected scaled codes.
+///
+/// This is the paper-background self-test topology: both converters are
+/// exercised on-chip and a single digital comparison closes the loop.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+pub fn loopback_test<D: DacConverter, A: AdcConverter>(
+    dac: &D,
+    adc: &A,
+    points: usize,
+) -> LoopbackReport {
+    assert!(points >= 2, "need at least two loopback points");
+    // Code-space scale: ADC codes per DAC code.
+    let scale = (dac.lsb() / adc.lsb()) * (adc.full_scale() / adc.full_scale());
+    let n = dac.code_count();
+    let mut readings = Vec::with_capacity(points);
+    let mut max_code_error: f64 = 0.0;
+    for k in 0..points {
+        let dac_code = (k as u64 * (n - 1)) / (points as u64 - 1);
+        let v = dac.output(dac_code);
+        let adc_code = adc.convert(v);
+        let expect = dac_code as f64 * scale;
+        max_code_error = max_code_error.max((adc_code as f64 - expect).abs());
+        readings.push((dac_code, adc_code));
+    }
+    LoopbackReport {
+        readings,
+        max_code_error,
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::DualSlopeAdc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_dac_characterises_cleanly() {
+        let c = characterise_dac(&BinaryDac::ideal(8, 2.56));
+        assert!(c.offset_lsb.abs() < 1e-9);
+        assert!(c.gain_error_lsb.abs() < 1e-9);
+        assert!(c.max_dnl_lsb() < 1e-9);
+        assert!(c.max_inl_lsb() < 1e-9);
+        assert!(c.monotonic);
+    }
+
+    #[test]
+    fn msb_fault_breaks_monotonicity_and_dnl() {
+        let dac = BinaryDac::ideal(8, 2.56).with_bit_weight(7, 0.97);
+        let c = characterise_dac(&dac);
+        assert!(!c.monotonic);
+        assert!(c.max_dnl_lsb() > 1.0, "dnl {}", c.max_dnl_lsb());
+    }
+
+    #[test]
+    fn matched_elements_keep_dnl_small() {
+        let dac = BinaryDac::with_mismatch(8, 2.56, 0.001, &mut StdRng::seed_from_u64(1));
+        let c = characterise_dac(&dac);
+        assert!(c.max_dnl_lsb() < 0.5, "dnl {}", c.max_dnl_lsb());
+        assert!(c.monotonic);
+    }
+
+    #[test]
+    fn loopback_of_healthy_converters_passes() {
+        // An 8-bit, 2.5 V DAC into the 10 mV/LSB ADC: scale ~ 0.977.
+        let dac = BinaryDac::ideal(8, 2.5);
+        let adc = DualSlopeAdc::paper_measured();
+        let report = loopback_test(&dac, &adc, 32);
+        assert!(
+            report.passed(2.5),
+            "max error {} codes",
+            report.max_code_error
+        );
+    }
+
+    #[test]
+    fn loopback_catches_a_dead_dac_bit() {
+        let dac = BinaryDac::ideal(8, 2.5).with_bit_weight(7, 0.0); // MSB dead
+        let adc = DualSlopeAdc::paper_measured();
+        let report = loopback_test(&dac, &adc, 32);
+        assert!(!report.passed(2.5));
+        assert!(report.max_code_error > 50.0);
+    }
+
+    #[test]
+    fn loopback_catches_a_gross_adc_fault() {
+        let dac = BinaryDac::ideal(8, 2.5);
+        let adc = DualSlopeAdc::with_errors(crate::adc::AdcErrorModel {
+            gain_error: 0.2,
+            ..crate::adc::AdcErrorModel::none()
+        });
+        let report = loopback_test(&dac, &adc, 32);
+        assert!(!report.passed(2.5));
+    }
+}

@@ -1,0 +1,146 @@
+//! Virtual dies: the stand-in for the paper's batch of ten fabricated
+//! devices.
+//!
+//! Each die samples the 5 µm process ([`macrolib::process`]) and maps its
+//! parameter deviations onto the ADC macro's error model, so a batch of
+//! dies behaves like a batch of real chips: every one slightly
+//! different, all nominally within specification.
+
+use macrolib::process::{ProcessParams, VariationModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adc::{AdcErrorModel, DualSlopeAdc};
+
+/// One simulated fabricated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualDie {
+    /// Die index within its batch.
+    pub index: usize,
+    /// The sampled process corner.
+    pub process: ProcessParams,
+    /// The die's ADC macro.
+    pub adc: DualSlopeAdc,
+}
+
+impl VirtualDie {
+    /// Builds a die from a sampled process corner.
+    ///
+    /// Mapping from process deviation to macro errors:
+    /// * threshold mismatch appears as input-referred offset,
+    /// * resistor/capacitor spread perturbs the reference path (gain),
+    /// * beta spread weakly modulates integrator leakage.
+    pub fn from_process(index: usize, process: ProcessParams) -> Self {
+        let base = AdcErrorModel::paper_measured();
+        let dvt = process.nmos.vt0 - 1.0;
+        let dr = process.resistor_scale - 1.0;
+        let dc = process.capacitor_scale - 1.0;
+        let dbeta = process.nmos.beta / 40e-6 - 1.0;
+        let errors = AdcErrorModel {
+            offset_v: base.offset_v + 0.02 * dvt,
+            gain_error: base.gain_error + 0.01 * (dr + dc),
+            leak_per_s: (base.leak_per_s * (1.0 + 0.5 * dbeta)).max(0.0),
+            ..base
+        };
+        VirtualDie {
+            index,
+            process,
+            adc: DualSlopeAdc::with_errors(errors),
+        }
+    }
+}
+
+/// A batch of virtual dies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieBatch {
+    dies: Vec<VirtualDie>,
+}
+
+impl DieBatch {
+    /// "Fabricates" a batch of `count` dies with the given variation
+    /// model and seed (the paper's batch had ten devices).
+    pub fn fabricate(count: usize, variation: &VariationModel, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dies = variation
+            .sample_batch(&mut rng, count)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| VirtualDie::from_process(i, p))
+            .collect();
+        DieBatch { dies }
+    }
+
+    /// Number of dies.
+    pub fn len(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// True if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dies.is_empty()
+    }
+
+    /// Iterates over the dies.
+    pub fn iter(&self) -> std::slice::Iter<'_, VirtualDie> {
+        self.dies.iter()
+    }
+
+    /// The dies as a slice.
+    pub fn dies(&self) -> &[VirtualDie] {
+        &self.dies
+    }
+}
+
+impl<'a> IntoIterator for &'a DieBatch {
+    type Item = &'a VirtualDie;
+    type IntoIter = std::slice::Iter<'a, VirtualDie>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.dies.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::AdcConverter;
+
+    #[test]
+    fn batch_is_reproducible() {
+        let a = DieBatch::fabricate(10, &VariationModel::typical(), 1996);
+        let b = DieBatch::fabricate(10, &VariationModel::typical(), 1996);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn dies_differ_from_each_other() {
+        let batch = DieBatch::fabricate(10, &VariationModel::typical(), 7);
+        let first = &batch.dies()[0];
+        assert!(batch
+            .iter()
+            .skip(1)
+            .any(|d| d.adc.errors() != first.adc.errors()));
+    }
+
+    #[test]
+    fn typical_dies_convert_close_to_nominal() {
+        let batch = DieBatch::fabricate(10, &VariationModel::typical(), 42);
+        for die in &batch {
+            let code = die.adc.convert(1.25);
+            assert!(
+                (code as i64 - 125).abs() <= 4,
+                "die {} gave {code}",
+                die.index
+            );
+        }
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let batch = DieBatch::fabricate(5, &VariationModel::typical(), 0);
+        for (k, die) in batch.iter().enumerate() {
+            assert_eq!(die.index, k);
+        }
+    }
+}

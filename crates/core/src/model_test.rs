@@ -1,0 +1,274 @@
+//! Model-based testing: critical-parameter extraction across a device
+//! population.
+//!
+//! The paper's background cites Souders & Stenbakken [ref 6]: repeated
+//! testing of many devices of one design builds a functional model
+//! whose analysis "reveals a critical number of variables in the
+//! system" — their 13-bit ADC needed over 8000 tests on 50 devices to
+//! find 18 critical parameters, which reduced the production test to 18
+//! measurements. This module reproduces that flow at our scale: the
+//! INL vectors of a simulated batch are decomposed by principal
+//! components, the dominant components *are* the critical parameters,
+//! and the test-point selector picks the few codes that observe them.
+
+use linsys::matrix::{top_eigenpairs, Matrix};
+use macrolib::process::VariationModel;
+
+use crate::adc::DualSlopeAdc;
+use crate::charac::characterise_with_resolution;
+use crate::device::{DieBatch, VirtualDie};
+
+/// Result of the critical-parameter analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalParameterAnalysis {
+    /// Number of devices analysed.
+    pub devices: usize,
+    /// Mean INL vector across the population (LSB per code).
+    pub mean: Vec<f64>,
+    /// Per-component `(variance, component vector)` pairs, strongest
+    /// first.
+    pub components: Vec<(f64, Vec<f64>)>,
+    /// Total variance across all codes.
+    pub total_variance: f64,
+}
+
+impl CriticalParameterAnalysis {
+    /// Fraction (0–1) of the population variance the first `k`
+    /// components explain.
+    pub fn explained_variance(&self, k: usize) -> f64 {
+        if self.total_variance <= 0.0 {
+            return 1.0;
+        }
+        let sum: f64 = self.components.iter().take(k).map(|(l, _)| l.max(0.0)).sum();
+        (sum / self.total_variance).min(1.0)
+    }
+
+    /// The number of components needed to explain `fraction` of the
+    /// variance — the "critical number of variables".
+    pub fn critical_count(&self, fraction: f64) -> usize {
+        for k in 1..=self.components.len() {
+            if self.explained_variance(k) >= fraction {
+                return k;
+            }
+        }
+        self.components.len()
+    }
+
+    /// Selects one test code per critical component: the code where the
+    /// component's magnitude peaks — the reduced production-test set of
+    /// the Souders flow.
+    pub fn critical_test_codes(&self, k: usize) -> Vec<usize> {
+        self.components
+            .iter()
+            .take(k)
+            .map(|(_, v)| {
+                v.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                    .map(|(idx, _)| idx)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Analyses a batch: characterises every die over `codes` codes, forms
+/// the centred INL matrix, and extracts the top `k` principal
+/// components of its covariance by power iteration.
+///
+/// Uses each die's own ADC model; see
+/// [`critical_parameters_with`] to analyse a different device mapping
+/// (e.g. smooth-error-only devices, whose INL population is low rank).
+///
+/// # Panics
+///
+/// Panics if `count < 3` or `codes < 8`.
+pub fn critical_parameters(
+    count: usize,
+    variation: &VariationModel,
+    seed: u64,
+    codes: u64,
+    k: usize,
+) -> CriticalParameterAnalysis {
+    critical_parameters_with(count, variation, seed, codes, k, |die| die.adc)
+}
+
+/// Like [`critical_parameters`] but with a custom die→converter
+/// mapping.
+///
+/// # Panics
+///
+/// Panics if `count < 3` or `codes < 8`.
+pub fn critical_parameters_with<F>(
+    count: usize,
+    variation: &VariationModel,
+    seed: u64,
+    codes: u64,
+    k: usize,
+    device: F,
+) -> CriticalParameterAnalysis
+where
+    F: Fn(&VirtualDie) -> DualSlopeAdc,
+{
+    assert!(count >= 3, "need at least three devices");
+    assert!(codes >= 8, "need at least eight codes");
+    let batch = DieBatch::fabricate(count, variation, seed);
+
+    // Collect INL vectors at high ramp resolution (the transition
+    // quantisation of the default sweep would otherwise swamp the
+    // population structure); truncate to the shortest so rows align.
+    let mut rows: Vec<Vec<f64>> = batch
+        .iter()
+        .map(|die| characterise_with_resolution(&device(die), codes, 256).inl)
+        .collect();
+    let width = rows.iter().map(Vec::len).min().expect("non-empty batch");
+    for r in &mut rows {
+        r.truncate(width);
+    }
+
+    // Centre.
+    let mut mean = vec![0.0; width];
+    for r in &rows {
+        for (m, v) in mean.iter_mut().zip(r) {
+            *m += v;
+        }
+    }
+    mean.iter_mut().for_each(|m| *m /= rows.len() as f64);
+    for r in &mut rows {
+        for (v, m) in r.iter_mut().zip(&mean) {
+            *v -= m;
+        }
+    }
+
+    // Covariance C = X^T X / (n-1).
+    let mut cov = Matrix::zeros(width, width);
+    for r in &rows {
+        for i in 0..width {
+            if r[i] == 0.0 {
+                continue;
+            }
+            for j in 0..width {
+                cov[(i, j)] += r[i] * r[j];
+            }
+        }
+    }
+    let denom = (rows.len() - 1) as f64;
+    for i in 0..width {
+        for j in 0..width {
+            cov[(i, j)] /= denom;
+        }
+    }
+    let total_variance = (0..width).map(|i| cov[(i, i)]).sum();
+
+    let components = top_eigenpairs(&cov, k.min(width), 300);
+    CriticalParameterAnalysis {
+        devices: count,
+        mean,
+        components,
+        total_variance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_population_is_low_rank() {
+        // Devices whose only die-to-die differences are the smooth
+        // knobs (offset, gain, leak): the endpoint fit removes offset
+        // and gain from INL entirely, leaving the leak bow — a RANK-ONE
+        // population, the cleanest case of the Souders result. The
+        // sweep must cover enough of the range that the bow survives
+        // the endpoint fit.
+        let analysis = critical_parameters_with(
+            24,
+            &VariationModel::loose(),
+            1996,
+            200,
+            4,
+            |die| {
+                let base = die.adc.errors();
+                DualSlopeAdc::with_errors(crate::adc::AdcErrorModel {
+                    ripple_v: 0.0,
+                    slow_ripple_v: 0.0,
+                    noise_v: 0.0,
+                    ..*base
+                })
+            },
+        );
+        assert_eq!(analysis.devices, 24);
+        let critical = analysis.critical_count(0.95);
+        assert!(
+            critical <= 2,
+            "needed {critical} components for 95 % variance"
+        );
+    }
+
+    #[test]
+    fn ripple_interaction_raises_the_rank() {
+        // With the full error model, die-dependent offsets re-sample the
+        // fixed SC ripple differently on every die — a nonlinear
+        // interaction that spreads INL variance across many components.
+        // The contrast with the smooth case is the module's finding.
+        let full = critical_parameters(24, &VariationModel::typical(), 1996, 200, 6);
+        let smooth = critical_parameters_with(
+            24,
+            &VariationModel::typical(),
+            1996,
+            200,
+            6,
+            |die| {
+                let base = die.adc.errors();
+                DualSlopeAdc::with_errors(crate::adc::AdcErrorModel {
+                    ripple_v: 0.0,
+                    slow_ripple_v: 0.0,
+                    noise_v: 0.0,
+                    ..*base
+                })
+            },
+        );
+        assert!(
+            full.critical_count(0.9) > smooth.critical_count(0.9),
+            "full {} vs smooth {}",
+            full.critical_count(0.9),
+            smooth.critical_count(0.9)
+        );
+    }
+
+    #[test]
+    fn variance_accounting_is_consistent() {
+        let analysis = critical_parameters(12, &VariationModel::typical(), 7, 40, 4);
+        // Explained variance is monotone non-decreasing and bounded.
+        let mut last = 0.0;
+        for k in 1..=4 {
+            let e = analysis.explained_variance(k);
+            assert!(e >= last - 1e-12 && e <= 1.0 + 1e-12, "k={k}: {e}");
+            last = e;
+        }
+        assert!(analysis.total_variance >= 0.0);
+    }
+
+    #[test]
+    fn critical_codes_are_in_range_and_distinctive() {
+        let analysis = critical_parameters(16, &VariationModel::loose(), 42, 50, 3);
+        let codes = analysis.critical_test_codes(3);
+        assert_eq!(codes.len(), 3);
+        for &c in &codes {
+            assert!(c < analysis.mean.len());
+        }
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let analysis = critical_parameters(16, &VariationModel::typical(), 3, 40, 3);
+        for (i, (_, vi)) in analysis.components.iter().enumerate() {
+            let norm: f64 = vi.iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-6, "component {i} norm {norm}");
+            for (_, vj) in analysis.components.iter().skip(i + 1) {
+                let dot: f64 = vi.iter().zip(vj).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-4, "components not orthogonal: {dot}");
+            }
+        }
+    }
+}

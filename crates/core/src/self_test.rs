@@ -1,0 +1,144 @@
+//! The complete on-chip self-test session.
+//!
+//! Orchestrates every test facility the workspace models into the
+//! "final complete ASUT test" sequence the paper's background sketches:
+//!
+//! 1. **monotonicity BIST** (AT&T patent): ramp + monitoring state
+//!    machine — the cheapest go/no-go;
+//! 2. **quick tests**: analogue step/fall-time, digital timing,
+//!    compressed signatures;
+//! 3. **scan session**: every stimulus level commanded and read back
+//!    over the serial test bus;
+//! 4. **converter loopback**: the companion DAC drives the ADC with no
+//!    analogue I/O;
+//! 5. **self-calibration**: the measured transfer function becomes the
+//!    correction table the background proposes.
+
+use crate::adc::{AdcConverter, DualSlopeAdc};
+use crate::bist::monotonicity::{paper_monotonicity_test, MonotonicityReport};
+use crate::bist::quick_test::{run_quick_tests, QuickTestLimits, QuickTestReport};
+use crate::bist::scan_access::SerialTestBus;
+use crate::calibrate::CalibratedAdc;
+use crate::charac::characterise;
+use crate::dac_test::{loopback_test, LoopbackReport};
+use macrolib::dac::BinaryDac;
+
+/// Report of a full self-test session.
+#[derive(Debug, Clone)]
+pub struct SelfTestReport {
+    /// Stage 1: monotonicity BIST.
+    pub monotonicity: MonotonicityReport,
+    /// Stage 2: the three quick tests.
+    pub quick: QuickTestReport,
+    /// Stage 3: scan-bus readings `(level, code)`.
+    pub scan_session: Vec<(f64, u64)>,
+    /// Stage 4: loopback against the companion DAC.
+    pub loopback: LoopbackReport,
+    /// Stage 5: residual max INL after self-calibration, in LSB.
+    pub calibrated_inl_lsb: f64,
+}
+
+impl SelfTestReport {
+    /// True if the scan-bus readings match direct conversions (the
+    /// digital test-access path is healthy).
+    pub fn scan_path_ok(&self, adc: &DualSlopeAdc) -> bool {
+        self.scan_session
+            .iter()
+            .all(|&(level, code)| code == adc.convert(level))
+    }
+
+    /// Overall verdict at the given loopback tolerance (codes).
+    pub fn passed(&self, adc: &DualSlopeAdc, loopback_tol: f64) -> bool {
+        self.monotonicity.passed()
+            && self.quick.passed()
+            && self.scan_path_ok(adc)
+            && self.loopback.passed(loopback_tol)
+    }
+}
+
+/// Runs the full session on one device.
+///
+/// `limits` carries the quick-test expectations (including the golden
+/// compressed signature for comparison runs).
+pub fn run_full_self_test(adc: &DualSlopeAdc, limits: &QuickTestLimits) -> SelfTestReport {
+    // 1. Monotonicity.
+    let monotonicity = paper_monotonicity_test(adc);
+
+    // 2. Quick tests.
+    let quick = run_quick_tests(adc, limits);
+
+    // 3. Scan session over the serial test bus.
+    let mut bus = SerialTestBus::new();
+    let scan_session = bus.run_session(adc);
+
+    // 4. Loopback with the companion 8-bit DAC.
+    let dac = BinaryDac::ideal(8, 2.5);
+    let loopback = loopback_test(&dac, adc, 16);
+
+    // 5. Self-calibration and residual linearity.
+    let cal = CalibratedAdc::self_calibrated(*adc, 110);
+    let calibrated_inl_lsb = characterise(&cal, 100).max_inl_lsb();
+
+    SelfTestReport {
+        monotonicity,
+        quick,
+        scan_session,
+        loopback,
+        calibrated_inl_lsb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::AdcErrorModel;
+    use crate::bist::quick_test::run_quick_tests as quick;
+
+    fn reference_limits() -> QuickTestLimits {
+        let golden = quick(&DualSlopeAdc::paper_measured(), &QuickTestLimits::paper());
+        QuickTestLimits::paper().with_reference(golden.compressed.digital_signature)
+    }
+
+    #[test]
+    fn healthy_device_passes_the_full_session() {
+        let adc = DualSlopeAdc::paper_measured();
+        let report = run_full_self_test(&adc, &reference_limits());
+        assert!(report.monotonicity.passed());
+        assert!(report.quick.passed());
+        assert!(report.scan_path_ok(&adc));
+        assert!(report.loopback.passed(2.5), "{}", report.loopback.max_code_error);
+        assert!(report.passed(&adc, 2.5));
+        assert!(report.calibrated_inl_lsb.is_finite());
+    }
+
+    #[test]
+    fn gross_reference_fault_fails_multiple_stages() {
+        let adc = DualSlopeAdc::with_errors(AdcErrorModel {
+            gain_error: 0.25,
+            ..AdcErrorModel::paper_measured()
+        });
+        let report = run_full_self_test(&adc, &reference_limits());
+        assert!(!report.quick.passed(), "quick tests must flag it");
+        assert!(!report.loopback.passed(2.5), "loopback must flag it");
+        assert!(!report.passed(&adc, 2.5));
+    }
+
+    #[test]
+    fn violent_ripple_is_caught_by_the_monotonicity_stage() {
+        let adc = DualSlopeAdc::with_errors(AdcErrorModel {
+            ripple_v: 0.025,
+            ripple_period_codes: 6.0,
+            ..AdcErrorModel::none()
+        });
+        let report = run_full_self_test(&adc, &reference_limits());
+        assert!(!report.monotonicity.passed());
+    }
+
+    #[test]
+    fn scan_session_covers_all_levels() {
+        let adc = DualSlopeAdc::ideal();
+        let report = run_full_self_test(&adc, &QuickTestLimits::paper());
+        assert_eq!(report.scan_session.len(), 6);
+        assert!(report.scan_path_ok(&adc));
+    }
+}

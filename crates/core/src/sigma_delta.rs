@@ -1,0 +1,369 @@
+//! First-order sigma-delta modulator — the paper's "future developments"
+//! architecture.
+//!
+//! The paper closes by noting the on-chip testing macros are being
+//! extended to "larger full-custom ADC devices designed with sigma-delta
+//! modulation architecture, where the switched capacitor integrator
+//! forms a major part of the circuit". This module provides that
+//! architecture at the discrete-time level, built on the same SC
+//! integrator dynamics, so the BIST and transient-response machinery can
+//! be exercised against it.
+
+/// A first-order discrete-time sigma-delta modulator.
+///
+/// `v[n] = v[n−1] + (x[n] − y[n−1])·g`, `y[n] = sign(v[n])`, with `g`
+/// the integrator gain per cycle (`Cs/Cf` of the SC realisation) and an
+/// optional leak modelling integrator loss.
+///
+/// # Example
+///
+/// ```
+/// use msbist::sigma_delta::SigmaDeltaModulator;
+///
+/// let mut sd = SigmaDeltaModulator::new(1.0 / 6.8);
+/// let bits = sd.modulate_dc(0.5, 1024);
+/// let ones = bits.iter().filter(|&&b| b).count() as f64;
+/// // Bit density encodes the input: 0.5 in ±1 terms = 75 % ones.
+/// assert!((ones / 1024.0 - 0.75).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigmaDeltaModulator {
+    gain: f64,
+    leak: f64,
+    state: f64,
+    last_bit: bool,
+}
+
+impl SigmaDeltaModulator {
+    /// Creates a modulator with the given integrator gain per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is not positive.
+    pub fn new(gain: f64) -> Self {
+        assert!(gain > 0.0, "integrator gain must be positive");
+        SigmaDeltaModulator {
+            gain,
+            leak: 0.0,
+            state: 0.0,
+            last_bit: false,
+        }
+    }
+
+    /// Adds integrator leakage: the state decays by `1 − leak` each
+    /// cycle (a fault mechanism the SC-integrator tests target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leak` is outside `[0, 1)`.
+    pub fn with_leak(mut self, leak: f64) -> Self {
+        assert!((0.0..1.0).contains(&leak), "leak must be in [0, 1)");
+        self.leak = leak;
+        self
+    }
+
+    /// Integrator gain per cycle.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Resets the modulator state.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+        self.last_bit = false;
+    }
+
+    /// Processes one input sample (in [−1, 1]) and returns the output
+    /// bit.
+    pub fn step(&mut self, x: f64) -> bool {
+        let feedback = if self.last_bit { 1.0 } else { -1.0 };
+        self.state = self.state * (1.0 - self.leak) + (x - feedback) * self.gain;
+        self.last_bit = self.state >= 0.0;
+        self.last_bit
+    }
+
+    /// Modulates a DC input for `n` cycles.
+    pub fn modulate_dc(&mut self, x: f64, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.step(x)).collect()
+    }
+
+    /// Modulates an arbitrary sample sequence.
+    pub fn modulate(&mut self, input: &[f64]) -> Vec<bool> {
+        input.iter().map(|&x| self.step(x)).collect()
+    }
+}
+
+/// Decimates a bitstream by simple counting (sinc¹ / boxcar filter):
+/// each group of `osr` bits becomes one sample in [−1, 1].
+///
+/// # Panics
+///
+/// Panics if `osr` is zero.
+pub fn decimate(bits: &[bool], osr: usize) -> Vec<f64> {
+    assert!(osr >= 1, "oversampling ratio must be at least 1");
+    bits.chunks_exact(osr)
+        .map(|chunk| {
+            let ones = chunk.iter().filter(|&&b| b).count() as f64;
+            2.0 * ones / osr as f64 - 1.0
+        })
+        .collect()
+}
+
+/// Measures the in-band signal-to-noise ratio (dB) of the modulator for
+/// a sine input, using coherent demodulation of the decimated output.
+///
+/// `osr` is the oversampling ratio; `cycles` full sine periods are
+/// modulated at `periods_per_decimated_sample` resolution.
+pub fn measure_snr_db(modulator: &mut SigmaDeltaModulator, amplitude: f64, osr: usize) -> f64 {
+    let decimated_len = 256;
+    let n = decimated_len * osr;
+    let periods = 8.0;
+    let input: Vec<f64> = (0..n)
+        .map(|k| amplitude * (2.0 * std::f64::consts::PI * periods * k as f64 / n as f64).sin())
+        .collect();
+    modulator.reset();
+    let bits = modulator.modulate(&input);
+    let out = decimate(&bits, osr);
+
+    // Coherent demodulation at the signal frequency.
+    let mut sig_i = 0.0;
+    let mut sig_q = 0.0;
+    for (k, &y) in out.iter().enumerate() {
+        let phase = 2.0 * std::f64::consts::PI * periods * k as f64 / decimated_len as f64;
+        sig_i += y * phase.sin();
+        sig_q += y * phase.cos();
+    }
+    let m = decimated_len as f64;
+    let est_amp = 2.0 * (sig_i * sig_i + sig_q * sig_q).sqrt() / m;
+    let signal_power = est_amp * est_amp / 2.0;
+
+    // Noise: residual after removing the coherent component.
+    let mut noise_power = 0.0;
+    for (k, &y) in out.iter().enumerate() {
+        let phase = 2.0 * std::f64::consts::PI * periods * k as f64 / decimated_len as f64;
+        let recon = 2.0 * (sig_i * phase.sin() + sig_q * phase.cos()) / m;
+        noise_power += (y - recon).powi(2);
+    }
+    noise_power /= m;
+    10.0 * (signal_power / noise_power.max(1e-30)).log10()
+}
+
+/// A second-order (Boser–Wooley style) modulator: two cascaded
+/// integrators inside the loop give ~15 dB/octave noise shaping against
+/// the first order's ~9.
+///
+/// `v1[n] = v1 + g1·(x − y)`, `v2[n] = v2 + g2·(v1 − y)`,
+/// `y = sign(v2)`, with conservative gains `g1 = g2 = 0.5` for
+/// stability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecondOrderModulator {
+    g1: f64,
+    g2: f64,
+    v1: f64,
+    v2: f64,
+    last_bit: bool,
+}
+
+impl SecondOrderModulator {
+    /// Creates a modulator with the standard 0.5/0.5 gains.
+    pub fn new() -> Self {
+        SecondOrderModulator {
+            g1: 0.5,
+            g2: 0.5,
+            v1: 0.0,
+            v2: 0.0,
+            last_bit: false,
+        }
+    }
+
+    /// Resets both integrators.
+    pub fn reset(&mut self) {
+        self.v1 = 0.0;
+        self.v2 = 0.0;
+        self.last_bit = false;
+    }
+
+    /// Processes one sample (input in [−1, 1]).
+    pub fn step(&mut self, x: f64) -> bool {
+        let feedback = if self.last_bit { 1.0 } else { -1.0 };
+        self.v1 += self.g1 * (x - feedback);
+        self.v2 += self.g2 * (self.v1 - feedback);
+        self.last_bit = self.v2 >= 0.0;
+        self.last_bit
+    }
+
+    /// Modulates a sequence.
+    pub fn modulate(&mut self, input: &[f64]) -> Vec<f64> {
+        input
+            .iter()
+            .map(|&x| if self.step(x) { 1.0 } else { -1.0 })
+            .collect()
+    }
+}
+
+impl Default for SecondOrderModulator {
+    fn default() -> Self {
+        SecondOrderModulator::new()
+    }
+}
+
+/// Measures the modulator's output spectrum SNR with a Welch PSD
+/// estimate (`sigproc::spectrum`): an in-band tone is modulated, the
+/// bitstream's spectrum is estimated directly, and the tone-vs-in-band
+/// noise ratio is computed over the band `[0, f_s / (2·osr)]`.
+pub fn measure_snr_psd<F>(mut modulate: F, amplitude: f64, osr: usize, n: usize) -> f64
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    assert!(osr >= 2, "oversampling ratio must be at least 2");
+    let cycles = (n / (osr * 8)).max(3) as f64;
+    let input: Vec<f64> = (0..n)
+        .map(|k| amplitude * (2.0 * std::f64::consts::PI * cycles * k as f64 / n as f64).sin())
+        .collect();
+    let bits = modulate(&input);
+    let psd = sigproc::spectrum::welch(
+        &bits,
+        (n / 4).next_power_of_two().min(n),
+        sigproc::spectrum::Window::Hann,
+        1.0,
+    );
+    // In-band: bins up to Nyquist/osr.
+    let band_end = (psd.power.len() - 1) / osr;
+    let peak = psd
+        .power
+        .iter()
+        .take(band_end + 1)
+        .enumerate()
+        .skip(1)
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(k, _)| k)
+        .unwrap_or(1);
+    let mut signal = 0.0;
+    let mut noise = 0.0;
+    for (k, &p) in psd.power.iter().enumerate().take(band_end + 1).skip(1) {
+        if k.abs_diff(peak) <= 3 {
+            signal += p;
+        } else {
+            noise += p;
+        }
+    }
+    10.0 * (signal / noise.max(1e-300)).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_bit_density_tracks_input() {
+        for dc in [-0.8, -0.3, 0.0, 0.4, 0.9] {
+            let mut sd = SigmaDeltaModulator::new(1.0 / 6.8);
+            let bits = sd.modulate_dc(dc, 4096);
+            let density = bits.iter().filter(|&&b| b).count() as f64 / 4096.0;
+            let expect = (dc + 1.0) / 2.0;
+            assert!(
+                (density - expect).abs() < 0.02,
+                "dc {dc}: density {density}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn decimation_recovers_dc() {
+        let mut sd = SigmaDeltaModulator::new(0.2);
+        let bits = sd.modulate_dc(0.25, 64 * 32);
+        let out = decimate(&bits, 64);
+        let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        assert!((mean - 0.25).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn snr_improves_with_oversampling() {
+        // First-order noise shaping: ~9 dB per octave of OSR.
+        let mut sd = SigmaDeltaModulator::new(1.0 / 6.8);
+        let low = measure_snr_db(&mut sd, 0.5, 16);
+        let mut sd2 = SigmaDeltaModulator::new(1.0 / 6.8);
+        let high = measure_snr_db(&mut sd2, 0.5, 64);
+        assert!(
+            high > low + 6.0,
+            "snr did not improve: {low:.1} dB -> {high:.1} dB"
+        );
+    }
+
+    #[test]
+    fn leak_degrades_snr() {
+        let mut clean = SigmaDeltaModulator::new(1.0 / 6.8);
+        let mut leaky = SigmaDeltaModulator::new(1.0 / 6.8).with_leak(0.2);
+        let snr_clean = measure_snr_db(&mut clean, 0.5, 64);
+        let snr_leaky = measure_snr_db(&mut leaky, 0.5, 64);
+        assert!(
+            snr_clean > snr_leaky + 3.0,
+            "clean {snr_clean:.1} dB vs leaky {snr_leaky:.1} dB"
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut sd = SigmaDeltaModulator::new(0.3);
+        let first = sd.modulate_dc(0.1, 100);
+        sd.reset();
+        let second = sd.modulate_dc(0.1, 100);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gain_rejected() {
+        let _ = SigmaDeltaModulator::new(0.0);
+    }
+
+    #[test]
+    fn second_order_tracks_dc() {
+        let mut sd = SecondOrderModulator::new();
+        let input = vec![0.3; 8192];
+        let bits = sd.modulate(&input);
+        let mean: f64 = bits.iter().sum::<f64>() / bits.len() as f64;
+        assert!((mean - 0.3).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn second_order_beats_first_order_in_band() {
+        let osr = 32;
+        let n = 16384;
+        let snr1 = measure_snr_psd(
+            |x| {
+                let mut m = SigmaDeltaModulator::new(1.0 / 6.8);
+                m.modulate(x)
+                    .into_iter()
+                    .map(|b| if b { 1.0 } else { -1.0 })
+                    .collect()
+            },
+            0.5,
+            osr,
+            n,
+        );
+        let snr2 = measure_snr_psd(
+            |x| {
+                let mut m = SecondOrderModulator::new();
+                m.modulate(x)
+            },
+            0.5,
+            osr,
+            n,
+        );
+        assert!(
+            snr2 > snr1 + 6.0,
+            "2nd order {snr2:.1} dB vs 1st order {snr1:.1} dB"
+        );
+    }
+
+    #[test]
+    fn second_order_reset_reproduces() {
+        let mut m = SecondOrderModulator::new();
+        let x = vec![0.1; 64];
+        let a = m.modulate(&x);
+        m.reset();
+        let b = m.modulate(&x);
+        assert_eq!(a, b);
+    }
+}

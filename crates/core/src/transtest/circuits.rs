@@ -1,0 +1,209 @@
+//! The paper's three example circuits, packaged as test benches with
+//! their published fault universes.
+//!
+//! * **Circuit 1**: the OP1 13-transistor op-amp, PRBS of 15 bits at
+//!   250 µs / 0–5 V on In+ against a fixed reference on In−. Fault
+//!   universe: stuck-at-0/1 on the major nodes 4, 5, 7, 8 and 3
+//!   (10 faults) plus both-polarity double stuck-ats on node pairs 8–9,
+//!   5–8 and 4–6 (6 faults) — the paper's 16 faulty circuits.
+//! * **Circuit 2**: SC integrator followed by a comparator
+//!   (28 transistors), clocked at 5 µs.
+//! * **Circuit 3**: the SC integrator alone (15 transistors).
+//!
+//! Circuits 2 and 3 share the paper's integrator fault universe:
+//! stuck-at-0/1 on the integrator op-amp's nodes 4, 5, 7, 8 and 9
+//! (10 faults) plus bridges 6–7 and 5–8 (2 faults) — 12 faulty circuits
+//! each.
+
+use anasim::netlist::Netlist;
+use anasim::source::SourceWaveform;
+use faultsim::model::{bridge_universe, double_stuck_universe, stuck_at_universe, Fault};
+use macrolib::circuit2::{Circuit2, Circuit2Params};
+use macrolib::op1::Op1;
+use macrolib::process::ProcessParams;
+use macrolib::sc_integrator::{ScIntegrator, ScIntegratorParams};
+
+use super::bench::TransientTestBench;
+use super::stimulus::PrbsStimulus;
+
+/// A packaged example circuit: its bench plus the paper's fault
+/// universe.
+#[derive(Debug, Clone)]
+pub struct ExampleCircuit {
+    /// Paper circuit number (1, 2 or 3).
+    pub number: u8,
+    /// The transient test bench (golden netlist + stimulus + probe).
+    pub bench: TransientTestBench,
+    /// The published fault universe.
+    pub faults: Vec<Fault>,
+    /// Node probed by the impulse-response (approach 2) method: the
+    /// linear(isable) sub-macro output — the integrator output for the
+    /// SC circuits, the main output otherwise.
+    pub impulse_probe: anasim::netlist::NodeId,
+    /// The supply sources whose summed current forms the dynamic-IDD
+    /// signature.
+    pub vdd_sources: Vec<anasim::netlist::DeviceId>,
+}
+
+/// Builds circuit 1: OP1 with the paper's 0–5 V PRBS on In+ and a 2.5 V
+/// reference on In− (comparator configuration), observing the output.
+pub fn circuit1(process: &ProcessParams) -> ExampleCircuit {
+    let mut nl = Netlist::new();
+    let op1 = Op1::build(&mut nl, "c1", process);
+    let src = nl.vsource(
+        "c1:VSTIM",
+        op1.in_p(),
+        Netlist::GROUND,
+        SourceWaveform::dc(0.0),
+    );
+    nl.vsource(
+        "c1:VREF",
+        op1.in_n(),
+        Netlist::GROUND,
+        SourceWaveform::dc(2.5),
+    );
+
+    let mut faults = stuck_at_universe(&op1.single_fault_nodes());
+    faults.extend(double_stuck_universe(&op1.bridge_fault_pairs()));
+
+    let stimulus = PrbsStimulus::paper_circuit1();
+    let out = op1.out();
+    let vdd_sources = vec![nl.find_device("c1:VDD").expect("op1 supply")];
+    let bench = TransientTestBench::new(nl, src, out, stimulus, 8, 2e-6);
+    ExampleCircuit {
+        number: 1,
+        bench,
+        faults,
+        impulse_probe: out,
+        vdd_sources,
+    }
+}
+
+/// The integrator fault universe shared by circuits 2 and 3: stuck-ats
+/// on op-amp nodes 4, 5, 7, 8, 9 and bridges 6–7, 5–8.
+fn integrator_faults(op1: &Op1) -> Vec<Fault> {
+    let nodes: Vec<(u8, anasim::netlist::NodeId)> = [4u8, 5, 7, 8, 9]
+        .into_iter()
+        .map(|k| (k, op1.node(k)))
+        .collect();
+    let mut faults = stuck_at_universe(&nodes);
+    faults.extend(bridge_universe(&[
+        ((6, op1.node(6)), (7, op1.node(7))),
+        ((5, op1.node(5)), (8, op1.node(8))),
+    ]));
+    faults
+}
+
+/// Stimulus shared by the SC circuits: one PRBS bit per SC clock cycle,
+/// levels ±0.25 V around analogue ground. The PRBS's 8-vs-7 bit
+/// imbalance is oriented so the inverting integrator drifts *upwards*
+/// (+37 mV per 15-cycle sequence), sweeping the integrator output
+/// through the observable range — and, in circuit 2, through the
+/// comparator's 0.64 V reference — over the paper's 2 ms window.
+fn sc_stimulus(params: &ScIntegratorParams) -> PrbsStimulus {
+    PrbsStimulus::new(4, params.clock_period, 2.5 + 0.25, 2.5 - 0.25)
+}
+
+/// PRBS sequence periods the SC circuits run: ≈1.6 ms of the paper's
+/// 2 ms window (the remainder would clip the follower output stage).
+const SC_PERIODS: usize = 21;
+
+/// Builds circuit 3: the SC integrator alone (15 transistors),
+/// observing the integrator output.
+pub fn circuit3(process: &ProcessParams) -> ExampleCircuit {
+    let params = ScIntegratorParams::paper_defaults();
+    let mut nl = Netlist::new();
+    let sc = ScIntegrator::build(&mut nl, "c3", process, &params);
+    let src = nl.vsource("c3:VSTIM", sc.vin, Netlist::GROUND, SourceWaveform::dc(0.0));
+    let op1 = sc.op1().expect("paper defaults use the transistor op-amp");
+    let faults = integrator_faults(op1);
+    let vdd_sources = vec![nl.find_device("c3:op1:VDD").expect("op1 supply")];
+    let bench = TransientTestBench::new(nl, src, sc.out, sc_stimulus(&params), 2, 50e-9)
+        .with_periods(SC_PERIODS);
+    ExampleCircuit {
+        number: 3,
+        bench,
+        faults,
+        impulse_probe: sc.out,
+        vdd_sources,
+    }
+}
+
+/// Builds circuit 2: SC integrator followed by a comparator
+/// (28 transistors), observing the comparator output.
+pub fn circuit2(process: &ProcessParams) -> ExampleCircuit {
+    let params = Circuit2Params::paper_defaults();
+    let mut nl = Netlist::new();
+    let c2 = Circuit2::build(&mut nl, "c2", process, &params);
+    let src = nl.vsource("c2:VSTIM", c2.vin, Netlist::GROUND, SourceWaveform::dc(0.0));
+    let op1 = c2
+        .integrator()
+        .op1()
+        .expect("paper defaults use the transistor op-amp")
+        .clone();
+    let faults = integrator_faults(&op1);
+    let vdd_sources = vec![
+        nl.find_device("c2:int:op1:VDD").expect("integrator supply"),
+        nl.find_device("c2:cmp:VDD").expect("comparator supply"),
+    ];
+    let bench = TransientTestBench::new(
+        nl,
+        src,
+        c2.out,
+        sc_stimulus(&params.integrator),
+        2,
+        50e-9,
+    )
+    .with_periods(SC_PERIODS);
+    ExampleCircuit {
+        number: 2,
+        bench,
+        faults,
+        impulse_probe: c2.integrator_out,
+        vdd_sources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit1_has_sixteen_faults() {
+        let c = circuit1(&ProcessParams::nominal());
+        assert_eq!(c.faults.len(), 16);
+        assert_eq!(c.number, 1);
+        assert_eq!(c.bench.netlist().transistor_count(), 13);
+    }
+
+    #[test]
+    fn circuits_2_and_3_have_twelve_faults() {
+        let c3 = circuit3(&ProcessParams::nominal());
+        assert_eq!(c3.faults.len(), 12);
+        assert_eq!(c3.bench.netlist().transistor_count(), 15);
+        let c2 = circuit2(&ProcessParams::nominal());
+        assert_eq!(c2.faults.len(), 12);
+        assert_eq!(c2.bench.netlist().transistor_count(), 28);
+    }
+
+    #[test]
+    fn fault_names_follow_paper_node_numbers() {
+        let c = circuit1(&ProcessParams::nominal());
+        let names: Vec<&str> = c.faults.iter().map(|f| f.name()).collect();
+        assert!(names.contains(&"n4-sa0"));
+        assert!(names.contains(&"n3-sa1"));
+        assert!(names.contains(&"n8-n9-dsa0"));
+        assert!(names.contains(&"n4-n6-dsa1"));
+    }
+
+    #[test]
+    fn circuit1_golden_response_simulates() {
+        let c = circuit1(&ProcessParams::nominal());
+        let y = c.bench.response(c.bench.netlist()).unwrap();
+        assert_eq!(y.len(), 15 * 8);
+        // Output must move (the comparator toggles with the PRBS).
+        let min = y.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+        let max = y.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        assert!(max - min > 1.0, "range {min}..{max}");
+    }
+}

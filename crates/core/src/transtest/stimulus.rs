@@ -1,0 +1,167 @@
+//! PRBS stimulus for transient-response testing.
+//!
+//! The paper stimulates circuit 1 with "a pseudo random binary sequence
+//! of 15 bits with a step size of 250 µS and amplitude of 0 V or 5 V".
+
+use anasim::source::SourceWaveform;
+use sigproc::prbs::Prbs;
+
+/// A PRBS stimulus description.
+///
+/// # Example
+///
+/// The paper's circuit-1 stimulus:
+///
+/// ```
+/// use msbist::transtest::PrbsStimulus;
+///
+/// let stim = PrbsStimulus::paper_circuit1();
+/// assert_eq!(stim.bits().len(), 15);
+/// assert!((stim.total_duration() - 15.0 * 250e-6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrbsStimulus {
+    bits: Vec<bool>,
+    bit_period: f64,
+    low: f64,
+    high: f64,
+}
+
+impl PrbsStimulus {
+    /// The paper's stimulus for circuit 1 (the OP1 op-amp): 15-bit PRBS,
+    /// 250 µs steps, 0 V / 5 V levels.
+    pub fn paper_circuit1() -> Self {
+        PrbsStimulus::new(4, 250e-6, 0.0, 5.0)
+    }
+
+    /// A stimulus for the switched-capacitor circuits: the same 15-bit
+    /// sequence but one SC clock cycle per bit and levels straddling the
+    /// 2.5 V analogue ground, keeping the integrator in range over the
+    /// run.
+    pub fn paper_sc(clock_period: f64) -> Self {
+        PrbsStimulus::new(4, clock_period, 2.5 - 0.25, 2.5 + 0.25)
+    }
+
+    /// Builds a stimulus from an LFSR with `stages` stages (period
+    /// `2^stages − 1` bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_period` is not positive, or `stages` is outside
+    /// the supported 2..=16.
+    pub fn new(stages: u32, bit_period: f64, low: f64, high: f64) -> Self {
+        assert!(bit_period > 0.0, "bit period must be positive");
+        let bits = Prbs::new(stages).sequence();
+        PrbsStimulus {
+            bits,
+            bit_period,
+            low,
+            high,
+        }
+    }
+
+    /// The bit pattern.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Bit period, seconds.
+    pub fn bit_period(&self) -> f64 {
+        self.bit_period
+    }
+
+    /// Low level, volts.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// High level, volts.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Duration of one full sequence, seconds.
+    pub fn total_duration(&self) -> f64 {
+        self.bits.len() as f64 * self.bit_period
+    }
+
+    /// The stimulus as a simulator source waveform (repeats after the
+    /// sequence ends).
+    pub fn source_waveform(&self) -> SourceWaveform {
+        SourceWaveform::BitStream {
+            bits: self.bits.clone(),
+            bit_period: self.bit_period,
+            low: self.low,
+            high: self.high,
+        }
+    }
+
+    /// The correlation signal `p(t)` derived from the stimulus: the
+    /// sequence in ±1 form sampled `samples_per_bit` times per bit —
+    /// correlating the output with this approximates the path's impulse
+    /// response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_bit` is zero.
+    pub fn correlation_signal(&self, samples_per_bit: usize) -> Vec<f64> {
+        assert!(samples_per_bit >= 1, "need at least one sample per bit");
+        let mut out = Vec::with_capacity(self.bits.len() * samples_per_bit);
+        for &b in &self.bits {
+            let v = if b { 1.0 } else { -1.0 };
+            out.extend(std::iter::repeat_n(v, samples_per_bit));
+        }
+        out
+    }
+
+    /// The sample period implied by `samples_per_bit`.
+    pub fn sample_period(&self, samples_per_bit: usize) -> f64 {
+        self.bit_period / samples_per_bit as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_circuit1_matches_publication() {
+        let s = PrbsStimulus::paper_circuit1();
+        assert_eq!(s.bits().len(), 15);
+        assert_eq!(s.bit_period(), 250e-6);
+        assert_eq!(s.low(), 0.0);
+        assert_eq!(s.high(), 5.0);
+    }
+
+    #[test]
+    fn waveform_plays_the_bits() {
+        let s = PrbsStimulus::new(3, 1e-3, 0.0, 5.0);
+        let w = s.source_waveform();
+        for (k, &b) in s.bits().iter().enumerate() {
+            let t = (k as f64 + 0.5) * 1e-3;
+            let expect = if b { 5.0 } else { 0.0 };
+            assert_eq!(w.value_at(t), expect, "bit {k}");
+        }
+    }
+
+    #[test]
+    fn correlation_signal_is_pm_one() {
+        let s = PrbsStimulus::paper_circuit1();
+        let p = s.correlation_signal(4);
+        assert_eq!(p.len(), 60);
+        assert!(p.iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn sc_stimulus_straddles_analogue_ground() {
+        let s = PrbsStimulus::paper_sc(5e-6);
+        assert!((s.low() + s.high() - 5.0).abs() < 1e-12);
+        assert_eq!(s.bit_period(), 5e-6);
+    }
+
+    #[test]
+    fn sample_period_divides_bit() {
+        let s = PrbsStimulus::paper_circuit1();
+        assert!((s.sample_period(5) - 50e-6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,177 @@
+//! Production yield analysis over simulated die batches.
+//!
+//! Extends the paper's 10-device batch to statistically meaningful
+//! sample sizes: every die runs the quick on-chip tests and the full
+//! characterisation, and the module reports the two yields plus
+//! parameter statistics — quantifying the paper's central observation
+//! that the quick tests pass parts the full specification rejects.
+
+use macrolib::process::VariationModel;
+
+use crate::adc::spec::AdcSpecification;
+use crate::adc::DualSlopeAdc;
+use crate::bist::quick_test::{run_quick_tests, QuickTestLimits};
+use crate::charac::characterise;
+use crate::device::DieBatch;
+
+/// Mean and standard deviation of a measured parameter across a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParameterStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sigma: f64,
+    /// Worst (largest-magnitude) value seen.
+    pub worst: f64,
+}
+
+impl ParameterStats {
+    fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let sigma =
+            (samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let worst = samples
+            .iter()
+            .copied()
+            .max_by(|a, b| a.abs().total_cmp(&b.abs()))
+            .unwrap_or(0.0);
+        ParameterStats { mean, sigma, worst }
+    }
+}
+
+/// Result of a batch yield analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldReport {
+    /// Number of dies analysed.
+    pub tested: usize,
+    /// Dies passing the three quick on-chip tests.
+    pub quick_pass: usize,
+    /// Dies meeting the full datasheet specification.
+    pub full_pass: usize,
+    /// Dies that pass quick screening but fail full characterisation —
+    /// the paper's test-escape class.
+    pub escapes: usize,
+    /// Offset statistics (LSB).
+    pub offset: ParameterStats,
+    /// Gain-error statistics (LSB).
+    pub gain: ParameterStats,
+    /// Max-INL statistics (LSB).
+    pub inl: ParameterStats,
+    /// Max-DNL statistics (LSB).
+    pub dnl: ParameterStats,
+}
+
+impl YieldReport {
+    /// Quick-test yield, 0–1.
+    pub fn quick_yield(&self) -> f64 {
+        self.quick_pass as f64 / self.tested.max(1) as f64
+    }
+
+    /// Full-specification yield, 0–1.
+    pub fn full_yield(&self) -> f64 {
+        self.full_pass as f64 / self.tested.max(1) as f64
+    }
+
+    /// Test-escape rate among quick passers, 0–1.
+    pub fn escape_rate(&self) -> f64 {
+        self.escapes as f64 / self.quick_pass.max(1) as f64
+    }
+}
+
+/// Analyses `count` dies sampled with `variation` and seed `seed`,
+/// characterising the first `codes` output codes of each.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `codes < 3`.
+pub fn analyse_yield(
+    count: usize,
+    variation: &VariationModel,
+    seed: u64,
+    codes: u64,
+) -> YieldReport {
+    assert!(count >= 1, "need at least one die");
+    let golden = run_quick_tests(&DualSlopeAdc::paper_measured(), &QuickTestLimits::paper());
+    let limits = QuickTestLimits::paper().with_reference(golden.compressed.digital_signature);
+    let spec = AdcSpecification::paper();
+
+    let batch = DieBatch::fabricate(count, variation, seed);
+    let mut quick_pass = 0;
+    let mut full_pass = 0;
+    let mut escapes = 0;
+    let mut offsets = Vec::with_capacity(count);
+    let mut gains = Vec::with_capacity(count);
+    let mut inls = Vec::with_capacity(count);
+    let mut dnls = Vec::with_capacity(count);
+
+    for die in &batch {
+        let quick = run_quick_tests(&die.adc, &limits).passed();
+        let c = characterise(&die.adc, codes);
+        let full = spec.check(&c).passed();
+        quick_pass += quick as usize;
+        full_pass += full as usize;
+        escapes += (quick && !full) as usize;
+        offsets.push(c.offset_lsb);
+        gains.push(c.gain_error_lsb);
+        inls.push(c.max_inl_lsb());
+        dnls.push(c.max_dnl_lsb());
+    }
+
+    YieldReport {
+        tested: count,
+        quick_pass,
+        full_pass,
+        escapes,
+        offset: ParameterStats::from_samples(&offsets),
+        gain: ParameterStats::from_samples(&gains),
+        inl: ParameterStats::from_samples(&inls),
+        dnl: ParameterStats::from_samples(&dnls),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_batch_quick_yield_is_high() {
+        let r = analyse_yield(40, &VariationModel::typical(), 1996, 60);
+        assert!(r.quick_yield() > 0.9, "quick yield {}", r.quick_yield());
+        assert_eq!(r.tested, 40);
+    }
+
+    #[test]
+    fn paper_macro_population_escapes_full_spec() {
+        // The nominal design carries INL/DNL above 1 LSB, so almost the
+        // whole population passes quick tests yet fails the datasheet:
+        // the paper's headline phenomenon, at population scale.
+        let r = analyse_yield(40, &VariationModel::typical(), 7, 100);
+        assert!(r.full_yield() < 0.5, "full yield {}", r.full_yield());
+        assert!(r.escape_rate() > 0.5, "escape rate {}", r.escape_rate());
+    }
+
+    #[test]
+    fn loose_variation_reduces_quick_yield() {
+        let typical = analyse_yield(60, &VariationModel::typical(), 42, 60);
+        let loose = analyse_yield(60, &VariationModel::loose(), 42, 60);
+        assert!(
+            loose.quick_yield() <= typical.quick_yield(),
+            "loose {} vs typical {}",
+            loose.quick_yield(),
+            typical.quick_yield()
+        );
+    }
+
+    #[test]
+    fn statistics_are_finite_and_centred() {
+        let r = analyse_yield(30, &VariationModel::typical(), 3, 60);
+        for s in [r.offset, r.gain, r.inl, r.dnl] {
+            assert!(s.mean.is_finite() && s.sigma.is_finite() && s.worst.is_finite());
+        }
+        // Offset spread stays well inside a LSB for typical variation.
+        assert!(r.offset.sigma < 0.5, "offset sigma {}", r.offset.sigma);
+        // INL mean sits near the design's 1.3 LSB.
+        assert!((0.8..1.8).contains(&r.inl.mean), "inl mean {}", r.inl.mean);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the ADC macro, characterisation identities
+//! and the sigma-delta extension.
+
+use msbist::adc::{AdcConverter, AdcErrorModel, DualSlopeAdc};
+use msbist::charac::characterise;
+use msbist::sigma_delta::{decimate, SigmaDeltaModulator};
+use proptest::prelude::*;
+
+/// Strategy: smooth (ripple- and noise-free) error models, for which the
+/// converter transfer curve is monotone.
+fn smooth_errors() -> impl Strategy<Value = AdcErrorModel> {
+    (
+        -0.005..0.005f64, // offset_v
+        -0.01..0.01f64,   // gain_error
+        0.0..20.0f64,     // leak_per_s
+    )
+        .prop_map(|(offset_v, gain_error, leak_per_s)| AdcErrorModel {
+            offset_v,
+            gain_error,
+            leak_per_s,
+            ..AdcErrorModel::none()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conversion_is_monotone_for_smooth_models(
+        errors in smooth_errors(),
+        v1 in 0.0..2.5f64,
+        v2 in 0.0..2.5f64,
+    ) {
+        let adc = DualSlopeAdc::with_errors(errors);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(adc.convert(lo) <= adc.convert(hi));
+    }
+
+    #[test]
+    fn codes_are_bounded(errors in smooth_errors(), vin in -10.0..10.0f64) {
+        let adc = DualSlopeAdc::with_errors(errors);
+        prop_assert!(adc.convert(vin) <= 2 * adc.full_count());
+    }
+
+    #[test]
+    fn conversion_time_bounded_by_worst_case(
+        errors in smooth_errors(),
+        vin in 0.0..2.5f64,
+    ) {
+        let adc = DualSlopeAdc::with_errors(errors);
+        let t = adc.conversion_time(vin);
+        // T1 plus at most the 2x overflow reference phase.
+        let worst = 3.0 * adc.full_count() as f64 / adc.clock_hz();
+        prop_assert!(t > 0.0 && t <= worst + 1e-12);
+    }
+
+    #[test]
+    fn dnl_inl_identity(errors in smooth_errors()) {
+        // INL(k+1) − INL(k) = DNL(k): the endpoint-fit removes only a
+        // linear term, whose difference is constant; DNL is computed as
+        // transition spacing, so the identity holds up to that constant.
+        let adc = DualSlopeAdc::with_errors(errors);
+        let c = characterise(&adc, 40);
+        prop_assume!(c.missing_codes.is_empty());
+        // The endpoint line's per-code slope error.
+        let n = c.inl.len();
+        prop_assert_eq!(c.dnl.len(), n - 1);
+        let slope = (c.inl[n - 1] - c.inl[0]) / (n as f64 - 1.0);
+        for k in 0..n - 1 {
+            let lhs = c.inl[k + 1] - c.inl[k];
+            // DNL measured vs LSB includes the fit slope offset.
+            let rhs = c.dnl[k] + slope
+                - (c.transitions[k + 1] - c.transitions[k]).mul_add(0.0, 0.0);
+            // dnl[k] = spacing/lsb - 1; inl diff = spacing/lsb - fitstep/lsb.
+            // fitstep/lsb = 1 + gain-ish constant; so lhs - dnl[k] is the
+            // same constant for every k.
+            let _ = rhs;
+            if k > 0 {
+                let prev = c.inl[k] - c.inl[k - 1] - c.dnl[k - 1];
+                let cur = lhs - c.dnl[k];
+                prop_assert!((cur - prev).abs() < 1e-9, "identity broke at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantisation_error_scales_with_error_budget(
+        errors in smooth_errors(),
+        vin in 0.05..1.0f64,
+    ) {
+        // Reconstruction error = quantisation (≤1 LSB) plus the smooth
+        // error terms: offset, gain and leak compression (first order
+        // ~leak·T1 of the reading).
+        let adc = DualSlopeAdc::with_errors(errors);
+        let code = adc.convert(vin);
+        let reconstructed = code as f64 * adc.lsb();
+        let t1 = adc.full_count() as f64 / adc.clock_hz();
+        let budget_lsb = 1.5
+            + errors.offset_v.abs() / adc.lsb()
+            + (errors.gain_error.abs() + errors.leak_per_s * t1) * vin / adc.lsb();
+        prop_assert!(
+            (vin - reconstructed).abs() < budget_lsb * adc.lsb(),
+            "error {} LSB vs budget {budget_lsb}",
+            (vin - reconstructed).abs() / adc.lsb()
+        );
+    }
+
+    #[test]
+    fn sigma_delta_density_tracks_dc(dc in -0.9..0.9f64) {
+        let mut sd = SigmaDeltaModulator::new(1.0 / 6.8);
+        let bits = sd.modulate_dc(dc, 4096);
+        let density = bits.iter().filter(|&&b| b).count() as f64 / 4096.0;
+        let expect = (dc + 1.0) / 2.0;
+        prop_assert!((density - expect).abs() < 0.03, "{density} vs {expect}");
+    }
+
+    #[test]
+    fn decimation_preserves_mean(
+        bits in proptest::collection::vec(any::<bool>(), 64..256),
+        osr in 2usize..16,
+    ) {
+        let n = (bits.len() / osr) * osr;
+        prop_assume!(n > 0);
+        let out = decimate(&bits[..n], osr);
+        let mean_bits =
+            bits[..n].iter().map(|&b| if b { 1.0 } else { -1.0 }).sum::<f64>() / n as f64;
+        let mean_out = out.iter().sum::<f64>() / out.len() as f64;
+        prop_assert!((mean_bits - mean_out).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Self-calibration never makes the smooth-error INL worse, and is
+    /// the identity on an already-ideal converter.
+    #[test]
+    fn calibration_is_monotone_improvement(errors in smooth_errors()) {
+        use msbist::calibrate::CalibratedAdc;
+
+        let raw = DualSlopeAdc::with_errors(errors);
+        let before = characterise(&raw, 80);
+        prop_assume!(before.missing_codes.is_empty());
+        let cal = CalibratedAdc::self_calibrated(raw, 100);
+        let after = characterise(&cal, 80);
+        // Allow the relabelling floor (±0.5 LSB + endpoint convention).
+        prop_assert!(
+            after.max_inl_lsb() <= before.max_inl_lsb().max(1.05) + 1e-9,
+            "INL worsened: {} -> {}",
+            before.max_inl_lsb(),
+            after.max_inl_lsb()
+        );
+    }
+
+    /// A smooth (ripple-free) converter always passes the ramp
+    /// monotonicity BIST.
+    #[test]
+    fn smooth_converters_are_monotone(errors in smooth_errors()) {
+        use msbist::bist::monotonicity::paper_monotonicity_test;
+
+        let adc = DualSlopeAdc::with_errors(errors);
+        let report = paper_monotonicity_test(&adc);
+        prop_assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    /// The scan-bus session always reports exactly what direct
+    /// conversion would, for any smooth device.
+    #[test]
+    fn scan_session_is_transparent(errors in smooth_errors()) {
+        use msbist::bist::scan_access::SerialTestBus;
+
+        let adc = DualSlopeAdc::with_errors(errors);
+        let mut bus = SerialTestBus::new();
+        for (level, code) in bus.run_session(&adc) {
+            prop_assert_eq!(code, adc.convert(level), "level {}", level);
+        }
+    }
+
+    /// Loopback of an ideal DAC into any smooth converter bounds the
+    /// code error by the converter's own error budget.
+    #[test]
+    fn loopback_error_tracks_error_budget(errors in smooth_errors()) {
+        use macrolib::dac::BinaryDac;
+        use msbist::dac_test::loopback_test;
+
+        let adc = DualSlopeAdc::with_errors(errors);
+        let dac = BinaryDac::ideal(8, 2.5);
+        let report = loopback_test(&dac, &adc, 16);
+        let t1 = adc.full_count() as f64 / 100e3;
+        let budget = 2.0
+            + errors.offset_v.abs() / adc.lsb()
+            + (errors.gain_error.abs() + errors.leak_per_s * t1) * 2.5 / adc.lsb();
+        prop_assert!(
+            report.max_code_error <= budget,
+            "error {} vs budget {budget}",
+            report.max_code_error
+        );
+    }
+}

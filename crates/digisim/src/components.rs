@@ -1,0 +1,414 @@
+//! Structural digital building blocks assembled from primitive gates.
+//!
+//! These mirror the digital test structures of the paper's BIST macro:
+//! the conversion counter, the output latch, scan/shift registers for
+//! test access, and LFSR/MISR signature hardware. Each builder adds gates
+//! to a [`Circuit`] and returns handles to the interesting nets.
+
+use crate::circuit::{Circuit, GateKind, NetId};
+use crate::logic::{to_word, Logic};
+
+/// A synchronous binary up-counter built from D flip-flops and gates.
+///
+/// Bit `k` toggles when all lower bits are 1 (carry chain of AND gates).
+///
+/// # Example
+///
+/// ```
+/// use digisim::circuit::Circuit;
+/// use digisim::components::Counter;
+/// use digisim::logic::Logic;
+///
+/// let mut c = Circuit::new();
+/// let counter = Counter::build(&mut c, "cnt", 4);
+/// counter.reset(&mut c);
+/// for _ in 0..5 {
+///     counter.clock_pulse(&mut c, 10);
+/// }
+/// assert_eq!(counter.read(&c), Some(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Counter {
+    /// Clock input net.
+    pub clk: NetId,
+    /// Asynchronous reset input net (active high).
+    pub rst: NetId,
+    /// Counter state bits, LSB first.
+    pub bits: Vec<NetId>,
+}
+
+impl Counter {
+    /// Builds an `n`-bit counter named `name` into `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 63.
+    pub fn build(circuit: &mut Circuit, name: &str, n: usize) -> Self {
+        assert!((1..=63).contains(&n), "counter width must be 1..=63");
+        let clk = circuit.input(&format!("{name}_clk"));
+        let rst = circuit.input(&format!("{name}_rst"));
+        let bits: Vec<NetId> = (0..n)
+            .map(|k| circuit.net(&format!("{name}_q{k}")))
+            .collect();
+
+        // Carry chain: carry[0] = 1 (toggle enable of bit 0 is constant),
+        // carry[k] = q0 & q1 & ... & q_{k-1}.
+        // d[k] = q[k] XOR carry[k].
+        let mut carry: Option<NetId> = None;
+        for k in 0..n {
+            let d = circuit.net(&format!("{name}_d{k}"));
+            match carry {
+                None => {
+                    // Bit 0 always toggles.
+                    circuit.gate(GateKind::Not, &[bits[0]], d, 1);
+                }
+                Some(cin) => {
+                    circuit.gate(GateKind::Xor, &[bits[k], cin], d, 1);
+                }
+            }
+            circuit.gate(GateKind::Dff, &[d, clk, rst], bits[k], 1);
+            // Extend the carry chain.
+            carry = Some(match carry {
+                None => bits[0],
+                Some(cin) => {
+                    let c_next = circuit.net(&format!("{name}_c{k}"));
+                    circuit.gate(GateKind::And, &[cin, bits[k]], c_next, 1);
+                    c_next
+                }
+            });
+        }
+        Counter { clk, rst, bits }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Applies and releases reset, settling the circuit.
+    pub fn reset(&self, circuit: &mut Circuit) {
+        circuit.set_input(self.clk, Logic::Zero);
+        circuit.set_input(self.rst, Logic::One);
+        circuit.settle();
+        circuit.set_input(self.rst, Logic::Zero);
+        circuit.settle();
+    }
+
+    /// Applies one full clock pulse (rise then fall) of `half_period`
+    /// units per phase.
+    pub fn clock_pulse(&self, circuit: &mut Circuit, half_period: u64) {
+        let t = circuit.now();
+        circuit.set_input_at(t + half_period, self.clk, Logic::One);
+        circuit.set_input_at(t + 2 * half_period, self.clk, Logic::Zero);
+        circuit.run_until(t + 2 * half_period);
+        circuit.settle();
+    }
+
+    /// Reads the counter value, `None` if any bit is unknown.
+    pub fn read(&self, circuit: &Circuit) -> Option<u64> {
+        to_word(&circuit.values(&self.bits))
+    }
+}
+
+/// A parallel-load register (bank of D flip-flops sharing a clock), used
+/// as the ADC output latch.
+#[derive(Debug, Clone)]
+pub struct Register {
+    /// Clock (load strobe) net.
+    pub clk: NetId,
+    /// Data input nets, LSB first.
+    pub d: Vec<NetId>,
+    /// Stored output nets, LSB first.
+    pub q: Vec<NetId>,
+}
+
+impl Register {
+    /// Builds an `n`-bit register named `name`.
+    pub fn build(circuit: &mut Circuit, name: &str, n: usize) -> Self {
+        assert!(n >= 1, "register width must be at least 1");
+        let clk = circuit.input(&format!("{name}_clk"));
+        let d: Vec<NetId> = (0..n)
+            .map(|k| circuit.input(&format!("{name}_d{k}")))
+            .collect();
+        let q: Vec<NetId> = (0..n)
+            .map(|k| circuit.net(&format!("{name}_q{k}")))
+            .collect();
+        for k in 0..n {
+            circuit.gate(GateKind::Dff, &[d[k], clk], q[k], 1);
+        }
+        Register { clk, d, q }
+    }
+
+    /// Drives the inputs and strobes the clock, latching `value`.
+    pub fn load(&self, circuit: &mut Circuit, value: u64) {
+        circuit.set_input(self.clk, Logic::Zero);
+        for (k, &dk) in self.d.iter().enumerate() {
+            circuit.set_input(dk, Logic::from_bool(value >> k & 1 == 1));
+        }
+        circuit.settle();
+        circuit.set_input(self.clk, Logic::One);
+        circuit.settle();
+        circuit.set_input(self.clk, Logic::Zero);
+        circuit.settle();
+    }
+
+    /// Reads the stored value, `None` if any bit is unknown.
+    pub fn read(&self, circuit: &Circuit) -> Option<u64> {
+        to_word(&circuit.values(&self.q))
+    }
+}
+
+/// A serial shift register with scan-style access, the test-data path of
+/// the paper's digital test structures.
+#[derive(Debug, Clone)]
+pub struct ShiftRegister {
+    /// Clock input.
+    pub clk: NetId,
+    /// Serial data input.
+    pub sin: NetId,
+    /// Stage outputs; `stages[0]` is the first stage after `sin`.
+    pub stages: Vec<NetId>,
+}
+
+impl ShiftRegister {
+    /// Builds an `n`-stage shift register named `name`.
+    pub fn build(circuit: &mut Circuit, name: &str, n: usize) -> Self {
+        assert!(n >= 1, "shift register needs at least one stage");
+        let clk = circuit.input(&format!("{name}_clk"));
+        let sin = circuit.input(&format!("{name}_sin"));
+        let stages: Vec<NetId> = (0..n)
+            .map(|k| circuit.net(&format!("{name}_s{k}")))
+            .collect();
+        let mut prev = sin;
+        for &s in &stages {
+            circuit.gate(GateKind::Dff, &[prev, clk], s, 1);
+            prev = s;
+        }
+        ShiftRegister { clk, sin, stages }
+    }
+
+    /// Serial output (last stage).
+    pub fn sout(&self) -> NetId {
+        *self.stages.last().expect("at least one stage")
+    }
+
+    /// Shifts in one bit with a full clock pulse.
+    pub fn shift_in(&self, circuit: &mut Circuit, bit: bool) {
+        circuit.set_input(self.clk, Logic::Zero);
+        circuit.set_input(self.sin, Logic::from_bool(bit));
+        circuit.settle();
+        circuit.set_input(self.clk, Logic::One);
+        circuit.settle();
+        circuit.set_input(self.clk, Logic::Zero);
+        circuit.settle();
+    }
+
+    /// Shifts a whole pattern in, first element first.
+    pub fn scan_in(&self, circuit: &mut Circuit, pattern: &[bool]) {
+        for &b in pattern {
+            self.shift_in(circuit, b);
+        }
+    }
+
+    /// Reads the parallel stage values (stage 0 first), `None` on any X.
+    pub fn read(&self, circuit: &Circuit) -> Option<u64> {
+        to_word(&circuit.values(&self.stages))
+    }
+}
+
+/// A structural MISR: a shift register with XOR feedback and XOR data
+/// injection at each stage, compacting parallel response words.
+#[derive(Debug, Clone)]
+pub struct StructuralMisr {
+    /// Clock input.
+    pub clk: NetId,
+    /// Asynchronous reset input.
+    pub rst: NetId,
+    /// Parallel data inputs, one per stage.
+    pub data: Vec<NetId>,
+    /// Stage outputs.
+    pub stages: Vec<NetId>,
+    taps: Vec<usize>,
+}
+
+impl StructuralMisr {
+    /// Builds an `n`-stage MISR with feedback from the given tap stages
+    /// into stage 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, taps are empty or any tap is out of range.
+    pub fn build(circuit: &mut Circuit, name: &str, n: usize, taps: &[usize]) -> Self {
+        assert!(n >= 2, "misr needs at least two stages");
+        assert!(!taps.is_empty(), "misr needs at least one tap");
+        assert!(taps.iter().all(|&t| t < n), "tap out of range");
+        let clk = circuit.input(&format!("{name}_clk"));
+        let rst = circuit.input(&format!("{name}_rst"));
+        let data: Vec<NetId> = (0..n)
+            .map(|k| circuit.input(&format!("{name}_in{k}")))
+            .collect();
+        let stages: Vec<NetId> = (0..n)
+            .map(|k| circuit.net(&format!("{name}_q{k}")))
+            .collect();
+
+        // Feedback = XOR of tapped stages.
+        let feedback = if taps.len() == 1 {
+            stages[taps[0]]
+        } else {
+            let fb = circuit.net(&format!("{name}_fb"));
+            let tap_nets: Vec<NetId> = taps.iter().map(|&t| stages[t]).collect();
+            circuit.gate(GateKind::Xor, &tap_nets, fb, 1);
+            fb
+        };
+
+        for k in 0..n {
+            let src = if k == 0 { feedback } else { stages[k - 1] };
+            let d = circuit.net(&format!("{name}_d{k}"));
+            circuit.gate(GateKind::Xor, &[src, data[k]], d, 1);
+            circuit.gate(GateKind::Dff, &[d, clk, rst], stages[k], 1);
+        }
+        StructuralMisr {
+            clk,
+            rst,
+            data,
+            stages,
+            taps: taps.to_vec(),
+        }
+    }
+
+    /// Tap positions feeding back into stage 0.
+    pub fn taps(&self) -> &[usize] {
+        &self.taps
+    }
+
+    /// Resets all stages to zero.
+    pub fn reset(&self, circuit: &mut Circuit) {
+        circuit.set_input(self.clk, Logic::Zero);
+        for &d in &self.data {
+            circuit.set_input(d, Logic::Zero);
+        }
+        circuit.set_input(self.rst, Logic::One);
+        circuit.settle();
+        circuit.set_input(self.rst, Logic::Zero);
+        circuit.settle();
+    }
+
+    /// Absorbs one parallel word (LSB on stage 0) with a clock pulse.
+    pub fn absorb(&self, circuit: &mut Circuit, word: u64) {
+        circuit.set_input(self.clk, Logic::Zero);
+        for (k, &d) in self.data.iter().enumerate() {
+            circuit.set_input(d, Logic::from_bool(word >> k & 1 == 1));
+        }
+        circuit.settle();
+        circuit.set_input(self.clk, Logic::One);
+        circuit.settle();
+        circuit.set_input(self.clk, Logic::Zero);
+        circuit.settle();
+    }
+
+    /// Current signature, `None` if any stage is unknown.
+    pub fn signature(&self, circuit: &Circuit) -> Option<u64> {
+        to_word(&circuit.values(&self.stages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_to_fifteen_and_wraps() {
+        let mut c = Circuit::new();
+        let cnt = Counter::build(&mut c, "c", 4);
+        cnt.reset(&mut c);
+        assert_eq!(cnt.read(&c), Some(0));
+        for expect in 1..=15 {
+            cnt.clock_pulse(&mut c, 10);
+            assert_eq!(cnt.read(&c), Some(expect));
+        }
+        cnt.clock_pulse(&mut c, 10);
+        assert_eq!(cnt.read(&c), Some(0)); // wrap
+    }
+
+    #[test]
+    fn counter_width_one_toggles() {
+        let mut c = Circuit::new();
+        let cnt = Counter::build(&mut c, "t", 1);
+        cnt.reset(&mut c);
+        cnt.clock_pulse(&mut c, 5);
+        assert_eq!(cnt.read(&c), Some(1));
+        cnt.clock_pulse(&mut c, 5);
+        assert_eq!(cnt.read(&c), Some(0));
+    }
+
+    #[test]
+    fn counter_reset_mid_count() {
+        let mut c = Circuit::new();
+        let cnt = Counter::build(&mut c, "r", 3);
+        cnt.reset(&mut c);
+        for _ in 0..5 {
+            cnt.clock_pulse(&mut c, 10);
+        }
+        assert_eq!(cnt.read(&c), Some(5));
+        cnt.reset(&mut c);
+        assert_eq!(cnt.read(&c), Some(0));
+    }
+
+    #[test]
+    fn register_latches_value() {
+        let mut c = Circuit::new();
+        let reg = Register::build(&mut c, "lat", 8);
+        reg.load(&mut c, 0xA5);
+        assert_eq!(reg.read(&c), Some(0xA5));
+        reg.load(&mut c, 0x3C);
+        assert_eq!(reg.read(&c), Some(0x3C));
+    }
+
+    #[test]
+    fn shift_register_delays_pattern() {
+        let mut c = Circuit::new();
+        let sr = ShiftRegister::build(&mut c, "sr", 4);
+        sr.scan_in(&mut c, &[true, false, true, true]);
+        // After 4 shifts the first bit sits in the last stage.
+        // Stage order: s0 holds the most recent bit.
+        assert_eq!(c.value(sr.sout()), Logic::One);
+        // Word packs s0 into bit 0: s0=1 (newest), s1=1, s2=0, s3=1 (oldest).
+        assert_eq!(sr.read(&c), Some(0b1011));
+    }
+
+    #[test]
+    fn misr_signature_is_deterministic_and_sensitive() {
+        let words = [3u64, 7, 1, 0, 5];
+        let sig_of = |ws: &[u64]| {
+            let mut c = Circuit::new();
+            let m = StructuralMisr::build(&mut c, "m", 4, &[3, 2]);
+            m.reset(&mut c);
+            for &w in ws {
+                m.absorb(&mut c, w);
+            }
+            m.signature(&c).unwrap()
+        };
+        assert_eq!(sig_of(&words), sig_of(&words));
+        let mut corrupted = words;
+        corrupted[2] ^= 0b10;
+        assert_ne!(sig_of(&words), sig_of(&corrupted));
+    }
+
+    #[test]
+    fn misr_reset_returns_to_zero() {
+        let mut c = Circuit::new();
+        let m = StructuralMisr::build(&mut c, "m", 4, &[3]);
+        m.reset(&mut c);
+        m.absorb(&mut c, 0xF);
+        assert_ne!(m.signature(&c), Some(0));
+        m.reset(&mut c);
+        assert_eq!(m.signature(&c), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=63")]
+    fn zero_width_counter_rejected() {
+        let mut c = Circuit::new();
+        let _ = Counter::build(&mut c, "z", 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Behavioural controllers used by the ADC macro and its BIST logic.
+//!
+//! These are clock-accurate state machines: the dual-slope conversion
+//! controller that sequences the ADC's integrate/de-integrate phases, and
+//! the output-code monotonicity checker described in the AT&T BIST
+//! patent (DeWitt et al., US 5,132,685) that the paper adopts for initial
+//! ADC testing.
+
+/// Phase of a dual-slope conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DualSlopePhase {
+    /// Waiting for a start request.
+    Idle,
+    /// Integrating the (unknown) input for a fixed number of counts.
+    IntegrateInput,
+    /// De-integrating with the reference until the comparator trips.
+    IntegrateReference,
+    /// Conversion complete; result latched.
+    Done,
+}
+
+/// The dual-slope ADC control state machine.
+///
+/// Drives the conversion sequence: integrate the input for exactly
+/// `full_count` clock cycles, then integrate the reference of opposite
+/// polarity while counting until the comparator reports the integrator
+/// has returned through its threshold. The count in the second phase is
+/// the output code: `code = full_count · Vin / Vref`.
+///
+/// # Example
+///
+/// ```
+/// use digisim::fsm::{DualSlopeController, DualSlopePhase};
+///
+/// let mut ctl = DualSlopeController::new(100);
+/// ctl.start();
+/// // Phase 1: 100 clocks of input integration.
+/// for _ in 0..100 {
+///     assert_eq!(ctl.phase(), DualSlopePhase::IntegrateInput);
+///     ctl.clock(false);
+/// }
+/// // Phase 2: comparator trips after 42 clocks.
+/// for _ in 0..42 {
+///     assert_eq!(ctl.phase(), DualSlopePhase::IntegrateReference);
+///     ctl.clock(false);
+/// }
+/// ctl.clock(true);
+/// assert_eq!(ctl.phase(), DualSlopePhase::Done);
+/// assert_eq!(ctl.result(), Some(42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualSlopeController {
+    phase: DualSlopePhase,
+    counter: u64,
+    full_count: u64,
+    max_count: u64,
+    result: Option<u64>,
+    overflowed: bool,
+}
+
+impl DualSlopeController {
+    /// Creates a controller with the given fixed input-integration length
+    /// (also used as the overflow limit for the reference phase, times
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_count` is zero.
+    pub fn new(full_count: u64) -> Self {
+        assert!(full_count > 0, "full count must be positive");
+        DualSlopeController {
+            phase: DualSlopePhase::Idle,
+            counter: 0,
+            full_count,
+            max_count: full_count * 2,
+            result: None,
+            overflowed: false,
+        }
+    }
+
+    /// Begins a conversion (from any phase).
+    pub fn start(&mut self) {
+        self.phase = DualSlopePhase::IntegrateInput;
+        self.counter = 0;
+        self.result = None;
+        self.overflowed = false;
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> DualSlopePhase {
+        self.phase
+    }
+
+    /// Elapsed counts in the current phase.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// The latched conversion result, if the conversion has completed.
+    pub fn result(&self) -> Option<u64> {
+        self.result
+    }
+
+    /// True if the reference phase ran past the overflow limit (input
+    /// over-range or a stuck comparator — the "conversion process
+    /// stopped" failure signature of control faults in the paper).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Total clocks a conversion takes at worst (both phases), for
+    /// conversion-time specification checks.
+    pub fn worst_case_clocks(&self) -> u64 {
+        self.full_count + self.max_count
+    }
+
+    /// Advances one clock. `comparator_high` is the comparator output:
+    /// `true` once the integrator has crossed back through the threshold.
+    ///
+    /// Returns the phase after the clock edge.
+    pub fn clock(&mut self, comparator_high: bool) -> DualSlopePhase {
+        match self.phase {
+            DualSlopePhase::Idle | DualSlopePhase::Done => {}
+            DualSlopePhase::IntegrateInput => {
+                self.counter += 1;
+                if self.counter >= self.full_count {
+                    self.phase = DualSlopePhase::IntegrateReference;
+                    self.counter = 0;
+                }
+            }
+            DualSlopePhase::IntegrateReference => {
+                if comparator_high {
+                    self.result = Some(self.counter);
+                    self.phase = DualSlopePhase::Done;
+                } else {
+                    self.counter += 1;
+                    if self.counter >= self.max_count {
+                        self.result = Some(self.counter);
+                        self.overflowed = true;
+                        self.phase = DualSlopePhase::Done;
+                    }
+                }
+            }
+        }
+        self.phase
+    }
+}
+
+/// A single monotonicity violation observed by [`MonotonicityChecker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonotonicityViolation {
+    /// Index of the offending sample.
+    pub sample: usize,
+    /// The previous code.
+    pub previous: u64,
+    /// The offending code.
+    pub code: u64,
+}
+
+/// Monitors a stream of ADC output codes taken during a rising-ramp test
+/// and records violations, following the AT&T BIST patent's scheme of a
+/// ramp generator plus a state machine watching the output.
+///
+/// A violation is a code that *decreases*, or that jumps upward by more
+/// than `max_step` (a large gap indicates missing codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonotonicityChecker {
+    last: Option<u64>,
+    samples: usize,
+    max_step: u64,
+    violations: Vec<MonotonicityViolation>,
+}
+
+impl MonotonicityChecker {
+    /// Creates a checker tolerating upward jumps up to `max_step` codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_step` is zero.
+    pub fn new(max_step: u64) -> Self {
+        assert!(max_step > 0, "max step must be positive");
+        MonotonicityChecker {
+            last: None,
+            samples: 0,
+            max_step,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Observes the next output code.
+    pub fn observe(&mut self, code: u64) {
+        if let Some(prev) = self.last {
+            let bad = code < prev || code - prev > self.max_step;
+            if bad {
+                self.violations.push(MonotonicityViolation {
+                    sample: self.samples,
+                    previous: prev,
+                    code,
+                });
+            }
+        }
+        self.last = Some(code);
+        self.samples += 1;
+    }
+
+    /// Observes a whole code sequence.
+    pub fn observe_all<I: IntoIterator<Item = u64>>(&mut self, codes: I) {
+        for c in codes {
+            self.observe(c);
+        }
+    }
+
+    /// True if no violations were recorded.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The recorded violations.
+    pub fn violations(&self) -> &[MonotonicityViolation] {
+        &self.violations
+    }
+
+    /// Number of codes observed.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_sequence_and_result() {
+        let mut ctl = DualSlopeController::new(10);
+        assert_eq!(ctl.phase(), DualSlopePhase::Idle);
+        ctl.clock(false); // idle ignores clocks
+        assert_eq!(ctl.phase(), DualSlopePhase::Idle);
+        ctl.start();
+        for _ in 0..10 {
+            ctl.clock(true); // comparator ignored during input phase
+        }
+        assert_eq!(ctl.phase(), DualSlopePhase::IntegrateReference);
+        for _ in 0..7 {
+            ctl.clock(false);
+        }
+        ctl.clock(true);
+        assert_eq!(ctl.result(), Some(7));
+        assert!(!ctl.overflowed());
+    }
+
+    #[test]
+    fn zero_input_trips_immediately() {
+        let mut ctl = DualSlopeController::new(5);
+        ctl.start();
+        for _ in 0..5 {
+            ctl.clock(false);
+        }
+        ctl.clock(true);
+        assert_eq!(ctl.result(), Some(0));
+    }
+
+    #[test]
+    fn stuck_comparator_overflows() {
+        let mut ctl = DualSlopeController::new(4);
+        ctl.start();
+        for _ in 0..4 {
+            ctl.clock(false);
+        }
+        // Comparator never fires: overflow at 2 * full_count.
+        for _ in 0..8 {
+            assert_eq!(ctl.phase(), DualSlopePhase::IntegrateReference);
+            ctl.clock(false);
+        }
+        assert_eq!(ctl.phase(), DualSlopePhase::Done);
+        assert!(ctl.overflowed());
+        assert_eq!(ctl.result(), Some(8));
+    }
+
+    #[test]
+    fn restart_clears_state() {
+        let mut ctl = DualSlopeController::new(3);
+        ctl.start();
+        for _ in 0..3 {
+            ctl.clock(false);
+        }
+        ctl.clock(true);
+        assert!(ctl.result().is_some());
+        ctl.start();
+        assert_eq!(ctl.result(), None);
+        assert_eq!(ctl.phase(), DualSlopePhase::IntegrateInput);
+    }
+
+    #[test]
+    fn worst_case_clock_budget() {
+        let ctl = DualSlopeController::new(256);
+        assert_eq!(ctl.worst_case_clocks(), 256 + 512);
+    }
+
+    #[test]
+    fn monotonic_ramp_passes() {
+        let mut chk = MonotonicityChecker::new(1);
+        chk.observe_all(0..100);
+        assert!(chk.passed());
+        assert_eq!(chk.samples(), 100);
+    }
+
+    #[test]
+    fn decreasing_code_flagged() {
+        let mut chk = MonotonicityChecker::new(2);
+        chk.observe_all([1u64, 2, 3, 2, 4]);
+        assert!(!chk.passed());
+        let v = chk.violations()[0];
+        assert_eq!(v.sample, 3);
+        assert_eq!(v.previous, 3);
+        assert_eq!(v.code, 2);
+    }
+
+    #[test]
+    fn missing_codes_flagged_by_step_limit() {
+        let mut chk = MonotonicityChecker::new(1);
+        chk.observe_all([1u64, 2, 5]);
+        assert!(!chk.passed());
+    }
+
+    #[test]
+    fn repeated_codes_allowed() {
+        let mut chk = MonotonicityChecker::new(1);
+        chk.observe_all([1u64, 1, 1, 2, 2]);
+        assert!(chk.passed());
+    }
+}

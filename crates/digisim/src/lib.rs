@@ -1,0 +1,38 @@
+//! `digisim` — a compact event-driven digital logic simulator.
+//!
+//! The digital substrate of the `mixsig` workspace: the paper's on-chip
+//! test structures include a counter, an output latch, control logic and
+//! signature-compression registers, all of which are modelled here at
+//! gate level.
+//!
+//! * [`logic`] — three-valued logic (`0`, `1`, `X`),
+//! * [`circuit`] — gate-level netlists with an event-driven kernel
+//!   (inertial delays, delta cycles, edge-triggered flip-flops),
+//! * [`components`] — structural building blocks: counters, registers,
+//!   shift/scan chains, LFSRs and MISRs assembled from gates,
+//! * [`fsm`] — behavioural controllers used by the ADC macro: the
+//!   dual-slope conversion control state machine and the ramp
+//!   monotonicity checker of the AT&T BIST patent.
+//!
+//! # Example
+//!
+//! ```
+//! use digisim::circuit::{Circuit, GateKind};
+//! use digisim::logic::Logic;
+//!
+//! let mut c = Circuit::new();
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let y = c.net("y");
+//! c.gate(GateKind::And, &[a, b], y, 1);
+//! c.set_input(a, Logic::One);
+//! c.set_input(b, Logic::One);
+//! c.run_until(10);
+//! assert_eq!(c.value(y), Logic::One);
+//! ```
+
+pub mod circuit;
+pub mod components;
+pub mod fsm;
+pub mod logic;
+pub mod structural;

@@ -1,0 +1,192 @@
+//! Three-valued logic.
+
+use std::fmt;
+
+/// A logic value: `0`, `1` or unknown (`X`).
+///
+/// Unknowns propagate pessimistically: any operation whose result could
+/// differ depending on the unknown yields `X`, while dominating inputs
+/// (e.g. a `0` into an AND) resolve it.
+///
+/// # Example
+///
+/// ```
+/// use digisim::logic::Logic;
+///
+/// assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero); // 0 dominates
+/// assert_eq!(Logic::One.and(Logic::X), Logic::X);
+/// assert_eq!(Logic::One.or(Logic::X), Logic::One);    // 1 dominates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialised.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts from a bool.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for known values, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// True if the value is `0` or `1`.
+    pub fn is_known(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Logical AND with X-propagation.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical OR with X-propagation.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical XOR with X-propagation.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a != b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical NOT with X-propagation (also available via the `!`
+    /// operator).
+    #[allow(clippy::should_implement_trait)] // `Not` is implemented below; the method reads better in gate code
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic::Zero => write!(f, "0"),
+            Logic::One => write!(f, "1"),
+            Logic::X => write!(f, "X"),
+        }
+    }
+}
+
+/// Packs a slice of logic values (LSB first) into an integer, returning
+/// `None` if any bit is `X`.
+pub fn to_word(bits: &[Logic]) -> Option<u64> {
+    let mut word = 0u64;
+    for (k, b) in bits.iter().enumerate() {
+        match b.to_bool() {
+            Some(true) => word |= 1 << k,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(word)
+}
+
+/// Unpacks the low `n` bits of `word` into logic values, LSB first.
+pub fn from_word(word: u64, n: usize) -> Vec<Logic> {
+    (0..n).map(|k| Logic::from_bool(word >> k & 1 == 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero.and(Zero), Zero);
+        assert_eq!(Zero.and(One), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(X.and(Zero), Zero);
+        assert_eq!(X.and(One), X);
+        assert_eq!(X.and(X), X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero.or(Zero), Zero);
+        assert_eq!(One.or(Zero), One);
+        assert_eq!(X.or(One), One);
+        assert_eq!(X.or(Zero), X);
+    }
+
+    #[test]
+    fn xor_and_not() {
+        use Logic::*;
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(X.not(), X);
+        assert_eq!(Zero.not(), One);
+    }
+
+    #[test]
+    fn word_packing_roundtrip() {
+        let bits = from_word(0b1011, 4);
+        assert_eq!(to_word(&bits), Some(0b1011));
+    }
+
+    #[test]
+    fn word_packing_with_x_fails() {
+        let bits = [Logic::One, Logic::X];
+        assert_eq!(to_word(&bits), None);
+    }
+
+    #[test]
+    fn default_is_unknown() {
+        assert_eq!(Logic::default(), Logic::X);
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::X.to_string(), "X");
+    }
+}

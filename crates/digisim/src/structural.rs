@@ -1,0 +1,347 @@
+//! A gate-level (structural) realisation of the dual-slope control
+//! logic.
+//!
+//! The behavioural [`crate::fsm::DualSlopeController`] specifies *what*
+//! the control sub-macro does; this module builds the same controller
+//! out of flip-flops and gates — the form it takes on the gate array —
+//! and the tests prove the two equivalent cycle by cycle. The paper's
+//! control-circuit fault class ("control circuit faults will stop the
+//! conversion process") is only meaningful against this structural
+//! form.
+//!
+//! State encoding (`s1 s0`): `00` idle, `01` integrate-input, `10`
+//! integrate-reference, `11` done. Two phase counters run on gated
+//! clocks; the reference counter holds the output code at `done`.
+
+use crate::circuit::{Circuit, GateKind, NetId};
+use crate::components::Counter;
+use crate::fsm::DualSlopePhase;
+use crate::logic::Logic;
+
+/// A built structural dual-slope controller.
+#[derive(Debug, Clone)]
+pub struct StructuralDualSlope {
+    /// Clock input.
+    pub clk: NetId,
+    /// Asynchronous reset (active high).
+    pub rst: NetId,
+    /// Start request (level; sampled in idle).
+    pub start: NetId,
+    /// Comparator input (high once the integrator has crossed back).
+    pub comparator: NetId,
+    /// Done flag (state `11`).
+    pub done: NetId,
+    state: [NetId; 2],
+    counter_ref: Counter,
+    counter_in: Counter,
+    full_count: u64,
+}
+
+impl StructuralDualSlope {
+    /// Builds the controller for a fixed input-phase length
+    /// `full_count`, using `width`-bit phase counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= full_count < 2^(width−1)` (the reference
+    /// phase needs head-room for its 2× overflow limit).
+    pub fn build(circuit: &mut Circuit, name: &str, full_count: u64, width: usize) -> Self {
+        assert!(full_count >= 1, "full count must be positive");
+        assert!(
+            2 * full_count < (1 << width),
+            "width too small for the 2x overflow limit"
+        );
+        let clk = circuit.input(&format!("{name}_clk"));
+        let rst = circuit.input(&format!("{name}_rst"));
+        let start = circuit.input(&format!("{name}_start"));
+        let comparator = circuit.input(&format!("{name}_cmp"));
+
+        // State register.
+        let s0 = circuit.net(&format!("{name}_s0"));
+        let s1 = circuit.net(&format!("{name}_s1"));
+        let ns0 = circuit.net(&format!("{name}_ns0"));
+        let ns1 = circuit.net(&format!("{name}_ns1"));
+        circuit.gate(GateKind::Dff, &[ns0, clk, rst], s0, 1);
+        circuit.gate(GateKind::Dff, &[ns1, clk, rst], s1, 1);
+        let n_s0 = circuit.net(&format!("{name}_s0n"));
+        let n_s1 = circuit.net(&format!("{name}_s1n"));
+        circuit.gate(GateKind::Not, &[s0], n_s0, 1);
+        circuit.gate(GateKind::Not, &[s1], n_s1, 1);
+
+        // Phase decode.
+        let idle = circuit.net(&format!("{name}_idle"));
+        let integ = circuit.net(&format!("{name}_integ"));
+        let refp = circuit.net(&format!("{name}_refp"));
+        let done = circuit.net(&format!("{name}_done"));
+        circuit.gate(GateKind::And, &[n_s1, n_s0], idle, 1);
+        circuit.gate(GateKind::And, &[n_s1, s0], integ, 1);
+        circuit.gate(GateKind::And, &[s1, n_s0], refp, 1);
+        circuit.gate(GateKind::And, &[s1, s0], done, 1);
+
+        // Phase counters on gated clocks. The gating state is registered,
+        // so it is stable when the raw clock edge arrives. The reference
+        // counter is additionally inhibited on the conversion-ending
+        // cycle so the held code equals the number of reference clocks
+        // *before* the comparator fired — matching the behavioural
+        // controller exactly.
+        let clk_in = circuit.net(&format!("{name}_clkin"));
+        let clk_ref = circuit.net(&format!("{name}_clkref"));
+        let end_ref = circuit.net(&format!("{name}_endref"));
+        let n_endref = circuit.net(&format!("{name}_endrefn"));
+        circuit.gate(GateKind::Not, &[end_ref], n_endref, 1);
+        circuit.gate(GateKind::And, &[clk, integ], clk_in, 1);
+        circuit.gate(GateKind::And, &[clk, refp, n_endref], clk_ref, 1);
+        let counter_in = Counter::build(circuit, &format!("{name}_cin"), width);
+        let counter_ref = Counter::build(circuit, &format!("{name}_cref"), width);
+        // The counters' own clock/reset nets are driven by our logic.
+        circuit.gate(GateKind::Buf, &[clk_in], counter_in.clk, 1);
+        circuit.gate(GateKind::Buf, &[clk_ref], counter_ref.clk, 1);
+        circuit.gate(GateKind::Buf, &[rst], counter_in.rst, 1);
+        circuit.gate(GateKind::Buf, &[rst], counter_ref.rst, 1);
+
+        // Terminal-count detectors: equality against constants, built as
+        // an AND of bits XNORed with the constant's bits.
+        // tc fires one count early: the transition clock itself still
+        // increments the input counter, landing it exactly on full_count.
+        let tc_in = equality_detector(
+            circuit,
+            &format!("{name}_tcin"),
+            &counter_in.bits,
+            full_count - 1,
+        );
+        let tc_ovf = equality_detector(
+            circuit,
+            &format!("{name}_tcovf"),
+            &counter_ref.bits,
+            2 * full_count,
+        );
+
+        // Next-state logic:
+        //   s1' = (integ & tc_in) | refp | done
+        //   s0' = (idle & start) | (integ & ~tc_in) | (refp & (cmp|ovf)) | done
+        let t_a = circuit.net(&format!("{name}_ta"));
+        circuit.gate(GateKind::And, &[integ, tc_in], t_a, 1);
+        circuit.gate(GateKind::Or, &[t_a, refp, done], ns1, 1);
+
+        let t_b = circuit.net(&format!("{name}_tb"));
+        let t_c = circuit.net(&format!("{name}_tc"));
+        let t_d = circuit.net(&format!("{name}_td"));
+        let n_tcin = circuit.net(&format!("{name}_tcinn"));
+        circuit.gate(GateKind::Not, &[tc_in], n_tcin, 1);
+        circuit.gate(GateKind::And, &[idle, start], t_b, 1);
+        circuit.gate(GateKind::And, &[integ, n_tcin], t_c, 1);
+        circuit.gate(GateKind::Or, &[comparator, tc_ovf], end_ref, 1);
+        circuit.gate(GateKind::And, &[refp, end_ref], t_d, 1);
+        circuit.gate(GateKind::Or, &[t_b, t_c, t_d, done], ns0, 1);
+
+        StructuralDualSlope {
+            clk,
+            rst,
+            start,
+            comparator,
+            done,
+            state: [s0, s1],
+            counter_ref,
+            counter_in,
+            full_count,
+        }
+    }
+
+    /// Applies and releases reset.
+    pub fn reset(&self, circuit: &mut Circuit) {
+        circuit.set_input(self.clk, Logic::Zero);
+        circuit.set_input(self.start, Logic::Zero);
+        circuit.set_input(self.comparator, Logic::Zero);
+        circuit.set_input(self.rst, Logic::One);
+        circuit.settle();
+        circuit.set_input(self.rst, Logic::Zero);
+        circuit.settle();
+    }
+
+    /// Raises the start request (sampled on the next clock in idle).
+    pub fn request_start(&self, circuit: &mut Circuit) {
+        circuit.set_input(self.start, Logic::One);
+        circuit.settle();
+    }
+
+    /// One clock cycle with the given comparator level.
+    ///
+    /// The high phase (2 units) is kept shorter than the state-register
+    /// plus decode delay (3 units), so the gated phase clocks cannot
+    /// glitch when the state changes — the discrete-time equivalent of
+    /// the glitch-free clock-gating cells a real gate array would use.
+    pub fn step(&self, circuit: &mut Circuit, comparator: bool) {
+        circuit.set_input(self.comparator, Logic::from_bool(comparator));
+        circuit.settle();
+        let t = circuit.now();
+        circuit.set_input_at(t + 5, self.clk, Logic::One);
+        circuit.set_input_at(t + 7, self.clk, Logic::Zero);
+        circuit.run_until(t + 7);
+        circuit.settle();
+    }
+
+    /// Decodes the present phase.
+    pub fn phase(&self, circuit: &Circuit) -> DualSlopePhase {
+        let s0 = circuit.value(self.state[0]).to_bool().unwrap_or(false);
+        let s1 = circuit.value(self.state[1]).to_bool().unwrap_or(false);
+        match (s1, s0) {
+            (false, false) => DualSlopePhase::Idle,
+            (false, true) => DualSlopePhase::IntegrateInput,
+            (true, false) => DualSlopePhase::IntegrateReference,
+            (true, true) => DualSlopePhase::Done,
+        }
+    }
+
+    /// The conversion result (reference-phase count), meaningful at
+    /// `Done`.
+    pub fn result(&self, circuit: &Circuit) -> Option<u64> {
+        self.counter_ref.read(circuit)
+    }
+
+    /// The input-phase count (diagnostic).
+    pub fn input_count(&self, circuit: &Circuit) -> Option<u64> {
+        self.counter_in.read(circuit)
+    }
+
+    /// The configured input-phase length.
+    pub fn full_count(&self) -> u64 {
+        self.full_count
+    }
+}
+
+/// Builds `out = (bits == constant)` from XNOR/AND gates and returns the
+/// output net.
+fn equality_detector(circuit: &mut Circuit, name: &str, bits: &[NetId], constant: u64) -> NetId {
+    // Constant nets, driven once.
+    let one = circuit.net(&format!("{name}_one"));
+    let zero = circuit.net(&format!("{name}_zero"));
+    circuit.set_input(one, Logic::One);
+    circuit.set_input(zero, Logic::Zero);
+
+    let mut terms = Vec::with_capacity(bits.len());
+    for (k, &bit) in bits.iter().enumerate() {
+        let want = constant >> k & 1 == 1;
+        let term = circuit.net(&format!("{name}_x{k}"));
+        let cnet = if want { one } else { zero };
+        circuit.gate(GateKind::Xnor, &[bit, cnet], term, 1);
+        terms.push(term);
+    }
+    let out = circuit.net(&format!("{name}_eq"));
+    if terms.len() == 1 {
+        circuit.gate(GateKind::Buf, &[terms[0]], out, 1);
+    } else {
+        circuit.gate(GateKind::And, &terms, out, 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::DualSlopeController;
+
+    fn run_structural(full_count: u64, trip_at: u64) -> (DualSlopePhase, Option<u64>) {
+        let mut c = Circuit::new();
+        let ctl = StructuralDualSlope::build(&mut c, "ds", full_count, 10);
+        ctl.reset(&mut c);
+        ctl.request_start(&mut c);
+        let mut clocks = 0u64;
+        let limit = 4 * full_count + 10;
+        while ctl.phase(&c) != DualSlopePhase::Done && clocks < limit {
+            let in_ref = ctl.phase(&c) == DualSlopePhase::IntegrateReference;
+            let count = ctl.result(&c).unwrap_or(0);
+            ctl.step(&mut c, in_ref && count >= trip_at);
+            clocks += 1;
+        }
+        (ctl.phase(&c), ctl.result(&c))
+    }
+
+    fn run_behavioral(full_count: u64, trip_at: u64) -> Option<u64> {
+        let mut ctl = DualSlopeController::new(full_count);
+        ctl.start();
+        for _ in 0..full_count {
+            ctl.clock(false);
+        }
+        loop {
+            let fire = ctl.counter() >= trip_at;
+            if ctl.clock(fire) == DualSlopePhase::Done {
+                return ctl.result();
+            }
+        }
+    }
+
+    #[test]
+    fn structural_matches_behavioral_results() {
+        for (full, trip) in [(8u64, 0u64), (8, 3), (8, 7), (20, 13), (20, 19)] {
+            let (phase, got) = run_structural(full, trip);
+            assert_eq!(phase, DualSlopePhase::Done, "full={full} trip={trip}");
+            let want = run_behavioral(full, trip);
+            assert_eq!(got, want, "full={full} trip={trip}");
+        }
+    }
+
+    #[test]
+    fn overflow_terminates_with_stuck_comparator() {
+        let full = 8;
+        let (phase, result) = run_structural(full, u64::MAX);
+        assert_eq!(phase, DualSlopePhase::Done);
+        assert_eq!(result, Some(2 * full));
+    }
+
+    #[test]
+    fn stays_idle_without_start() {
+        let mut c = Circuit::new();
+        let ctl = StructuralDualSlope::build(&mut c, "ds", 8, 10);
+        ctl.reset(&mut c);
+        for _ in 0..5 {
+            ctl.step(&mut c, false);
+        }
+        assert_eq!(ctl.phase(&c), DualSlopePhase::Idle);
+        assert_eq!(ctl.result(&c), Some(0));
+    }
+
+    #[test]
+    fn input_phase_counts_full_count_clocks() {
+        let mut c = Circuit::new();
+        let ctl = StructuralDualSlope::build(&mut c, "ds", 12, 10);
+        ctl.reset(&mut c);
+        ctl.request_start(&mut c);
+        let mut clocks = 0;
+        while ctl.phase(&c) != DualSlopePhase::IntegrateReference && clocks < 40 {
+            ctl.step(&mut c, false);
+            clocks += 1;
+        }
+        assert_eq!(ctl.input_count(&c), Some(12));
+    }
+
+    #[test]
+    fn done_state_is_sticky() {
+        let (phase, result) = run_structural(8, 2);
+        assert_eq!(phase, DualSlopePhase::Done);
+        let code = result.unwrap();
+        // Clocking further in Done must not change the result.
+        let mut c = Circuit::new();
+        let ctl = StructuralDualSlope::build(&mut c, "ds", 8, 10);
+        ctl.reset(&mut c);
+        ctl.request_start(&mut c);
+        for _ in 0..9 {
+            ctl.step(&mut c, false);
+        }
+        for _ in 0..3 {
+            ctl.step(&mut c, true);
+        }
+        let frozen = ctl.result(&c);
+        for _ in 0..5 {
+            ctl.step(&mut c, false);
+        }
+        assert_eq!(ctl.result(&c), frozen);
+        let _ = code;
+    }
+
+    #[test]
+    #[should_panic(expected = "width too small")]
+    fn width_check() {
+        let mut c = Circuit::new();
+        let _ = StructuralDualSlope::build(&mut c, "ds", 300, 9);
+    }
+}

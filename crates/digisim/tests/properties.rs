@@ -1,0 +1,163 @@
+//! Property-based tests for the digital substrate.
+
+use digisim::circuit::Circuit;
+use digisim::components::{Counter, Register, ShiftRegister, StructuralMisr};
+use digisim::fsm::{DualSlopeController, DualSlopePhase, MonotonicityChecker};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn counter_counts_any_pulse_train(width in 2usize..7, pulses in 0u64..40) {
+        let mut c = Circuit::new();
+        let counter = Counter::build(&mut c, "cnt", width);
+        counter.reset(&mut c);
+        for _ in 0..pulses {
+            counter.clock_pulse(&mut c, 5);
+        }
+        let modulus = 1u64 << width;
+        prop_assert_eq!(counter.read(&c), Some(pulses % modulus));
+    }
+
+    #[test]
+    fn register_roundtrips_any_word(width in 1usize..12, value in 0u64..4096) {
+        let mut c = Circuit::new();
+        let reg = Register::build(&mut c, "r", width);
+        let masked = value & ((1 << width) - 1);
+        reg.load(&mut c, masked);
+        prop_assert_eq!(reg.read(&c), Some(masked));
+    }
+
+    #[test]
+    fn shift_register_preserves_history(bits in proptest::collection::vec(any::<bool>(), 4..12)) {
+        let n = bits.len();
+        let mut c = Circuit::new();
+        let sr = ShiftRegister::build(&mut c, "s", n);
+        sr.scan_in(&mut c, &bits);
+        // Stage k holds the bit shifted in (n-1-k) steps ago.
+        let word = sr.read(&c).expect("all stages known");
+        for (k, &b) in bits.iter().rev().enumerate() {
+            prop_assert_eq!(word >> k & 1 == 1, b, "stage {}", k);
+        }
+    }
+
+    #[test]
+    fn structural_misr_is_order_sensitive(
+        words in proptest::collection::vec(0u64..16, 2..12),
+    ) {
+        prop_assume!(words.windows(2).any(|w| w[0] != w[1]));
+        let sig_of = |ws: &[u64]| {
+            let mut c = Circuit::new();
+            let m = StructuralMisr::build(&mut c, "m", 4, &[3, 1]);
+            m.reset(&mut c);
+            for &w in ws {
+                m.absorb(&mut c, w & 0xF);
+            }
+            m.signature(&c).expect("signature known")
+        };
+        let forward = sig_of(&words);
+        let mut reversed = words.clone();
+        reversed.reverse();
+        // Deterministic...
+        prop_assert_eq!(forward, sig_of(&words));
+        // ...and (for differing sequences) usually order-sensitive; we
+        // only assert determinism plus sensitivity to a known corruption
+        // to avoid rare aliasing flakes.
+        let mut corrupted = words.clone();
+        corrupted[0] ^= 0x1;
+        prop_assert_ne!(forward, sig_of(&corrupted));
+    }
+
+    #[test]
+    fn dual_slope_code_equals_comparator_trip_count(
+        full in 4u64..200,
+        trip in 0u64..200,
+    ) {
+        let trip = trip.min(2 * full - 1);
+        let mut ctl = DualSlopeController::new(full);
+        ctl.start();
+        for _ in 0..full {
+            ctl.clock(false);
+        }
+        prop_assert_eq!(ctl.phase(), DualSlopePhase::IntegrateReference);
+        for _ in 0..trip {
+            ctl.clock(false);
+        }
+        ctl.clock(true);
+        prop_assert_eq!(ctl.result(), Some(trip));
+        prop_assert!(!ctl.overflowed());
+    }
+
+    #[test]
+    fn monotonicity_checker_accepts_sorted(
+        mut codes in proptest::collection::vec(0u64..100, 1..30),
+    ) {
+        codes.sort_unstable();
+        // Cap jumps at the checker's step limit.
+        let mut chk = MonotonicityChecker::new(100);
+        chk.observe_all(codes.iter().copied());
+        prop_assert!(chk.passed());
+    }
+
+    #[test]
+    fn monotonicity_checker_rejects_any_decrease(
+        prefix in proptest::collection::vec(0u64..50, 1..10),
+        drop in 1u64..20,
+    ) {
+        let mut codes: Vec<u64> = prefix.clone();
+        codes.sort_unstable();
+        let last = *codes.last().expect("non-empty") + drop;
+        codes.push(last);
+        codes.push(last - drop); // guaranteed decrease
+        let mut chk = MonotonicityChecker::new(u64::MAX - 1);
+        chk.observe_all(codes.iter().copied());
+        prop_assert!(!chk.passed());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The gate-level dual-slope controller is cycle-equivalent to the
+    /// behavioural FSM for arbitrary phase lengths and trip points.
+    #[test]
+    fn structural_controller_matches_behavioral(
+        full in 2u64..40,
+        trip_frac in 0.0..1.0f64,
+    ) {
+        use digisim::structural::StructuralDualSlope;
+        use digisim::fsm::DualSlopeController;
+
+        let trip = ((2 * full - 1) as f64 * trip_frac) as u64;
+
+        // Behavioural reference.
+        let mut beh = DualSlopeController::new(full);
+        beh.start();
+        for _ in 0..full {
+            beh.clock(false);
+        }
+        let behavioral = loop {
+            let fire = beh.counter() >= trip;
+            if beh.clock(fire) == DualSlopePhase::Done {
+                break beh.result();
+            }
+        };
+
+        // Structural.
+        let mut c = Circuit::new();
+        let ctl = StructuralDualSlope::build(&mut c, "ds", full, 8);
+        ctl.reset(&mut c);
+        ctl.request_start(&mut c);
+        let limit = 4 * full + 10;
+        let mut clocks = 0;
+        while ctl.phase(&c) != DualSlopePhase::Done && clocks < limit {
+            let in_ref = ctl.phase(&c) == DualSlopePhase::IntegrateReference;
+            let count = ctl.result(&c).unwrap_or(0);
+            ctl.step(&mut c, in_ref && count >= trip);
+            clocks += 1;
+        }
+        prop_assert_eq!(ctl.phase(&c), DualSlopePhase::Done, "did not finish");
+        prop_assert_eq!(ctl.result(&c), behavioral);
+    }
+}

@@ -1,0 +1,211 @@
+//! Fault campaigns: golden-vs-faulty response collection and detection
+//! statistics.
+//!
+//! A campaign simulates the fault-free circuit once, then re-simulates
+//! with each fault of the universe injected, extracts a response
+//! signature from each run, and scores every fault with the paper's
+//! detection-instance metric (the percentage of signature samples at
+//! which the faulty response deviates detectably from golden — Figure 4
+//! of the paper plots exactly this per faulty circuit).
+
+use anasim::netlist::Netlist;
+use anasim::AnalysisError;
+use sigproc::correlation::detection_instances;
+
+use crate::inject::inject;
+use crate::model::Fault;
+
+/// Outcome of one fault's simulation.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// The fault that was injected.
+    pub fault: Fault,
+    /// The extracted signature, or the analysis error that prevented it.
+    pub signature: Result<Vec<f64>, AnalysisError>,
+    /// Percentage (0–100) of signature instances deviating beyond the
+    /// threshold. `None` if the simulation failed (counted as detected —
+    /// a chip whose faulty circuit cannot reach a stable state fails
+    /// test trivially).
+    pub detection_pct: Option<f64>,
+}
+
+impl FaultOutcome {
+    /// True if the fault is detected: either at least `min_pct` of
+    /// instances deviate, or the faulty circuit failed to simulate.
+    pub fn is_detected(&self, min_pct: f64) -> bool {
+        match self.detection_pct {
+            Some(pct) => pct >= min_pct,
+            None => true,
+        }
+    }
+}
+
+/// Full report of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The golden (fault-free) signature.
+    pub golden: Vec<f64>,
+    /// One outcome per fault, in universe order.
+    pub outcomes: Vec<FaultOutcome>,
+    /// The deviation threshold used.
+    pub threshold: f64,
+}
+
+impl CampaignReport {
+    /// Fault coverage: fraction (0–1) of faults detected at the given
+    /// minimum detection percentage.
+    pub fn coverage(&self, min_pct: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        let detected = self
+            .outcomes
+            .iter()
+            .filter(|o| o.is_detected(min_pct))
+            .count();
+        detected as f64 / self.outcomes.len() as f64
+    }
+
+    /// Detection percentages in universe order (failed simulations show
+    /// as 100 %), the series plotted in the paper's Figure 4.
+    pub fn detection_series(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .map(|o| o.detection_pct.unwrap_or(100.0))
+            .collect()
+    }
+}
+
+/// Runs a fault campaign.
+///
+/// `extract` simulates a netlist and produces its response signature
+/// (e.g. sampled output waveform or correlation function). The golden
+/// netlist is extracted first; each fault is then injected and extracted,
+/// and deviations beyond `threshold` are counted per instance.
+///
+/// # Errors
+///
+/// Returns the golden circuit's analysis error if the fault-free
+/// extraction fails (per-fault failures are recorded in the report, not
+/// propagated).
+pub fn run_campaign<F>(
+    golden: &Netlist,
+    faults: &[Fault],
+    threshold: f64,
+    extract: F,
+) -> Result<CampaignReport, AnalysisError>
+where
+    F: Fn(&Netlist) -> Result<Vec<f64>, AnalysisError>,
+{
+    let golden_sig = extract(golden)?;
+    let outcomes = faults
+        .iter()
+        .map(|fault| {
+            let faulty = inject(golden, fault);
+            let signature = extract(&faulty);
+            let detection_pct = match &signature {
+                Ok(sig) if sig.len() == golden_sig.len() => {
+                    Some(detection_instances(&golden_sig, sig, threshold))
+                }
+                _ => None,
+            };
+            FaultOutcome {
+                fault: fault.clone(),
+                signature,
+                detection_pct,
+            }
+        })
+        .collect();
+    Ok(CampaignReport {
+        golden: golden_sig,
+        outcomes,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Fault;
+    use anasim::dc::dc_operating_point;
+    use anasim::source::SourceWaveform;
+
+    /// A divider whose mid-node voltage is the (1-sample) signature.
+    fn divider_fixture() -> (Netlist, anasim::netlist::NodeId) {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::dc(5.0));
+        nl.resistor("R1", a, b, 10e3);
+        nl.resistor("R2", b, Netlist::GROUND, 10e3);
+        (nl, b)
+    }
+
+    #[test]
+    fn campaign_detects_hard_faults() {
+        let (nl, b) = divider_fixture();
+        let faults = vec![Fault::stuck_at_0("sa0", b), Fault::stuck_at_1("sa1", b)];
+        let report = run_campaign(&nl, &faults, 0.5, |n| {
+            Ok(vec![dc_operating_point(n)?.voltage(b)])
+        })
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.coverage(50.0), 1.0);
+        assert_eq!(report.detection_series(), vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn undetectable_fault_scores_zero() {
+        let (nl, b) = divider_fixture();
+        // A bridge across R2 with huge impedance barely moves the node.
+        let a = nl.find_node("a").unwrap();
+        let faults = vec![Fault::bridge("weak", a, b).with_impedance(1e9)];
+        let report = run_campaign(&nl, &faults, 0.5, |n| {
+            Ok(vec![dc_operating_point(n)?.voltage(b)])
+        })
+        .unwrap();
+        assert_eq!(report.coverage(50.0), 0.0);
+        assert_eq!(report.detection_series(), vec![0.0]);
+    }
+
+    #[test]
+    fn failed_fault_simulation_counts_as_detected() {
+        let (nl, b) = divider_fixture();
+        let faults = vec![Fault::stuck_at_0("sa0", b)];
+        // Extractor that fails for any netlist containing a fault device.
+        let report = run_campaign(&nl, &faults, 0.5, |n| {
+            if n.find_device("fault:sa0:V").is_some() {
+                Err(AnalysisError::NoConvergence {
+                    time: 0.0,
+                    residual: 1.0,
+                })
+            } else {
+                Ok(vec![dc_operating_point(n)?.voltage(b)])
+            }
+        })
+        .unwrap();
+        assert!(report.outcomes[0].detection_pct.is_none());
+        assert!(report.outcomes[0].is_detected(50.0));
+        assert_eq!(report.coverage(50.0), 1.0);
+    }
+
+    #[test]
+    fn golden_failure_propagates() {
+        let (nl, _) = divider_fixture();
+        let err = run_campaign(&nl, &[], 0.5, |_| {
+            Err(AnalysisError::InvalidParameter("boom".into()))
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_universe_has_full_coverage() {
+        let (nl, b) = divider_fixture();
+        let report = run_campaign(&nl, &[], 0.5, |n| {
+            Ok(vec![dc_operating_point(n)?.voltage(b)])
+        })
+        .unwrap();
+        assert_eq!(report.coverage(50.0), 1.0);
+        assert!(report.detection_series().is_empty());
+    }
+}

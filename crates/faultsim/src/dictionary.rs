@@ -1,0 +1,220 @@
+//! Fault dictionaries: signature-based fault diagnosis.
+//!
+//! A campaign's golden and per-fault signatures form a dictionary; an
+//! unknown device's observed signature is classified by nearest
+//! neighbour. This closes the loop the paper opens with "providing
+//! faulty chip diagnosis at a functional macro level": the transient
+//! signature does not only *detect* a fault, it points at *which* one.
+
+use crate::campaign::CampaignReport;
+
+/// A signature dictionary built from a fault campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDictionary {
+    golden: Vec<f64>,
+    entries: Vec<(String, Vec<f64>)>,
+}
+
+/// Outcome of classifying an observed signature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Classification {
+    /// The observation is closest to the fault-free signature.
+    FaultFree {
+        /// RMS distance to the golden signature.
+        distance: f64,
+    },
+    /// The observation is closest to a dictionary fault.
+    Fault {
+        /// Name of the matched fault.
+        name: String,
+        /// RMS distance to that fault's signature.
+        distance: f64,
+        /// RMS distance to the golden signature, for confidence
+        /// assessment.
+        golden_distance: f64,
+    },
+}
+
+impl Classification {
+    /// The matched fault name, if any.
+    pub fn fault_name(&self) -> Option<&str> {
+        match self {
+            Classification::Fault { name, .. } => Some(name),
+            Classification::FaultFree { .. } => None,
+        }
+    }
+}
+
+fn rms_distance(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    (a[..n]
+        .iter()
+        .zip(&b[..n])
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        / n as f64)
+        .sqrt()
+}
+
+impl FaultDictionary {
+    /// Builds a dictionary from a campaign report, keeping only faults
+    /// whose simulation succeeded.
+    pub fn from_campaign(report: &CampaignReport) -> Self {
+        let entries = report
+            .outcomes
+            .iter()
+            .filter_map(|o| {
+                o.signature
+                    .as_ref()
+                    .ok()
+                    .map(|sig| (o.fault.name().to_string(), sig.clone()))
+            })
+            .collect();
+        FaultDictionary {
+            golden: report.golden.clone(),
+            entries,
+        }
+    }
+
+    /// Number of fault entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the dictionary holds no fault entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fault names in dictionary order.
+    pub fn fault_names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Classifies an observed signature by nearest RMS distance among
+    /// the golden signature and every dictionary entry.
+    pub fn classify(&self, observed: &[f64]) -> Classification {
+        let golden_distance = rms_distance(observed, &self.golden);
+        let mut best: Option<(&str, f64)> = None;
+        for (name, sig) in &self.entries {
+            let d = rms_distance(observed, sig);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((name, d));
+            }
+        }
+        match best {
+            Some((name, distance)) if distance < golden_distance => Classification::Fault {
+                name: name.to_string(),
+                distance,
+                golden_distance,
+            },
+            _ => Classification::FaultFree {
+                distance: golden_distance,
+            },
+        }
+    }
+
+    /// Self-consistency check: classifies each dictionary entry against
+    /// the dictionary and returns the fraction that map back to
+    /// themselves (ambiguous faults with identical signatures reduce
+    /// this).
+    pub fn self_consistency(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 1.0;
+        }
+        let hits = self
+            .entries
+            .iter()
+            .filter(|(name, sig)| self.classify(sig).fault_name() == Some(name))
+            .count();
+        hits as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::model::Fault;
+    use anasim::dc::dc_operating_point;
+    use anasim::netlist::Netlist;
+    use anasim::source::SourceWaveform;
+
+    /// A 3-node divider whose signature is the two interior node
+    /// voltages.
+    fn fixture() -> (Netlist, Vec<Fault>) {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let c = nl.node("c");
+        nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::dc(6.0));
+        nl.resistor("R1", a, b, 10e3);
+        nl.resistor("R2", b, c, 10e3);
+        nl.resistor("R3", c, Netlist::GROUND, 10e3);
+        let faults = vec![
+            Fault::stuck_at_0("b-sa0", b),
+            Fault::stuck_at_1("b-sa1", b),
+            Fault::stuck_at_0("c-sa0", c),
+            Fault::stuck_at_1("c-sa1", c),
+        ];
+        (nl, faults)
+    }
+
+    fn extract(nl: &Netlist) -> Result<Vec<f64>, anasim::AnalysisError> {
+        let b = nl.find_node("b").expect("node b");
+        let c = nl.find_node("c").expect("node c");
+        let op = dc_operating_point(nl)?;
+        Ok(vec![op.voltage(b), op.voltage(c)])
+    }
+
+    #[test]
+    fn dictionary_classifies_its_own_faults() {
+        let (nl, faults) = fixture();
+        let report = run_campaign(&nl, &faults, 0.1, extract).unwrap();
+        let dict = FaultDictionary::from_campaign(&report);
+        assert_eq!(dict.len(), 4);
+        assert_eq!(dict.self_consistency(), 1.0);
+    }
+
+    #[test]
+    fn golden_observation_classifies_fault_free() {
+        let (nl, faults) = fixture();
+        let report = run_campaign(&nl, &faults, 0.1, extract).unwrap();
+        let dict = FaultDictionary::from_campaign(&report);
+        let obs = extract(&nl).unwrap();
+        assert!(matches!(
+            dict.classify(&obs),
+            Classification::FaultFree { .. }
+        ));
+    }
+
+    #[test]
+    fn perturbed_fault_still_classifies_correctly() {
+        let (nl, faults) = fixture();
+        let report = run_campaign(&nl, &faults, 0.1, extract).unwrap();
+        let dict = FaultDictionary::from_campaign(&report);
+        // Observe b-sa1 with a little measurement noise.
+        let faulty = crate::inject::inject(&nl, &faults[1]);
+        let mut obs = extract(&faulty).unwrap();
+        obs[0] += 0.05;
+        obs[1] -= 0.03;
+        let c = dict.classify(&obs);
+        assert_eq!(c.fault_name(), Some("b-sa1"), "{c:?}");
+    }
+
+    #[test]
+    fn empty_dictionary_reports_fault_free() {
+        let (nl, _) = fixture();
+        let report = run_campaign(&nl, &[], 0.1, extract).unwrap();
+        let dict = FaultDictionary::from_campaign(&report);
+        assert!(dict.is_empty());
+        let obs = extract(&nl).unwrap();
+        assert!(matches!(
+            dict.classify(&obs),
+            Classification::FaultFree { .. }
+        ));
+    }
+}

@@ -1,0 +1,227 @@
+//! Netlist transformation: adding fault hardware.
+
+use anasim::netlist::Netlist;
+use anasim::source::SourceWaveform;
+
+use crate::model::{Fault, FaultKind, ParamChange};
+
+/// Returns a copy of `golden` with the fault's hardware added.
+///
+/// Stuck-at faults become a DC voltage generator (0 V or the fault rail)
+/// in series with the fault impedance to the affected node — exactly the
+/// paper's injection mechanism. Bridges become a resistor of the fault
+/// impedance between the two nodes.
+///
+/// Injected elements are named `fault:{name}:...`, so they never collide
+/// with circuit elements.
+pub fn inject(golden: &Netlist, fault: &Fault) -> Netlist {
+    let mut faulty = golden.clone();
+    let name = fault.name();
+    match fault.kind() {
+        FaultKind::StuckAt0 { node } => {
+            let gen = faulty.node(&format!("fault:{name}:gen"));
+            faulty.vsource(
+                &format!("fault:{name}:V"),
+                gen,
+                Netlist::GROUND,
+                SourceWaveform::dc(0.0),
+            );
+            faulty.resistor(&format!("fault:{name}:R"), gen, node, fault.impedance());
+        }
+        FaultKind::StuckAt1 { node } => {
+            let gen = faulty.node(&format!("fault:{name}:gen"));
+            faulty.vsource(
+                &format!("fault:{name}:V"),
+                gen,
+                Netlist::GROUND,
+                SourceWaveform::dc(fault.rail()),
+            );
+            faulty.resistor(&format!("fault:{name}:R"), gen, node, fault.impedance());
+        }
+        FaultKind::Bridge { a, b } => {
+            faulty.resistor(&format!("fault:{name}:R"), a, b, fault.impedance());
+        }
+        FaultKind::Parametric { device, change } => {
+            use anasim::devices::Device;
+            match (faulty.device_mut(device), change) {
+                (Device::Resistor { ohms, .. }, ParamChange::ScaleResistor(k)) => *ohms *= k,
+                (Device::Capacitor { farads, .. }, ParamChange::ScaleCapacitor(k)) => {
+                    *farads *= k
+                }
+                (Device::Mosfet { params, .. }, ParamChange::ScaleBeta(k)) => {
+                    params.beta *= k
+                }
+                (Device::Mosfet { params, .. }, ParamChange::ShiftVt(dv)) => {
+                    params.vt0 += dv
+                }
+                (dev, change) => panic!(
+                    "parametric change {change:?} does not apply to {dev:?}"
+                ),
+            }
+        }
+        FaultKind::DoubleStuck { a, b, high } => {
+            let level = if high { fault.rail() } else { 0.0 };
+            let gen = faulty.node(&format!("fault:{name}:gen"));
+            faulty.vsource(
+                &format!("fault:{name}:V"),
+                gen,
+                Netlist::GROUND,
+                SourceWaveform::dc(level),
+            );
+            faulty.resistor(&format!("fault:{name}:RA"), gen, a, fault.impedance());
+            faulty.resistor(&format!("fault:{name}:RB"), gen, b, fault.impedance());
+        }
+    }
+    faulty
+}
+
+/// Injects several faults at once (multiple simultaneous defects).
+pub fn inject_all(golden: &Netlist, faults: &[Fault]) -> Netlist {
+    let mut nl = golden.clone();
+    for f in faults {
+        nl = inject(&nl, f);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::dc_operating_point;
+
+    fn divider() -> (Netlist, anasim::netlist::NodeId) {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::dc(5.0));
+        nl.resistor("R1", a, b, 10e3);
+        nl.resistor("R2", b, Netlist::GROUND, 10e3);
+        (nl, b)
+    }
+
+    #[test]
+    fn golden_netlist_is_untouched() {
+        let (nl, b) = divider();
+        let count = nl.device_count();
+        let _ = inject(&nl, &Fault::stuck_at_0("f", b));
+        assert_eq!(nl.device_count(), count);
+    }
+
+    #[test]
+    fn stuck_at_0_pulls_node_low() {
+        let (nl, b) = divider();
+        let faulty = inject(&nl, &Fault::stuck_at_0("f", b));
+        let op = dc_operating_point(&faulty).unwrap();
+        // 100 ohm clamp against 10k divider: node collapses near 0.
+        assert!(op.voltage(b) < 0.1);
+    }
+
+    #[test]
+    fn stuck_at_1_pulls_node_high() {
+        let (nl, b) = divider();
+        let faulty = inject(&nl, &Fault::stuck_at_1("f", b));
+        let op = dc_operating_point(&faulty).unwrap();
+        assert!(op.voltage(b) > 4.8);
+    }
+
+    #[test]
+    fn bridge_ties_nodes_together() {
+        let (nl, b) = divider();
+        let a = nl.find_node("a").unwrap();
+        let faulty = inject(&nl, &Fault::bridge("f", a, b));
+        let op = dc_operating_point(&faulty).unwrap();
+        // 100 ohms across R1 (10k): v(b) rises to nearly v(a).
+        assert!((op.voltage(b) - op.voltage(a)).abs() < 0.2);
+    }
+
+    #[test]
+    fn impedance_controls_clamp_strength() {
+        let (nl, b) = divider();
+        let weak = inject(&nl, &Fault::stuck_at_0("f", b).with_impedance(10e3));
+        let op = dc_operating_point(&weak).unwrap();
+        // 10k clamp against the 10k||10k divider: only partial pull.
+        let v = op.voltage(b);
+        assert!(v > 1.0 && v < 2.5, "partial clamp gave {v}");
+    }
+
+    #[test]
+    fn double_stuck_clamps_both_nodes() {
+        // Three-stage divider so both clamped nodes are high impedance.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let c = nl.node("c");
+        nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::dc(5.0));
+        nl.resistor("R1", a, b, 10e3);
+        nl.resistor("R2", b, c, 10e3);
+        nl.resistor("R3", c, Netlist::GROUND, 10e3);
+        let faulty = inject(&nl, &Fault::double_stuck("f", b, c, true));
+        let op = dc_operating_point(&faulty).unwrap();
+        assert!(op.voltage(b) > 4.5, "b = {}", op.voltage(b));
+        assert!(op.voltage(c) > 4.5, "c = {}", op.voltage(c));
+    }
+
+    #[test]
+    fn parametric_resistor_drift_moves_divider() {
+        let (nl, b) = divider();
+        let r2 = nl.find_device("R2").unwrap();
+        let faulty = inject(
+            &nl,
+            &Fault::parametric("r2-drift", r2, crate::model::ParamChange::ScaleResistor(3.0)),
+        );
+        let op = dc_operating_point(&faulty).unwrap();
+        // R2 tripled: v(b) = 5 * 30k/40k = 3.75.
+        assert!((op.voltage(b) - 3.75).abs() < 1e-3);
+        // Parametric faults add no hardware.
+        assert_eq!(faulty.device_count(), nl.device_count());
+    }
+
+    #[test]
+    fn parametric_vt_shift_applies_to_mosfet() {
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        nl.vsource("V1", d, Netlist::GROUND, SourceWaveform::dc(5.0));
+        let m = nl.mosfet(
+            "M1",
+            d,
+            d,
+            Netlist::GROUND,
+            anasim::devices::MosPolarity::Nmos,
+            anasim::devices::MosParams::nmos_5um(),
+        );
+        let faulty = inject(
+            &nl,
+            &Fault::parametric("vt-shift", m, crate::model::ParamChange::ShiftVt(0.3)),
+        );
+        match faulty.device(m) {
+            anasim::devices::Device::Mosfet { params, .. } => {
+                assert!((params.vt0 - 1.3).abs() < 1e-12)
+            }
+            _ => panic!("expected mosfet"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not apply")]
+    fn mismatched_parametric_change_panics() {
+        let (nl, _) = divider();
+        let r1 = nl.find_device("R1").unwrap();
+        let _ = inject(
+            &nl,
+            &Fault::parametric("bad", r1, crate::model::ParamChange::ShiftVt(0.1)),
+        );
+    }
+
+    #[test]
+    fn multiple_faults_compose() {
+        let (nl, b) = divider();
+        let a = nl.find_node("a").unwrap();
+        let faulty = inject_all(
+            &nl,
+            &[Fault::stuck_at_0("f0", b), Fault::bridge("f1", a, b)],
+        );
+        // Both fault elements present.
+        assert!(faulty.find_device("fault:f0:V").is_some());
+        assert!(faulty.find_device("fault:f1:R").is_some());
+    }
+}

@@ -1,0 +1,307 @@
+//! Fault taxonomy.
+
+use anasim::netlist::{DeviceId, NodeId};
+
+/// The kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Node clamped to 0 V through a low impedance (the paper's
+    /// "stuck-at-0 fault signal" voltage generator).
+    StuckAt0 {
+        /// Affected node.
+        node: NodeId,
+    },
+    /// Node clamped to the fault rail voltage (5 V in the paper) through
+    /// a low impedance.
+    StuckAt1 {
+        /// Affected node.
+        node: NodeId,
+    },
+    /// Resistive bridge between two nodes (the paper's double faults
+    /// "approximated to bridging faults across the MOS transistors").
+    Bridge {
+        /// First bridged node.
+        a: NodeId,
+        /// Second bridged node.
+        b: NodeId,
+    },
+    /// Two simultaneous stuck-at faults of the same polarity — the
+    /// paper's "double faults", injected as two voltage generators, that
+    /// approximate a bridge through a common rail.
+    DoubleStuck {
+        /// First affected node.
+        a: NodeId,
+        /// Second affected node.
+        b: NodeId,
+        /// Polarity: `true` = both stuck at the rail, `false` = both
+        /// stuck at 0 V.
+        high: bool,
+    },
+    /// A parametric (soft) fault: one device's parameter drifts instead
+    /// of a node being clamped. These model the degradation mechanisms
+    /// — element mismatch, threshold shift — behind out-of-spec parts
+    /// that still function.
+    Parametric {
+        /// The drifted device.
+        device: DeviceId,
+        /// What changed and by how much.
+        change: ParamChange,
+    },
+}
+
+/// A device-parameter drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamChange {
+    /// Multiply a resistor's value.
+    ScaleResistor(f64),
+    /// Multiply a capacitor's value.
+    ScaleCapacitor(f64),
+    /// Multiply a MOSFET's transconductance factor.
+    ScaleBeta(f64),
+    /// Shift a MOSFET's threshold voltage (volts).
+    ShiftVt(f64),
+}
+
+/// A named fault instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    name: String,
+    kind: FaultKind,
+    /// Clamp/bridge impedance in ohms.
+    impedance: f64,
+    /// Rail voltage for stuck-at-1.
+    rail: f64,
+}
+
+impl Fault {
+    /// Default clamp/bridge impedance: strong enough to dominate the
+    /// node, weak enough to avoid numerically degenerate loops.
+    pub const DEFAULT_IMPEDANCE: f64 = 100.0;
+
+    /// Default stuck-at-1 rail (the paper's 5 V supply).
+    pub const DEFAULT_RAIL: f64 = 5.0;
+
+    /// Creates a stuck-at-0 fault on `node`.
+    pub fn stuck_at_0(name: &str, node: NodeId) -> Self {
+        Fault {
+            name: name.to_string(),
+            kind: FaultKind::StuckAt0 { node },
+            impedance: Self::DEFAULT_IMPEDANCE,
+            rail: Self::DEFAULT_RAIL,
+        }
+    }
+
+    /// Creates a stuck-at-1 fault on `node`.
+    pub fn stuck_at_1(name: &str, node: NodeId) -> Self {
+        Fault {
+            name: name.to_string(),
+            kind: FaultKind::StuckAt1 { node },
+            impedance: Self::DEFAULT_IMPEDANCE,
+            rail: Self::DEFAULT_RAIL,
+        }
+    }
+
+    /// Creates a bridging fault between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn bridge(name: &str, a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "bridge endpoints must differ");
+        Fault {
+            name: name.to_string(),
+            kind: FaultKind::Bridge { a, b },
+            impedance: Self::DEFAULT_IMPEDANCE,
+            rail: Self::DEFAULT_RAIL,
+        }
+    }
+
+    /// Creates a parametric fault drifting one device's parameter.
+    pub fn parametric(name: &str, device: DeviceId, change: ParamChange) -> Self {
+        Fault {
+            name: name.to_string(),
+            kind: FaultKind::Parametric { device, change },
+            impedance: Self::DEFAULT_IMPEDANCE,
+            rail: Self::DEFAULT_RAIL,
+        }
+    }
+
+    /// Creates a same-polarity double stuck-at fault on `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn double_stuck(name: &str, a: NodeId, b: NodeId, high: bool) -> Self {
+        assert_ne!(a, b, "double-stuck endpoints must differ");
+        Fault {
+            name: name.to_string(),
+            kind: FaultKind::DoubleStuck { a, b, high },
+            impedance: Self::DEFAULT_IMPEDANCE,
+            rail: Self::DEFAULT_RAIL,
+        }
+    }
+
+    /// Overrides the clamp/bridge impedance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not finite and positive.
+    pub fn with_impedance(mut self, ohms: f64) -> Self {
+        assert!(ohms.is_finite() && ohms > 0.0, "impedance must be positive");
+        self.impedance = ohms;
+        self
+    }
+
+    /// Overrides the stuck-at-1 rail voltage.
+    pub fn with_rail(mut self, volts: f64) -> Self {
+        self.rail = volts;
+        self
+    }
+
+    /// Fault name (used in reports and injected element names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fault kind.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Clamp/bridge impedance in ohms.
+    pub fn impedance(&self) -> f64 {
+        self.impedance
+    }
+
+    /// Stuck-at-1 rail voltage.
+    pub fn rail(&self) -> f64 {
+        self.rail
+    }
+
+    /// True for single-node (stuck-at) faults.
+    pub fn is_single(&self) -> bool {
+        !matches!(
+            self.kind,
+            FaultKind::Bridge { .. }
+                | FaultKind::DoubleStuck { .. }
+                | FaultKind::Parametric { .. }
+        )
+    }
+
+    /// True for parametric (soft) faults.
+    pub fn is_parametric(&self) -> bool {
+        matches!(self.kind, FaultKind::Parametric { .. })
+    }
+}
+
+/// A paper-numbered node pair, as used by the bridge and double-fault
+/// universes.
+pub type LabelledPair = ((u8, NodeId), (u8, NodeId));
+
+/// Builds the paper's double-fault set for node pairs: both-stuck-at-0
+/// and both-stuck-at-1 per pair (2 faults per pair; circuit 1's three
+/// pairs give the 6 double faults that complete its 16 faulty circuits).
+pub fn double_stuck_universe(pairs: &[LabelledPair]) -> Vec<Fault> {
+    let mut out = Vec::with_capacity(pairs.len() * 2);
+    for &((la, a), (lb, b)) in pairs {
+        out.push(Fault::double_stuck(
+            &format!("n{la}-n{lb}-dsa0"),
+            a,
+            b,
+            false,
+        ));
+        out.push(Fault::double_stuck(&format!("n{la}-n{lb}-dsa1"), a, b, true));
+    }
+    out
+}
+
+/// Builds the paper's standard single-fault set for a node list: a
+/// stuck-at-0 and a stuck-at-1 on each `(label, node)` pair.
+pub fn stuck_at_universe(nodes: &[(u8, NodeId)]) -> Vec<Fault> {
+    let mut out = Vec::with_capacity(nodes.len() * 2);
+    for &(label, node) in nodes {
+        out.push(Fault::stuck_at_0(&format!("n{label}-sa0"), node));
+        out.push(Fault::stuck_at_1(&format!("n{label}-sa1"), node));
+    }
+    out
+}
+
+/// Builds bridge faults for `(a, b)` node pairs labelled with paper node
+/// numbers.
+pub fn bridge_universe(pairs: &[LabelledPair]) -> Vec<Fault> {
+    pairs
+        .iter()
+        .map(|&((la, a), (lb, b))| Fault::bridge(&format!("n{la}-n{lb}-bridge"), a, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::netlist::Netlist;
+
+    fn two_nodes() -> (NodeId, NodeId) {
+        let mut nl = Netlist::new();
+        (nl.node("a"), nl.node("b"))
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        let (a, b) = two_nodes();
+        assert!(matches!(
+            Fault::stuck_at_0("f", a).kind(),
+            FaultKind::StuckAt0 { .. }
+        ));
+        assert!(matches!(
+            Fault::stuck_at_1("f", a).kind(),
+            FaultKind::StuckAt1 { .. }
+        ));
+        assert!(matches!(
+            Fault::bridge("f", a, b).kind(),
+            FaultKind::Bridge { .. }
+        ));
+    }
+
+    #[test]
+    fn builders_override_parameters() {
+        let (a, _) = two_nodes();
+        let f = Fault::stuck_at_1("f", a).with_impedance(10.0).with_rail(3.3);
+        assert_eq!(f.impedance(), 10.0);
+        assert_eq!(f.rail(), 3.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn self_bridge_rejected() {
+        let (a, _) = two_nodes();
+        let _ = Fault::bridge("f", a, a);
+    }
+
+    #[test]
+    fn stuck_at_universe_has_two_faults_per_node() {
+        let (a, b) = two_nodes();
+        let u = stuck_at_universe(&[(4, a), (7, b)]);
+        assert_eq!(u.len(), 4);
+        assert_eq!(u[0].name(), "n4-sa0");
+        assert_eq!(u[3].name(), "n7-sa1");
+    }
+
+    #[test]
+    fn double_stuck_universe_two_polarities_per_pair() {
+        let (a, b) = two_nodes();
+        let u = double_stuck_universe(&[((8, a), (9, b))]);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].name(), "n8-n9-dsa0");
+        assert_eq!(u[1].name(), "n8-n9-dsa1");
+        assert!(!u[0].is_single());
+    }
+
+    #[test]
+    fn bridge_universe_names_pairs() {
+        let (a, b) = two_nodes();
+        let u = bridge_universe(&[((5, a), (8, b))]);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].name(), "n5-n8-bridge");
+        assert!(!u[0].is_single());
+    }
+}

@@ -1,0 +1,226 @@
+//! Dense complex matrices with LU factorisation — the backbone of AC
+//! (small-signal frequency-domain) circuit analysis.
+
+use crate::complex::Complex;
+use crate::SingularMatrixError;
+
+/// A dense, row-major complex matrix.
+///
+/// # Example
+///
+/// ```
+/// use linsys::cmatrix::CMatrix;
+/// use linsys::complex::Complex;
+///
+/// let mut m = CMatrix::zeros(2, 2);
+/// m[(0, 0)] = Complex::new(1.0, 1.0);
+/// assert_eq!(m[(0, 0)].im, 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Zeroes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|z| *z = Complex::ZERO);
+    }
+
+    /// Adds `value` to entry `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, value: Complex) {
+        self[(r, c)] = self[(r, c)] + value;
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                self.data[r * self.cols..(r + 1) * self.cols]
+                    .iter()
+                    .zip(v)
+                    .fold(Complex::ZERO, |acc, (a, b)| acc + *a * *b)
+            })
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solves the complex system `A·x = b` by LU with partial pivoting
+/// (pivot chosen by magnitude).
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if no usable pivot exists.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b` has the wrong length.
+pub fn solve(a: &CMatrix, b: &[Complex]) -> Result<Vec<Complex>, SingularMatrixError> {
+    assert_eq!(a.rows, a.cols, "complex solve requires a square matrix");
+    assert_eq!(b.len(), a.rows, "rhs dimension mismatch");
+    let n = a.rows;
+    let mut lu = a.data.clone();
+    let mut x: Vec<Complex> = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot by magnitude.
+        let mut pivot_row = col;
+        let mut pivot_val = lu[col * n + col].norm_sqr();
+        for r in col + 1..n {
+            let v = lu[r * n + col].norm_sqr();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-280 {
+            return Err(SingularMatrixError { row: col });
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                lu.swap(col * n + c, pivot_row * n + c);
+            }
+            x.swap(col, pivot_row);
+        }
+        let pivot = lu[col * n + col];
+        for r in col + 1..n {
+            let factor = lu[r * n + col] / pivot;
+            lu[r * n + col] = factor;
+            if factor.norm_sqr() != 0.0 {
+                for c in col + 1..n {
+                    lu[r * n + c] = lu[r * n + c] - factor * lu[col * n + c];
+                }
+            }
+            x[r] = x[r] - factor * x[col];
+        }
+    }
+    // Back substitution.
+    for r in (0..n).rev() {
+        let mut sum = x[r];
+        for c in r + 1..n {
+            sum = sum - lu[r * n + c] * x[c];
+        }
+        x[r] = sum / lu[r * n + r];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_solve() {
+        let a = CMatrix::identity(3);
+        let b = vec![c(1.0, 2.0), c(-1.0, 0.5), c(0.0, -3.0)];
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        // [1+j, 1; 0, 2] x = [2+j; 4] -> x2 = 2, x1 = (2+j-2)/(1+j) = j/(1+j)
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = c(1.0, 1.0);
+        a[(0, 1)] = c(1.0, 0.0);
+        a[(1, 1)] = c(2.0, 0.0);
+        let x = solve(&a, &[c(2.0, 1.0), c(4.0, 0.0)]).unwrap();
+        assert!((x[1] - c(2.0, 0.0)).abs() < 1e-12);
+        let expect = c(0.0, 1.0) / c(1.0, 1.0);
+        assert!((x[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_vanishes_for_random_like_system() {
+        let n = 6;
+        let mut a = CMatrix::zeros(n, n);
+        for r in 0..n {
+            for col in 0..n {
+                let v = ((r * 7 + col * 13) % 11) as f64 - 5.0;
+                let w = ((r * 3 + col * 5) % 7) as f64 - 3.0;
+                a[(r, col)] = c(v, w * 0.5);
+            }
+            a[(r, r)] = a[(r, r)] + c(20.0, 0.0); // dominance
+        }
+        let b: Vec<Complex> = (0..n).map(|k| c(k as f64, -(k as f64))).collect();
+        let x = solve(&a, &b).unwrap();
+        let back = a.mul_vec(&x);
+        for (want, got) in b.iter().zip(&back) {
+            assert!((*want - *got).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 1)] = Complex::ONE;
+        a[(1, 0)] = Complex::ONE;
+        let x = solve(&a, &[c(3.0, 0.0), c(5.0, 0.0)]).unwrap();
+        assert!((x[0] - c(5.0, 0.0)).abs() < 1e-12);
+        assert!((x[1] - c(3.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_reported() {
+        let a = CMatrix::zeros(2, 2);
+        assert!(solve(&a, &[Complex::ZERO, Complex::ZERO]).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! A minimal complex-number type.
+//!
+//! Only the operations the root finder, transfer functions and FFT need.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number `re + i·im`.
+///
+/// # Example
+///
+/// ```
+/// use linsys::complex::Complex;
+///
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real value.
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates from polar form `r·e^{iθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude, avoiding the square root.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// True if either component is NaN.
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b - b, a);
+        let roundtrip = (a * b) / b;
+        assert!((roundtrip - a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::real(-1.0));
+    }
+
+    #[test]
+    fn abs_and_arg() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!((Complex::I.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        assert_eq!(Complex::new(1.0, 2.0).conj(), Complex::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (Complex::I * std::f64::consts::PI).exp();
+        assert!((z.re + 1.0).abs() < 1e-15);
+        assert!(z.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 0.3);
+        assert!((z.abs() - 2.0).abs() < 1e-15);
+        assert!((z.arg() - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn division_by_self_is_one() {
+        let z = Complex::new(0.5, -1.5);
+        let one = z / z;
+        assert!((one.re - 1.0).abs() < 1e-15);
+        assert!(one.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

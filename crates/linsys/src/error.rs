@@ -1,0 +1,36 @@
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a matrix factorisation finds no usable pivot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Row index at which elimination broke down.
+    pub row: usize,
+}
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "singular matrix at row {}", self.row)
+    }
+}
+
+impl Error for SingularMatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_row() {
+        assert_eq!(
+            SingularMatrixError { row: 7 }.to_string(),
+            "singular matrix at row 7"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<SingularMatrixError>();
+    }
+}

@@ -1,0 +1,43 @@
+//! `linsys` — a small linear-systems and numerical linear-algebra toolbox.
+//!
+//! This crate plays the role Matlab played in Cobley's 1996 ED&TC paper:
+//! building state-space representations of fault-free and faulty analogue
+//! circuits from their transfer functions and comparing impulse responses.
+//! It provides:
+//!
+//! * [`matrix`] — dense matrices with LU factorisation and matrix
+//!   exponentials,
+//! * [`complex`] — a minimal complex number type,
+//! * [`polynomial`] — real-coefficient polynomials with complex root
+//!   finding (Durand–Kerner),
+//! * [`transfer`] — continuous (s-domain) and discrete (z-domain) transfer
+//!   functions in pole/zero/gain form,
+//! * [`statespace`] — state-space models and controllable canonical
+//!   realisation,
+//! * [`response`] — impulse and step responses of both model kinds.
+//!
+//! # Example
+//!
+//! First-order low-pass `H(s) = 1/(s + 1)`: its impulse response is
+//! `e^{-t}`.
+//!
+//! ```
+//! use linsys::transfer::ContinuousTransferFunction;
+//!
+//! let h = ContinuousTransferFunction::from_coeffs(&[1.0], &[1.0, 1.0]);
+//! let ss = h.to_state_space();
+//! let resp = linsys::response::impulse_response(&ss, 0.01, 200);
+//! assert!((resp[100] - (-1.0_f64).exp()).abs() < 1e-3);
+//! ```
+
+pub mod cmatrix;
+pub mod complex;
+pub mod matrix;
+pub mod polynomial;
+pub mod response;
+pub mod statespace;
+pub mod transfer;
+
+mod error;
+
+pub use error::SingularMatrixError;

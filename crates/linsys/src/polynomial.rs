@@ -1,0 +1,300 @@
+//! Real-coefficient polynomials with complex root finding.
+
+use crate::complex::Complex;
+
+/// A polynomial with real coefficients, stored lowest power first:
+/// `coeffs[k]` multiplies `x^k`.
+///
+/// # Example
+///
+/// ```
+/// use linsys::polynomial::Polynomial;
+///
+/// // p(x) = x² - 1
+/// let p = Polynomial::new(vec![-1.0, 0.0, 1.0]);
+/// assert_eq!(p.eval(2.0), 3.0);
+/// let roots = p.roots();
+/// assert_eq!(roots.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients, lowest power first.
+    /// Trailing (highest-power) zeros are trimmed.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Polynomial { coeffs: vec![1.0] }
+    }
+
+    /// Builds the monic polynomial with the given complex roots.
+    ///
+    /// Complex roots must come in conjugate pairs for the coefficients to
+    /// be real; tiny imaginary residue is discarded.
+    pub fn from_roots(roots: &[Complex]) -> Self {
+        let mut c = vec![Complex::ONE];
+        for &r in roots {
+            // Multiply by (x - r).
+            let mut next = vec![Complex::ZERO; c.len() + 1];
+            for (k, &ck) in c.iter().enumerate() {
+                next[k + 1] = next[k + 1] + ck;
+                next[k] = next[k] - ck * r;
+            }
+            c = next;
+        }
+        Polynomial::new(c.into_iter().map(|z| z.re).collect())
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.len() > 1 && self.coeffs.last() == Some(&0.0) {
+            self.coeffs.pop();
+        }
+        if self.coeffs.is_empty() {
+            self.coeffs.push(0.0);
+        }
+    }
+
+    /// Coefficients, lowest power first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates at a real point (Horner).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates at a complex point (Horner).
+    pub fn eval_complex(&self, z: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * z + Complex::real(c))
+    }
+
+    /// Derivative polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &c)| k as f64 * c)
+                .collect(),
+        )
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// Sum of two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0.0; n];
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.coeffs.get(k).copied().unwrap_or(0.0)
+                + other.coeffs.get(k).copied().unwrap_or(0.0);
+        }
+        Polynomial::new(out)
+    }
+
+    /// Scales all coefficients by `k`.
+    pub fn scale(&self, k: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|c| c * k).collect())
+    }
+
+    /// All complex roots via the Durand–Kerner (Weierstrass) iteration.
+    ///
+    /// Returns an empty vector for constants. Multiple roots are returned
+    /// with multiplicity; accuracy degrades gracefully for highly
+    /// clustered roots, which is sufficient for the low-order transfer
+    /// functions in this workspace.
+    pub fn roots(&self) -> Vec<Complex> {
+        let n = self.degree();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Normalise to a monic polynomial.
+        let lead = *self.coeffs.last().expect("non-empty coeffs");
+        let monic: Vec<f64> = self.coeffs.iter().map(|c| c / lead).collect();
+        let poly = Polynomial {
+            coeffs: monic.clone(),
+        };
+
+        // Initial guesses on a circle of radius based on coefficient size,
+        // at non-symmetric angles to break ties.
+        let radius = 1.0
+            + monic[..n]
+                .iter()
+                .map(|c| c.abs())
+                .fold(0.0_f64, f64::max);
+        let mut z: Vec<Complex> = (0..n)
+            .map(|k| Complex::from_polar(radius, 0.4 + 2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+
+        for _ in 0..500 {
+            let mut worst: f64 = 0.0;
+            for i in 0..n {
+                let mut denom = Complex::ONE;
+                for j in 0..n {
+                    if i != j {
+                        denom = denom * (z[i] - z[j]);
+                    }
+                }
+                let delta = poly.eval_complex(z[i]) / denom;
+                z[i] = z[i] - delta;
+                worst = worst.max(delta.abs());
+            }
+            if worst < 1e-13 {
+                break;
+            }
+        }
+
+        // Snap near-real roots onto the real axis.
+        for zi in &mut z {
+            if zi.im.abs() < 1e-8 * (1.0 + zi.re.abs()) {
+                zi.im = 0.0;
+            }
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real_roots(p: &Polynomial) -> Vec<f64> {
+        let mut r: Vec<f64> = p.roots().iter().map(|z| z.re).collect();
+        r.sort_by(|a, b| a.total_cmp(b));
+        r
+    }
+
+    #[test]
+    fn eval_horner() {
+        // 3 + 2x + x²
+        let p = Polynomial::new(vec![3.0, 2.0, 1.0]);
+        assert_eq!(p.eval(2.0), 11.0);
+        assert_eq!(p.eval(0.0), 3.0);
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        // (x-1)(x-3) = 3 - 4x + x²
+        let p = Polynomial::new(vec![3.0, -4.0, 1.0]);
+        let r = sorted_real_roots(&p);
+        assert!((r[0] - 1.0).abs() < 1e-9);
+        assert!((r[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_conjugate_roots() {
+        // x² + 1 -> ±i
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]);
+        let roots = p.roots();
+        assert_eq!(roots.len(), 2);
+        for z in roots {
+            assert!(z.re.abs() < 1e-9);
+            assert!((z.im.abs() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cubic_mixed_roots() {
+        // (x+2)(x² + 4) = x³ + 2x² + 4x + 8
+        let p = Polynomial::new(vec![8.0, 4.0, 2.0, 1.0]);
+        let roots = p.roots();
+        let real_count = roots.iter().filter(|z| z.im == 0.0).count();
+        assert_eq!(real_count, 1);
+        let real = roots.iter().find(|z| z.im == 0.0).unwrap();
+        assert!((real.re + 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn from_roots_roundtrip() {
+        let roots = [
+            Complex::real(-1.0),
+            Complex::new(0.0, 2.0),
+            Complex::new(0.0, -2.0),
+        ];
+        let p = Polynomial::from_roots(&roots);
+        // (x+1)(x²+4) = x³ + x² + 4x + 4
+        assert_eq!(p.coeffs(), &[4.0, 4.0, 1.0, 1.0]);
+        for r in roots {
+            assert!(p.eval_complex(r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_drops_degree() {
+        // d/dx (x³ - x) = 3x² - 1
+        let p = Polynomial::new(vec![0.0, -1.0, 0.0, 1.0]);
+        assert_eq!(p.derivative().coeffs(), &[-1.0, 0.0, 3.0]);
+        assert_eq!(Polynomial::new(vec![5.0]).derivative().coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn multiply_polynomials() {
+        // (1+x)(1-x) = 1 - x²
+        let a = Polynomial::new(vec![1.0, 1.0]);
+        let b = Polynomial::new(vec![1.0, -1.0]);
+        assert_eq!(a.mul(&b).coeffs(), &[1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn add_pads_shorter() {
+        let a = Polynomial::new(vec![1.0]);
+        let b = Polynomial::new(vec![0.0, 0.0, 2.0]);
+        assert_eq!(a.add(&b).coeffs(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn constant_has_no_roots() {
+        assert!(Polynomial::new(vec![5.0]).roots().is_empty());
+    }
+
+    #[test]
+    fn high_order_roots_accurate() {
+        // Roots at -1, -2, -3, -4, -5 (a realistic pole spread).
+        let roots: Vec<Complex> = (1..=5).map(|k| Complex::real(-(k as f64))).collect();
+        let p = Polynomial::from_roots(&roots);
+        let mut found = sorted_real_roots(&p);
+        found.reverse();
+        for (k, r) in found.iter().enumerate() {
+            assert!(
+                (r + (k + 1) as f64).abs() < 1e-6,
+                "root {k}: got {r}"
+            );
+        }
+    }
+}

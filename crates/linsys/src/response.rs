@@ -1,0 +1,112 @@
+//! Time responses of linear models.
+//!
+//! These functions mirror Matlab's `impulse` and `step`: the paper's
+//! second testing approach builds state-space models of fault-free and
+//! faulty circuits and compares their impulse responses sample by sample.
+
+use crate::statespace::StateSpace;
+
+/// Samples the impulse response `y(t) = C·e^{A·t}·B` of a continuous
+/// model at `n` points spaced `dt` apart (starting at `t = 0`).
+///
+/// The direct feed-through term `D` contributes a Dirac impulse at
+/// `t = 0` which has no finite sample value; following common practice it
+/// is omitted from the returned samples.
+///
+/// # Example
+///
+/// ```
+/// use linsys::transfer::ContinuousTransferFunction;
+/// use linsys::response::impulse_response;
+///
+/// // H(s) = 1/(s+1): h(t) = e^{-t}.
+/// let ss = ContinuousTransferFunction::from_coeffs(&[1.0], &[1.0, 1.0])
+///     .to_state_space();
+/// let h = impulse_response(&ss, 0.1, 50);
+/// assert!((h[10] - (-1.0_f64).exp()).abs() < 1e-6);
+/// ```
+pub fn impulse_response(ss: &StateSpace, dt: f64, n: usize) -> Vec<f64> {
+    assert!(dt > 0.0, "dt must be positive");
+    let order = ss.order();
+    let phi = ss.a().scale(dt).expm();
+    // x(0+) = B after a unit impulse.
+    let mut x: Vec<f64> = (0..order).map(|i| ss.b()[(i, 0)]).collect();
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut out = 0.0;
+        for (j, &xj) in x.iter().enumerate() {
+            out += ss.c()[(0, j)] * xj;
+        }
+        y.push(out);
+        x = phi.mul_vec(&x);
+    }
+    y
+}
+
+/// Samples the unit-step response of a continuous model at `n` points
+/// spaced `dt` apart, using zero-order-hold discretisation (exact for a
+/// step input).
+pub fn step_response(ss: &StateSpace, dt: f64, n: usize) -> Vec<f64> {
+    assert!(dt > 0.0, "dt must be positive");
+    ss.discretize_zoh(dt).simulate(&vec![1.0; n])
+}
+
+/// Simulates a continuous model over an arbitrary piecewise-constant
+/// input sampled every `dt` (zero-order hold between samples).
+pub fn lsim(ss: &StateSpace, input: &[f64], dt: f64) -> Vec<f64> {
+    assert!(dt > 0.0, "dt must be positive");
+    ss.discretize_zoh(dt).simulate(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::ContinuousTransferFunction;
+
+    fn first_order() -> StateSpace {
+        // H(s) = 1/(s+1).
+        ContinuousTransferFunction::from_coeffs(&[1.0], &[1.0, 1.0]).to_state_space()
+    }
+
+    #[test]
+    fn impulse_of_first_order_is_exponential() {
+        let h = impulse_response(&first_order(), 0.05, 100);
+        for (k, &y) in h.iter().enumerate() {
+            let t = k as f64 * 0.05;
+            assert!((y - (-t).exp()).abs() < 1e-9, "sample {k}");
+        }
+    }
+
+    #[test]
+    fn step_of_first_order_approaches_one() {
+        let y = step_response(&first_order(), 0.05, 200);
+        assert!(y[0].abs() < 1e-12);
+        assert!((y[199] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn second_order_impulse_underdamped_rings() {
+        // H(s) = 1/(s² + 0.2s + 1): lightly damped, must cross zero.
+        let ss =
+            ContinuousTransferFunction::from_coeffs(&[1.0], &[1.0, 0.2, 1.0]).to_state_space();
+        let h = impulse_response(&ss, 0.05, 400);
+        assert!(h.iter().any(|&y| y > 0.1));
+        assert!(h.iter().any(|&y| y < -0.1));
+    }
+
+    #[test]
+    fn lsim_step_input_matches_step_response() {
+        let ss = first_order();
+        let via_lsim = lsim(&ss, &vec![1.0; 100], 0.05);
+        let via_step = step_response(&ss, 0.05, 100);
+        for (a, b) in via_lsim.iter().zip(&via_step) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn impulse_energy_decreases_for_stable_system() {
+        let h = impulse_response(&first_order(), 0.1, 100);
+        assert!(h[99].abs() < h[0].abs() * 1e-3);
+    }
+}

@@ -1,0 +1,301 @@
+//! State-space models for SISO systems.
+
+use crate::matrix::Matrix;
+use crate::transfer::ContinuousTransferFunction;
+
+/// A continuous-time SISO state-space model
+///
+/// ```text
+/// x' = A·x + B·u
+/// y  = C·x + D·u
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use linsys::transfer::ContinuousTransferFunction;
+///
+/// let h = ContinuousTransferFunction::from_coeffs(&[1.0], &[1.0, 2.0, 1.0]);
+/// let ss = h.to_state_space();
+/// assert_eq!(ss.order(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    d: f64,
+}
+
+impl StateSpace {
+    /// Creates a model from explicit matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions (`A` must be `n×n`, `B` `n×1`,
+    /// `C` `1×n`).
+    pub fn new(a: Matrix, b: Matrix, c: Matrix, d: f64) -> Self {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "A must be square");
+        assert_eq!((b.rows(), b.cols()), (n, 1), "B must be n x 1");
+        assert_eq!((c.rows(), c.cols()), (1, n), "C must be 1 x n");
+        StateSpace { a, b, c, d }
+    }
+
+    /// Controllable-canonical realisation of a proper transfer function.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero-order (pure gain) systems.
+    pub fn from_transfer_function(tf: &ContinuousTransferFunction) -> Self {
+        let n = tf.order();
+        assert!(n >= 1, "state space needs at least first order");
+        let den = tf.denominator().coeffs(); // lowest power first, length n+1
+        let lead = den[n];
+        // Monic denominator coefficients a_0..a_{n-1}.
+        let a_coeffs: Vec<f64> = den[..n].iter().map(|c| c / lead).collect();
+        // Numerator padded to length n+1 and normalised by the leading
+        // denominator coefficient.
+        let mut b_coeffs = vec![0.0; n + 1];
+        for (k, &c) in tf.numerator().coeffs().iter().enumerate() {
+            b_coeffs[k] = c / lead;
+        }
+        let bn = b_coeffs[n];
+
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n - 1 {
+            a[(i, i + 1)] = 1.0;
+        }
+        for j in 0..n {
+            a[(n - 1, j)] = -a_coeffs[j];
+        }
+        let mut b = Matrix::zeros(n, 1);
+        b[(n - 1, 0)] = 1.0;
+        let mut c = Matrix::zeros(1, n);
+        for j in 0..n {
+            c[(0, j)] = b_coeffs[j] - bn * a_coeffs[j];
+        }
+        StateSpace { a, b, c, d: bn }
+    }
+
+    /// System order (number of states).
+    pub fn order(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// The `A` matrix.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The `B` vector (as an `n×1` matrix).
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The `C` vector (as a `1×n` matrix).
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// The direct feed-through term `D`.
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// Zero-order-hold discretisation with sample period `dt`.
+    ///
+    /// Uses the augmented-matrix exponential
+    /// `exp([[A, B], [0, 0]]·dt) = [[Ad, Bd], [0, I]]`, which remains
+    /// valid when `A` is singular (e.g. integrators).
+    pub fn discretize_zoh(&self, dt: f64) -> DiscreteStateSpace {
+        assert!(dt > 0.0, "sample period must be positive");
+        let n = self.order();
+        let mut aug = Matrix::zeros(n + 1, n + 1);
+        for r in 0..n {
+            for c in 0..n {
+                aug[(r, c)] = self.a[(r, c)] * dt;
+            }
+            aug[(r, n)] = self.b[(r, 0)] * dt;
+        }
+        let e = aug.expm();
+        let mut ad = Matrix::zeros(n, n);
+        let mut bd = Matrix::zeros(n, 1);
+        for r in 0..n {
+            for c in 0..n {
+                ad[(r, c)] = e[(r, c)];
+            }
+            bd[(r, 0)] = e[(r, n)];
+        }
+        DiscreteStateSpace {
+            a: ad,
+            b: bd,
+            c: self.c.clone(),
+            d: self.d,
+            dt,
+        }
+    }
+}
+
+/// A discrete-time SISO state-space model produced by
+/// [`StateSpace::discretize_zoh`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteStateSpace {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    d: f64,
+    dt: f64,
+}
+
+impl DiscreteStateSpace {
+    /// Sample period in seconds.
+    pub fn sample_time(&self) -> f64 {
+        self.dt
+    }
+
+    /// System order.
+    pub fn order(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Simulates the model over an input sequence from a zero initial
+    /// state, returning the output sequence.
+    pub fn simulate(&self, input: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.order()];
+        let mut y = Vec::with_capacity(input.len());
+        for &u in input {
+            let mut out = self.d * u;
+            for (j, &xj) in x.iter().enumerate() {
+                out += self.c[(0, j)] * xj;
+            }
+            y.push(out);
+            let mut x_next = self.a.mul_vec(&x);
+            for (j, xn) in x_next.iter_mut().enumerate() {
+                *xn += self.b[(j, 0)] * u;
+            }
+            x = x_next;
+        }
+        y
+    }
+
+    /// Propagates one step from state `x` with input `u`, returning the
+    /// next state (exposed for custom simulations).
+    pub fn step_state(&self, x: &[f64], u: f64) -> Vec<f64> {
+        let mut x_next = self.a.mul_vec(x);
+        for (j, xn) in x_next.iter_mut().enumerate() {
+            *xn += self.b[(j, 0)] * u;
+        }
+        x_next
+    }
+
+    /// Output for state `x` and input `u`.
+    pub fn output(&self, x: &[f64], u: f64) -> f64 {
+        let mut out = self.d * u;
+        for (j, &xj) in x.iter().enumerate() {
+            out += self.c[(0, j)] * xj;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::ContinuousTransferFunction;
+
+    #[test]
+    fn canonical_form_first_order() {
+        // H(s) = 3/(s+2): A = [-2], B = [1], C = [3], D = 0.
+        let tf = ContinuousTransferFunction::from_coeffs(&[3.0], &[1.0, 2.0]);
+        let ss = tf.to_state_space();
+        assert_eq!(ss.a()[(0, 0)], -2.0);
+        assert_eq!(ss.b()[(0, 0)], 1.0);
+        assert_eq!(ss.c()[(0, 0)], 3.0);
+        assert_eq!(ss.d(), 0.0);
+    }
+
+    #[test]
+    fn feedthrough_extracted() {
+        // H(s) = (s+3)/(s+2) = 1 + 1/(s+2): D = 1.
+        let tf = ContinuousTransferFunction::from_coeffs(&[1.0, 3.0], &[1.0, 2.0]);
+        let ss = tf.to_state_space();
+        assert_eq!(ss.d(), 1.0);
+        assert_eq!(ss.c()[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn non_monic_denominator_normalised() {
+        // H(s) = 4/(2s+2) = 2/(s+1).
+        let tf = ContinuousTransferFunction::from_coeffs(&[4.0], &[2.0, 2.0]);
+        let ss = tf.to_state_space();
+        assert_eq!(ss.a()[(0, 0)], -1.0);
+        assert_eq!(ss.c()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn zoh_first_order_matches_analytic() {
+        // x' = -x + u; Ad = e^{-dt}, Bd = 1 - e^{-dt}.
+        let ss = StateSpace::new(
+            Matrix::from_rows(&[vec![-1.0]]),
+            Matrix::column(&[1.0]),
+            Matrix::from_rows(&[vec![1.0]]),
+            0.0,
+        );
+        let d = ss.discretize_zoh(0.1);
+        let (ad, bd) = ((-0.1_f64).exp(), 1.0 - (-0.1_f64).exp());
+        let y = d.simulate(&[1.0, 0.0]);
+        assert!(y[0].abs() < 1e-15);
+        assert!((y[1] - bd).abs() < 1e-12);
+        let y2 = d.simulate(&[1.0, 0.0, 0.0]);
+        assert!((y2[2] - ad * bd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zoh_handles_singular_a() {
+        // Pure integrator: A = 0, B = 1 -> Ad = 1, Bd = dt.
+        let ss = StateSpace::new(
+            Matrix::zeros(1, 1),
+            Matrix::column(&[1.0]),
+            Matrix::from_rows(&[vec![1.0]]),
+            0.0,
+        );
+        let d = ss.discretize_zoh(0.25);
+        let y = d.simulate(&[1.0, 1.0, 1.0, 1.0, 0.0]);
+        assert!((y[4] - 1.0).abs() < 1e-12); // integrated 4 * 0.25
+    }
+
+    #[test]
+    fn step_response_settles_to_dc_gain() {
+        // H(s) = 5/(s² + 3s + 5): DC gain 1.
+        let tf = ContinuousTransferFunction::from_coeffs(&[5.0], &[1.0, 3.0, 5.0]);
+        let ss = tf.to_state_space();
+        let d = ss.discretize_zoh(0.01);
+        let y = d.simulate(&vec![1.0; 2000]);
+        assert!((y[1999] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_state_and_output_compose_like_simulate() {
+        let tf = ContinuousTransferFunction::from_coeffs(&[1.0], &[1.0, 1.0]);
+        let d = tf.to_state_space().discretize_zoh(0.1);
+        let input = [1.0, 0.5, -0.2, 0.0];
+        let y_ref = d.simulate(&input);
+        let mut x = vec![0.0; d.order()];
+        for (k, &u) in input.iter().enumerate() {
+            assert!((d.output(&x, u) - y_ref[k]).abs() < 1e-15);
+            x = d.step_state(&x, u);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn dimension_checks() {
+        let _ = StateSpace::new(
+            Matrix::zeros(2, 1),
+            Matrix::column(&[1.0]),
+            Matrix::from_rows(&[vec![1.0]]),
+            0.0,
+        );
+    }
+}

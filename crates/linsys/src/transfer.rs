@@ -1,0 +1,342 @@
+//! Transfer functions in the s and z domains.
+
+use crate::complex::Complex;
+use crate::polynomial::Polynomial;
+use crate::statespace::StateSpace;
+
+/// A continuous-time (s-domain) SISO transfer function
+/// `H(s) = gain · Π(s − zᵢ) / Π(s − pⱼ)`.
+///
+/// Construct from numerator/denominator coefficients
+/// ([`ContinuousTransferFunction::from_coeffs`], Matlab-style highest
+/// power first) or from poles/zeros/gain
+/// ([`ContinuousTransferFunction::from_zpk`]).
+///
+/// # Example
+///
+/// ```
+/// use linsys::transfer::ContinuousTransferFunction;
+/// use linsys::complex::Complex;
+///
+/// // H(s) = 10 / (s + 10): unity DC gain single pole.
+/// let h = ContinuousTransferFunction::from_coeffs(&[10.0], &[1.0, 10.0]);
+/// assert!((h.dc_gain() - 1.0).abs() < 1e-12);
+/// assert!((h.poles()[0].re + 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousTransferFunction {
+    num: Polynomial,
+    den: Polynomial,
+}
+
+impl ContinuousTransferFunction {
+    /// Builds from numerator and denominator coefficients, **highest
+    /// power first** (Matlab convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator is empty or all-zero, or if the transfer
+    /// function is improper (numerator degree exceeds denominator degree).
+    pub fn from_coeffs(num: &[f64], den: &[f64]) -> Self {
+        let num = Polynomial::new(num.iter().rev().copied().collect());
+        let den = Polynomial::new(den.iter().rev().copied().collect());
+        assert!(
+            den.coeffs().iter().any(|&c| c != 0.0),
+            "denominator must be non-zero"
+        );
+        assert!(
+            num.degree() <= den.degree(),
+            "transfer function must be proper (num degree <= den degree)"
+        );
+        ContinuousTransferFunction { num, den }
+    }
+
+    /// Builds from zeros, poles and gain.
+    ///
+    /// Complex roots must appear in conjugate pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more zeros than poles.
+    pub fn from_zpk(zeros: &[Complex], poles: &[Complex], gain: f64) -> Self {
+        assert!(
+            zeros.len() <= poles.len(),
+            "transfer function must be proper (zeros <= poles)"
+        );
+        ContinuousTransferFunction {
+            num: Polynomial::from_roots(zeros).scale(gain),
+            den: Polynomial::from_roots(poles),
+        }
+    }
+
+    /// Numerator polynomial (lowest power first).
+    pub fn numerator(&self) -> &Polynomial {
+        &self.num
+    }
+
+    /// Denominator polynomial (lowest power first).
+    pub fn denominator(&self) -> &Polynomial {
+        &self.den
+    }
+
+    /// Zeros of the transfer function.
+    pub fn zeros(&self) -> Vec<Complex> {
+        self.num.roots()
+    }
+
+    /// Poles of the transfer function.
+    pub fn poles(&self) -> Vec<Complex> {
+        self.den.roots()
+    }
+
+    /// System order (denominator degree).
+    pub fn order(&self) -> usize {
+        self.den.degree()
+    }
+
+    /// Evaluates `H(s)` at a complex frequency.
+    pub fn eval(&self, s: Complex) -> Complex {
+        self.num.eval_complex(s) / self.den.eval_complex(s)
+    }
+
+    /// Magnitude response at angular frequency `w` (rad/s).
+    pub fn magnitude_at(&self, w: f64) -> f64 {
+        self.eval(Complex::new(0.0, w)).abs()
+    }
+
+    /// DC gain `H(0)`.
+    pub fn dc_gain(&self) -> f64 {
+        self.num.eval(0.0) / self.den.eval(0.0)
+    }
+
+    /// True if every pole has a strictly negative real part.
+    pub fn is_stable(&self) -> bool {
+        self.poles().iter().all(|p| p.re < 0.0)
+    }
+
+    /// Controllable-canonical state-space realisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero-order (pure gain) system.
+    pub fn to_state_space(&self) -> StateSpace {
+        StateSpace::from_transfer_function(self)
+    }
+}
+
+/// A discrete-time (z-domain) SISO transfer function expressed in
+/// **negative powers of z**:
+///
+/// `H(z) = (b₀ + b₁ z⁻¹ + ... + b_m z⁻ᵐ) / (a₀ + a₁ z⁻¹ + ... + a_n z⁻ⁿ)`
+///
+/// # Example
+///
+/// The paper's switched-capacitor integrator,
+/// `H(z) = z⁻¹ / (6.8·(1 − z⁻¹))`:
+///
+/// ```
+/// use linsys::transfer::DiscreteTransferFunction;
+///
+/// let h = DiscreteTransferFunction::new(
+///     vec![0.0, 1.0 / 6.8],
+///     vec![1.0, -1.0],
+///     5e-6,
+/// );
+/// let imp = h.impulse_response(4);
+/// // Accumulates 1/6.8 from sample 1 on.
+/// assert!(imp[0].abs() < 1e-12);
+/// assert!((imp[1] - 1.0 / 6.8).abs() < 1e-12);
+/// assert!((imp[3] - 1.0 / 6.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteTransferFunction {
+    b: Vec<f64>,
+    a: Vec<f64>,
+    sample_time: f64,
+}
+
+impl DiscreteTransferFunction {
+    /// Creates a discrete transfer function.
+    ///
+    /// `b` and `a` are coefficients of increasing powers of `z⁻¹`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty, `a[0]` is zero, or `sample_time <= 0`.
+    pub fn new(b: Vec<f64>, a: Vec<f64>, sample_time: f64) -> Self {
+        assert!(!a.is_empty() && a[0] != 0.0, "a[0] must be non-zero");
+        assert!(sample_time > 0.0, "sample time must be positive");
+        DiscreteTransferFunction { b, a, sample_time }
+    }
+
+    /// Numerator coefficients (powers of z⁻¹).
+    pub fn numerator(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Denominator coefficients (powers of z⁻¹).
+    pub fn denominator(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// Sample period in seconds.
+    pub fn sample_time(&self) -> f64 {
+        self.sample_time
+    }
+
+    /// Runs the difference equation over an arbitrary input sequence.
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; input.len()];
+        for n in 0..input.len() {
+            let mut acc = 0.0;
+            for (k, &bk) in self.b.iter().enumerate() {
+                if n >= k {
+                    acc += bk * input[n - k];
+                }
+            }
+            for (k, &ak) in self.a.iter().enumerate().skip(1) {
+                if n >= k {
+                    acc -= ak * y[n - k];
+                }
+            }
+            y[n] = acc / self.a[0];
+        }
+        y
+    }
+
+    /// First `n` samples of the impulse response.
+    pub fn impulse_response(&self, n: usize) -> Vec<f64> {
+        let mut delta = vec![0.0; n];
+        if n > 0 {
+            delta[0] = 1.0;
+        }
+        self.filter(&delta)
+    }
+
+    /// First `n` samples of the unit-step response.
+    pub fn step_response(&self, n: usize) -> Vec<f64> {
+        self.filter(&vec![1.0; n])
+    }
+
+    /// Evaluates `H(z)` at a point in the z-plane.
+    pub fn eval(&self, z: Complex) -> Complex {
+        let zinv = Complex::ONE / z;
+        let horner = |c: &[f64]| {
+            c.iter()
+                .rev()
+                .fold(Complex::ZERO, |acc, &ck| acc * zinv + Complex::real(ck))
+        };
+        horner(&self.b) / horner(&self.a)
+    }
+
+    /// Poles in the z-plane.
+    pub fn poles(&self) -> Vec<Complex> {
+        // a0 + a1 z^-1 + ... + an z^-n = 0  <=>  a0 z^n + ... + an = 0.
+        Polynomial::new(self.a.iter().rev().copied().collect()).roots()
+    }
+
+    /// True if all poles are strictly inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        self.poles().iter().all(|p| p.abs() < 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_pole_location() {
+        let h = ContinuousTransferFunction::from_coeffs(&[1.0], &[1.0, 5.0]);
+        let p = h.poles();
+        assert_eq!(p.len(), 1);
+        assert!((p[0].re + 5.0).abs() < 1e-9);
+        assert!(h.is_stable());
+    }
+
+    #[test]
+    fn zpk_and_coeffs_agree() {
+        use crate::complex::Complex;
+        // H(s) = 2 (s+1) / ((s+2)(s+3))
+        let a = ContinuousTransferFunction::from_zpk(
+            &[Complex::real(-1.0)],
+            &[Complex::real(-2.0), Complex::real(-3.0)],
+            2.0,
+        );
+        let b = ContinuousTransferFunction::from_coeffs(&[2.0, 2.0], &[1.0, 5.0, 6.0]);
+        for w in [0.0, 0.5, 2.0, 50.0] {
+            let s = Complex::new(0.0, w);
+            assert!((a.eval(s) - b.eval(s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn magnitude_rolls_off() {
+        // Single pole at -10 rad/s: -3 dB at w = 10.
+        let h = ContinuousTransferFunction::from_coeffs(&[10.0], &[1.0, 10.0]);
+        let m = h.magnitude_at(10.0);
+        assert!((m - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_pole_detected() {
+        let h = ContinuousTransferFunction::from_coeffs(&[1.0], &[1.0, -1.0]);
+        assert!(!h.is_stable());
+    }
+
+    #[test]
+    #[should_panic(expected = "proper")]
+    fn improper_rejected() {
+        let _ = ContinuousTransferFunction::from_coeffs(&[1.0, 0.0, 0.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn discrete_accumulator_impulse() {
+        // y[n] = y[n-1] + x[n]: running sum.
+        let h = DiscreteTransferFunction::new(vec![1.0], vec![1.0, -1.0], 1.0);
+        assert_eq!(h.impulse_response(4), vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(h.step_response(4), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn discrete_fir_filter() {
+        // Two-tap moving average.
+        let h = DiscreteTransferFunction::new(vec![0.5, 0.5], vec![1.0], 1.0);
+        let y = h.filter(&[1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(y, vec![0.5, 1.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn discrete_pole_on_unit_circle_is_marginal() {
+        let h = DiscreteTransferFunction::new(vec![1.0], vec![1.0, -1.0], 1.0);
+        let p = h.poles();
+        assert_eq!(p.len(), 1);
+        assert!((p[0].re - 1.0).abs() < 1e-9);
+        assert!(!h.is_stable());
+    }
+
+    #[test]
+    fn discrete_eval_at_dc() {
+        // H(z) = 0.5/(1 - 0.5 z^-1): H(1) = 1.
+        let h = DiscreteTransferFunction::new(vec![0.5], vec![1.0, -0.5], 1.0);
+        let g = h.eval(Complex::ONE);
+        assert!((g.re - 1.0).abs() < 1e-12);
+        assert!(h.is_stable());
+    }
+
+    #[test]
+    fn sc_integrator_matches_paper_form() {
+        // H(z) = z^-1 / (6.8 (1 - z^-1)); step response ramps by 1/6.8.
+        let h = DiscreteTransferFunction::new(vec![0.0, 1.0 / 6.8], vec![1.0, -1.0], 5e-6);
+        let s = h.step_response(10);
+        for (n, y) in s.iter().enumerate() {
+            assert!((y - n as f64 / 6.8).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn discrete_rejects_zero_leading_denominator() {
+        let _ = DiscreteTransferFunction::new(vec![1.0], vec![0.0, 1.0], 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the linear-algebra and linear-systems core.
+
+use linsys::complex::Complex;
+use linsys::matrix::{solve, Matrix};
+use linsys::polynomial::Polynomial;
+use linsys::transfer::{ContinuousTransferFunction, DiscreteTransferFunction};
+use proptest::prelude::*;
+
+/// Strategy: well-conditioned square matrices (diagonally dominant).
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            let mut row_sum = 0.0;
+            for c in 0..n {
+                let v = vals[r * n + c];
+                m[(r, c)] = v;
+                row_sum += v.abs();
+            }
+            // Diagonal dominance guarantees invertibility.
+            m[(r, r)] += row_sum + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_residual_is_small(
+        a in dominant_matrix(5),
+        b in proptest::collection::vec(-100.0..100.0f64, 5),
+    ) {
+        let x = solve(&a, &b).expect("dominant matrix is invertible");
+        let back = a.mul_vec(&x);
+        for (bb, rb) in b.iter().zip(&back) {
+            prop_assert!((bb - rb).abs() < 1e-8, "residual {} vs {}", bb, rb);
+        }
+    }
+
+    #[test]
+    fn expm_inverse_property(a in dominant_matrix(3)) {
+        // e^A · e^{-A} = I (scale down so the series is benign).
+        let a = a.scale(0.05);
+        let e = a.expm();
+        let einv = a.scale(-1.0).expm();
+        let prod = e.mul_mat(&einv);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((prod[(r, c)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_transpose_involution(a in dominant_matrix(4)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn polynomial_roots_roundtrip(
+        roots in proptest::collection::vec(-5.0..5.0f64, 1..5),
+    ) {
+        // Keep roots separated so the iteration converges crisply.
+        let mut rs = roots.clone();
+        rs.sort_by(f64::total_cmp);
+        prop_assume!(rs.windows(2).all(|w| w[1] - w[0] > 0.25));
+        let poly = Polynomial::from_roots(
+            &rs.iter().map(|&r| Complex::real(r)).collect::<Vec<_>>(),
+        );
+        let mut found: Vec<f64> = poly.roots().iter().map(|z| z.re).collect();
+        found.sort_by(f64::total_cmp);
+        for (want, got) in rs.iter().zip(&found) {
+            prop_assert!((want - got).abs() < 1e-5, "{want} vs {got}");
+        }
+    }
+
+    #[test]
+    fn polynomial_eval_agrees_with_horner_expansion(
+        coeffs in proptest::collection::vec(-3.0..3.0f64, 1..6),
+        x in -2.0..2.0f64,
+    ) {
+        let p = Polynomial::new(coeffs.clone());
+        let manual: f64 = coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c * x.powi(k as i32))
+            .sum();
+        prop_assert!((p.eval(x) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_field_axioms(
+        re1 in -10.0..10.0f64, im1 in -10.0..10.0f64,
+        re2 in -10.0..10.0f64, im2 in -10.0..10.0f64,
+    ) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        prop_assume!(b.abs() > 1e-6);
+        // Multiplication distributes over addition.
+        let lhs = a * (b + Complex::ONE);
+        let rhs = a * b + a;
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+        // Division inverts multiplication.
+        let q = (a * b) / b;
+        prop_assert!((q - a).abs() < 1e-8 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn stable_tf_impulse_decays(pole in 0.5..20.0f64, gain in 0.1..10.0f64) {
+        let tf = ContinuousTransferFunction::from_coeffs(&[gain], &[1.0, pole]);
+        let ss = tf.to_state_space();
+        // Sample fine relative to the pole so the integral converges.
+        let dt = 0.1 / pole;
+        let h = linsys::response::impulse_response(&ss, dt, 300);
+        // Strictly decaying magnitude for a single real pole.
+        for w in h.windows(2) {
+            prop_assert!(w[1].abs() <= w[0].abs() + 1e-12);
+        }
+        // Trapezoidal integral of the impulse response = DC gain.
+        let integral = (h.iter().sum::<f64>() - h[0] / 2.0) * dt;
+        let expect = tf.dc_gain();
+        prop_assert!(
+            (integral - expect).abs() < 0.02 * expect.abs() + 1e-6,
+            "{integral} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn discrete_filter_is_linear(
+        x in proptest::collection::vec(-5.0..5.0f64, 10..30),
+        k in -3.0..3.0f64,
+    ) {
+        let h = DiscreteTransferFunction::new(vec![0.4, 0.3], vec![1.0, -0.5], 1.0);
+        let y1 = h.filter(&x);
+        let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
+        let y2 = h.filter(&scaled);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a * k - b).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    /// Complex LU: the solution of a diagonally dominant complex system
+    /// reproduces the right-hand side.
+    #[test]
+    fn complex_lu_residual_is_small(
+        res in proptest::collection::vec(-5.0..5.0f64, 16),
+        ims in proptest::collection::vec(-5.0..5.0f64, 16),
+        b_re in proptest::collection::vec(-10.0..10.0f64, 4),
+        b_im in proptest::collection::vec(-10.0..10.0f64, 4),
+    ) {
+        use linsys::cmatrix::{solve, CMatrix};
+
+        let n = 4;
+        let mut a = CMatrix::zeros(n, n);
+        for r in 0..n {
+            let mut dominance = 0.0;
+            for c in 0..n {
+                let z = Complex::new(res[r * n + c], ims[r * n + c]);
+                a[(r, c)] = z;
+                dominance += z.abs();
+            }
+            a[(r, r)] = a[(r, r)] + Complex::real(dominance + 1.0);
+        }
+        let b: Vec<Complex> = b_re
+            .iter()
+            .zip(&b_im)
+            .map(|(&re, &im)| Complex::new(re, im))
+            .collect();
+        let x = solve(&a, &b).expect("dominant complex system solves");
+        let back = a.mul_vec(&x);
+        for (want, got) in b.iter().zip(&back) {
+            prop_assert!((*want - *got).abs() < 1e-9, "{want} vs {got}");
+        }
+    }
+
+    /// ZOH discretisation at two half-steps composes to one full step
+    /// for the autonomous part (semigroup property of e^{At}).
+    #[test]
+    fn zoh_semigroup_property(pole in 0.2..10.0f64, dt in 0.001..0.2f64) {
+        use linsys::matrix::Matrix;
+
+        let a = Matrix::from_rows(&[vec![-pole]]);
+        let full = a.scale(dt).expm();
+        let half = a.scale(dt / 2.0).expm();
+        let composed = half.mul_mat(&half);
+        prop_assert!((full[(0, 0)] - composed[(0, 0)]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Current-mirror macros from the analogue library.
+
+use anasim::devices::MosPolarity;
+use anasim::netlist::{Netlist, NodeId};
+use anasim::source::SourceWaveform;
+
+use crate::process::ProcessParams;
+
+/// A built NMOS current mirror with one reference branch and several
+/// output branches.
+#[derive(Debug, Clone)]
+pub struct CurrentMirror {
+    /// Gate rail (diode-connected reference node).
+    pub gate: NodeId,
+    /// Output drain nodes, one per mirror branch.
+    pub outputs: Vec<NodeId>,
+    /// Reference current the bias resistor was sized for.
+    pub i_ref: f64,
+}
+
+/// Builds an NMOS current mirror: a diode-connected reference device
+/// biased at roughly `i_ref` through a resistor from `vdd`, plus
+/// `branches` output devices with the given aspect-ratio multipliers.
+///
+/// Each output drain is left floating at `outputs[k]` for the caller to
+/// connect a load; the branch sinks `multipliers[k] · i_ref` when its
+/// drain is held in saturation.
+///
+/// # Panics
+///
+/// Panics if `multipliers` is empty.
+pub fn nmos_mirror(
+    netlist: &mut Netlist,
+    prefix: &str,
+    process: &ProcessParams,
+    i_ref: f64,
+    multipliers: &[f64],
+) -> CurrentMirror {
+    assert!(!multipliers.is_empty(), "need at least one output branch");
+    let gnd = Netlist::GROUND;
+    let supply = netlist.node(&format!("{prefix}:vdd"));
+    netlist.vsource(
+        &format!("{prefix}:VDD"),
+        supply,
+        gnd,
+        SourceWaveform::dc(process.vdd),
+    );
+
+    // Reference branch: resistor sized for i_ref given the expected Vgs.
+    let gate = netlist.node(&format!("{prefix}:gate"));
+    let aspect_ref = 4.0;
+    let params_ref = process.nmos_sized(aspect_ref);
+    let vgs = params_ref.vt0 + (2.0 * i_ref / params_ref.beta).sqrt();
+    let r_bias = (process.vdd - vgs) / i_ref;
+    netlist.resistor(&format!("{prefix}:RB"), supply, gate, r_bias);
+    netlist.mosfet(
+        &format!("{prefix}:MREF"),
+        gate,
+        gate,
+        gnd,
+        MosPolarity::Nmos,
+        params_ref,
+    );
+
+    let outputs = multipliers
+        .iter()
+        .enumerate()
+        .map(|(k, &m)| {
+            let out = netlist.node(&format!("{prefix}:out{k}"));
+            netlist.mosfet(
+                &format!("{prefix}:M{k}"),
+                out,
+                gate,
+                gnd,
+                MosPolarity::Nmos,
+                process.nmos_sized(aspect_ref * m),
+            );
+            out
+        })
+        .collect();
+
+    CurrentMirror {
+        gate,
+        outputs,
+        i_ref,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::dc_operating_point;
+
+    #[test]
+    fn mirror_copies_reference_current() {
+        let mut nl = Netlist::new();
+        let cm = nmos_mirror(&mut nl, "cm", &ProcessParams::nominal(), 20e-6, &[1.0, 2.0]);
+        // Load each output with a resistor to the supply so the branch
+        // current is measurable via the drop.
+        let vdd = nl.find_node("cm:vdd").unwrap();
+        nl.resistor("RL0", vdd, cm.outputs[0], 20e3);
+        nl.resistor("RL1", vdd, cm.outputs[1], 20e3);
+        let op = dc_operating_point(&nl).unwrap();
+        let i0 = (5.0 - op.voltage(cm.outputs[0])) / 20e3;
+        let i1 = (5.0 - op.voltage(cm.outputs[1])) / 20e3;
+        // 1x branch ~ i_ref (lambda and Vds mismatch allow ~15 %).
+        assert!((i0 - 20e-6).abs() / 20e-6 < 0.15, "i0 = {i0:.3e}");
+        // 2x branch ~ twice that.
+        assert!((i1 / i0 - 2.0).abs() < 0.3, "ratio = {}", i1 / i0);
+    }
+
+    #[test]
+    fn gate_rail_sits_one_vgs_up() {
+        let mut nl = Netlist::new();
+        let cm = nmos_mirror(&mut nl, "cm", &ProcessParams::nominal(), 10e-6, &[1.0]);
+        let vdd = nl.find_node("cm:vdd").unwrap();
+        nl.resistor("RL0", vdd, cm.outputs[0], 10e3);
+        let op = dc_operating_point(&nl).unwrap();
+        let vg = op.voltage(cm.gate);
+        assert!(vg > 1.0 && vg < 2.0, "gate = {vg}");
+    }
+}

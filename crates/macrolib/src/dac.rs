@@ -1,0 +1,270 @@
+//! Digital-to-analogue converter macros.
+//!
+//! The paper's research background treats the converter macros — ADC
+//! *and* DAC — as the dominant fault sites of a mixed-signal ASIC and
+//! the anchors of its self-test strategy ("detailed fault analysis of
+//! the ADC and DAC macros measure their transfer function ... used to
+//! self-calibrate"). This module provides both a behavioural
+//! binary-weighted DAC with per-bit mismatch and a circuit-level R-2R
+//! ladder on `anasim`.
+
+use anasim::netlist::{Netlist, NodeId};
+use anasim::source::SourceWaveform;
+use rand::Rng;
+
+use crate::process::ProcessParams;
+
+/// A behavioural binary-weighted DAC.
+///
+/// Each bit contributes `weight[k] · vref / 2^(bits−k)`; with all
+/// weights at 1.0 the converter is ideal. Per-bit weight mismatch is the
+/// classic source of major-carry DNL errors.
+///
+/// # Example
+///
+/// ```
+/// use macrolib::dac::BinaryDac;
+///
+/// let dac = BinaryDac::ideal(8, 2.56);
+/// assert!((dac.output(128) - 1.28).abs() < 1e-12);
+/// assert!((dac.lsb() - 0.01).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryDac {
+    bits: u32,
+    vref: f64,
+    weights: Vec<f64>,
+    offset_v: f64,
+}
+
+impl BinaryDac {
+    /// An ideal DAC with the given resolution and full-scale reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside 1..=24 or `vref` is not positive.
+    pub fn ideal(bits: u32, vref: f64) -> Self {
+        assert!((1..=24).contains(&bits), "bits must be 1..=24");
+        assert!(vref > 0.0, "vref must be positive");
+        BinaryDac {
+            bits,
+            vref,
+            weights: vec![1.0; bits as usize],
+            offset_v: 0.0,
+        }
+    }
+
+    /// A DAC with Gaussian per-bit weight mismatch of relative sigma
+    /// `sigma` (e.g. `0.002` for 0.2 % element matching).
+    pub fn with_mismatch<R: Rng + ?Sized>(bits: u32, vref: f64, sigma: f64, rng: &mut R) -> Self {
+        let mut dac = BinaryDac::ideal(bits, vref);
+        for w in &mut dac.weights {
+            // Box–Muller.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            *w *= 1.0 + sigma * g;
+        }
+        dac
+    }
+
+    /// Overrides one bit's weight (fault injection: an open bit switch
+    /// is weight 0, a shorted element roughly doubles it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= bits`.
+    pub fn with_bit_weight(mut self, bit: u32, weight: f64) -> Self {
+        assert!(bit < self.bits, "bit out of range");
+        self.weights[bit as usize] = weight;
+        self
+    }
+
+    /// Adds an output offset.
+    pub fn with_offset(mut self, offset_v: f64) -> Self {
+        self.offset_v = offset_v;
+        self
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Full-scale reference voltage.
+    pub fn vref(&self) -> f64 {
+        self.vref
+    }
+
+    /// Nominal LSB size in volts.
+    pub fn lsb(&self) -> f64 {
+        self.vref / (1u64 << self.bits) as f64
+    }
+
+    /// Number of codes (`2^bits`).
+    pub fn code_count(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// The analogue output for a code (clamped to the code range).
+    pub fn output(&self, code: u64) -> f64 {
+        let code = code.min(self.code_count() - 1);
+        let mut v = self.offset_v;
+        for k in 0..self.bits {
+            if code >> k & 1 == 1 {
+                // Bit k nominal contribution: vref * 2^k / 2^bits.
+                v += self.weights[k as usize] * self.vref * (1u64 << k) as f64
+                    / self.code_count() as f64;
+            }
+        }
+        v
+    }
+}
+
+/// A built circuit-level R-2R ladder DAC.
+#[derive(Debug, Clone)]
+pub struct R2rLadder {
+    /// Per-bit drive nodes (LSB first); drive to 0 V or `vref`.
+    pub bit_inputs: Vec<NodeId>,
+    /// Analogue output node.
+    pub out: NodeId,
+    /// Number of bits.
+    pub bits: u32,
+}
+
+/// Builds an `bits`-bit R-2R ladder into `netlist`.
+///
+/// Each bit input is created as a voltage source driving 0 V initially;
+/// set bit `k` by rewriting source `"{prefix}:B{k}"` to `vref`. The
+/// unloaded output equals `code · vref / 2^bits`.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside 1..=16.
+pub fn r2r_ladder(
+    netlist: &mut Netlist,
+    prefix: &str,
+    process: &ProcessParams,
+    bits: u32,
+) -> R2rLadder {
+    assert!((1..=16).contains(&bits), "bits must be 1..=16");
+    let gnd = Netlist::GROUND;
+    let r = process.resistor(10e3);
+    let r2 = 2.0 * r;
+
+    let mut bit_inputs = Vec::with_capacity(bits as usize);
+    // Ladder node for each bit, LSB at the far (terminated) end.
+    let mut rail_prev = netlist.node(&format!("{prefix}:n0"));
+    // LSB termination: 2R to ground.
+    netlist.resistor(&format!("{prefix}:RT"), rail_prev, gnd, r2);
+
+    for k in 0..bits {
+        // Bit leg: 2R from the bit drive into the rail node.
+        let drive = netlist.node(&format!("{prefix}:b{k}"));
+        netlist.vsource(&format!("{prefix}:B{k}"), drive, gnd, SourceWaveform::dc(0.0));
+        netlist.resistor(&format!("{prefix}:RB{k}"), drive, rail_prev, r2);
+        bit_inputs.push(drive);
+        // Series R to the next (more significant) rail node, except after
+        // the MSB, whose rail node is the output.
+        if k != bits - 1 {
+            let rail_next = netlist.node(&format!("{prefix}:n{}", k + 1));
+            netlist.resistor(&format!("{prefix}:RS{k}"), rail_prev, rail_next, r);
+            rail_prev = rail_next;
+        }
+    }
+    R2rLadder {
+        bit_inputs,
+        out: rail_prev,
+        bits,
+    }
+}
+
+/// Drives a code onto a built ladder by rewriting its bit sources.
+///
+/// # Panics
+///
+/// Panics if a bit source is missing (wrong prefix).
+pub fn set_ladder_code(netlist: &mut Netlist, prefix: &str, ladder: &R2rLadder, code: u64, vref: f64) {
+    for k in 0..ladder.bits {
+        let id = netlist
+            .find_device(&format!("{prefix}:B{k}"))
+            .expect("ladder bit source exists");
+        let level = if code >> k & 1 == 1 { vref } else { 0.0 };
+        match netlist.device_mut(id) {
+            anasim::devices::Device::Vsource { wave, .. } => {
+                *wave = SourceWaveform::dc(level)
+            }
+            _ => unreachable!("bit drives are voltage sources"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::dc_operating_point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_dac_is_linear() {
+        let dac = BinaryDac::ideal(10, 2.5);
+        for code in [0u64, 1, 511, 512, 1023] {
+            let expect = code as f64 * dac.lsb();
+            assert!((dac.output(code) - expect).abs() < 1e-12, "code {code}");
+        }
+    }
+
+    #[test]
+    fn over_range_code_clamps() {
+        let dac = BinaryDac::ideal(4, 1.6);
+        assert_eq!(dac.output(99), dac.output(15));
+    }
+
+    #[test]
+    fn msb_weight_error_creates_major_carry_step() {
+        // MSB 1 % light: the 011..1 -> 100..0 transition collapses.
+        let dac = BinaryDac::ideal(8, 2.56).with_bit_weight(7, 0.99);
+        let below = dac.output(127);
+        let above = dac.output(128);
+        let step = above - below;
+        // Ideal step is 1 LSB = 10 mV; the error removes 1 % of half
+        // scale = 12.8 mV: the step goes negative (non-monotonic).
+        assert!(step < 0.0, "step {step}");
+    }
+
+    #[test]
+    fn mismatch_is_reproducible() {
+        let a = BinaryDac::with_mismatch(8, 2.5, 0.01, &mut StdRng::seed_from_u64(3));
+        let b = BinaryDac::with_mismatch(8, 2.5, 0.01, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert_ne!(a, BinaryDac::ideal(8, 2.5));
+    }
+
+    #[test]
+    fn r2r_ladder_matches_binary_weighting() {
+        let bits = 6;
+        let vref = 2.56;
+        for code in [0u64, 1, 21, 32, 63] {
+            let mut nl = Netlist::new();
+            let ladder = r2r_ladder(&mut nl, "dac", &ProcessParams::nominal(), bits);
+            set_ladder_code(&mut nl, "dac", &ladder, code, vref);
+            let op = dc_operating_point(&nl).unwrap();
+            let v = op.voltage(ladder.out);
+            let expect = code as f64 * vref / (1u64 << bits) as f64;
+            assert!(
+                (v - expect).abs() < 2e-4,
+                "code {code}: {v} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_bit_count_and_elements() {
+        let mut nl = Netlist::new();
+        let ladder = r2r_ladder(&mut nl, "dac", &ProcessParams::nominal(), 8);
+        assert_eq!(ladder.bit_inputs.len(), 8);
+        // 8 bit sources + (8 legs + 7 series + 1 termination) resistors.
+        assert_eq!(nl.device_count(), 8 + 16);
+    }
+}

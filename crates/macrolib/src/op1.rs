@@ -1,0 +1,450 @@
+//! OP1 — the 13-transistor CMOS operational amplifier of the paper's
+//! Figure 3.
+//!
+//! The figure labels nine externally interesting nodes:
+//!
+//! | node | role |
+//! |---|---|
+//! | 1 | In+ |
+//! | 2 | In− |
+//! | 3 | Out |
+//! | 4 | p-type current-source bias (IRef) |
+//! | 5 | n-type current-source bias |
+//! | 6 | differential-pair mirror node |
+//! | 7 | differential-pair output |
+//! | 8 | inverter (second-stage) output |
+//! | 9 | inverter-buffer output |
+//!
+//! The realisation here is a classic Miller-compensated CMOS amplifier:
+//! a PMOS-tail differential pair with NMOS current-mirror load, an NMOS
+//! common-source "inverter" gain stage with a PMOS current-source load
+//! (node 8), a level-shifting source-follower "inverter buffer"
+//! (node 9) and a push-pull follower output stage — 13 transistors in
+//! total, matching the paper. Bias currents derive from two
+//! resistor-set diode-connected references (nodes 4 and 5). The output
+//! swings roughly 0.1 V to 3.6 V on the 5 V supply (follower output
+//! stages cost a Vgs of headroom at the top, as they did in gate-array
+//! op-amps of this era).
+
+use anasim::netlist::{Netlist, NodeId};
+use anasim::devices::MosPolarity;
+use anasim::source::SourceWaveform;
+
+use crate::process::ProcessParams;
+
+/// A built OP1 macro instance: node handles into the host netlist.
+#[derive(Debug, Clone)]
+pub struct Op1 {
+    /// Paper-numbered nodes; index 0 is unused.
+    nodes: [NodeId; 10],
+    vdd: NodeId,
+}
+
+impl Op1 {
+    /// Builds an OP1 instance into `netlist` with its own supply.
+    ///
+    /// All internal elements are prefixed with `prefix` so multiple
+    /// instances coexist.
+    pub fn build(netlist: &mut Netlist, prefix: &str, process: &ProcessParams) -> Op1 {
+        let vdd = netlist.node(&format!("{prefix}:vdd"));
+        netlist.vsource(
+            &format!("{prefix}:VDD"),
+            vdd,
+            Netlist::GROUND,
+            SourceWaveform::dc(process.vdd),
+        );
+        Op1::build_with_supply(netlist, prefix, process, vdd)
+    }
+
+    /// Builds an OP1 instance sharing an existing supply node.
+    pub fn build_with_supply(
+        netlist: &mut Netlist,
+        prefix: &str,
+        process: &ProcessParams,
+        vdd: NodeId,
+    ) -> Op1 {
+        let gnd = Netlist::GROUND;
+        let n = |nl: &mut Netlist, k: u32| nl.node(&format!("{prefix}:n{k}"));
+        let n1 = n(netlist, 1); // In+
+        let n2 = n(netlist, 2); // In-
+        let n3 = n(netlist, 3); // Out
+        let n4 = n(netlist, 4); // p bias
+        let n5 = n(netlist, 5); // n bias
+        let n6 = n(netlist, 6); // mirror node
+        let n7 = n(netlist, 7); // diff output
+        let n8 = n(netlist, 8); // inverter output
+        let n9 = n(netlist, 9); // buffer output
+        let tail = netlist.node(&format!("{prefix}:tail"));
+
+        let nmos = |p: &ProcessParams, a: f64| p.nmos_sized(a);
+        let pmos = |p: &ProcessParams, a: f64| p.pmos_sized(a);
+
+        // --- Bias generators ------------------------------------------
+        // p bias: diode-connected PMOS M1 with resistor to ground sets
+        // IRef; node 4 is the PMOS mirror gate rail.
+        netlist.mosfet(
+            &format!("{prefix}:M1"),
+            n4,
+            n4,
+            vdd,
+            MosPolarity::Pmos,
+            pmos(process, 4.0),
+        );
+        netlist.resistor(&format!("{prefix}:R1"), n4, gnd, process.resistor(160e3));
+        // n bias: diode-connected NMOS M7 with resistor from VDD; node 5
+        // is the NMOS mirror gate rail.
+        netlist.mosfet(
+            &format!("{prefix}:M7"),
+            n5,
+            n5,
+            gnd,
+            MosPolarity::Nmos,
+            nmos(process, 2.0),
+        );
+        netlist.resistor(&format!("{prefix}:R2"), vdd, n5, process.resistor(165e3));
+
+        // --- Differential input stage ---------------------------------
+        // M2: PMOS tail current source from the p bias.
+        netlist.mosfet(
+            &format!("{prefix}:M2"),
+            tail,
+            n4,
+            vdd,
+            MosPolarity::Pmos,
+            pmos(process, 8.0),
+        );
+        // M3 (In- side, drives the mirror diode node 6),
+        // M4 (In+ side, drives the output node 7).
+        netlist.mosfet(
+            &format!("{prefix}:M3"),
+            n6,
+            n2,
+            tail,
+            MosPolarity::Pmos,
+            pmos(process, 8.0),
+        );
+        netlist.mosfet(
+            &format!("{prefix}:M4"),
+            n7,
+            n1,
+            tail,
+            MosPolarity::Pmos,
+            pmos(process, 8.0),
+        );
+        // NMOS current-mirror load M5 (diode) / M6.
+        netlist.mosfet(
+            &format!("{prefix}:M5"),
+            n6,
+            n6,
+            gnd,
+            MosPolarity::Nmos,
+            nmos(process, 2.0),
+        );
+        netlist.mosfet(
+            &format!("{prefix}:M6"),
+            n7,
+            n6,
+            gnd,
+            MosPolarity::Nmos,
+            nmos(process, 2.0),
+        );
+
+        // --- Second stage: "inverter" ---------------------------------
+        // NMOS common source from node 7, PMOS current-source load. This
+        // is the only gain stage after the differential pair, so simple
+        // Miller compensation across it stabilises the amplifier.
+        netlist.mosfet(
+            &format!("{prefix}:M8"),
+            n8,
+            n7,
+            gnd,
+            MosPolarity::Nmos,
+            nmos(process, 4.0),
+        );
+        netlist.mosfet(
+            &format!("{prefix}:M9"),
+            n8,
+            n4,
+            vdd,
+            MosPolarity::Pmos,
+            pmos(process, 8.0),
+        );
+
+        // --- "Inverter buffer": level-shift follower -------------------
+        // NMOS source follower shifts node 8 down one Vgs to node 9.
+        netlist.mosfet(
+            &format!("{prefix}:M10"),
+            vdd,
+            n8,
+            n9,
+            MosPolarity::Nmos,
+            nmos(process, 4.0),
+        );
+        netlist.mosfet(
+            &format!("{prefix}:M11"),
+            n9,
+            n5,
+            gnd,
+            MosPolarity::Nmos,
+            nmos(process, 4.0),
+        );
+
+        // --- Output stage: push-pull followers -------------------------
+        // NMOS follower (from node 8) pushes; PMOS follower (from the
+        // shifted node 9) pulls. Followers add no inversion and no gain,
+        // so they sit harmlessly outside the Miller loop; the level
+        // shift narrows the crossover dead zone and extends the negative
+        // swing.
+        netlist.mosfet(
+            &format!("{prefix}:M12"),
+            vdd,
+            n8,
+            n3,
+            MosPolarity::Nmos,
+            nmos(process, 8.0),
+        );
+        netlist.mosfet(
+            &format!("{prefix}:M13"),
+            gnd,
+            n9,
+            n3,
+            MosPolarity::Pmos,
+            pmos(process, 16.0),
+        );
+
+        // --- Parasitics and compensation --------------------------------
+        // Miller compensation across the second stage plus node
+        // capacitances that set realistic (5 µm era) internal poles.
+        netlist.capacitor(&format!("{prefix}:CC"), n7, n8, process.capacitor(5e-12));
+        netlist.capacitor(&format!("{prefix}:C7"), n7, gnd, process.capacitor(1e-12));
+        netlist.capacitor(&format!("{prefix}:C8"), n8, gnd, process.capacitor(1e-12));
+        netlist.capacitor(&format!("{prefix}:C9"), n9, gnd, process.capacitor(1e-12));
+        netlist.capacitor(&format!("{prefix}:CL"), n3, gnd, process.capacitor(10e-12));
+
+        Op1 {
+            nodes: [gnd, n1, n2, n3, n4, n5, n6, n7, n8, n9],
+            vdd,
+        }
+    }
+
+    /// Non-inverting input (paper node 1).
+    pub fn in_p(&self) -> NodeId {
+        self.nodes[1]
+    }
+
+    /// Inverting input (paper node 2).
+    pub fn in_n(&self) -> NodeId {
+        self.nodes[2]
+    }
+
+    /// Output (paper node 3).
+    pub fn out(&self) -> NodeId {
+        self.nodes[3]
+    }
+
+    /// Supply node.
+    pub fn vdd(&self) -> NodeId {
+        self.vdd
+    }
+
+    /// Node by the paper's numbering (1–9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside 1..=9.
+    pub fn node(&self, k: u8) -> NodeId {
+        assert!((1..=9).contains(&k), "paper node number must be 1..=9");
+        self.nodes[k as usize]
+    }
+
+    /// All paper-numbered nodes as `(number, node)` pairs.
+    pub fn node_map(&self) -> Vec<(u8, NodeId)> {
+        (1..=9u8).map(|k| (k, self.nodes[k as usize])).collect()
+    }
+
+    /// The major internal nodes the paper injects single stuck-at faults
+    /// on for circuit 1: nodes 4, 5, 7, 8 and 3.
+    pub fn single_fault_nodes(&self) -> Vec<(u8, NodeId)> {
+        [4u8, 5, 7, 8, 3]
+            .into_iter()
+            .map(|k| (k, self.nodes[k as usize]))
+            .collect()
+    }
+
+    /// The node pairs the paper bridges for circuit 1: 8–9, 5–8 and 4–6.
+    pub fn bridge_fault_pairs(&self) -> Vec<((u8, NodeId), (u8, NodeId))> {
+        [(8u8, 9u8), (5, 8), (4, 6)]
+            .into_iter()
+            .map(|(a, b)| {
+                (
+                    (a, self.nodes[a as usize]),
+                    (b, self.nodes[b as usize]),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Open-loop frequency-response summary of an OP1 instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Op1FrequencyResponse {
+    /// DC open-loop gain in dB.
+    pub dc_gain_db: f64,
+    /// Dominant-pole (−3 dB) frequency in hertz, if inside the sweep.
+    pub dominant_pole_hz: Option<f64>,
+    /// Unity-gain frequency in hertz, if inside the sweep.
+    pub unity_gain_hz: Option<f64>,
+}
+
+impl Op1 {
+    /// Measures the open-loop frequency response with an AC analysis:
+    /// the instance is biased at `bias` volts on both inputs and a unit
+    /// AC excitation rides on In+.
+    ///
+    /// Builds a private copy of the amplifier, so the caller's netlist
+    /// is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC non-convergence from the bias solution.
+    pub fn measure_frequency_response(
+        process: &ProcessParams,
+        bias: f64,
+    ) -> Result<Op1FrequencyResponse, anasim::AnalysisError> {
+        let mut nl = Netlist::new();
+        let op1 = Op1::build(&mut nl, "acprobe", process);
+        let src = nl.vsource(
+            "acprobe:VINP",
+            op1.in_p(),
+            Netlist::GROUND,
+            SourceWaveform::dc(bias),
+        );
+        nl.vsource(
+            "acprobe:VINN",
+            op1.in_n(),
+            Netlist::GROUND,
+            SourceWaveform::dc(bias),
+        );
+        let freqs = anasim::ac::log_sweep(1.0, 100e6, 12);
+        let res = anasim::ac::ac_analysis(&nl, src, &freqs)?;
+        let mags = res.magnitude_db(op1.out());
+        Ok(Op1FrequencyResponse {
+            dc_gain_db: mags[0],
+            dominant_pole_hz: res.corner_frequency(op1.out()),
+            unity_gain_hz: res.unity_gain_frequency(op1.out()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::dc_operating_point;
+    use anasim::transient::TransientAnalysis;
+
+    #[test]
+    fn open_loop_frequency_response_is_opamp_like() {
+        let fr = Op1::measure_frequency_response(&ProcessParams::nominal(), 2.0).unwrap();
+        // Two gain stages: comfortably over 40 dB at DC.
+        assert!(fr.dc_gain_db > 40.0, "dc gain {:.1} dB", fr.dc_gain_db);
+        // Miller-compensated dominant pole well below the unity-gain
+        // frequency (single-pole roll-off region).
+        let pole = fr.dominant_pole_hz.expect("pole inside sweep");
+        let ugf = fr.unity_gain_hz.expect("crossover inside sweep");
+        assert!(pole < ugf / 30.0, "pole {pole:.0} Hz vs UGF {ugf:.0} Hz");
+    }
+
+    fn build_biased(vin_p: f64, vin_n: f64) -> (Netlist, Op1) {
+        let mut nl = Netlist::new();
+        let op1 = Op1::build(&mut nl, "a", &ProcessParams::nominal());
+        nl.vsource("VP", op1.in_p(), Netlist::GROUND, SourceWaveform::dc(vin_p));
+        nl.vsource("VN", op1.in_n(), Netlist::GROUND, SourceWaveform::dc(vin_n));
+        (nl, op1)
+    }
+
+    #[test]
+    fn has_exactly_thirteen_transistors() {
+        let mut nl = Netlist::new();
+        let _ = Op1::build(&mut nl, "a", &ProcessParams::nominal());
+        assert_eq!(nl.transistor_count(), 13);
+    }
+
+    #[test]
+    fn bias_nodes_sit_at_sane_levels() {
+        let (nl, op1) = build_biased(2.0, 2.0);
+        let op = dc_operating_point(&nl).unwrap();
+        let v4 = op.voltage(op1.node(4));
+        let v5 = op.voltage(op1.node(5));
+        // p bias a |Vgs| below VDD; n bias a Vgs above ground.
+        assert!(v4 > 2.0 && v4 < 4.5, "v4 = {v4}");
+        assert!(v5 > 1.0 && v5 < 3.0, "v5 = {v5}");
+    }
+
+    #[test]
+    fn output_saturates_with_large_differential() {
+        let (nl_hi, op_hi) = build_biased(2.5, 1.5);
+        let op = dc_operating_point(&nl_hi).unwrap();
+        let out_hi = op.voltage(op_hi.out());
+        let (nl_lo, op_lo) = build_biased(1.5, 2.5);
+        let op2 = dc_operating_point(&nl_lo).unwrap();
+        let out_lo = op2.voltage(op_lo.out());
+        // Non-inverting: In+ > In- drives the output high (the follower
+        // output stage tops out a Vgs below the rail).
+        assert!(out_hi > 3.2, "out_hi = {out_hi}");
+        assert!(out_lo < 1.0, "out_lo = {out_lo}");
+    }
+
+    #[test]
+    fn transient_comparator_response_to_step() {
+        // Drive In+ with a step through the In- = 2.0 V reference and
+        // watch the output swing rail to rail.
+        let mut nl = Netlist::new();
+        let op1 = Op1::build(&mut nl, "a", &ProcessParams::nominal());
+        nl.vsource(
+            "VP",
+            op1.in_p(),
+            Netlist::GROUND,
+            SourceWaveform::Pwl(vec![(0.0, 1.0), (40e-6, 1.0), (50e-6, 3.0)]),
+        );
+        nl.vsource("VN", op1.in_n(), Netlist::GROUND, SourceWaveform::dc(2.0));
+        let res = TransientAnalysis::new(200e-6, 0.5e-6).run(&nl).unwrap();
+        let w = res.voltage(op1.out());
+        assert!(w.value_at(30e-6) < 1.0, "low before step: {}", w.value_at(30e-6));
+        assert!(w.value_at(190e-6) > 3.2, "high after step: {}", w.value_at(190e-6));
+    }
+
+    #[test]
+    fn node_map_covers_paper_numbering() {
+        let mut nl = Netlist::new();
+        let op1 = Op1::build(&mut nl, "a", &ProcessParams::nominal());
+        let map = op1.node_map();
+        assert_eq!(map.len(), 9);
+        assert_eq!(op1.node(1), op1.in_p());
+        assert_eq!(op1.node(3), op1.out());
+    }
+
+    #[test]
+    fn fault_universe_matches_paper() {
+        let mut nl = Netlist::new();
+        let op1 = Op1::build(&mut nl, "a", &ProcessParams::nominal());
+        assert_eq!(op1.single_fault_nodes().len(), 5);
+        assert_eq!(op1.bridge_fault_pairs().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=9")]
+    fn node_zero_rejected() {
+        let mut nl = Netlist::new();
+        let op1 = Op1::build(&mut nl, "a", &ProcessParams::nominal());
+        let _ = op1.node(0);
+    }
+
+    #[test]
+    fn two_instances_coexist() {
+        let mut nl = Netlist::new();
+        let a = Op1::build(&mut nl, "a", &ProcessParams::nominal());
+        let b = Op1::build(&mut nl, "b", &ProcessParams::nominal());
+        assert_ne!(a.out(), b.out());
+        assert_eq!(nl.transistor_count(), 26);
+    }
+}

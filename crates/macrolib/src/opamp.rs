@@ -1,0 +1,231 @@
+//! Behavioural op-amp and comparator macros.
+//!
+//! System-level simulations (the full ADC macro, oscillators) do not need
+//! all 13 transistors of [`crate::op1`]; these macro-models provide the
+//! same terminal behaviour — high gain, one dominant pole, rail-limited
+//! output — at a fraction of the solver cost.
+
+use anasim::devices::DiodeParams;
+use anasim::netlist::{Netlist, NodeId};
+use anasim::source::SourceWaveform;
+
+/// Parameters of the behavioural op-amp macro-model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpampParams {
+    /// Open-loop DC gain (V/V).
+    pub gain: f64,
+    /// Dominant pole frequency in hertz.
+    pub pole_hz: f64,
+    /// Output resistance in ohms.
+    pub rout: f64,
+    /// Positive supply (upper clamp) in volts.
+    pub vdd: f64,
+}
+
+impl OpampParams {
+    /// A modest 5 µm-era op-amp: 80 dB gain, 10 kHz dominant pole.
+    pub fn opamp_5um() -> Self {
+        OpampParams {
+            gain: 10e3,
+            pole_hz: 10e3,
+            rout: 1e3,
+            vdd: 5.0,
+        }
+    }
+
+    /// A fast comparator: lower gain but a much faster pole.
+    pub fn comparator_5um() -> Self {
+        OpampParams {
+            gain: 5e3,
+            pole_hz: 500e3,
+            rout: 1e3,
+            vdd: 5.0,
+        }
+    }
+}
+
+impl Default for OpampParams {
+    fn default() -> Self {
+        OpampParams::opamp_5um()
+    }
+}
+
+/// A built behavioural op-amp instance.
+#[derive(Debug, Clone, Copy)]
+pub struct BehavioralOpamp {
+    /// Non-inverting input.
+    pub in_p: NodeId,
+    /// Inverting input.
+    pub in_n: NodeId,
+    /// Output.
+    pub out: NodeId,
+}
+
+impl BehavioralOpamp {
+    /// Builds the macro-model into `netlist` with element names prefixed
+    /// by `prefix`.
+    ///
+    /// Topology: a transconductance (`gm = gain / R_pole`) injects into a
+    /// resistive node referenced to mid-rail, realising the open-loop
+    /// gain; a capacitor on that node makes the dominant pole; diode
+    /// clamps to the rails bound the swing (keeping Newton iterations
+    /// well-conditioned); the clamped node feeds the output through
+    /// `rout`. With zero differential input the output rests at
+    /// mid-rail.
+    pub fn build(netlist: &mut Netlist, prefix: &str, params: &OpampParams) -> BehavioralOpamp {
+        let gnd = Netlist::GROUND;
+        let in_p = netlist.node(&format!("{prefix}:inp"));
+        let in_n = netlist.node(&format!("{prefix}:inn"));
+        let out = netlist.node(&format!("{prefix}:out"));
+        let pole = netlist.node(&format!("{prefix}:pole"));
+        let mid = netlist.node(&format!("{prefix}:mid"));
+
+        netlist.vsource(
+            &format!("{prefix}:VMID"),
+            mid,
+            gnd,
+            SourceWaveform::dc(params.vdd / 2.0),
+        );
+
+        // Gain: gm into R_pole, referenced to mid-rail.
+        let r_pole = 1e6;
+        let gm = params.gain / r_pole;
+        netlist.vccs(&format!("{prefix}:G"), mid, pole, in_p, in_n, gm);
+        netlist.resistor(&format!("{prefix}:RP"), pole, mid, r_pole);
+
+        // Dominant pole.
+        let c_pole = 1.0 / (2.0 * std::f64::consts::PI * params.pole_hz * r_pole);
+        netlist.capacitor(&format!("{prefix}:CP"), pole, mid, c_pole);
+
+        // Rail clamps: one diode drop outside each rail reference, so the
+        // pole node is held to roughly [0, vdd].
+        let hi_ref = netlist.node(&format!("{prefix}:hiref"));
+        let lo_ref = netlist.node(&format!("{prefix}:loref"));
+        netlist.vsource(
+            &format!("{prefix}:VHI"),
+            hi_ref,
+            gnd,
+            SourceWaveform::dc(params.vdd - 0.6),
+        );
+        netlist.vsource(
+            &format!("{prefix}:VLO"),
+            lo_ref,
+            gnd,
+            SourceWaveform::dc(0.6),
+        );
+        netlist.diode(
+            &format!("{prefix}:DHI"),
+            pole,
+            hi_ref,
+            DiodeParams::default(),
+        );
+        netlist.diode(
+            &format!("{prefix}:DLO"),
+            lo_ref,
+            pole,
+            DiodeParams::default(),
+        );
+
+        // Output resistance.
+        netlist.resistor(&format!("{prefix}:RO"), pole, out, params.rout);
+
+        BehavioralOpamp { in_p, in_n, out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::dc_operating_point;
+    use anasim::transient::TransientAnalysis;
+
+    #[test]
+    fn clamps_to_rails_open_loop() {
+        let mut nl = Netlist::new();
+        let op = BehavioralOpamp::build(&mut nl, "u1", &OpampParams::comparator_5um());
+        nl.vsource("VP", op.in_p, Netlist::GROUND, SourceWaveform::dc(3.0));
+        nl.vsource("VN", op.in_n, Netlist::GROUND, SourceWaveform::dc(2.0));
+        nl.resistor("RL", op.out, Netlist::GROUND, 100e3);
+        let sol = dc_operating_point(&nl).unwrap();
+        let v = sol.voltage(op.out);
+        assert!(v > 4.3 && v < 5.3, "clamped high, got {v}");
+    }
+
+    #[test]
+    fn unity_buffer_follows_input() {
+        let mut nl = Netlist::new();
+        let op = BehavioralOpamp::build(&mut nl, "u1", &OpampParams::opamp_5um());
+        nl.vsource("VP", op.in_p, Netlist::GROUND, SourceWaveform::dc(2.4));
+        // Feedback: out -> in-.
+        nl.resistor("RF", op.out, op.in_n, 1.0);
+        let sol = dc_operating_point(&nl).unwrap();
+        let v = sol.voltage(op.out);
+        assert!((v - 2.4).abs() < 2.4 / 1e3, "buffer output {v}");
+    }
+
+    #[test]
+    fn inverting_amplifier_gain() {
+        // Standard inverting amp: gain = -R2/R1 = -4 around a 2.5 V
+        // virtual ground.
+        let mut nl = Netlist::new();
+        let op = BehavioralOpamp::build(&mut nl, "u1", &OpampParams::opamp_5um());
+        let vin = nl.node("vin");
+        nl.vsource("VIN", vin, Netlist::GROUND, SourceWaveform::dc(2.3));
+        nl.vsource("VREF", op.in_p, Netlist::GROUND, SourceWaveform::dc(2.5));
+        nl.resistor("R1", vin, op.in_n, 10e3);
+        nl.resistor("R2", op.in_n, op.out, 40e3);
+        let sol = dc_operating_point(&nl).unwrap();
+        // vout = 2.5 - 4*(2.3-2.5) = 3.3
+        let v = sol.voltage(op.out);
+        assert!((v - 3.3).abs() < 0.02, "inverting amp output {v}");
+    }
+
+    #[test]
+    fn pole_limits_open_loop_response() {
+        // Open loop, a small differential step (staying inside the
+        // linear region) rises with the dominant-pole time constant
+        // tau = 1/(2*pi*10 kHz) = 15.9 us.
+        let mut nl = Netlist::new();
+        let op = BehavioralOpamp::build(&mut nl, "u1", &OpampParams::opamp_5um());
+        nl.vsource(
+            "VP",
+            op.in_p,
+            Netlist::GROUND,
+            SourceWaveform::Step {
+                initial: 2.5,
+                level: 2.5001,
+                delay: 1e-6,
+            },
+        );
+        nl.vsource("VN", op.in_n, Netlist::GROUND, SourceWaveform::dc(2.5));
+        // Light load: keep the output divider loss negligible.
+        nl.resistor("RL", op.out, Netlist::GROUND, 1e9);
+        let res = TransientAnalysis::new(100e-6, 0.2e-6).run(&nl).unwrap();
+        let w = res.voltage(op.out);
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * 10e3);
+        // Final value: 2.5 + gain * 0.1 mV = 3.5 V (approximately; the
+        // output divider with RL costs a little).
+        let at_tau = w.value_at(1e-6 + tau);
+        let expect = 2.5 + 1.0 * (1.0 - (-1.0_f64).exp());
+        assert!((at_tau - expect).abs() < 0.05, "at tau: {at_tau} vs {expect}");
+        assert!((w.value_at(95e-6) - 3.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn comparator_swings_between_rails() {
+        let mut nl = Netlist::new();
+        let op = BehavioralOpamp::build(&mut nl, "u1", &OpampParams::comparator_5um());
+        nl.vsource(
+            "VP",
+            op.in_p,
+            Netlist::GROUND,
+            SourceWaveform::ramp(0.0, 5.0, 1e-3),
+        );
+        nl.vsource("VN", op.in_n, Netlist::GROUND, SourceWaveform::dc(2.5));
+        nl.resistor("RL", op.out, Netlist::GROUND, 100e3);
+        let res = TransientAnalysis::new(1e-3, 1e-6).run(&nl).unwrap();
+        let w = res.voltage(op.out);
+        assert!(w.value_at(0.1e-3) < 0.7);
+        assert!(w.value_at(0.9e-3) > 4.3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Relaxation-oscillator macro from the analogue library.
+//!
+//! A comparator with hysteresis (positive feedback divider) charging and
+//! discharging an RC — the classic astable used as an on-chip clock
+//! source for BIST sequencing.
+
+use anasim::netlist::{Netlist, NodeId};
+
+use crate::opamp::{BehavioralOpamp, OpampParams};
+
+/// A built relaxation oscillator.
+#[derive(Debug, Clone, Copy)]
+pub struct RelaxationOscillator {
+    /// Square-wave output node.
+    pub out: NodeId,
+    /// Timing-capacitor node (triangle-ish waveform).
+    pub cap: NodeId,
+    /// Designed oscillation period in seconds.
+    pub period: f64,
+}
+
+/// Builds a relaxation oscillator with roughly the requested period.
+///
+/// The comparator output charges `C` through `R`; positive feedback taps
+/// half the output, so the capacitor swings between 1/4 and 3/4 of the
+/// supply and the period is `2·R·C·ln(3) ≈ 2.2·R·C`.
+pub fn relaxation_oscillator(
+    netlist: &mut Netlist,
+    prefix: &str,
+    period: f64,
+) -> RelaxationOscillator {
+    let gnd = Netlist::GROUND;
+    let cmp = BehavioralOpamp::build(
+        netlist,
+        &format!("{prefix}:cmp"),
+        &OpampParams::comparator_5um(),
+    );
+
+    // R and C from the requested period.
+    let c = 1e-9;
+    let r = period / (2.0 * c * 3.0_f64.ln());
+
+    // Timing network: out -> R -> cap -> C -> gnd, cap node into in-.
+    netlist.resistor(&format!("{prefix}:RT"), cmp.out, cmp.in_n, r);
+    netlist.capacitor(&format!("{prefix}:CT"), cmp.in_n, gnd, c);
+
+    // Hysteresis divider: out and a mid-rail reference average into in+.
+    // The reference steps up shortly after t = 0: the DC operating point
+    // would otherwise sit exactly on the unstable equilibrium and a
+    // noiseless simulation would never leave it.
+    let mid = netlist.node(&format!("{prefix}:mid"));
+    netlist.vsource(
+        &format!("{prefix}:VMID"),
+        mid,
+        gnd,
+        anasim::source::SourceWaveform::Step {
+            initial: 1.5,
+            level: 2.5,
+            delay: period / 100.0,
+        },
+    );
+    netlist.resistor(&format!("{prefix}:RH1"), cmp.out, cmp.in_p, 100e3);
+    netlist.resistor(&format!("{prefix}:RH2"), cmp.in_p, mid, 100e3);
+    // A small capacitor turns the regenerative flip into a (fast)
+    // continuous trajectory, which keeps the Newton iteration away from
+    // the bistable algebraic solution at the switching instant.
+    netlist.capacitor(&format!("{prefix}:CH"), cmp.in_p, gnd, 20e-12);
+
+    RelaxationOscillator {
+        out: cmp.out,
+        cap: cmp.in_n,
+        period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::transient::TransientAnalysis;
+    use sigproc_test_shim::count_rising_crossings;
+
+    // Minimal local crossing counter to avoid a circular dev-dependency
+    // on sigproc.
+    mod sigproc_test_shim {
+        use anasim::waveform::Waveform;
+
+        pub fn count_rising_crossings(w: &Waveform, threshold: f64) -> usize {
+            let v = w.values();
+            (1..v.len())
+                .filter(|&i| v[i - 1] < threshold && v[i] >= threshold)
+                .count()
+        }
+    }
+
+    #[test]
+    fn oscillates_near_design_period() {
+        let mut nl = Netlist::new();
+        let osc = relaxation_oscillator(&mut nl, "osc", 100e-6);
+        let newton = anasim::mna::NewtonOptions {
+            max_iterations: 500,
+            ..Default::default()
+        };
+        let res = TransientAnalysis::new(1.05e-3, 0.2e-6)
+            .newton_options(newton)
+            .run(&nl)
+            .unwrap();
+        let w = res.voltage(osc.out);
+        // Expect ~10 periods in 1 ms; allow generous tolerance since the
+        // comparator pole steals some time each half-cycle.
+        let edges = count_rising_crossings(&w, 2.5);
+        assert!(
+            (6..=14).contains(&edges),
+            "expected ~10 rising edges, saw {edges}"
+        );
+    }
+
+    #[test]
+    fn capacitor_waveform_swings_between_thresholds() {
+        let mut nl = Netlist::new();
+        let osc = relaxation_oscillator(&mut nl, "osc", 50e-6);
+        let res = TransientAnalysis::new(500e-6, 0.1e-6).run(&nl).unwrap();
+        let cap = res.voltage(osc.cap);
+        // After start-up the cap node stays inside the hysteresis band
+        // (roughly 1.25 V to 3.75 V, with margin for overshoot).
+        let late_min = cap
+            .times()
+            .iter()
+            .zip(cap.values())
+            .filter(|(t, _)| **t > 200e-6)
+            .map(|(_, v)| *v)
+            .fold(f64::INFINITY, f64::min);
+        let late_max = cap
+            .times()
+            .iter()
+            .zip(cap.values())
+            .filter(|(t, _)| **t > 200e-6)
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(late_min > 0.8, "min {late_min}");
+        assert!(late_max < 4.2, "max {late_max}");
+        assert!(late_max - late_min > 1.0, "swing {}", late_max - late_min);
+    }
+}

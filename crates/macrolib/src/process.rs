@@ -1,0 +1,204 @@
+//! 5 µm CMOS process parameters and process-variation sampling.
+//!
+//! The paper evaluated its BIST macros on a batch of ten fabricated
+//! gate-array devices. We stand in for fabrication by sampling per-die
+//! parameter sets around the nominal process corner: threshold voltages,
+//! transconductance factors and passive values all receive independent
+//! Gaussian deviations, which is the mechanism that differentiates real
+//! dies.
+
+use anasim::devices::MosParams;
+use rand::Rng;
+
+/// Nominal device parameters for the 5 µm CMOS gate-array process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessParams {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Unit NMOS parameters (W/L = 1).
+    pub nmos: MosParams,
+    /// Unit PMOS parameters (W/L = 1).
+    pub pmos: MosParams,
+    /// Multiplier on all resistors (1.0 nominal).
+    pub resistor_scale: f64,
+    /// Multiplier on all capacitors (1.0 nominal).
+    pub capacitor_scale: f64,
+}
+
+impl ProcessParams {
+    /// The nominal process corner.
+    pub fn nominal() -> Self {
+        ProcessParams {
+            vdd: 5.0,
+            nmos: MosParams::nmos_5um(),
+            pmos: MosParams::pmos_5um(),
+            resistor_scale: 1.0,
+            capacitor_scale: 1.0,
+        }
+    }
+
+    /// NMOS parameters scaled to aspect ratio `w_over_l`.
+    pub fn nmos_sized(&self, w_over_l: f64) -> MosParams {
+        self.nmos.with_aspect(w_over_l)
+    }
+
+    /// PMOS parameters scaled to aspect ratio `w_over_l`.
+    pub fn pmos_sized(&self, w_over_l: f64) -> MosParams {
+        self.pmos.with_aspect(w_over_l)
+    }
+
+    /// Applies a resistor value through the process scale factor.
+    pub fn resistor(&self, nominal_ohms: f64) -> f64 {
+        nominal_ohms * self.resistor_scale
+    }
+
+    /// Applies a capacitor value through the process scale factor.
+    pub fn capacitor(&self, nominal_farads: f64) -> f64 {
+        nominal_farads * self.capacitor_scale
+    }
+}
+
+impl Default for ProcessParams {
+    fn default() -> Self {
+        ProcessParams::nominal()
+    }
+}
+
+/// Relative 1-sigma spreads for process variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Absolute sigma on threshold voltages (volts).
+    pub vt_sigma: f64,
+    /// Relative sigma on transconductance factors.
+    pub beta_sigma: f64,
+    /// Relative sigma on resistor values.
+    pub resistor_sigma: f64,
+    /// Relative sigma on capacitor values.
+    pub capacitor_sigma: f64,
+}
+
+impl VariationModel {
+    /// A realistic die-to-die spread for a mature 5 µm process.
+    pub fn typical() -> Self {
+        VariationModel {
+            vt_sigma: 0.05,
+            beta_sigma: 0.05,
+            resistor_sigma: 0.10,
+            capacitor_sigma: 0.05,
+        }
+    }
+
+    /// A loose spread producing occasional marginal devices, for
+    /// stress-testing the BIST pass/fail thresholds.
+    pub fn loose() -> Self {
+        VariationModel {
+            vt_sigma: 0.15,
+            beta_sigma: 0.15,
+            resistor_sigma: 0.25,
+            capacitor_sigma: 0.12,
+        }
+    }
+
+    /// Samples a die's process parameters around the nominal corner.
+    pub fn sample_die<R: Rng + ?Sized>(&self, rng: &mut R) -> ProcessParams {
+        let nominal = ProcessParams::nominal();
+        let gauss = |rng: &mut R, sigma: f64| -> f64 {
+            // Box–Muller from two uniforms.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        ProcessParams {
+            vdd: nominal.vdd,
+            nmos: MosParams {
+                vt0: nominal.nmos.vt0 + gauss(rng, self.vt_sigma),
+                beta: nominal.nmos.beta * (1.0 + gauss(rng, self.beta_sigma)),
+                lambda: nominal.nmos.lambda,
+            },
+            pmos: MosParams {
+                vt0: nominal.pmos.vt0 + gauss(rng, self.vt_sigma),
+                beta: nominal.pmos.beta * (1.0 + gauss(rng, self.beta_sigma)),
+                lambda: nominal.pmos.lambda,
+            },
+            resistor_scale: 1.0 + gauss(rng, self.resistor_sigma),
+            capacitor_scale: 1.0 + gauss(rng, self.capacitor_sigma),
+        }
+    }
+
+    /// Samples a batch of dies (the paper fabricated ten).
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<ProcessParams> {
+        (0..count).map(|_| self.sample_die(rng)).collect()
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        VariationModel::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_process_is_5v() {
+        let p = ProcessParams::nominal();
+        assert_eq!(p.vdd, 5.0);
+        assert_eq!(p.resistor(1e3), 1e3);
+        assert_eq!(p.capacitor(1e-12), 1e-12);
+    }
+
+    #[test]
+    fn sizing_scales_beta_only() {
+        let p = ProcessParams::nominal();
+        let sized = p.nmos_sized(3.0);
+        assert!((sized.beta - 3.0 * p.nmos.beta).abs() < 1e-18);
+        assert_eq!(sized.vt0, p.nmos.vt0);
+    }
+
+    #[test]
+    fn sampled_dies_differ() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let batch = VariationModel::typical().sample_batch(&mut rng, 10);
+        assert_eq!(batch.len(), 10);
+        let vts: Vec<f64> = batch.iter().map(|d| d.nmos.vt0).collect();
+        let first = vts[0];
+        assert!(vts.iter().any(|&v| (v - first).abs() > 1e-6));
+    }
+
+    #[test]
+    fn variation_is_centred_on_nominal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = VariationModel::typical().sample_batch(&mut rng, 400);
+        let mean_vt: f64 = batch.iter().map(|d| d.nmos.vt0).sum::<f64>() / 400.0;
+        assert!((mean_vt - 1.0).abs() < 0.02, "mean vt = {mean_vt}");
+        let mean_r: f64 = batch.iter().map(|d| d.resistor_scale).sum::<f64>() / 400.0;
+        assert!((mean_r - 1.0).abs() < 0.03, "mean r = {mean_r}");
+    }
+
+    #[test]
+    fn sampling_is_reproducible_with_seed() {
+        let a = VariationModel::typical().sample_die(&mut StdRng::seed_from_u64(5));
+        let b = VariationModel::typical().sample_die(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loose_model_spreads_wider() {
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let typ = VariationModel::typical().sample_batch(&mut rng_a, 200);
+        let loose = VariationModel::loose().sample_batch(&mut rng_b, 200);
+        let spread = |b: &[ProcessParams]| {
+            let m = b.iter().map(|d| d.resistor_scale).sum::<f64>() / b.len() as f64;
+            b.iter()
+                .map(|d| (d.resistor_scale - m).powi(2))
+                .sum::<f64>()
+                / b.len() as f64
+        };
+        assert!(spread(&loose) > spread(&typ));
+    }
+}

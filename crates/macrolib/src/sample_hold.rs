@@ -1,0 +1,183 @@
+//! Sample-and-hold macro.
+//!
+//! The acquisition front-end of any sampled-data converter: a MOS
+//! switch charges a hold capacitor during the track phase; a buffer
+//! presents the held value. Part of the analogue macro library the
+//! paper surveys ("voltage references, current mirrors, operational
+//! amplifiers, ... oscillators, ADCs and DACs").
+
+use anasim::devices::MosPolarity;
+use anasim::netlist::{Netlist, NodeId};
+use anasim::source::SourceWaveform;
+
+use crate::opamp::{BehavioralOpamp, OpampParams};
+use crate::process::ProcessParams;
+
+/// Configuration of the sample-and-hold macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleHoldParams {
+    /// Hold capacitor, farads.
+    pub c_hold: f64,
+    /// Sampling clock period, seconds.
+    pub clock_period: f64,
+    /// Fraction of the period spent tracking (0–1).
+    pub track_fraction: f64,
+}
+
+impl SampleHoldParams {
+    /// A 5 µm-era design: 10 pF hold capacitor, 10 µs period, 40 % track.
+    pub fn default_5um() -> Self {
+        SampleHoldParams {
+            c_hold: 10e-12,
+            clock_period: 10e-6,
+            track_fraction: 0.4,
+        }
+    }
+}
+
+impl Default for SampleHoldParams {
+    fn default() -> Self {
+        SampleHoldParams::default_5um()
+    }
+}
+
+/// A built sample-and-hold instance.
+#[derive(Debug, Clone)]
+pub struct SampleHold {
+    /// Signal input.
+    pub vin: NodeId,
+    /// Buffered held output.
+    pub out: NodeId,
+    /// Hold-capacitor (pre-buffer) node.
+    pub hold: NodeId,
+    /// Track clock node.
+    pub clock: NodeId,
+    params: SampleHoldParams,
+}
+
+impl SampleHold {
+    /// Builds the macro into `netlist` with its own clock source.
+    pub fn build(
+        netlist: &mut Netlist,
+        prefix: &str,
+        process: &ProcessParams,
+        params: &SampleHoldParams,
+    ) -> SampleHold {
+        let gnd = Netlist::GROUND;
+        let vin = netlist.node(&format!("{prefix}:vin"));
+        let hold = netlist.node(&format!("{prefix}:hold"));
+        let clock = netlist.node(&format!("{prefix}:clk"));
+
+        netlist.vsource(
+            &format!("{prefix}:CLK"),
+            clock,
+            gnd,
+            SourceWaveform::clock(
+                0.0,
+                process.vdd,
+                0.0,
+                params.track_fraction * params.clock_period,
+                params.clock_period,
+                0.01 * params.clock_period,
+            ),
+        );
+
+        // Track switch: NMOS, gate on the clock.
+        netlist.mosfet(
+            &format!("{prefix}:MSW"),
+            vin,
+            clock,
+            hold,
+            MosPolarity::Nmos,
+            process.nmos_sized(6.0),
+        );
+        netlist.capacitor(&format!("{prefix}:CH"), hold, gnd, params.c_hold);
+
+        // Unity buffer.
+        let buf = BehavioralOpamp::build(netlist, &format!("{prefix}:buf"), &OpampParams::opamp_5um());
+        netlist.resistor(&format!("{prefix}:RBP"), buf.in_p, hold, 1.0);
+        netlist.resistor(&format!("{prefix}:RFB"), buf.out, buf.in_n, 1.0);
+
+        SampleHold {
+            vin,
+            out: buf.out,
+            hold,
+            clock,
+            params: *params,
+        }
+    }
+
+    /// Build parameters.
+    pub fn params(&self) -> &SampleHoldParams {
+        &self.params
+    }
+
+    /// Time (within each period) at which the held value is valid: just
+    /// after the track phase ends.
+    pub fn hold_instant(&self, period_index: usize) -> f64 {
+        (period_index as f64 + self.params.track_fraction) * self.params.clock_period
+            + 0.05 * self.params.clock_period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::transient::TransientAnalysis;
+
+    #[test]
+    fn holds_a_ramp_as_a_staircase() {
+        let mut nl = Netlist::new();
+        let params = SampleHoldParams::default_5um();
+        let sh = SampleHold::build(&mut nl, "sh", &ProcessParams::nominal(), &params);
+        // Slow ramp 1.0 -> 2.0 V over 100 us (well inside the NMOS
+        // switch's passing range).
+        nl.vsource(
+            "VIN",
+            sh.vin,
+            Netlist::GROUND,
+            SourceWaveform::ramp(1.0, 2.0, 100e-6),
+        );
+        let res = TransientAnalysis::new(100e-6, 50e-9).run(&nl).unwrap();
+        let w = res.voltage(sh.out);
+        for k in 1..9 {
+            let t_hold = sh.hold_instant(k);
+            // Held value ~ the ramp at the end of the track phase.
+            let t_acq = (k as f64 + params.track_fraction) * params.clock_period;
+            let expect = 1.0 + t_acq / 100e-6;
+            let got = w.value_at(t_hold);
+            assert!(
+                (got - expect).abs() < 0.06,
+                "period {k}: held {got:.3}, expected {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn droop_is_small_during_hold() {
+        let mut nl = Netlist::new();
+        let params = SampleHoldParams::default_5um();
+        let sh = SampleHold::build(&mut nl, "sh", &ProcessParams::nominal(), &params);
+        nl.vsource("VIN", sh.vin, Netlist::GROUND, SourceWaveform::dc(1.5));
+        let res = TransientAnalysis::new(50e-6, 50e-9).run(&nl).unwrap();
+        let hold = res.voltage(sh.hold);
+        // Compare the start and end of one hold phase (period 2).
+        let t0 = sh.hold_instant(2);
+        let t1 = (3.0 - 0.02) * params.clock_period;
+        let droop = (hold.value_at(t0) - hold.value_at(t1)).abs();
+        assert!(droop < 5e-3, "droop {droop}");
+    }
+
+    #[test]
+    fn tracks_during_track_phase() {
+        let mut nl = Netlist::new();
+        let params = SampleHoldParams::default_5um();
+        let sh = SampleHold::build(&mut nl, "sh", &ProcessParams::nominal(), &params);
+        nl.vsource("VIN", sh.vin, Netlist::GROUND, SourceWaveform::dc(2.0));
+        let res = TransientAnalysis::new(30e-6, 50e-9).run(&nl).unwrap();
+        let hold = res.voltage(sh.hold);
+        // Mid-track of period 1: the cap has charged to the input.
+        let t = (1.0 + params.track_fraction / 2.0) * params.clock_period;
+        assert!((hold.value_at(t) - 2.0).abs() < 0.05, "{}", hold.value_at(t));
+    }
+}

@@ -1,0 +1,357 @@
+//! The switched-capacitor integrator macro (the paper's example
+//! circuit 3, 15 transistors).
+//!
+//! An inverting SC integrator around an analogue ground `VAG`:
+//!
+//! ```text
+//!            φ1          φ2
+//!  vin ──o  S1  o──┬──o  S2  o──┐            Cf
+//!                  │            │     ┌──────┤├──────┐
+//!                 ─┴─ Cs        └─────┤− OP1         │
+//!                 ─┬─                 │        out ──┴── vout
+//!          VAG ────┘        VAG ─────┤+
+//! ```
+//!
+//! Each clock cycle transfers `Cs·(vin − VAG)` into `Cf`, giving the
+//! discrete-time response the paper quotes:
+//!
+//! `Vout(z)/Vin(z) = −(Cs/Cf) · z⁻¹ / (1 − z⁻¹)` with `Cs/Cf = 1/6.8`.
+//!
+//! The switches are the 2 extra transistors on top of OP1's 13, matching
+//! the paper's 15-transistor count; a behavioural op-amp variant exists
+//! for faster system-level runs.
+
+use anasim::devices::MosPolarity;
+use anasim::netlist::{DeviceId, Netlist, NodeId};
+use anasim::source::SourceWaveform;
+
+use crate::op1::Op1;
+use crate::opamp::{BehavioralOpamp, OpampParams};
+use crate::process::ProcessParams;
+
+/// Which op-amp realisation the integrator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpampKind {
+    /// The full 13-transistor OP1 (paper-accurate, 15 transistors total).
+    Transistor,
+    /// The behavioural macro-model (fast, for system-level runs).
+    Behavioral,
+}
+
+/// Configuration of the SC integrator macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScIntegratorParams {
+    /// Sampling capacitor in farads.
+    pub cs: f64,
+    /// Integration (feedback) capacitor in farads.
+    pub cf: f64,
+    /// Two-phase clock period in seconds (the paper uses 5 µs).
+    pub clock_period: f64,
+    /// Analogue ground voltage.
+    pub vag: f64,
+    /// Op-amp realisation.
+    pub opamp: OpampKind,
+}
+
+impl ScIntegratorParams {
+    /// The paper's design: `Cs/Cf = 1/6.8`, 5 µs clocks, transistor-level
+    /// op-amp.
+    pub fn paper_defaults() -> Self {
+        ScIntegratorParams {
+            cs: 1e-12,
+            cf: 6.8e-12,
+            clock_period: 5e-6,
+            vag: 2.5,
+            opamp: OpampKind::Transistor,
+        }
+    }
+
+    /// Same design with the behavioural op-amp.
+    pub fn behavioral() -> Self {
+        ScIntegratorParams {
+            opamp: OpampKind::Behavioral,
+            ..ScIntegratorParams::paper_defaults()
+        }
+    }
+
+    /// The per-cycle gain magnitude `Cs/Cf` (1/6.8 for the paper design).
+    pub fn gain_per_cycle(&self) -> f64 {
+        self.cs / self.cf
+    }
+}
+
+impl Default for ScIntegratorParams {
+    fn default() -> Self {
+        ScIntegratorParams::paper_defaults()
+    }
+}
+
+/// A built SC integrator instance.
+#[derive(Debug, Clone)]
+pub struct ScIntegrator {
+    /// Signal input node.
+    pub vin: NodeId,
+    /// Integrator output node.
+    pub out: NodeId,
+    /// Summing junction (op-amp inverting input).
+    pub summing: NodeId,
+    /// Phase-1 clock node.
+    pub phi1: NodeId,
+    /// Phase-2 clock node.
+    pub phi2: NodeId,
+    /// The underlying OP1 instance, if the transistor realisation was
+    /// chosen (fault-injection targets live here).
+    op1: Option<Op1>,
+    /// Switch devices (S1 = input sampling, S2 = charge transfer).
+    switches: [DeviceId; 2],
+    params: ScIntegratorParams,
+}
+
+impl ScIntegrator {
+    /// Builds the integrator into `netlist`, creating its own clock
+    /// generators and analogue-ground reference.
+    pub fn build(
+        netlist: &mut Netlist,
+        prefix: &str,
+        process: &ProcessParams,
+        params: &ScIntegratorParams,
+    ) -> ScIntegrator {
+        let gnd = Netlist::GROUND;
+        let vin = netlist.node(&format!("{prefix}:vin"));
+        let cs_top = netlist.node(&format!("{prefix}:cs_top"));
+        let vag = netlist.node(&format!("{prefix}:vag"));
+        let phi1 = netlist.node(&format!("{prefix}:phi1"));
+        let phi2 = netlist.node(&format!("{prefix}:phi2"));
+
+        // Analogue ground reference.
+        netlist.vsource(
+            &format!("{prefix}:VAG"),
+            vag,
+            gnd,
+            SourceWaveform::dc(params.vag),
+        );
+
+        // Non-overlapping two-phase clocks: each phase is high for 40 %
+        // of the period with 10 % guard bands.
+        let t = params.clock_period;
+        netlist.vsource(
+            &format!("{prefix}:PHI1"),
+            phi1,
+            gnd,
+            SourceWaveform::clock(0.0, process.vdd, 0.0, 0.4 * t, t, 0.01 * t),
+        );
+        netlist.vsource(
+            &format!("{prefix}:PHI2"),
+            phi2,
+            gnd,
+            SourceWaveform::clock(0.0, process.vdd, 0.5 * t, 0.4 * t, t, 0.01 * t),
+        );
+
+        // Op-amp: inverting input is the summing junction, non-inverting
+        // input at analogue ground.
+        let (summing, out, op1) = match params.opamp {
+            OpampKind::Transistor => {
+                let op1 = Op1::build(netlist, &format!("{prefix}:op1"), process);
+                // Tie in+ to VAG.
+                netlist.resistor(&format!("{prefix}:RVAG"), op1.in_p(), vag, 1.0);
+                (op1.in_n(), op1.out(), Some(op1))
+            }
+            OpampKind::Behavioral => {
+                let op = BehavioralOpamp::build(
+                    netlist,
+                    &format!("{prefix}:op"),
+                    &OpampParams::opamp_5um(),
+                );
+                netlist.resistor(&format!("{prefix}:RVAG"), op.in_p, vag, 1.0);
+                (op.in_n, op.out, None)
+            }
+        };
+
+        // Sampling capacitor and the two MOS switches.
+        netlist.capacitor(
+            &format!("{prefix}:CS"),
+            cs_top,
+            vag,
+            process.capacitor(params.cs),
+        );
+        let s1 = netlist.mosfet(
+            &format!("{prefix}:MS1"),
+            vin,
+            phi1,
+            cs_top,
+            MosPolarity::Nmos,
+            process.nmos_sized(4.0),
+        );
+        let s2 = netlist.mosfet(
+            &format!("{prefix}:MS2"),
+            cs_top,
+            phi2,
+            summing,
+            MosPolarity::Nmos,
+            process.nmos_sized(4.0),
+        );
+
+        // Integration capacitor.
+        netlist.capacitor(
+            &format!("{prefix}:CF"),
+            summing,
+            out,
+            process.capacitor(params.cf),
+        );
+
+        // Reset switch across CF: closed during the first φ1 phase so the
+        // integrator starts from a defined state (and the DC operating
+        // point has feedback). Real SC integrators carry the same switch.
+        let rst = netlist.node(&format!("{prefix}:rst"));
+        netlist.vsource(
+            &format!("{prefix}:RSTP"),
+            rst,
+            gnd,
+            SourceWaveform::Step {
+                initial: process.vdd,
+                level: 0.0,
+                delay: 0.45 * t,
+            },
+        );
+        netlist.switch(
+            &format!("{prefix}:SRST"),
+            summing,
+            out,
+            rst,
+            gnd,
+            anasim::devices::SwitchParams::default(),
+        );
+
+        ScIntegrator {
+            vin,
+            out,
+            summing,
+            phi1,
+            phi2,
+            op1,
+            switches: [s1, s2],
+            params: *params,
+        }
+    }
+
+    /// The underlying OP1, if the transistor realisation was chosen.
+    pub fn op1(&self) -> Option<&Op1> {
+        self.op1.as_ref()
+    }
+
+    /// The switch device ids `[S1, S2]`.
+    pub fn switches(&self) -> [DeviceId; 2] {
+        self.switches
+    }
+
+    /// Build parameters.
+    pub fn params(&self) -> &ScIntegratorParams {
+        &self.params
+    }
+
+    /// The discrete-time transfer function this integrator realises,
+    /// `−(Cs/Cf)·z⁻¹/(1 − z⁻¹)`, as a [`linsys`] object.
+    pub fn ideal_transfer_function(&self) -> linsys::transfer::DiscreteTransferFunction {
+        linsys::transfer::DiscreteTransferFunction::new(
+            vec![0.0, -self.params.gain_per_cycle()],
+            vec![1.0, -1.0],
+            self.params.clock_period,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::transient::TransientAnalysis;
+
+    /// Runs the behavioural-opamp integrator with a DC input offset from
+    /// analogue ground and returns (t, vout) samples at cycle boundaries.
+    fn run_behavioral(vin_offset: f64, cycles: usize) -> Vec<f64> {
+        let mut nl = Netlist::new();
+        let params = ScIntegratorParams::behavioral();
+        let sc = ScIntegrator::build(&mut nl, "sc", &ProcessParams::nominal(), &params);
+        nl.vsource(
+            "VIN",
+            sc.vin,
+            Netlist::GROUND,
+            SourceWaveform::dc(params.vag + vin_offset),
+        );
+        let t_stop = params.clock_period * cycles as f64;
+        let res = TransientAnalysis::new(t_stop, 25e-9).run(&nl).unwrap();
+        let w = res.voltage(sc.out);
+        (1..=cycles)
+            .map(|k| w.value_at(k as f64 * params.clock_period))
+            .collect()
+    }
+
+    #[test]
+    fn integrates_dc_input_as_ramp() {
+        // +0.5 V above VAG, inverting integrator: output steps DOWN by
+        // (Cs/Cf)*0.5 = 73.5 mV per cycle from 2.5 V.
+        let out = run_behavioral(0.5, 8);
+        let step = 0.5 / 6.8;
+        for (k, v) in out.iter().enumerate() {
+            let expect = 2.5 - (k + 1) as f64 * step;
+            assert!(
+                (v - expect).abs() < 0.02,
+                "cycle {}: got {v}, want {expect}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zero_differential_input_holds() {
+        let out = run_behavioral(0.0, 6);
+        for v in out {
+            assert!((v - 2.5).abs() < 0.02, "drifted to {v}");
+        }
+    }
+
+    #[test]
+    fn negative_input_ramps_up() {
+        let out = run_behavioral(-0.5, 6);
+        assert!(out[5] > 2.5 + 4.0 * 0.5 / 6.8);
+    }
+
+    #[test]
+    fn transistor_realisation_has_fifteen_transistors() {
+        let mut nl = Netlist::new();
+        let _ = ScIntegrator::build(
+            &mut nl,
+            "sc",
+            &ProcessParams::nominal(),
+            &ScIntegratorParams::paper_defaults(),
+        );
+        assert_eq!(nl.transistor_count(), 15);
+    }
+
+    #[test]
+    fn behavioral_realisation_has_no_transistors_but_two_switches() {
+        let mut nl = Netlist::new();
+        let sc = ScIntegrator::build(
+            &mut nl,
+            "sc",
+            &ProcessParams::nominal(),
+            &ScIntegratorParams::behavioral(),
+        );
+        assert_eq!(nl.transistor_count(), 2); // just the switches
+        assert!(sc.op1().is_none());
+    }
+
+    #[test]
+    fn ideal_tf_matches_paper_form() {
+        let mut nl = Netlist::new();
+        let sc = ScIntegrator::build(
+            &mut nl,
+            "sc",
+            &ProcessParams::nominal(),
+            &ScIntegratorParams::behavioral(),
+        );
+        let h = sc.ideal_transfer_function();
+        let step = h.step_response(5);
+        // Steps by -1/6.8 per sample after the initial delay.
+        assert!((step[4] + 4.0 / 6.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Voltage-reference macros from the analogue library.
+
+use anasim::devices::DiodeParams;
+use anasim::netlist::{Netlist, NodeId};
+use anasim::source::SourceWaveform;
+
+/// A built voltage-reference instance.
+#[derive(Debug, Clone, Copy)]
+pub struct VoltageReference {
+    /// Reference output node.
+    pub out: NodeId,
+}
+
+/// Builds a resistor-divider reference from a supply.
+///
+/// Output is `vdd · r_bottom / (r_top + r_bottom)` with output impedance
+/// `r_top ∥ r_bottom`; load it lightly or buffer it.
+pub fn divider_reference(
+    netlist: &mut Netlist,
+    prefix: &str,
+    vdd: f64,
+    r_top: f64,
+    r_bottom: f64,
+) -> VoltageReference {
+    let gnd = Netlist::GROUND;
+    let supply = netlist.node(&format!("{prefix}:vdd"));
+    let out = netlist.node(&format!("{prefix}:out"));
+    netlist.vsource(&format!("{prefix}:VDD"), supply, gnd, SourceWaveform::dc(vdd));
+    netlist.resistor(&format!("{prefix}:RT"), supply, out, r_top);
+    netlist.resistor(&format!("{prefix}:RB"), out, gnd, r_bottom);
+    VoltageReference { out }
+}
+
+/// Builds a diode-stack reference: `n_diodes` forward drops (~0.6 V
+/// each) biased through `r_bias` from the supply.
+///
+/// # Panics
+///
+/// Panics if `n_diodes` is zero.
+pub fn diode_reference(
+    netlist: &mut Netlist,
+    prefix: &str,
+    vdd: f64,
+    r_bias: f64,
+    n_diodes: usize,
+) -> VoltageReference {
+    assert!(n_diodes >= 1, "need at least one diode");
+    let gnd = Netlist::GROUND;
+    let supply = netlist.node(&format!("{prefix}:vdd"));
+    let out = netlist.node(&format!("{prefix}:out"));
+    netlist.vsource(&format!("{prefix}:VDD"), supply, gnd, SourceWaveform::dc(vdd));
+    netlist.resistor(&format!("{prefix}:RB"), supply, out, r_bias);
+    let mut top = out;
+    for k in 0..n_diodes {
+        let bottom = if k == n_diodes - 1 {
+            gnd
+        } else {
+            netlist.node(&format!("{prefix}:d{k}"))
+        };
+        netlist.diode(&format!("{prefix}:D{k}"), top, bottom, DiodeParams::default());
+        top = bottom;
+    }
+    VoltageReference { out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anasim::dc::dc_operating_point;
+
+    #[test]
+    fn divider_sets_expected_voltage() {
+        let mut nl = Netlist::new();
+        let r = divider_reference(&mut nl, "vr", 5.0, 10e3, 10e3);
+        let op = dc_operating_point(&nl).unwrap();
+        assert!((op.voltage(r.out) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_stack_is_n_drops() {
+        let mut nl = Netlist::new();
+        let r = diode_reference(&mut nl, "vr", 5.0, 10e3, 2);
+        let op = dc_operating_point(&nl).unwrap();
+        let v = op.voltage(r.out);
+        assert!(v > 0.9 && v < 1.5, "two diode drops, got {v}");
+    }
+
+    #[test]
+    fn diode_reference_rejects_supply_changes() {
+        // Supply sensitivity of a diode reference is much lower than a
+        // divider's.
+        let v_at = |vdd: f64| {
+            let mut nl = Netlist::new();
+            let r = diode_reference(&mut nl, "vr", vdd, 10e3, 2);
+            dc_operating_point(&nl).unwrap().voltage(r.out)
+        };
+        let dv_diode = v_at(5.5) - v_at(4.5);
+        assert!(dv_diode < 0.05, "diode ref moved {dv_diode}");
+    }
+}

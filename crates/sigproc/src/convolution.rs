@@ -1,0 +1,137 @@
+//! Linear convolution.
+//!
+//! The paper models a mixed-signal path as the stimulus convolved with the
+//! impulse response of each block it propagates through:
+//! `y(t) = x(t) * h(t) * z(t)`.
+
+use crate::fft::{fft, ifft};
+use linsys::complex::Complex;
+
+/// Direct (time-domain) linear convolution; output length is
+/// `a.len() + b.len() − 1`.
+///
+/// # Example
+///
+/// ```
+/// use sigproc::convolution::convolve;
+///
+/// let y = convolve(&[1.0, 2.0], &[1.0, 1.0, 1.0]);
+/// assert_eq!(y, vec![1.0, 3.0, 3.0, 2.0]);
+/// ```
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0.0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+/// FFT-based linear convolution; identical result to [`convolve`] up to
+/// floating-point error, asymptotically faster for long signals.
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two();
+    let mut fa: Vec<Complex> = a.iter().map(|&v| Complex::real(v)).collect();
+    let mut fb: Vec<Complex> = b.iter().map(|&v| Complex::real(v)).collect();
+    fa.resize(n, Complex::ZERO);
+    fb.resize(n, Complex::ZERO);
+    fft(&mut fa);
+    fft(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    ifft(&mut fa);
+    fa[..out_len].iter().map(|z| z.re).collect()
+}
+
+/// Chains convolution through several block impulse responses, modelling
+/// the paper's composite path `x * h₁ * h₂ * …`.
+pub fn convolve_chain(stimulus: &[f64], blocks: &[&[f64]]) -> Vec<f64> {
+    let mut acc = stimulus.to_vec();
+    for h in blocks {
+        acc = convolve(&acc, h);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel() {
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(convolve(&x, &[1.0]), x.to_vec());
+    }
+
+    #[test]
+    fn commutativity() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0];
+        assert_eq!(convolve(&a, &b), convolve(&b, &a));
+    }
+
+    #[test]
+    fn linearity_in_first_argument() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let k = [0.5, 0.25, 0.125];
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let lhs = convolve(&sum, &k);
+        let rhs: Vec<f64> = convolve(&a, &k)
+            .iter()
+            .zip(convolve(&b, &k).iter())
+            .map(|(x, y)| x + y)
+            .collect();
+        for (x, y) in lhs.iter().zip(&rhs) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let a: Vec<f64> = (0..37).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let b: Vec<f64> = (0..23).map(|i| ((i * 5) % 11) as f64 * 0.3).collect();
+        let direct = convolve(&a, &b);
+        let fast = convolve_fft(&a, &b);
+        assert_eq!(direct.len(), fast.len());
+        for (x, y) in direct.iter().zip(&fast) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve_fft(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn chain_is_associative() {
+        let x = [1.0, 0.0, -1.0];
+        let h1 = [1.0, 1.0];
+        let h2 = [0.5, 0.5];
+        let chained = convolve_chain(&x, &[&h1, &h2]);
+        let grouped = convolve(&x, &convolve(&h1, &h2));
+        for (a, b) in chained.iter().zip(&grouped) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn output_length_rule() {
+        let y = convolve(&[0.0; 10], &[0.0; 4]);
+        assert_eq!(y.len(), 13);
+    }
+}

@@ -1,0 +1,183 @@
+//! Radix-2 fast Fourier transform.
+
+use linsys::complex::Complex;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+///
+/// # Example
+///
+/// ```
+/// use linsys::complex::Complex;
+/// use sigproc::fft::{fft, ifft};
+///
+/// let mut data: Vec<Complex> = (0..8).map(|k| Complex::real(k as f64)).collect();
+/// let original = data.clone();
+/// fft(&mut data);
+/// ifft(&mut data);
+/// for (a, b) in data.iter().zip(&original) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// ```
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalisation).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z * (1.0 / n);
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two() && n > 0, "fft length must be a power of two");
+    if n == 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real sequence, zero-padded up to the next power of two.
+/// Returns the full complex spectrum.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len().max(1).next_power_of_two();
+    let mut data: Vec<Complex> = signal.iter().map(|&v| Complex::real(v)).collect();
+    data.resize(n, Complex::ZERO);
+    fft(&mut data);
+    data
+}
+
+/// Magnitude spectrum of a real signal (first half only, DC to Nyquist).
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let spec = fft_real(signal);
+    spec[..spec.len() / 2 + 1].iter().map(|z| z.abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for z in data {
+            assert!((z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_at_bin_zero() {
+        let mut data = vec![Complex::ONE; 8];
+        fft(&mut data);
+        assert!((data[0].re - 8.0).abs() < 1e-12);
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 64;
+        let k0 = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let mag = magnitude_spectrum(&signal);
+        let peak = mag
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let signal: Vec<f64> = (0..32).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let time_energy: f64 = signal.iter().map(|v| v * v).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let original: Vec<Complex> = (0..16)
+            .map(|k| Complex::new(k as f64, (k * k % 7) as f64))
+            .collect();
+        let mut data = original.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((*a - *b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fs = fft_real(&sum);
+        for k in 0..16 {
+            assert!((fs[k] - (fa[k] + fb[k])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn real_fft_pads_to_power_of_two() {
+        let spec = fft_real(&[1.0, 2.0, 3.0]);
+        assert_eq!(spec.len(), 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! `sigproc` — signal processing for mixed-signal test evaluation.
+//!
+//! This crate supplies the DSP machinery the paper's transient-response
+//! testing technique relies on:
+//!
+//! * [`prbs`] — maximal-length pseudo-random binary sequences (the paper
+//!   stimulates its circuits with a 15-bit PRBS),
+//! * [`fft`] — radix-2 FFT used by fast convolution and spectrum checks,
+//! * [`convolution`] — direct and FFT-based convolution,
+//! * [`correlation`] — cross-correlation and the normalised correlation
+//!   signatures compared between fault-free and faulty circuits,
+//! * [`measure`] — waveform measurements (fall time, threshold crossings,
+//!   settling) standing in for the bench instruments of the paper,
+//! * [`signature`] — test-response compaction: MISR signatures for
+//!   digital outputs and the 2-bit analogue level signature of the
+//!   paper's DC level sensor.
+//!
+//! # Example
+//!
+//! ```
+//! use sigproc::prbs::Prbs;
+//!
+//! let seq = Prbs::new(4).sequence();
+//! assert_eq!(seq.len(), 15); // maximal length 2^4 - 1
+//! ```
+
+pub mod convolution;
+pub mod correlation;
+pub mod fft;
+pub mod measure;
+pub mod prbs;
+pub mod signature;
+pub mod spectrum;

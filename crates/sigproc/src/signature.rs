@@ -1,0 +1,199 @@
+//! Test-response compaction.
+//!
+//! The paper's compressed tests squeeze long response sequences into
+//! short signatures that on-chip logic can compare against expected
+//! values: a multiple-input signature register (MISR) for digital output
+//! codes, and a 2-bit analogue level signature produced by the DC level
+//! sensor comparing the integrator output against two thresholds.
+
+/// A multiple-input signature register compacting 16-bit words.
+///
+/// Uses the CCITT CRC-16 polynomial `x¹⁶ + x¹² + x⁵ + 1` in a Galois
+/// configuration. Identical input sequences always produce identical
+/// signatures; differing sequences collide with probability ≈ 2⁻¹⁶.
+///
+/// # Example
+///
+/// ```
+/// use sigproc::signature::Misr;
+///
+/// let mut a = Misr::new();
+/// a.absorb_all([1u16, 2, 3]);
+/// let mut b = Misr::new();
+/// b.absorb_all([1u16, 2, 3]);
+/// assert_eq!(a.signature(), b.signature());
+///
+/// let mut c = Misr::new();
+/// c.absorb_all([1u16, 2, 4]);
+/// assert_ne!(a.signature(), c.signature());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Misr {
+    state: u16,
+}
+
+impl Default for Misr {
+    fn default() -> Self {
+        Misr::new()
+    }
+}
+
+impl Misr {
+    /// CCITT polynomial (bit-reversed Galois form).
+    const POLY: u16 = 0x8408;
+
+    /// Creates a MISR seeded with the customary all-ones state.
+    pub fn new() -> Self {
+        Misr { state: 0xFFFF }
+    }
+
+    /// Absorbs one 16-bit word.
+    pub fn absorb(&mut self, word: u16) {
+        let mut s = self.state ^ word;
+        for _ in 0..16 {
+            s = if s & 1 != 0 { (s >> 1) ^ Self::POLY } else { s >> 1 };
+        }
+        self.state = s;
+    }
+
+    /// Absorbs a sequence of words.
+    pub fn absorb_all<I: IntoIterator<Item = u16>>(&mut self, words: I) {
+        for w in words {
+            self.absorb(w);
+        }
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> u16 {
+        self.state
+    }
+
+    /// One-shot signature of a word sequence.
+    pub fn of<I: IntoIterator<Item = u16>>(words: I) -> u16 {
+        let mut m = Misr::new();
+        m.absorb_all(words);
+        m.signature()
+    }
+}
+
+/// The 2-bit analogue level signature of the paper's DC level sensor.
+///
+/// The sensor compares an analogue voltage against two thresholds
+/// (1.9 V and 3.6 V in the paper) and encodes the region as a 2-bit
+/// code:
+///
+/// | region | code |
+/// |---|---|
+/// | below both thresholds | `0b00` |
+/// | between thresholds | `0b01` |
+/// | above both thresholds | `0b11` |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelSignature {
+    /// Lower threshold in volts.
+    pub low_threshold: f64,
+    /// Upper threshold in volts.
+    pub high_threshold: f64,
+}
+
+impl LevelSignature {
+    /// Creates a sensor with the paper's thresholds (1.9 V, 3.6 V).
+    pub fn paper_defaults() -> Self {
+        LevelSignature {
+            low_threshold: 1.9,
+            high_threshold: 3.6,
+        }
+    }
+
+    /// Creates a sensor with custom thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "low threshold must be below high threshold");
+        LevelSignature {
+            low_threshold: low,
+            high_threshold: high,
+        }
+    }
+
+    /// Encodes a voltage into its 2-bit region code.
+    pub fn encode(&self, volts: f64) -> u8 {
+        match (volts >= self.low_threshold, volts >= self.high_threshold) {
+            (false, _) => 0b00,
+            (true, false) => 0b01,
+            (true, true) => 0b11,
+        }
+    }
+
+    /// Encodes a sequence of voltages into codes.
+    pub fn encode_all(&self, volts: &[f64]) -> Vec<u8> {
+        volts.iter().map(|&v| self.encode(v)).collect()
+    }
+}
+
+/// Simple additive checksum compactor for quick comparisons where MISR
+/// aliasing analysis is not needed.
+pub fn checksum(words: &[u16]) -> u32 {
+    words
+        .iter()
+        .fold(0u32, |acc, &w| acc.wrapping_mul(31).wrapping_add(w as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misr_is_deterministic() {
+        assert_eq!(Misr::of([5u16, 10, 20]), Misr::of([5u16, 10, 20]));
+    }
+
+    #[test]
+    fn misr_is_order_sensitive() {
+        assert_ne!(Misr::of([1u16, 2]), Misr::of([2u16, 1]));
+    }
+
+    #[test]
+    fn misr_detects_single_word_change() {
+        let base: Vec<u16> = (0..100).collect();
+        let sig = Misr::of(base.iter().copied());
+        for k in [0usize, 50, 99] {
+            let mut corrupted = base.clone();
+            corrupted[k] ^= 0x0001;
+            assert_ne!(sig, Misr::of(corrupted), "missed corruption at {k}");
+        }
+    }
+
+    #[test]
+    fn misr_empty_sequence_is_seed() {
+        assert_eq!(Misr::new().signature(), 0xFFFF);
+    }
+
+    #[test]
+    fn level_signature_regions() {
+        let s = LevelSignature::paper_defaults();
+        assert_eq!(s.encode(0.0), 0b00);
+        assert_eq!(s.encode(1.89), 0b00);
+        assert_eq!(s.encode(2.5), 0b01);
+        assert_eq!(s.encode(3.6), 0b11);
+        assert_eq!(s.encode(5.0), 0b11);
+    }
+
+    #[test]
+    fn level_signature_sequence() {
+        let s = LevelSignature::new(1.0, 2.0);
+        assert_eq!(s.encode_all(&[0.5, 1.5, 2.5]), vec![0b00, 0b01, 0b11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below")]
+    fn inverted_thresholds_rejected() {
+        let _ = LevelSignature::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn checksum_changes_with_order() {
+        assert_ne!(checksum(&[1, 2, 3]), checksum(&[3, 2, 1]));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the signal-processing substrate.
+
+use linsys::complex::Complex;
+use proptest::prelude::*;
+use sigproc::convolution::{convolve, convolve_fft};
+use sigproc::correlation::{
+    autocorrelation, correlation_coefficient, detection_instances, energy,
+    normalized_cross_correlation,
+};
+use sigproc::fft::{fft, fft_real, ifft};
+use sigproc::prbs::Prbs;
+use sigproc::signature::{LevelSignature, Misr};
+
+proptest! {
+    #[test]
+    fn fft_roundtrip_recovers_signal(
+        values in proptest::collection::vec(-100.0..100.0f64, 1..64),
+    ) {
+        let n = values.len().next_power_of_two();
+        let mut data: Vec<Complex> = values.iter().map(|&v| Complex::real(v)).collect();
+        data.resize(n, Complex::ZERO);
+        let original = data.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_holds_for_random_signals(
+        values in proptest::collection::vec(-10.0..10.0f64, 2..64),
+    ) {
+        let n = values.len().next_power_of_two() as f64;
+        let time_energy: f64 = values.iter().map(|v| v * v).sum();
+        let spec = fft_real(&values);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+    }
+
+    #[test]
+    fn convolution_commutes(
+        a in proptest::collection::vec(-5.0..5.0f64, 1..20),
+        b in proptest::collection::vec(-5.0..5.0f64, 1..20),
+    ) {
+        let ab = convolve(&a, &b);
+        let ba = convolve(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct(
+        a in proptest::collection::vec(-5.0..5.0f64, 1..40),
+        b in proptest::collection::vec(-5.0..5.0f64, 1..40),
+    ) {
+        let direct = convolve(&a, &b);
+        let fast = convolve_fft(&a, &b);
+        for (x, y) in direct.iter().zip(&fast) {
+            prop_assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn convolution_delta_is_identity(
+        a in proptest::collection::vec(-5.0..5.0f64, 1..20),
+    ) {
+        let y = convolve(&a, &[1.0]);
+        prop_assert_eq!(y, a);
+    }
+
+    #[test]
+    fn normalized_correlation_bounded(
+        a in proptest::collection::vec(-5.0..5.0f64, 1..30),
+        b in proptest::collection::vec(-5.0..5.0f64, 1..30),
+    ) {
+        for v in normalized_cross_correlation(&a, &b) {
+            prop_assert!(v.abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn autocorrelation_peak_at_zero_lag(
+        a in proptest::collection::vec(-5.0..5.0f64, 2..30),
+    ) {
+        prop_assume!(energy(&a) > 1e-6);
+        let r = autocorrelation(&a);
+        let centre = a.len() - 1;
+        for v in &r {
+            prop_assert!(v.abs() <= r[centre] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_coefficient_symmetry(
+        a in proptest::collection::vec(-5.0..5.0f64, 3..20),
+        b in proptest::collection::vec(-5.0..5.0f64, 3..20),
+    ) {
+        let n = a.len().min(b.len());
+        let c1 = correlation_coefficient(&a[..n], &b[..n]);
+        let c2 = correlation_coefficient(&b[..n], &a[..n]);
+        prop_assert!((c1 - c2).abs() < 1e-12);
+        prop_assert!(c1.abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn detection_instances_bounds(
+        golden in proptest::collection::vec(-5.0..5.0f64, 1..40),
+        delta in proptest::collection::vec(-1.0..1.0f64, 1..40),
+        threshold in 0.001..2.0f64,
+    ) {
+        let n = golden.len().min(delta.len());
+        let faulty: Vec<f64> =
+            golden[..n].iter().zip(&delta[..n]).map(|(g, d)| g + d).collect();
+        let pct = detection_instances(&golden[..n], &faulty, threshold);
+        prop_assert!((0.0..=100.0).contains(&pct));
+        // Identical signatures never detect.
+        prop_assert_eq!(detection_instances(&golden[..n], &golden[..n], threshold), 0.0);
+    }
+
+    #[test]
+    fn prbs_is_maximal_and_balanced(stages in 2u32..12) {
+        let mut g = Prbs::new(stages);
+        let seq = g.sequence();
+        prop_assert_eq!(seq.len(), (1usize << stages) - 1);
+        let ones = seq.iter().filter(|&&b| b).count();
+        prop_assert_eq!(ones, 1usize << (stages - 1));
+    }
+
+    #[test]
+    fn prbs_seed_only_shifts_phase(stages in 3u32..8, seed in 1u32..100) {
+        // Only the masked low bits seed the register; skip seeds that
+        // mask to zero (the constructor rejects them).
+        prop_assume!(seed & ((1 << stages) - 1) != 0);
+        let mut a = Prbs::new(stages);
+        let ref_seq = a.sequence();
+        let period = ref_seq.len();
+        let b: Vec<bool> = Prbs::with_seed(stages, seed).take(period).collect();
+        let doubled: Vec<bool> = ref_seq.iter().chain(ref_seq.iter()).copied().collect();
+        let found = (0..period).any(|k| doubled[k..k + period] == b[..]);
+        prop_assert!(found, "seeded sequence is not a rotation");
+    }
+
+    #[test]
+    fn misr_detects_any_single_corruption(
+        words in proptest::collection::vec(0u16..1024, 1..50),
+        idx in 0usize..50,
+        flip in 1u16..1024,
+    ) {
+        let idx = idx % words.len();
+        let golden = Misr::of(words.iter().copied());
+        let mut bad = words.clone();
+        bad[idx] ^= flip;
+        prop_assert_ne!(golden, Misr::of(bad));
+    }
+
+    #[test]
+    fn level_signature_is_monotone(v1 in 0.0..5.0f64, v2 in 0.0..5.0f64) {
+        let s = LevelSignature::paper_defaults();
+        if v1 <= v2 {
+            prop_assert!(s.encode(v1) <= s.encode(v2));
+        } else {
+            prop_assert!(s.encode(v1) >= s.encode(v2));
+        }
+    }
+}

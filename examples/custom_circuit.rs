@@ -1,0 +1,82 @@
+//! Using the substrates directly: build a custom transistor-level
+//! circuit in `anasim`, simulate it, measure the waveforms with
+//! `sigproc`, and cross-check against a `linsys` model — the workflow a
+//! downstream user follows to bring their own macro under test.
+//!
+//! The circuit is a two-stage RC-loaded common-source amplifier driven
+//! by a step.
+//!
+//! Run with: `cargo run --release --example custom_circuit`
+
+use mixsig::anasim::devices::{MosParams, MosPolarity};
+use mixsig::anasim::netlist::Netlist;
+use mixsig::anasim::source::SourceWaveform;
+use mixsig::anasim::transient::TransientAnalysis;
+use mixsig::linsys::transfer::ContinuousTransferFunction;
+use mixsig::sigproc::measure::{rise_time, settling_time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Build: NMOS common-source stage with resistive load ----------
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let vin = nl.node("vin");
+    let drain = nl.node("drain");
+    let out = nl.node("out");
+
+    nl.vsource("VDD", vdd, Netlist::GROUND, SourceWaveform::dc(5.0));
+    nl.vsource(
+        "VIN",
+        vin,
+        Netlist::GROUND,
+        SourceWaveform::Step {
+            initial: 1.3,
+            level: 1.2,
+            delay: 20e-6,
+        },
+    );
+    nl.mosfet(
+        "M1",
+        drain,
+        vin,
+        Netlist::GROUND,
+        MosPolarity::Nmos,
+        MosParams::nmos_5um().with_aspect(8.0),
+    );
+    nl.resistor("RD", vdd, drain, 50e3);
+    // Output RC filter: pole at 1/(2*pi*10k*1nF) ~ 16 kHz.
+    nl.resistor("RF", drain, out, 10e3);
+    nl.capacitor("CF", out, Netlist::GROUND, 1e-9);
+
+    // --- Simulate -------------------------------------------------------
+    let result = TransientAnalysis::new(200e-6, 0.2e-6).run(&nl)?;
+    let w = result.voltage(out);
+    println!(
+        "common-source amplifier: output steps from {:.2} V to {:.2} V",
+        w.value_at(15e-6),
+        w.value_at(190e-6)
+    );
+
+    // --- Measure ---------------------------------------------------------
+    let v_low = w.value_at(15e-6);
+    let v_high = w.value_at(190e-6);
+    if let Some(tr) = rise_time(&w, v_low, v_high, 0.1, 0.9, 20e-6) {
+        println!("10-90 % rise time: {:.1} us", tr * 1e6);
+        // --- Cross-check against the linear model -----------------------
+        // Small-signal: the capacitor sees RF in series with the drain
+        // node resistance (RD parallel the transistor's large ro), so
+        // tau ~ (RD + RF)*C = 60 us and the 10-90 % rise is 2.2*tau.
+        let r_eff = 50e3 + 10e3;
+        let tf = ContinuousTransferFunction::from_coeffs(&[1.0], &[r_eff * 1e-9, 1.0]);
+        let tau = -1.0 / tf.poles()[0].re;
+        println!(
+            "linsys model: pole tau = {:.1} us, predicted rise {:.1} us",
+            tau * 1e6,
+            2.2 * tau * 1e6
+        );
+    }
+    println!(
+        "settling time (10 mV band): {:.1} us after the step",
+        (settling_time(&w, 0.010) - 20e-6) * 1e6
+    );
+    Ok(())
+}

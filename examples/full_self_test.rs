@@ -1,0 +1,81 @@
+//! The complete on-chip self-test session: monotonicity BIST, quick
+//! tests, scan-bus session with its gate-level MISR signature,
+//! DAC loopback and digital self-calibration — the "final complete
+//! ASUT test" sequence the paper's background sketches, end to end.
+//!
+//! Run with: `cargo run --release --example full_self_test`
+
+use mixsig::msbist::adc::{AdcErrorModel, DualSlopeAdc};
+use mixsig::msbist::bist::quick_test::{run_quick_tests, QuickTestLimits};
+use mixsig::msbist::self_test::run_full_self_test;
+
+fn main() {
+    let golden = run_quick_tests(&DualSlopeAdc::paper_measured(), &QuickTestLimits::paper());
+    let limits = QuickTestLimits::paper().with_reference(golden.compressed.digital_signature);
+
+    let devices = [
+        ("healthy macro", DualSlopeAdc::paper_measured()),
+        (
+            "reference 25 % off",
+            DualSlopeAdc::with_errors(AdcErrorModel {
+                gain_error: 0.25,
+                ..AdcErrorModel::paper_measured()
+            }),
+        ),
+        (
+            "violent SC ripple",
+            DualSlopeAdc::with_errors(AdcErrorModel {
+                ripple_v: 0.025,
+                ripple_period_codes: 6.0,
+                ..AdcErrorModel::none()
+            }),
+        ),
+    ];
+
+    for (tag, adc) in devices {
+        let report = run_full_self_test(&adc, &limits);
+        println!("== {tag} ==");
+        println!(
+            "  1. monotonicity BIST : {} ({} violations over {} ramp samples)",
+            pass(report.monotonicity.passed()),
+            report.monotonicity.violations.len(),
+            report.monotonicity.samples
+        );
+        println!(
+            "  2. quick tests       : analogue {}, digital {}, compressed {}",
+            pass(report.quick.analog.passed),
+            pass(report.quick.digital.passed),
+            pass(report.quick.compressed.passed)
+        );
+        println!(
+            "  3. scan session      : {} levels, path {}",
+            report.scan_session.len(),
+            pass(report.scan_path_ok(&adc))
+        );
+        println!(
+            "  4. DAC loopback      : {} (max error {:.1} codes)",
+            pass(report.loopback.passed(2.5)),
+            report.loopback.max_code_error
+        );
+        println!(
+            "  5. self-calibration  : residual INL {:.2} LSB",
+            report.calibrated_inl_lsb
+        );
+        println!(
+            "  verdict: {}\n",
+            if report.passed(&adc, 2.5) {
+                "SHIP"
+            } else {
+                "REJECT"
+            }
+        );
+    }
+}
+
+fn pass(b: bool) -> &'static str {
+    if b {
+        "pass"
+    } else {
+        "FAIL"
+    }
+}

@@ -1,0 +1,79 @@
+//! Production-test flow: "fabricate" a batch of dies, screen every die
+//! with the on-chip quick tests, fully characterise a sample, and
+//! diagnose a deliberately faulty device down to its sub-macro.
+//!
+//! This is the paper's part (a)+(b) workflow end to end.
+//!
+//! Run with: `cargo run --release --example production_test`
+
+use mixsig::macrolib::process::VariationModel;
+use mixsig::msbist::adc::diagnose::{diagnose, Symptoms};
+use mixsig::msbist::adc::spec::AdcSpecification;
+use mixsig::msbist::adc::{AdcErrorModel, DualSlopeAdc};
+use mixsig::msbist::bist::quick_test::{run_quick_tests, QuickTestLimits};
+use mixsig::msbist::charac::characterise;
+use mixsig::msbist::device::DieBatch;
+
+fn main() {
+    // --- 1. Fabricate -------------------------------------------------
+    let batch = DieBatch::fabricate(10, &VariationModel::typical(), 1996);
+    println!("fabricated a batch of {} dies (5 um CMOS gate array)", batch.len());
+
+    // --- 2. Screen with the quick on-chip tests ------------------------
+    let golden = run_quick_tests(&DualSlopeAdc::paper_measured(), &QuickTestLimits::paper());
+    let limits = QuickTestLimits::paper().with_reference(golden.compressed.digital_signature);
+
+    let mut passed = 0;
+    for die in &batch {
+        let report = run_quick_tests(&die.adc, &limits);
+        let verdict = if report.passed() {
+            passed += 1;
+            "pass"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "  die {:>2}: quick tests {} (signature {:#06x})",
+            die.index, verdict, report.compressed.digital_signature
+        );
+    }
+    println!("{passed}/{} dies passed screening (paper: 10/10)\n", batch.len());
+
+    // --- 3. Full characterisation of one sampled die -------------------
+    let sample = &batch.dies()[3];
+    let c = characterise(&sample.adc, 100);
+    let spec = AdcSpecification::paper().check(&c);
+    println!("full characterisation of die {}:", sample.index);
+    println!(
+        "  offset {:+.2} LSB, gain {:+.2} LSB, INL {:.2} LSB, DNL {:.2} LSB",
+        c.offset_lsb,
+        c.gain_error_lsb,
+        c.max_inl_lsb(),
+        c.max_dnl_lsb()
+    );
+    println!(
+        "  against spec: {}",
+        if spec.passed() {
+            "meets all limits".to_string()
+        } else {
+            format!("exceeds {:?} (as the paper's macro did)", spec.failures())
+        }
+    );
+
+    // --- 4. Diagnose a returned faulty device --------------------------
+    // A field return whose integrator capacitor has become leaky — the
+    // dominant defect is pure leakage, which bows the transfer curve.
+    let returned = DualSlopeAdc::with_errors(AdcErrorModel {
+        leak_per_s: 90.0,
+        offset_v: 0.001,
+        ..AdcErrorModel::none()
+    });
+    let c_bad = characterise(&returned, 100);
+    let spec_bad = AdcSpecification::paper().check(&c_bad);
+    let symptoms = Symptoms::from_characterisation(&spec_bad, &c_bad);
+    println!("\nfaulty device symptoms: {symptoms:?}");
+    println!("sub-macro diagnosis (most likely first):");
+    for (sub_macro, score) in diagnose(&symptoms) {
+        println!("  {sub_macro:?} (score {score})");
+    }
+}

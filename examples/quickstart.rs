@@ -1,0 +1,67 @@
+//! Quickstart: convert voltages with the dual-slope ADC macro, check it
+//! against its datasheet, and run the on-chip quick tests.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mixsig::msbist::adc::spec::AdcSpecification;
+use mixsig::msbist::adc::{AdcConverter, DualSlopeAdc};
+use mixsig::msbist::bist::quick_test::{run_quick_tests, QuickTestLimits};
+use mixsig::msbist::charac::characterise;
+
+fn main() {
+    // The behavioural dual-slope ADC macro with the paper's measured
+    // error magnitudes (offset, gain, leakage, SC ripple).
+    let adc = DualSlopeAdc::paper_measured();
+
+    println!("dual-slope ADC macro: {} mV/LSB, {} counts, {:.0} kHz clock",
+        adc.lsb() * 1e3,
+        adc.full_count(),
+        adc.clock_hz() / 1e3,
+    );
+
+    // Convert a few voltages.
+    println!("\nconversions:");
+    for vin in [0.0, 0.625, 1.25, 1.875, 2.5] {
+        println!(
+            "  {vin:.3} V -> code {:>3}  ({:.2} ms conversion)",
+            adc.convert(vin),
+            adc.conversion_time(vin) * 1e3
+        );
+    }
+
+    // Full static characterisation: offset, gain, INL, DNL.
+    let c = characterise(&adc, 100);
+    println!("\ncharacterisation over 100 codes:");
+    println!("  zero offset : {:+.2} LSB", c.offset_lsb);
+    println!("  gain error  : {:+.2} LSB", c.gain_error_lsb);
+    println!("  max INL     : {:.2} LSB", c.max_inl_lsb());
+    println!("  max DNL     : {:.2} LSB", c.max_dnl_lsb());
+
+    // Check against the datasheet (the paper's macro fails INL/DNL).
+    let report = AdcSpecification::paper().check(&c);
+    if report.passed() {
+        println!("  specification: PASSED");
+    } else {
+        println!("  specification: FAILED on {:?}", report.failures());
+    }
+
+    // The three on-chip quick tests the BIST macros provide.
+    let quick = run_quick_tests(&adc, &QuickTestLimits::paper());
+    println!("\nquick on-chip tests:");
+    println!("  analogue step test : {}", ok(quick.analog.passed));
+    println!("  digital timing test: {}", ok(quick.digital.passed));
+    println!(
+        "  compressed test    : {} (signature {:#06x}, 2-bit analogue code 0b{:02b})",
+        ok(quick.compressed.passed),
+        quick.compressed.digital_signature,
+        quick.compressed.analog_code
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "pass"
+    } else {
+        "FAIL"
+    }
+}

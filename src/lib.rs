@@ -1,0 +1,22 @@
+//! `mixsig` — facade crate for the on-chip mixed-signal testing workspace.
+//!
+//! Re-exports every crate in the workspace so examples and integration
+//! tests can use a single dependency. See the individual crates for the
+//! real APIs:
+//!
+//! * [`anasim`] — SPICE-class analogue circuit simulator,
+//! * [`linsys`] — linear systems toolbox (transfer functions, state space),
+//! * [`sigproc`] — signal processing (PRBS, FFT, correlation, measures),
+//! * [`digisim`] — event-driven digital logic simulator,
+//! * [`macrolib`] — 5 µm CMOS analogue macro library,
+//! * [`faultsim`] — fault models and campaigns,
+//! * [`msbist`] — the paper's contribution: ADC BIST and transient-response
+//!   testing.
+
+pub use anasim;
+pub use digisim;
+pub use faultsim;
+pub use linsys;
+pub use macrolib;
+pub use msbist;
+pub use sigproc;

@@ -1,0 +1,70 @@
+//! Integration: the transient-response testing flow across crates —
+//! macro library circuits, fault injection, simulation and detection
+//! statistics.
+
+use mixsig::faultsim::inject::inject;
+use mixsig::faultsim::model::Fault;
+use mixsig::macrolib::process::ProcessParams;
+use mixsig::msbist::transtest::circuits::circuit1;
+use mixsig::msbist::transtest::detect::DetectionFigure;
+
+#[test]
+fn circuit1_fault_universe_simulates_and_detects() {
+    let c1 = circuit1(&ProcessParams::nominal());
+
+    // Golden.
+    let golden = c1
+        .bench
+        .correlation_signature(c1.bench.netlist())
+        .expect("golden simulates");
+    let peak = golden.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    assert!(peak > 0.5, "golden signature should carry energy");
+
+    // A subset of the universe (keep the integration test quick).
+    let subset: Vec<Fault> = c1.faults.iter().take(4).cloned().collect();
+    let report = c1
+        .bench
+        .run_correlation_campaign(&subset, 0.02 * peak)
+        .expect("campaign runs");
+    assert_eq!(report.outcomes.len(), 4);
+    for o in &report.outcomes {
+        assert!(
+            o.detection_pct.unwrap_or(100.0) > 30.0,
+            "{} under-detected",
+            o.fault.name()
+        );
+    }
+
+    let mut fig = DetectionFigure::new();
+    fig.add_campaign(1, &report);
+    assert_eq!(fig.circuit(1).len(), 4);
+    assert!(fig.floor(1).expect("entries") > 30.0);
+}
+
+#[test]
+fn injected_fault_changes_the_response() {
+    let c1 = circuit1(&ProcessParams::nominal());
+    let golden = c1.bench.response(c1.bench.netlist()).expect("golden");
+    let fault = &c1.faults[4]; // n7-sa0: the diff-pair output clamped low
+    let faulty_nl = inject(c1.bench.netlist(), fault);
+    let faulty = c1.bench.response(&faulty_nl).expect("faulty simulates");
+    let rms_diff = golden
+        .iter()
+        .zip(&faulty)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f64>()
+        .sqrt()
+        / (golden.len() as f64).sqrt();
+    assert!(rms_diff > 0.2, "rms difference only {rms_diff}");
+}
+
+#[test]
+fn fault_injection_is_pure() {
+    // The golden netlist must not accumulate fault hardware across a
+    // campaign (faults are injected on clones).
+    let c1 = circuit1(&ProcessParams::nominal());
+    let before = c1.bench.netlist().device_count();
+    let _ = inject(c1.bench.netlist(), &c1.faults[0]);
+    let _ = inject(c1.bench.netlist(), &c1.faults[1]);
+    assert_eq!(c1.bench.netlist().device_count(), before);
+}
