@@ -29,6 +29,26 @@ pub enum AnalysisError {
     InvalidParameter(String),
     /// The netlist references a node or device that does not exist.
     UnknownElement(String),
+    /// A solver resource budget ([`crate::robust::SolveBudget`]) ran out
+    /// before the analysis completed.
+    BudgetExceeded {
+        /// Simulation time in seconds reached when the budget expired.
+        time: f64,
+        /// Timesteps attempted so far.
+        steps: usize,
+        /// Which budget dimension was exhausted.
+        kind: BudgetKind,
+    },
+}
+
+/// The budget dimension that ran out in
+/// [`AnalysisError::BudgetExceeded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The timestep budget was exhausted.
+    Steps,
+    /// The wall-clock budget was exhausted.
+    WallClock,
 }
 
 impl fmt::Display for AnalysisError {
@@ -43,6 +63,16 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             AnalysisError::UnknownElement(name) => write!(f, "unknown element: {name}"),
+            AnalysisError::BudgetExceeded { time, steps, kind } => {
+                let what = match kind {
+                    BudgetKind::Steps => "timestep budget",
+                    BudgetKind::WallClock => "wall-clock budget",
+                };
+                write!(
+                    f,
+                    "{what} exhausted at t = {time:.3e} s after {steps} steps"
+                )
+            }
         }
     }
 }
