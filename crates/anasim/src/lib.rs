@@ -43,6 +43,7 @@ pub mod dense;
 pub mod devices;
 pub mod mna;
 pub mod netlist;
+pub mod robust;
 pub mod source;
 pub mod spice;
 pub mod sweep;
@@ -51,4 +52,4 @@ pub mod waveform;
 
 mod error;
 
-pub use error::AnalysisError;
+pub use error::{AnalysisError, BudgetKind};

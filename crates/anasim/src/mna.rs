@@ -4,7 +4,24 @@
 use crate::dense::{Lu, Matrix};
 use crate::devices::{Device, MosPolarity};
 use crate::netlist::{DeviceId, Netlist, NodeId};
+use crate::robust::BudgetClock;
 use crate::AnalysisError;
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Newton iterations performed on this thread since the last
+    /// [`take_newton_iterations`] call. Campaign engines run each fault
+    /// entirely on one thread, so this gives exact per-fault counts
+    /// without threading a counter through every solver signature.
+    static NEWTON_ITERATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Returns the number of Newton iterations performed on the calling
+/// thread since the previous call, and resets the counter.
+pub fn take_newton_iterations() -> u64 {
+    NEWTON_ITERATIONS.with(|c| c.replace(0))
+}
 
 /// Mapping from circuit topology to MNA unknown indices.
 ///
@@ -491,6 +508,27 @@ pub fn newton_solve(
     options: &NewtonOptions,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
+    newton_solve_budgeted(netlist, layout, params, options, None, x)
+}
+
+/// [`newton_solve`] with an optional wall-clock meter.
+///
+/// When `clock` is provided, its wall-clock budget is polled between
+/// Newton iterations so a single stuck timestep cannot outlive the
+/// analysis budget.
+///
+/// # Errors
+///
+/// As [`newton_solve`], plus [`AnalysisError::BudgetExceeded`] when the
+/// clock's wall-clock ceiling is crossed.
+pub fn newton_solve_budgeted(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    params: &StampParams<'_>,
+    options: &NewtonOptions,
+    clock: Option<&BudgetClock>,
+    x: &mut Vec<f64>,
+) -> Result<(), AnalysisError> {
     let n = layout.size();
     let nv = layout.node_count() - 1;
     let mut a = Matrix::zeros(n, n);
@@ -501,6 +539,10 @@ pub fn newton_solve(
 
     let mut worst = f64::INFINITY;
     for _ in 0..options.max_iterations {
+        if let Some(clock) = clock {
+            clock.check_wall(params.time)?;
+        }
+        NEWTON_ITERATIONS.with(|c| c.set(c.get() + 1));
         stamp_system(netlist, layout, x, params, &mut a, &mut b);
         let lu = Lu::factor(&a)?;
         let x_new = lu.solve(&b);

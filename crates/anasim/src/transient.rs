@@ -3,12 +3,19 @@
 use crate::dc::{dc_operating_point_with, DcOptions};
 use crate::devices::Device;
 use crate::mna::{
-    newton_solve, CompanionMode, Integrator, MnaLayout, NewtonOptions, ReactiveHistory,
+    newton_solve_budgeted, CompanionMode, Integrator, MnaLayout, NewtonOptions, ReactiveHistory,
     StampParams,
 };
 use crate::netlist::{DeviceId, Netlist, NodeId};
+use crate::robust::{BudgetClock, SolveBudget, SolveSettings, DEFAULT_MAX_STEPS};
 use crate::waveform::Waveform;
 use crate::AnalysisError;
+
+/// Breakpoint comparisons use a tolerance relative to the analysis
+/// horizon rather than an absolute epsilon, so behaviour is invariant
+/// under time rescaling (an absolute 1e-15 s is coarse for picosecond
+/// circuits and needlessly fine for second-scale ones).
+const BREAKPOINT_RELTOL: f64 = 1e-12;
 
 /// How the initial condition at `t = 0` is established.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,7 +62,7 @@ pub struct TransientAnalysis {
     start: StartCondition,
     newton: NewtonOptions,
     gmin: f64,
-    max_steps: usize,
+    budget: SolveBudget,
 }
 
 impl TransientAnalysis {
@@ -76,7 +83,7 @@ impl TransientAnalysis {
             start: StartCondition::OperatingPoint,
             newton: NewtonOptions::default(),
             gmin: 1e-12,
-            max_steps: 50_000_000,
+            budget: SolveBudget::unlimited().steps(DEFAULT_MAX_STEPS),
         }
     }
 
@@ -105,14 +112,49 @@ impl TransientAnalysis {
         self
     }
 
+    /// Overrides the `gmin` conductance stamped from every node to
+    /// ground (default `1e-12` S).
+    pub fn gmin(mut self, gmin: f64) -> Self {
+        self.gmin = gmin;
+        self
+    }
+
+    /// Installs a resource budget. The default limits the analysis to
+    /// 50 million attempted timesteps with no wall-clock ceiling.
+    pub fn budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Applies a complete [`SolveSettings`]: the escalation-rung scaling
+    /// (timestep, integrator, `gmin`) plus the resource budget.
+    ///
+    /// This is how fault campaigns retry a failed extraction with a more
+    /// conservative configuration without rebuilding the analysis by
+    /// hand.
+    pub fn with_settings(mut self, settings: &SolveSettings) -> Self {
+        let rung = settings.rung;
+        self.dt *= rung.dt_scale;
+        self.min_dt *= rung.dt_scale * rung.min_dt_scale;
+        if rung.force_backward_euler {
+            self.integrator = Integrator::BackwardEuler;
+        }
+        if let Some(gmin) = rung.gmin {
+            self.gmin = gmin;
+        }
+        self.budget = settings.budget;
+        self
+    }
+
     /// Runs the analysis over `netlist`.
     ///
     /// # Errors
     ///
     /// Returns [`AnalysisError::NoConvergence`] if a timestep cannot be
-    /// solved even at the minimum step size, or
+    /// solved even at the minimum step size,
     /// [`AnalysisError::SingularMatrix`] for structurally singular
-    /// circuits.
+    /// circuits, or [`AnalysisError::BudgetExceeded`] when the
+    /// [`SolveBudget`] runs out of steps or wall-clock time.
     pub fn run(&self, netlist: &Netlist) -> Result<TransientResult, AnalysisError> {
         let layout = MnaLayout::new(netlist);
         let mut history = ReactiveHistory::new(netlist);
@@ -146,8 +188,10 @@ impl TransientAnalysis {
             .flatten()
             .filter(|&t| t > 0.0)
             .collect();
+        // Tolerance for breakpoint bookkeeping, relative to the horizon.
+        let bp_tol = BREAKPOINT_RELTOL * self.t_stop;
         breakpoints.sort_by(|a, b| a.total_cmp(b));
-        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < bp_tol);
         let mut bp_iter = breakpoints.into_iter().peekable();
 
         // --- Time march ---------------------------------------------------
@@ -162,25 +206,19 @@ impl TransientAnalysis {
         // breakpoint: backward Euler damps the discontinuity that would
         // make trapezoidal ring.
         let mut post_discontinuity = true;
-        let mut steps = 0usize;
+        let mut clock = BudgetClock::new(self.budget);
 
         while t < self.t_stop - 1e-15 * self.t_stop {
-            steps += 1;
-            if steps > self.max_steps {
-                return Err(AnalysisError::InvalidParameter(format!(
-                    "exceeded {} timesteps; dt too small for t_stop",
-                    self.max_steps
-                )));
-            }
+            clock.charge_step(t)?;
             // Candidate next time: regular grid, clipped to breakpoint/stop.
             let mut t_next = (t + self.dt).min(self.t_stop);
             let mut hit_bp = false;
             while let Some(&bp) = bp_iter.peek() {
-                if bp <= t + 1e-15 {
+                if bp <= t + bp_tol {
                     bp_iter.next();
                     continue;
                 }
-                if bp < t_next - 1e-15 {
+                if bp < t_next - bp_tol {
                     t_next = bp;
                     hit_bp = true;
                 }
@@ -206,9 +244,19 @@ impl TransientAnalysis {
                     gmin: self.gmin,
                     source_scale: 1.0,
                 };
-                match newton_solve(netlist, &layout, &params, &self.newton, &mut x_try) {
+                match newton_solve_budgeted(
+                    netlist,
+                    &layout,
+                    &params,
+                    &self.newton,
+                    Some(&clock),
+                    &mut x_try,
+                ) {
                     Ok(()) => break Some((x_try, method, dt_try)),
                     Err(AnalysisError::NoConvergence { .. }) if dt_try / 2.0 >= self.min_dt => {
+                        // Each halving retry is a fresh attempted step as
+                        // far as the budget is concerned.
+                        clock.charge_step(t)?;
                         dt_try /= 2.0;
                     }
                     Err(e) => return Err(e),
@@ -229,7 +277,7 @@ impl TransientAnalysis {
 
             // If we landed exactly on a breakpoint, consume it and damp the
             // next step.
-            if hit_bp && (t - (t_next)).abs() < 1e-15 {
+            if hit_bp && (t - t_next).abs() < bp_tol {
                 bp_iter.next();
                 post_discontinuity = true;
             } else {
@@ -381,7 +429,7 @@ impl TransientResult {
 /// let mut session = TransientSession::begin(&nl, 10e-6)?;
 /// session.advance_to(5e-3)?;                    // charge ~5 tau
 /// assert!(session.voltage(out) > 4.9);
-/// session.set_source(src, SourceWaveform::dc(0.0));
+/// session.set_source(src, SourceWaveform::dc(0.0))?;
 /// session.advance_to(10e-3)?;                   // discharge
 /// assert!(session.voltage(out) < 0.1);
 /// # Ok(())
@@ -463,16 +511,26 @@ impl TransientSession {
     /// Rewrites a source's waveform at the present time (the
     /// co-simulation control input).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `device` is not an independent source.
-    pub fn set_source(&mut self, device: DeviceId, wave: crate::source::SourceWaveform) {
+    /// Returns [`AnalysisError::UnknownElement`] if `device` is not an
+    /// independent source.
+    pub fn set_source(
+        &mut self,
+        device: DeviceId,
+        wave: crate::source::SourceWaveform,
+    ) -> Result<(), AnalysisError> {
         match self.netlist.device_mut(device) {
             crate::devices::Device::Vsource { wave: w, .. }
             | crate::devices::Device::Isource { wave: w, .. } => *w = wave,
-            other => panic!("set_source needs an independent source, found {other:?}"),
+            other => {
+                return Err(AnalysisError::UnknownElement(format!(
+                    "set_source needs an independent source, found {other:?}"
+                )))
+            }
         }
         self.post_discontinuity = true;
+        Ok(())
     }
 
     /// Advances the session to absolute time `t_stop`.
@@ -504,18 +562,21 @@ impl TransientSession {
             .flatten()
             .filter(|&bp| bp > self.t)
             .collect();
+        // Tolerance relative to the step size: session windows can be
+        // arbitrarily short, so the horizon is a poor scale here.
+        let bp_tol = BREAKPOINT_RELTOL * t_stop.abs().max(self.dt);
         breakpoints.sort_by(|a, b| a.total_cmp(b));
-        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < bp_tol);
         let mut bp_iter = breakpoints.into_iter().peekable();
 
         while self.t < t_stop - 1e-15 * t_stop.abs().max(1.0) {
             let mut t_next = (self.t + self.dt).min(t_stop);
             while let Some(&bp) = bp_iter.peek() {
-                if bp <= self.t + 1e-18 {
+                if bp <= self.t + bp_tol {
                     bp_iter.next();
                     continue;
                 }
-                if bp < t_next - 1e-18 {
+                if bp < t_next - bp_tol {
                     t_next = bp;
                 }
                 break;
@@ -539,8 +600,14 @@ impl TransientSession {
                     gmin: self.gmin,
                     source_scale: 1.0,
                 };
-                match newton_solve(&self.netlist, &self.layout, &params, &self.newton, &mut x_try)
-                {
+                match newton_solve_budgeted(
+                    &self.netlist,
+                    &self.layout,
+                    &params,
+                    &self.newton,
+                    None,
+                    &mut x_try,
+                ) {
                     Ok(()) => {
                         self.t += dt_try;
                         update_history(
@@ -732,7 +799,7 @@ mod tests {
         let mut session = TransientSession::begin(&nl, 5e-6).unwrap();
         session.advance_to(5e-3).unwrap();
         assert!(session.voltage(out) > 0.99);
-        session.set_source(v1, SourceWaveform::dc(-1.0));
+        session.set_source(v1, SourceWaveform::dc(-1.0)).unwrap();
         session.advance_to(10e-3).unwrap();
         // 5 tau of swing from +1 toward -1: 2 e^-5 ~ 0.013 remains.
         assert!((session.voltage(out) + 1.0).abs() < 0.02);
@@ -747,11 +814,136 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "independent source")]
     fn session_set_source_validates_device() {
-        let (nl, _) = rc_circuit(1e3, 1e-6);
+        let (nl, out) = rc_circuit(1e3, 1e-6);
         let r1 = nl.find_device("R1").unwrap();
         let mut session = TransientSession::begin(&nl, 5e-6).unwrap();
-        session.set_source(r1, SourceWaveform::dc(0.0));
+        let err = session.set_source(r1, SourceWaveform::dc(0.0)).unwrap_err();
+        assert!(matches!(err, AnalysisError::UnknownElement(_)));
+        assert!(err.to_string().contains("independent source"));
+        // The session stays usable after the rejected rewrite.
+        session.advance_to(1e-3).unwrap();
+        assert!(session.voltage(out) > 0.0);
+    }
+
+    #[test]
+    fn step_budget_is_reported_as_budget_exceeded() {
+        use crate::robust::SolveBudget;
+        let (nl, _) = rc_circuit(1e3, 1e-6);
+        let err = TransientAnalysis::new(5e-3, 5e-6)
+            .budget(SolveBudget::unlimited().steps(10))
+            .run(&nl)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AnalysisError::BudgetExceeded {
+                    kind: crate::BudgetKind::Steps,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn wall_budget_is_reported_as_budget_exceeded() {
+        use crate::robust::SolveBudget;
+        use std::time::Duration;
+        let (nl, _) = rc_circuit(1e3, 1e-6);
+        let err = TransientAnalysis::new(5e-3, 5e-6)
+            .budget(SolveBudget::unlimited().wall(Duration::ZERO))
+            .run(&nl)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AnalysisError::BudgetExceeded {
+                    kind: crate::BudgetKind::WallClock,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn dt_halving_rescues_a_tight_newton_budget() {
+        use crate::devices::DiodeParams;
+        // A 1 mA step into R ∥ C wants to move the node 2.5 V in one
+        // nominal-dt solve, but the per-iteration voltage clamp walks
+        // at most 0.5 V per Newton iteration, so 5 iterations cannot
+        // converge there. Every dt halving doubles the capacitor's
+        // companion conductance and shrinks the per-step excursion, so
+        // a halved retry fits inside the iteration cap. The isolated
+        // reverse diode only marks the system nonlinear so the damped
+        // Newton walk (and thus the cap) is actually exercised.
+        let tight = NewtonOptions {
+            max_iterations: 5,
+            vstep_limit: 0.5,
+            ..NewtonOptions::default()
+        };
+        let circuit = || {
+            let mut nl = Netlist::new();
+            let out = nl.node("out");
+            let iso = nl.node("iso");
+            nl.isource("I1", out, Netlist::GROUND, SourceWaveform::step(1e-3, 2e-6));
+            nl.resistor("R1", out, Netlist::GROUND, 5e3);
+            nl.capacitor("C1", out, Netlist::GROUND, 0.2e-9);
+            nl.diode("D1", iso, Netlist::GROUND, DiodeParams::default());
+            (nl, out)
+        };
+
+        // Halving forbidden (min_dt pinned at dt): the step cannot
+        // converge and the analysis dies at the transition.
+        let (nl, _) = circuit();
+        let err = TransientAnalysis::new(20e-6, 1e-6)
+            .newton_options(tight)
+            .min_dt(1e-6)
+            .run(&nl)
+            .unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::NoConvergence { .. }),
+            "got {err:?}"
+        );
+
+        // With halving room the same analysis completes and settles to
+        // the I·R level a generously-budgeted run agrees on.
+        let (nl, out) = circuit();
+        let rescued = TransientAnalysis::new(20e-6, 1e-6)
+            .newton_options(tight)
+            .run(&nl)
+            .unwrap();
+        let reference = TransientAnalysis::new(20e-6, 1e-6).run(&nl).unwrap();
+        let v = rescued.final_voltage(out);
+        let v_ref = reference.final_voltage(out);
+        assert!((v - v_ref).abs() < 1e-3, "rescued {v} vs reference {v_ref}");
+        assert!((v - 5.0).abs() < 0.05, "settled at {v}");
+    }
+
+    #[test]
+    fn with_settings_applies_rung_scaling() {
+        use crate::robust::{SolveBudget, SolveSettings, SolverRung};
+        let base = TransientAnalysis::new(1e-3, 1e-6);
+        let settings = SolveSettings {
+            rung: SolverRung {
+                dt_scale: 0.5,
+                min_dt_scale: 4.0,
+                force_backward_euler: true,
+                gmin: Some(1e-9),
+            },
+            budget: SolveBudget::unlimited().steps(123),
+        };
+        let tuned = base.clone().with_settings(&settings);
+        assert!((tuned.dt - 0.5e-6).abs() < 1e-18);
+        // min_dt scales by dt_scale * min_dt_scale.
+        assert!((tuned.min_dt - 1e-6 / 1024.0 * 0.5 * 4.0).abs() < 1e-18);
+        assert_eq!(tuned.integrator, Integrator::BackwardEuler);
+        assert_eq!(tuned.gmin, 1e-9);
+        assert_eq!(tuned.budget.max_steps, Some(123));
+        // A nominal rung leaves the analysis unchanged apart from budget.
+        let nominal = base.clone().with_settings(&SolveSettings::default());
+        assert_eq!(nominal.dt, base.dt);
+        assert_eq!(nominal.integrator, base.integrator);
     }
 }

@@ -102,16 +102,20 @@ impl SignatureAblation {
     }
 }
 
-/// Runs the signature ablation on circuit 1's full fault universe.
+/// Runs the signature ablation on circuit 1's full fault universe,
+/// using the resilient campaign engine so every fault yields a typed
+/// outcome even when an extraction fails at nominal solver settings.
 pub fn signature_kind() -> SignatureAblation {
+    use faultsim::campaign::CampaignConfig;
     let c1 = circuit1(&ProcessParams::nominal());
+    let workers = 4;
     let raw_report = c1
         .bench
-        .run_raw_campaign(&c1.faults, 0.1)
+        .run_raw_campaign_with(&c1.faults, &CampaignConfig::new(0.1).workers(workers))
         .expect("golden must simulate");
     let cor_report = c1
         .bench
-        .run_correlation_campaign(&c1.faults, 0.01)
+        .run_correlation_campaign_with(&c1.faults, &CampaignConfig::new(0.01).workers(workers))
         .expect("golden must simulate");
     let golden_psd = c1
         .bench
@@ -120,18 +124,16 @@ pub fn signature_kind() -> SignatureAblation {
     let psd_peak = golden_psd.iter().fold(0.0_f64, |m, &v| m.max(v));
     let spec_report = c1
         .bench
-        .run_spectral_campaign(&c1.faults, 0.002 * psd_peak)
+        .run_spectral_campaign_with(
+            &c1.faults,
+            &CampaignConfig::new(0.002 * psd_peak).workers(workers),
+        )
         .expect("golden must simulate");
     let series = |report: &faultsim::campaign::CampaignReport| {
         report
             .outcomes
             .iter()
-            .map(|o| {
-                (
-                    o.fault.name().to_string(),
-                    o.detection_pct.unwrap_or(100.0),
-                )
-            })
+            .map(|o| (o.fault.name().to_string(), o.figure_pct()))
             .collect()
     };
     SignatureAblation {

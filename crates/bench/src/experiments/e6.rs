@@ -9,16 +9,44 @@
 
 use std::fmt;
 
+use faultsim::campaign::{CampaignConfig, CampaignStats};
 use macrolib::process::ProcessParams;
 use msbist::transtest::circuits::{circuit1, circuit2, circuit3, ExampleCircuit};
 use msbist::transtest::detect::DetectionFigure;
-use msbist::transtest::idd::run_idd_campaign;
+use msbist::transtest::idd::run_idd_campaign_with;
 use msbist::transtest::impulse::{fit_first_order_discrete, impulse_detection_instances};
 
 /// Detection threshold as a fraction of the golden signature's peak
 /// magnitude — each circuit's comparator resolution scales with its
 /// signal, as a real windowed comparator would be designed.
 pub const RELATIVE_THRESHOLD: f64 = 0.02;
+
+/// Worker threads for the E6 campaigns. Reports are deterministic for
+/// any worker count, so this only affects wall-clock time.
+pub const E6_WORKERS: usize = 4;
+
+/// Aggregated solver telemetry over every campaign E6 runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverSummary {
+    /// Newton iterations across golden and fault extractions.
+    pub newton_iterations: u64,
+    /// Histogram of the escalation rung each successful extraction
+    /// settled on (index 0 = nominal solver settings).
+    pub rung_histogram: Vec<usize>,
+}
+
+impl SolverSummary {
+    fn absorb(&mut self, stats: &CampaignStats) {
+        self.newton_iterations += stats.total_newton_iterations();
+        let h = stats.rung_histogram();
+        if self.rung_histogram.len() < h.len() {
+            self.rung_histogram.resize(h.len(), 0);
+        }
+        for (i, n) in h.iter().enumerate() {
+            self.rung_histogram[i] += n;
+        }
+    }
+}
 
 /// The E6 report: the assembled Figure-4 dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +58,8 @@ pub struct E6Report {
     /// Dynamic supply-current results (extension: the paper's refs
     /// [10, 11]).
     pub idd: DetectionFigure,
+    /// Solver telemetry from the correlation and IDD campaigns.
+    pub solver: SolverSummary,
 }
 
 impl E6Report {
@@ -59,22 +89,33 @@ impl fmt::Display for E6Report {
                 )?;
             }
         }
+        writeln!(
+            f,
+            "solver: {} Newton iterations, escalation-rung histogram {:?}",
+            self.solver.newton_iterations, self.solver.rung_histogram
+        )?;
         Ok(())
     }
 }
 
-/// Runs the correlation campaign for one example circuit and adds it to
-/// the figure.
-fn correlation_campaign(figure: &mut DetectionFigure, circuit: &ExampleCircuit) {
+/// Runs the correlation campaign for one example circuit on the
+/// resilient engine and adds it to the figure.
+fn correlation_campaign(
+    figure: &mut DetectionFigure,
+    solver: &mut SolverSummary,
+    circuit: &ExampleCircuit,
+) {
     let golden = circuit
         .bench
         .correlation_signature(circuit.bench.netlist())
         .expect("golden circuit must simulate");
     let peak = golden.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    let config = CampaignConfig::new(RELATIVE_THRESHOLD * peak).workers(E6_WORKERS);
     let report = circuit
         .bench
-        .run_correlation_campaign(&circuit.faults, RELATIVE_THRESHOLD * peak)
+        .run_correlation_campaign_with(&circuit.faults, &config)
         .expect("golden circuit must simulate");
+    solver.absorb(&report.stats);
     figure.add_campaign(circuit.number, &report);
 }
 
@@ -112,15 +153,23 @@ fn impulse_campaign(figure: &mut DetectionFigure, circuit: &ExampleCircuit) {
     }
 }
 
-/// Runs the dynamic-IDD campaign for one example circuit.
-fn idd_campaign(figure: &mut DetectionFigure, circuit: &ExampleCircuit) {
-    let report = run_idd_campaign(
+/// Runs the dynamic-IDD campaign for one example circuit on the
+/// resilient engine.
+fn idd_campaign(
+    figure: &mut DetectionFigure,
+    solver: &mut SolverSummary,
+    circuit: &ExampleCircuit,
+) {
+    let config = CampaignConfig::new(0.0).workers(E6_WORKERS);
+    let report = run_idd_campaign_with(
         &circuit.bench,
         &circuit.vdd_sources,
         &circuit.faults,
         RELATIVE_THRESHOLD,
+        &config,
     )
     .expect("golden circuit must simulate");
+    solver.absorb(&report.stats);
     figure.add_campaign(circuit.number, &report);
 }
 
@@ -140,24 +189,26 @@ pub fn run() -> E6Report {
     let c2 = circuit2(&process);
     let c3 = circuit3(&process);
 
+    let mut solver = SolverSummary::default();
     let mut correlation = DetectionFigure::new();
-    correlation_campaign(&mut correlation, &c1);
-    correlation_campaign(&mut correlation, &c2);
-    correlation_campaign(&mut correlation, &c3);
+    correlation_campaign(&mut correlation, &mut solver, &c1);
+    correlation_campaign(&mut correlation, &mut solver, &c2);
+    correlation_campaign(&mut correlation, &mut solver, &c3);
 
     let mut impulse = DetectionFigure::new();
     impulse_campaign(&mut impulse, &c2);
     impulse_campaign(&mut impulse, &c3);
 
     let mut idd = DetectionFigure::new();
-    idd_campaign(&mut idd, &c1);
-    idd_campaign(&mut idd, &c2);
-    idd_campaign(&mut idd, &c3);
+    idd_campaign(&mut idd, &mut solver, &c1);
+    idd_campaign(&mut idd, &mut solver, &c2);
+    idd_campaign(&mut idd, &mut solver, &c3);
 
     E6Report {
         correlation,
         impulse,
         idd,
+        solver,
     }
 }
 
@@ -165,12 +216,14 @@ pub fn run() -> E6Report {
 /// the Criterion bench).
 pub fn run_circuit1_only() -> E6Report {
     let c1 = circuit1(&ProcessParams::nominal());
+    let mut solver = SolverSummary::default();
     let mut correlation = DetectionFigure::new();
-    correlation_campaign(&mut correlation, &c1);
+    correlation_campaign(&mut correlation, &mut solver, &c1);
     E6Report {
         correlation,
         impulse: DetectionFigure::new(),
         idd: DetectionFigure::new(),
+        solver,
     }
 }
 

@@ -189,11 +189,11 @@ impl CosimAdc {
                 match phase {
                     DualSlopePhase::Idle => {}
                     DualSlopePhase::IntegrateInput => {
-                        analog.set_source(vrst, SourceWaveform::dc(0.0));
-                        analog.set_source(vdrive, SourceWaveform::dc(vag + vin));
+                        analog.set_source(vrst, SourceWaveform::dc(0.0))?;
+                        analog.set_source(vdrive, SourceWaveform::dc(vag + vin))?;
                     }
                     DualSlopePhase::IntegrateReference => {
-                        analog.set_source(vdrive, SourceWaveform::dc(vag - self.vref));
+                        analog.set_source(vdrive, SourceWaveform::dc(vag - self.vref))?;
                     }
                     DualSlopePhase::Done => break,
                 }

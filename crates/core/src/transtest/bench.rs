@@ -2,10 +2,11 @@
 
 use anasim::devices::Device;
 use anasim::netlist::{DeviceId, Netlist, NodeId};
+use anasim::robust::SolveSettings;
 use anasim::source::SourceWaveform;
 use anasim::transient::TransientAnalysis;
 use anasim::AnalysisError;
-use faultsim::campaign::{run_campaign, CampaignReport};
+use faultsim::campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignReport};
 use faultsim::model::Fault;
 use sigproc::correlation::{cross_correlation, energy};
 
@@ -131,6 +132,47 @@ impl TransientTestBench {
     ) -> Result<Vec<f64>, AnalysisError> {
         let t_stop = self.stimulus.total_duration() * self.periods as f64;
         let result = TransientAnalysis::new(t_stop, self.sim_dt).run(netlist)?;
+        self.sample_voltage(&result, node)
+    }
+
+    /// [`TransientTestBench::response_at`] under explicit
+    /// [`SolveSettings`] — the hook the resilient campaign engine uses
+    /// to retry extractions down the escalation ladder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence and budget exhaustion.
+    pub fn response_at_with(
+        &self,
+        netlist: &Netlist,
+        node: NodeId,
+        settings: &SolveSettings,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let t_stop = self.stimulus.total_duration() * self.periods as f64;
+        let result = TransientAnalysis::new(t_stop, self.sim_dt)
+            .with_settings(settings)
+            .run(netlist)?;
+        self.sample_voltage(&result, node)
+    }
+
+    /// [`TransientTestBench::response`] under explicit [`SolveSettings`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence and budget exhaustion.
+    pub fn response_with(
+        &self,
+        netlist: &Netlist,
+        settings: &SolveSettings,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        self.response_at_with(netlist, self.output, settings)
+    }
+
+    fn sample_voltage(
+        &self,
+        result: &anasim::transient::TransientResult,
+        node: NodeId,
+    ) -> Result<Vec<f64>, AnalysisError> {
         let w = result.voltage(node);
         let dt = self.stimulus.sample_period(self.samples_per_bit);
         Ok((0..self.sample_count())
@@ -152,8 +194,26 @@ impl TransientTestBench {
         netlist: &Netlist,
         devices: &[DeviceId],
     ) -> Result<Vec<f64>, AnalysisError> {
+        self.current_response_with(netlist, devices, &SolveSettings::default())
+    }
+
+    /// [`TransientTestBench::current_response`] under explicit
+    /// [`SolveSettings`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientTestBench::current_response`], plus budget
+    /// exhaustion.
+    pub fn current_response_with(
+        &self,
+        netlist: &Netlist,
+        devices: &[DeviceId],
+        settings: &SolveSettings,
+    ) -> Result<Vec<f64>, AnalysisError> {
         let t_stop = self.stimulus.total_duration() * self.periods as f64;
-        let result = TransientAnalysis::new(t_stop, self.sim_dt).run(netlist)?;
+        let result = TransientAnalysis::new(t_stop, self.sim_dt)
+            .with_settings(settings)
+            .run(netlist)?;
         let mut waves = Vec::with_capacity(devices.len());
         for &d in devices {
             let w = result.branch_current(d).ok_or_else(|| {
@@ -189,11 +249,25 @@ impl TransientTestBench {
     ///
     /// Propagates simulator non-convergence.
     pub fn correlation_signature(&self, netlist: &Netlist) -> Result<Vec<f64>, AnalysisError> {
+        self.correlation_signature_with(netlist, &SolveSettings::default())
+    }
+
+    /// [`TransientTestBench::correlation_signature`] under explicit
+    /// [`SolveSettings`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence and budget exhaustion.
+    pub fn correlation_signature_with(
+        &self,
+        netlist: &Netlist,
+        settings: &SolveSettings,
+    ) -> Result<Vec<f64>, AnalysisError> {
         // The raw response is correlated — deliberately without mean
         // removal: a shifted DC operating level is one of the strongest
         // fault signatures (stuck stages, bias faults), and the PRBS's
         // slight bit imbalance carries it into the correlation function.
-        let y = self.response(netlist)?;
+        let y = self.response_with(netlist, settings)?;
         let one_period = self.stimulus.correlation_signal(self.samples_per_bit);
         let p: Vec<f64> = std::iter::repeat_n(one_period, self.periods)
             .flatten()
@@ -222,6 +296,24 @@ impl TransientTestBench {
         })
     }
 
+    /// Runs a correlation-signature fault campaign on the resilient
+    /// engine: escalation ladder, per-fault budgets and optional
+    /// parallel workers from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the golden circuit cannot be simulated; per-fault
+    /// failures become typed [`faultsim::campaign::FaultStatus`]es.
+    pub fn run_correlation_campaign_with(
+        &self,
+        faults: &[Fault],
+        config: &CampaignConfig,
+    ) -> Result<CampaignReport, AnalysisError> {
+        run_campaign_with(&self.netlist, faults, config, |nl, settings| {
+            self.correlation_signature_with(nl, settings)
+        })
+    }
+
     /// The spectral signature of a netlist variant: the one-sided power
     /// spectrum (Hann periodogram) of the sampled response.
     ///
@@ -235,7 +327,21 @@ impl TransientTestBench {
     ///
     /// Propagates simulator non-convergence.
     pub fn spectral_signature(&self, netlist: &Netlist) -> Result<Vec<f64>, AnalysisError> {
-        let y = self.response(netlist)?;
+        self.spectral_signature_with(netlist, &SolveSettings::default())
+    }
+
+    /// [`TransientTestBench::spectral_signature`] under explicit
+    /// [`SolveSettings`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator non-convergence and budget exhaustion.
+    pub fn spectral_signature_with(
+        &self,
+        netlist: &Netlist,
+        settings: &SolveSettings,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let y = self.response_with(netlist, settings)?;
         let sample_hz = 1.0 / self.stimulus.sample_period(self.samples_per_bit);
         let psd = sigproc::spectrum::periodogram(
             &y,
@@ -260,6 +366,21 @@ impl TransientTestBench {
         })
     }
 
+    /// Runs a spectral-signature fault campaign on the resilient engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the golden circuit cannot be simulated.
+    pub fn run_spectral_campaign_with(
+        &self,
+        faults: &[Fault],
+        config: &CampaignConfig,
+    ) -> Result<CampaignReport, AnalysisError> {
+        run_campaign_with(&self.netlist, faults, config, |nl, settings| {
+            self.spectral_signature_with(nl, settings)
+        })
+    }
+
     /// Runs a fault campaign on raw sampled responses (no correlation) —
     /// the simplest possible signature, used as an ablation baseline.
     ///
@@ -272,6 +393,21 @@ impl TransientTestBench {
         threshold: f64,
     ) -> Result<CampaignReport, AnalysisError> {
         run_campaign(&self.netlist, faults, threshold, |nl| self.response(nl))
+    }
+
+    /// Runs a raw-response fault campaign on the resilient engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the golden circuit cannot be simulated.
+    pub fn run_raw_campaign_with(
+        &self,
+        faults: &[Fault],
+        config: &CampaignConfig,
+    ) -> Result<CampaignReport, AnalysisError> {
+        run_campaign_with(&self.netlist, faults, config, |nl, settings| {
+            self.response_with(nl, settings)
+        })
     }
 
     /// Returns a copy of the golden netlist with the stimulus source
@@ -359,10 +495,10 @@ mod tests {
         let report = bench.run_correlation_campaign(&faults, 0.01).unwrap();
         for o in &report.outcomes {
             assert!(
-                o.detection_pct.unwrap_or(100.0) > 25.0,
+                o.figure_pct() > 25.0,
                 "{} weakly detected ({:?})",
                 o.fault.name(),
-                o.detection_pct
+                o.detection_pct()
             );
         }
     }
@@ -412,9 +548,9 @@ mod tests {
             .run_spectral_campaign(&faults, 0.001 * peak)
             .unwrap();
         assert!(
-            report.outcomes[0].detection_pct.unwrap_or(100.0) > 25.0,
+            report.outcomes[0].figure_pct() > 25.0,
             "{:?}",
-            report.outcomes[0].detection_pct
+            report.outcomes[0].detection_pct()
         );
     }
 

@@ -32,7 +32,7 @@ impl DetectionFigure {
             self.entries.push(DetectionEntry {
                 circuit,
                 fault: outcome.fault.name().to_string(),
-                pct: outcome.detection_pct.unwrap_or(100.0),
+                pct: outcome.figure_pct(),
             });
         }
     }

@@ -9,8 +9,9 @@
 //! untouched.
 
 use anasim::netlist::{DeviceId, Netlist};
+use anasim::robust::SolveSettings;
 use anasim::AnalysisError;
-use faultsim::campaign::{run_campaign, CampaignReport};
+use faultsim::campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignReport};
 use faultsim::model::Fault;
 
 use super::bench::TransientTestBench;
@@ -62,6 +63,20 @@ pub fn idd_signature(
     bench.current_response(netlist, supplies)
 }
 
+/// [`idd_signature`] under explicit [`SolveSettings`].
+///
+/// # Errors
+///
+/// Propagates simulator non-convergence and budget exhaustion.
+pub fn idd_signature_with(
+    bench: &TransientTestBench,
+    netlist: &Netlist,
+    supplies: &[DeviceId],
+    settings: &SolveSettings,
+) -> Result<Vec<f64>, AnalysisError> {
+    bench.current_response_with(netlist, supplies, settings)
+}
+
 /// Runs a fault campaign on IDD signatures. The detection threshold is
 /// `threshold_rel` times the golden signature's mean current, so it
 /// scales with the circuit's quiescent draw.
@@ -79,6 +94,30 @@ pub fn run_idd_campaign(
     let threshold = threshold_rel * idd_stats(&golden).mean.max(1e-12);
     run_campaign(bench.netlist(), faults, threshold, |nl| {
         idd_signature(bench, nl, supplies)
+    })
+}
+
+/// Runs an IDD fault campaign on the resilient engine: the relative
+/// threshold is resolved against the golden mean current exactly as in
+/// [`run_idd_campaign`], then `config`'s ladder, budget and worker
+/// settings drive the per-fault extractions (the threshold inside
+/// `config` is ignored).
+///
+/// # Errors
+///
+/// Fails only if the golden circuit cannot be simulated.
+pub fn run_idd_campaign_with(
+    bench: &TransientTestBench,
+    supplies: &[DeviceId],
+    faults: &[Fault],
+    threshold_rel: f64,
+    config: &CampaignConfig,
+) -> Result<CampaignReport, AnalysisError> {
+    let golden = idd_signature(bench, bench.netlist(), supplies)?;
+    let threshold = threshold_rel * idd_stats(&golden).mean.max(1e-12);
+    let config = config.clone().threshold(threshold);
+    run_campaign_with(bench.netlist(), faults, &config, |nl, settings| {
+        idd_signature_with(bench, nl, supplies, settings)
     })
 }
 
@@ -135,7 +174,7 @@ mod tests {
         let report = run_idd_campaign(&c1.bench, &[vdd], &faults, 0.05).unwrap();
         for o in &report.outcomes {
             assert!(
-                o.detection_pct.unwrap_or(100.0) > 60.0,
+                o.figure_pct() > 60.0,
                 "{} under-detected in IDD",
                 o.fault.name()
             );

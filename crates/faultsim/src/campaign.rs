@@ -7,36 +7,247 @@
 //! detection-instance metric (the percentage of signature samples at
 //! which the faulty response deviates detectably from golden — Figure 4
 //! of the paper plots exactly this per faulty circuit).
+//!
+//! # Resilience
+//!
+//! Injected faults regularly produce circuits the solver finds much
+//! harder than the design it was tuned on, so the engine is built to
+//! survive an entire universe without hanging or aborting:
+//!
+//! * every extraction runs under a [`SolveBudget`] (step and wall-clock
+//!   ceiling);
+//! * a failed extraction is retried down a [`SolverRung`] escalation
+//!   ladder of progressively more conservative solver settings;
+//! * each fault ends in a typed [`FaultStatus`] — there is no way for a
+//!   fault to leave the campaign without an outcome;
+//! * faults can be simulated on a configurable number of worker
+//!   threads, with results collected in universe order so reports are
+//!   identical regardless of thread count.
+//!
+//! A fault whose circuit cannot be simulated at all still counts as
+//! *detected* (the paper's hard-fault convention: a chip whose faulty
+//! circuit cannot reach a stable state fails test trivially).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use anasim::mna::take_newton_iterations;
 use anasim::netlist::Netlist;
+use anasim::robust::{escalation_ladder, SolveBudget, SolveSettings, SolverRung};
 use anasim::AnalysisError;
 use sigproc::correlation::detection_instances;
 
 use crate::inject::inject;
 use crate::model::Fault;
 
+/// How one fault's simulation ended.
+///
+/// Every fault in a campaign gets exactly one of these; simulation
+/// failure is an outcome, not an abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultStatus {
+    /// The signature deviated on at least the configured fraction of
+    /// instances.
+    Detected {
+        /// Percentage (0–100) of deviating signature instances.
+        pct: f64,
+    },
+    /// The signature stayed within threshold on too many instances.
+    Undetected {
+        /// Percentage (0–100) of deviating signature instances.
+        pct: f64,
+    },
+    /// Every rung of the escalation ladder failed to converge.
+    /// Counts as detected (the hard-fault convention).
+    SimFailed {
+        /// The error from the last rung attempted.
+        error: AnalysisError,
+        /// How many ladder rungs were tried.
+        rungs_tried: usize,
+    },
+    /// The per-fault resource budget ran out. Counts as detected.
+    BudgetExceeded {
+        /// How many ladder rungs were tried before the budget expired.
+        rungs_tried: usize,
+    },
+    /// The extraction produced a signature of the wrong length; the
+    /// detection metric is undefined. Counts as detected.
+    SignatureMismatch {
+        /// Faulty-signature length.
+        got: usize,
+        /// Golden-signature length.
+        want: usize,
+    },
+}
+
+impl FaultStatus {
+    /// Short stable tag for reports (`"detected"`, `"sim-failed"`, ...).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultStatus::Detected { .. } => "detected",
+            FaultStatus::Undetected { .. } => "undetected",
+            FaultStatus::SimFailed { .. } => "sim-failed",
+            FaultStatus::BudgetExceeded { .. } => "budget-exceeded",
+            FaultStatus::SignatureMismatch { .. } => "signature-mismatch",
+        }
+    }
+}
+
 /// Outcome of one fault's simulation.
 #[derive(Debug, Clone)]
 pub struct FaultOutcome {
     /// The fault that was injected.
     pub fault: Fault,
-    /// The extracted signature, or the analysis error that prevented it.
-    pub signature: Result<Vec<f64>, AnalysisError>,
-    /// Percentage (0–100) of signature instances deviating beyond the
-    /// threshold. `None` if the simulation failed (counted as detected —
-    /// a chip whose faulty circuit cannot reach a stable state fails
-    /// test trivially).
-    pub detection_pct: Option<f64>,
+    /// The extracted signature, when any ladder rung produced one.
+    pub signature: Option<Vec<f64>>,
+    /// How the simulation ended.
+    pub status: FaultStatus,
 }
 
 impl FaultOutcome {
+    /// The measured deviation percentage, if the simulation produced a
+    /// comparable signature.
+    pub fn detection_pct(&self) -> Option<f64> {
+        match self.status {
+            FaultStatus::Detected { pct } | FaultStatus::Undetected { pct } => Some(pct),
+            _ => None,
+        }
+    }
+
+    /// Deviation percentage for the paper's Figure-4 series: failed
+    /// simulations plot as 100 % (the hard-fault convention).
+    pub fn figure_pct(&self) -> f64 {
+        self.detection_pct().unwrap_or(100.0)
+    }
+
     /// True if the fault is detected: either at least `min_pct` of
     /// instances deviate, or the faulty circuit failed to simulate.
     pub fn is_detected(&self, min_pct: f64) -> bool {
-        match self.detection_pct {
+        match self.detection_pct() {
             Some(pct) => pct >= min_pct,
             None => true,
         }
+    }
+}
+
+/// Per-fault solver telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTelemetry {
+    /// Newton iterations spent across every ladder rung for this fault.
+    pub newton_iterations: u64,
+    /// Index of the ladder rung that produced the signature, if any
+    /// (0 = nominal settings).
+    pub rung: Option<usize>,
+    /// Number of ladder rungs attempted.
+    pub rungs_tried: usize,
+    /// Wall-clock time spent on this fault.
+    pub wall: Duration,
+}
+
+/// Aggregate campaign telemetry, surfaced through
+/// [`CampaignReport::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Newton iterations spent on the golden extraction.
+    pub golden_newton_iterations: u64,
+    /// Wall-clock time of the golden extraction.
+    pub golden_wall: Duration,
+    /// One telemetry record per fault, in universe order.
+    pub per_fault: Vec<FaultTelemetry>,
+}
+
+impl CampaignStats {
+    /// Newton iterations summed over every fault (excluding golden).
+    pub fn total_newton_iterations(&self) -> u64 {
+        self.per_fault.iter().map(|t| t.newton_iterations).sum()
+    }
+
+    /// Histogram of successful escalation rungs: `histogram[i]` is the
+    /// number of faults whose signature came from ladder rung `i`.
+    /// Faults that produced no signature are not counted.
+    pub fn rung_histogram(&self) -> Vec<usize> {
+        let max_rung = self.per_fault.iter().filter_map(|t| t.rung).max();
+        let mut hist = vec![0usize; max_rung.map_or(0, |m| m + 1)];
+        for t in &self.per_fault {
+            if let Some(r) = t.rung {
+                hist[r] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Total wall-clock time across golden and every fault. Note this
+    /// sums per-fault times, so under parallel execution it exceeds the
+    /// elapsed campaign time.
+    pub fn total_wall(&self) -> Duration {
+        self.golden_wall + self.per_fault.iter().map(|t| t.wall).sum::<Duration>()
+    }
+}
+
+/// Configuration for [`run_campaign_with`].
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Per-instance deviation threshold for the detection metric.
+    pub threshold: f64,
+    /// Minimum deviation percentage for [`FaultStatus::Detected`]
+    /// (the paper's detection criterion; default 50 %).
+    pub min_detect_pct: f64,
+    /// Worker threads simulating faults (default 1 = serial). Reports
+    /// are identical for any worker count.
+    pub workers: usize,
+    /// Escalation ladder tried in order for each fault. Must not be
+    /// empty.
+    pub ladder: Vec<SolverRung>,
+    /// Resource budget applied to each extraction attempt.
+    pub budget: SolveBudget,
+}
+
+impl CampaignConfig {
+    /// A configuration with the given detection threshold, the default
+    /// escalation ladder, a generous step budget, one worker and the
+    /// 50 % detection criterion.
+    pub fn new(threshold: f64) -> Self {
+        CampaignConfig {
+            threshold,
+            min_detect_pct: 50.0,
+            workers: 1,
+            ladder: escalation_ladder(),
+            budget: SolveBudget::unlimited().steps(5_000_000),
+        }
+    }
+
+    /// Replaces the detection threshold (used when the threshold is
+    /// derived from the golden signature after construction).
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the minimum deviation percentage for `Detected`.
+    pub fn min_detect_pct(mut self, pct: f64) -> Self {
+        self.min_detect_pct = pct;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the escalation ladder.
+    pub fn ladder(mut self, ladder: Vec<SolverRung>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Replaces the per-extraction budget. A wall-clock ceiling makes
+    /// outcomes timing-dependent, which sacrifices report determinism —
+    /// prefer step budgets when byte-stable reports matter.
+    pub fn budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -49,6 +260,8 @@ pub struct CampaignReport {
     pub outcomes: Vec<FaultOutcome>,
     /// The deviation threshold used.
     pub threshold: f64,
+    /// Solver telemetry for the run.
+    pub stats: CampaignStats,
 }
 
 impl CampaignReport {
@@ -69,19 +282,230 @@ impl CampaignReport {
     /// Detection percentages in universe order (failed simulations show
     /// as 100 %), the series plotted in the paper's Figure 4.
     pub fn detection_series(&self) -> Vec<f64> {
-        self.outcomes
-            .iter()
-            .map(|o| o.detection_pct.unwrap_or(100.0))
-            .collect()
+        self.outcomes.iter().map(|o| o.figure_pct()).collect()
+    }
+
+    /// Canonical plain-text rendering of the report.
+    ///
+    /// Contains only deterministic quantities (statuses, percentages,
+    /// rung indices, Newton iteration counts) — never wall-clock times —
+    /// so the text is byte-identical across runs and worker counts as
+    /// long as no wall-clock budget is configured.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign: {} faults, threshold {:.6}, {} golden samples",
+            self.outcomes.len(),
+            self.threshold,
+            self.golden.len()
+        );
+        for (o, t) in self.outcomes.iter().zip(&self.stats.per_fault) {
+            let _ = write!(out, "{}: {}", o.fault.name(), o.status.tag());
+            match &o.status {
+                FaultStatus::Detected { pct } | FaultStatus::Undetected { pct } => {
+                    let _ = write!(out, " {pct:.4}%");
+                }
+                FaultStatus::SimFailed { error, rungs_tried } => {
+                    let _ = write!(out, " after {rungs_tried} rungs: {error}");
+                }
+                FaultStatus::BudgetExceeded { rungs_tried } => {
+                    let _ = write!(out, " after {rungs_tried} rungs");
+                }
+                FaultStatus::SignatureMismatch { got, want } => {
+                    let _ = write!(out, " got {got} want {want}");
+                }
+            }
+            if let Some(r) = t.rung {
+                let _ = write!(out, " [rung {r}]");
+            }
+            let _ = writeln!(out, " [newton {}]", t.newton_iterations);
+        }
+        let _ = writeln!(out, "coverage@50%: {:.4}", self.coverage(50.0));
+        out
     }
 }
 
-/// Runs a fault campaign.
+/// Runs a fault campaign with the resilient engine.
 ///
-/// `extract` simulates a netlist and produces its response signature
-/// (e.g. sampled output waveform or correlation function). The golden
-/// netlist is extracted first; each fault is then injected and extracted,
-/// and deviations beyond `threshold` are counted per instance.
+/// `extract` simulates a netlist under the given [`SolveSettings`] and
+/// produces its response signature (e.g. sampled output waveform or
+/// correlation function). The golden netlist is extracted first at
+/// nominal settings; each fault is then injected and extracted, walking
+/// the configured escalation ladder until a rung converges, the budget
+/// expires, or the ladder is exhausted. Every fault yields a typed
+/// [`FaultStatus`] — per-fault failures never abort the campaign.
+///
+/// With `config.workers > 1`, faults are distributed over that many
+/// threads; outcomes are collected in universe order, so the report is
+/// independent of the worker count.
+///
+/// # Errors
+///
+/// Returns the golden circuit's analysis error if the fault-free
+/// extraction fails, or [`AnalysisError::InvalidParameter`] if the
+/// ladder is empty.
+pub fn run_campaign_with<F>(
+    golden: &Netlist,
+    faults: &[Fault],
+    config: &CampaignConfig,
+    extract: F,
+) -> Result<CampaignReport, AnalysisError>
+where
+    F: Fn(&Netlist, &SolveSettings) -> Result<Vec<f64>, AnalysisError> + Sync,
+{
+    if config.ladder.is_empty() {
+        return Err(AnalysisError::InvalidParameter(
+            "campaign escalation ladder is empty".into(),
+        ));
+    }
+
+    // Golden extraction at nominal settings, same budget as faults.
+    let golden_settings = SolveSettings {
+        rung: SolverRung::nominal(),
+        budget: config.budget,
+    };
+    take_newton_iterations();
+    let golden_start = Instant::now();
+    let golden_sig = extract(golden, &golden_settings)?;
+    let golden_wall = golden_start.elapsed();
+    let golden_newton_iterations = take_newton_iterations();
+
+    let simulate_fault = |fault: &Fault| -> (FaultOutcome, FaultTelemetry) {
+        let faulty = inject(golden, fault);
+        take_newton_iterations();
+        let start = Instant::now();
+
+        let mut rungs_tried = 0usize;
+        let mut last_err: Option<AnalysisError> = None;
+        let mut produced: Option<(usize, Vec<f64>)> = None;
+        let mut out_of_budget = false;
+        for (i, rung) in config.ladder.iter().enumerate() {
+            rungs_tried += 1;
+            let settings = SolveSettings {
+                rung: *rung,
+                budget: config.budget,
+            };
+            match extract(&faulty, &settings) {
+                Ok(sig) => {
+                    produced = Some((i, sig));
+                    break;
+                }
+                Err(err @ AnalysisError::BudgetExceeded { .. }) => {
+                    // The budget bounds total effort per fault: do not
+                    // walk further down the ladder.
+                    last_err = Some(err);
+                    out_of_budget = true;
+                    break;
+                }
+                Err(err) => last_err = Some(err),
+            }
+        }
+
+        let wall = start.elapsed();
+        let newton_iterations = take_newton_iterations();
+
+        let (signature, rung, status) = match produced {
+            Some((i, sig)) => {
+                if sig.len() != golden_sig.len() {
+                    let status = FaultStatus::SignatureMismatch {
+                        got: sig.len(),
+                        want: golden_sig.len(),
+                    };
+                    (Some(sig), Some(i), status)
+                } else {
+                    let pct = detection_instances(&golden_sig, &sig, config.threshold);
+                    let status = if pct >= config.min_detect_pct {
+                        FaultStatus::Detected { pct }
+                    } else {
+                        FaultStatus::Undetected { pct }
+                    };
+                    (Some(sig), Some(i), status)
+                }
+            }
+            None if out_of_budget => (None, None, FaultStatus::BudgetExceeded { rungs_tried }),
+            None => (
+                None,
+                None,
+                FaultStatus::SimFailed {
+                    error: last_err.expect("non-empty ladder records an error"),
+                    rungs_tried,
+                },
+            ),
+        };
+
+        (
+            FaultOutcome {
+                fault: fault.clone(),
+                signature,
+                status,
+            },
+            FaultTelemetry {
+                newton_iterations,
+                rung,
+                rungs_tried,
+                wall,
+            },
+        )
+    };
+
+    let workers = config.workers.max(1).min(faults.len().max(1));
+    let results: Vec<(FaultOutcome, FaultTelemetry)> = if workers <= 1 {
+        faults.iter().map(simulate_fault).collect()
+    } else {
+        // Deterministic parallel execution: an atomic cursor hands out
+        // fault indices, each fault runs entirely on one thread, and
+        // results land in per-index slots so universe order is restored
+        // exactly regardless of scheduling.
+        let slots: Vec<Mutex<Option<(FaultOutcome, FaultTelemetry)>>> =
+            faults.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(fault) = faults.get(i) else { break };
+                    let result = simulate_fault(fault);
+                    *slots[i].lock().expect("slot lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every index was simulated")
+            })
+            .collect()
+    };
+
+    let mut outcomes = Vec::with_capacity(results.len());
+    let mut per_fault = Vec::with_capacity(results.len());
+    for (outcome, telemetry) in results {
+        outcomes.push(outcome);
+        per_fault.push(telemetry);
+    }
+
+    Ok(CampaignReport {
+        golden: golden_sig,
+        outcomes,
+        threshold: config.threshold,
+        stats: CampaignStats {
+            golden_newton_iterations,
+            golden_wall,
+            per_fault,
+        },
+    })
+}
+
+/// Runs a fault campaign with a settings-unaware extractor: one nominal
+/// attempt per fault, serial execution.
+///
+/// This is the simple entry point for extractors that build their own
+/// analysis configuration; [`run_campaign_with`] adds the escalation
+/// ladder, budgets and parallelism.
 ///
 /// # Errors
 ///
@@ -95,32 +519,12 @@ pub fn run_campaign<F>(
     extract: F,
 ) -> Result<CampaignReport, AnalysisError>
 where
-    F: Fn(&Netlist) -> Result<Vec<f64>, AnalysisError>,
+    F: Fn(&Netlist) -> Result<Vec<f64>, AnalysisError> + Sync,
 {
-    let golden_sig = extract(golden)?;
-    let outcomes = faults
-        .iter()
-        .map(|fault| {
-            let faulty = inject(golden, fault);
-            let signature = extract(&faulty);
-            let detection_pct = match &signature {
-                Ok(sig) if sig.len() == golden_sig.len() => {
-                    Some(detection_instances(&golden_sig, sig, threshold))
-                }
-                _ => None,
-            };
-            FaultOutcome {
-                fault: fault.clone(),
-                signature,
-                detection_pct,
-            }
-        })
-        .collect();
-    Ok(CampaignReport {
-        golden: golden_sig,
-        outcomes,
-        threshold,
-    })
+    let config = CampaignConfig::new(threshold)
+        .ladder(vec![SolverRung::nominal()])
+        .budget(SolveBudget::unlimited());
+    run_campaign_with(golden, faults, &config, |nl, _settings| extract(nl))
 }
 
 #[cfg(test)]
@@ -129,6 +533,7 @@ mod tests {
     use crate::model::Fault;
     use anasim::dc::dc_operating_point;
     use anasim::source::SourceWaveform;
+    use anasim::transient::TransientAnalysis;
 
     /// A divider whose mid-node voltage is the (1-sample) signature.
     fn divider_fixture() -> (Netlist, anasim::netlist::NodeId) {
@@ -152,6 +557,9 @@ mod tests {
         assert_eq!(report.outcomes.len(), 2);
         assert_eq!(report.coverage(50.0), 1.0);
         assert_eq!(report.detection_series(), vec![100.0, 100.0]);
+        for o in &report.outcomes {
+            assert!(matches!(o.status, FaultStatus::Detected { .. }));
+        }
     }
 
     #[test]
@@ -166,6 +574,10 @@ mod tests {
         .unwrap();
         assert_eq!(report.coverage(50.0), 0.0);
         assert_eq!(report.detection_series(), vec![0.0]);
+        assert!(matches!(
+            report.outcomes[0].status,
+            FaultStatus::Undetected { .. }
+        ));
     }
 
     #[test]
@@ -184,9 +596,13 @@ mod tests {
             }
         })
         .unwrap();
-        assert!(report.outcomes[0].detection_pct.is_none());
+        assert!(report.outcomes[0].detection_pct().is_none());
         assert!(report.outcomes[0].is_detected(50.0));
         assert_eq!(report.coverage(50.0), 1.0);
+        assert!(matches!(
+            report.outcomes[0].status,
+            FaultStatus::SimFailed { rungs_tried: 1, .. }
+        ));
     }
 
     #[test]
@@ -207,5 +623,196 @@ mod tests {
         .unwrap();
         assert_eq!(report.coverage(50.0), 1.0);
         assert!(report.detection_series().is_empty());
+    }
+
+    #[test]
+    fn empty_ladder_is_rejected() {
+        let (nl, b) = divider_fixture();
+        let config = CampaignConfig::new(0.5).ladder(Vec::new());
+        let err = run_campaign_with(&nl, &[], &config, |n, _| {
+            Ok(vec![dc_operating_point(n)?.voltage(b)])
+        });
+        assert!(matches!(err, Err(AnalysisError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn escalation_ladder_rescues_flaky_extraction() {
+        use std::sync::atomic::AtomicUsize;
+        let (nl, b) = divider_fixture();
+        let faults = vec![Fault::stuck_at_0("sa0", b)];
+        // Fail at nominal settings; succeed on any damped rung. This is
+        // the shape of a fault circuit that only converges under
+        // backward Euler.
+        let calls = AtomicUsize::new(0);
+        let config = CampaignConfig::new(0.5);
+        let report = run_campaign_with(&nl, &faults, &config, |n, settings| {
+            if n.find_device("fault:sa0:V").is_some() {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if settings.rung.is_nominal() {
+                    return Err(AnalysisError::NoConvergence {
+                        time: 0.0,
+                        residual: 1.0,
+                    });
+                }
+            }
+            Ok(vec![dc_operating_point(n)?.voltage(b)])
+        })
+        .unwrap();
+        // Nominal failed, rung 1 succeeded.
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert!(matches!(
+            report.outcomes[0].status,
+            FaultStatus::Detected { .. }
+        ));
+        assert_eq!(report.stats.per_fault[0].rung, Some(1));
+        assert_eq!(report.stats.per_fault[0].rungs_tried, 2);
+        assert_eq!(report.stats.rung_histogram(), vec![0, 1]);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_the_ladder() {
+        let (nl, b) = divider_fixture();
+        let faults = vec![Fault::stuck_at_0("sa0", b)];
+        let config = CampaignConfig::new(0.5);
+        let report = run_campaign_with(&nl, &faults, &config, |n, _| {
+            if n.find_device("fault:sa0:V").is_some() {
+                Err(AnalysisError::BudgetExceeded {
+                    time: 1e-6,
+                    steps: 100,
+                    kind: anasim::BudgetKind::Steps,
+                })
+            } else {
+                Ok(vec![dc_operating_point(n)?.voltage(b)])
+            }
+        })
+        .unwrap();
+        // The ladder stops at the first BudgetExceeded: one rung tried.
+        assert!(matches!(
+            report.outcomes[0].status,
+            FaultStatus::BudgetExceeded { rungs_tried: 1 }
+        ));
+        assert!(report.outcomes[0].is_detected(50.0));
+    }
+
+    #[test]
+    fn signature_length_mismatch_is_typed() {
+        let (nl, b) = divider_fixture();
+        let faults = vec![Fault::stuck_at_0("sa0", b)];
+        let report = run_campaign(&nl, &faults, 0.5, |n| {
+            if n.find_device("fault:sa0:V").is_some() {
+                Ok(vec![0.0, 1.0, 2.0])
+            } else {
+                Ok(vec![dc_operating_point(n)?.voltage(b)])
+            }
+        })
+        .unwrap();
+        assert!(matches!(
+            report.outcomes[0].status,
+            FaultStatus::SignatureMismatch { got: 3, want: 1 }
+        ));
+        assert!(report.outcomes[0].is_detected(50.0));
+        assert_eq!(report.detection_series(), vec![100.0]);
+    }
+
+    /// A transient extraction over an RC circuit: the realistic path the
+    /// campaign engine takes in the experiments.
+    fn rc_fixture() -> (Netlist, Vec<Fault>) {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let c = nl.node("c");
+        nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::step(5.0, 1e-5));
+        nl.resistor("R1", a, b, 10e3);
+        nl.capacitor("C1", b, Netlist::GROUND, 1e-9);
+        nl.resistor("R2", b, c, 10e3);
+        nl.capacitor("C2", c, Netlist::GROUND, 1e-9);
+        let faults = vec![
+            Fault::stuck_at_0("b-sa0", b),
+            Fault::stuck_at_1("b-sa1", b),
+            Fault::stuck_at_0("c-sa0", c),
+            Fault::stuck_at_1("c-sa1", c),
+            Fault::bridge("b-c-br", b, c),
+            Fault::bridge("a-c-br", a, c).with_impedance(1e9),
+        ];
+        (nl, faults)
+    }
+
+    fn transient_extract(
+        nl: &Netlist,
+        settings: &SolveSettings,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let c = nl.find_node("c").expect("node c");
+        let result = TransientAnalysis::new(2e-4, 2e-6)
+            .with_settings(settings)
+            .run(nl)?;
+        let w = result.voltage(c);
+        Ok((0..20).map(|k| w.value_at(k as f64 * 1e-5)).collect())
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_serial() {
+        let (nl, faults) = rc_fixture();
+        let serial = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05).workers(1),
+            transient_extract,
+        )
+        .unwrap();
+        let parallel = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05).workers(4),
+            transient_extract,
+        )
+        .unwrap();
+        assert_eq!(serial.canonical_text(), parallel.canonical_text());
+        // And with more workers than faults.
+        let oversubscribed = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05).workers(32),
+            transient_extract,
+        )
+        .unwrap();
+        assert_eq!(serial.canonical_text(), oversubscribed.canonical_text());
+    }
+
+    #[test]
+    fn telemetry_counts_newton_iterations_per_fault() {
+        let (nl, faults) = rc_fixture();
+        let report = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05),
+            transient_extract,
+        )
+        .unwrap();
+        assert_eq!(report.stats.per_fault.len(), faults.len());
+        assert!(report.stats.golden_newton_iterations > 0);
+        for t in &report.stats.per_fault {
+            assert!(t.newton_iterations > 0, "telemetry missing iterations");
+            assert!(t.rungs_tried >= 1);
+        }
+        assert!(report.stats.total_newton_iterations() > 0);
+        assert!(report.stats.total_wall() > Duration::ZERO);
+    }
+
+    #[test]
+    fn canonical_text_lists_every_fault() {
+        let (nl, faults) = rc_fixture();
+        let report = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05),
+            transient_extract,
+        )
+        .unwrap();
+        let text = report.canonical_text();
+        for fault in &faults {
+            assert!(text.contains(fault.name()), "missing {}", fault.name());
+        }
+        assert!(text.starts_with("campaign: 6 faults"));
+        assert!(text.contains("coverage@50%"));
     }
 }

@@ -69,7 +69,6 @@ impl FaultDictionary {
             .filter_map(|o| {
                 o.signature
                     .as_ref()
-                    .ok()
                     .map(|sig| (o.fault.name().to_string(), sig.clone()))
             })
             .collect();

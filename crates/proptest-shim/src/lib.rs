@@ -187,7 +187,7 @@ pub mod strategy {
             .strip_prefix('[')
             .unwrap_or_else(|| panic!("unsupported string pattern {pattern:?}"));
         let close = rest
-            .find(|c| c == ']')
+            .find(']')
             .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
         let class: Vec<char> = rest[..close].chars().collect();
         let mut alphabet = Vec::new();

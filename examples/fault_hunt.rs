@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example fault_hunt`
 
+use mixsig::faultsim::campaign::CampaignConfig;
 use mixsig::macrolib::process::ProcessParams;
 use mixsig::msbist::transtest::circuits::circuit1;
 
@@ -27,29 +28,27 @@ fn main() {
     let peak = golden.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     println!("golden signature: {} lags, peak |R| = {peak:.3}\n", golden.len());
 
-    // Campaign: every fault simulated and scored by detection instances.
+    // Campaign on the resilient engine: every fault simulated in
+    // parallel under the escalation ladder, scored by detection
+    // instances. The report is identical for any worker count.
+    let config = CampaignConfig::new(0.02 * peak).workers(4);
     let report = circuit
         .bench
-        .run_correlation_campaign(&circuit.faults, 0.02 * peak)
+        .run_correlation_campaign_with(&circuit.faults, &config)
         .expect("campaign runs");
 
-    let mut ranked: Vec<(String, f64)> = report
+    let mut ranked: Vec<(String, f64, &'static str)> = report
         .outcomes
         .iter()
-        .map(|o| {
-            (
-                o.fault.name().to_string(),
-                o.detection_pct.unwrap_or(100.0),
-            )
-        })
+        .map(|o| (o.fault.name().to_string(), o.figure_pct(), o.status.tag()))
         .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("fault ranking (detection instances, % of signature lags):");
-    for (name, pct) in &ranked {
+    for (name, pct, tag) in &ranked {
         let bar: String = std::iter::repeat_n('#', (pct / 2.5) as usize)
             .collect();
-        println!("  {name:<14} {pct:>5.1}%  {bar}");
+        println!("  {name:<14} {pct:>5.1}%  {bar}  [{tag}]");
     }
 
     let coverage = report.coverage(40.0);
@@ -57,4 +56,38 @@ fn main() {
         "\ncoverage at the 40 %-of-instances criterion: {:.0} % of the fault universe",
         coverage * 100.0
     );
+
+    // Solver telemetry: what the campaign cost and whether any fault
+    // needed the escalation ladder.
+    let stats = &report.stats;
+    println!("\nsolver telemetry:");
+    println!(
+        "  golden extraction : {} Newton iterations, {:.0} ms",
+        stats.golden_newton_iterations,
+        stats.golden_wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "  fault extractions : {} Newton iterations, {:.0} ms summed over {} faults",
+        stats.total_newton_iterations(),
+        (stats.total_wall() - stats.golden_wall).as_secs_f64() * 1e3,
+        stats.per_fault.len()
+    );
+    println!(
+        "  escalation rungs  : histogram {:?} (index 0 = nominal solver settings)",
+        stats.rung_histogram()
+    );
+    if let Some((i, t)) = stats
+        .per_fault
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, t)| t.wall)
+    {
+        println!(
+            "  hardest fault     : {} ({} Newton iterations, {:.0} ms, {} rung(s) tried)",
+            report.outcomes[i].fault.name(),
+            t.newton_iterations,
+            t.wall.as_secs_f64() * 1e3,
+            t.rungs_tried
+        );
+    }
 }

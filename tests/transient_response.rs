@@ -29,7 +29,7 @@ fn circuit1_fault_universe_simulates_and_detects() {
     assert_eq!(report.outcomes.len(), 4);
     for o in &report.outcomes {
         assert!(
-            o.detection_pct.unwrap_or(100.0) > 30.0,
+            o.figure_pct() > 30.0,
             "{} under-detected",
             o.fault.name()
         );
