@@ -6,9 +6,12 @@
 //! conductance to ground) and source stepping (ramping all independent
 //! sources from zero).
 
-use crate::mna::{newton_solve, CompanionMode, MnaLayout, NewtonOptions, StampParams};
+use crate::metrics::SolverMetrics;
+use crate::mna::{newton_solve_budgeted, CompanionMode, MnaLayout, NewtonOptions, StampParams};
 use crate::netlist::{DeviceId, Netlist, NodeId};
 use crate::AnalysisError;
+
+use std::time::Instant;
 
 /// A solved operating point.
 #[derive(Debug, Clone)]
@@ -103,11 +106,40 @@ pub fn dc_operating_point_with(
     netlist: &Netlist,
     options: &DcOptions,
 ) -> Result<OperatingPoint, AnalysisError> {
+    dc_operating_point_metered(netlist, options, None)
+}
+
+/// [`dc_operating_point_with`] with an optional [`SolverMetrics`]
+/// handle: Newton iterations and homotopy stages (`dc_gmin_steps`,
+/// `dc_source_steps`) are counted on it, and an `anasim.dc` span is
+/// reported to its recorder on every exit path, success or failure.
+///
+/// # Errors
+///
+/// See [`dc_operating_point`].
+pub fn dc_operating_point_metered(
+    netlist: &Netlist,
+    options: &DcOptions,
+    metrics: Option<&SolverMetrics>,
+) -> Result<OperatingPoint, AnalysisError> {
+    let started = Instant::now();
+    let result = dc_solve(netlist, options, metrics);
+    if let Some(metrics) = metrics {
+        metrics.record_span("anasim.dc", started.elapsed());
+    }
+    result
+}
+
+fn dc_solve(
+    netlist: &Netlist,
+    options: &DcOptions,
+    metrics: Option<&SolverMetrics>,
+) -> Result<OperatingPoint, AnalysisError> {
     let layout = MnaLayout::new(netlist);
     let mut x = vec![0.0; layout.size()];
 
     // 1. Plain Newton.
-    let direct = try_newton(netlist, &layout, options, options.gmin, 1.0, &mut x);
+    let direct = try_newton(netlist, &layout, options, options.gmin, 1.0, metrics, &mut x);
     if direct.is_ok() {
         return Ok(OperatingPoint::new(layout, x));
     }
@@ -119,7 +151,10 @@ pub fn dc_operating_point_with(
         let mut ok = true;
         let mut gmin = 1e-2;
         while gmin >= options.gmin {
-            if let Err(e) = try_newton(netlist, &layout, options, gmin, 1.0, &mut x) {
+            if let Some(metrics) = metrics {
+                metrics.dc_gmin_step();
+            }
+            if let Err(e) = try_newton(netlist, &layout, options, gmin, 1.0, metrics, &mut x) {
                 last_err = e;
                 ok = false;
                 break;
@@ -128,7 +163,7 @@ pub fn dc_operating_point_with(
         }
         if ok {
             // Final solve at the target gmin.
-            if try_newton(netlist, &layout, options, options.gmin, 1.0, &mut x).is_ok() {
+            if try_newton(netlist, &layout, options, options.gmin, 1.0, metrics, &mut x).is_ok() {
                 return Ok(OperatingPoint::new(layout, x));
             }
         }
@@ -139,7 +174,11 @@ pub fn dc_operating_point_with(
     let mut ok = true;
     for step in 1..=20 {
         let scale = step as f64 / 20.0;
-        if let Err(e) = try_newton(netlist, &layout, options, options.gmin, scale, &mut x) {
+        if let Some(metrics) = metrics {
+            metrics.dc_source_step();
+        }
+        if let Err(e) = try_newton(netlist, &layout, options, options.gmin, scale, metrics, &mut x)
+        {
             last_err = e;
             ok = false;
             break;
@@ -157,6 +196,7 @@ fn try_newton(
     options: &DcOptions,
     gmin: f64,
     source_scale: f64,
+    metrics: Option<&SolverMetrics>,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
     let params = StampParams {
@@ -165,7 +205,7 @@ fn try_newton(
         gmin,
         source_scale,
     };
-    newton_solve(netlist, layout, &params, &options.newton, x)
+    newton_solve_budgeted(netlist, layout, &params, &options.newton, None, metrics, x)
 }
 
 #[cfg(test)]

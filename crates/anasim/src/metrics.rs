@@ -1,0 +1,263 @@
+//! Per-session solver metrics.
+//!
+//! A [`SolverMetrics`] handle is owned by whoever runs an analysis (a
+//! campaign worker, a bench experiment, a test) and threaded into the
+//! solvers through [`crate::robust::SolveSettings`]. Counters are
+//! atomics, so one handle can be shared across an analysis that retries
+//! internally; each worker in a parallel campaign gets its *own* handle,
+//! which is what makes per-fault counts exact — there is no process- or
+//! thread-global state to bleed between consecutive analyses.
+//!
+//! An optional [`obs::Recorder`] receives wall-clock spans as they
+//! close (`anasim.dc`, `anasim.transient`, `anasim.ac`). Counters stay
+//! in the atomics until the owner snapshots them, so deterministic
+//! quantities can be emitted in a deterministic order after parallel
+//! work completes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use obs::Recorder;
+
+/// Counter names under which [`SolverSnapshot::emit_to`] publishes to a
+/// recorder, in emission order.
+pub const COUNTER_NAMES: [&str; 6] = [
+    "solver.newton_iterations",
+    "solver.steps_accepted",
+    "solver.steps_rejected",
+    "solver.dt_shrinks",
+    "solver.dc_gmin_steps",
+    "solver.dc_source_steps",
+];
+
+/// Live, thread-safe solver counters plus an optional span recorder.
+#[derive(Default)]
+pub struct SolverMetrics {
+    newton_iterations: AtomicU64,
+    steps_accepted: AtomicU64,
+    steps_rejected: AtomicU64,
+    dt_shrinks: AtomicU64,
+    dc_gmin_steps: AtomicU64,
+    dc_source_steps: AtomicU64,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for SolverMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverMetrics")
+            .field("snapshot", &self.snapshot())
+            .field("has_recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl SolverMetrics {
+    /// Fresh counters with no span recorder.
+    pub fn new() -> Self {
+        SolverMetrics::default()
+    }
+
+    /// Fresh counters whose spans are forwarded to `recorder`.
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        SolverMetrics {
+            recorder: Some(recorder),
+            ..SolverMetrics::default()
+        }
+    }
+
+    /// One Newton iteration performed.
+    #[inline]
+    pub fn newton_iteration(&self) {
+        self.newton_iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One transient timestep accepted.
+    #[inline]
+    pub fn step_accepted(&self) {
+        self.steps_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One transient timestep rejected (non-convergence at this dt).
+    #[inline]
+    pub fn step_rejected(&self) {
+        self.steps_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One dt halving after a rejected step.
+    #[inline]
+    pub fn dt_shrink(&self) {
+        self.dt_shrinks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One gmin-stepping homotopy stage solved during DC.
+    #[inline]
+    pub fn dc_gmin_step(&self) {
+        self.dc_gmin_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One source-stepping homotopy stage solved during DC.
+    #[inline]
+    pub fn dc_source_step(&self) {
+        self.dc_source_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reports a completed analysis span (e.g. `anasim.dc`) to the
+    /// attached recorder, if any.
+    pub fn record_span(&self, name: &str, elapsed: Duration) {
+        if let Some(recorder) = &self.recorder {
+            recorder.span(name, elapsed);
+        }
+    }
+
+    /// The attached span recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> SolverSnapshot {
+        SolverSnapshot {
+            newton_iterations: self.newton_iterations.load(Ordering::Relaxed),
+            steps_accepted: self.steps_accepted.load(Ordering::Relaxed),
+            steps_rejected: self.steps_rejected.load(Ordering::Relaxed),
+            dt_shrinks: self.dt_shrinks.load(Ordering::Relaxed),
+            dc_gmin_steps: self.dc_gmin_steps.load(Ordering::Relaxed),
+            dc_source_steps: self.dc_source_steps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of solver counters; add snapshots to aggregate
+/// across analyses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverSnapshot {
+    /// Newton iterations performed.
+    pub newton_iterations: u64,
+    /// Transient timesteps accepted.
+    pub steps_accepted: u64,
+    /// Transient timesteps rejected.
+    pub steps_rejected: u64,
+    /// dt halvings after rejected steps.
+    pub dt_shrinks: u64,
+    /// gmin homotopy stages solved.
+    pub dc_gmin_steps: u64,
+    /// Source-stepping homotopy stages solved.
+    pub dc_source_steps: u64,
+}
+
+impl SolverSnapshot {
+    /// Publishes each counter to `recorder` under its
+    /// [`COUNTER_NAMES`] name. Zero counters are emitted too, so
+    /// aggregate key sets do not depend on which code paths ran.
+    pub fn emit_to(&self, recorder: &dyn Recorder) {
+        for (name, value) in COUNTER_NAMES.iter().zip(self.as_array()) {
+            recorder.add(name, value);
+        }
+    }
+
+    /// Counter values in [`COUNTER_NAMES`] order.
+    pub fn as_array(&self) -> [u64; 6] {
+        [
+            self.newton_iterations,
+            self.steps_accepted,
+            self.steps_rejected,
+            self.dt_shrinks,
+            self.dc_gmin_steps,
+            self.dc_source_steps,
+        ]
+    }
+}
+
+impl Add for SolverSnapshot {
+    type Output = SolverSnapshot;
+
+    fn add(self, rhs: SolverSnapshot) -> SolverSnapshot {
+        SolverSnapshot {
+            newton_iterations: self.newton_iterations + rhs.newton_iterations,
+            steps_accepted: self.steps_accepted + rhs.steps_accepted,
+            steps_rejected: self.steps_rejected + rhs.steps_rejected,
+            dt_shrinks: self.dt_shrinks + rhs.dt_shrinks,
+            dc_gmin_steps: self.dc_gmin_steps + rhs.dc_gmin_steps,
+            dc_source_steps: self.dc_source_steps + rhs.dc_source_steps,
+        }
+    }
+}
+
+impl AddAssign for SolverSnapshot {
+    fn add_assign(&mut self, rhs: SolverSnapshot) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::AggregatingRecorder;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = SolverMetrics::new();
+        m.newton_iteration();
+        m.newton_iteration();
+        m.step_accepted();
+        m.step_rejected();
+        m.dt_shrink();
+        m.dc_gmin_step();
+        m.dc_source_step();
+        let snap = m.snapshot();
+        assert_eq!(snap.newton_iterations, 2);
+        assert_eq!(snap.steps_accepted, 1);
+        assert_eq!(snap.steps_rejected, 1);
+        assert_eq!(snap.dt_shrinks, 1);
+        assert_eq!(snap.dc_gmin_steps, 1);
+        assert_eq!(snap.dc_source_steps, 1);
+    }
+
+    #[test]
+    fn snapshots_add_fieldwise() {
+        let a = SolverSnapshot {
+            newton_iterations: 10,
+            steps_accepted: 5,
+            ..SolverSnapshot::default()
+        };
+        let b = SolverSnapshot {
+            newton_iterations: 7,
+            dt_shrinks: 2,
+            ..SolverSnapshot::default()
+        };
+        let mut sum = a;
+        sum += b;
+        assert_eq!(sum.newton_iterations, 17);
+        assert_eq!(sum.steps_accepted, 5);
+        assert_eq!(sum.dt_shrinks, 2);
+    }
+
+    #[test]
+    fn emit_publishes_every_counter_even_zeroes() {
+        let rec = AggregatingRecorder::new();
+        let snap = SolverSnapshot {
+            newton_iterations: 3,
+            ..SolverSnapshot::default()
+        };
+        snap.emit_to(&rec);
+        let agg = rec.snapshot();
+        for name in COUNTER_NAMES {
+            assert!(agg.counters.contains_key(name), "{name} missing");
+        }
+        assert_eq!(agg.counters["solver.newton_iterations"], 3);
+        assert_eq!(agg.counters["solver.dt_shrinks"], 0);
+    }
+
+    #[test]
+    fn spans_flow_to_the_attached_recorder() {
+        let rec = Arc::new(AggregatingRecorder::new());
+        let m = SolverMetrics::with_recorder(rec.clone());
+        m.record_span("anasim.dc", Duration::from_millis(2));
+        assert_eq!(rec.snapshot().spans["anasim.dc"].count(), 1);
+        // Without a recorder, spans are silently dropped.
+        SolverMetrics::new().record_span("anasim.dc", Duration::from_millis(1));
+    }
+}

@@ -3,25 +3,10 @@
 
 use crate::dense::{Lu, Matrix};
 use crate::devices::{Device, MosPolarity};
+use crate::metrics::SolverMetrics;
 use crate::netlist::{DeviceId, Netlist, NodeId};
 use crate::robust::BudgetClock;
 use crate::AnalysisError;
-
-use std::cell::Cell;
-
-thread_local! {
-    /// Newton iterations performed on this thread since the last
-    /// [`take_newton_iterations`] call. Campaign engines run each fault
-    /// entirely on one thread, so this gives exact per-fault counts
-    /// without threading a counter through every solver signature.
-    static NEWTON_ITERATIONS: Cell<u64> = const { Cell::new(0) };
-}
-
-/// Returns the number of Newton iterations performed on the calling
-/// thread since the previous call, and resets the counter.
-pub fn take_newton_iterations() -> u64 {
-    NEWTON_ITERATIONS.with(|c| c.replace(0))
-}
 
 /// Mapping from circuit topology to MNA unknown indices.
 ///
@@ -508,14 +493,18 @@ pub fn newton_solve(
     options: &NewtonOptions,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
-    newton_solve_budgeted(netlist, layout, params, options, None, x)
+    newton_solve_budgeted(netlist, layout, params, options, None, None, x)
 }
 
-/// [`newton_solve`] with an optional wall-clock meter.
+/// [`newton_solve`] with an optional wall-clock meter and iteration
+/// counter.
 ///
 /// When `clock` is provided, its wall-clock budget is polled between
 /// Newton iterations so a single stuck timestep cannot outlive the
-/// analysis budget.
+/// analysis budget. When `metrics` is provided, every iteration started
+/// (including iterations of attempts that later fail) is counted on it;
+/// the handle is owned by the caller, so counts cannot bleed between
+/// unrelated analyses the way a thread-global counter would.
 ///
 /// # Errors
 ///
@@ -527,6 +516,7 @@ pub fn newton_solve_budgeted(
     params: &StampParams<'_>,
     options: &NewtonOptions,
     clock: Option<&BudgetClock>,
+    metrics: Option<&SolverMetrics>,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
     let n = layout.size();
@@ -542,7 +532,9 @@ pub fn newton_solve_budgeted(
         if let Some(clock) = clock {
             clock.check_wall(params.time)?;
         }
-        NEWTON_ITERATIONS.with(|c| c.set(c.get() + 1));
+        if let Some(metrics) = metrics {
+            metrics.newton_iteration();
+        }
         stamp_system(netlist, layout, x, params, &mut a, &mut b);
         let lu = Lu::factor(&a)?;
         let x_new = lu.solve(&b);

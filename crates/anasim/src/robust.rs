@@ -16,9 +16,11 @@
 //!   progressively more conservative solver configurations to retry a
 //!   failed extraction with, trading accuracy for stability.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::{AnalysisError, BudgetKind};
+use crate::metrics::SolverMetrics;
 
 /// Default ceiling on attempted timesteps, shared by
 /// [`crate::transient::TransientAnalysis::new`] and
@@ -225,13 +227,25 @@ pub fn escalation_ladder() -> Vec<SolverRung> {
 }
 
 /// A complete per-extraction solver configuration: which ladder rung to
-/// apply and what resource budget to enforce.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// apply, what resource budget to enforce, and where to count solver
+/// work.
+#[derive(Debug, Clone)]
 pub struct SolveSettings {
     /// Solver conservatism recipe.
     pub rung: SolverRung,
     /// Resource ceiling.
     pub budget: SolveBudget,
+    /// Counter handle installed into analyses run under these settings.
+    /// `None` leaves the analyses unmetered.
+    pub metrics: Option<Arc<SolverMetrics>>,
+}
+
+impl SolveSettings {
+    /// `self` with `metrics` installed (builder style).
+    pub fn metrics(mut self, metrics: Arc<SolverMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
 }
 
 impl Default for SolveSettings {
@@ -241,6 +255,7 @@ impl Default for SolveSettings {
         SolveSettings {
             rung: SolverRung::nominal(),
             budget: SolveBudget::unlimited().steps(DEFAULT_MAX_STEPS),
+            metrics: None,
         }
     }
 }

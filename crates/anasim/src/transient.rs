@@ -1,7 +1,8 @@
 //! Transient (time-domain) analysis.
 
-use crate::dc::{dc_operating_point_with, DcOptions};
+use crate::dc::{dc_operating_point_metered, DcOptions};
 use crate::devices::Device;
+use crate::metrics::SolverMetrics;
 use crate::mna::{
     newton_solve_budgeted, CompanionMode, Integrator, MnaLayout, NewtonOptions, ReactiveHistory,
     StampParams,
@@ -10,6 +11,9 @@ use crate::netlist::{DeviceId, Netlist, NodeId};
 use crate::robust::{BudgetClock, SolveBudget, SolveSettings, DEFAULT_MAX_STEPS};
 use crate::waveform::Waveform;
 use crate::AnalysisError;
+
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Breakpoint comparisons use a tolerance relative to the analysis
 /// horizon rather than an absolute epsilon, so behaviour is invariant
@@ -63,6 +67,7 @@ pub struct TransientAnalysis {
     newton: NewtonOptions,
     gmin: f64,
     budget: SolveBudget,
+    metrics: Option<Arc<SolverMetrics>>,
 }
 
 impl TransientAnalysis {
@@ -84,6 +89,7 @@ impl TransientAnalysis {
             newton: NewtonOptions::default(),
             gmin: 1e-12,
             budget: SolveBudget::unlimited().steps(DEFAULT_MAX_STEPS),
+            metrics: None,
         }
     }
 
@@ -126,6 +132,14 @@ impl TransientAnalysis {
         self
     }
 
+    /// Installs a [`SolverMetrics`] handle: Newton iterations, step
+    /// accept/reject counts and dt shrinks are counted on it, and an
+    /// `anasim.transient` span is reported to its recorder per run.
+    pub fn metrics(mut self, metrics: Arc<SolverMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Applies a complete [`SolveSettings`]: the escalation-rung scaling
     /// (timestep, integrator, `gmin`) plus the resource budget.
     ///
@@ -143,6 +157,9 @@ impl TransientAnalysis {
             self.gmin = gmin;
         }
         self.budget = settings.budget;
+        if let Some(metrics) = &settings.metrics {
+            self.metrics = Some(Arc::clone(metrics));
+        }
         self
     }
 
@@ -156,19 +173,30 @@ impl TransientAnalysis {
     /// circuits, or [`AnalysisError::BudgetExceeded`] when the
     /// [`SolveBudget`] runs out of steps or wall-clock time.
     pub fn run(&self, netlist: &Netlist) -> Result<TransientResult, AnalysisError> {
+        let started = Instant::now();
+        let result = self.run_inner(netlist);
+        if let Some(metrics) = &self.metrics {
+            metrics.record_span("anasim.transient", started.elapsed());
+        }
+        result
+    }
+
+    fn run_inner(&self, netlist: &Netlist) -> Result<TransientResult, AnalysisError> {
         let layout = MnaLayout::new(netlist);
         let mut history = ReactiveHistory::new(netlist);
+        let metrics = self.metrics.as_deref();
 
         // --- Initial condition ------------------------------------------
         let mut x = match self.start {
             StartCondition::OperatingPoint => {
-                let op = dc_operating_point_with(
+                let op = dc_operating_point_metered(
                     netlist,
                     &DcOptions {
                         newton: self.newton,
                         gmin: self.gmin,
                         time: 0.0,
                     },
+                    metrics,
                 )?;
                 op.into_solution()
             }
@@ -250,6 +278,7 @@ impl TransientAnalysis {
                     &params,
                     &self.newton,
                     Some(&clock),
+                    metrics,
                     &mut x_try,
                 ) {
                     Ok(()) => break Some((x_try, method, dt_try)),
@@ -257,6 +286,10 @@ impl TransientAnalysis {
                         // Each halving retry is a fresh attempted step as
                         // far as the budget is concerned.
                         clock.charge_step(t)?;
+                        if let Some(metrics) = metrics {
+                            metrics.step_rejected();
+                            metrics.dt_shrink();
+                        }
                         dt_try /= 2.0;
                     }
                     Err(e) => return Err(e),
@@ -270,6 +303,9 @@ impl TransientAnalysis {
             };
 
             t += dt_used;
+            if let Some(metrics) = metrics {
+                metrics.step_accepted();
+            }
             update_history(netlist, &layout, &x_new, method, dt_used, &mut history);
             x = x_new;
             result.time.push(t);
@@ -449,6 +485,7 @@ pub struct TransientSession {
     gmin: f64,
     /// Damp the first step after a source rewrite or session start.
     post_discontinuity: bool,
+    metrics: Option<Arc<SolverMetrics>>,
 }
 
 impl TransientSession {
@@ -467,13 +504,14 @@ impl TransientSession {
         let layout = MnaLayout::new(netlist);
         let newton = NewtonOptions::default();
         let gmin = 1e-12;
-        let op = dc_operating_point_with(
+        let op = dc_operating_point_metered(
             netlist,
             &DcOptions {
                 newton,
                 gmin,
                 time: 0.0,
             },
+            None,
         )?;
         let x = op.into_solution();
         let mut history = ReactiveHistory::new(netlist);
@@ -490,7 +528,15 @@ impl TransientSession {
             newton,
             gmin,
             post_discontinuity: true,
+            metrics: None,
         })
+    }
+
+    /// Installs a [`SolverMetrics`] handle counting the session's Newton
+    /// iterations and step accept/reject totals.
+    pub fn with_metrics(mut self, metrics: Arc<SolverMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Present simulation time, seconds.
@@ -606,10 +652,14 @@ impl TransientSession {
                     &params,
                     &self.newton,
                     None,
+                    self.metrics.as_deref(),
                     &mut x_try,
                 ) {
                     Ok(()) => {
                         self.t += dt_try;
+                        if let Some(metrics) = &self.metrics {
+                            metrics.step_accepted();
+                        }
                         update_history(
                             &self.netlist,
                             &self.layout,
@@ -623,6 +673,10 @@ impl TransientSession {
                         break;
                     }
                     Err(AnalysisError::NoConvergence { .. }) if dt_try / 2.0 >= self.min_dt => {
+                        if let Some(metrics) = &self.metrics {
+                            metrics.step_rejected();
+                            metrics.dt_shrink();
+                        }
                         dt_try /= 2.0;
                     }
                     Err(e) => return Err(e),
@@ -933,6 +987,7 @@ mod tests {
                 gmin: Some(1e-9),
             },
             budget: SolveBudget::unlimited().steps(123),
+            metrics: None,
         };
         let tuned = base.clone().with_settings(&settings);
         assert!((tuned.dt - 0.5e-6).abs() < 1e-18);
@@ -945,5 +1000,53 @@ mod tests {
         let nominal = base.clone().with_settings(&SolveSettings::default());
         assert_eq!(nominal.dt, base.dt);
         assert_eq!(nominal.integrator, base.integrator);
+    }
+
+    #[test]
+    fn metrics_count_steps_and_newton_iterations() {
+        use crate::metrics::SolverMetrics;
+        use crate::robust::SolveSettings;
+        use std::sync::Arc;
+
+        let (nl, _) = rc_circuit(1e3, 1e-6);
+        let metrics = Arc::new(SolverMetrics::new());
+        let settings = SolveSettings::default().metrics(Arc::clone(&metrics));
+        TransientAnalysis::new(1e-3, 10e-6)
+            .with_settings(&settings)
+            .run(&nl)
+            .unwrap();
+        let snap = metrics.snapshot();
+        // 1 ms horizon at 10 us nominal dt: ~100 accepted steps, each
+        // needing at least one Newton iteration, plus the DC start.
+        assert!(snap.steps_accepted >= 100, "accepted {snap:?}");
+        assert!(snap.newton_iterations > snap.steps_accepted);
+        assert_eq!(snap.steps_rejected, 0);
+
+        // A second run on a fresh handle sees only its own work — there
+        // is no cross-analysis bleed-through.
+        let fresh = Arc::new(SolverMetrics::new());
+        TransientAnalysis::new(1e-4, 10e-6)
+            .metrics(Arc::clone(&fresh))
+            .run(&nl)
+            .unwrap();
+        assert!(fresh.snapshot().steps_accepted < snap.steps_accepted);
+    }
+
+    #[test]
+    fn metrics_record_transient_and_dc_spans() {
+        use crate::metrics::SolverMetrics;
+        use obs::AggregatingRecorder;
+        use std::sync::Arc;
+
+        let (nl, _) = rc_circuit(1e3, 1e-6);
+        let recorder = Arc::new(AggregatingRecorder::new());
+        let metrics = Arc::new(SolverMetrics::with_recorder(recorder.clone()));
+        TransientAnalysis::new(1e-4, 10e-6)
+            .metrics(metrics)
+            .run(&nl)
+            .unwrap();
+        let agg = recorder.snapshot();
+        assert_eq!(agg.spans["anasim.transient"].count(), 1);
+        assert_eq!(agg.spans["anasim.dc"].count(), 1);
     }
 }

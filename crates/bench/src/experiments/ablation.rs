@@ -85,6 +85,8 @@ pub struct SignatureAblation {
     /// Detection percentages per fault with the power-spectrum
     /// signature.
     pub spectral: Vec<(String, f64)>,
+    /// Solver telemetry aggregated over the three campaigns.
+    pub solver: super::e6::SolverSummary,
 }
 
 impl SignatureAblation {
@@ -102,13 +104,17 @@ impl SignatureAblation {
     }
 }
 
+/// Runs the signature ablation with the default worker count.
+pub fn signature_kind() -> SignatureAblation {
+    signature_kind_with(super::e6::E6_WORKERS)
+}
+
 /// Runs the signature ablation on circuit 1's full fault universe,
 /// using the resilient campaign engine so every fault yields a typed
 /// outcome even when an extraction fails at nominal solver settings.
-pub fn signature_kind() -> SignatureAblation {
+pub fn signature_kind_with(workers: usize) -> SignatureAblation {
     use faultsim::campaign::CampaignConfig;
     let c1 = circuit1(&ProcessParams::nominal());
-    let workers = 4;
     let raw_report = c1
         .bench
         .run_raw_campaign_with(&c1.faults, &CampaignConfig::new(0.1).workers(workers))
@@ -136,10 +142,15 @@ pub fn signature_kind() -> SignatureAblation {
             .map(|o| (o.fault.name().to_string(), o.figure_pct()))
             .collect()
     };
+    let mut solver = super::e6::SolverSummary::default();
+    solver.absorb(&raw_report);
+    solver.absorb(&cor_report);
+    solver.absorb(&spec_report);
     SignatureAblation {
         raw: series(&raw_report),
         correlation: series(&cor_report),
         spectral: series(&spec_report),
+        solver,
     }
 }
 
@@ -225,21 +236,49 @@ pub struct AblationReport {
     pub overhead: OverheadAblation,
 }
 
+impl AblationReport {
+    /// Renders the report as an `ablation` [`obs::Section`]: the
+    /// integration-rule errors, the three coverage figures, the
+    /// overhead numbers, plus the solver telemetry of the signature
+    /// campaigns.
+    pub fn to_section(&self) -> obs::Section {
+        let mut section = self.signature.solver.to_section("ablation");
+        let (raw_cov, cor_cov, spec_cov) = self.signature.coverage(40.0);
+        section
+            .counter("gross_faults", self.overhead.catches.len() as u64)
+            .counter(
+                "gross_faults_caught",
+                self.overhead.catches.iter().filter(|(_, c)| *c).count() as u64,
+            )
+            .value(
+                "backward_euler_err_mv",
+                self.integration.backward_euler_err * 1e3,
+            )
+            .value("trapezoidal_err_mv", self.integration.trapezoidal_err * 1e3)
+            .value("raw_coverage_pct", raw_cov * 100.0)
+            .value("correlation_coverage_pct", cor_cov * 100.0)
+            .value("spectral_coverage_pct", spec_cov * 100.0)
+            .value("catch_rate_pct", self.overhead.catch_rate() * 100.0);
+        section
+    }
+}
+
 impl fmt::Display for AblationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Ablation 1 — integration rule on the SC integrator")?;
-        writeln!(
-            f,
-            "backward Euler: worst cycle error {:.1} mV ({} steps)",
-            self.integration.backward_euler_err * 1e3,
-            self.integration.backward_euler_steps
-        )?;
-        writeln!(
-            f,
-            "trapezoidal   : worst cycle error {:.1} mV ({} steps)",
-            self.integration.trapezoidal_err * 1e3,
-            self.integration.trapezoidal_steps
-        )?;
+        let mut rules = obs::Table::new(&["rule", "worst cycle error (mV)", "steps"])
+            .align(&[obs::Align::Left, obs::Align::Right, obs::Align::Right]);
+        rules.row(&[
+            "backward Euler".into(),
+            format!("{:.1}", self.integration.backward_euler_err * 1e3),
+            self.integration.backward_euler_steps.to_string(),
+        ]);
+        rules.row(&[
+            "trapezoidal".into(),
+            format!("{:.1}", self.integration.trapezoidal_err * 1e3),
+            self.integration.trapezoidal_steps.to_string(),
+        ]);
+        write!(f, "{}", rules.render())?;
         let (raw_cov, cor_cov, spec_cov) = self.signature.coverage(40.0);
         writeln!(f, "\nAblation 2 — signature kind on circuit 1 (16 faults)")?;
         writeln!(
@@ -248,6 +287,12 @@ impl fmt::Display for AblationReport {
             raw_cov * 100.0,
             cor_cov * 100.0,
             spec_cov * 100.0
+        )?;
+        writeln!(
+            f,
+            "campaign cost: {} Newton iterations, rung histogram {:?}",
+            self.signature.solver.newton_iterations(),
+            self.signature.solver.rung_histogram
         )?;
         writeln!(f, "\nAblation 3 — BIST overhead vs gross-fault catches")?;
         writeln!(
@@ -258,9 +303,14 @@ impl fmt::Display for AblationReport {
             self.overhead.budget.test_total(),
             self.overhead.budget.overhead_fraction() * 100.0
         )?;
+        let mut catches = obs::Table::new(&["gross fault", "quick tests"]);
         for (name, caught) in &self.overhead.catches {
-            writeln!(f, "  {name}: {}", if *caught { "caught" } else { "MISSED" })?;
+            catches.row(&[
+                name.clone(),
+                if *caught { "caught" } else { "MISSED" }.into(),
+            ]);
         }
+        write!(f, "{}", catches.render())?;
         writeln!(
             f,
             "gross-fault catch rate: {:.0} %",
@@ -269,11 +319,17 @@ impl fmt::Display for AblationReport {
     }
 }
 
-/// Runs all three ablations.
+/// Runs all three ablations with the default worker count.
 pub fn run() -> AblationReport {
+    run_with(super::e6::E6_WORKERS)
+}
+
+/// Runs all three ablations, the signature campaigns on `workers`
+/// threads.
+pub fn run_with(workers: usize) -> AblationReport {
     AblationReport {
         integration: integration_rule(50e-9),
-        signature: signature_kind(),
+        signature: signature_kind_with(workers),
         overhead: bist_overhead(),
     }
 }

@@ -57,6 +57,20 @@ impl E1Report {
             })
             .fold(0.0, f64::max)
     }
+
+    /// Renders the report as an `e1` [`obs::Section`].
+    pub fn to_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("e1");
+        section
+            .counter("levels", self.rows.len() as u64)
+            .counter(
+                "simulated",
+                self.rows.iter().filter(|r| r.measured_ms.is_some()).count() as u64,
+            )
+            .counter("monotone_decreasing", u64::from(self.monotone_decreasing()))
+            .value("worst_deviation_ms", self.worst_deviation_ms());
+        section
+    }
 }
 
 impl fmt::Display for E1Report {

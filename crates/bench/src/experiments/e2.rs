@@ -44,6 +44,16 @@ impl E2Report {
     pub fn masked_deviations(&self) -> usize {
         count_differences(&self.golden.codes, &self.masked.codes)
     }
+
+    /// Renders the report as an `e2` [`obs::Section`].
+    pub fn to_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("e2");
+        section
+            .counter("slots", self.golden.codes.len() as u64)
+            .counter("visible_deviations", self.visible_deviations() as u64)
+            .counter("masked_deviations", self.masked_deviations() as u64);
+        section
+    }
 }
 
 fn count_differences(a: &[u64], b: &[u64]) -> usize {

@@ -39,6 +39,19 @@ impl E3Report {
             && (self.fall_time_per_code - 10e-6).abs() < 2e-6
             && (self.volts_per_code - 0.010).abs() < 1e-3
     }
+
+    /// Renders the report as an `e3` [`obs::Section`].
+    pub fn to_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("e3");
+        section
+            .counter("counter_clocks", self.counter_clocks)
+            .counter("fsm_clocks", self.fsm_clocks)
+            .counter("passed", u64::from(self.passed()))
+            .value("max_conversion_time_ms", self.max_conversion_time * 1e3)
+            .value("fall_time_per_code_us", self.fall_time_per_code * 1e6)
+            .value("volts_per_code_mv", self.volts_per_code * 1e3);
+        section
+    }
 }
 
 impl fmt::Display for E3Report {

@@ -39,6 +39,19 @@ impl E4Report {
     pub fn all_passed(&self) -> bool {
         self.pass_count() == self.dies.len()
     }
+
+    /// Renders the report as an `e4` [`obs::Section`].
+    pub fn to_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("e4");
+        section
+            .counter("dies", self.dies.len() as u64)
+            .counter("passed", self.pass_count() as u64)
+            .value(
+                "pass_rate_pct",
+                100.0 * self.pass_count() as f64 / self.dies.len().max(1) as f64,
+            );
+        section
+    }
 }
 
 impl fmt::Display for E4Report {

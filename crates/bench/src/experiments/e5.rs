@@ -46,6 +46,23 @@ impl E5Report {
         self.charac.dnl_series()
     }
 
+    /// Renders the report as an `e5` [`obs::Section`].
+    pub fn to_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("e5");
+        section
+            .counter("offset_ok", u64::from(self.spec.offset_ok))
+            .counter("gain_ok", u64::from(self.spec.gain_ok))
+            .counter("inl_ok", u64::from(self.spec.inl_ok))
+            .counter("dnl_ok", u64::from(self.spec.dnl_ok))
+            .value("offset_lsb", self.charac.offset_lsb)
+            .value("gain_error_lsb", self.charac.gain_error_lsb)
+            .value("max_inl_lsb", self.charac.max_inl_lsb())
+            .value("max_dnl_lsb", self.charac.max_dnl_lsb())
+            .value("histogram_max_dnl_lsb", self.histogram.max_dnl_lsb())
+            .value("method_disagreement_lsb", self.method_disagreement_lsb());
+        section
+    }
+
     /// ASCII rendering of Figure 2 (DNL vs code).
     pub fn figure2_ascii(&self, width: usize) -> String {
         let mut out = String::new();

@@ -9,8 +9,10 @@
 
 use std::fmt;
 
-use faultsim::campaign::{CampaignConfig, CampaignStats};
+use anasim::metrics::SolverSnapshot;
+use faultsim::campaign::{CampaignConfig, CampaignReport};
 use macrolib::process::ProcessParams;
+use obs::{Histogram, Section};
 use msbist::transtest::circuits::{circuit1, circuit2, circuit3, ExampleCircuit};
 use msbist::transtest::detect::DetectionFigure;
 use msbist::transtest::idd::run_idd_campaign_with;
@@ -25,19 +27,39 @@ pub const RELATIVE_THRESHOLD: f64 = 0.02;
 /// any worker count, so this only affects wall-clock time.
 pub const E6_WORKERS: usize = 4;
 
-/// Aggregated solver telemetry over every campaign E6 runs.
+/// Aggregated solver and detection telemetry over every campaign E6
+/// runs.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolverSummary {
-    /// Newton iterations across golden and fault extractions.
-    pub newton_iterations: u64,
+    /// Solver counters summed across golden and fault extractions.
+    pub solver: SolverSnapshot,
     /// Histogram of the escalation rung each successful extraction
     /// settled on (index 0 = nominal solver settings).
     pub rung_histogram: Vec<usize>,
+    /// Faults simulated across all campaigns.
+    pub faults: u64,
+    /// Faults with a non-`Undetected` outcome.
+    pub detected: u64,
+    /// Golden-extraction wall times, one sample per campaign (ms).
+    pub golden_wall: Histogram,
+    /// Per-fault wall times across all campaigns (ms).
+    pub fault_wall: Histogram,
 }
 
 impl SolverSummary {
-    fn absorb(&mut self, stats: &CampaignStats) {
-        self.newton_iterations += stats.total_newton_iterations();
+    /// Newton iterations across golden and fault extractions.
+    pub fn newton_iterations(&self) -> u64 {
+        self.solver.newton_iterations
+    }
+
+    /// Folds one campaign report into the summary.
+    pub fn absorb(&mut self, report: &CampaignReport) {
+        let stats = &report.stats;
+        self.solver += stats.total_solver();
+        self.faults += report.outcomes.len() as u64;
+        self.detected += report.detected_count() as u64;
+        self.golden_wall.record(stats.golden_wall.as_secs_f64() * 1e3);
+        self.fault_wall.merge(&stats.fault_wall_ms());
         let h = stats.rung_histogram();
         if self.rung_histogram.len() < h.len() {
             self.rung_histogram.resize(h.len(), 0);
@@ -45,6 +67,40 @@ impl SolverSummary {
         for (i, n) in h.iter().enumerate() {
             self.rung_histogram[i] += n;
         }
+    }
+
+    /// Renders the summary as a [`Section`] carrying the headline keys
+    /// ([`obs::RunReport`] summaries look for `coverage`, `faults`,
+    /// `solver.*` counters, `escalation_rungs` and the campaign
+    /// timings).
+    pub fn to_section(&self, name: &str) -> Section {
+        let mut section = Section::new(name);
+        section
+            .counter("faults", self.faults)
+            .counter("detected", self.detected)
+            .value(
+                "coverage",
+                if self.faults == 0 {
+                    100.0
+                } else {
+                    100.0 * self.detected as f64 / self.faults as f64
+                },
+            );
+        for (counter, value) in anasim::metrics::COUNTER_NAMES.iter().zip(self.solver.as_array())
+        {
+            section.counter(counter, value);
+        }
+        section.histogram(
+            "escalation_rungs",
+            self.rung_histogram.iter().map(|&n| n as u64).collect(),
+        );
+        section
+            .timings
+            .insert("campaign.golden".to_owned(), self.golden_wall.clone());
+        section
+            .timings
+            .insert("campaign.fault".to_owned(), self.fault_wall.clone());
+        section
     }
 }
 
@@ -67,6 +123,19 @@ impl E6Report {
     /// method).
     pub fn correlation_floor(&self, circuit: u8) -> Option<f64> {
         self.correlation.floor(circuit)
+    }
+
+    /// Renders the report as an `e6` [`Section`]: detection coverage,
+    /// solver counters, rung histogram and campaign timings, plus the
+    /// per-circuit correlation floors.
+    pub fn to_section(&self) -> Section {
+        let mut section = self.solver.to_section("e6");
+        for c in [1u8, 2, 3] {
+            if let Some(floor) = self.correlation.floor(c) {
+                section.value(&format!("circuit{c}_floor_pct"), floor);
+            }
+        }
+        section
     }
 }
 
@@ -92,7 +161,8 @@ impl fmt::Display for E6Report {
         writeln!(
             f,
             "solver: {} Newton iterations, escalation-rung histogram {:?}",
-            self.solver.newton_iterations, self.solver.rung_histogram
+            self.solver.newton_iterations(),
+            self.solver.rung_histogram
         )?;
         Ok(())
     }
@@ -104,18 +174,19 @@ fn correlation_campaign(
     figure: &mut DetectionFigure,
     solver: &mut SolverSummary,
     circuit: &ExampleCircuit,
+    workers: usize,
 ) {
     let golden = circuit
         .bench
         .correlation_signature(circuit.bench.netlist())
         .expect("golden circuit must simulate");
     let peak = golden.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-    let config = CampaignConfig::new(RELATIVE_THRESHOLD * peak).workers(E6_WORKERS);
+    let config = CampaignConfig::new(RELATIVE_THRESHOLD * peak).workers(workers);
     let report = circuit
         .bench
         .run_correlation_campaign_with(&circuit.faults, &config)
         .expect("golden circuit must simulate");
-    solver.absorb(&report.stats);
+    solver.absorb(&report);
     figure.add_campaign(circuit.number, &report);
 }
 
@@ -159,8 +230,9 @@ fn idd_campaign(
     figure: &mut DetectionFigure,
     solver: &mut SolverSummary,
     circuit: &ExampleCircuit,
+    workers: usize,
 ) {
-    let config = CampaignConfig::new(0.0).workers(E6_WORKERS);
+    let config = CampaignConfig::new(0.0).workers(workers);
     let report = run_idd_campaign_with(
         &circuit.bench,
         &circuit.vdd_sources,
@@ -169,7 +241,7 @@ fn idd_campaign(
         &config,
     )
     .expect("golden circuit must simulate");
-    solver.absorb(&report.stats);
+    solver.absorb(&report);
     figure.add_campaign(circuit.number, &report);
 }
 
@@ -182,8 +254,16 @@ fn stimulus_levels(circuit: &ExampleCircuit) -> Vec<f64> {
         .collect()
 }
 
-/// Runs E6 across all three example circuits.
+/// Runs E6 across all three example circuits with the default worker
+/// count.
 pub fn run() -> E6Report {
+    run_with(E6_WORKERS)
+}
+
+/// Runs E6 across all three example circuits on `workers` threads. The
+/// report (and its canonical metrics) is identical for any worker
+/// count.
+pub fn run_with(workers: usize) -> E6Report {
     let process = ProcessParams::nominal();
     let c1 = circuit1(&process);
     let c2 = circuit2(&process);
@@ -191,18 +271,18 @@ pub fn run() -> E6Report {
 
     let mut solver = SolverSummary::default();
     let mut correlation = DetectionFigure::new();
-    correlation_campaign(&mut correlation, &mut solver, &c1);
-    correlation_campaign(&mut correlation, &mut solver, &c2);
-    correlation_campaign(&mut correlation, &mut solver, &c3);
+    correlation_campaign(&mut correlation, &mut solver, &c1, workers);
+    correlation_campaign(&mut correlation, &mut solver, &c2, workers);
+    correlation_campaign(&mut correlation, &mut solver, &c3, workers);
 
     let mut impulse = DetectionFigure::new();
     impulse_campaign(&mut impulse, &c2);
     impulse_campaign(&mut impulse, &c3);
 
     let mut idd = DetectionFigure::new();
-    idd_campaign(&mut idd, &mut solver, &c1);
-    idd_campaign(&mut idd, &mut solver, &c2);
-    idd_campaign(&mut idd, &mut solver, &c3);
+    idd_campaign(&mut idd, &mut solver, &c1, workers);
+    idd_campaign(&mut idd, &mut solver, &c2, workers);
+    idd_campaign(&mut idd, &mut solver, &c3, workers);
 
     E6Report {
         correlation,
@@ -213,12 +293,17 @@ pub fn run() -> E6Report {
 }
 
 /// Runs only circuit 1's correlation campaign (the cheap part, used by
-/// the Criterion bench).
+/// the Criterion bench and the CI metrics smoke test).
 pub fn run_circuit1_only() -> E6Report {
+    run_circuit1_only_with(E6_WORKERS)
+}
+
+/// [`run_circuit1_only`] on `workers` threads.
+pub fn run_circuit1_only_with(workers: usize) -> E6Report {
     let c1 = circuit1(&ProcessParams::nominal());
     let mut solver = SolverSummary::default();
     let mut correlation = DetectionFigure::new();
-    correlation_campaign(&mut correlation, &mut solver, &c1);
+    correlation_campaign(&mut correlation, &mut solver, &c1, workers);
     E6Report {
         correlation,
         impulse: DetectionFigure::new(),
@@ -230,6 +315,28 @@ pub fn run_circuit1_only() -> E6Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_metrics_are_byte_identical_across_worker_counts() {
+        let serial = run_circuit1_only_with(1);
+        let parallel = run_circuit1_only_with(4);
+        let canonical = |r: &E6Report| {
+            let mut report = obs::RunReport::new();
+            report.push(r.to_section());
+            report.canonical_json_string()
+        };
+        assert_eq!(canonical(&serial), canonical(&parallel));
+        // The canonical report carries real telemetry, not just zeros.
+        let parsed = obs::json::parse(&canonical(&serial)).unwrap();
+        let summary = parsed.get("summary").unwrap();
+        assert!(summary.get("coverage").and_then(obs::json::JsonValue::as_f64) > Some(0.0));
+        assert!(
+            summary
+                .get("newton_iterations")
+                .and_then(obs::json::JsonValue::as_f64)
+                > Some(0.0)
+        );
+    }
 
     #[test]
     fn circuit1_faults_are_broadly_detected() {

@@ -54,6 +54,17 @@ impl E7Report {
             .map(|p| p.clean_db - p.leaky_db)
             .fold(0.0, f64::max)
     }
+
+    /// Renders the report as an `e7` [`obs::Section`].
+    pub fn to_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("e7");
+        section
+            .counter("osr_points", self.points.len() as u64)
+            .value("db_per_octave", self.db_per_octave())
+            .value("worst_leak_penalty_db", self.worst_leak_penalty_db())
+            .value("leak", self.leak);
+        section
+    }
 }
 
 impl fmt::Display for E7Report {

@@ -21,6 +21,21 @@ pub struct E8Report {
     pub loose: YieldReport,
 }
 
+impl E8Report {
+    /// Renders the report as an `e8` [`obs::Section`].
+    pub fn to_section(&self) -> obs::Section {
+        let mut section = obs::Section::new("e8");
+        for (tag, r) in [("typical", &self.typical), ("loose", &self.loose)] {
+            section
+                .counter(&format!("{tag}_tested"), r.tested as u64)
+                .value(&format!("{tag}_quick_yield_pct"), r.quick_yield() * 100.0)
+                .value(&format!("{tag}_full_yield_pct"), r.full_yield() * 100.0)
+                .value(&format!("{tag}_escape_rate_pct"), r.escape_rate() * 100.0);
+        }
+        section
+    }
+}
+
 impl fmt::Display for E8Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "E8 — batch yield analysis (extension)")?;

@@ -1,58 +1,230 @@
 //! The `experiments` binary: regenerates every table and figure of the
 //! paper and prints paper-vs-measured reports.
 //!
-//! Usage: `experiments [e1|e2|e3|e4|e5|e6|e7|ablation|all]`
+//! Usage:
+//!
+//! ```text
+//! experiments [e1|e2|e3|e4|e5|e6|e6c1|e7|e8|ablation|all]
+//!             [--workers N] [--metrics-json PATH] [--canonical-metrics]
+//! experiments check-report PATH
+//! ```
+//!
+//! With `--metrics-json` the run also writes a machine-readable
+//! [`obs::RunReport`] (schema `mixsig.run-report/1`) covering every
+//! experiment that ran: detection coverage, solver counters, the
+//! escalation-rung histogram and wall-clock percentiles.
+//! `--canonical-metrics` zeroes the wall-clock milliseconds (keeping
+//! sample counts) so the bytes are identical for any `--workers` value.
+//! `check-report` validates a previously written report (the CI smoke
+//! test).
 
 use std::env;
+use std::fs;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use msbist_bench::experiments;
+use obs::json::JsonValue;
+use obs::{RunReport, Section};
 
 fn main() -> ExitCode {
-    let which = env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let mut ran = false;
-    let want = |tag: &str| which == tag || which == "all";
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check-report") {
+        return match args.get(1) {
+            Some(path) => check_report(path),
+            None => {
+                eprintln!("usage: experiments check-report PATH");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
-    if want("e1") {
-        ran = true;
-        println!("{}\n", experiments::e1::run(4e-6));
+    let mut which: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut canonical = false;
+    let mut workers = experiments::e6::E6_WORKERS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics-json" => match it.next() {
+                Some(path) => metrics_json = Some(path.clone()),
+                None => return usage_error("--metrics-json needs a path"),
+            },
+            "--canonical-metrics" => canonical = true,
+            "--workers" => match it.next().and_then(|w| w.parse::<usize>().ok()) {
+                Some(w) if w >= 1 => workers = w,
+                _ => return usage_error("--workers needs a positive integer"),
+            },
+            tag if !tag.starts_with('-') && which.is_none() => which = Some(tag.to_owned()),
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
     }
-    if want("e2") {
-        ran = true;
-        println!("{}\n", experiments::e2::run(0.05));
-    }
-    if want("e3") {
-        ran = true;
-        println!("{}\n", experiments::e3::run());
-    }
-    if want("e4") {
-        ran = true;
-        println!("{}\n", experiments::e4::run(10, 1996));
-    }
-    if want("e5") {
-        ran = true;
-        println!("{}\n", experiments::e5::run(100));
-    }
-    if want("e6") {
-        ran = true;
-        println!("{}\n", experiments::e6::run());
-    }
-    if want("e7") {
-        ran = true;
-        println!("{}\n", experiments::e7::run(0.1));
-    }
-    if want("e8") {
-        ran = true;
-        println!("{}\n", experiments::e8::run(50, 1996));
-    }
-    if want("ablation") {
-        ran = true;
-        println!("{}\n", experiments::ablation::run());
+    let which = which.unwrap_or_else(|| "all".to_owned());
+
+    let mut report = RunReport::new();
+    let mut ran = false;
+    {
+        // Each experiment prints its human report and contributes one
+        // section (timed under `bench.<experiment>`) to the run report.
+        let mut run_one = |name: &str, run: &dyn Fn(usize) -> (String, Section)| {
+            ran = true;
+            let started = Instant::now();
+            let (text, mut section) = run(workers);
+            section.timing_ms(
+                &format!("bench.{name}"),
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+            println!("{text}\n");
+            report.push(section);
+        };
+        let want = |tag: &str| which == tag || which == "all";
+
+        if want("e1") {
+            run_one("e1", &|_| {
+                let r = experiments::e1::run(4e-6);
+                (r.to_string(), r.to_section())
+            });
+        }
+        if want("e2") {
+            run_one("e2", &|_| {
+                let r = experiments::e2::run(0.05);
+                (r.to_string(), r.to_section())
+            });
+        }
+        if want("e3") {
+            run_one("e3", &|_| {
+                let r = experiments::e3::run();
+                (r.to_string(), r.to_section())
+            });
+        }
+        if want("e4") {
+            run_one("e4", &|_| {
+                let r = experiments::e4::run(10, 1996);
+                (r.to_string(), r.to_section())
+            });
+        }
+        if want("e5") {
+            run_one("e5", &|_| {
+                let r = experiments::e5::run(100);
+                (r.to_string(), r.to_section())
+            });
+        }
+        if want("e6") {
+            run_one("e6", &|w| {
+                let r = experiments::e6::run_with(w);
+                (r.to_string(), r.to_section())
+            });
+        }
+        if which == "e6c1" {
+            run_one("e6c1", &|w| {
+                let r = experiments::e6::run_circuit1_only_with(w);
+                (r.to_string(), r.to_section())
+            });
+        }
+        if want("e7") {
+            run_one("e7", &|_| {
+                let r = experiments::e7::run(0.1);
+                (r.to_string(), r.to_section())
+            });
+        }
+        if want("e8") {
+            run_one("e8", &|_| {
+                let r = experiments::e8::run(50, 1996);
+                (r.to_string(), r.to_section())
+            });
+        }
+        if want("ablation") {
+            run_one("ablation", &|w| {
+                let r = experiments::ablation::run_with(w);
+                (r.to_string(), r.to_section())
+            });
+        }
     }
 
     if !ran {
-        eprintln!("unknown experiment '{which}'; expected e1..e8, ablation or all");
+        eprintln!("unknown experiment '{which}'; expected e1..e8, e6c1, ablation or all");
         return ExitCode::FAILURE;
     }
+
+    if let Some(path) = metrics_json {
+        let text = if canonical {
+            report.canonical_json_string()
+        } else {
+            report.to_json_string()
+        };
+        if let Err(err) = fs::write(&path, text) {
+            eprintln!("cannot write metrics to {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics written to {path}");
+    }
     ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!(
+        "{message}\nusage: experiments [e1..e8|e6c1|ablation|all] \
+         [--workers N] [--metrics-json PATH] [--canonical-metrics]\n\
+         \x20      experiments check-report PATH"
+    );
+    ExitCode::FAILURE
+}
+
+/// Validates a run report written by `--metrics-json`: it must parse,
+/// carry the expected schema and expose the headline summary keys.
+fn check_report(path: &str) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match obs::json::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("{path} is not valid JSON: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = Vec::new();
+    if parsed.get("schema").and_then(JsonValue::as_str) != Some(obs::report::SCHEMA) {
+        failures.push(format!("schema is not {}", obs::report::SCHEMA));
+    }
+    match parsed.get("summary") {
+        None => failures.push("summary block missing".to_owned()),
+        Some(summary) => {
+            for key in ["coverage", "newton_iterations", "rung_histogram", "wall_ms"] {
+                if summary.get(key).is_none() {
+                    failures.push(format!("summary.{key} missing"));
+                }
+            }
+            if let Some(wall) = summary.get("wall_ms") {
+                if wall.get("count").and_then(JsonValue::as_f64).is_none() {
+                    failures.push("summary.wall_ms.count missing".to_owned());
+                }
+            }
+        }
+    }
+    match parsed.get("sections").and_then(JsonValue::as_array) {
+        Some(sections) if !sections.is_empty() => {}
+        _ => failures.push("sections missing or empty".to_owned()),
+    }
+    if failures.is_empty() {
+        let summary = parsed.get("summary").expect("checked above");
+        println!(
+            "{path}: ok (coverage {:?}, {} Newton iterations)",
+            summary.get("coverage").and_then(JsonValue::as_f64),
+            summary
+                .get("newton_iterations")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0)
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("{path}: {failure}");
+        }
+        ExitCode::FAILURE
+    }
 }

@@ -83,14 +83,19 @@ impl DetectionFigure {
     /// Renders the figure as an aligned text table (one row per faulty
     /// circuit), the form the experiment binaries print.
     pub fn to_table(&self) -> String {
-        let mut out = String::from("circuit  fault              detection %\n");
+        let mut table = obs::Table::new(&["circuit", "fault", "detection %"]).align(&[
+            obs::Align::Center,
+            obs::Align::Left,
+            obs::Align::Right,
+        ]);
         for e in &self.entries {
-            out.push_str(&format!(
-                "{:^7}  {:<18} {:>8.1}\n",
-                e.circuit, e.fault, e.pct
-            ));
+            table.row(&[
+                e.circuit.to_string(),
+                e.fault.clone(),
+                format!("{:.1}", e.pct),
+            ]);
         }
-        out
+        table.render()
     }
 }
 

@@ -28,14 +28,16 @@
 //! *detected* (the paper's hard-fault convention: a chip whose faulty
 //! circuit cannot reach a stable state fails test trivially).
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use anasim::mna::take_newton_iterations;
+use anasim::metrics::{SolverMetrics, SolverSnapshot};
 use anasim::netlist::Netlist;
 use anasim::robust::{escalation_ladder, SolveBudget, SolveSettings, SolverRung};
 use anasim::AnalysisError;
+use obs::{Recorder, Section};
 use sigproc::correlation::detection_instances;
 
 use crate::inject::inject;
@@ -134,8 +136,10 @@ impl FaultOutcome {
 /// Per-fault solver telemetry.
 #[derive(Debug, Clone, Default)]
 pub struct FaultTelemetry {
-    /// Newton iterations spent across every ladder rung for this fault.
-    pub newton_iterations: u64,
+    /// Solver counters accumulated across every ladder rung for this
+    /// fault (each fault gets a fresh [`SolverMetrics`] handle, so
+    /// counts cannot bleed between faults or threads).
+    pub solver: SolverSnapshot,
     /// Index of the ladder rung that produced the signature, if any
     /// (0 = nominal settings).
     pub rung: Option<usize>,
@@ -145,12 +149,19 @@ pub struct FaultTelemetry {
     pub wall: Duration,
 }
 
+impl FaultTelemetry {
+    /// Newton iterations spent across every ladder rung for this fault.
+    pub fn newton_iterations(&self) -> u64 {
+        self.solver.newton_iterations
+    }
+}
+
 /// Aggregate campaign telemetry, surfaced through
 /// [`CampaignReport::stats`].
 #[derive(Debug, Clone, Default)]
 pub struct CampaignStats {
-    /// Newton iterations spent on the golden extraction.
-    pub golden_newton_iterations: u64,
+    /// Solver counters of the golden extraction.
+    pub golden_solver: SolverSnapshot,
     /// Wall-clock time of the golden extraction.
     pub golden_wall: Duration,
     /// One telemetry record per fault, in universe order.
@@ -158,9 +169,31 @@ pub struct CampaignStats {
 }
 
 impl CampaignStats {
+    /// Newton iterations spent on the golden extraction.
+    pub fn golden_newton_iterations(&self) -> u64 {
+        self.golden_solver.newton_iterations
+    }
+
     /// Newton iterations summed over every fault (excluding golden).
     pub fn total_newton_iterations(&self) -> u64 {
-        self.per_fault.iter().map(|t| t.newton_iterations).sum()
+        self.per_fault.iter().map(|t| t.solver.newton_iterations).sum()
+    }
+
+    /// Solver counters summed over golden and every fault.
+    pub fn total_solver(&self) -> SolverSnapshot {
+        self.per_fault
+            .iter()
+            .fold(self.golden_solver, |acc, t| acc + t.solver)
+    }
+
+    /// Per-fault wall-clock times as a millisecond histogram (e.g. for
+    /// percentiles in run reports).
+    pub fn fault_wall_ms(&self) -> obs::Histogram {
+        let mut hist = obs::Histogram::new();
+        for t in &self.per_fault {
+            hist.record(t.wall.as_secs_f64() * 1e3);
+        }
+        hist
     }
 
     /// Histogram of successful escalation rungs: `histogram[i]` is the
@@ -186,7 +219,7 @@ impl CampaignStats {
 }
 
 /// Configuration for [`run_campaign_with`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignConfig {
     /// Per-instance deviation threshold for the detection metric.
     pub threshold: f64,
@@ -201,6 +234,24 @@ pub struct CampaignConfig {
     pub ladder: Vec<SolverRung>,
     /// Resource budget applied to each extraction attempt.
     pub budget: SolveBudget,
+    /// Observability sink. Telemetry is accumulated per fault on worker
+    /// threads and emitted here in universe order after collection, so
+    /// what the recorder sees is deterministic for any worker count
+    /// (aside from the wall-clock span durations themselves).
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for CampaignConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignConfig")
+            .field("threshold", &self.threshold)
+            .field("min_detect_pct", &self.min_detect_pct)
+            .field("workers", &self.workers)
+            .field("ladder", &self.ladder)
+            .field("budget", &self.budget)
+            .field("has_recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl CampaignConfig {
@@ -214,6 +265,7 @@ impl CampaignConfig {
             workers: 1,
             ladder: escalation_ladder(),
             budget: SolveBudget::unlimited().steps(5_000_000),
+            recorder: None,
         }
     }
 
@@ -247,6 +299,14 @@ impl CampaignConfig {
     /// prefer step budgets when byte-stable reports matter.
     pub fn budget(mut self, budget: SolveBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Installs an observability sink receiving `campaign.golden` /
+    /// `campaign.fault` spans and solver counters after the campaign
+    /// completes.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -285,6 +345,51 @@ impl CampaignReport {
         self.outcomes.iter().map(|o| o.figure_pct()).collect()
     }
 
+    /// Number of faults whose status is anything but `Undetected` (the
+    /// criterion already applied when statuses were assigned).
+    pub fn detected_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| !matches!(o.status, FaultStatus::Undetected { .. }))
+            .count()
+    }
+
+    /// Renders the campaign as a named [`Section`] for a
+    /// [`obs::RunReport`]: fault/detection counters, coverage, the
+    /// combined solver counters, the escalation-rung histogram and the
+    /// golden/per-fault wall-clock histograms.
+    pub fn to_section(&self, name: &str) -> Section {
+        let mut section = Section::new(name);
+        section
+            .counter("faults", self.outcomes.len() as u64)
+            .counter("detected", self.detected_count() as u64)
+            .value("threshold", self.threshold)
+            .value(
+                "coverage",
+                if self.outcomes.is_empty() {
+                    100.0
+                } else {
+                    100.0 * self.detected_count() as f64 / self.outcomes.len() as f64
+                },
+            );
+        let total = self.stats.total_solver();
+        for (counter, value) in anasim::metrics::COUNTER_NAMES.iter().zip(total.as_array()) {
+            section.counter(counter, value);
+        }
+        section.histogram(
+            "escalation_rungs",
+            self.stats.rung_histogram().iter().map(|&n| n as u64).collect(),
+        );
+        section.timing_ms(
+            "campaign.golden",
+            self.stats.golden_wall.as_secs_f64() * 1e3,
+        );
+        for t in &self.stats.per_fault {
+            section.timing_ms("campaign.fault", t.wall.as_secs_f64() * 1e3);
+        }
+        section
+    }
+
     /// Canonical plain-text rendering of the report.
     ///
     /// Contains only deterministic quantities (statuses, percentages,
@@ -320,7 +425,7 @@ impl CampaignReport {
             if let Some(r) = t.rung {
                 let _ = write!(out, " [rung {r}]");
             }
-            let _ = writeln!(out, " [newton {}]", t.newton_iterations);
+            let _ = writeln!(out, " [newton {}]", t.solver.newton_iterations);
         }
         let _ = writeln!(out, "coverage@50%: {:.4}", self.coverage(50.0));
         out
@@ -362,19 +467,23 @@ where
     }
 
     // Golden extraction at nominal settings, same budget as faults.
+    // Each extraction gets its own SolverMetrics handle: counts are
+    // exact per extraction and nothing is shared between threads.
+    let golden_metrics = Arc::new(SolverMetrics::new());
     let golden_settings = SolveSettings {
         rung: SolverRung::nominal(),
         budget: config.budget,
+        metrics: Some(Arc::clone(&golden_metrics)),
     };
-    take_newton_iterations();
     let golden_start = Instant::now();
     let golden_sig = extract(golden, &golden_settings)?;
     let golden_wall = golden_start.elapsed();
-    let golden_newton_iterations = take_newton_iterations();
+    let golden_solver = golden_metrics.snapshot();
 
     let simulate_fault = |fault: &Fault| -> (FaultOutcome, FaultTelemetry) {
         let faulty = inject(golden, fault);
-        take_newton_iterations();
+        // One handle per fault, accumulated across ladder rungs.
+        let metrics = Arc::new(SolverMetrics::new());
         let start = Instant::now();
 
         let mut rungs_tried = 0usize;
@@ -386,6 +495,7 @@ where
             let settings = SolveSettings {
                 rung: *rung,
                 budget: config.budget,
+                metrics: Some(Arc::clone(&metrics)),
             };
             match extract(&faulty, &settings) {
                 Ok(sig) => {
@@ -404,7 +514,7 @@ where
         }
 
         let wall = start.elapsed();
-        let newton_iterations = take_newton_iterations();
+        let solver = metrics.snapshot();
 
         let (signature, rung, status) = match produced {
             Some((i, sig)) => {
@@ -442,7 +552,7 @@ where
                 status,
             },
             FaultTelemetry {
-                newton_iterations,
+                solver,
                 rung,
                 rungs_tried,
                 wall,
@@ -488,16 +598,42 @@ where
         per_fault.push(telemetry);
     }
 
-    Ok(CampaignReport {
+    let report = CampaignReport {
         golden: golden_sig,
         outcomes,
         threshold: config.threshold,
         stats: CampaignStats {
-            golden_newton_iterations,
+            golden_solver,
             golden_wall,
             per_fault,
         },
-    })
+    };
+
+    // Telemetry reaches the recorder only here, after collection, in
+    // universe order — emission order is deterministic no matter how
+    // the workers interleaved.
+    if let Some(recorder) = &config.recorder {
+        emit_campaign(recorder.as_ref(), &report);
+    }
+
+    Ok(report)
+}
+
+/// Publishes a completed campaign to a recorder: golden and per-fault
+/// spans, summed solver counters, and one `campaign.rung.<i>` counter
+/// per escalation-ladder rung that produced a signature.
+fn emit_campaign(recorder: &dyn Recorder, report: &CampaignReport) {
+    recorder.span("campaign.golden", report.stats.golden_wall);
+    report.stats.golden_solver.emit_to(recorder);
+    for t in &report.stats.per_fault {
+        recorder.span("campaign.fault", t.wall);
+        t.solver.emit_to(recorder);
+    }
+    recorder.add("campaign.faults", report.outcomes.len() as u64);
+    recorder.add("campaign.detected", report.detected_count() as u64);
+    for (i, count) in report.stats.rung_histogram().iter().enumerate() {
+        recorder.add(&format!("campaign.rung.{i}"), *count as u64);
+    }
 }
 
 /// Runs a fault campaign with a settings-unaware extractor: one nominal
@@ -789,12 +925,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.stats.per_fault.len(), faults.len());
-        assert!(report.stats.golden_newton_iterations > 0);
+        assert!(report.stats.golden_newton_iterations() > 0);
         for t in &report.stats.per_fault {
-            assert!(t.newton_iterations > 0, "telemetry missing iterations");
+            assert!(t.newton_iterations() > 0, "telemetry missing iterations");
+            assert!(t.solver.steps_accepted > 0, "telemetry missing steps");
             assert!(t.rungs_tried >= 1);
         }
         assert!(report.stats.total_newton_iterations() > 0);
+        assert!(report.stats.total_solver().newton_iterations > 0);
         assert!(report.stats.total_wall() > Duration::ZERO);
     }
 
@@ -814,5 +952,136 @@ mod tests {
         }
         assert!(text.starts_with("campaign: 6 faults"));
         assert!(text.contains("coverage@50%"));
+    }
+
+    #[test]
+    fn per_fault_telemetry_stays_in_universe_order_across_worker_counts() {
+        let (nl, faults) = rc_fixture();
+        let reference = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05).workers(1),
+            transient_extract,
+        )
+        .unwrap();
+        for workers in [2, 3, 8] {
+            let report = run_campaign_with(
+                &nl,
+                &faults,
+                &CampaignConfig::new(0.05).workers(workers),
+                transient_extract,
+            )
+            .unwrap();
+            // Outcomes align with the fault universe positionally...
+            for (i, fault) in faults.iter().enumerate() {
+                assert_eq!(
+                    report.outcomes[i].fault.name(),
+                    fault.name(),
+                    "outcome {i} out of order at {workers} workers"
+                );
+            }
+            // ...and the telemetry rows carry the same per-index solver
+            // counts as the serial run (solver work is deterministic, so
+            // a shuffled row would show a different count).
+            assert_eq!(report.stats.per_fault.len(), faults.len());
+            for (i, (t, t_ref)) in report
+                .stats
+                .per_fault
+                .iter()
+                .zip(&reference.stats.per_fault)
+                .enumerate()
+            {
+                assert_eq!(
+                    t.solver, t_ref.solver,
+                    "telemetry row {i} differs at {workers} workers"
+                );
+                assert_eq!(t.rung, t_ref.rung);
+                assert_eq!(t.rungs_tried, t_ref.rungs_tried);
+            }
+        }
+    }
+
+    #[test]
+    fn run_report_is_byte_identical_across_worker_counts() {
+        let (nl, faults) = rc_fixture();
+        let canonical = |workers: usize| {
+            let report = run_campaign_with(
+                &nl,
+                &faults,
+                &CampaignConfig::new(0.05).workers(workers),
+                transient_extract,
+            )
+            .unwrap();
+            let mut run = obs::RunReport::new();
+            run.push(report.to_section("campaign.rc"));
+            run.canonical_json_string()
+        };
+        let serial = canonical(1);
+        assert_eq!(serial, canonical(4));
+        let parsed = obs::json::parse(&serial).unwrap();
+        let summary = parsed.get("summary").unwrap();
+        assert!(summary.get("coverage").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            summary
+                .get("newton_iterations")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn recorder_sees_campaign_spans_and_counters() {
+        let (nl, faults) = rc_fixture();
+        let recorder = Arc::new(obs::AggregatingRecorder::new());
+        let config = CampaignConfig::new(0.05)
+            .workers(2)
+            .recorder(recorder.clone());
+        let report = run_campaign_with(&nl, &faults, &config, transient_extract).unwrap();
+        let agg = recorder.snapshot();
+        assert_eq!(agg.spans["campaign.golden"].count(), 1);
+        assert_eq!(agg.spans["campaign.fault"].count(), faults.len());
+        assert_eq!(agg.counters["campaign.faults"], faults.len() as u64);
+        assert_eq!(
+            agg.counters["solver.newton_iterations"],
+            report.stats.total_solver().newton_iterations
+        );
+        // The rung histogram reaches the recorder as indexed counters.
+        let rungs: u64 = (0..report.stats.rung_histogram().len())
+            .map(|i| agg.counters[&format!("campaign.rung.{i}")])
+            .sum();
+        assert_eq!(
+            rungs,
+            report.stats.per_fault.iter().filter(|t| t.rung.is_some()).count() as u64
+        );
+    }
+
+    #[test]
+    fn campaign_section_carries_solver_and_rung_telemetry() {
+        let (nl, faults) = rc_fixture();
+        let report = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05),
+            transient_extract,
+        )
+        .unwrap();
+        let section = report.to_section("campaign.rc");
+        assert_eq!(section.counters["faults"], faults.len() as u64);
+        assert_eq!(
+            section.counters["solver.newton_iterations"],
+            report.stats.total_solver().newton_iterations
+        );
+        assert_eq!(
+            section.histograms["escalation_rungs"].iter().sum::<u64>() as usize,
+            report.stats.per_fault.iter().filter(|t| t.rung.is_some()).count()
+        );
+        assert_eq!(
+            section.timings["campaign.fault"].count(),
+            faults.len()
+        );
+        let cov = section.values["coverage"];
+        assert!((0.0..=100.0).contains(&cov));
     }
 }

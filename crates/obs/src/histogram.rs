@@ -1,0 +1,167 @@
+//! Sample histograms with nearest-rank percentiles.
+//!
+//! The workloads instrumented here are small enough (hundreds of faults,
+//! thousands of spans) that keeping the raw samples is cheaper and more
+//! faithful than bucketing: percentiles are exact, and merging shards
+//! is concatenation.
+
+/// A collection of scalar samples supporting exact percentiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample. Non-finite samples are dropped: a NaN would
+    /// poison every percentile downstream.
+    pub fn record(&mut self, sample: f64) {
+        if sample.is_finite() {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.samples.len() as f64)
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().min_by(f64::total_cmp)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().max_by(f64::total_cmp)
+    }
+
+    /// The `q`-th percentile (0–100) by the nearest-rank method, or
+    /// `None` when empty. A single-sample histogram returns that sample
+    /// for every `q`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let q = q.clamp(0.0, 100.0);
+        // Nearest rank: the smallest rank whose cumulative share >= q.
+        let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Appends every sample of `other` (shard merging).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(100.0), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(42.5);
+        for q in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(q), Some(42.5), "q = {q}");
+        }
+        assert_eq!(h.mean(), Some(42.5));
+        assert_eq!(h.min(), Some(42.5));
+        assert_eq!(h.max(), Some(42.5));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut h = Histogram::new();
+        for v in [15.0, 20.0, 35.0, 40.0, 50.0] {
+            h.record(v);
+        }
+        // Classic nearest-rank reference values.
+        assert_eq!(h.percentile(30.0), Some(20.0));
+        assert_eq!(h.percentile(40.0), Some(20.0));
+        assert_eq!(h.percentile(50.0), Some(35.0));
+        assert_eq!(h.percentile(100.0), Some(50.0));
+        assert_eq!(h.percentile(0.0), Some(15.0));
+    }
+
+    #[test]
+    fn percentiles_ignore_recording_order() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3.0, 1.0, 2.0] {
+            a.record(v);
+        }
+        for v in [1.0, 2.0, 3.0] {
+            b.record(v);
+        }
+        assert_eq!(a.percentile(50.0), b.percentile(50.0));
+        assert_eq!(a.percentile(50.0), Some(2.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(1.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(1.0));
+    }
+
+    #[test]
+    fn merge_concatenates_samples() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(2.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.percentile(100.0), Some(3.0));
+    }
+}

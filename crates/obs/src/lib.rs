@@ -1,0 +1,40 @@
+//! `obs` — zero-dependency instrumentation for the `mixsig` workspace.
+//!
+//! Every layer of the stack (solvers, campaigns, signal processing, the
+//! experiment harness) reports what it did through the same three
+//! primitives:
+//!
+//! * **counters** — monotonically increasing event counts (Newton
+//!   iterations, accepted steps, homotopy stages);
+//! * **values** — sampled scalar observations, aggregated into
+//!   [`histogram::Histogram`]s with nearest-rank percentiles;
+//! * **spans** — named wall-clock durations recorded via the RAII
+//!   [`span::SpanTimer`] or [`span::time`].
+//!
+//! Events flow into a pluggable [`recorder::Recorder`]: the no-op
+//! default costs nothing, [`recorder::AggregatingRecorder`] is the
+//! thread-safe aggregate for real runs, and [`recorder::JsonlSink`]
+//! streams events as JSON lines for external tooling.
+//!
+//! The machine-readable end of the pipeline is [`report::RunReport`]:
+//! named [`report::Section`]s of counters, values, histograms and
+//! timing summaries, serialised with the hand-rolled [`json`] writer
+//! (the workspace builds offline, so there is no serde). The canonical
+//! serialisation zeroes wall-clock milliseconds while keeping every
+//! deterministic count, so reports are byte-identical across worker
+//! counts and machines.
+//!
+//! Human-facing output goes through [`table::Table`], so printed tables
+//! and the JSON report cannot drift apart.
+
+pub mod histogram;
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod span;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use recorder::{AggregatingRecorder, NoopRecorder, Recorder};
+pub use report::{RunReport, Section};
+pub use table::{Align, Table};

@@ -1,0 +1,333 @@
+//! Pluggable event recorders.
+//!
+//! Instrumented code talks to a [`Recorder`] through three calls:
+//! [`Recorder::add`] for counters, [`Recorder::value`] for sampled
+//! scalars and [`Recorder::span`] for named durations. What happens to
+//! the events depends on the implementation behind the handle:
+//!
+//! * [`NoopRecorder`] — discards everything; the default, so
+//!   uninstrumented callers pay only a virtual call.
+//! * [`AggregatingRecorder`] — thread-safe in-memory aggregate; the
+//!   backing store for [`crate::report::RunReport`]s.
+//! * [`JsonlSink`] — streams each event as one JSON line to a writer,
+//!   with a monotonic sequence number for external ordering.
+//! * [`Fanout`] — duplicates events to several recorders (e.g.
+//!   aggregate *and* stream).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::histogram::Histogram;
+use crate::json::JsonValue;
+
+/// Sink for instrumentation events. Implementations must be cheap and
+/// thread-safe: campaign workers share one recorder across
+/// `std::thread::scope` threads.
+pub trait Recorder: Send + Sync {
+    /// Increments the counter `name` by `delta`.
+    fn add(&self, name: &str, delta: u64);
+
+    /// Records one scalar observation for `name`.
+    fn value(&self, name: &str, sample: f64);
+
+    /// Records one completed span named `name` that took `elapsed`.
+    fn span(&self, name: &str, elapsed: Duration);
+}
+
+impl<R: Recorder + ?Sized> Recorder for std::sync::Arc<R> {
+    fn add(&self, name: &str, delta: u64) {
+        (**self).add(name, delta);
+    }
+    fn value(&self, name: &str, sample: f64) {
+        (**self).value(name, sample);
+    }
+    fn span(&self, name: &str, elapsed: Duration) {
+        (**self).span(name, elapsed);
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn add(&self, _name: &str, _delta: u64) {}
+    fn value(&self, _name: &str, _sample: f64) {}
+    fn span(&self, _name: &str, _elapsed: Duration) {}
+}
+
+/// Aggregated state of one recorder: counters, value histograms and
+/// span histograms, all keyed by name. `BTreeMap` keeps iteration order
+/// deterministic for serialisation.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Scalar observations by name.
+    pub values: BTreeMap<String, Histogram>,
+    /// Span durations (milliseconds) by name.
+    pub spans: BTreeMap<String, Histogram>,
+}
+
+impl Aggregate {
+    /// Merges `other` into `self`. Counters add; histograms
+    /// concatenate. Merging shards in a fixed order keeps the combined
+    /// aggregate deterministic.
+    pub fn merge(&mut self, other: &Aggregate) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_default() += delta;
+        }
+        for (name, hist) in &other.values {
+            self.values.entry(name.clone()).or_default().merge(hist);
+        }
+        for (name, hist) in &other.spans {
+            self.spans.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+/// Thread-safe aggregating recorder.
+///
+/// One mutex guards the whole aggregate: the instrumented operations
+/// (a Newton solve, a fault simulation) are orders of magnitude more
+/// expensive than the critical section, so contention is not a
+/// concern at this workload's scale.
+#[derive(Debug, Default)]
+pub struct AggregatingRecorder {
+    state: Mutex<Aggregate>,
+}
+
+impl AggregatingRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        AggregatingRecorder::default()
+    }
+
+    /// A copy of the current aggregate state.
+    pub fn snapshot(&self) -> Aggregate {
+        self.state.lock().expect("recorder poisoned").clone()
+    }
+}
+
+impl Recorder for AggregatingRecorder {
+    fn add(&self, name: &str, delta: u64) {
+        let mut state = self.state.lock().expect("recorder poisoned");
+        *state.counters.entry(name.to_owned()).or_default() += delta;
+    }
+
+    fn value(&self, name: &str, sample: f64) {
+        let mut state = self.state.lock().expect("recorder poisoned");
+        state.values.entry(name.to_owned()).or_default().record(sample);
+    }
+
+    fn span(&self, name: &str, elapsed: Duration) {
+        let mut state = self.state.lock().expect("recorder poisoned");
+        state
+            .spans
+            .entry(name.to_owned())
+            .or_default()
+            .record(elapsed.as_secs_f64() * 1e3);
+    }
+}
+
+/// Streams every event as one JSON object per line.
+///
+/// Each line carries a process-wide monotonic `seq` so consumers can
+/// re-establish a total order even when lines from several threads
+/// interleave in the underlying writer.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+    seq: AtomicU64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer` as an event sink.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Consumes the sink and returns the writer (e.g. to inspect an
+    /// in-memory buffer in tests).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("sink poisoned")
+    }
+
+    fn emit(&self, kind: &str, name: &str, field: &str, value: JsonValue) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut obj = JsonValue::object();
+        obj.push("seq", JsonValue::Num(seq as f64));
+        obj.push("kind", JsonValue::Str(kind.to_owned()));
+        obj.push("name", JsonValue::Str(name.to_owned()));
+        obj.push(field, value);
+        let mut writer = self.writer.lock().expect("sink poisoned");
+        // An unwritable sink shouldn't take the simulation down.
+        let _ = writeln!(writer, "{}", obj.to_json());
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlSink<W> {
+    fn add(&self, name: &str, delta: u64) {
+        self.emit("counter", name, "delta", JsonValue::Num(delta as f64));
+    }
+
+    fn value(&self, name: &str, sample: f64) {
+        self.emit("value", name, "sample", JsonValue::Num(sample));
+    }
+
+    fn span(&self, name: &str, elapsed: Duration) {
+        self.emit(
+            "span",
+            name,
+            "ms",
+            JsonValue::Num(elapsed.as_secs_f64() * 1e3),
+        );
+    }
+}
+
+/// Duplicates every event to each wrapped recorder.
+#[derive(Default)]
+pub struct Fanout {
+    sinks: Vec<Box<dyn Recorder>>,
+}
+
+impl Fanout {
+    /// An empty fanout (behaves like [`NoopRecorder`]).
+    pub fn new() -> Self {
+        Fanout::default()
+    }
+
+    /// Adds a recorder to the fanout.
+    pub fn with(mut self, sink: Box<dyn Recorder>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl Recorder for Fanout {
+    fn add(&self, name: &str, delta: u64) {
+        for sink in &self.sinks {
+            sink.add(name, delta);
+        }
+    }
+
+    fn value(&self, name: &str, sample: f64) {
+        for sink in &self.sinks {
+            sink.value(name, sample);
+        }
+    }
+
+    fn span(&self, name: &str, elapsed: Duration) {
+        for sink in &self.sinks {
+            sink.span(name, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn aggregating_recorder_accumulates_all_kinds() {
+        let rec = AggregatingRecorder::new();
+        rec.add("newton", 3);
+        rec.add("newton", 4);
+        rec.value("coverage", 81.25);
+        rec.span("dc", Duration::from_millis(2));
+        let agg = rec.snapshot();
+        assert_eq!(agg.counters["newton"], 7);
+        assert_eq!(agg.values["coverage"].samples(), &[81.25]);
+        assert_eq!(agg.spans["dc"].count(), 1);
+    }
+
+    #[test]
+    fn concurrent_scoped_increments_are_not_lost() {
+        let rec = AggregatingRecorder::new();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 250;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        rec.add("iters", 1);
+                        rec.value("sample", (t * PER_THREAD + i) as f64);
+                        rec.span("work", Duration::from_micros(i));
+                    }
+                });
+            }
+        });
+        let agg = rec.snapshot();
+        assert_eq!(agg.counters["iters"], THREADS * PER_THREAD);
+        assert_eq!(agg.values["sample"].count(), (THREADS * PER_THREAD) as usize);
+        assert_eq!(agg.spans["work"].count(), (THREADS * PER_THREAD) as usize);
+        // Every distinct sample survived, regardless of interleaving.
+        assert_eq!(
+            agg.values["sample"].sum(),
+            (0..THREADS * PER_THREAD).map(|v| v as f64).sum::<f64>()
+        );
+    }
+
+    #[test]
+    fn merge_adds_counters_and_concatenates_histograms() {
+        let mut a = Aggregate::default();
+        a.counters.insert("n".into(), 2);
+        a.values.entry("v".into()).or_default().record(1.0);
+        let mut b = Aggregate::default();
+        b.counters.insert("n".into(), 3);
+        b.counters.insert("m".into(), 1);
+        b.values.entry("v".into()).or_default().record(2.0);
+        b.spans.entry("s".into()).or_default().record(5.0);
+        a.merge(&b);
+        assert_eq!(a.counters["n"], 5);
+        assert_eq!(a.counters["m"], 1);
+        assert_eq!(a.values["v"].count(), 2);
+        assert_eq!(a.spans["s"].count(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_numbered_lines() {
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        sink.add("newton", 12);
+        sink.span("dc", Duration::from_millis(1));
+        sink.value("coverage", 93.75);
+        let buf = sink.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).expect("line parses");
+            assert_eq!(v.get("seq").and_then(JsonValue::as_f64), Some(i as f64));
+        }
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("kind").and_then(JsonValue::as_str), Some("counter"));
+        assert_eq!(first.get("name").and_then(JsonValue::as_str), Some("newton"));
+        assert_eq!(first.get("delta").and_then(JsonValue::as_f64), Some(12.0));
+    }
+
+    #[test]
+    fn fanout_duplicates_events() {
+        use std::sync::Arc;
+        let a = Arc::new(AggregatingRecorder::new());
+        let b = Arc::new(AggregatingRecorder::new());
+        let fan = Fanout::new()
+            .with(Box::new(Arc::clone(&a)))
+            .with(Box::new(Arc::clone(&b)));
+        fan.add("n", 2);
+        fan.value("v", 1.5);
+        fan.span("s", Duration::from_millis(3));
+        for rec in [&a, &b] {
+            let agg = rec.snapshot();
+            assert_eq!(agg.counters["n"], 2);
+            assert_eq!(agg.values["v"].samples(), &[1.5]);
+            assert_eq!(agg.spans["s"].count(), 1);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Aligned plain-text tables for human-facing report output.
+//!
+//! Experiments and examples render through this one formatter so the
+//! printed tables and the machine-readable reports are assembled from
+//! the same numbers and cannot drift apart.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on both sides.
+    Center,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    aligns: Vec<Align>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers, all left-aligned.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            aligns: vec![Align::Left; header.len()],
+            header: header.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets per-column alignment. Panics if the count doesn't match the
+    /// header (construction bug).
+    pub fn align(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.header.len(), "one alignment per column");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row. Panics if the cell count doesn't match the header
+    /// (construction bug).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "one cell per column");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: one header line, then one line per row, each
+    /// terminated by `\n`, columns separated by two spaces.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.len();
+                let (left, right) = match self.aligns[i] {
+                    Align::Left => (0, pad),
+                    Align::Right => (pad, 0),
+                    Align::Center => (pad / 2, pad - pad / 2),
+                };
+                out.push_str(&" ".repeat(left));
+                out.push_str(cell);
+                // Trailing padding after the last column would only add
+                // invisible whitespace.
+                if i + 1 < cols {
+                    out.push_str(&" ".repeat(right));
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// A proportional `#`-bar for quick visual ranking, e.g. detection
+/// percentages in `fault_hunt`. `value` is clamped into
+/// `[0, full_scale]`; `width` is the bar length at full scale.
+pub fn bar(value: f64, full_scale: f64, width: usize) -> String {
+    if full_scale <= 0.0 || !value.is_finite() {
+        return String::new();
+    }
+    let frac = (value / full_scale).clamp(0.0, 1.0);
+    "#".repeat((frac * width as f64).round() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "pct"]).align(&[Align::Left, Align::Right]);
+        t.row(&["n1-sa0".into(), "93.8".into()]);
+        t.row(&["long-fault-name".into(), "6.2".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "name              pct");
+        assert_eq!(lines[1], "n1-sa0           93.8");
+        assert_eq!(lines[2], "long-fault-name   6.2");
+    }
+
+    #[test]
+    fn header_only_table_renders_one_line() {
+        let t = Table::new(&["a", "b"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 1);
+    }
+
+    #[test]
+    fn center_alignment_pads_both_sides() {
+        let mut t = Table::new(&["circuit", "x"]).align(&[Align::Center, Align::Left]);
+        t.row(&["1".into(), "y".into()]);
+        let lines: Vec<String> = t.render().lines().map(str::to_owned).collect();
+        assert_eq!(lines[1], "   1     y");
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per column")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(100.0, 100.0, 10), "##########");
+        assert_eq!(bar(50.0, 100.0, 10), "#####");
+        assert_eq!(bar(250.0, 100.0, 10), "##########");
+        assert_eq!(bar(-3.0, 100.0, 10), "");
+        assert_eq!(bar(f64::NAN, 100.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

@@ -5,9 +5,12 @@
 //!
 //! Run with: `cargo run --release --example fault_hunt`
 
+use std::sync::Arc;
+
 use mixsig::faultsim::campaign::CampaignConfig;
 use mixsig::macrolib::process::ProcessParams;
 use mixsig::msbist::transtest::circuits::circuit1;
+use mixsig::obs::{self, AggregatingRecorder};
 
 fn main() {
     // Circuit 1: the 13-transistor OP1 in a comparator configuration,
@@ -30,8 +33,12 @@ fn main() {
 
     // Campaign on the resilient engine: every fault simulated in
     // parallel under the escalation ladder, scored by detection
-    // instances. The report is identical for any worker count.
-    let config = CampaignConfig::new(0.02 * peak).workers(4);
+    // instances. The report is identical for any worker count, and the
+    // recorder sees the telemetry in universe order.
+    let recorder = Arc::new(AggregatingRecorder::new());
+    let config = CampaignConfig::new(0.02 * peak)
+        .workers(4)
+        .recorder(recorder.clone());
     let report = circuit
         .bench
         .run_correlation_campaign_with(&circuit.faults, &config)
@@ -45,11 +52,21 @@ fn main() {
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("fault ranking (detection instances, % of signature lags):");
+    let mut table = obs::Table::new(&["fault", "pct", "", "status"]).align(&[
+        obs::Align::Left,
+        obs::Align::Right,
+        obs::Align::Left,
+        obs::Align::Left,
+    ]);
     for (name, pct, tag) in &ranked {
-        let bar: String = std::iter::repeat_n('#', (pct / 2.5) as usize)
-            .collect();
-        println!("  {name:<14} {pct:>5.1}%  {bar}  [{tag}]");
+        table.row(&[
+            name.clone(),
+            format!("{pct:.1}"),
+            obs::table::bar(*pct, 100.0, 40),
+            format!("[{tag}]"),
+        ]);
     }
+    print!("{}", table.render());
 
     let coverage = report.coverage(40.0);
     println!(
@@ -63,7 +80,7 @@ fn main() {
     println!("\nsolver telemetry:");
     println!(
         "  golden extraction : {} Newton iterations, {:.0} ms",
-        stats.golden_newton_iterations,
+        stats.golden_newton_iterations(),
         stats.golden_wall.as_secs_f64() * 1e3
     );
     println!(
@@ -85,9 +102,19 @@ fn main() {
         println!(
             "  hardest fault     : {} ({} Newton iterations, {:.0} ms, {} rung(s) tried)",
             report.outcomes[i].fault.name(),
-            t.newton_iterations,
+            t.newton_iterations(),
             t.wall.as_secs_f64() * 1e3,
             t.rungs_tried
         );
     }
+
+    // The same numbers as the recorder saw them: per-step counters and
+    // campaign spans, deterministic apart from the wall-clock values.
+    let agg = recorder.snapshot();
+    println!(
+        "  recorder          : {} counters, {} span names, {} fault spans",
+        agg.counters.len(),
+        agg.spans.len(),
+        agg.spans.get("campaign.fault").map_or(0, obs::Histogram::count)
+    );
 }

@@ -10,6 +10,7 @@
 //! * [`digisim`] — event-driven digital logic simulator,
 //! * [`macrolib`] — 5 µm CMOS analogue macro library,
 //! * [`faultsim`] — fault models and campaigns,
+//! * [`obs`] — instrumentation: counters, spans, histograms, run reports,
 //! * [`msbist`] — the paper's contribution: ADC BIST and transient-response
 //!   testing.
 
@@ -19,4 +20,5 @@ pub use faultsim;
 pub use linsys;
 pub use macrolib;
 pub use msbist;
+pub use obs;
 pub use sigproc;
