@@ -6,6 +6,7 @@
 //! conductance to ground) and source stepping (ramping all independent
 //! sources from zero).
 
+use crate::flight::{SolveHooks, SolvePhase};
 use crate::metrics::SolverMetrics;
 use crate::mna::{newton_solve_budgeted, CompanionMode, MnaLayout, NewtonOptions, StampParams};
 use crate::netlist::{DeviceId, Netlist, NodeId};
@@ -122,9 +123,26 @@ pub fn dc_operating_point_metered(
     options: &DcOptions,
     metrics: Option<&SolverMetrics>,
 ) -> Result<OperatingPoint, AnalysisError> {
+    dc_operating_point_hooked(netlist, options, SolveHooks::metrics(metrics))
+}
+
+/// [`dc_operating_point_metered`] generalised to the full
+/// [`SolveHooks`] bundle: an armed
+/// [`crate::flight::FlightRecorder`] sees every Newton iteration of the
+/// direct solve and both homotopies, each tagged with its
+/// [`SolvePhase`], with worst-unknown indices resolvable to node names.
+///
+/// # Errors
+///
+/// See [`dc_operating_point`].
+pub fn dc_operating_point_hooked(
+    netlist: &Netlist,
+    options: &DcOptions,
+    hooks: SolveHooks<'_>,
+) -> Result<OperatingPoint, AnalysisError> {
     let started = Instant::now();
-    let result = dc_solve(netlist, options, metrics);
-    if let Some(metrics) = metrics {
+    let result = dc_solve(netlist, options, hooks);
+    if let Some(metrics) = hooks.metrics {
         metrics.record_span("anasim.dc", started.elapsed());
     }
     result
@@ -133,13 +151,22 @@ pub fn dc_operating_point_metered(
 fn dc_solve(
     netlist: &Netlist,
     options: &DcOptions,
-    metrics: Option<&SolverMetrics>,
+    hooks: SolveHooks<'_>,
 ) -> Result<OperatingPoint, AnalysisError> {
     let layout = MnaLayout::new(netlist);
     let mut x = vec![0.0; layout.size()];
+    let set_phase = |phase: SolvePhase| {
+        if let Some(flight) = hooks.flight {
+            flight.set_phase(phase);
+        }
+    };
+    if let Some(flight) = hooks.flight {
+        flight.install_names(netlist, &layout);
+    }
 
     // 1. Plain Newton.
-    let direct = try_newton(netlist, &layout, options, options.gmin, 1.0, metrics, &mut x);
+    set_phase(SolvePhase::DcDirect);
+    let direct = try_newton(netlist, &layout, options, options.gmin, 1.0, hooks, &mut x);
     if direct.is_ok() {
         return Ok(OperatingPoint::new(layout, x));
     }
@@ -147,14 +174,15 @@ fn dc_solve(
     // 2. gmin stepping: start heavily damped, relax by decades.
     let mut last_err = direct.unwrap_err();
     if matches!(last_err, AnalysisError::NoConvergence { .. }) {
+        set_phase(SolvePhase::DcGmin);
         x.iter_mut().for_each(|v| *v = 0.0);
         let mut ok = true;
         let mut gmin = 1e-2;
         while gmin >= options.gmin {
-            if let Some(metrics) = metrics {
+            if let Some(metrics) = hooks.metrics {
                 metrics.dc_gmin_step();
             }
-            if let Err(e) = try_newton(netlist, &layout, options, gmin, 1.0, metrics, &mut x) {
+            if let Err(e) = try_newton(netlist, &layout, options, gmin, 1.0, hooks, &mut x) {
                 last_err = e;
                 ok = false;
                 break;
@@ -163,22 +191,22 @@ fn dc_solve(
         }
         if ok {
             // Final solve at the target gmin.
-            if try_newton(netlist, &layout, options, options.gmin, 1.0, metrics, &mut x).is_ok() {
+            if try_newton(netlist, &layout, options, options.gmin, 1.0, hooks, &mut x).is_ok() {
                 return Ok(OperatingPoint::new(layout, x));
             }
         }
     }
 
     // 3. Source stepping: ramp independent sources 0 -> 100 %.
+    set_phase(SolvePhase::DcSource);
     x.iter_mut().for_each(|v| *v = 0.0);
     let mut ok = true;
     for step in 1..=20 {
         let scale = step as f64 / 20.0;
-        if let Some(metrics) = metrics {
+        if let Some(metrics) = hooks.metrics {
             metrics.dc_source_step();
         }
-        if let Err(e) = try_newton(netlist, &layout, options, options.gmin, scale, metrics, &mut x)
-        {
+        if let Err(e) = try_newton(netlist, &layout, options, options.gmin, scale, hooks, &mut x) {
             last_err = e;
             ok = false;
             break;
@@ -196,7 +224,7 @@ fn try_newton(
     options: &DcOptions,
     gmin: f64,
     source_scale: f64,
-    metrics: Option<&SolverMetrics>,
+    hooks: SolveHooks<'_>,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
     let params = StampParams {
@@ -205,7 +233,7 @@ fn try_newton(
         gmin,
         source_scale,
     };
-    newton_solve_budgeted(netlist, layout, &params, &options.newton, None, metrics, x)
+    newton_solve_budgeted(netlist, layout, &params, &options.newton, None, hooks, x)
 }
 
 #[cfg(test)]

@@ -11,13 +11,15 @@ pub enum AnalysisError {
     /// The Newton–Raphson iteration failed to converge.
     ///
     /// Carries the simulation time at which convergence was lost (0.0 for a
-    /// DC operating point) and the worst residual seen on the final
-    /// iteration.
+    /// DC operating point), the worst residual seen on the final
+    /// iteration, and how many Newton iterations ran before giving up.
     NoConvergence {
         /// Simulation time in seconds at which convergence failed.
         time: f64,
         /// Infinity norm of the residual on the last Newton iteration.
         residual: f64,
+        /// Newton iterations performed by the failing solve.
+        iterations: usize,
     },
     /// The MNA matrix was singular (e.g. a floating node with no DC path).
     SingularMatrix {
@@ -54,9 +56,14 @@ pub enum BudgetKind {
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnalysisError::NoConvergence { time, residual } => write!(
+            AnalysisError::NoConvergence {
+                time,
+                residual,
+                iterations,
+            } => write!(
                 f,
-                "newton iteration failed to converge at t = {time:.3e} s (residual {residual:.3e})"
+                "newton iteration failed to converge at t = {time:.3e} s \
+                 (residual {residual:.3e} after {iterations} iterations)"
             ),
             AnalysisError::SingularMatrix { row } => {
                 write!(f, "singular MNA matrix at row {row}")
@@ -94,10 +101,12 @@ mod tests {
         let err = AnalysisError::NoConvergence {
             time: 1e-3,
             residual: 0.5,
+            iterations: 150,
         };
         let msg = err.to_string();
         assert!(msg.contains("converge"));
         assert!(msg.contains("1.000e-3"));
+        assert!(msg.contains("150 iterations"));
     }
 
     #[test]

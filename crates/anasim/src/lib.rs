@@ -41,6 +41,7 @@ pub mod ac;
 pub mod dc;
 pub mod dense;
 pub mod devices;
+pub mod flight;
 pub mod metrics;
 pub mod mna;
 pub mod netlist;

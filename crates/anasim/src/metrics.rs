@@ -149,6 +149,19 @@ pub struct SolverSnapshot {
 }
 
 impl SolverSnapshot {
+    /// Bare field names in [`SolverSnapshot::as_array`] order; the
+    /// recorder-facing [`COUNTER_NAMES`] are these with a `solver.`
+    /// prefix. Keeping one authoritative name list next to the value
+    /// list stops the two from drifting into positional magic.
+    pub const FIELDS: [&'static str; 6] = [
+        "newton_iterations",
+        "steps_accepted",
+        "steps_rejected",
+        "dt_shrinks",
+        "dc_gmin_steps",
+        "dc_source_steps",
+    ];
+
     /// Publishes each counter to `recorder` under its
     /// [`COUNTER_NAMES`] name. Zero counters are emitted too, so
     /// aggregate key sets do not depend on which code paths ran.
@@ -249,6 +262,37 @@ mod tests {
         }
         assert_eq!(agg.counters["solver.newton_iterations"], 3);
         assert_eq!(agg.counters["solver.dt_shrinks"], 0);
+    }
+
+    #[test]
+    fn field_names_stay_in_sync_with_counter_names_and_as_array() {
+        // The recorder names are exactly the field names with the
+        // `solver.` prefix, position for position.
+        for (counter, field) in COUNTER_NAMES.iter().zip(SolverSnapshot::FIELDS) {
+            assert_eq!(*counter, format!("solver.{field}"));
+        }
+        // Distinct per-position values prove as_array/emit_to use the
+        // same ordering as FIELDS: the value emitted under each name
+        // matches the field the name claims.
+        let snap = SolverSnapshot {
+            newton_iterations: 1,
+            steps_accepted: 2,
+            steps_rejected: 3,
+            dt_shrinks: 4,
+            dc_gmin_steps: 5,
+            dc_source_steps: 6,
+        };
+        assert_eq!(snap.as_array(), [1, 2, 3, 4, 5, 6]);
+        let rec = AggregatingRecorder::new();
+        snap.emit_to(&rec);
+        let agg = rec.snapshot();
+        for (i, field) in SolverSnapshot::FIELDS.iter().enumerate() {
+            assert_eq!(
+                agg.counters[&format!("solver.{field}")],
+                (i + 1) as u64,
+                "{field} emitted out of position"
+            );
+        }
     }
 
     #[test]

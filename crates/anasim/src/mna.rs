@@ -3,7 +3,7 @@
 
 use crate::dense::{Lu, Matrix};
 use crate::devices::{Device, MosPolarity};
-use crate::metrics::SolverMetrics;
+use crate::flight::SolveHooks;
 use crate::netlist::{DeviceId, Netlist, NodeId};
 use crate::robust::BudgetClock;
 use crate::AnalysisError;
@@ -493,18 +493,20 @@ pub fn newton_solve(
     options: &NewtonOptions,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
-    newton_solve_budgeted(netlist, layout, params, options, None, None, x)
+    newton_solve_budgeted(netlist, layout, params, options, None, SolveHooks::none(), x)
 }
 
-/// [`newton_solve`] with an optional wall-clock meter and iteration
-/// counter.
+/// [`newton_solve`] with an optional wall-clock meter and the
+/// per-solve observer bundle.
 ///
 /// When `clock` is provided, its wall-clock budget is polled between
 /// Newton iterations so a single stuck timestep cannot outlive the
-/// analysis budget. When `metrics` is provided, every iteration started
-/// (including iterations of attempts that later fail) is counted on it;
-/// the handle is owned by the caller, so counts cannot bleed between
-/// unrelated analyses the way a thread-global counter would.
+/// analysis budget. `hooks` carries the optional iteration counter
+/// ([`crate::metrics::SolverMetrics`]) and the optional
+/// [`crate::flight::FlightRecorder`]; both handles are owned by the
+/// caller, so counts and traces cannot bleed between unrelated analyses
+/// the way thread-global state would. A fully disarmed bundle costs two
+/// `None` branches per iteration and allocates nothing.
 ///
 /// # Errors
 ///
@@ -516,7 +518,7 @@ pub fn newton_solve_budgeted(
     params: &StampParams<'_>,
     options: &NewtonOptions,
     clock: Option<&BudgetClock>,
-    metrics: Option<&SolverMetrics>,
+    hooks: SolveHooks<'_>,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
     let n = layout.size();
@@ -524,15 +526,21 @@ pub fn newton_solve_budgeted(
     let mut a = Matrix::zeros(n, n);
     let mut b = vec![0.0; n];
 
+    // Flight records need the attempted step size; DC solves carry 0.
+    let dt = match &params.companion {
+        CompanionMode::Dc => 0.0,
+        CompanionMode::Transient { dt, .. } => *dt,
+    };
+
     // Linear circuits need exactly one solve.
     let linear = !netlist.has_nonlinear_devices();
 
     let mut worst = f64::INFINITY;
-    for _ in 0..options.max_iterations {
+    for iter in 0..options.max_iterations {
         if let Some(clock) = clock {
             clock.check_wall(params.time)?;
         }
-        if let Some(metrics) = metrics {
+        if let Some(metrics) = hooks.metrics {
             metrics.newton_iteration();
         }
         stamp_system(netlist, layout, x, params, &mut a, &mut b);
@@ -546,13 +554,24 @@ pub fn newton_solve_budgeted(
 
         // Damped update with convergence check.
         worst = 0.0;
+        let mut worst_index = 0;
         let mut converged = true;
         for k in 0..n {
             let mut delta = x_new[k] - x[k];
             if !delta.is_finite() {
+                if let Some(flight) = hooks.flight {
+                    flight.record_iteration(
+                        params.time,
+                        dt,
+                        (iter + 1) as u64,
+                        f64::INFINITY,
+                        k,
+                    );
+                }
                 return Err(AnalysisError::NoConvergence {
                     time: params.time,
                     residual: f64::INFINITY,
+                    iterations: iter + 1,
                 });
             }
             let (abstol, limit) = if k < nv {
@@ -563,11 +582,17 @@ pub fn newton_solve_budgeted(
             if delta.abs() > abstol + options.reltol * x_new[k].abs() {
                 converged = false;
             }
-            worst = worst.max(delta.abs());
+            if delta.abs() > worst {
+                worst = delta.abs();
+                worst_index = k;
+            }
             if delta.abs() > limit {
                 delta = limit.copysign(delta);
             }
             x[k] += delta;
+        }
+        if let Some(flight) = hooks.flight {
+            flight.record_iteration(params.time, dt, (iter + 1) as u64, worst, worst_index);
         }
         if converged {
             return Ok(());
@@ -576,6 +601,7 @@ pub fn newton_solve_budgeted(
     Err(AnalysisError::NoConvergence {
         time: params.time,
         residual: worst,
+        iterations: options.max_iterations,
     })
 }
 

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::{AnalysisError, BudgetKind};
+use crate::flight::FlightRecorder;
 use crate::metrics::SolverMetrics;
 
 /// Default ceiling on attempted timesteps, shared by
@@ -238,12 +239,21 @@ pub struct SolveSettings {
     /// Counter handle installed into analyses run under these settings.
     /// `None` leaves the analyses unmetered.
     pub metrics: Option<Arc<SolverMetrics>>,
+    /// Flight recorder armed on analyses run under these settings.
+    /// `None` (the default) disables per-iteration tracing entirely.
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl SolveSettings {
     /// `self` with `metrics` installed (builder style).
     pub fn metrics(mut self, metrics: Arc<SolverMetrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// `self` with a [`FlightRecorder`] armed (builder style).
+    pub fn flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
         self
     }
 }
@@ -256,6 +266,7 @@ impl Default for SolveSettings {
             rung: SolverRung::nominal(),
             budget: SolveBudget::unlimited().steps(DEFAULT_MAX_STEPS),
             metrics: None,
+            flight: None,
         }
     }
 }

@@ -142,12 +142,15 @@ pub fn dc_sweep(
         if solved.is_err() {
             let op = crate::dc::dc_operating_point_with(&working, &options).map_err(|e| {
                 match e {
-                    AnalysisError::NoConvergence { residual, .. } => {
-                        AnalysisError::NoConvergence {
-                            time: value,
-                            residual,
-                        }
-                    }
+                    AnalysisError::NoConvergence {
+                        residual,
+                        iterations,
+                        ..
+                    } => AnalysisError::NoConvergence {
+                        time: value,
+                        residual,
+                        iterations,
+                    },
                     other => other,
                 }
             })?;

@@ -1,7 +1,8 @@
 //! Transient (time-domain) analysis.
 
-use crate::dc::{dc_operating_point_metered, DcOptions};
+use crate::dc::{dc_operating_point_hooked, dc_operating_point_metered, DcOptions};
 use crate::devices::Device;
+use crate::flight::{FlightRecorder, SolveHooks, SolvePhase};
 use crate::metrics::SolverMetrics;
 use crate::mna::{
     newton_solve_budgeted, CompanionMode, Integrator, MnaLayout, NewtonOptions, ReactiveHistory,
@@ -68,6 +69,7 @@ pub struct TransientAnalysis {
     gmin: f64,
     budget: SolveBudget,
     metrics: Option<Arc<SolverMetrics>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl TransientAnalysis {
@@ -90,6 +92,7 @@ impl TransientAnalysis {
             gmin: 1e-12,
             budget: SolveBudget::unlimited().steps(DEFAULT_MAX_STEPS),
             metrics: None,
+            flight: None,
         }
     }
 
@@ -140,6 +143,14 @@ impl TransientAnalysis {
         self
     }
 
+    /// Arms a [`FlightRecorder`]: every Newton iteration of the DC
+    /// start and the time-march is captured into its bounded ring, so a
+    /// failure can be frozen into an [`obs::Postmortem`] afterwards.
+    pub fn flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
     /// Applies a complete [`SolveSettings`]: the escalation-rung scaling
     /// (timestep, integrator, `gmin`) plus the resource budget.
     ///
@@ -159,6 +170,9 @@ impl TransientAnalysis {
         self.budget = settings.budget;
         if let Some(metrics) = &settings.metrics {
             self.metrics = Some(Arc::clone(metrics));
+        }
+        if let Some(flight) = &settings.flight {
+            self.flight = Some(Arc::clone(flight));
         }
         self
     }
@@ -184,24 +198,34 @@ impl TransientAnalysis {
     fn run_inner(&self, netlist: &Netlist) -> Result<TransientResult, AnalysisError> {
         let layout = MnaLayout::new(netlist);
         let mut history = ReactiveHistory::new(netlist);
-        let metrics = self.metrics.as_deref();
+        let hooks = SolveHooks {
+            metrics: self.metrics.as_deref(),
+            flight: self.flight.as_deref(),
+        };
+        let metrics = hooks.metrics;
+        if let Some(flight) = hooks.flight {
+            flight.install_names(netlist, &layout);
+        }
 
         // --- Initial condition ------------------------------------------
         let mut x = match self.start {
             StartCondition::OperatingPoint => {
-                let op = dc_operating_point_metered(
+                let op = dc_operating_point_hooked(
                     netlist,
                     &DcOptions {
                         newton: self.newton,
                         gmin: self.gmin,
                         time: 0.0,
                     },
-                    metrics,
+                    hooks,
                 )?;
                 op.into_solution()
             }
             StartCondition::Uic => vec![0.0; layout.size()],
         };
+        if let Some(flight) = hooks.flight {
+            flight.set_phase(SolvePhase::Transient);
+        }
         seed_history(netlist, &layout, &x, self.start, &mut history);
 
         // --- Breakpoints --------------------------------------------------
@@ -253,9 +277,13 @@ impl TransientAnalysis {
                 break;
             }
 
-            // Attempt the step, halving on Newton failure.
+            // Attempt the step, halving on Newton failure. The loop only
+            // exits by accepting a step or propagating a real error, so
+            // a terminal `NoConvergence` always carries the residual and
+            // iteration count of the last actual Newton attempt — never
+            // a synthetic placeholder.
             let mut dt_try = t_next - t;
-            let accepted = loop {
+            let (x_new, method, dt_used) = loop {
                 let method = if post_discontinuity {
                     Integrator::BackwardEuler
                 } else {
@@ -278,10 +306,10 @@ impl TransientAnalysis {
                     &params,
                     &self.newton,
                     Some(&clock),
-                    metrics,
+                    hooks,
                     &mut x_try,
                 ) {
-                    Ok(()) => break Some((x_try, method, dt_try)),
+                    Ok(()) => break (x_try, method, dt_try),
                     Err(AnalysisError::NoConvergence { .. }) if dt_try / 2.0 >= self.min_dt => {
                         // Each halving retry is a fresh attempted step as
                         // far as the budget is concerned.
@@ -294,12 +322,6 @@ impl TransientAnalysis {
                     }
                     Err(e) => return Err(e),
                 }
-            };
-            let Some((x_new, method, dt_used)) = accepted else {
-                return Err(AnalysisError::NoConvergence {
-                    time: t,
-                    residual: f64::NAN,
-                });
             };
 
             t += dt_used;
@@ -652,7 +674,7 @@ impl TransientSession {
                     &params,
                     &self.newton,
                     None,
-                    self.metrics.as_deref(),
+                    SolveHooks::metrics(self.metrics.as_deref()),
                     &mut x_try,
                 ) {
                     Ok(()) => {
@@ -988,6 +1010,7 @@ mod tests {
             },
             budget: SolveBudget::unlimited().steps(123),
             metrics: None,
+            flight: None,
         };
         let tuned = base.clone().with_settings(&settings);
         assert!((tuned.dt - 0.5e-6).abs() < 1e-18);

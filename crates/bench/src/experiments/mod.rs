@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per table/figure.
 
 pub mod ablation;
+pub mod diverge;
 pub mod e1;
 pub mod e2;
 pub mod e3;

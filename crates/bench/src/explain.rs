@@ -1,0 +1,319 @@
+//! `experiments explain` — renders solver-failure postmortems from a
+//! machine-readable run report as a human-oriented diagnosis.
+//!
+//! A run report written with `--metrics-json` carries, per section, the
+//! postmortems frozen by armed convergence flight recorders (see
+//! `anasim::flight`). This module turns those back into narrative: what
+//! was being solved when the solver died, which escalation rungs were
+//! tried and how each ended, which circuit nodes dominated the Newton
+//! update, and the last recorded iterations of the trace. Everything
+//! rendered is deterministic — the same report bytes always explain to
+//! the same text.
+
+use std::fmt::Write as _;
+
+use obs::json::JsonValue;
+use obs::postmortem::Postmortem;
+use obs::table::{Align, Table};
+
+/// Extracts every postmortem from a parsed run report, paired with the
+/// name of the section that carried it, in report order.
+///
+/// # Errors
+///
+/// Returns a message when the document has no `sections` array or a
+/// postmortem entry is structurally invalid.
+pub fn collect_postmortems(report: &JsonValue) -> Result<Vec<(String, Postmortem)>, String> {
+    let sections = report
+        .get("sections")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "report has no sections array".to_owned())?;
+    let mut out = Vec::new();
+    for section in sections {
+        let name = section
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        let Some(pms) = section.get("postmortems").and_then(JsonValue::as_array) else {
+            continue;
+        };
+        for (i, pm) in pms.iter().enumerate() {
+            let pm = Postmortem::from_json(pm)
+                .map_err(|e| format!("section '{name}' postmortem {i}: {e}"))?;
+            out.push((name.clone(), pm));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders one postmortem as an indented narrative block: headline,
+/// escalation-ladder path, worst-offending nodes and the retained
+/// iteration trace.
+pub fn render_postmortem(section: &str, pm: &Postmortem) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "postmortem: {} (section {section})", pm.label);
+    let _ = writeln!(out, "  error: {}", pm.error);
+    let _ = writeln!(
+        out,
+        "  died at t = {:.3e} s, residual {:.3e}, {} Newton iterations total",
+        pm.time, pm.residual, pm.total_iterations
+    );
+    if let Some(steps) = pm.budget_steps {
+        let _ = writeln!(out, "  budget: {steps} steps charged at death");
+    }
+
+    if !pm.ladder.is_empty() {
+        let _ = writeln!(out, "\n  escalation ladder:");
+        let mut t = Table::new(&["rung", "settings", "outcome"])
+            .align(&[Align::Right, Align::Left, Align::Left]);
+        for step in &pm.ladder {
+            t.row(&[step.rung.to_string(), step.label.clone(), step.outcome.clone()]);
+        }
+        out.push_str(&indent(&t.render(), "    "));
+    }
+
+    if !pm.worst_nodes.is_empty() {
+        let full = pm.worst_nodes.first().map_or(1, |(_, c)| *c) as f64;
+        let _ = writeln!(out, "\n  worst-offending nodes (iterations dominated):");
+        let mut t = Table::new(&["node", "count", ""])
+            .align(&[Align::Left, Align::Right, Align::Left]);
+        for (node, count) in &pm.worst_nodes {
+            t.row(&[
+                node.clone(),
+                count.to_string(),
+                obs::table::bar(*count as f64, full, 24),
+            ]);
+        }
+        out.push_str(&indent(&t.render(), "    "));
+    }
+
+    if !pm.trace.is_empty() {
+        let _ = writeln!(out, "\n  last {} recorded iterations:", pm.trace.len());
+        let mut t = Table::new(&["phase", "t [s]", "dt [s]", "iter", "residual", "worst node"])
+            .align(&[
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Left,
+            ]);
+        for it in &pm.trace {
+            t.row(&[
+                it.phase.clone(),
+                format!("{:.3e}", it.time),
+                format!("{:.3e}", it.dt),
+                it.iteration.to_string(),
+                format!("{:.3e}", it.residual),
+                it.worst_node.clone(),
+            ]);
+        }
+        out.push_str(&indent(&t.render(), "    "));
+    }
+    out
+}
+
+/// Campaign-level rollup across a set of postmortems: which nodes
+/// dominated the Newton update most often, descending by count then
+/// name.
+pub fn top_offending_nodes(postmortems: &[(String, Postmortem)]) -> Vec<(String, u64)> {
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for (_, pm) in postmortems {
+        for (node, count) in &pm.worst_nodes {
+            *counts.entry(node.as_str()).or_default() += count;
+        }
+    }
+    let mut out: Vec<(String, u64)> = counts
+        .into_iter()
+        .map(|(node, count)| (node.to_owned(), count))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Explains a run-report JSON document: every postmortem (or only the
+/// one selected by `fault` — a zero-based index or an exact fault
+/// label), plus a top-offending-nodes rollup when more than one is
+/// shown.
+///
+/// # Errors
+///
+/// Returns a message for unparseable reports, invalid postmortems, or a
+/// `fault` selector matching nothing.
+pub fn explain_report(text: &str, fault: Option<&str>) -> Result<String, String> {
+    let parsed = obs::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let all = collect_postmortems(&parsed)?;
+    if all.is_empty() {
+        return Ok(
+            "no postmortems in this report: every solve converged, or no flight \
+             recorder was armed (run a campaign with CampaignConfig::flight)\n"
+                .to_owned(),
+        );
+    }
+
+    let selected: Vec<&(String, Postmortem)> = match fault {
+        None => all.iter().collect(),
+        Some(sel) => {
+            let picked: Vec<&(String, Postmortem)> = match sel.parse::<usize>() {
+                Ok(idx) => all.get(idx).into_iter().collect(),
+                Err(_) => all.iter().filter(|(_, pm)| pm.label == sel).collect(),
+            };
+            if picked.is_empty() {
+                return Err(format!(
+                    "no postmortem matches --fault {sel} (report has {}: {})",
+                    all.len(),
+                    all.iter()
+                        .map(|(_, pm)| pm.label.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            picked
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} of {} postmortem(s):\n",
+        selected.len(),
+        all.len()
+    );
+    for (i, (section, pm)) in selected.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render_postmortem(section, pm));
+    }
+    if selected.len() > 1 {
+        let owned: Vec<(String, Postmortem)> =
+            selected.iter().map(|&(s, pm)| (s.clone(), pm.clone())).collect();
+        let top = top_offending_nodes(&owned);
+        let _ = writeln!(out, "\ntop offending nodes across all postmortems:");
+        let full = top.first().map_or(1, |(_, c)| *c) as f64;
+        let mut t = Table::new(&["node", "count", ""])
+            .align(&[Align::Left, Align::Right, Align::Left]);
+        for (node, count) in top.iter().take(10) {
+            t.row(&[
+                node.clone(),
+                count.to_string(),
+                obs::table::bar(*count as f64, full, 24),
+            ]);
+        }
+        out.push_str(&indent(&t.render(), "  "));
+    }
+    Ok(out)
+}
+
+fn indent(text: &str, pad: &str) -> String {
+    text.lines()
+        .map(|l| {
+            if l.is_empty() {
+                String::from("\n")
+            } else {
+                format!("{pad}{l}\n")
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::postmortem::{LadderStep, PostmortemIteration};
+    use obs::{RunReport, Section};
+
+    fn sample_report() -> String {
+        let pm = |label: &str, node: &str| Postmortem {
+            label: label.to_owned(),
+            error: "newton iteration failed to converge at t = 1.000e-6 s".to_owned(),
+            time: 1e-6,
+            residual: 3.75,
+            total_iterations: 24,
+            trace: vec![PostmortemIteration {
+                phase: "transient".to_owned(),
+                time: 1e-6,
+                dt: 1e-6,
+                iteration: 6,
+                residual: 3.75,
+                worst_index: 2,
+                worst_node: node.to_owned(),
+            }],
+            worst_nodes: vec![(node.to_owned(), 24)],
+            ladder: vec![
+                LadderStep {
+                    rung: 0,
+                    label: "nominal".to_owned(),
+                    outcome: "no-convergence".to_owned(),
+                },
+                LadderStep {
+                    rung: 1,
+                    label: "dt*0.5".to_owned(),
+                    outcome: "no-convergence".to_owned(),
+                },
+            ],
+            budget_steps: None,
+        };
+        let mut section = Section::new("campaign.diverge");
+        section.postmortem(pm("f1", "gen1")).postmortem(pm("f2", "gen2"));
+        let mut report = RunReport::new();
+        report.push(section);
+        report.canonical_json_string()
+    }
+
+    #[test]
+    fn explains_every_postmortem_with_rollup() {
+        let text = explain_report(&sample_report(), None).unwrap();
+        assert!(text.contains("2 of 2 postmortem(s)"), "{text}");
+        assert!(text.contains("postmortem: f1 (section campaign.diverge)"));
+        assert!(text.contains("postmortem: f2"));
+        assert!(text.contains("escalation ladder"));
+        assert!(text.contains("no-convergence"));
+        assert!(text.contains("gen1"));
+        assert!(text.contains("top offending nodes across all postmortems"));
+    }
+
+    #[test]
+    fn fault_selector_picks_by_index_and_label() {
+        let report = sample_report();
+        let by_index = explain_report(&report, Some("1")).unwrap();
+        assert!(by_index.contains("postmortem: f2"), "{by_index}");
+        assert!(!by_index.contains("postmortem: f1"));
+        let by_label = explain_report(&report, Some("f1")).unwrap();
+        assert!(by_label.contains("postmortem: f1"));
+        assert!(!by_label.contains("postmortem: f2"));
+    }
+
+    #[test]
+    fn unmatched_selector_is_an_error_listing_candidates() {
+        let err = explain_report(&sample_report(), Some("nope")).unwrap_err();
+        assert!(err.contains("--fault nope"), "{err}");
+        assert!(err.contains("f1, f2"));
+    }
+
+    #[test]
+    fn report_without_postmortems_explains_why() {
+        let mut report = RunReport::new();
+        report.push(Section::new("e1"));
+        let text = explain_report(&report.canonical_json_string(), None).unwrap();
+        assert!(text.contains("no postmortems"), "{text}");
+    }
+
+    #[test]
+    fn invalid_json_and_structure_are_reported() {
+        assert!(explain_report("{not json", None).is_err());
+        assert!(explain_report("{\"schema\": \"x\"}", None)
+            .unwrap_err()
+            .contains("sections"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let report = sample_report();
+        assert_eq!(
+            explain_report(&report, None).unwrap(),
+            explain_report(&report, None).unwrap()
+        );
+    }
+}

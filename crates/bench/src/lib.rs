@@ -19,3 +19,5 @@
 //! of the same code paths.
 
 pub mod experiments;
+pub mod explain;
+pub mod solver_bench;

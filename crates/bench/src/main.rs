@@ -4,26 +4,38 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e6c1|e7|e8|ablation|all]
+//! experiments [e1|e2|e3|e4|e5|e6|e6c1|e7|e8|ablation|diverge|all]
 //!             [--workers N] [--metrics-json PATH] [--canonical-metrics]
+//!             [--bench-json PATH]
 //! experiments check-report PATH
+//! experiments explain PATH [--fault N]
 //! ```
 //!
 //! With `--metrics-json` the run also writes a machine-readable
 //! [`obs::RunReport`] (schema `mixsig.run-report/1`) covering every
 //! experiment that ran: detection coverage, solver counters, the
-//! escalation-rung histogram and wall-clock percentiles.
+//! escalation-rung histogram, wall-clock percentiles, and any solver
+//! postmortems frozen by armed flight recorders.
 //! `--canonical-metrics` zeroes the wall-clock milliseconds (keeping
 //! sample counts) so the bytes are identical for any `--workers` value.
+//! `--bench-json` writes a `mixsig.solver-bench/1` sidecar with each
+//! experiment's wall-clock and Newton-iteration totals (the committed
+//! `BENCH_solver.json` snapshot).
 //! `check-report` validates a previously written report (the CI smoke
-//! test).
+//! test), including the structure of any postmortems it carries.
+//! `explain` renders a report's solver postmortems as a narrative
+//! diagnosis: the escalation-ladder path, the worst-offending nodes and
+//! the last recorded Newton iterations (`--fault` selects one by
+//! zero-based index or fault label). The `diverge` experiment is a
+//! deliberately non-convergent campaign that demonstrates the pipeline.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use msbist_bench::experiments;
+use msbist_bench::solver_bench::{self, BenchEntry};
+use msbist_bench::{experiments, explain};
 use obs::json::JsonValue;
 use obs::{RunReport, Section};
 
@@ -38,9 +50,13 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("explain") {
+        return explain_command(&args[1..]);
+    }
 
     let mut which: Option<String> = None;
     let mut metrics_json: Option<String> = None;
+    let mut bench_json: Option<String> = None;
     let mut canonical = false;
     let mut workers = experiments::e6::E6_WORKERS;
     let mut it = args.iter();
@@ -49,6 +65,10 @@ fn main() -> ExitCode {
             "--metrics-json" => match it.next() {
                 Some(path) => metrics_json = Some(path.clone()),
                 None => return usage_error("--metrics-json needs a path"),
+            },
+            "--bench-json" => match it.next() {
+                Some(path) => bench_json = Some(path.clone()),
+                None => return usage_error("--bench-json needs a path"),
             },
             "--canonical-metrics" => canonical = true,
             "--workers" => match it.next().and_then(|w| w.parse::<usize>().ok()) {
@@ -62,18 +82,27 @@ fn main() -> ExitCode {
     let which = which.unwrap_or_else(|| "all".to_owned());
 
     let mut report = RunReport::new();
+    let mut bench_entries: Vec<BenchEntry> = Vec::new();
     let mut ran = false;
     {
-        // Each experiment prints its human report and contributes one
-        // section (timed under `bench.<experiment>`) to the run report.
+        // Each experiment prints its human report, contributes one
+        // section (timed under `bench.<experiment>`) to the run report,
+        // and one cost line to the solver-bench sidecar.
         let mut run_one = |name: &str, run: &dyn Fn(usize) -> (String, Section)| {
             ran = true;
             let started = Instant::now();
             let (text, mut section) = run(workers);
-            section.timing_ms(
-                &format!("bench.{name}"),
-                started.elapsed().as_secs_f64() * 1e3,
-            );
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            section.timing_ms(&format!("bench.{name}"), wall_ms);
+            bench_entries.push(BenchEntry {
+                name: name.to_owned(),
+                wall_ms,
+                newton_iterations: section
+                    .counters
+                    .get("solver.newton_iterations")
+                    .copied()
+                    .unwrap_or(0),
+            });
             println!("{text}\n");
             report.push(section);
         };
@@ -139,10 +168,16 @@ fn main() -> ExitCode {
                 (r.to_string(), r.to_section())
             });
         }
+        if which == "diverge" {
+            run_one("diverge", &|w| {
+                let r = experiments::diverge::run_with(w);
+                (r.to_string(), r.to_section())
+            });
+        }
     }
 
     if !ran {
-        eprintln!("unknown experiment '{which}'; expected e1..e8, e6c1, ablation or all");
+        eprintln!("unknown experiment '{which}'; expected e1..e8, e6c1, ablation, diverge or all");
         return ExitCode::FAILURE;
     }
 
@@ -158,16 +193,63 @@ fn main() -> ExitCode {
         }
         println!("metrics written to {path}");
     }
+    if let Some(path) = bench_json {
+        let text = solver_bench::render(&bench_entries);
+        if let Err(err) = fs::write(&path, text) {
+            eprintln!("cannot write solver bench to {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("solver bench written to {path}");
+    }
     ExitCode::SUCCESS
 }
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!(
-        "{message}\nusage: experiments [e1..e8|e6c1|ablation|all] \
-         [--workers N] [--metrics-json PATH] [--canonical-metrics]\n\
-         \x20      experiments check-report PATH"
+        "{message}\nusage: experiments [e1..e8|e6c1|ablation|diverge|all] \
+         [--workers N] [--metrics-json PATH] [--canonical-metrics] [--bench-json PATH]\n\
+         \x20      experiments check-report PATH\n\
+         \x20      experiments explain PATH [--fault N]"
     );
     ExitCode::FAILURE
+}
+
+/// The `explain` subcommand: reads a `--metrics-json` report and renders
+/// every solver postmortem it carries as a narrative diagnosis.
+fn explain_command(args: &[String]) -> ExitCode {
+    let mut path: Option<&String> = None;
+    let mut fault: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fault" => match it.next() {
+                Some(selector) => fault = Some(selector),
+                None => return usage_error("--fault needs an index or fault label"),
+            },
+            tag if !tag.starts_with('-') && path.is_none() => path = Some(arg),
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error("explain needs a report path");
+    };
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match explain::explain_report(&text, fault.map(String::as_str)) {
+        Ok(rendered) => {
+            println!("{rendered}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{path}: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Validates a run report written by `--metrics-json`: it must parse,
@@ -210,10 +292,34 @@ fn check_report(path: &str) -> ExitCode {
         Some(sections) if !sections.is_empty() => {}
         _ => failures.push("sections missing or empty".to_owned()),
     }
+    // Any postmortems the report carries must decode: a frozen trace,
+    // a named worst node and a ladder are what `explain` renders, so a
+    // structurally broken one fails the smoke test here rather than at
+    // diagnosis time.
+    let postmortems = match explain::collect_postmortems(&parsed) {
+        Ok(postmortems) => {
+            for (label, pm) in &postmortems {
+                if pm.trace.is_empty() {
+                    failures.push(format!("postmortem {label}: empty iteration trace"));
+                }
+                if pm.worst_nodes.is_empty() {
+                    failures.push(format!("postmortem {label}: no worst-node histogram"));
+                }
+                if pm.ladder.is_empty() {
+                    failures.push(format!("postmortem {label}: empty escalation ladder"));
+                }
+            }
+            postmortems.len()
+        }
+        Err(err) => {
+            failures.push(format!("postmortems invalid: {err}"));
+            0
+        }
+    };
     if failures.is_empty() {
         let summary = parsed.get("summary").expect("checked above");
         println!(
-            "{path}: ok (coverage {:?}, {} Newton iterations)",
+            "{path}: ok (coverage {:?}, {} Newton iterations, {postmortems} postmortem(s))",
             summary.get("coverage").and_then(JsonValue::as_f64),
             summary
                 .get("newton_iterations")

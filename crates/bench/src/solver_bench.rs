@@ -1,0 +1,132 @@
+//! The `--bench-json` sidecar: per-experiment wall-clock and solver
+//! effort, written as a small schema-versioned JSON document so CI can
+//! track solver-performance drift between commits (the committed
+//! `BENCH_solver.json` snapshot at the repository root is one of these).
+
+use obs::json::JsonValue;
+
+/// Schema tag written into every solver-bench document.
+pub const SCHEMA: &str = "mixsig.solver-bench/1";
+
+/// One experiment's cost line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Experiment tag (`e1` … `e8`, `e6c1`, `ablation`, `diverge`).
+    pub name: String,
+    /// Wall-clock time of the whole experiment in milliseconds.
+    pub wall_ms: f64,
+    /// Newton iterations the experiment spent (0 for experiments that
+    /// never enter the nonlinear solver).
+    pub newton_iterations: u64,
+}
+
+/// Renders the document. Entries appear in the order given (the order
+/// experiments ran); wall-clock values are rounded to microsecond
+/// precision so the file diffs readably.
+pub fn render(entries: &[BenchEntry]) -> String {
+    let mut obj = Vec::new();
+    obj.push(("schema".to_owned(), JsonValue::Str(SCHEMA.to_owned())));
+    let rows = entries
+        .iter()
+        .map(|e| {
+            JsonValue::Obj(vec![
+                ("name".to_owned(), JsonValue::Str(e.name.clone())),
+                (
+                    "wall_ms".to_owned(),
+                    JsonValue::Num((e.wall_ms * 1e3).round() / 1e3),
+                ),
+                (
+                    "newton_iterations".to_owned(),
+                    JsonValue::Num(e.newton_iterations as f64),
+                ),
+            ])
+        })
+        .collect();
+    obj.push(("experiments".to_owned(), JsonValue::Arr(rows)));
+    JsonValue::Obj(obj).to_json_pretty()
+}
+
+/// Validates a previously written solver-bench document: schema tag,
+/// non-empty experiment list, finite wall-clock values.
+///
+/// # Errors
+///
+/// Returns a message naming the first structural problem found.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let parsed = obs::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if parsed.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("schema is not {SCHEMA}"));
+    }
+    let entries = parsed
+        .get("experiments")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "experiments array missing".to_owned())?;
+    if entries.is_empty() {
+        return Err("experiments array is empty".to_owned());
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if e.get("name").and_then(JsonValue::as_str).is_none() {
+            return Err(format!("experiments[{i}].name missing"));
+        }
+        match e.get("wall_ms").and_then(JsonValue::as_f64) {
+            Some(w) if w.is_finite() && w >= 0.0 => {}
+            _ => return Err(format!("experiments[{i}].wall_ms missing or invalid")),
+        }
+        if e.get("newton_iterations").and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("experiments[{i}].newton_iterations missing"));
+        }
+    }
+    Ok(entries.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<BenchEntry> {
+        vec![
+            BenchEntry {
+                name: "e1".to_owned(),
+                wall_ms: 12.3456789,
+                newton_iterations: 0,
+            },
+            BenchEntry {
+                name: "e6c1".to_owned(),
+                wall_ms: 456.7,
+                newton_iterations: 12345,
+            },
+        ]
+    }
+
+    #[test]
+    fn rendered_document_validates_and_round_trips() {
+        let text = render(&entries());
+        assert_eq!(validate(&text), Ok(2));
+        let parsed = obs::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(JsonValue::as_str),
+            Some(SCHEMA)
+        );
+        let rows = parsed.get("experiments").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows[0].get("name").and_then(JsonValue::as_str), Some("e1"));
+        assert_eq!(
+            rows[1]
+                .get("newton_iterations")
+                .and_then(JsonValue::as_f64),
+            Some(12345.0)
+        );
+        // Wall-clock rounded to µs precision.
+        assert_eq!(
+            rows[0].get("wall_ms").and_then(JsonValue::as_f64),
+            Some(12.346)
+        );
+    }
+
+    #[test]
+    fn validation_names_the_failure() {
+        assert!(validate("{oops").is_err());
+        assert!(validate("{\"schema\": \"wrong\"}").unwrap_err().contains("schema"));
+        let no_rows = format!("{{\"schema\": \"{SCHEMA}\", \"experiments\": []}}");
+        assert!(validate(&no_rows).unwrap_err().contains("empty"));
+    }
+}

@@ -33,11 +33,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use anasim::flight::FlightRecorder;
 use anasim::metrics::{SolverMetrics, SolverSnapshot};
 use anasim::netlist::Netlist;
 use anasim::robust::{escalation_ladder, SolveBudget, SolveSettings, SolverRung};
 use anasim::AnalysisError;
-use obs::{Recorder, Section};
+use obs::{Postmortem, Recorder, Section};
 use sigproc::correlation::detection_instances;
 
 use crate::inject::inject;
@@ -147,6 +148,10 @@ pub struct FaultTelemetry {
     pub rungs_tried: usize,
     /// Wall-clock time spent on this fault.
     pub wall: Duration,
+    /// Frozen flight-recorder trace, present only when the campaign's
+    /// flight recorder was armed ([`CampaignConfig::flight`]) *and* the
+    /// fault exhausted every ladder rung without producing a signature.
+    pub postmortem: Option<Postmortem>,
 }
 
 impl FaultTelemetry {
@@ -234,6 +239,12 @@ pub struct CampaignConfig {
     pub ladder: Vec<SolverRung>,
     /// Resource budget applied to each extraction attempt.
     pub budget: SolveBudget,
+    /// Ring capacity of the per-fault convergence flight recorder, or
+    /// `None` (the default) to leave it disarmed. Armed, each fault gets
+    /// its own [`FlightRecorder`] shared across every ladder rung; a
+    /// fault that fails terminally freezes it into
+    /// [`FaultTelemetry::postmortem`].
+    pub flight: Option<usize>,
     /// Observability sink. Telemetry is accumulated per fault on worker
     /// threads and emitted here in universe order after collection, so
     /// what the recorder sees is deterministic for any worker count
@@ -249,6 +260,7 @@ impl fmt::Debug for CampaignConfig {
             .field("workers", &self.workers)
             .field("ladder", &self.ladder)
             .field("budget", &self.budget)
+            .field("flight", &self.flight)
             .field("has_recorder", &self.recorder.is_some())
             .finish()
     }
@@ -265,6 +277,7 @@ impl CampaignConfig {
             workers: 1,
             ladder: escalation_ladder(),
             budget: SolveBudget::unlimited().steps(5_000_000),
+            flight: None,
             recorder: None,
         }
     }
@@ -299,6 +312,15 @@ impl CampaignConfig {
     /// prefer step budgets when byte-stable reports matter.
     pub fn budget(mut self, budget: SolveBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Arms the convergence flight recorder with the given ring
+    /// capacity ([`FlightRecorder::DEFAULT_CAPACITY`] is a sensible
+    /// choice): faults that fail every ladder rung carry a frozen
+    /// [`Postmortem`] in their telemetry.
+    pub fn flight(mut self, capacity: usize) -> Self {
+        self.flight = Some(capacity);
         self
     }
 
@@ -354,10 +376,43 @@ impl CampaignReport {
             .count()
     }
 
+    /// Postmortems frozen during the campaign, paired with the name of
+    /// the fault they belong to, in universe order.
+    pub fn postmortems(&self) -> impl Iterator<Item = (&str, &Postmortem)> {
+        self.outcomes
+            .iter()
+            .zip(&self.stats.per_fault)
+            .filter_map(|(o, t)| t.postmortem.as_ref().map(|pm| (o.fault.name(), pm)))
+    }
+
+    /// Campaign-level rollup of the flight recorder's worst-offender
+    /// histograms: which circuit nodes most often dominated the Newton
+    /// update across *all* failed faults, descending by count then name.
+    /// Empty when the flight recorder was disarmed or nothing failed.
+    pub fn top_offending_nodes(&self) -> Vec<(String, u64)> {
+        let mut counts: std::collections::BTreeMap<&str, u64> =
+            std::collections::BTreeMap::new();
+        for t in &self.stats.per_fault {
+            if let Some(pm) = &t.postmortem {
+                for (node, count) in &pm.worst_nodes {
+                    *counts.entry(node.as_str()).or_default() += count;
+                }
+            }
+        }
+        let mut out: Vec<(String, u64)> = counts
+            .into_iter()
+            .map(|(node, count)| (node.to_owned(), count))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
     /// Renders the campaign as a named [`Section`] for a
     /// [`obs::RunReport`]: fault/detection counters, coverage, the
-    /// combined solver counters, the escalation-rung histogram and the
-    /// golden/per-fault wall-clock histograms.
+    /// combined solver counters, the escalation-rung histogram, the
+    /// golden/per-fault wall-clock histograms, and — when the flight
+    /// recorder was armed — every frozen postmortem plus `worst_node.*`
+    /// counters for the top offending nodes.
     pub fn to_section(&self, name: &str) -> Section {
         let mut section = Section::new(name);
         section
@@ -386,6 +441,14 @@ impl CampaignReport {
         );
         for t in &self.stats.per_fault {
             section.timing_ms("campaign.fault", t.wall.as_secs_f64() * 1e3);
+        }
+        for (node, count) in self.top_offending_nodes().into_iter().take(5) {
+            section.counter(&format!("worst_node.{node}"), count);
+        }
+        for t in &self.stats.per_fault {
+            if let Some(pm) = &t.postmortem {
+                section.postmortem(pm.clone());
+            }
         }
         section
     }
@@ -424,6 +487,10 @@ impl CampaignReport {
             }
             if let Some(r) = t.rung {
                 let _ = write!(out, " [rung {r}]");
+            }
+            if let Some((node, _)) = t.postmortem.as_ref().and_then(|pm| pm.worst_nodes.first())
+            {
+                let _ = write!(out, " [worst {node}]");
             }
             let _ = writeln!(out, " [newton {}]", t.solver.newton_iterations);
         }
@@ -474,6 +541,7 @@ where
         rung: SolverRung::nominal(),
         budget: config.budget,
         metrics: Some(Arc::clone(&golden_metrics)),
+        flight: None,
     };
     let golden_start = Instant::now();
     let golden_sig = extract(golden, &golden_settings)?;
@@ -484,6 +552,9 @@ where
         let faulty = inject(golden, fault);
         // One handle per fault, accumulated across ladder rungs.
         let metrics = Arc::new(SolverMetrics::new());
+        // One flight recorder per fault too, shared across every rung so
+        // a frozen postmortem shows the whole escalation path.
+        let flight = config.flight.map(|cap| Arc::new(FlightRecorder::new(cap)));
         let start = Instant::now();
 
         let mut rungs_tried = 0usize;
@@ -492,29 +563,62 @@ where
         let mut out_of_budget = false;
         for (i, rung) in config.ladder.iter().enumerate() {
             rungs_tried += 1;
+            if let Some(flight) = &flight {
+                flight.begin_rung(i, &rung.label());
+            }
             let settings = SolveSettings {
                 rung: *rung,
                 budget: config.budget,
                 metrics: Some(Arc::clone(&metrics)),
+                flight: flight.clone(),
             };
             match extract(&faulty, &settings) {
                 Ok(sig) => {
+                    if let Some(flight) = &flight {
+                        flight.end_rung("ok");
+                    }
                     produced = Some((i, sig));
                     break;
                 }
                 Err(err @ AnalysisError::BudgetExceeded { .. }) => {
                     // The budget bounds total effort per fault: do not
                     // walk further down the ladder.
+                    if let Some(flight) = &flight {
+                        flight.end_rung("budget");
+                    }
                     last_err = Some(err);
                     out_of_budget = true;
                     break;
                 }
-                Err(err) => last_err = Some(err),
+                Err(err) => {
+                    if let Some(flight) = &flight {
+                        flight.end_rung(match &err {
+                            AnalysisError::NoConvergence { .. } => "no-convergence",
+                            AnalysisError::SingularMatrix { .. } => "singular",
+                            _ => "error",
+                        });
+                    }
+                    last_err = Some(err);
+                }
             }
         }
 
         let wall = start.elapsed();
         let solver = metrics.snapshot();
+
+        // A fault that exhausted the ladder (or its budget) freezes its
+        // flight recorder into a postmortem before the error is moved
+        // into the status.
+        let postmortem = match (&flight, &last_err, &produced) {
+            (Some(flight), Some(err), None) => {
+                let budget_steps = match err {
+                    AnalysisError::BudgetExceeded { steps, .. } => Some(*steps as u64),
+                    _ => None,
+                };
+                Some(flight.freeze(fault.name(), err, budget_steps))
+            }
+            _ => None,
+        };
 
         let (signature, rung, status) = match produced {
             Some((i, sig)) => {
@@ -556,6 +660,7 @@ where
                 rung,
                 rungs_tried,
                 wall,
+                postmortem,
             },
         )
     };
@@ -726,6 +831,7 @@ mod tests {
                 Err(AnalysisError::NoConvergence {
                     time: 0.0,
                     residual: 1.0,
+                    iterations: 1,
                 })
             } else {
                 Ok(vec![dc_operating_point(n)?.voltage(b)])
@@ -733,6 +839,8 @@ mod tests {
         })
         .unwrap();
         assert!(report.outcomes[0].detection_pct().is_none());
+        // Flight recorder disarmed: no postmortem rides the telemetry.
+        assert!(report.stats.per_fault[0].postmortem.is_none());
         assert!(report.outcomes[0].is_detected(50.0));
         assert_eq!(report.coverage(50.0), 1.0);
         assert!(matches!(
@@ -788,6 +896,7 @@ mod tests {
                     return Err(AnalysisError::NoConvergence {
                         time: 0.0,
                         residual: 1.0,
+                        iterations: 1,
                     });
                 }
             }
@@ -1083,5 +1192,133 @@ mod tests {
         );
         let cov = section.values["coverage"];
         assert!((0.0..=100.0).contains(&cov));
+    }
+
+    /// A fixture whose fault is *deterministically* unsolvable: the
+    /// golden circuit is a mild divider with a reverse-biased diode
+    /// (nonlinear, so no linear fast path, but trivially convergent),
+    /// while the stuck-at-1 fault demands the injected 5 V generator
+    /// node travel further than Newton can move under the tight
+    /// `max_iterations × vstep_limit` product below. A `Uic` start
+    /// keeps the DC homotopies (which would rescue the clamp by source
+    /// stepping) out of the picture, and `min_dt = dt` forbids the
+    /// halving rescue — so every escalation rung fails the same way.
+    fn divergent_fixture() -> (Netlist, Vec<Fault>) {
+        let mut nl = Netlist::new();
+        let a = nl.node("in");
+        let b = nl.node("out");
+        nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::dc(0.2));
+        nl.resistor("R1", a, b, 1e3);
+        nl.resistor("R2", b, Netlist::GROUND, 1e3);
+        nl.diode(
+            "D1",
+            Netlist::GROUND,
+            b,
+            anasim::devices::DiodeParams::default(),
+        );
+        // Both stuck-at-1 clamps demand an unreachable 5 V generator
+        // node; two faults make the parallel byte-stability test use
+        // more than one worker for real.
+        let faults = vec![
+            Fault::stuck_at_1("diverge", b),
+            Fault::stuck_at_1("diverge-in", a),
+        ];
+        (nl, faults)
+    }
+
+    fn tight_extract(
+        nl: &Netlist,
+        settings: &SolveSettings,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        use anasim::mna::NewtonOptions;
+        use anasim::transient::StartCondition;
+        let out = nl.find_node("out").expect("node out");
+        let newton = NewtonOptions {
+            max_iterations: 6,
+            vstep_limit: 0.25,
+            ..NewtonOptions::default()
+        };
+        let result = TransientAnalysis::new(1e-5, 1e-6)
+            .start_condition(StartCondition::Uic)
+            .newton_options(newton)
+            .min_dt(1e-6)
+            .with_settings(settings)
+            .run(nl)?;
+        let w = result.voltage(out);
+        Ok((0..10).map(|k| w.value_at(k as f64 * 1e-6)).collect())
+    }
+
+    #[test]
+    fn divergent_fault_freezes_a_postmortem() {
+        let (nl, faults) = divergent_fixture();
+        let config = CampaignConfig::new(0.05).flight(64);
+        let report = run_campaign_with(&nl, &faults, &config, tight_extract).unwrap();
+
+        // Every rung failed; the hard-fault convention detects it.
+        assert!(matches!(
+            report.outcomes[0].status,
+            FaultStatus::SimFailed { rungs_tried: 4, .. }
+        ));
+        assert!(report.outcomes[0].is_detected(50.0));
+
+        let pm = report.stats.per_fault[0]
+            .postmortem
+            .as_ref()
+            .expect("terminal failure with armed flight freezes a postmortem");
+        assert_eq!(pm.label, "diverge");
+        assert!(!pm.trace.is_empty(), "iteration trace must not be empty");
+        assert!(pm.total_iterations > 0);
+        assert!(pm.residual.is_finite() && pm.residual > 0.0);
+        // The worst node resolves to a real netlist name, not a
+        // positional fallback.
+        let (worst, count) = &pm.worst_nodes[0];
+        assert!(!worst.is_empty() && !worst.starts_with("x["), "worst {worst}");
+        assert_eq!(*worst, "fault:diverge:gen");
+        assert!(*count > 0);
+        for it in &pm.trace {
+            assert!(!it.worst_node.starts_with("x["));
+            assert_eq!(it.phase, "transient");
+        }
+        // The full ladder path is on record, each rung non-convergent.
+        assert_eq!(pm.ladder.len(), 4);
+        for step in &pm.ladder {
+            assert_eq!(step.outcome, "no-convergence");
+        }
+        // And the campaign rollup surfaces the same offender.
+        let top = report.top_offending_nodes();
+        assert!(top.iter().any(|(n, _)| n == "fault:diverge:gen"), "{top:?}");
+        assert!(top.iter().all(|(_, c)| *c > 0));
+        let pms: Vec<_> = report.postmortems().collect();
+        assert_eq!(pms.len(), 2);
+        assert_eq!(pms[0].0, "diverge");
+        assert_eq!(pms[1].0, "diverge-in");
+    }
+
+    #[test]
+    fn postmortem_reports_are_byte_identical_across_worker_counts() {
+        let (nl, faults) = divergent_fixture();
+        let canonical = |workers: usize| {
+            let config = CampaignConfig::new(0.05).flight(64).workers(workers);
+            let report = run_campaign_with(&nl, &faults, &config, tight_extract).unwrap();
+            let mut run = obs::RunReport::new();
+            run.push(report.to_section("campaign.diverge"));
+            run.canonical_json_string()
+        };
+        let serial = canonical(1);
+        assert_eq!(serial, canonical(4));
+        // The canonical bytes actually contain the postmortem.
+        assert!(serial.contains("\"postmortems\""));
+        assert!(serial.contains("fault:diverge:gen"));
+        // The section counter rollup carries the top offender too.
+        assert!(serial.contains("worst_node.fault:diverge:gen"));
+    }
+
+    #[test]
+    fn canonical_text_names_the_worst_node_when_flight_is_armed() {
+        let (nl, faults) = divergent_fixture();
+        let config = CampaignConfig::new(0.05).flight(64);
+        let report = run_campaign_with(&nl, &faults, &config, tight_extract).unwrap();
+        let text = report.canonical_text();
+        assert!(text.contains("[worst fault:diverge:gen]"), "{text}");
     }
 }

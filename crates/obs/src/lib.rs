@@ -24,17 +24,26 @@
 //! deterministic count, so reports are byte-identical across worker
 //! counts and machines.
 //!
+//! Failure diagnosis flows through the same pipeline:
+//! [`ring::RingBuffer`] bounds per-iteration solver traces, and
+//! [`postmortem::Postmortem`] is the frozen, fully deterministic record
+//! of a terminally failed solve that sections embed verbatim.
+//!
 //! Human-facing output goes through [`table::Table`], so printed tables
 //! and the JSON report cannot drift apart.
 
 pub mod histogram;
 pub mod json;
+pub mod postmortem;
 pub mod recorder;
 pub mod report;
+pub mod ring;
 pub mod span;
 pub mod table;
 
 pub use histogram::Histogram;
+pub use postmortem::{LadderStep, Postmortem, PostmortemIteration};
 pub use recorder::{AggregatingRecorder, NoopRecorder, Recorder};
 pub use report::{RunReport, Section};
+pub use ring::RingBuffer;
 pub use table::{Align, Table};

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 
 use crate::histogram::Histogram;
 use crate::json::JsonValue;
+use crate::postmortem::Postmortem;
 use crate::recorder::Aggregate;
 
 /// Report schema identifier, bumped on breaking layout changes.
@@ -36,6 +37,10 @@ pub struct Section {
     pub histograms: BTreeMap<String, Vec<u64>>,
     /// Wall-clock samples (milliseconds) by span name.
     pub timings: BTreeMap<String, Histogram>,
+    /// Solver failure postmortems, in the order they were attached.
+    /// Postmortems carry only deterministic quantities, so they appear
+    /// verbatim in both full and canonical serialisations.
+    pub postmortems: Vec<Postmortem>,
 }
 
 impl Section {
@@ -68,6 +73,12 @@ impl Section {
     /// Records one wall-clock sample (milliseconds) under span `name`.
     pub fn timing_ms(&mut self, name: &str, ms: f64) -> &mut Self {
         self.timings.entry(name.to_owned()).or_default().record(ms);
+        self
+    }
+
+    /// Attaches a solver failure postmortem.
+    pub fn postmortem(&mut self, pm: Postmortem) -> &mut Self {
+        self.postmortems.push(pm);
         self
     }
 
@@ -114,6 +125,10 @@ impl Section {
             timings.push(name, timing_json(hist, canonical));
         }
         obj.push("timings", timings);
+        obj.push(
+            "postmortems",
+            JsonValue::Arr(self.postmortems.iter().map(Postmortem::to_json).collect()),
+        );
         obj
     }
 }
@@ -208,6 +223,14 @@ impl RunReport {
             }
         }
         total
+    }
+
+    /// Every postmortem in the report, paired with the name of the
+    /// section carrying it, in serialisation order.
+    pub fn postmortems(&self) -> impl Iterator<Item = (&str, &Postmortem)> {
+        self.sections
+            .iter()
+            .flat_map(|s| s.postmortems.iter().map(move |pm| (s.name.as_str(), pm)))
     }
 
     /// All timing samples across all sections and spans, merged into
@@ -345,6 +368,55 @@ mod tests {
         let wall = parsed.get("summary").and_then(|s| s.get("wall_ms")).unwrap();
         assert_eq!(wall.get("count").and_then(JsonValue::as_f64), Some(1.0));
         assert_eq!(wall.get("p50_ms").and_then(JsonValue::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn postmortems_serialise_identically_in_both_forms() {
+        use crate::postmortem::{LadderStep, Postmortem};
+        let mut section = sample_section("c1", 50.0, 1, 3.0);
+        section.postmortem(Postmortem {
+            label: "f17".into(),
+            error: "no convergence".into(),
+            time: 3.2e-6,
+            residual: 0.4,
+            total_iterations: 24,
+            ladder: vec![LadderStep {
+                rung: 0,
+                label: "nominal".into(),
+                outcome: "no-convergence".into(),
+            }],
+            ..Postmortem::default()
+        });
+        let mut report = RunReport::new();
+        report.push(section);
+
+        let full = json::parse(&report.to_json_string()).unwrap();
+        let canon = json::parse(&report.canonical_json_string()).unwrap();
+        for parsed in [&full, &canon] {
+            let pms = parsed.get("sections").and_then(JsonValue::as_array).unwrap()[0]
+                .get("postmortems")
+                .and_then(JsonValue::as_array)
+                .expect("postmortems array present");
+            assert_eq!(pms.len(), 1);
+            assert_eq!(pms[0].get("label").and_then(JsonValue::as_str), Some("f17"));
+        }
+        // The postmortem bytes themselves are identical in both forms.
+        let extract = |s: &str| {
+            let v = json::parse(s).unwrap();
+            v.get("sections").and_then(JsonValue::as_array).unwrap()[0]
+                .get("postmortems")
+                .unwrap()
+                .to_json()
+        };
+        assert_eq!(
+            extract(&report.to_json_string()),
+            extract(&report.canonical_json_string())
+        );
+        // And the iterator walks them with section attribution.
+        let found: Vec<(&str, &Postmortem)> = report.postmortems().collect();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, "c1");
+        assert_eq!(found[0].1.label, "f17");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! A bounded ring buffer keeping the most recent `capacity` items.
+//!
+//! The convergence flight recorder stores per-iteration solver records
+//! in one of these: pushes never allocate after construction (the
+//! backing storage is reserved up front), and once full, each push
+//! overwrites the oldest record, so a diverging solve that runs for
+//! thousands of iterations still freezes into a bounded postmortem.
+
+/// A fixed-capacity ring keeping the last `capacity` pushed items.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    items: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest item once the ring has wrapped.
+    head: usize,
+    /// Total number of items ever pushed (monotonic).
+    pushed: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// A ring holding at most `capacity` items. The backing storage is
+    /// reserved immediately so later pushes never allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a ring that can hold nothing is a
+    /// construction bug, not data).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingBuffer {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Maximum number of retained items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total number of items ever pushed, including overwritten ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Pushes an item, overwriting the oldest once the ring is full.
+    pub fn push(&mut self, item: T) {
+        self.pushed += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.head] = item;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Iterates the retained items oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (wrapped, start) = self.items.split_at(self.head);
+        start.iter().chain(wrapped.iter())
+    }
+
+    /// Discards every retained item (capacity is kept).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+        self.pushed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let mut ring = RingBuffer::new(4);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.total_pushed(), 2);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut ring = RingBuffer::new(3);
+        for v in 1..=7 {
+            ring.push(v);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_pushed(), 7);
+        // Oldest first: 5, 6, 7 survive.
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn wrap_point_iterates_in_push_order() {
+        let mut ring = RingBuffer::new(2);
+        ring.push("a");
+        ring.push("b");
+        ring.push("c");
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn pushes_never_reallocate() {
+        let mut ring = RingBuffer::new(8);
+        let cap_before = ring.items.capacity();
+        for v in 0..1000 {
+            ring.push(v);
+        }
+        assert_eq!(ring.items.capacity(), cap_before);
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_capacity() {
+        let mut ring = RingBuffer::new(2);
+        ring.push(1);
+        ring.push(2);
+        ring.push(3);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_pushed(), 0);
+        ring.push(9);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+}

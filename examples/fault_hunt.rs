@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use mixsig::anasim::flight::FlightRecorder;
 use mixsig::faultsim::campaign::CampaignConfig;
 use mixsig::macrolib::process::ProcessParams;
 use mixsig::msbist::transtest::circuits::circuit1;
@@ -35,9 +36,12 @@ fn main() {
     // parallel under the escalation ladder, scored by detection
     // instances. The report is identical for any worker count, and the
     // recorder sees the telemetry in universe order.
+    // The flight recorder is armed so any fault that exhausts the whole
+    // escalation ladder freezes a postmortem naming the worst node.
     let recorder = Arc::new(AggregatingRecorder::new());
     let config = CampaignConfig::new(0.02 * peak)
         .workers(4)
+        .flight(FlightRecorder::DEFAULT_CAPACITY)
         .recorder(recorder.clone());
     let report = circuit
         .bench
@@ -106,6 +110,27 @@ fn main() {
             t.wall.as_secs_f64() * 1e3,
             t.rungs_tried
         );
+    }
+
+    // Postmortems: faults the ladder could not rescue, each with the
+    // frozen last iterations and the node that dominated the residual.
+    let postmortems: Vec<_> = report.postmortems().collect();
+    if postmortems.is_empty() {
+        println!("  postmortems       : none (every fault converged on some rung)");
+    } else {
+        println!("  postmortems       : {} fault(s) exhausted the ladder", postmortems.len());
+        for (name, pm) in &postmortems {
+            println!(
+                "    {name}: residual {:.3e} at t = {:.3e} s, worst node {}",
+                pm.residual,
+                pm.time,
+                pm.worst_nodes.first().map_or("?", |(n, _)| n.as_str())
+            );
+        }
+        println!("  top offending nodes:");
+        for (node, count) in report.top_offending_nodes().iter().take(5) {
+            println!("    {node}: {count} iterations");
+        }
     }
 
     // The same numbers as the recorder saw them: per-step counters and
