@@ -41,6 +41,11 @@ pub enum AnalysisError {
         /// Which budget dimension was exhausted.
         kind: BudgetKind,
     },
+    /// The analysis was cancelled cooperatively through a
+    /// [`crate::robust::CancelToken`] (Ctrl-C, an embedding caller, a
+    /// campaign shutting down). Not a solver failure: the circuit may
+    /// have been perfectly solvable.
+    Cancelled,
 }
 
 /// The budget dimension that ran out in
@@ -80,6 +85,7 @@ impl fmt::Display for AnalysisError {
                     "{what} exhausted at t = {time:.3e} s after {steps} steps"
                 )
             }
+            AnalysisError::Cancelled => write!(f, "analysis cancelled by caller"),
         }
     }
 }

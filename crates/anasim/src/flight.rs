@@ -206,12 +206,31 @@ impl FlightRecorder {
         error: &AnalysisError,
         budget_steps: Option<u64>,
     ) -> Postmortem {
-        let state = self.lock();
         let (time, residual) = match error {
             AnalysisError::NoConvergence { time, residual, .. } => (*time, *residual),
             AnalysisError::BudgetExceeded { time, .. } => (*time, f64::NAN),
             _ => (0.0, f64::NAN),
         };
+        self.freeze_with(label, error.to_string(), time, residual, budget_steps)
+    }
+
+    /// [`FlightRecorder::freeze`] for deaths that carry no
+    /// [`AnalysisError`] — a caught solver panic, for instance. The
+    /// free-form `error` string lands verbatim in
+    /// [`Postmortem::error`]; time and residual come from the trace.
+    pub fn freeze_panic(&self, label: &str, payload: &str) -> Postmortem {
+        self.freeze_with(label, format!("panic: {payload}"), 0.0, f64::NAN, None)
+    }
+
+    fn freeze_with(
+        &self,
+        label: &str,
+        error: String,
+        time: f64,
+        residual: f64,
+        budget_steps: Option<u64>,
+    ) -> Postmortem {
+        let state = self.lock();
         // The trace with worst indices resolved to names, oldest first.
         let trace: Vec<PostmortemIteration> = state
             .ring
@@ -246,7 +265,7 @@ impl FlightRecorder {
         };
         Postmortem {
             label: label.to_owned(),
-            error: error.to_string(),
+            error,
             time,
             residual,
             total_iterations: state.total_iterations,

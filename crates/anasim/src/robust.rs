@@ -14,8 +14,13 @@
 //!   instead of hanging;
 //! * [`SolverRung`] and [`escalation_ladder`] — a sequence of
 //!   progressively more conservative solver configurations to retry a
-//!   failed extraction with, trading accuracy for stability.
+//!   failed extraction with, trading accuracy for stability;
+//! * [`CancelToken`] — a shared atomic flag for cooperative
+//!   cancellation, polled by [`BudgetClock::check_wall`] from the inner
+//!   solver loops so Ctrl-C (or any embedding caller) interrupts even a
+//!   single stuck Newton solve with [`AnalysisError::Cancelled`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,17 +67,51 @@ impl SolveBudget {
     }
 }
 
+/// Shared cooperative-cancellation flag.
+///
+/// Cloning is cheap (an [`Arc`] of one atomic); every clone observes the
+/// same flag. A token is threaded into analyses through
+/// [`SolveSettings::cancel`], from where the [`BudgetClock`] polls it
+/// between Newton iterations and timesteps — so cancellation interrupts
+/// an in-flight solve within one iteration, surfacing as
+/// [`AnalysisError::Cancelled`]. Cancellation is one-way: there is
+/// deliberately no `reset`, so a fresh campaign needs a fresh token.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Safe to call from any thread (or a signal
+    /// handler — it is a single atomic store); idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
 /// Running meter for one analysis against a [`SolveBudget`].
 ///
 /// The time-march charges one step per attempted timestep via
 /// [`BudgetClock::charge_step`]; the Newton solver polls
 /// [`BudgetClock::check_wall`] between iterations so a wall-clock
-/// ceiling interrupts even a single stuck step.
+/// ceiling — or a raised [`CancelToken`] — interrupts even a single
+/// stuck step.
 #[derive(Debug, Clone)]
 pub struct BudgetClock {
     budget: SolveBudget,
     started: Instant,
     steps: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl BudgetClock {
@@ -82,7 +121,15 @@ impl BudgetClock {
             budget,
             started: Instant::now(),
             steps: 0,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token for [`BudgetClock::check_wall`] to
+    /// poll (builder style).
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Timesteps charged so far.
@@ -110,15 +157,21 @@ impl BudgetClock {
         self.check_wall(time)
     }
 
-    /// Checks only the wall-clock ceiling (cheap enough to poll from
-    /// inner solver loops).
+    /// Checks the cancellation flag and the wall-clock ceiling (cheap
+    /// enough to poll from inner solver loops).
     ///
     /// # Errors
     ///
-    /// Returns [`AnalysisError::BudgetExceeded`] with
-    /// [`BudgetKind::WallClock`] when the elapsed time exceeds the
-    /// budget.
+    /// Returns [`AnalysisError::Cancelled`] when an attached
+    /// [`CancelToken`] has been raised, or
+    /// [`AnalysisError::BudgetExceeded`] with [`BudgetKind::WallClock`]
+    /// when the elapsed time exceeds the budget.
     pub fn check_wall(&self, time: f64) -> Result<(), AnalysisError> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Err(AnalysisError::Cancelled);
+            }
+        }
         if let Some(max) = self.budget.max_wall {
             if self.started.elapsed() > max {
                 return Err(AnalysisError::BudgetExceeded {
@@ -242,6 +295,9 @@ pub struct SolveSettings {
     /// Flight recorder armed on analyses run under these settings.
     /// `None` (the default) disables per-iteration tracing entirely.
     pub flight: Option<Arc<FlightRecorder>>,
+    /// Cooperative-cancellation token polled from the inner solver
+    /// loops. `None` (the default) makes the analysis uninterruptible.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SolveSettings {
@@ -256,6 +312,12 @@ impl SolveSettings {
         self.flight = Some(flight);
         self
     }
+
+    /// `self` with a [`CancelToken`] attached (builder style).
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
 }
 
 impl Default for SolveSettings {
@@ -267,6 +329,7 @@ impl Default for SolveSettings {
             budget: SolveBudget::unlimited().steps(DEFAULT_MAX_STEPS),
             metrics: None,
             flight: None,
+            cancel: None,
         }
     }
 }
@@ -330,6 +393,38 @@ mod tests {
         // The last rung is maximally damped.
         assert!(ladder.last().unwrap().force_backward_euler);
         assert!(ladder.last().unwrap().gmin.is_some());
+    }
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        // Idempotent.
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn check_wall_reports_cancellation_before_budget() {
+        let token = CancelToken::new();
+        // A zero wall budget would trip BudgetExceeded, but a raised
+        // token must win so callers see a clean Cancelled.
+        let clock = BudgetClock::new(SolveBudget::unlimited().wall(Duration::ZERO))
+            .with_cancel(Some(token.clone()));
+        std::thread::sleep(Duration::from_millis(1));
+        token.cancel();
+        assert_eq!(clock.check_wall(0.1).unwrap_err(), AnalysisError::Cancelled);
+    }
+
+    #[test]
+    fn untripped_token_does_not_interfere() {
+        let clock =
+            BudgetClock::new(SolveBudget::unlimited()).with_cancel(Some(CancelToken::new()));
+        assert!(clock.check_wall(0.1).is_ok());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::mna::{
     StampParams,
 };
 use crate::netlist::{DeviceId, Netlist, NodeId};
-use crate::robust::{BudgetClock, SolveBudget, SolveSettings, DEFAULT_MAX_STEPS};
+use crate::robust::{BudgetClock, CancelToken, SolveBudget, SolveSettings, DEFAULT_MAX_STEPS};
 use crate::waveform::Waveform;
 use crate::AnalysisError;
 
@@ -70,6 +70,7 @@ pub struct TransientAnalysis {
     budget: SolveBudget,
     metrics: Option<Arc<SolverMetrics>>,
     flight: Option<Arc<FlightRecorder>>,
+    cancel: Option<CancelToken>,
 }
 
 impl TransientAnalysis {
@@ -93,6 +94,7 @@ impl TransientAnalysis {
             budget: SolveBudget::unlimited().steps(DEFAULT_MAX_STEPS),
             metrics: None,
             flight: None,
+            cancel: None,
         }
     }
 
@@ -151,6 +153,14 @@ impl TransientAnalysis {
         self
     }
 
+    /// Attaches a [`CancelToken`]: raising it from any thread makes the
+    /// run abort with [`AnalysisError::Cancelled`] within one Newton
+    /// iteration.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// Applies a complete [`SolveSettings`]: the escalation-rung scaling
     /// (timestep, integrator, `gmin`) plus the resource budget.
     ///
@@ -173,6 +183,9 @@ impl TransientAnalysis {
         }
         if let Some(flight) = &settings.flight {
             self.flight = Some(Arc::clone(flight));
+        }
+        if let Some(cancel) = &settings.cancel {
+            self.cancel = Some(cancel.clone());
         }
         self
     }
@@ -258,7 +271,7 @@ impl TransientAnalysis {
         // breakpoint: backward Euler damps the discontinuity that would
         // make trapezoidal ring.
         let mut post_discontinuity = true;
-        let mut clock = BudgetClock::new(self.budget);
+        let mut clock = BudgetClock::new(self.budget).with_cancel(self.cancel.clone());
 
         while t < self.t_stop - 1e-15 * self.t_stop {
             clock.charge_step(t)?;
@@ -1011,6 +1024,7 @@ mod tests {
             budget: SolveBudget::unlimited().steps(123),
             metrics: None,
             flight: None,
+            cancel: None,
         };
         let tuned = base.clone().with_settings(&settings);
         assert!((tuned.dt - 0.5e-6).abs() < 1e-18);
@@ -1023,6 +1037,35 @@ mod tests {
         let nominal = base.clone().with_settings(&SolveSettings::default());
         assert_eq!(nominal.dt, base.dt);
         assert_eq!(nominal.integrator, base.integrator);
+    }
+
+    #[test]
+    fn pre_raised_cancel_token_aborts_the_run() {
+        use crate::robust::CancelToken;
+
+        let (nl, _) = rc_circuit(1e3, 1e-6);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = TransientAnalysis::new(1e-3, 10e-6)
+            .cancel(token)
+            .run(&nl)
+            .unwrap_err();
+        assert_eq!(err, AnalysisError::Cancelled);
+    }
+
+    #[test]
+    fn cancel_token_arrives_through_with_settings() {
+        use crate::robust::{CancelToken, SolveSettings};
+
+        let (nl, _) = rc_circuit(1e3, 1e-6);
+        let token = CancelToken::new();
+        token.cancel();
+        let settings = SolveSettings::default().cancel(token);
+        let err = TransientAnalysis::new(1e-3, 10e-6)
+            .with_settings(&settings)
+            .run(&nl)
+            .unwrap_err();
+        assert_eq!(err, AnalysisError::Cancelled);
     }
 
     #[test]

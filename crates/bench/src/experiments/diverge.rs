@@ -26,6 +26,8 @@ use faultsim::campaign::{run_campaign_with, CampaignConfig, CampaignReport, Faul
 use faultsim::model::Fault;
 use obs::Section;
 
+use crate::hooks::CampaignHooks;
+
 /// Newton ceiling for the divergent extraction; together with
 /// [`VSTEP_LIMIT`] it bounds Newton movement to 1.5 V per solve —
 /// short of the 5 V the injected stuck-at generator demands.
@@ -145,13 +147,30 @@ pub fn run() -> DivergeReport {
 /// [`run`] on `workers` threads. The report and its canonical metrics
 /// are byte-identical for any worker count.
 pub fn run_with(workers: usize) -> DivergeReport {
+    run_with_hooks(workers, &CampaignHooks::none()).expect("golden fixture must simulate")
+}
+
+/// [`run`] with crash-safety hooks: the campaign journals its frozen
+/// postmortems under the `diverge` label and polls the cancellation
+/// token at fault boundaries.
+///
+/// # Errors
+///
+/// [`AnalysisError`](anasim::AnalysisError)`::Cancelled` on cooperative
+/// cancellation, or any golden-extraction error.
+pub fn run_with_hooks(
+    workers: usize,
+    hooks: &CampaignHooks,
+) -> Result<DivergeReport, AnalysisError> {
     let (golden, faults) = fixture();
-    let config = CampaignConfig::new(0.05)
-        .workers(workers)
-        .flight(FlightRecorder::DEFAULT_CAPACITY);
-    let campaign = run_campaign_with(&golden, &faults, &config, tight_extract)
-        .expect("golden fixture must simulate");
-    DivergeReport { campaign }
+    let config = hooks.apply(
+        CampaignConfig::new(0.05)
+            .workers(workers)
+            .flight(FlightRecorder::DEFAULT_CAPACITY),
+        "diverge",
+    );
+    let campaign = run_campaign_with(&golden, &faults, &config, tight_extract)?;
+    Ok(DivergeReport { campaign })
 }
 
 #[cfg(test)]

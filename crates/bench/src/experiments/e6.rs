@@ -10,7 +10,10 @@
 use std::fmt;
 
 use anasim::metrics::SolverSnapshot;
+use anasim::AnalysisError;
 use faultsim::campaign::{CampaignConfig, CampaignReport};
+
+use crate::hooks::CampaignHooks;
 use macrolib::process::ProcessParams;
 use obs::{Histogram, Section};
 use msbist::transtest::circuits::{circuit1, circuit2, circuit3, ExampleCircuit};
@@ -169,25 +172,30 @@ impl fmt::Display for E6Report {
 }
 
 /// Runs the correlation campaign for one example circuit on the
-/// resilient engine and adds it to the figure.
+/// resilient engine and adds it to the figure. The campaign journals
+/// under `e6.c<N>.correlation` when the hooks carry a journal.
 fn correlation_campaign(
     figure: &mut DetectionFigure,
     solver: &mut SolverSummary,
     circuit: &ExampleCircuit,
     workers: usize,
-) {
+    hooks: &CampaignHooks,
+) -> Result<(), AnalysisError> {
     let golden = circuit
         .bench
         .correlation_signature(circuit.bench.netlist())
         .expect("golden circuit must simulate");
     let peak = golden.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
-    let config = CampaignConfig::new(RELATIVE_THRESHOLD * peak).workers(workers);
+    let config = hooks.apply(
+        CampaignConfig::new(RELATIVE_THRESHOLD * peak).workers(workers),
+        &format!("e6.c{}.correlation", circuit.number),
+    );
     let report = circuit
         .bench
-        .run_correlation_campaign_with(&circuit.faults, &config)
-        .expect("golden circuit must simulate");
+        .run_correlation_campaign_with(&circuit.faults, &config)?;
     solver.absorb(&report);
     figure.add_campaign(circuit.number, &report);
+    Ok(())
 }
 
 /// Runs the impulse-response (approach 2) comparison for an SC circuit:
@@ -225,24 +233,28 @@ fn impulse_campaign(figure: &mut DetectionFigure, circuit: &ExampleCircuit) {
 }
 
 /// Runs the dynamic-IDD campaign for one example circuit on the
-/// resilient engine.
+/// resilient engine, journaling under `e6.c<N>.idd`.
 fn idd_campaign(
     figure: &mut DetectionFigure,
     solver: &mut SolverSummary,
     circuit: &ExampleCircuit,
     workers: usize,
-) {
-    let config = CampaignConfig::new(0.0).workers(workers);
+    hooks: &CampaignHooks,
+) -> Result<(), AnalysisError> {
+    let config = hooks.apply(
+        CampaignConfig::new(0.0).workers(workers),
+        &format!("e6.c{}.idd", circuit.number),
+    );
     let report = run_idd_campaign_with(
         &circuit.bench,
         &circuit.vdd_sources,
         &circuit.faults,
         RELATIVE_THRESHOLD,
         &config,
-    )
-    .expect("golden circuit must simulate");
+    )?;
     solver.absorb(&report);
     figure.add_campaign(circuit.number, &report);
+    Ok(())
 }
 
 /// The stimulus levels, one per bit (helper for system identification).
@@ -264,6 +276,19 @@ pub fn run() -> E6Report {
 /// report (and its canonical metrics) is identical for any worker
 /// count.
 pub fn run_with(workers: usize) -> E6Report {
+    run_with_hooks(workers, &CampaignHooks::none()).expect("golden circuit must simulate")
+}
+
+/// [`run_with`] with crash-safety hooks: each campaign journals under
+/// its own label (`e6.c1.correlation` ... `e6.c3.idd`) and polls the
+/// shared cancellation token at fault boundaries.
+///
+/// # Errors
+///
+/// [`AnalysisError::Cancelled`] when the token was raised mid-campaign
+/// (the journal then holds a clean partial checkpoint), or any error of
+/// the golden extraction.
+pub fn run_with_hooks(workers: usize, hooks: &CampaignHooks) -> Result<E6Report, AnalysisError> {
     let process = ProcessParams::nominal();
     let c1 = circuit1(&process);
     let c2 = circuit2(&process);
@@ -271,25 +296,25 @@ pub fn run_with(workers: usize) -> E6Report {
 
     let mut solver = SolverSummary::default();
     let mut correlation = DetectionFigure::new();
-    correlation_campaign(&mut correlation, &mut solver, &c1, workers);
-    correlation_campaign(&mut correlation, &mut solver, &c2, workers);
-    correlation_campaign(&mut correlation, &mut solver, &c3, workers);
+    correlation_campaign(&mut correlation, &mut solver, &c1, workers, hooks)?;
+    correlation_campaign(&mut correlation, &mut solver, &c2, workers, hooks)?;
+    correlation_campaign(&mut correlation, &mut solver, &c3, workers, hooks)?;
 
     let mut impulse = DetectionFigure::new();
     impulse_campaign(&mut impulse, &c2);
     impulse_campaign(&mut impulse, &c3);
 
     let mut idd = DetectionFigure::new();
-    idd_campaign(&mut idd, &mut solver, &c1, workers);
-    idd_campaign(&mut idd, &mut solver, &c2, workers);
-    idd_campaign(&mut idd, &mut solver, &c3, workers);
+    idd_campaign(&mut idd, &mut solver, &c1, workers, hooks)?;
+    idd_campaign(&mut idd, &mut solver, &c2, workers, hooks)?;
+    idd_campaign(&mut idd, &mut solver, &c3, workers, hooks)?;
 
-    E6Report {
+    Ok(E6Report {
         correlation,
         impulse,
         idd,
         solver,
-    }
+    })
 }
 
 /// Runs only circuit 1's correlation campaign (the cheap part, used by
@@ -300,16 +325,33 @@ pub fn run_circuit1_only() -> E6Report {
 
 /// [`run_circuit1_only`] on `workers` threads.
 pub fn run_circuit1_only_with(workers: usize) -> E6Report {
+    run_circuit1_only_with_hooks(workers, &CampaignHooks::none())
+        .expect("golden circuit must simulate")
+}
+
+/// [`run_circuit1_only`] with crash-safety hooks. The campaign journals
+/// under the same `e6.c1.correlation` label as the full E6 run, so an
+/// interrupted `e6` invocation can be partially resumed through `e6c1`
+/// and vice versa.
+///
+/// # Errors
+///
+/// [`AnalysisError::Cancelled`] on cooperative cancellation, or any
+/// golden-extraction error.
+pub fn run_circuit1_only_with_hooks(
+    workers: usize,
+    hooks: &CampaignHooks,
+) -> Result<E6Report, AnalysisError> {
     let c1 = circuit1(&ProcessParams::nominal());
     let mut solver = SolverSummary::default();
     let mut correlation = DetectionFigure::new();
-    correlation_campaign(&mut correlation, &mut solver, &c1, workers);
-    E6Report {
+    correlation_campaign(&mut correlation, &mut solver, &c1, workers, hooks)?;
+    Ok(E6Report {
         correlation,
         impulse: DetectionFigure::new(),
         idd: DetectionFigure::new(),
         solver,
-    }
+    })
 }
 
 #[cfg(test)]

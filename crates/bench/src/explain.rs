@@ -9,9 +9,18 @@
 //! update, and the last recorded iterations of the trace. Everything
 //! rendered is deterministic — the same report bytes always explain to
 //! the same text.
+//!
+//! The same command also reads campaign *journals*
+//! (`mixsig.campaign-journal/1`, written with `--journal`/`--resume`):
+//! [`explain_journal`] renders per-campaign progress — how many faults
+//! checkpointed, how each ended, which panicked or were cancelled — and
+//! any postmortems riding the journaled telemetry. [`looks_like_journal`]
+//! sniffs which of the two formats a file is.
 
 use std::fmt::Write as _;
 
+use faultsim::campaign::FaultStatus;
+use faultsim::journal::{JournalReplay, ReplayedCampaign};
 use obs::json::JsonValue;
 use obs::postmortem::Postmortem;
 use obs::table::{Align, Table};
@@ -206,6 +215,165 @@ pub fn explain_report(text: &str, fault: Option<&str>) -> Result<String, String>
     Ok(out)
 }
 
+/// True when `text` is a campaign journal (JSONL whose first non-blank
+/// line is an object with a `record` member) rather than a run report.
+pub fn looks_like_journal(text: &str) -> bool {
+    text.lines()
+        .find(|l| !l.trim().is_empty())
+        .and_then(|l| obs::json::parse(l).ok())
+        .is_some_and(|v| v.get("record").is_some())
+}
+
+/// Renders one replayed campaign's progress block: the checkpoint
+/// headline, a status rollup, and the faults that did not come back
+/// clean.
+fn render_campaign_progress(label: &str, campaign: &ReplayedCampaign) -> String {
+    let mut out = String::new();
+    let total = campaign.names.len();
+    let state = if campaign.complete {
+        "complete".to_owned()
+    } else if campaign.cancelled {
+        format!("cancelled after {}", campaign.faults.len())
+    } else {
+        "interrupted (no terminal record)".to_owned()
+    };
+    let _ = writeln!(
+        out,
+        "campaign {label}: {}/{} faults checkpointed — {state}",
+        campaign.faults.len(),
+        total
+    );
+
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for fault in campaign.faults.values() {
+        *counts.entry(fault.status.tag()).or_default() += 1;
+    }
+    if !counts.is_empty() {
+        let rollup: Vec<String> = counts
+            .iter()
+            .map(|(tag, n)| format!("{n} {tag}"))
+            .collect();
+        let _ = writeln!(out, "  outcomes: {}", rollup.join(", "));
+    }
+
+    for fault in campaign.faults.values() {
+        match &fault.status {
+            FaultStatus::Panicked { payload } => {
+                let _ = writeln!(
+                    out,
+                    "  {}: panicked — {}",
+                    fault.name,
+                    payload.lines().next().unwrap_or("")
+                );
+            }
+            FaultStatus::SimFailed { error, rungs_tried } => {
+                let _ = writeln!(
+                    out,
+                    "  {}: sim-failed after {rungs_tried} rung(s) — {error}",
+                    fault.name
+                );
+            }
+            FaultStatus::BudgetExceeded { rungs_tried } => {
+                let _ = writeln!(
+                    out,
+                    "  {}: budget exceeded after {rungs_tried} rung(s)",
+                    fault.name
+                );
+            }
+            FaultStatus::SignatureMismatch { got, want } => {
+                let _ = writeln!(
+                    out,
+                    "  {}: signature length mismatch ({got} vs {want})",
+                    fault.name
+                );
+            }
+            FaultStatus::Detected { .. } | FaultStatus::Undetected { .. } => {}
+        }
+    }
+    if !campaign.complete {
+        let missing: Vec<&str> = campaign
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !campaign.faults.contains_key(i))
+            .map(|(_, name)| name.as_str())
+            .collect();
+        if !missing.is_empty() {
+            let _ = writeln!(out, "  pending on resume: {}", missing.join(", "));
+        }
+    }
+    out
+}
+
+/// Explains a campaign journal: per-campaign checkpoint progress plus
+/// every postmortem riding the journaled telemetry (`fault` selects one
+/// by zero-based index or fault label, as in [`explain_report`]).
+///
+/// # Errors
+///
+/// Returns a message for unreadable journals, structurally invalid
+/// records, or a `fault` selector matching nothing.
+pub fn explain_journal(text: &str, fault: Option<&str>) -> Result<String, String> {
+    let replay: JournalReplay =
+        faultsim::journal::replay(&obs::journal::parse_journal(text)?)?;
+    let mut out = String::new();
+    if replay.campaigns.is_empty() {
+        return Ok("journal is empty: no campaign start record survived\n".to_owned());
+    }
+    if replay.torn_tail {
+        let _ = writeln!(
+            out,
+            "journal ends in a torn line (hard kill mid-append); the torn record \
+             will be re-simulated on resume\n"
+        );
+    }
+    for (i, (label, campaign)) in replay.campaigns.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render_campaign_progress(label, campaign));
+    }
+
+    let all: Vec<(String, Postmortem)> = replay
+        .campaigns
+        .iter()
+        .flat_map(|(label, campaign)| {
+            campaign.faults.values().filter_map(move |f| {
+                f.telemetry
+                    .postmortem
+                    .as_ref()
+                    .map(|pm| (label.clone(), pm.clone()))
+            })
+        })
+        .collect();
+    let selected: Vec<&(String, Postmortem)> = match fault {
+        None => all.iter().collect(),
+        Some(sel) => {
+            let picked: Vec<&(String, Postmortem)> = match sel.parse::<usize>() {
+                Ok(idx) => all.get(idx).into_iter().collect(),
+                Err(_) => all.iter().filter(|(_, pm)| pm.label == sel).collect(),
+            };
+            if picked.is_empty() {
+                return Err(format!(
+                    "no journaled postmortem matches --fault {sel} (journal has {})",
+                    all.len()
+                ));
+            }
+            picked
+        }
+    };
+    if !selected.is_empty() {
+        let _ = writeln!(out, "\n{} journaled postmortem(s):\n", selected.len());
+        for (i, (label, pm)) in selected.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&render_postmortem(label, pm));
+        }
+    }
+    Ok(out)
+}
+
 fn indent(text: &str, pad: &str) -> String {
     text.lines()
         .map(|l| {
@@ -306,6 +474,89 @@ mod tests {
         assert!(explain_report("{\"schema\": \"x\"}", None)
             .unwrap_err()
             .contains("sections"));
+    }
+
+    fn sample_journal(with_terminal: bool) -> String {
+        use faultsim::campaign::{FaultStatus, FaultTelemetry};
+        use faultsim::journal::{cancelled_record, fault_record, start_record};
+        use faultsim::model::Fault;
+        let mut nl = anasim::netlist::Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let faults = [Fault::stuck_at_0("f0", a), Fault::stuck_at_1("f1", b)];
+        let telemetry = FaultTelemetry {
+            solver: anasim::metrics::SolverSnapshot::default(),
+            rung: Some(0),
+            rungs_tried: 1,
+            wall: std::time::Duration::from_millis(1),
+            postmortem: None,
+        };
+        let mut text = start_record("rc", &faults, 0.05, 4).to_json();
+        text.push('\n');
+        text += &fault_record(
+            "rc",
+            0,
+            "f0",
+            Some(&[1.0]),
+            &FaultStatus::Detected { pct: 100.0 },
+            &telemetry,
+        )
+        .to_json();
+        text.push('\n');
+        if with_terminal {
+            text += &fault_record(
+                "rc",
+                1,
+                "f1",
+                None,
+                &FaultStatus::Panicked {
+                    payload: "boom: solver invariant".to_owned(),
+                },
+                &telemetry,
+            )
+            .to_json();
+            text.push('\n');
+            text += &cancelled_record("rc", 2).to_json();
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn journal_sniffing_tells_the_formats_apart() {
+        assert!(looks_like_journal(&sample_journal(true)));
+        assert!(!looks_like_journal(&sample_report()));
+        assert!(!looks_like_journal(""));
+        assert!(!looks_like_journal("not json at all"));
+    }
+
+    #[test]
+    fn journal_progress_names_panics_and_terminal_state() {
+        let text = explain_journal(&sample_journal(true), None).unwrap();
+        assert!(
+            text.contains("campaign rc: 2/2 faults checkpointed — cancelled after 2"),
+            "{text}"
+        );
+        assert!(text.contains("1 detected, 1 panicked"), "{text}");
+        assert!(text.contains("f1: panicked — boom: solver invariant"), "{text}");
+    }
+
+    #[test]
+    fn interrupted_journal_lists_pending_faults() {
+        let text = explain_journal(&sample_journal(false), None).unwrap();
+        assert!(
+            text.contains("campaign rc: 1/2 faults checkpointed — interrupted"),
+            "{text}"
+        );
+        assert!(text.contains("pending on resume: f1"), "{text}");
+    }
+
+    #[test]
+    fn torn_journal_tail_is_called_out() {
+        let full = sample_journal(false);
+        let torn = &full[..full.len() - 10];
+        let text = explain_journal(torn, None).unwrap();
+        assert!(text.contains("torn line"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Crash-safety hooks threaded from the `experiments` CLI into the
+//! campaign-backed experiments.
+//!
+//! One [`CampaignHooks`] value carries the `--journal` / `--resume`
+//! checkpoint file and the SIGINT [`CancelToken`] down to every
+//! campaign an experiment runs. Each campaign gets its own label inside
+//! the shared journal (`e6.c1.correlation`, `e6.c2.idd`, `diverge`,
+//! ...), so a single journal file checkpoints a whole `experiments`
+//! invocation and a resumed run replays exactly the campaigns that
+//! completed.
+
+use std::path::PathBuf;
+
+use anasim::robust::CancelToken;
+use faultsim::campaign::{CampaignConfig, JournalConfig};
+
+/// Where a journaled experiment run checkpoints to.
+#[derive(Debug, Clone)]
+pub struct JournalSpec {
+    /// Journal file shared by every campaign of the invocation.
+    pub path: PathBuf,
+    /// True to replay completed faults from the journal (`--resume`);
+    /// false to journal without replaying (`--journal`, after the CLI
+    /// truncated the file).
+    pub resume: bool,
+}
+
+/// Checkpointing and cancellation context for experiment campaigns.
+///
+/// The default ([`CampaignHooks::none`]) is inert: campaigns run
+/// exactly as they would without the crash-safety machinery.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignHooks {
+    /// Journal file and mode, when `--journal`/`--resume` was given.
+    pub journal: Option<JournalSpec>,
+    /// Cooperative cancellation token, raised by the CLI's SIGINT
+    /// handler.
+    pub cancel: Option<CancelToken>,
+}
+
+impl CampaignHooks {
+    /// Hooks that change nothing — the non-journaled default.
+    pub fn none() -> Self {
+        CampaignHooks::default()
+    }
+
+    /// Hooks journaling to `path`, replaying existing records when
+    /// `resume` is set.
+    pub fn journaled(path: impl Into<PathBuf>, resume: bool) -> Self {
+        CampaignHooks {
+            journal: Some(JournalSpec {
+                path: path.into(),
+                resume,
+            }),
+            cancel: None,
+        }
+    }
+
+    /// Adds a cancellation token (builder style).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Applies the hooks to one campaign's config: the journal under
+    /// the campaign's `label`, and the shared cancellation token.
+    pub fn apply(&self, mut config: CampaignConfig, label: &str) -> CampaignConfig {
+        if let Some(spec) = &self.journal {
+            let jc = if spec.resume {
+                JournalConfig::resume(&spec.path, label)
+            } else {
+                JournalConfig::fresh(&spec.path, label)
+            };
+            config = config.journal(jc);
+        }
+        if let Some(cancel) = &self.cancel {
+            config = config.cancel(cancel.clone());
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_hooks_leave_the_config_unchanged() {
+        let hooks = CampaignHooks::none();
+        let config = hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation");
+        assert!(config.journal.is_none());
+        assert!(config.cancel.is_none());
+    }
+
+    #[test]
+    fn journaled_hooks_label_each_campaign() {
+        let hooks = CampaignHooks::journaled("/tmp/j.jsonl", true).with_cancel(CancelToken::new());
+        let config = hooks.apply(CampaignConfig::new(0.5), "e6.c2.idd");
+        let jc = config.journal.expect("journal configured");
+        assert_eq!(jc.label, "e6.c2.idd");
+        assert!(jc.resume);
+        assert!(config.cancel.is_some());
+    }
+}

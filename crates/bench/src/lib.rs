@@ -17,7 +17,13 @@
 //! The `experiments` binary prints each experiment's paper-vs-measured
 //! report; the Criterion benches under `benches/` time reduced versions
 //! of the same code paths.
+//!
+//! Campaign-backed experiments (`e6`, `e6c1`, `diverge`) accept
+//! [`hooks::CampaignHooks`]: the `--journal`/`--resume` checkpoint file
+//! and the SIGINT cancellation token the `experiments` binary threads
+//! through, so long runs are kill-safe and resumable.
 
 pub mod experiments;
 pub mod explain;
+pub mod hooks;
 pub mod solver_bench;

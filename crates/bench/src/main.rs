@@ -6,7 +6,7 @@
 //! ```text
 //! experiments [e1|e2|e3|e4|e5|e6|e6c1|e7|e8|ablation|diverge|all]
 //!             [--workers N] [--metrics-json PATH] [--canonical-metrics]
-//!             [--bench-json PATH]
+//!             [--bench-json PATH] [--journal PATH | --resume PATH]
 //! experiments check-report PATH
 //! experiments explain PATH [--fault N]
 //! ```
@@ -21,23 +21,67 @@
 //! `--bench-json` writes a `mixsig.solver-bench/1` sidecar with each
 //! experiment's wall-clock and Newton-iteration totals (the committed
 //! `BENCH_solver.json` snapshot).
+//!
+//! `--journal` checkpoints every campaign-backed experiment (`e6`,
+//! `e6c1`, `diverge`) to an append-only `mixsig.campaign-journal/1`
+//! file, one fsync'd record per completed fault; `--resume` replays
+//! such a journal first and only re-simulates what is missing, landing
+//! on byte-identical canonical metrics. Both install a SIGINT handler:
+//! Ctrl-C stops at the next fault boundary, leaves a clean partial
+//! journal, and exits 130.
 //! `check-report` validates a previously written report (the CI smoke
-//! test), including the structure of any postmortems it carries.
+//! test), including the structure of any postmortems it carries; given
+//! a journal it validates the record stream instead.
 //! `explain` renders a report's solver postmortems as a narrative
 //! diagnosis: the escalation-ladder path, the worst-offending nodes and
 //! the last recorded Newton iterations (`--fault` selects one by
-//! zero-based index or fault label). The `diverge` experiment is a
-//! deliberately non-convergent campaign that demonstrates the pipeline.
+//! zero-based index or fault label). Given a journal it renders
+//! per-campaign checkpoint progress instead. The `diverge` experiment
+//! is a deliberately non-convergent campaign that demonstrates the
+//! pipeline.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
+use std::sync::OnceLock;
 use std::time::Instant;
 
+use anasim::robust::CancelToken;
+use anasim::AnalysisError;
+use msbist_bench::hooks::CampaignHooks;
 use msbist_bench::solver_bench::{self, BenchEntry};
 use msbist_bench::{experiments, explain};
 use obs::json::JsonValue;
 use obs::{RunReport, Section};
+
+/// Exit code for a run stopped by SIGINT, per shell convention
+/// (128 + signal 2).
+const EXIT_INTERRUPTED: u8 = 130;
+
+/// The token the SIGINT handler raises. Installed once, before any
+/// campaign starts; the handler itself only touches an atomic, which is
+/// async-signal-safe.
+static SIGINT_CANCEL: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn sigint_handler(_signum: i32) {
+    if let Some(token) = SIGINT_CANCEL.get() {
+        token.cancel();
+    }
+}
+
+/// Installs the SIGINT → [`CancelToken`] bridge and returns the token.
+/// On non-Unix platforms the token exists but nothing raises it.
+fn install_sigint_cancel() -> CancelToken {
+    let token = SIGINT_CANCEL.get_or_init(CancelToken::new).clone();
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        signal(2, sigint_handler as extern "C" fn(i32) as usize);
+    }
+    token
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -58,6 +102,8 @@ fn main() -> ExitCode {
     let mut metrics_json: Option<String> = None;
     let mut bench_json: Option<String> = None;
     let mut canonical = false;
+    let mut journal: Option<String> = None;
+    let mut resume: Option<String> = None;
     let mut workers = experiments::e6::E6_WORKERS;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -71,6 +117,14 @@ fn main() -> ExitCode {
                 None => return usage_error("--bench-json needs a path"),
             },
             "--canonical-metrics" => canonical = true,
+            "--journal" => match it.next() {
+                Some(path) => journal = Some(path.clone()),
+                None => return usage_error("--journal needs a path"),
+            },
+            "--resume" => match it.next() {
+                Some(path) => resume = Some(path.clone()),
+                None => return usage_error("--resume needs a path"),
+            },
             "--workers" => match it.next().and_then(|w| w.parse::<usize>().ok()) {
                 Some(w) if w >= 1 => workers = w,
                 _ => return usage_error("--workers needs a positive integer"),
@@ -80,101 +134,50 @@ fn main() -> ExitCode {
         }
     }
     let which = which.unwrap_or_else(|| "all".to_owned());
+    if journal.is_some() && resume.is_some() {
+        return usage_error("--journal and --resume are mutually exclusive");
+    }
+
+    // --journal starts a fresh checkpoint stream (the engine itself
+    // only ever appends, so the CLI truncates here, once); --resume
+    // keeps the file and replays it. Both arm SIGINT cancellation.
+    let hooks = match (&journal, &resume) {
+        (Some(path), None) => {
+            if let Err(err) = fs::write(path, "") {
+                eprintln!("cannot start journal at {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            CampaignHooks::journaled(path, false).with_cancel(install_sigint_cancel())
+        }
+        (None, Some(path)) => {
+            CampaignHooks::journaled(path, true).with_cancel(install_sigint_cancel())
+        }
+        _ => CampaignHooks::none(),
+    };
 
     let mut report = RunReport::new();
     let mut bench_entries: Vec<BenchEntry> = Vec::new();
-    let mut ran = false;
-    {
-        // Each experiment prints its human report, contributes one
-        // section (timed under `bench.<experiment>`) to the run report,
-        // and one cost line to the solver-bench sidecar.
-        let mut run_one = |name: &str, run: &dyn Fn(usize) -> (String, Section)| {
-            ran = true;
-            let started = Instant::now();
-            let (text, mut section) = run(workers);
-            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-            section.timing_ms(&format!("bench.{name}"), wall_ms);
-            bench_entries.push(BenchEntry {
-                name: name.to_owned(),
-                wall_ms,
-                newton_iterations: section
-                    .counters
-                    .get("solver.newton_iterations")
-                    .copied()
-                    .unwrap_or(0),
-            });
-            println!("{text}\n");
-            report.push(section);
-        };
-        let want = |tag: &str| which == tag || which == "all";
-
-        if want("e1") {
-            run_one("e1", &|_| {
-                let r = experiments::e1::run(4e-6);
-                (r.to_string(), r.to_section())
-            });
+    let ran = match run_experiments(
+        &which,
+        workers,
+        &hooks,
+        &mut report,
+        &mut bench_entries,
+    ) {
+        Ok(ran) => ran,
+        Err(AnalysisError::Cancelled) => {
+            let path = journal.or(resume).unwrap_or_default();
+            eprintln!(
+                "interrupted: campaign cancelled at a fault boundary; \
+                 journal {path} holds a clean checkpoint — rerun with --resume {path}"
+            );
+            return ExitCode::from(EXIT_INTERRUPTED);
         }
-        if want("e2") {
-            run_one("e2", &|_| {
-                let r = experiments::e2::run(0.05);
-                (r.to_string(), r.to_section())
-            });
+        Err(err) => {
+            eprintln!("experiment failed: {err}");
+            return ExitCode::FAILURE;
         }
-        if want("e3") {
-            run_one("e3", &|_| {
-                let r = experiments::e3::run();
-                (r.to_string(), r.to_section())
-            });
-        }
-        if want("e4") {
-            run_one("e4", &|_| {
-                let r = experiments::e4::run(10, 1996);
-                (r.to_string(), r.to_section())
-            });
-        }
-        if want("e5") {
-            run_one("e5", &|_| {
-                let r = experiments::e5::run(100);
-                (r.to_string(), r.to_section())
-            });
-        }
-        if want("e6") {
-            run_one("e6", &|w| {
-                let r = experiments::e6::run_with(w);
-                (r.to_string(), r.to_section())
-            });
-        }
-        if which == "e6c1" {
-            run_one("e6c1", &|w| {
-                let r = experiments::e6::run_circuit1_only_with(w);
-                (r.to_string(), r.to_section())
-            });
-        }
-        if want("e7") {
-            run_one("e7", &|_| {
-                let r = experiments::e7::run(0.1);
-                (r.to_string(), r.to_section())
-            });
-        }
-        if want("e8") {
-            run_one("e8", &|_| {
-                let r = experiments::e8::run(50, 1996);
-                (r.to_string(), r.to_section())
-            });
-        }
-        if want("ablation") {
-            run_one("ablation", &|w| {
-                let r = experiments::ablation::run_with(w);
-                (r.to_string(), r.to_section())
-            });
-        }
-        if which == "diverge" {
-            run_one("diverge", &|w| {
-                let r = experiments::diverge::run_with(w);
-                (r.to_string(), r.to_section())
-            });
-        }
-    }
+    };
 
     if !ran {
         eprintln!("unknown experiment '{which}'; expected e1..e8, e6c1, ablation, diverge or all");
@@ -204,10 +207,118 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs every experiment selected by `which`, filling `report` and
+/// `bench_entries`. Returns whether any experiment matched.
+/// Campaign-backed experiments receive the crash-safety `hooks`; the
+/// rest ignore them (they have no campaign to checkpoint).
+fn run_experiments(
+    which: &str,
+    workers: usize,
+    hooks: &CampaignHooks,
+    report: &mut RunReport,
+    bench_entries: &mut Vec<BenchEntry>,
+) -> Result<bool, AnalysisError> {
+    let mut ran = false;
+    // Each experiment prints its human report, contributes one section
+    // (timed under `bench.<experiment>`) to the run report, and one
+    // cost line to the solver-bench sidecar.
+    let mut run_one = |name: &str,
+                       run: &dyn Fn(usize) -> Result<(String, Section), AnalysisError>|
+     -> Result<(), AnalysisError> {
+        ran = true;
+        let started = Instant::now();
+        let (text, mut section) = run(workers)?;
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        section.timing_ms(&format!("bench.{name}"), wall_ms);
+        bench_entries.push(BenchEntry {
+            name: name.to_owned(),
+            wall_ms,
+            newton_iterations: section
+                .counters
+                .get("solver.newton_iterations")
+                .copied()
+                .unwrap_or(0),
+        });
+        println!("{text}\n");
+        report.push(section);
+        Ok(())
+    };
+    let want = |tag: &str| which == tag || which == "all";
+
+    if want("e1") {
+        run_one("e1", &|_| {
+            let r = experiments::e1::run(4e-6);
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if want("e2") {
+        run_one("e2", &|_| {
+            let r = experiments::e2::run(0.05);
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if want("e3") {
+        run_one("e3", &|_| {
+            let r = experiments::e3::run();
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if want("e4") {
+        run_one("e4", &|_| {
+            let r = experiments::e4::run(10, 1996);
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if want("e5") {
+        run_one("e5", &|_| {
+            let r = experiments::e5::run(100);
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if want("e6") {
+        run_one("e6", &|w| {
+            let r = experiments::e6::run_with_hooks(w, hooks)?;
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if which == "e6c1" {
+        run_one("e6c1", &|w| {
+            let r = experiments::e6::run_circuit1_only_with_hooks(w, hooks)?;
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if want("e7") {
+        run_one("e7", &|_| {
+            let r = experiments::e7::run(0.1);
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if want("e8") {
+        run_one("e8", &|_| {
+            let r = experiments::e8::run(50, 1996);
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if want("ablation") {
+        run_one("ablation", &|w| {
+            let r = experiments::ablation::run_with(w);
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    if which == "diverge" {
+        run_one("diverge", &|w| {
+            let r = experiments::diverge::run_with_hooks(w, hooks)?;
+            Ok((r.to_string(), r.to_section()))
+        })?;
+    }
+    Ok(ran)
+}
+
 fn usage_error(message: &str) -> ExitCode {
     eprintln!(
         "{message}\nusage: experiments [e1..e8|e6c1|ablation|diverge|all] \
          [--workers N] [--metrics-json PATH] [--canonical-metrics] [--bench-json PATH]\n\
+         \x20      [--journal PATH | --resume PATH]\n\
          \x20      experiments check-report PATH\n\
          \x20      experiments explain PATH [--fault N]"
     );
@@ -240,7 +351,12 @@ fn explain_command(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match explain::explain_report(&text, fault.map(String::as_str)) {
+    let explained = if explain::looks_like_journal(&text) {
+        explain::explain_journal(&text, fault.map(String::as_str))
+    } else {
+        explain::explain_report(&text, fault.map(String::as_str))
+    };
+    match explained {
         Ok(rendered) => {
             println!("{rendered}");
             ExitCode::SUCCESS
@@ -252,8 +368,9 @@ fn explain_command(args: &[String]) -> ExitCode {
     }
 }
 
-/// Validates a run report written by `--metrics-json`: it must parse,
-/// carry the expected schema and expose the headline summary keys.
+/// Validates a run report written by `--metrics-json` (it must parse,
+/// carry the expected schema and expose the headline summary keys), or
+/// — when the file is a campaign journal — the journal's record stream.
 fn check_report(path: &str) -> ExitCode {
     let text = match fs::read_to_string(path) {
         Ok(text) => text,
@@ -262,6 +379,9 @@ fn check_report(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if explain::looks_like_journal(&text) {
+        return check_journal(path, &text);
+    }
     let parsed = match obs::json::parse(&text) {
         Ok(parsed) => parsed,
         Err(err) => {
@@ -325,6 +445,69 @@ fn check_report(path: &str) -> ExitCode {
                 .get("newton_iterations")
                 .and_then(JsonValue::as_f64)
                 .unwrap_or(0.0)
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("{path}: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Validates a `mixsig.campaign-journal/1` file: every record must
+/// decode, and every journaled fault must be consistent with its
+/// campaign's fault universe. A torn trailing line is fine (that is the
+/// format's crash contract); anything else structurally wrong fails.
+fn check_journal(path: &str, text: &str) -> ExitCode {
+    let replay = match obs::journal::parse_journal(text)
+        .and_then(|contents| faultsim::journal::replay(&contents))
+    {
+        Ok(replay) => replay,
+        Err(err) => {
+            eprintln!("{path}: invalid journal: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = Vec::new();
+    if replay.campaigns.is_empty() {
+        failures.push("journal has no campaign start record".to_owned());
+    }
+    for (label, campaign) in &replay.campaigns {
+        for fault in campaign.faults.values() {
+            match campaign.names.get(fault.index) {
+                None => failures.push(format!(
+                    "campaign {label}: fault index {} outside universe of {}",
+                    fault.index,
+                    campaign.names.len()
+                )),
+                Some(name) if *name != fault.name => failures.push(format!(
+                    "campaign {label}: fault {} journaled as '{}' but universe says '{name}'",
+                    fault.index, fault.name
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    if failures.is_empty() {
+        let summary: Vec<String> = replay
+            .campaigns
+            .iter()
+            .map(|(label, c)| {
+                let state = if c.complete {
+                    "complete"
+                } else if c.cancelled {
+                    "cancelled"
+                } else {
+                    "interrupted"
+                };
+                format!("{label} {}/{} {state}", c.faults.len(), c.names.len())
+            })
+            .collect();
+        println!(
+            "{path}: ok ({}{})",
+            summary.join(", "),
+            if replay.torn_tail { "; torn tail" } else { "" }
         );
         ExitCode::SUCCESS
     } else {

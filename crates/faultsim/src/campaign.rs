@@ -29,6 +29,8 @@
 //! circuit cannot reach a stable state fails test trivially).
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -36,12 +38,14 @@ use std::time::{Duration, Instant};
 use anasim::flight::FlightRecorder;
 use anasim::metrics::{SolverMetrics, SolverSnapshot};
 use anasim::netlist::Netlist;
-use anasim::robust::{escalation_ladder, SolveBudget, SolveSettings, SolverRung};
+use anasim::robust::{escalation_ladder, CancelToken, SolveBudget, SolveSettings, SolverRung};
 use anasim::AnalysisError;
+use obs::journal::JournalWriter;
 use obs::{Postmortem, Recorder, Section};
 use sigproc::correlation::detection_instances;
 
 use crate::inject::inject;
+use crate::journal;
 use crate::model::Fault;
 
 /// How one fault's simulation ended.
@@ -82,6 +86,16 @@ pub enum FaultStatus {
         /// Golden-signature length.
         want: usize,
     },
+    /// The extraction panicked. The panic was caught at the fault
+    /// boundary ([`std::panic::catch_unwind`]), so it poisons neither
+    /// the campaign nor its worker thread — it is terminal for this
+    /// fault only. Counts as detected (the hard-fault convention: the
+    /// faulty circuit drove the solver somewhere undefined).
+    Panicked {
+        /// The panic payload, when it was a string (the overwhelmingly
+        /// common case); a placeholder otherwise.
+        payload: String,
+    },
 }
 
 impl FaultStatus {
@@ -93,6 +107,7 @@ impl FaultStatus {
             FaultStatus::SimFailed { .. } => "sim-failed",
             FaultStatus::BudgetExceeded { .. } => "budget-exceeded",
             FaultStatus::SignatureMismatch { .. } => "signature-mismatch",
+            FaultStatus::Panicked { .. } => "panicked",
         }
     }
 }
@@ -171,6 +186,13 @@ pub struct CampaignStats {
     pub golden_wall: Duration,
     /// One telemetry record per fault, in universe order.
     pub per_fault: Vec<FaultTelemetry>,
+    /// Campaign-level elapsed wall time: golden extraction through
+    /// result collection, measured once on the coordinating thread. On
+    /// a resumed campaign this covers only the resumed portion.
+    pub campaign_wall: Duration,
+    /// Number of faults whose extraction panicked
+    /// ([`FaultStatus::Panicked`]).
+    pub panicked: usize,
 }
 
 impl CampaignStats {
@@ -215,11 +237,53 @@ impl CampaignStats {
         hist
     }
 
-    /// Total wall-clock time across golden and every fault. Note this
-    /// sums per-fault times, so under parallel execution it exceeds the
-    /// elapsed campaign time.
+    /// Total *CPU-ish* wall-clock time: golden plus the sum of every
+    /// per-fault time. Under parallel workers the per-fault times
+    /// overlap, so this deliberately exceeds elapsed time — it measures
+    /// aggregate solver effort. For the elapsed (human-experienced)
+    /// duration of the campaign use
+    /// [`CampaignStats::campaign_wall`], which is measured once on the
+    /// coordinating thread and never double-counts.
     pub fn total_wall(&self) -> Duration {
         self.golden_wall + self.per_fault.iter().map(|t| t.wall).sum::<Duration>()
+    }
+}
+
+/// Checkpoint-journal configuration for a campaign
+/// ([`CampaignConfig::journal`]).
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// JSONL journal file. Always opened in append mode — several
+    /// campaigns (distinguished by label) may share one file, and a
+    /// resumed campaign appends to what survived. Truncation policy
+    /// belongs to the caller.
+    pub path: PathBuf,
+    /// Label distinguishing this campaign's records within the file.
+    pub label: String,
+    /// When true, the journal is read before simulating and faults with
+    /// journaled outcomes are replayed instead of re-simulated. A
+    /// missing journal file is not an error — the campaign simply runs
+    /// fresh.
+    pub resume: bool,
+}
+
+impl JournalConfig {
+    /// Journal a fresh campaign run to `path` under `label`.
+    pub fn fresh(path: impl Into<PathBuf>, label: impl Into<String>) -> Self {
+        JournalConfig {
+            path: path.into(),
+            label: label.into(),
+            resume: false,
+        }
+    }
+
+    /// Resume from (and keep journaling to) `path` under `label`.
+    pub fn resume(path: impl Into<PathBuf>, label: impl Into<String>) -> Self {
+        JournalConfig {
+            path: path.into(),
+            label: label.into(),
+            resume: true,
+        }
     }
 }
 
@@ -250,6 +314,18 @@ pub struct CampaignConfig {
     /// what the recorder sees is deterministic for any worker count
     /// (aside from the wall-clock span durations themselves).
     pub recorder: Option<Arc<dyn Recorder>>,
+    /// Checkpoint journal: every completed fault is appended (fsync'd)
+    /// to this JSONL file, and with [`JournalConfig::resume`] set,
+    /// previously journaled faults are replayed instead of
+    /// re-simulated. `None` (the default) disables checkpointing.
+    pub journal: Option<JournalConfig>,
+    /// Cooperative-cancellation token. Raised (from Ctrl-C, another
+    /// thread, anywhere), it stops the campaign: in-flight extractions
+    /// abort within one Newton iteration, workers stop claiming faults,
+    /// and [`run_campaign_with`] returns [`AnalysisError::Cancelled`]
+    /// after journaling a clean `cancelled` terminal record. Completed
+    /// faults stay journaled, so the campaign resumes where it stopped.
+    pub cancel: Option<CancelToken>,
 }
 
 impl fmt::Debug for CampaignConfig {
@@ -262,6 +338,8 @@ impl fmt::Debug for CampaignConfig {
             .field("budget", &self.budget)
             .field("flight", &self.flight)
             .field("has_recorder", &self.recorder.is_some())
+            .field("journal", &self.journal)
+            .field("has_cancel", &self.cancel.is_some())
             .finish()
     }
 }
@@ -279,6 +357,8 @@ impl CampaignConfig {
             budget: SolveBudget::unlimited().steps(5_000_000),
             flight: None,
             recorder: None,
+            journal: None,
+            cancel: None,
         }
     }
 
@@ -329,6 +409,20 @@ impl CampaignConfig {
     /// completes.
     pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Installs a checkpoint journal ([`JournalConfig::fresh`] /
+    /// [`JournalConfig::resume`]).
+    pub fn journal(mut self, journal: JournalConfig) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Installs a cooperative-cancellation token; see
+    /// [`CampaignConfig::cancel`].
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -418,6 +512,9 @@ impl CampaignReport {
         section
             .counter("faults", self.outcomes.len() as u64)
             .counter("detected", self.detected_count() as u64)
+            // Emitted even at zero so the counter key set is stable
+            // across runs (canonical diffs stay structural).
+            .counter("panicked.faults", self.stats.panicked as u64)
             .value("threshold", self.threshold)
             .value(
                 "coverage",
@@ -438,6 +535,10 @@ impl CampaignReport {
         section.timing_ms(
             "campaign.golden",
             self.stats.golden_wall.as_secs_f64() * 1e3,
+        );
+        section.timing_ms(
+            "campaign.wall",
+            self.stats.campaign_wall.as_secs_f64() * 1e3,
         );
         for t in &self.stats.per_fault {
             section.timing_ms("campaign.fault", t.wall.as_secs_f64() * 1e3);
@@ -484,6 +585,7 @@ impl CampaignReport {
                 FaultStatus::SignatureMismatch { got, want } => {
                     let _ = write!(out, " got {got} want {want}");
                 }
+                FaultStatus::Panicked { .. } => {}
             }
             if let Some(r) = t.rung {
                 let _ = write!(out, " [rung {r}]");
@@ -491,6 +593,9 @@ impl CampaignReport {
             if let Some((node, _)) = t.postmortem.as_ref().and_then(|pm| pm.worst_nodes.first())
             {
                 let _ = write!(out, " [worst {node}]");
+            }
+            if let FaultStatus::Panicked { payload } = &o.status {
+                let _ = write!(out, " [panic {}]", payload.lines().next().unwrap_or(""));
             }
             let _ = writeln!(out, " [newton {}]", t.solver.newton_iterations);
         }
@@ -513,11 +618,25 @@ impl CampaignReport {
 /// threads; outcomes are collected in universe order, so the report is
 /// independent of the worker count.
 ///
+/// Three more failure modes stay contained at the fault boundary:
+///
+/// * a **panicking** extraction is caught ([`std::panic::catch_unwind`])
+///   and becomes that fault's terminal [`FaultStatus::Panicked`];
+/// * a raised [`CampaignConfig::cancel`] token stops the campaign at
+///   the next fault boundary (in-flight extractions abort within one
+///   Newton iteration) and returns [`AnalysisError::Cancelled`];
+/// * with [`CampaignConfig::journal`] configured, every completed fault
+///   is checkpointed to an fsync'd JSONL journal, so a crash, kill or
+///   cancellation can be resumed ([`run_campaign_resumed`]) without
+///   redoing completed work.
+///
 /// # Errors
 ///
 /// Returns the golden circuit's analysis error if the fault-free
-/// extraction fails, or [`AnalysisError::InvalidParameter`] if the
-/// ladder is empty.
+/// extraction fails, [`AnalysisError::InvalidParameter`] if the ladder
+/// is empty or the journal is unusable (foreign campaign, write
+/// failure), or [`AnalysisError::Cancelled`] when the campaign was
+/// cancelled before every fault completed.
 pub fn run_campaign_with<F>(
     golden: &Netlist,
     faults: &[Fault],
@@ -533,22 +652,100 @@ where
         ));
     }
 
+    let campaign_start = Instant::now();
+
     // Golden extraction at nominal settings, same budget as faults.
     // Each extraction gets its own SolverMetrics handle: counts are
     // exact per extraction and nothing is shared between threads.
+    // A resumed campaign re-runs this too: the solver is deterministic,
+    // so re-deriving the golden signature is both cheap (one fault's
+    // worth of work) and exactly reproducible, which keeps the journal
+    // free of bulk golden data.
     let golden_metrics = Arc::new(SolverMetrics::new());
     let golden_settings = SolveSettings {
         rung: SolverRung::nominal(),
         budget: config.budget,
         metrics: Some(Arc::clone(&golden_metrics)),
         flight: None,
+        cancel: config.cancel.clone(),
     };
     let golden_start = Instant::now();
     let golden_sig = extract(golden, &golden_settings)?;
     let golden_wall = golden_start.elapsed();
     let golden_solver = golden_metrics.snapshot();
 
-    let simulate_fault = |fault: &Fault| -> (FaultOutcome, FaultTelemetry) {
+    // Replay the checkpoint journal (resume) and open it for appending.
+    // `results[i]` starts as the replayed outcome for fault `i`, or
+    // `None` for faults still to simulate.
+    let mut results: Vec<Option<(FaultOutcome, FaultTelemetry)>> =
+        faults.iter().map(|_| None).collect();
+    let journal_writer: Option<Mutex<JournalWriter>> = match &config.journal {
+        Some(jc) => {
+            let journal_err =
+                |e: String| AnalysisError::InvalidParameter(format!("campaign journal: {e}"));
+            if jc.resume && jc.path.exists() {
+                let replay = journal::load(&jc.path).map_err(journal_err)?;
+                if let Some(campaign) = replay.campaign(&jc.label) {
+                    // Refuse a journal that belongs to a different
+                    // campaign: replaying foreign outcomes would be
+                    // silent corruption, not resilience.
+                    if campaign.names.iter().map(String::as_str).ne(faults.iter().map(Fault::name))
+                    {
+                        return Err(journal_err(format!(
+                            "label {:?} was journaled with a different fault universe",
+                            jc.label
+                        )));
+                    }
+                    if campaign.threshold.to_bits() != config.threshold.to_bits() {
+                        return Err(journal_err(format!(
+                            "label {:?} was journaled with threshold {}, campaign has {}",
+                            jc.label, campaign.threshold, config.threshold
+                        )));
+                    }
+                    if campaign.golden_len != golden_sig.len() {
+                        return Err(journal_err(format!(
+                            "label {:?} was journaled with {} golden samples, campaign has {}",
+                            jc.label,
+                            campaign.golden_len,
+                            golden_sig.len()
+                        )));
+                    }
+                    for fault in campaign.faults.values() {
+                        if fault.index >= faults.len()
+                            || fault.name != faults[fault.index].name()
+                        {
+                            return Err(journal_err(format!(
+                                "fault record {:?} (index {}) does not match the universe",
+                                fault.name, fault.index
+                            )));
+                        }
+                        results[fault.index] = Some((
+                            FaultOutcome {
+                                fault: faults[fault.index].clone(),
+                                signature: fault.signature.clone(),
+                                status: fault.status.clone(),
+                            },
+                            fault.telemetry.clone(),
+                        ));
+                    }
+                }
+            }
+            let mut writer = JournalWriter::append_to(&jc.path)
+                .map_err(|e| journal_err(format!("{}: {e}", jc.path.display())))?;
+            writer
+                .append(&journal::start_record(
+                    &jc.label,
+                    faults,
+                    config.threshold,
+                    golden_sig.len(),
+                ))
+                .map_err(|e| journal_err(format!("write failed: {e}")))?;
+            Some(Mutex::new(writer))
+        }
+        None => None,
+    };
+
+    let simulate_fault = |fault: &Fault| -> Option<(FaultOutcome, FaultTelemetry)> {
         let faulty = inject(golden, fault);
         // One handle per fault, accumulated across ladder rungs.
         let metrics = Arc::new(SolverMetrics::new());
@@ -561,6 +758,7 @@ where
         let mut last_err: Option<AnalysisError> = None;
         let mut produced: Option<(usize, Vec<f64>)> = None;
         let mut out_of_budget = false;
+        let mut panicked: Option<String> = None;
         for (i, rung) in config.ladder.iter().enumerate() {
             rungs_tried += 1;
             if let Some(flight) = &flight {
@@ -571,16 +769,40 @@ where
                 budget: config.budget,
                 metrics: Some(Arc::clone(&metrics)),
                 flight: flight.clone(),
+                cancel: config.cancel.clone(),
             };
-            match extract(&faulty, &settings) {
-                Ok(sig) => {
+            // The extraction is the untrusted part of the engine: a
+            // panicking solver must become this fault's outcome, not
+            // take down the worker (which would poison the thread-pool
+            // scope and abort the whole campaign).
+            match catch_unwind(AssertUnwindSafe(|| extract(&faulty, &settings))) {
+                Err(panic) => {
+                    if let Some(flight) = &flight {
+                        flight.end_rung("panic");
+                    }
+                    // Terminal for this fault: a panic means solver
+                    // state is suspect, so walking further down the
+                    // ladder would prove nothing.
+                    panicked = Some(panic_payload(panic.as_ref()));
+                    break;
+                }
+                Ok(Ok(sig)) => {
                     if let Some(flight) = &flight {
                         flight.end_rung("ok");
                     }
                     produced = Some((i, sig));
                     break;
                 }
-                Err(err @ AnalysisError::BudgetExceeded { .. }) => {
+                Ok(Err(AnalysisError::Cancelled)) => {
+                    if let Some(flight) = &flight {
+                        flight.end_rung("cancelled");
+                    }
+                    // Cancellation abandons the in-flight fault: it is
+                    // not journaled and carries no outcome — a resume
+                    // will simulate it from scratch.
+                    return None;
+                }
+                Ok(Err(err @ AnalysisError::BudgetExceeded { .. })) => {
                     // The budget bounds total effort per fault: do not
                     // walk further down the ladder.
                     if let Some(flight) = &flight {
@@ -590,7 +812,7 @@ where
                     out_of_budget = true;
                     break;
                 }
-                Err(err) => {
+                Ok(Err(err)) => {
                     if let Some(flight) = &flight {
                         flight.end_rung(match &err {
                             AnalysisError::NoConvergence { .. } => "no-convergence",
@@ -606,50 +828,60 @@ where
         let wall = start.elapsed();
         let solver = metrics.snapshot();
 
-        // A fault that exhausted the ladder (or its budget) freezes its
-        // flight recorder into a postmortem before the error is moved
-        // into the status.
-        let postmortem = match (&flight, &last_err, &produced) {
-            (Some(flight), Some(err), None) => {
-                let budget_steps = match err {
-                    AnalysisError::BudgetExceeded { steps, .. } => Some(*steps as u64),
-                    _ => None,
-                };
-                Some(flight.freeze(fault.name(), err, budget_steps))
-            }
-            _ => None,
-        };
-
-        let (signature, rung, status) = match produced {
-            Some((i, sig)) => {
-                if sig.len() != golden_sig.len() {
-                    let status = FaultStatus::SignatureMismatch {
-                        got: sig.len(),
-                        want: golden_sig.len(),
+        // A fault that exhausted the ladder (or its budget), or died in
+        // a panic, freezes its flight recorder into a postmortem before
+        // the failure is moved into the status.
+        let postmortem = if let Some(payload) = &panicked {
+            flight.as_ref().map(|f| f.freeze_panic(fault.name(), payload))
+        } else {
+            match (&flight, &last_err, &produced) {
+                (Some(flight), Some(err), None) => {
+                    let budget_steps = match err {
+                        AnalysisError::BudgetExceeded { steps, .. } => Some(*steps as u64),
+                        _ => None,
                     };
-                    (Some(sig), Some(i), status)
-                } else {
-                    let pct = detection_instances(&golden_sig, &sig, config.threshold);
-                    let status = if pct >= config.min_detect_pct {
-                        FaultStatus::Detected { pct }
-                    } else {
-                        FaultStatus::Undetected { pct }
-                    };
-                    (Some(sig), Some(i), status)
+                    Some(flight.freeze(fault.name(), err, budget_steps))
                 }
+                _ => None,
             }
-            None if out_of_budget => (None, None, FaultStatus::BudgetExceeded { rungs_tried }),
-            None => (
-                None,
-                None,
-                FaultStatus::SimFailed {
-                    error: last_err.expect("non-empty ladder records an error"),
-                    rungs_tried,
-                },
-            ),
         };
 
-        (
+        let (signature, rung, status) = if let Some(payload) = panicked {
+            (None, None, FaultStatus::Panicked { payload })
+        } else {
+            match produced {
+                Some((i, sig)) => {
+                    if sig.len() != golden_sig.len() {
+                        let status = FaultStatus::SignatureMismatch {
+                            got: sig.len(),
+                            want: golden_sig.len(),
+                        };
+                        (Some(sig), Some(i), status)
+                    } else {
+                        let pct = detection_instances(&golden_sig, &sig, config.threshold);
+                        let status = if pct >= config.min_detect_pct {
+                            FaultStatus::Detected { pct }
+                        } else {
+                            FaultStatus::Undetected { pct }
+                        };
+                        (Some(sig), Some(i), status)
+                    }
+                }
+                None if out_of_budget => {
+                    (None, None, FaultStatus::BudgetExceeded { rungs_tried })
+                }
+                None => (
+                    None,
+                    None,
+                    FaultStatus::SimFailed {
+                        error: last_err.expect("non-empty ladder records an error"),
+                        rungs_tried,
+                    },
+                ),
+            }
+        };
+
+        Some((
             FaultOutcome {
                 fault: fault.clone(),
                 signature,
@@ -662,46 +894,116 @@ where
                 wall,
                 postmortem,
             },
-        )
+        ))
     };
 
-    let workers = config.workers.max(1).min(faults.len().max(1));
-    let results: Vec<(FaultOutcome, FaultTelemetry)> = if workers <= 1 {
-        faults.iter().map(simulate_fault).collect()
+    // One completed fault = one fsync'd journal line, appended from
+    // whichever worker finished it. Journal order is completion order;
+    // the record's index restores universe order on replay. A write
+    // failure is remembered (first one wins) and fails the campaign
+    // after collection — dropping checkpoints silently would break the
+    // resume guarantee.
+    let journal_label = config.journal.as_ref().map(|jc| jc.label.as_str());
+    let journal_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let run_one = |i: usize| -> Option<(FaultOutcome, FaultTelemetry)> {
+        let result = simulate_fault(&faults[i])?;
+        if let (Some(writer), Some(label)) = (&journal_writer, journal_label) {
+            let record = journal::fault_record(
+                label,
+                i,
+                faults[i].name(),
+                result.0.signature.as_deref(),
+                &result.0.status,
+                &result.1,
+            );
+            if let Err(err) = writer.lock().expect("journal lock").append(&record) {
+                let mut slot = journal_error.lock().expect("journal error lock");
+                if slot.is_none() {
+                    *slot = Some(err);
+                }
+            }
+        }
+        Some(result)
+    };
+    let is_cancelled = || config.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+
+    // Only faults without a replayed outcome are simulated.
+    let pending: Vec<usize> = (0..faults.len()).filter(|&i| results[i].is_none()).collect();
+    let workers = config.workers.max(1).min(pending.len().max(1));
+    if workers <= 1 {
+        for &i in &pending {
+            if is_cancelled() {
+                break;
+            }
+            let Some(result) = run_one(i) else { break };
+            results[i] = Some(result);
+        }
     } else {
         // Deterministic parallel execution: an atomic cursor hands out
-        // fault indices, each fault runs entirely on one thread, and
-        // results land in per-index slots so universe order is restored
-        // exactly regardless of scheduling.
+        // pending fault indices, each fault runs entirely on one
+        // thread, and results land in per-index slots so universe order
+        // is restored exactly regardless of scheduling. Workers check
+        // the cancellation token at every fault boundary and stop
+        // claiming once it trips.
         let slots: Vec<Mutex<Option<(FaultOutcome, FaultTelemetry)>>> =
-            faults.iter().map(|_| Mutex::new(None)).collect();
+            pending.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(fault) = faults.get(i) else { break };
-                    let result = simulate_fault(fault);
-                    *slots[i].lock().expect("slot lock") = Some(result);
+                    if is_cancelled() {
+                        break;
+                    }
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = pending.get(k) else { break };
+                    let Some(result) = run_one(i) else { break };
+                    *slots[k].lock().expect("slot lock") = Some(result);
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every index was simulated")
-            })
-            .collect()
-    };
+        for (k, slot) in slots.into_iter().enumerate() {
+            if let Some(result) = slot.into_inner().expect("slot lock") {
+                results[pending[k]] = Some(result);
+            }
+        }
+    }
+
+    if let Some(err) = journal_error.into_inner().expect("journal error lock") {
+        return Err(AnalysisError::InvalidParameter(format!(
+            "campaign journal: write failed: {err}"
+        )));
+    }
+
+    // A missing outcome can only mean cancellation (every other path
+    // produces a typed status). Journal a clean terminal record so the
+    // file replays, then report cancellation to the caller.
+    let completed = results.iter().filter(|r| r.is_some()).count();
+    if completed < faults.len() {
+        if let (Some(writer), Some(label)) = (&journal_writer, journal_label) {
+            writer
+                .lock()
+                .expect("journal lock")
+                .append(&journal::cancelled_record(label, completed))
+                .map_err(|err| {
+                    AnalysisError::InvalidParameter(format!(
+                        "campaign journal: write failed: {err}"
+                    ))
+                })?;
+        }
+        return Err(AnalysisError::Cancelled);
+    }
 
     let mut outcomes = Vec::with_capacity(results.len());
     let mut per_fault = Vec::with_capacity(results.len());
-    for (outcome, telemetry) in results {
+    for result in results {
+        let (outcome, telemetry) = result.expect("complete campaign has every outcome");
         outcomes.push(outcome);
         per_fault.push(telemetry);
     }
+    let panicked = outcomes
+        .iter()
+        .filter(|o| matches!(o.status, FaultStatus::Panicked { .. }))
+        .count();
 
     let report = CampaignReport {
         golden: golden_sig,
@@ -711,8 +1013,20 @@ where
             golden_solver,
             golden_wall,
             per_fault,
+            campaign_wall: campaign_start.elapsed(),
+            panicked,
         },
     };
+
+    if let (Some(writer), Some(label)) = (&journal_writer, journal_label) {
+        writer
+            .lock()
+            .expect("journal lock")
+            .append(&journal::complete_record(label))
+            .map_err(|err| {
+                AnalysisError::InvalidParameter(format!("campaign journal: write failed: {err}"))
+            })?;
+    }
 
     // Telemetry reaches the recorder only here, after collection, in
     // universe order — emission order is deterministic no matter how
@@ -722,6 +1036,56 @@ where
     }
 
     Ok(report)
+}
+
+/// [`run_campaign_with`], forced to resume from the configured
+/// checkpoint journal: faults already journaled under
+/// [`JournalConfig::label`] are replayed (skipping their simulation)
+/// and only the remainder is simulated, after which the report is
+/// byte-identical — canonical text and canonical JSON — to the same
+/// campaign run uninterrupted with any worker count.
+///
+/// A journal file that does not exist yet simply means nothing is
+/// replayed; a journal whose metadata (fault universe, threshold,
+/// golden-signature length) disagrees with this campaign is rejected.
+///
+/// # Errors
+///
+/// [`AnalysisError::InvalidParameter`] when `config` has no
+/// [`CampaignConfig::journal`] or the journal belongs to a different
+/// campaign, plus everything [`run_campaign_with`] returns.
+pub fn run_campaign_resumed<F>(
+    golden: &Netlist,
+    faults: &[Fault],
+    config: &CampaignConfig,
+    extract: F,
+) -> Result<CampaignReport, AnalysisError>
+where
+    F: Fn(&Netlist, &SolveSettings) -> Result<Vec<f64>, AnalysisError> + Sync,
+{
+    let Some(journal) = &config.journal else {
+        return Err(AnalysisError::InvalidParameter(
+            "run_campaign_resumed requires CampaignConfig::journal".into(),
+        ));
+    };
+    let mut config = config.clone();
+    config.journal = Some(JournalConfig {
+        resume: true,
+        ..journal.clone()
+    });
+    run_campaign_with(golden, faults, &config, extract)
+}
+
+/// Best-effort string form of a caught panic payload (`&str` and
+/// `String` payloads cover `panic!` in practice).
+fn panic_payload(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// Publishes a completed campaign to a recorder: golden and per-fault
@@ -736,6 +1100,7 @@ fn emit_campaign(recorder: &dyn Recorder, report: &CampaignReport) {
     }
     recorder.add("campaign.faults", report.outcomes.len() as u64);
     recorder.add("campaign.detected", report.detected_count() as u64);
+    recorder.add("campaign.panicked", report.stats.panicked as u64);
     for (i, count) in report.stats.rung_histogram().iter().enumerate() {
         recorder.add(&format!("campaign.rung.{i}"), *count as u64);
     }
@@ -1320,5 +1685,251 @@ mod tests {
         let report = run_campaign_with(&nl, &faults, &config, tight_extract).unwrap();
         let text = report.canonical_text();
         assert!(text.contains("[worst fault:diverge:gen]"), "{text}");
+    }
+
+    /// Wraps [`transient_extract`] with a panic on one named fault — the
+    /// shape of a solver bug tripped by a pathological fault circuit.
+    fn panicking_extract(
+        nl: &Netlist,
+        settings: &SolveSettings,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        if nl.find_device("fault:b-sa1:V").is_some() {
+            panic!("solver invariant violated for b-sa1");
+        }
+        transient_extract(nl, settings)
+    }
+
+    #[test]
+    fn panic_in_one_fault_is_isolated() {
+        let (nl, faults) = rc_fixture();
+        // Hide the panic backtraces this test deliberately provokes.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let config = CampaignConfig::new(0.05).workers(4);
+        let report = run_campaign_with(&nl, &faults, &config, panicking_extract);
+        std::panic::set_hook(prev_hook);
+        let report = report.unwrap();
+
+        // The panicking fault got a typed terminal outcome...
+        let idx = faults.iter().position(|f| f.name() == "b-sa1").unwrap();
+        match &report.outcomes[idx].status {
+            FaultStatus::Panicked { payload } => {
+                assert!(payload.contains("solver invariant violated"), "{payload}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // ...that counts as detected (hard-fault convention)...
+        assert!(report.outcomes[idx].is_detected(50.0));
+        assert_eq!(report.outcomes[idx].figure_pct(), 100.0);
+        // ...while every other fault completed normally.
+        for (i, o) in report.outcomes.iter().enumerate() {
+            if i != idx {
+                assert!(!matches!(o.status, FaultStatus::Panicked { .. }));
+            }
+        }
+        assert_eq!(report.stats.panicked, 1);
+        // The canonical text carries the [panic ...] marker and the
+        // section carries the counter.
+        let text = report.canonical_text();
+        assert!(
+            text.contains("b-sa1: panicked"),
+            "missing panicked status: {text}"
+        );
+        assert!(
+            text.contains("[panic solver invariant violated for b-sa1]"),
+            "missing panic marker: {text}"
+        );
+        let section = report.to_section("campaign.panic");
+        assert_eq!(section.counters["panicked.faults"], 1);
+    }
+
+    #[test]
+    fn panicked_fault_freezes_a_postmortem_when_flight_is_armed() {
+        let (nl, faults) = rc_fixture();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let config = CampaignConfig::new(0.05).flight(64);
+        let report = run_campaign_with(&nl, &faults, &config, panicking_extract);
+        std::panic::set_hook(prev_hook);
+        let report = report.unwrap();
+        let idx = faults.iter().position(|f| f.name() == "b-sa1").unwrap();
+        let pm = report.stats.per_fault[idx]
+            .postmortem
+            .as_ref()
+            .expect("panicked fault freezes a postmortem");
+        assert_eq!(pm.label, "b-sa1");
+        assert!(pm.error.starts_with("panic:"), "{}", pm.error);
+        // The panic fired before the first Newton iteration, so the
+        // trace is empty — but the escalation path records the rung
+        // that died, tagged "panic".
+        assert_eq!(pm.ladder.len(), 1);
+        assert_eq!(pm.ladder[0].outcome, "panic");
+    }
+
+    #[test]
+    fn section_counter_key_set_is_stable_without_panics() {
+        let (nl, faults) = rc_fixture();
+        let report = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05),
+            transient_extract,
+        )
+        .unwrap();
+        // Zero panics still emits the counter, so canonical diffs
+        // between clean and panicky runs stay structural.
+        let section = report.to_section("campaign.rc");
+        assert_eq!(section.counters["panicked.faults"], 0);
+        assert!(section.timings.contains_key("campaign.wall"));
+        assert!(report.stats.campaign_wall > Duration::ZERO);
+        // Serial campaign: elapsed time covers the summed per-fault
+        // times (no overlap to double-count).
+        assert!(report.stats.campaign_wall >= report.stats.golden_wall);
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("faultsim-campaign-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn cancellation_stops_at_the_fault_boundary_with_a_clean_journal() {
+        let (nl, faults) = rc_fixture();
+        let path = temp_journal("cancel.jsonl");
+        let token = CancelToken::new();
+        let config = CampaignConfig::new(0.05)
+            .journal(JournalConfig::fresh(&path, "rc"))
+            .cancel(token.clone());
+        // Cancel while simulating c-sa0 (universe index 2): the two
+        // faults before it complete and are journaled, c-sa0 itself is
+        // abandoned, everything after is never claimed.
+        let err = run_campaign_with(&nl, &faults, &config, |n, settings| {
+            if n.find_device("fault:c-sa0:V").is_some() {
+                token.cancel();
+                return Err(AnalysisError::Cancelled);
+            }
+            transient_extract(n, settings)
+        })
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::Cancelled);
+
+        // The journal is valid, replayable, and records the partial run.
+        let replayed = journal::load(&path).unwrap();
+        let campaign = replayed.campaign("rc").expect("campaign journaled");
+        assert!(campaign.cancelled);
+        assert!(!campaign.complete);
+        assert_eq!(campaign.faults.len(), 2);
+        assert!(campaign.faults.contains_key(&0));
+        assert!(campaign.faults.contains_key(&1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_campaign_is_byte_identical_to_uninterrupted() {
+        let (nl, faults) = rc_fixture();
+        let reference = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05),
+            transient_extract,
+        )
+        .unwrap();
+
+        let path = temp_journal("resume.jsonl");
+        let token = CancelToken::new();
+        let config = CampaignConfig::new(0.05)
+            .journal(JournalConfig::fresh(&path, "rc"))
+            .cancel(token.clone());
+        let err = run_campaign_with(&nl, &faults, &config, |n, settings| {
+            if n.find_device("fault:c-sa0:V").is_some() {
+                token.cancel();
+                return Err(AnalysisError::Cancelled);
+            }
+            transient_extract(n, settings)
+        })
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::Cancelled);
+
+        // Resume with a counting extractor: only the four faults that
+        // never completed are re-simulated.
+        let fault_calls = AtomicUsize::new(0);
+        let config = CampaignConfig::new(0.05).journal(JournalConfig::fresh(&path, "rc"));
+        let resumed = run_campaign_resumed(&nl, &faults, &config, |n, settings| {
+            if n.devices().any(|(_, name, _)| name.starts_with("fault:")) {
+                fault_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            transient_extract(n, settings)
+        })
+        .unwrap();
+        assert_eq!(fault_calls.load(Ordering::Relaxed), 4);
+
+        assert_eq!(resumed.canonical_text(), reference.canonical_text());
+        let canonical = |report: &CampaignReport| {
+            let mut run = obs::RunReport::new();
+            run.push(report.to_section("campaign.rc"));
+            run.canonical_json_string()
+        };
+        assert_eq!(canonical(&resumed), canonical(&reference));
+
+        // The journal now ends complete; a second resume replays
+        // everything without simulating a single fault.
+        let replayed = journal::load(&path).unwrap();
+        assert!(replayed.campaign("rc").unwrap().complete);
+        let again_calls = AtomicUsize::new(0);
+        let again = run_campaign_resumed(&nl, &faults, &config, |n, settings| {
+            if n.devices().any(|(_, name, _)| name.starts_with("fault:")) {
+                again_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            transient_extract(n, settings)
+        })
+        .unwrap();
+        assert_eq!(again_calls.load(Ordering::Relaxed), 0);
+        assert_eq!(again.canonical_text(), reference.canonical_text());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_journal() {
+        let (nl, faults) = rc_fixture();
+        let path = temp_journal("foreign.jsonl");
+        // Journal a campaign over a different universe under the same
+        // label.
+        let config = CampaignConfig::new(0.05).journal(JournalConfig::fresh(&path, "rc"));
+        run_campaign_with(&nl, &faults[..2], &config, transient_extract).unwrap();
+        // Resuming the full universe from it must refuse.
+        let err = run_campaign_resumed(&nl, &faults, &config, transient_extract).unwrap_err();
+        assert!(
+            matches!(&err, AnalysisError::InvalidParameter(msg)
+                if msg.contains("different fault universe")),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_missing_journal_runs_fresh() {
+        let (nl, faults) = rc_fixture();
+        let path = temp_journal("fresh-on-missing.jsonl");
+        let config = CampaignConfig::new(0.05).journal(JournalConfig::resume(&path, "rc"));
+        let report = run_campaign_with(&nl, &faults, &config, transient_extract).unwrap();
+        assert_eq!(report.outcomes.len(), faults.len());
+        assert!(journal::load(&path).unwrap().campaign("rc").unwrap().complete);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_campaign_resumed_requires_a_journal() {
+        let (nl, faults) = rc_fixture();
+        let err = run_campaign_resumed(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05),
+            transient_extract,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::InvalidParameter(_)));
     }
 }

@@ -12,7 +12,11 @@
 //! * [`campaign`] — golden-vs-faulty response collection and the
 //!   detection-instance statistics of the paper's Figure 4,
 //! * [`dictionary`] — signature-based fault classification for the
-//!   paper's "faulty chip diagnosis at a functional macro level".
+//!   paper's "faulty chip diagnosis at a functional macro level",
+//! * [`journal`] — the `mixsig.campaign-journal/1` checkpoint format:
+//!   campaigns journal every completed fault to an append-only JSONL
+//!   file and [`campaign::run_campaign_resumed`] replays it, so a
+//!   killed or cancelled campaign resumes instead of restarting.
 //!
 //! # Example
 //!
@@ -40,4 +44,5 @@
 pub mod campaign;
 pub mod dictionary;
 pub mod inject;
+pub mod journal;
 pub mod model;

@@ -1,0 +1,359 @@
+//! Append-only JSONL journals: a durable line-record writer and a
+//! truncation-tolerant reader.
+//!
+//! A journal is the crash-safety primitive of the workspace: one JSON
+//! object per line, appended and fsync'd record by record, so whatever
+//! survives a hard kill (power loss, `kill -9`, OOM) is a prefix of the
+//! logical record stream plus at most one torn trailing line. The
+//! reader accepts exactly that shape — every complete line must parse
+//! as a JSON object, while a final line that is unterminated or fails
+//! to parse is silently dropped as torn. Corruption anywhere *before*
+//! the last line is an error, not something to paper over: it means the
+//! file was edited or the filesystem lied, and resuming from it would
+//! silently lose records.
+//!
+//! Record semantics (schemas, replay, merging) belong to the caller;
+//! this module only guarantees durability and torn-tail tolerance.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, JsonValue};
+
+/// A durable append-only JSONL writer.
+///
+/// Every [`JournalWriter::append`] writes one compact JSON line and
+/// fsyncs (`sync_data`) before returning, so a record that `append`
+/// reported as written survives any subsequent crash. This is the
+/// expensive end of the trade: a campaign journal appends once per
+/// completed fault, where an fsync is noise next to the seconds of
+/// solver work it checkpoints.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending, creating it if missing. Existing
+    /// records are preserved — resume depends on that.
+    ///
+    /// If the file ends in a torn (unterminated) line — the signature
+    /// of a hard kill mid-append — the torn bytes are truncated away
+    /// first. Appending after them verbatim would fuse the fragment
+    /// with the next record into one corrupt *interior* line, which
+    /// readers rightly reject; trimming back to the last newline
+    /// restores the every-line-terminated invariant instead.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening, scanning or truncating the file.
+    pub fn append_to(path: &Path) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let keep = last_terminated_offset(&mut file)?;
+        file.set_len(keep)?;
+        file.seek(SeekFrom::Start(keep))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_owned(),
+        })
+    }
+
+    /// Truncates `path` (discarding any previous journal) and opens it
+    /// for appending — the fresh-run counterpart of
+    /// [`JournalWriter::append_to`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_owned(),
+        })
+    }
+
+    /// Appends one record as a compact JSON line and fsyncs it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing or syncing. After an error the journal
+    /// may end in a torn line; readers tolerate that.
+    pub fn append(&mut self, record: &JsonValue) -> std::io::Result<()> {
+        let mut line = record.to_json();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+
+    /// The path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Byte offset just past the last `\n` in `file` (0 when it has none):
+/// the length the file must be truncated to so that every surviving
+/// line is newline-terminated.
+fn last_terminated_offset(file: &mut File) -> std::io::Result<u64> {
+    file.seek(SeekFrom::Start(0))?;
+    let mut pos: u64 = 0;
+    let mut keep: u64 = 0;
+    let mut buf = [0u8; 8192];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok(keep);
+        }
+        for (i, &b) in buf[..n].iter().enumerate() {
+            if b == b'\n' {
+                keep = pos + i as u64 + 1;
+            }
+        }
+        pos += n as u64;
+    }
+}
+
+/// A non-durable JSONL writer for tests and low-stakes streams: same
+/// format as [`JournalWriter`], buffered, no fsync. Records are flushed
+/// on [`BufferedJournalWriter::flush`] and drop.
+#[derive(Debug)]
+pub struct BufferedJournalWriter {
+    out: BufWriter<File>,
+}
+
+impl BufferedJournalWriter {
+    /// Creates (truncating) `path` for buffered JSONL writing.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(BufferedJournalWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one record as a compact JSON line (buffered).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing.
+    pub fn append(&mut self, record: &JsonValue) -> std::io::Result<()> {
+        let mut line = record.to_json();
+        line.push('\n');
+        self.out.write_all(line.as_bytes())
+    }
+
+    /// Flushes buffered records to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error flushing.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// What [`read_journal`] found on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalContents {
+    /// Every complete, parsed record, in file order.
+    pub records: Vec<JsonValue>,
+    /// True when the file ended in a torn line (unterminated or
+    /// unparseable) that was dropped — the signature of a hard kill
+    /// mid-append.
+    pub torn_tail: bool,
+}
+
+/// Reads a JSONL journal, tolerating a torn trailing line.
+///
+/// Every line but the last must parse as JSON; the final line may be
+/// incomplete (no trailing newline, or garbage from a partial write)
+/// and is then dropped with [`JournalContents::torn_tail`] set. Empty
+/// and whitespace-only lines are skipped.
+///
+/// # Errors
+///
+/// I/O errors reading the file, invalid UTF-8, or a malformed record
+/// anywhere before the final line (that is corruption, not a crash
+/// artifact — the error message names the offending line number).
+pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_journal(&text)
+}
+
+/// [`read_journal`] on in-memory text — the testable core.
+///
+/// # Errors
+///
+/// A malformed record before the final line, with its line number.
+pub fn parse_journal(text: &str) -> Result<JournalContents, String> {
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    // split('\n') yields a trailing "" for a newline-terminated file, so
+    // a non-empty final fragment means the last append was torn.
+    let lines: Vec<&str> = text.split('\n').collect();
+    let last = lines.len().saturating_sub(1);
+    for (idx, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::parse(line) {
+            Ok(record) => {
+                if idx == last {
+                    // Parseable but unterminated: the newline (and the
+                    // fsync that covered it) never hit the disk, so the
+                    // record cannot be trusted as complete.
+                    torn_tail = true;
+                } else {
+                    records.push(record);
+                }
+            }
+            Err(err) if idx == last => {
+                torn_tail = true;
+                let _ = err;
+            }
+            Err(err) => {
+                return Err(format!("journal line {}: {err}", idx + 1));
+            }
+        }
+    }
+    Ok(JournalContents { records, torn_tail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(n: f64) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("record", JsonValue::Str("test".into()));
+        obj.push("n", JsonValue::Num(n));
+        obj
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let dir = std::env::temp_dir().join("obs-journal-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for n in 0..5 {
+            w.append(&record(n as f64)).unwrap();
+        }
+        drop(w);
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.records.len(), 5);
+        assert!(!contents.torn_tail);
+        assert_eq!(contents.records[3].get("n").unwrap().as_f64(), Some(3.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_to_preserves_existing_records() {
+        let dir = std::env::temp_dir().join("obs-journal-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        JournalWriter::create(&path).unwrap().append(&record(1.0)).unwrap();
+        JournalWriter::append_to(&path)
+            .unwrap()
+            .append(&record(2.0))
+            .unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.records.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_to_truncates_a_torn_tail_before_appending() {
+        let dir = std::env::temp_dir().join("obs-journal-torn-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        // A hard kill left the second record torn mid-line.
+        std::fs::write(&path, "{\"n\":1}\n{\"n\":2,\"ha").unwrap();
+        JournalWriter::append_to(&path)
+            .unwrap()
+            .append(&record(3.0))
+            .unwrap();
+        // The torn fragment is gone; the new record is a clean line,
+        // not fused onto the fragment as interior corruption.
+        let contents = read_journal(&path).unwrap();
+        assert!(!contents.torn_tail);
+        assert_eq!(contents.records.len(), 2);
+        assert_eq!(contents.records[1].get("n").unwrap().as_f64(), Some(3.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_to_a_file_with_no_newline_starts_clean() {
+        let dir = std::env::temp_dir().join("obs-journal-no-newline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        // The very first append was torn: no newline anywhere.
+        std::fs::write(&path, "{\"n\":1").unwrap();
+        JournalWriter::append_to(&path)
+            .unwrap()
+            .append(&record(2.0))
+            .unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert!(!contents.torn_tail);
+        assert_eq!(contents.records.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped() {
+        let text = "{\"n\":1}\n{\"n\":2}\n{\"n\":3,\"half";
+        let contents = parse_journal(text).unwrap();
+        assert_eq!(contents.records.len(), 2);
+        assert!(contents.torn_tail);
+    }
+
+    #[test]
+    fn unterminated_but_parseable_tail_is_still_torn() {
+        // The line parses, but without its newline the fsync covering
+        // it cannot have completed — treat as torn.
+        let text = "{\"n\":1}\n{\"n\":2}";
+        let contents = parse_journal(text).unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert!(contents.torn_tail);
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_an_error() {
+        let text = "{\"n\":1}\nnot json at all\n{\"n\":3}\n";
+        let err = parse_journal(text).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_blank_lines_are_skipped() {
+        let text = "\n{\"n\":1}\n\n{\"n\":2}\n";
+        let contents = parse_journal(text).unwrap();
+        assert_eq!(contents.records.len(), 2);
+        assert!(!contents.torn_tail);
+    }
+
+    #[test]
+    fn empty_file_is_a_valid_empty_journal() {
+        let contents = parse_journal("").unwrap();
+        assert!(contents.records.is_empty());
+        assert!(!contents.torn_tail);
+    }
+}

@@ -29,10 +29,16 @@
 //! [`postmortem::Postmortem`] is the frozen, fully deterministic record
 //! of a terminally failed solve that sections embed verbatim.
 //!
+//! Crash safety is the [`journal`] module: an append-only,
+//! fsync-per-record JSONL writer and a reader that tolerates the one
+//! torn trailing line a hard kill can leave behind, so long-running
+//! campaigns checkpoint and resume instead of restarting from zero.
+//!
 //! Human-facing output goes through [`table::Table`], so printed tables
 //! and the JSON report cannot drift apart.
 
 pub mod histogram;
+pub mod journal;
 pub mod json;
 pub mod postmortem;
 pub mod recorder;
@@ -42,6 +48,7 @@ pub mod span;
 pub mod table;
 
 pub use histogram::Histogram;
+pub use journal::{read_journal, JournalContents, JournalWriter};
 pub use postmortem::{LadderStep, Postmortem, PostmortemIteration};
 pub use recorder::{AggregatingRecorder, NoopRecorder, Recorder};
 pub use report::{RunReport, Section};

@@ -8,7 +8,8 @@
 use std::sync::Arc;
 
 use mixsig::anasim::flight::FlightRecorder;
-use mixsig::faultsim::campaign::CampaignConfig;
+use mixsig::faultsim::campaign::{CampaignConfig, JournalConfig};
+use mixsig::faultsim::journal;
 use mixsig::macrolib::process::ProcessParams;
 use mixsig::msbist::transtest::circuits::circuit1;
 use mixsig::obs::{self, AggregatingRecorder};
@@ -37,11 +38,15 @@ fn main() {
     // instances. The report is identical for any worker count, and the
     // recorder sees the telemetry in universe order.
     // The flight recorder is armed so any fault that exhausts the whole
-    // escalation ladder freezes a postmortem naming the worst node.
+    // escalation ladder freezes a postmortem naming the worst node, and
+    // a checkpoint journal makes the campaign kill-safe: every completed
+    // fault is fsync'd to an append-only JSONL file as it finishes.
+    let journal_path = std::env::temp_dir().join("fault_hunt.journal.jsonl");
     let recorder = Arc::new(AggregatingRecorder::new());
     let config = CampaignConfig::new(0.02 * peak)
         .workers(4)
         .flight(FlightRecorder::DEFAULT_CAPACITY)
+        .journal(JournalConfig::fresh(&journal_path, "fault-hunt"))
         .recorder(recorder.clone());
     let report = circuit
         .bench
@@ -142,4 +147,34 @@ fn main() {
         agg.spans.len(),
         agg.spans.get("campaign.fault").map_or(0, obs::Histogram::count)
     );
+
+    // Crash safety: every fault above was checkpointed as it completed.
+    // Had this process been killed mid-campaign, rerunning with
+    // `JournalConfig::resume` would replay the journal and simulate only
+    // the missing faults. Here the journal is complete, so the resumed
+    // run simulates nothing and still reproduces the identical report.
+    let replayed = journal::load(&journal_path).expect("journal parses");
+    let hunt = replayed.campaign("fault-hunt").expect("campaign journaled");
+    println!(
+        "\ncrash safety: {} faults checkpointed at {} ({})",
+        hunt.faults.len(),
+        journal_path.display(),
+        if hunt.complete { "complete" } else { "interrupted" },
+    );
+    let resume = CampaignConfig::new(0.02 * peak)
+        .workers(4)
+        .flight(FlightRecorder::DEFAULT_CAPACITY)
+        .journal(JournalConfig::resume(&journal_path, "fault-hunt"));
+    let started = std::time::Instant::now();
+    let resumed = circuit
+        .bench
+        .run_correlation_campaign_with(&circuit.faults, &resume)
+        .expect("resume runs");
+    assert_eq!(resumed.canonical_text(), report.canonical_text());
+    println!(
+        "  resumed report is byte-identical in {:.1} ms (all {} faults replayed from the journal)",
+        started.elapsed().as_secs_f64() * 1e3,
+        resumed.outcomes.len()
+    );
+    let _ = std::fs::remove_file(&journal_path);
 }
