@@ -230,7 +230,12 @@ pub fn looks_like_journal(text: &str) -> bool {
 fn render_campaign_progress(label: &str, campaign: &ReplayedCampaign) -> String {
     let mut out = String::new();
     let total = campaign.names.len();
-    let state = if campaign.complete {
+    let state = if let Some(d) = &campaign.degraded {
+        format!(
+            "journal degraded ({} journaled, {} unjournaled)",
+            d.journaled, d.unjournaled
+        )
+    } else if campaign.complete {
         "complete".to_owned()
     } else if campaign.cancelled {
         format!("cancelled after {}", campaign.faults.len())
@@ -243,6 +248,14 @@ fn render_campaign_progress(label: &str, campaign: &ReplayedCampaign) -> String 
         campaign.faults.len(),
         total
     );
+    if let Some(d) = &campaign.degraded {
+        let _ = writeln!(
+            out,
+            "  journal gave out mid-campaign: {}; the campaign itself finished, \
+             and a plain resume re-simulates the unjournaled faults",
+            d.reason
+        );
+    }
 
     let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
     for fault in campaign.faults.values() {
@@ -549,6 +562,24 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("pending on resume: f1"), "{text}");
+    }
+
+    #[test]
+    fn degraded_journal_explains_the_outage_and_pending_faults() {
+        use faultsim::journal::degraded_record;
+        let mut text = sample_journal(false);
+        text += &degraded_record("rc", 1, 1, "injected write fault at op 3").to_json();
+        text.push('\n');
+        let rendered = explain_journal(&text, None).unwrap();
+        assert!(
+            rendered.contains("campaign rc: 1/2 faults checkpointed — journal degraded (1 journaled, 1 unjournaled)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("injected write fault at op 3"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("pending on resume: f1"), "{rendered}");
     }
 
     #[test]

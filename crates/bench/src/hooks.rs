@@ -12,7 +12,8 @@
 use std::path::PathBuf;
 
 use anasim::robust::CancelToken;
-use faultsim::campaign::{CampaignConfig, JournalConfig};
+use faultsim::campaign::{CampaignConfig, DegradePolicy, JournalConfig};
+use obs::chaos::FaultPlan;
 
 /// Where a journaled experiment run checkpoints to.
 #[derive(Debug, Clone)]
@@ -36,6 +37,11 @@ pub struct CampaignHooks {
     /// Cooperative cancellation token, raised by the CLI's SIGINT
     /// handler.
     pub cancel: Option<CancelToken>,
+    /// Deterministic journal fault-injection plan (`--chaos`), applied
+    /// to every campaign journal of the invocation.
+    pub chaos: Option<FaultPlan>,
+    /// Persistent-journal-failure policy (`--degrade`).
+    pub degrade: DegradePolicy,
 }
 
 impl CampaignHooks {
@@ -52,7 +58,7 @@ impl CampaignHooks {
                 path: path.into(),
                 resume,
             }),
-            cancel: None,
+            ..CampaignHooks::default()
         }
     }
 
@@ -62,16 +68,33 @@ impl CampaignHooks {
         self
     }
 
+    /// Adds a journal fault-injection plan (builder style, `--chaos`).
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Sets the persistent-journal-failure policy (builder style,
+    /// `--degrade`).
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
     /// Applies the hooks to one campaign's config: the journal under
-    /// the campaign's `label`, and the shared cancellation token.
+    /// the campaign's `label` (with any chaos plan and degrade policy),
+    /// and the shared cancellation token.
     pub fn apply(&self, mut config: CampaignConfig, label: &str) -> CampaignConfig {
         if let Some(spec) = &self.journal {
-            let jc = if spec.resume {
+            let mut jc = if spec.resume {
                 JournalConfig::resume(&spec.path, label)
             } else {
                 JournalConfig::fresh(&spec.path, label)
             };
-            config = config.journal(jc);
+            if let Some(plan) = &self.chaos {
+                jc = jc.chaos(plan.clone());
+            }
+            config = config.journal(jc).degrade(self.degrade);
         }
         if let Some(cancel) = &self.cancel {
             config = config.cancel(cancel.clone());
@@ -99,6 +122,19 @@ mod tests {
         let jc = config.journal.expect("journal configured");
         assert_eq!(jc.label, "e6.c2.idd");
         assert!(jc.resume);
+        assert!(jc.chaos.is_none());
         assert!(config.cancel.is_some());
+        assert_eq!(config.degrade, DegradePolicy::Abort);
+    }
+
+    #[test]
+    fn chaos_and_degrade_reach_every_campaign_journal() {
+        let hooks = CampaignHooks::journaled("/tmp/j.jsonl", false)
+            .with_chaos(FaultPlan::parse("write@4..7").unwrap())
+            .with_degrade(DegradePolicy::Continue);
+        let config = hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation");
+        let jc = config.journal.expect("journal configured");
+        assert_eq!(jc.chaos, Some(FaultPlan::parse("write@4..7").unwrap()));
+        assert_eq!(config.degrade, DegradePolicy::Continue);
     }
 }

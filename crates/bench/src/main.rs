@@ -7,6 +7,7 @@
 //! experiments [e1|e2|e3|e4|e5|e6|e6c1|e7|e8|ablation|diverge|all]
 //!             [--workers N] [--metrics-json PATH] [--canonical-metrics]
 //!             [--bench-json PATH] [--journal PATH | --resume PATH]
+//!             [--chaos SPEC] [--degrade abort|continue]
 //! experiments check-report PATH
 //! experiments explain PATH [--fault N]
 //! ```
@@ -29,9 +30,18 @@
 //! on byte-identical canonical metrics. Both install a SIGINT handler:
 //! Ctrl-C stops at the next fault boundary, leaves a clean partial
 //! journal, and exits 130.
+//! `--chaos` arms deterministic journal fault injection (for example
+//! `write@4..7` or `seed@7:20`, see [`obs::chaos::FaultPlan::parse`])
+//! against every campaign journal of the run, and `--degrade` picks
+//! what a persistent journal failure does: `abort` (default) stops at
+//! the next fault boundary with a clean partial journal, `continue`
+//! finishes the campaign journal-less and marks the run degraded.
 //! `check-report` validates a previously written report (the CI smoke
 //! test), including the structure of any postmortems it carries; given
-//! a journal it validates the record stream instead.
+//! a journal it validates the record stream instead. Degraded runs are
+//! reported in both forms: the report summary carries a
+//! `journal_degraded` count and the journal's terminal `degraded`
+//! record names how many fault outcomes went unjournaled and why.
 //! `explain` renders a report's solver postmortems as a narrative
 //! diagnosis: the escalation-ladder path, the worst-offending nodes and
 //! the last recorded Newton iterations (`--fault` selects one by
@@ -48,6 +58,7 @@ use std::time::Instant;
 
 use anasim::robust::CancelToken;
 use anasim::AnalysisError;
+use faultsim::campaign::DegradePolicy;
 use msbist_bench::hooks::CampaignHooks;
 use msbist_bench::solver_bench::{self, BenchEntry};
 use msbist_bench::{experiments, explain};
@@ -104,6 +115,8 @@ fn main() -> ExitCode {
     let mut canonical = false;
     let mut journal: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut chaos: Option<obs::FaultPlan> = None;
+    let mut degrade = DegradePolicy::Abort;
     let mut workers = experiments::e6::E6_WORKERS;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -125,6 +138,22 @@ fn main() -> ExitCode {
                 Some(path) => resume = Some(path.clone()),
                 None => return usage_error("--resume needs a path"),
             },
+            "--chaos" => match it.next() {
+                Some(spec) => match obs::FaultPlan::parse(spec) {
+                    Ok(plan) => chaos = Some(plan),
+                    Err(err) => return usage_error(&format!("--chaos: {err}")),
+                },
+                None => {
+                    return usage_error(
+                        "--chaos needs a fault spec (e.g. write@4..7, sync@2, seed@7:20)",
+                    )
+                }
+            },
+            "--degrade" => match it.next().map(String::as_str) {
+                Some("abort") => degrade = DegradePolicy::Abort,
+                Some("continue") => degrade = DegradePolicy::Continue,
+                _ => return usage_error("--degrade needs 'abort' or 'continue'"),
+            },
             "--workers" => match it.next().and_then(|w| w.parse::<usize>().ok()) {
                 Some(w) if w >= 1 => workers = w,
                 _ => return usage_error("--workers needs a positive integer"),
@@ -136,6 +165,9 @@ fn main() -> ExitCode {
     let which = which.unwrap_or_else(|| "all".to_owned());
     if journal.is_some() && resume.is_some() {
         return usage_error("--journal and --resume are mutually exclusive");
+    }
+    if chaos.is_some() && journal.is_none() && resume.is_none() {
+        return usage_error("--chaos injects journal faults and needs --journal or --resume");
     }
 
     // --journal starts a fresh checkpoint stream (the engine itself
@@ -153,6 +185,10 @@ fn main() -> ExitCode {
             CampaignHooks::journaled(path, true).with_cancel(install_sigint_cancel())
         }
         _ => CampaignHooks::none(),
+    };
+    let hooks = match chaos {
+        Some(plan) => hooks.with_chaos(plan).with_degrade(degrade),
+        None => hooks.with_degrade(degrade),
     };
 
     let mut report = RunReport::new();
@@ -318,7 +354,7 @@ fn usage_error(message: &str) -> ExitCode {
     eprintln!(
         "{message}\nusage: experiments [e1..e8|e6c1|ablation|diverge|all] \
          [--workers N] [--metrics-json PATH] [--canonical-metrics] [--bench-json PATH]\n\
-         \x20      [--journal PATH | --resume PATH]\n\
+         \x20      [--journal PATH | --resume PATH] [--chaos SPEC] [--degrade abort|continue]\n\
          \x20      experiments check-report PATH\n\
          \x20      experiments explain PATH [--fault N]"
     );
@@ -396,7 +432,13 @@ fn check_report(path: &str) -> ExitCode {
     match parsed.get("summary") {
         None => failures.push("summary block missing".to_owned()),
         Some(summary) => {
-            for key in ["coverage", "newton_iterations", "rung_histogram", "wall_ms"] {
+            for key in [
+                "coverage",
+                "newton_iterations",
+                "rung_histogram",
+                "wall_ms",
+                "journal_degraded",
+            ] {
                 if summary.get(key).is_none() {
                     failures.push(format!("summary.{key} missing"));
                 }
@@ -438,8 +480,17 @@ fn check_report(path: &str) -> ExitCode {
     };
     if failures.is_empty() {
         let summary = parsed.get("summary").expect("checked above");
+        let degraded = summary
+            .get("journal_degraded")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        let degraded_note = if degraded > 0.0 {
+            format!("; JOURNAL DEGRADED: {degraded} fault outcome(s) unjournaled")
+        } else {
+            String::new()
+        };
         println!(
-            "{path}: ok (coverage {:?}, {} Newton iterations, {postmortems} postmortem(s))",
+            "{path}: ok (coverage {:?}, {} Newton iterations, {postmortems} postmortem(s){degraded_note})",
             summary.get("coverage").and_then(JsonValue::as_f64),
             summary
                 .get("newton_iterations")
@@ -494,12 +545,14 @@ fn check_journal(path: &str, text: &str) -> ExitCode {
             .campaigns
             .iter()
             .map(|(label, c)| {
-                let state = if c.complete {
-                    "complete"
+                let state = if let Some(d) = &c.degraded {
+                    format!("degraded ({} unjournaled: {})", d.unjournaled, d.reason)
+                } else if c.complete {
+                    "complete".to_owned()
                 } else if c.cancelled {
-                    "cancelled"
+                    "cancelled".to_owned()
                 } else {
-                    "interrupted"
+                    "interrupted".to_owned()
                 };
                 format!("{label} {}/{} {state}", c.faults.len(), c.names.len())
             })

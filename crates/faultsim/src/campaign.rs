@@ -31,7 +31,7 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -40,7 +40,8 @@ use anasim::metrics::{SolverMetrics, SolverSnapshot};
 use anasim::netlist::Netlist;
 use anasim::robust::{escalation_ladder, CancelToken, SolveBudget, SolveSettings, SolverRung};
 use anasim::AnalysisError;
-use obs::journal::JournalWriter;
+use obs::chaos::FaultPlan;
+use obs::journal::{JournalOptions, JournalWriter, RetryPolicy};
 use obs::{Postmortem, Recorder, Section};
 use sigproc::correlation::detection_instances;
 
@@ -193,6 +194,12 @@ pub struct CampaignStats {
     /// Number of faults whose extraction panicked
     /// ([`FaultStatus::Panicked`]).
     pub panicked: usize,
+    /// Journal append attempts absorbed by the writer's
+    /// [`RetryPolicy`] (0 when no journal is configured or nothing
+    /// failed transiently). Reported as the `journal.retries` section
+    /// counter; excluded from canonical *text*, which describes
+    /// campaign semantics rather than storage weather.
+    pub journal_retries: u64,
 }
 
 impl CampaignStats {
@@ -265,6 +272,15 @@ pub struct JournalConfig {
     /// missing journal file is not an error — the campaign simply runs
     /// fresh.
     pub resume: bool,
+    /// Retry policy for journal appends. The default absorbs a few
+    /// transient I/O faults with millisecond backoff before the
+    /// campaign's [`DegradePolicy`] takes over; [`RetryPolicy::none`]
+    /// restores fail-fast appends.
+    pub retry: RetryPolicy,
+    /// Deterministic fault-injection plan wrapped around the journal
+    /// file ([`obs::chaos`]). `None` (the default) journals against the
+    /// real filesystem only — chaos is strictly opt-in.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl JournalConfig {
@@ -274,17 +290,70 @@ impl JournalConfig {
             path: path.into(),
             label: label.into(),
             resume: false,
+            retry: RetryPolicy::default(),
+            chaos: None,
         }
     }
 
     /// Resume from (and keep journaling to) `path` under `label`.
     pub fn resume(path: impl Into<PathBuf>, label: impl Into<String>) -> Self {
         JournalConfig {
-            path: path.into(),
-            label: label.into(),
             resume: true,
+            ..JournalConfig::fresh(path, label)
         }
     }
+
+    /// Replaces the append retry policy.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan on the journal's
+    /// storage path (chaos testing).
+    #[must_use]
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+}
+
+/// What a campaign does when its checkpoint journal fails persistently
+/// (every retry of an append exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Stop claiming new faults at the next fault boundary, append a
+    /// best-effort `cancelled` terminal record so the journal replays,
+    /// and fail the campaign with the journal error. Completed faults
+    /// stay journaled; a resume picks up from them. This is the
+    /// default: silently dropping checkpoints would break the resume
+    /// guarantee.
+    #[default]
+    Abort,
+    /// Keep simulating without checkpoints: the campaign completes and
+    /// its report is fully populated, but outcomes after the failure
+    /// exist only in memory. The report carries a
+    /// [`JournalDegradation`] (surfaced as a canonical
+    /// `[journal degraded …]` marker, a `journal_degraded.faults`
+    /// counter and a recorder event), and a best-effort `degraded`
+    /// terminal record marks the journal itself as incomplete.
+    Continue,
+}
+
+/// How a completed campaign's journal degraded
+/// ([`CampaignReport::degradation`], policy
+/// [`DegradePolicy::Continue`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalDegradation {
+    /// Fault outcomes that made it into the journal (including
+    /// replayed ones).
+    pub journaled: usize,
+    /// Fault outcomes completed after journaling stopped — present in
+    /// the report, absent from the journal.
+    pub unjournaled: usize,
+    /// The terminal journal error that triggered degradation.
+    pub reason: String,
 }
 
 /// Configuration for [`run_campaign_with`].
@@ -326,6 +395,11 @@ pub struct CampaignConfig {
     /// after journaling a clean `cancelled` terminal record. Completed
     /// faults stay journaled, so the campaign resumes where it stopped.
     pub cancel: Option<CancelToken>,
+    /// What to do when the journal fails persistently (all append
+    /// retries exhausted): abort cleanly at the next fault boundary
+    /// (the default) or continue journal-less with the degradation
+    /// accounted for in the report.
+    pub degrade: DegradePolicy,
 }
 
 impl fmt::Debug for CampaignConfig {
@@ -340,6 +414,7 @@ impl fmt::Debug for CampaignConfig {
             .field("has_recorder", &self.recorder.is_some())
             .field("journal", &self.journal)
             .field("has_cancel", &self.cancel.is_some())
+            .field("degrade", &self.degrade)
             .finish()
     }
 }
@@ -359,6 +434,7 @@ impl CampaignConfig {
             recorder: None,
             journal: None,
             cancel: None,
+            degrade: DegradePolicy::default(),
         }
     }
 
@@ -425,6 +501,13 @@ impl CampaignConfig {
         self.cancel = Some(cancel);
         self
     }
+
+    /// Sets the persistent-journal-failure policy; see
+    /// [`DegradePolicy`].
+    pub fn degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
+    }
 }
 
 /// Full report of a campaign.
@@ -438,6 +521,11 @@ pub struct CampaignReport {
     pub threshold: f64,
     /// Solver telemetry for the run.
     pub stats: CampaignStats,
+    /// Set when the journal failed persistently under
+    /// [`DegradePolicy::Continue`]: the report is complete, the journal
+    /// is not. `None` for unjournaled campaigns and for journals that
+    /// stayed healthy (possibly via retries).
+    pub degradation: Option<JournalDegradation>,
 }
 
 impl CampaignReport {
@@ -515,6 +603,11 @@ impl CampaignReport {
             // Emitted even at zero so the counter key set is stable
             // across runs (canonical diffs stay structural).
             .counter("panicked.faults", self.stats.panicked as u64)
+            .counter(
+                "journal_degraded.faults",
+                self.degradation.as_ref().map_or(0, |d| d.unjournaled as u64),
+            )
+            .counter("journal.retries", self.stats.journal_retries)
             .value("threshold", self.threshold)
             .value(
                 "coverage",
@@ -600,7 +693,78 @@ impl CampaignReport {
             let _ = writeln!(out, " [newton {}]", t.solver.newton_iterations);
         }
         let _ = writeln!(out, "coverage@50%: {:.4}", self.coverage(50.0));
+        if let Some(d) = &self.degradation {
+            let _ = writeln!(
+                out,
+                "[journal degraded: {} unjournaled of {} faults ({})]",
+                d.unjournaled,
+                self.outcomes.len(),
+                d.reason
+            );
+        }
         out
+    }
+}
+
+/// Shared journal bookkeeping for one campaign run: the writer plus the
+/// failure/degradation state workers consult at every fault boundary.
+struct JournalState {
+    writer: Mutex<JournalWriter>,
+    label: String,
+    /// Outcomes replayed from the journal before simulation started.
+    replayed: usize,
+    /// Latched on the first persistent (retries-exhausted) append
+    /// failure; `reason` holds the error (first one wins).
+    failed: AtomicBool,
+    /// Under [`DegradePolicy::Abort`]: tells workers to stop claiming
+    /// faults, exactly like a raised cancel token.
+    abort: AtomicBool,
+    /// Fault outcomes appended to the journal by this run.
+    journaled: AtomicUsize,
+    /// Fault outcomes completed after journaling stopped
+    /// ([`DegradePolicy::Continue`] only).
+    unjournaled: AtomicUsize,
+    reason: Mutex<Option<String>>,
+}
+
+impl JournalState {
+    fn new(writer: JournalWriter, label: String, replayed: usize) -> Self {
+        JournalState {
+            writer: Mutex::new(writer),
+            label,
+            replayed,
+            failed: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            journaled: AtomicUsize::new(0),
+            unjournaled: AtomicUsize::new(0),
+            reason: Mutex::new(None),
+        }
+    }
+
+    /// Records a persistent append failure and applies the policy.
+    fn degrade(&self, err: &std::io::Error, policy: DegradePolicy) {
+        let mut reason = self.reason.lock().expect("journal reason lock");
+        if reason.is_none() {
+            *reason = Some(err.to_string());
+        }
+        drop(reason);
+        self.failed.store(true, Ordering::Release);
+        if policy == DegradePolicy::Abort {
+            self.abort.store(true, Ordering::Release);
+        }
+    }
+
+    /// Total fault outcomes the journal holds: replayed plus appended.
+    fn journaled_total(&self) -> usize {
+        self.replayed + self.journaled.load(Ordering::Acquire)
+    }
+
+    fn reason(&self) -> String {
+        self.reason
+            .lock()
+            .expect("journal reason lock")
+            .clone()
+            .unwrap_or_else(|| "unknown journal failure".into())
     }
 }
 
@@ -677,12 +841,14 @@ where
     // Replay the checkpoint journal (resume) and open it for appending.
     // `results[i]` starts as the replayed outcome for fault `i`, or
     // `None` for faults still to simulate.
+    let is_cancelled = || config.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
     let mut results: Vec<Option<(FaultOutcome, FaultTelemetry)>> =
         faults.iter().map(|_| None).collect();
-    let journal_writer: Option<Mutex<JournalWriter>> = match &config.journal {
+    let journal_state: Option<JournalState> = match &config.journal {
         Some(jc) => {
             let journal_err =
                 |e: String| AnalysisError::InvalidParameter(format!("campaign journal: {e}"));
+            let mut replayed_campaign = None;
             if jc.resume && jc.path.exists() {
                 let replay = journal::load(&jc.path).map_err(journal_err)?;
                 if let Some(campaign) = replay.campaign(&jc.label) {
@@ -710,28 +876,20 @@ where
                             golden_sig.len()
                         )));
                     }
-                    for fault in campaign.faults.values() {
-                        if fault.index >= faults.len()
-                            || fault.name != faults[fault.index].name()
-                        {
-                            return Err(journal_err(format!(
-                                "fault record {:?} (index {}) does not match the universe",
-                                fault.name, fault.index
-                            )));
-                        }
-                        results[fault.index] = Some((
-                            FaultOutcome {
-                                fault: faults[fault.index].clone(),
-                                signature: fault.signature.clone(),
-                                status: fault.status.clone(),
-                            },
-                            fault.telemetry.clone(),
-                        ));
-                    }
+                    replayed_campaign = Some(campaign.clone());
                 }
             }
-            let mut writer = JournalWriter::append_to(&jc.path)
-                .map_err(|e| journal_err(format!("{}: {e}", jc.path.display())))?;
+            // Opening and the `start` record go through the configured
+            // retry/chaos options too; errors here carry the path and
+            // operation from `obs::journal::JournalError`.
+            let mut writer = JournalWriter::append_to_with(
+                &jc.path,
+                JournalOptions {
+                    retry: jc.retry.clone(),
+                    chaos: jc.chaos.clone(),
+                },
+            )
+            .map_err(|e| journal_err(e.to_string()))?;
             writer
                 .append(&journal::start_record(
                     &jc.label,
@@ -739,8 +897,39 @@ where
                     config.threshold,
                     golden_sig.len(),
                 ))
-                .map_err(|e| journal_err(format!("write failed: {e}")))?;
-            Some(Mutex::new(writer))
+                .map_err(|e| journal_err(e.to_string()))?;
+            let mut replayed = 0usize;
+            if let Some(campaign) = replayed_campaign {
+                for fault in campaign.faults.values() {
+                    // Replaying a big journal decodes thousands of
+                    // records; honour cancellation at record
+                    // granularity, terminating the fresh segment
+                    // cleanly so the journal still replays.
+                    if is_cancelled() {
+                        writer
+                            .append(&journal::cancelled_record(&jc.label, replayed))
+                            .map_err(|e| journal_err(e.to_string()))?;
+                        return Err(AnalysisError::Cancelled);
+                    }
+                    if fault.index >= faults.len() || fault.name != faults[fault.index].name()
+                    {
+                        return Err(journal_err(format!(
+                            "fault record {:?} (index {}) does not match the universe",
+                            fault.name, fault.index
+                        )));
+                    }
+                    results[fault.index] = Some((
+                        FaultOutcome {
+                            fault: faults[fault.index].clone(),
+                            signature: fault.signature.clone(),
+                            status: fault.status.clone(),
+                        },
+                        fault.telemetry.clone(),
+                    ));
+                    replayed += 1;
+                }
+            }
+            Some(JournalState::new(writer, jc.label.clone(), replayed))
         }
         None => None,
     };
@@ -899,40 +1088,54 @@ where
 
     // One completed fault = one fsync'd journal line, appended from
     // whichever worker finished it. Journal order is completion order;
-    // the record's index restores universe order on replay. A write
-    // failure is remembered (first one wins) and fails the campaign
-    // after collection — dropping checkpoints silently would break the
-    // resume guarantee.
-    let journal_label = config.journal.as_ref().map(|jc| jc.label.as_str());
-    let journal_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    // the record's index restores universe order on replay. Transient
+    // write failures are absorbed by the writer's retry policy; a
+    // persistent one latches the degradation state, and the configured
+    // `DegradePolicy` decides whether workers stop claiming (Abort) or
+    // keep simulating with the gap accounted (Continue) — dropping
+    // checkpoints *silently* would break the resume guarantee.
     let run_one = |i: usize| -> Option<(FaultOutcome, FaultTelemetry)> {
         let result = simulate_fault(&faults[i])?;
-        if let (Some(writer), Some(label)) = (&journal_writer, journal_label) {
-            let record = journal::fault_record(
-                label,
-                i,
-                faults[i].name(),
-                result.0.signature.as_deref(),
-                &result.0.status,
-                &result.1,
-            );
-            if let Err(err) = writer.lock().expect("journal lock").append(&record) {
-                let mut slot = journal_error.lock().expect("journal error lock");
-                if slot.is_none() {
-                    *slot = Some(err);
+        if let Some(js) = &journal_state {
+            if js.failed.load(Ordering::Acquire) {
+                js.unjournaled.fetch_add(1, Ordering::AcqRel);
+            } else {
+                let record = journal::fault_record(
+                    &js.label,
+                    i,
+                    faults[i].name(),
+                    result.0.signature.as_deref(),
+                    &result.0.status,
+                    &result.1,
+                );
+                match js.writer.lock().expect("journal lock").append(&record) {
+                    Ok(()) => {
+                        js.journaled.fetch_add(1, Ordering::AcqRel);
+                    }
+                    Err(err) => {
+                        js.degrade(&err, config.degrade);
+                        js.unjournaled.fetch_add(1, Ordering::AcqRel);
+                    }
                 }
             }
         }
         Some(result)
     };
-    let is_cancelled = || config.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+    // Workers stop claiming for either reason — user cancellation or a
+    // journal abort — through the same fault-boundary check.
+    let should_stop = || {
+        is_cancelled()
+            || journal_state
+                .as_ref()
+                .is_some_and(|js| js.abort.load(Ordering::Acquire))
+    };
 
     // Only faults without a replayed outcome are simulated.
     let pending: Vec<usize> = (0..faults.len()).filter(|&i| results[i].is_none()).collect();
     let workers = config.workers.max(1).min(pending.len().max(1));
     if workers <= 1 {
         for &i in &pending {
-            if is_cancelled() {
+            if should_stop() {
                 break;
             }
             let Some(result) = run_one(i) else { break };
@@ -943,15 +1146,15 @@ where
         // pending fault indices, each fault runs entirely on one
         // thread, and results land in per-index slots so universe order
         // is restored exactly regardless of scheduling. Workers check
-        // the cancellation token at every fault boundary and stop
-        // claiming once it trips.
+        // the cancellation token (and the journal-abort latch) at every
+        // fault boundary and stop claiming once either trips.
         let slots: Vec<Mutex<Option<(FaultOutcome, FaultTelemetry)>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    if is_cancelled() {
+                    if should_stop() {
                         break;
                     }
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
@@ -968,27 +1171,52 @@ where
         }
     }
 
-    if let Some(err) = journal_error.into_inner().expect("journal error lock") {
-        return Err(AnalysisError::InvalidParameter(format!(
-            "campaign journal: write failed: {err}"
-        )));
-    }
-
-    // A missing outcome can only mean cancellation (every other path
-    // produces a typed status). Journal a clean terminal record so the
-    // file replays, then report cancellation to the caller.
-    let completed = results.iter().filter(|r| r.is_some()).count();
-    if completed < faults.len() {
-        if let (Some(writer), Some(label)) = (&journal_writer, journal_label) {
-            writer
+    // A persistent journal failure under Abort fails the campaign at
+    // the fault boundary it stopped at, exactly like a cancellation: a
+    // best-effort `cancelled` terminal record keeps the journal
+    // replayable when the underlying fault was bounded (an ENOSPC that
+    // cleared), and its own failure is ignored — the journal is already
+    // known-broken, and the error the caller needs is the original one.
+    if let Some(js) = &journal_state {
+        if js.failed.load(Ordering::Acquire) && config.degrade == DegradePolicy::Abort {
+            let _ = js
+                .writer
                 .lock()
                 .expect("journal lock")
-                .append(&journal::cancelled_record(label, completed))
-                .map_err(|err| {
-                    AnalysisError::InvalidParameter(format!(
+                .append(&journal::cancelled_record(&js.label, js.journaled_total()));
+            return Err(AnalysisError::InvalidParameter(format!(
+                "campaign journal: write failed ({} of {} fault outcomes journaled, \
+                 aborted at the next fault boundary): {}",
+                js.journaled_total(),
+                faults.len(),
+                js.reason()
+            )));
+        }
+    }
+
+    // A missing outcome past this point can only mean cancellation
+    // (every other path produces a typed status). Journal a clean
+    // terminal record so the file replays, then report cancellation to
+    // the caller.
+    let completed = results.iter().filter(|r| r.is_some()).count();
+    if completed < faults.len() {
+        if let Some(js) = &journal_state {
+            let append = js
+                .writer
+                .lock()
+                .expect("journal lock")
+                .append(&journal::cancelled_record(&js.label, js.journaled_total()));
+            match append {
+                Ok(()) => {}
+                // A journal that already degraded (Continue policy)
+                // gets best-effort terminal records only.
+                Err(_) if js.failed.load(Ordering::Acquire) => {}
+                Err(err) => {
+                    return Err(AnalysisError::InvalidParameter(format!(
                         "campaign journal: write failed: {err}"
-                    ))
-                })?;
+                    )));
+                }
+            }
         }
         return Err(AnalysisError::Cancelled);
     }
@@ -1005,7 +1233,7 @@ where
         .filter(|o| matches!(o.status, FaultStatus::Panicked { .. }))
         .count();
 
-    let report = CampaignReport {
+    let mut report = CampaignReport {
         golden: golden_sig,
         outcomes,
         threshold: config.threshold,
@@ -1015,17 +1243,45 @@ where
             per_fault,
             campaign_wall: campaign_start.elapsed(),
             panicked,
+            journal_retries: 0,
         },
+        degradation: None,
     };
 
-    if let (Some(writer), Some(label)) = (&journal_writer, journal_label) {
-        writer
-            .lock()
-            .expect("journal lock")
-            .append(&journal::complete_record(label))
-            .map_err(|err| {
-                AnalysisError::InvalidParameter(format!("campaign journal: write failed: {err}"))
-            })?;
+    // Terminal record: `complete` for a healthy journal, `degraded`
+    // (best-effort) for one that failed under Continue — a bounded
+    // outage lets the degraded record land, making the journal
+    // self-describing about its own gap.
+    if let Some(js) = &journal_state {
+        let mut writer = js.writer.lock().expect("journal lock");
+        if !js.failed.load(Ordering::Acquire) {
+            if let Err(err) = writer.append(&journal::complete_record(&js.label)) {
+                if config.degrade == DegradePolicy::Abort {
+                    return Err(AnalysisError::InvalidParameter(format!(
+                        "campaign journal: write failed: {err}"
+                    )));
+                }
+                // Continue: every fault outcome is journaled and the
+                // campaign is complete — only the terminal record is
+                // missing, so degrade with zero unjournaled faults.
+                js.degrade(&err, config.degrade);
+            }
+        }
+        if js.failed.load(Ordering::Acquire) {
+            let degradation = JournalDegradation {
+                journaled: js.journaled_total(),
+                unjournaled: js.unjournaled.load(Ordering::Acquire),
+                reason: js.reason(),
+            };
+            let _ = writer.append(&journal::degraded_record(
+                &js.label,
+                degradation.journaled,
+                degradation.unjournaled,
+                &degradation.reason,
+            ));
+            report.degradation = Some(degradation);
+        }
+        report.stats.journal_retries = writer.retries();
     }
 
     // Telemetry reaches the recorder only here, after collection, in
@@ -1101,6 +1357,10 @@ fn emit_campaign(recorder: &dyn Recorder, report: &CampaignReport) {
     recorder.add("campaign.faults", report.outcomes.len() as u64);
     recorder.add("campaign.detected", report.detected_count() as u64);
     recorder.add("campaign.panicked", report.stats.panicked as u64);
+    recorder.add("campaign.journal.retries", report.stats.journal_retries);
+    if let Some(d) = &report.degradation {
+        recorder.add("campaign.journal.degraded", d.unjournaled as u64);
+    }
     for (i, count) in report.stats.rung_histogram().iter().enumerate() {
         recorder.add(&format!("campaign.rung.{i}"), *count as u64);
     }

@@ -388,6 +388,22 @@ pub fn cancelled_record(label: &str, completed: usize) -> JsonValue {
     obj
 }
 
+/// Builds the journal-degradation terminal record: the campaign kept
+/// running after persistent journal failures, so `unjournaled` fault
+/// outcomes exist only in the in-memory report. Appending this record
+/// is itself best-effort — the write path is the thing that failed —
+/// but a bounded outage (ENOSPC that clears, a transient mount hiccup)
+/// lets it land, making the journal self-describing about its own gap.
+pub fn degraded_record(label: &str, journaled: usize, unjournaled: usize, reason: &str) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.push("record", JsonValue::Str("degraded".into()));
+    obj.push("label", JsonValue::Str(label.into()));
+    obj.push("journaled", JsonValue::Num(journaled as f64));
+    obj.push("unjournaled", JsonValue::Num(unjournaled as f64));
+    obj.push("reason", JsonValue::Str(reason.into()));
+    obj
+}
+
 // ---------------------------------------------------------------------
 // Replay
 // ---------------------------------------------------------------------
@@ -405,6 +421,18 @@ pub struct ReplayedFault {
     pub status: FaultStatus,
     /// Per-fault telemetry, including any frozen postmortem.
     pub telemetry: FaultTelemetry,
+}
+
+/// A decoded `degraded` terminal record: how much of the campaign the
+/// journal is missing, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedDegradation {
+    /// Fault outcomes that made it into the journal.
+    pub journaled: usize,
+    /// Fault outcomes completed after journaling stopped.
+    pub unjournaled: usize,
+    /// The terminal journal error that triggered degradation.
+    pub reason: String,
 }
 
 /// Everything the journal knows about one campaign label, merged across
@@ -425,6 +453,10 @@ pub struct ReplayedCampaign {
     /// True when a `cancelled` terminal record was seen (a later resume
     /// segment clears it).
     pub cancelled: bool,
+    /// Set when a `degraded` terminal record was seen: the journal is
+    /// known-incomplete for this segment (a later resume segment, which
+    /// re-runs the missing faults, clears it).
+    pub degraded: Option<ReplayedDegradation>,
 }
 
 /// A decoded journal: campaigns by label, plus whether the file ended
@@ -485,9 +517,11 @@ pub fn replay(contents: &JournalContents) -> Result<JournalReplay, String> {
                 campaign.threshold = threshold;
                 campaign.golden_len = golden_len;
                 // A fresh segment reopens a previously cancelled (or
-                // even completed) campaign.
+                // even completed) campaign; it also re-runs whatever a
+                // degraded segment failed to journal.
                 campaign.complete = false;
                 campaign.cancelled = false;
+                campaign.degraded = None;
             }
             "fault" => {
                 let campaign = campaigns
@@ -535,6 +569,20 @@ pub fn replay(contents: &JournalContents) -> Result<JournalReplay, String> {
                     format!("{}: cancelled record before start for {label:?}", line())
                 })?;
                 campaign.cancelled = true;
+            }
+            "degraded" => {
+                let campaign = campaigns.get_mut(&label).ok_or_else(|| {
+                    format!("{}: degraded record before start for {label:?}", line())
+                })?;
+                campaign.degraded = Some(ReplayedDegradation {
+                    journaled: get_usize(record, "journaled")
+                        .map_err(|e| format!("{}: {e}", line()))?,
+                    unjournaled: get_usize(record, "unjournaled")
+                        .map_err(|e| format!("{}: {e}", line()))?,
+                    reason: get_str(record, "reason")
+                        .map_err(|e| format!("{}: {e}", line()))?
+                        .to_owned(),
+                });
             }
             other => return Err(format!("{}: unknown record type {other:?}", line())),
         }
@@ -698,6 +746,28 @@ mod tests {
         text += "\n";
         let replayed = replay(&parse_journal(&text).unwrap()).unwrap();
         assert!(!replayed.campaign("c").unwrap().cancelled);
+    }
+
+    #[test]
+    fn degraded_terminal_is_replayed_and_cleared_by_resume() {
+        let faults = two_faults();
+        let mut text = String::new();
+        text += &start_record("c", &faults, 0.5, 1).to_json();
+        text += "\n";
+        text += &degraded_record("c", 1, 3, "journal sync failed: disk full").to_json();
+        text += "\n";
+        let replayed = replay(&parse_journal(&text).unwrap()).unwrap();
+        let degraded = replayed.campaign("c").unwrap().degraded.clone().unwrap();
+        assert_eq!(degraded.journaled, 1);
+        assert_eq!(degraded.unjournaled, 3);
+        assert!(degraded.reason.contains("disk full"));
+
+        // A resume segment re-runs the unjournaled faults, so it clears
+        // the degradation flag.
+        text += &start_record("c", &faults, 0.5, 1).to_json();
+        text += "\n";
+        let replayed = replay(&parse_journal(&text).unwrap()).unwrap();
+        assert!(replayed.campaign("c").unwrap().degraded.is_none());
     }
 
     #[test]

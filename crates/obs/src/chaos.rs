@@ -1,0 +1,438 @@
+//! Deterministic I/O fault injection for journal storage.
+//!
+//! [`FaultySink`] wraps any [`JournalSink`] and fails operations
+//! according to a [`FaultPlan`] — a reproducible schedule built from
+//! scripted windows ("fail writes 4..7"), one-off short writes
+//! ("truncate write 3 to 5 bytes"), and/or a seeded pseudo-random
+//! component. The plan is a pure function of (seed, operation index),
+//! so the same plan against the same operation sequence injects the
+//! same faults on every run — chaos tests replay bit-for-bit, and a CI
+//! failure under seed `S` reproduces locally with seed `S`.
+//!
+//! Plans also parse from a compact spec string (the `--chaos` CLI
+//! flag): comma-separated clauses
+//!
+//! ```text
+//! write@4        fail the 5th write (0-based index 4)
+//! write@4..7     fail writes 4,5,6
+//! sync@2..       fail every sync from index 2 on (persistent)
+//! reopen@0       fail the first reopen
+//! trunc@3:5      write 3 lands only its first 5 bytes, then errors
+//! seed@9:20      each op fails with p=20% under splitmix64(seed 9)
+//! ```
+//!
+//! Injected failures use [`io::ErrorKind::StorageFull`] for writes (the
+//! ENOSPC shape long campaigns actually hit) and generic errors for
+//! syncs/reopens, all tagged "injected" so logs distinguish chaos from
+//! real faults.
+
+use std::fmt;
+use std::io;
+
+use crate::journal::JournalSink;
+
+/// Which sink operation a schedule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Write,
+    Sync,
+    Reopen,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Write => "write",
+            Op::Sync => "sync",
+            Op::Reopen => "reopen",
+        }
+    }
+}
+
+/// A failure schedule for one operation type: scripted index windows
+/// plus an optional seeded probability.
+///
+/// An operation at index `i` (0-based, counted per operation type)
+/// fails when `i` falls inside any window, or when the seeded coin —
+/// a pure hash of `(seed, op, i)` — comes up under the configured
+/// probability.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpSchedule {
+    /// Half-open index windows `[start, end)`; `None` end = forever
+    /// (a persistent fault).
+    pub windows: Vec<(u64, Option<u64>)>,
+    /// Seeded random failure: `(seed, probability in [0,1])`.
+    pub random: Option<(u64, f64)>,
+}
+
+impl OpSchedule {
+    /// True when this schedule injects nothing, ever.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty() && self.random.is_none()
+    }
+
+    /// Does the operation at `index` fail under this schedule?
+    fn fails(&self, op: Op, index: u64) -> bool {
+        for &(start, end) in &self.windows {
+            let inside = index >= start && end.is_none_or(|e| index < e);
+            if inside {
+                return true;
+            }
+        }
+        if let Some((seed, p)) = self.random {
+            // splitmix64 of (seed, op, index) → uniform in [0,1).
+            let salt = match op {
+                Op::Write => 0x57,
+                Op::Sync => 0x53,
+                Op::Reopen => 0x52,
+            };
+            let h = mix(seed ^ mix(salt) ^ mix(index));
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            return unit < p;
+        }
+        false
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit mixing
+/// function. Stateless, so fault decisions depend only on the inputs.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A complete, reproducible fault-injection schedule for one sink.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Failure schedule for `write` operations.
+    pub write: OpSchedule,
+    /// Failure schedule for `sync` operations.
+    pub sync: OpSchedule,
+    /// Failure schedule for `reopen` operations.
+    pub reopen: OpSchedule,
+    /// Short writes: `(write index, bytes that land)` — the write
+    /// persists only a prefix, then errors. Takes precedence over the
+    /// `write` schedule at the same index.
+    pub short_writes: Vec<(u64, usize)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — wrapping with it is a no-op.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing, ever.
+    pub fn is_empty(&self) -> bool {
+        self.write.is_empty()
+            && self.sync.is_empty()
+            && self.reopen.is_empty()
+            && self.short_writes.is_empty()
+    }
+
+    /// A purely random plan: every write fails with probability
+    /// `p_write` and every sync with `p_sync`, decided by `seed`.
+    pub fn seeded(seed: u64, p_write: f64, p_sync: f64) -> Self {
+        FaultPlan {
+            write: OpSchedule {
+                windows: Vec::new(),
+                random: (p_write > 0.0).then_some((seed, p_write)),
+            },
+            sync: OpSchedule {
+                windows: Vec::new(),
+                random: (p_sync > 0.0).then_some((seed, p_sync)),
+            },
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Parses the compact spec grammar used by the `--chaos` CLI flag
+    /// (see the module docs for the clause forms).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (kind, body) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("chaos clause `{clause}`: expected `kind@spec`"))?;
+            match kind {
+                "write" => plan.write.windows.push(parse_window(clause, body)?),
+                "sync" => plan.sync.windows.push(parse_window(clause, body)?),
+                "reopen" => plan.reopen.windows.push(parse_window(clause, body)?),
+                "trunc" => {
+                    let (idx, len) = body.split_once(':').ok_or_else(|| {
+                        format!("chaos clause `{clause}`: expected `trunc@INDEX:BYTES`")
+                    })?;
+                    plan.short_writes.push((
+                        parse_num(clause, idx)?,
+                        parse_num(clause, len)? as usize,
+                    ));
+                }
+                "seed" => {
+                    let (seed, pct) = body.split_once(':').ok_or_else(|| {
+                        format!("chaos clause `{clause}`: expected `seed@SEED:PERCENT`")
+                    })?;
+                    let seed = parse_num(clause, seed)?;
+                    let pct = parse_num(clause, pct)?;
+                    if pct > 100 {
+                        return Err(format!("chaos clause `{clause}`: percent > 100"));
+                    }
+                    let p = pct as f64 / 100.0;
+                    plan.write.random = Some((seed, p));
+                    plan.sync.random = Some((seed, p));
+                }
+                other => {
+                    return Err(format!(
+                        "chaos clause `{clause}`: unknown kind `{other}` \
+                         (expected write/sync/reopen/trunc/seed)"
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Parses `N`, `N..M` (half-open) or `N..` (persistent) into a window.
+fn parse_window(clause: &str, body: &str) -> Result<(u64, Option<u64>), String> {
+    if let Some((start, end)) = body.split_once("..") {
+        let start = parse_num(clause, start)?;
+        if end.is_empty() {
+            Ok((start, None))
+        } else {
+            let end = parse_num(clause, end)?;
+            if end <= start {
+                return Err(format!("chaos clause `{clause}`: empty window"));
+            }
+            Ok((start, Some(end)))
+        }
+    } else {
+        let n = parse_num(clause, body)?;
+        Ok((n, Some(n + 1)))
+    }
+}
+
+fn parse_num(clause: &str, text: &str) -> Result<u64, String> {
+    text.trim()
+        .parse::<u64>()
+        .map_err(|_| format!("chaos clause `{clause}`: `{text}` is not a number"))
+}
+
+/// A [`JournalSink`] wrapper that injects the faults a [`FaultPlan`]
+/// schedules, forwarding everything else to the inner sink.
+///
+/// Operation indices count per operation type across the sink's
+/// lifetime, so a plan is deterministic for a given operation sequence
+/// regardless of timing.
+pub struct FaultySink<S: JournalSink + ?Sized> {
+    plan: FaultPlan,
+    writes: u64,
+    syncs: u64,
+    reopens: u64,
+    injected: u64,
+    inner: Box<S>,
+}
+
+impl<S: JournalSink + ?Sized> fmt::Debug for FaultySink<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultySink")
+            .field("plan", &self.plan)
+            .field("writes", &self.writes)
+            .field("syncs", &self.syncs)
+            .field("reopens", &self.reopens)
+            .field("injected", &self.injected)
+            .field("inner", &&self.inner)
+            .finish()
+    }
+}
+
+impl<S: JournalSink + ?Sized> FaultySink<S> {
+    /// Wraps `inner` so it fails per `plan`.
+    pub fn new(inner: Box<S>, plan: FaultPlan) -> Self {
+        FaultySink {
+            plan,
+            writes: 0,
+            syncs: 0,
+            reopens: 0,
+            injected: 0,
+            inner,
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Operations seen so far, as `(writes, syncs, reopens)`.
+    pub fn ops(&self) -> (u64, u64, u64) {
+        (self.writes, self.syncs, self.reopens)
+    }
+
+    fn inject(&mut self, op: Op, index: u64) -> io::Error {
+        self.injected += 1;
+        let kind = match op {
+            Op::Write => io::ErrorKind::StorageFull,
+            Op::Sync | Op::Reopen => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, format!("injected {} fault at op {index}", op.name()))
+    }
+}
+
+impl<S: JournalSink + ?Sized> JournalSink for FaultySink<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<()> {
+        let index = self.writes;
+        self.writes += 1;
+        if let Some(&(_, keep)) = self
+            .plan
+            .short_writes
+            .iter()
+            .find(|&&(i, _)| i == index)
+        {
+            // A short write: a prefix lands in the inner sink, then
+            // the operation reports failure — the torn-append shape.
+            let keep = keep.min(buf.len());
+            self.inner.write(&buf[..keep])?;
+            return Err(self.inject(Op::Write, index));
+        }
+        if self.plan.write.fails(Op::Write, index) {
+            return Err(self.inject(Op::Write, index));
+        }
+        self.inner.write(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let index = self.syncs;
+        self.syncs += 1;
+        if self.plan.sync.fails(Op::Sync, index) {
+            return Err(self.inject(Op::Sync, index));
+        }
+        self.inner.sync()
+    }
+
+    fn reopen(&mut self, truncate_to: u64) -> io::Result<()> {
+        let index = self.reopens;
+        self.reopens += 1;
+        if self.plan.reopen.fails(Op::Reopen, index) {
+            return Err(self.inject(Op::Reopen, index));
+        }
+        self.inner.reopen(truncate_to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single_index_and_windows() {
+        let plan = FaultPlan::parse("write@4,sync@2..5,reopen@1..").unwrap();
+        assert_eq!(plan.write.windows, vec![(4, Some(5))]);
+        assert_eq!(plan.sync.windows, vec![(2, Some(5))]);
+        assert_eq!(plan.reopen.windows, vec![(1, None)]);
+        assert!(plan.write.fails(Op::Write, 4));
+        assert!(!plan.write.fails(Op::Write, 5));
+        assert!(plan.sync.fails(Op::Sync, 4));
+        assert!(!plan.sync.fails(Op::Sync, 5));
+        assert!(plan.reopen.fails(Op::Reopen, 1_000_000));
+    }
+
+    #[test]
+    fn parse_trunc_and_seed() {
+        let plan = FaultPlan::parse("trunc@3:5,seed@9:25").unwrap();
+        assert_eq!(plan.short_writes, vec![(3, 5)]);
+        assert_eq!(plan.write.random, Some((9, 0.25)));
+        assert_eq!(plan.sync.random, Some((9, 0.25)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in ["write", "write@x", "write@5..3", "boom@1", "seed@1:200"] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.contains("chaos clause"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_the_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn seeded_decisions_are_reproducible_and_roughly_calibrated() {
+        let plan = FaultPlan::seeded(42, 0.3, 0.0);
+        let again = FaultPlan::seeded(42, 0.3, 0.0);
+        let mut hits = 0;
+        for i in 0..1000 {
+            let a = plan.write.fails(Op::Write, i);
+            let b = again.write.fails(Op::Write, i);
+            assert_eq!(a, b, "decision {i} not reproducible");
+            if a {
+                hits += 1;
+            }
+        }
+        // 30% of 1000 with generous slack — this is a calibration
+        // sanity check, not a statistics test.
+        assert!((150..=450).contains(&hits), "hits = {hits}");
+        // A different seed gives a different schedule.
+        let other = FaultPlan::seeded(43, 0.3, 0.0);
+        let same = (0..1000).all(|i| other.write.fails(Op::Write, i) == plan.write.fails(Op::Write, i));
+        assert!(!same);
+    }
+
+    /// Minimal in-memory sink used to observe what FaultySink forwards.
+    #[derive(Debug, Default)]
+    struct MemSink {
+        buf: Vec<u8>,
+    }
+
+    impl JournalSink for MemSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<()> {
+            self.buf.extend_from_slice(buf);
+            Ok(())
+        }
+
+        fn sync(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn reopen(&mut self, truncate_to: u64) -> io::Result<()> {
+            self.buf.truncate(truncate_to as usize);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_write_lands_a_prefix_then_errors() {
+        let plan = FaultPlan::parse("trunc@1:4").unwrap();
+        let mut sink = FaultySink::new(Box::new(MemSink::default()), plan);
+        sink.write(b"aaaa\n").unwrap();
+        let err = sink.write(b"bbbbbbbb\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(sink.inner.buf, b"aaaa\nbbbb");
+        assert_eq!(sink.injected(), 1);
+    }
+
+    #[test]
+    fn scripted_write_fault_leaves_inner_untouched() {
+        let plan = FaultPlan::parse("write@0").unwrap();
+        let mut sink = FaultySink::new(Box::new(MemSink::default()), plan);
+        let err = sink.write(b"x\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(sink.inner.buf.is_empty());
+        sink.write(b"y\n").unwrap();
+        assert_eq!(sink.inner.buf, b"y\n");
+        assert_eq!(sink.ops(), (2, 0, 0));
+    }
+}

@@ -33,10 +33,16 @@
 //! fsync-per-record JSONL writer and a reader that tolerates the one
 //! torn trailing line a hard kill can leave behind, so long-running
 //! campaigns checkpoint and resume instead of restarting from zero.
+//! The writer talks to storage through the [`journal::JournalSink`]
+//! trait and retries transient faults per a [`journal::RetryPolicy`];
+//! the [`chaos`] module supplies a deterministic fault-injecting sink
+//! ([`chaos::FaultySink`]) so the whole failure surface is testable
+//! with reproducible, seeded schedules.
 //!
 //! Human-facing output goes through [`table::Table`], so printed tables
 //! and the JSON report cannot drift apart.
 
+pub mod chaos;
 pub mod histogram;
 pub mod journal;
 pub mod json;
@@ -47,8 +53,12 @@ pub mod ring;
 pub mod span;
 pub mod table;
 
+pub use chaos::{FaultPlan, FaultySink};
 pub use histogram::Histogram;
-pub use journal::{read_journal, JournalContents, JournalWriter};
+pub use journal::{
+    read_journal, JournalContents, JournalError, JournalOptions, JournalSink, JournalWriter,
+    RetryPolicy,
+};
 pub use postmortem::{LadderStep, Postmortem, PostmortemIteration};
 pub use recorder::{AggregatingRecorder, NoopRecorder, Recorder};
 pub use report::{RunReport, Section};
