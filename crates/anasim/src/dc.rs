@@ -153,6 +153,11 @@ fn dc_solve(
     options: &DcOptions,
     hooks: SolveHooks<'_>,
 ) -> Result<OperatingPoint, AnalysisError> {
+    // Homotopy scheduling is DC self-time; the Newton solves underneath
+    // attribute their own stamp/factor/solve/residual phases.
+    let _dc = hooks
+        .profile
+        .map(|p| p.enter(obs::profile::Phase::DcSolve));
     let layout = MnaLayout::new(netlist);
     let mut x = vec![0.0; layout.size()];
     let set_phase = |phase: SolvePhase| {

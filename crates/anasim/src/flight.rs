@@ -280,15 +280,18 @@ impl FlightRecorder {
 /// The per-solve observer bundle threaded through
 /// [`crate::mna::newton_solve_budgeted`] and the analyses above it.
 ///
-/// Both hooks are optional borrows: a fully disarmed bundle (the
-/// default) costs the solver two `None` branches per iteration and
-/// performs no allocation.
+/// Every hook is an optional borrow: a fully disarmed bundle (the
+/// default) costs the solver a few `None` branches per iteration and
+/// performs no allocation and no clock reads.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolveHooks<'a> {
     /// Counter handle ([`SolverMetrics`]) — iteration and step totals.
     pub metrics: Option<&'a SolverMetrics>,
     /// Flight recorder — bounded per-iteration trace for postmortems.
     pub flight: Option<&'a FlightRecorder>,
+    /// Phase profiler ([`obs::profile::PhaseProfiler`]) — per-phase
+    /// wall-time attribution of the Newton loop.
+    pub profile: Option<&'a obs::profile::PhaseProfiler>,
 }
 
 impl<'a> SolveHooks<'a> {
@@ -302,7 +305,7 @@ impl<'a> SolveHooks<'a> {
     pub fn metrics(metrics: Option<&'a SolverMetrics>) -> Self {
         SolveHooks {
             metrics,
-            flight: None,
+            ..SolveHooks::default()
         }
     }
 }

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use obs::profile::{PhaseProfiler, PhaseSnapshot};
 use obs::Recorder;
 
 /// Counter names under which [`SolverSnapshot::emit_to`] publishes to a
@@ -43,6 +44,7 @@ pub struct SolverMetrics {
     dc_gmin_steps: AtomicU64,
     dc_source_steps: AtomicU64,
     recorder: Option<Arc<dyn Recorder>>,
+    profile: Option<Arc<PhaseProfiler>>,
 }
 
 impl fmt::Debug for SolverMetrics {
@@ -66,6 +68,17 @@ impl SolverMetrics {
             recorder: Some(recorder),
             ..SolverMetrics::default()
         }
+    }
+
+    /// `self` with a [`PhaseProfiler`] attached (builder style):
+    /// [`SolverMetrics::snapshot`] folds the profiler's per-phase
+    /// nanosecond totals into [`SolverSnapshot::phases`]. The handle
+    /// only links the profiler to the snapshot; arming the solver hot
+    /// path itself goes through
+    /// [`crate::robust::SolveSettings::profile`].
+    pub fn with_profile(mut self, profile: Arc<PhaseProfiler>) -> Self {
+        self.profile = Some(profile);
+        self
     }
 
     /// One Newton iteration performed.
@@ -117,7 +130,13 @@ impl SolverMetrics {
         self.recorder.as_ref()
     }
 
-    /// A point-in-time copy of all counters.
+    /// The attached phase profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<PhaseProfiler>> {
+        self.profile.as_ref()
+    }
+
+    /// A point-in-time copy of all counters, including the per-phase
+    /// nanosecond totals of an attached profiler (zero when disarmed).
     pub fn snapshot(&self) -> SolverSnapshot {
         SolverSnapshot {
             newton_iterations: self.newton_iterations.load(Ordering::Relaxed),
@@ -126,6 +145,7 @@ impl SolverMetrics {
             dt_shrinks: self.dt_shrinks.load(Ordering::Relaxed),
             dc_gmin_steps: self.dc_gmin_steps.load(Ordering::Relaxed),
             dc_source_steps: self.dc_source_steps.load(Ordering::Relaxed),
+            phases: self.profile.as_ref().map(|p| p.snapshot()).unwrap_or_default(),
         }
     }
 }
@@ -146,6 +166,12 @@ pub struct SolverSnapshot {
     pub dc_gmin_steps: u64,
     /// Source-stepping homotopy stages solved.
     pub dc_source_steps: u64,
+    /// Per-phase self-time nanoseconds and span counts from an attached
+    /// [`PhaseProfiler`]; all-zero when profiling was disarmed. Being
+    /// wall-clock measurements these are *not* deterministic, so they
+    /// never reach canonical report output — they surface only through
+    /// the bench sidecar, the phase table and trace exports.
+    pub phases: PhaseSnapshot,
 }
 
 impl SolverSnapshot {
@@ -195,6 +221,7 @@ impl Add for SolverSnapshot {
             dt_shrinks: self.dt_shrinks + rhs.dt_shrinks,
             dc_gmin_steps: self.dc_gmin_steps + rhs.dc_gmin_steps,
             dc_source_steps: self.dc_source_steps + rhs.dc_source_steps,
+            phases: self.phases + rhs.phases,
         }
     }
 }
@@ -281,6 +308,7 @@ mod tests {
             dt_shrinks: 4,
             dc_gmin_steps: 5,
             dc_source_steps: 6,
+            ..SolverSnapshot::default()
         };
         assert_eq!(snap.as_array(), [1, 2, 3, 4, 5, 6]);
         let rec = AggregatingRecorder::new();
@@ -293,6 +321,24 @@ mod tests {
                 "{field} emitted out of position"
             );
         }
+    }
+
+    #[test]
+    fn attached_profiler_totals_reach_the_snapshot() {
+        use obs::profile::Phase;
+
+        let profile = Arc::new(PhaseProfiler::new());
+        let m = SolverMetrics::new().with_profile(Arc::clone(&profile));
+        assert!(m.snapshot().phases.is_empty());
+        profile.add_ns(Phase::Factor, 1234, 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.phases.ns(Phase::Factor), 1234);
+        assert_eq!(snap.phases.calls(Phase::Factor), 2);
+        // Adding snapshots sums the phase totals too.
+        let sum = snap + snap;
+        assert_eq!(sum.phases.ns(Phase::Factor), 2468);
+        // Without a profiler the phase block stays zero.
+        assert!(SolverMetrics::new().snapshot().phases.is_empty());
     }
 
     #[test]

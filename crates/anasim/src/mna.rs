@@ -7,6 +7,7 @@ use crate::flight::SolveHooks;
 use crate::netlist::{DeviceId, Netlist, NodeId};
 use crate::robust::BudgetClock;
 use crate::AnalysisError;
+use obs::profile::{LapTimer, Phase};
 
 /// Mapping from circuit topology to MNA unknown indices.
 ///
@@ -144,6 +145,28 @@ pub fn stamp_system(
     a: &mut Matrix,
     b: &mut [f64],
 ) {
+    stamp_system_profiled(netlist, layout, x, params, a, b, None);
+}
+
+/// [`stamp_system`] with optional boundary-timed phase attribution.
+///
+/// Assembly runs in two passes — linear stamps plus gmin first,
+/// nonlinear device model evaluation (MOSFET / diode / switch) second —
+/// so a [`LapTimer`] can attribute each pass with a single clock read
+/// ([`Phase::Stamp`] and [`Phase::DeviceEval`] respectively) instead of
+/// paying a timing guard per device inside the Newton hot loop. The
+/// pass split is unconditional (armed and disarmed runs assemble in
+/// the same order), so arming the profiler never changes a bit of the
+/// stamped system.
+pub fn stamp_system_profiled(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    x: &[f64],
+    params: &StampParams<'_>,
+    a: &mut Matrix,
+    b: &mut [f64],
+    mut lap: Option<&mut LapTimer>,
+) {
     a.clear();
     b.iter_mut().for_each(|v| *v = 0.0);
 
@@ -259,6 +282,27 @@ pub fn stamp_system(
             } => {
                 stamp_transconductance(layout, a, *pos, *neg, *cpos, *cneg, *gm);
             }
+            // Nonlinear devices are stamped in the second pass below.
+            Device::Mosfet { .. } | Device::Diode { .. } | Device::Switch { .. } => {}
+        }
+    }
+
+    // gmin to ground on every node for numerical robustness.
+    if params.gmin > 0.0 {
+        for n in 0..layout.node_count - 1 {
+            a.add(n, n, params.gmin);
+        }
+    }
+
+    if let Some(lap) = lap.as_deref_mut() {
+        lap.lap(Phase::Stamp);
+    }
+
+    if !netlist.has_nonlinear_devices() {
+        return;
+    }
+    for (_, _, dev) in netlist.devices() {
+        match dev {
             Device::Mosfet {
                 drain,
                 gate,
@@ -289,14 +333,12 @@ pub fn stamp_system(
                 let vc = v_at(*cpos) - v_at(*cneg);
                 stamp_conductance(layout, a, *na, *nb, sp.conductance(vc));
             }
+            _ => {}
         }
     }
 
-    // gmin to ground on every node for numerical robustness.
-    if params.gmin > 0.0 {
-        for n in 0..layout.node_count - 1 {
-            a.add(n, n, params.gmin);
-        }
+    if let Some(lap) = lap {
+        lap.lap(Phase::DeviceEval);
     }
 }
 
@@ -502,11 +544,14 @@ pub fn newton_solve(
 /// When `clock` is provided, its wall-clock budget is polled between
 /// Newton iterations so a single stuck timestep cannot outlive the
 /// analysis budget. `hooks` carries the optional iteration counter
-/// ([`crate::metrics::SolverMetrics`]) and the optional
-/// [`crate::flight::FlightRecorder`]; both handles are owned by the
-/// caller, so counts and traces cannot bleed between unrelated analyses
-/// the way thread-global state would. A fully disarmed bundle costs two
-/// `None` branches per iteration and allocates nothing.
+/// ([`crate::metrics::SolverMetrics`]), the optional
+/// [`crate::flight::FlightRecorder`] and the optional
+/// [`PhaseProfiler`] attributing stamp / factor / back-substitute /
+/// residual wall time; all handles are owned by the caller, so counts,
+/// traces and timings cannot bleed between unrelated analyses the way
+/// thread-global state would. A fully disarmed bundle costs a few
+/// `None` branches per iteration, allocates nothing and never reads
+/// the clock.
 ///
 /// # Errors
 ///
@@ -519,6 +564,34 @@ pub fn newton_solve_budgeted(
     options: &NewtonOptions,
     clock: Option<&BudgetClock>,
     hooks: SolveHooks<'_>,
+    x: &mut Vec<f64>,
+) -> Result<(), AnalysisError> {
+    // One lap timer per solve: phase boundaries inside the Newton loop
+    // are single clock reads into local accumulators, published (and
+    // credited to any enclosing phase guard) in one flush. Per-phase
+    // RAII guards here cost tens of percent of a microsecond-scale
+    // iteration; the lap timer keeps armed overhead in the low single
+    // digits. The flush runs on every exit path so partial attribution
+    // survives singular matrices and convergence failures.
+    let mut lap = hooks.profile.map(|_| LapTimer::start());
+    let result = newton_iterate(netlist, layout, params, options, clock, &hooks, lap.as_mut(), x);
+    if let (Some(lap), Some(profile)) = (lap, hooks.profile) {
+        lap.flush(profile);
+    }
+    result
+}
+
+/// The damped Newton loop behind [`newton_solve_budgeted`], with phase
+/// boundaries marked on the caller's [`LapTimer`].
+#[allow(clippy::too_many_arguments)]
+fn newton_iterate(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    params: &StampParams<'_>,
+    options: &NewtonOptions,
+    clock: Option<&BudgetClock>,
+    hooks: &SolveHooks<'_>,
+    mut lap: Option<&mut LapTimer>,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
     let n = layout.size();
@@ -543,9 +616,20 @@ pub fn newton_solve_budgeted(
         if let Some(metrics) = hooks.metrics {
             metrics.newton_iteration();
         }
-        stamp_system(netlist, layout, x, params, &mut a, &mut b);
+        // Budget/metrics bookkeeping (and the previous iteration's
+        // tail) stays with the enclosing guard, not any solver phase.
+        if let Some(l) = lap.as_deref_mut() {
+            l.skip();
+        }
+        stamp_system_profiled(netlist, layout, x, params, &mut a, &mut b, lap.as_deref_mut());
         let lu = Lu::factor(&a)?;
+        if let Some(l) = lap.as_deref_mut() {
+            l.lap(Phase::Factor);
+        }
         let x_new = lu.solve(&b);
+        if let Some(l) = lap.as_deref_mut() {
+            l.lap(Phase::BackSubstitute);
+        }
 
         if linear {
             *x = x_new;
@@ -590,6 +674,9 @@ pub fn newton_solve_budgeted(
                 delta = limit.copysign(delta);
             }
             x[k] += delta;
+        }
+        if let Some(l) = lap.as_deref_mut() {
+            l.lap(Phase::Residual);
         }
         if let Some(flight) = hooks.flight {
             flight.record_iteration(params.time, dt, (iter + 1) as u64, worst, worst_index);

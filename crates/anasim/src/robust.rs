@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use crate::error::{AnalysisError, BudgetKind};
 use crate::flight::FlightRecorder;
 use crate::metrics::SolverMetrics;
+use obs::profile::PhaseProfiler;
 
 /// Default ceiling on attempted timesteps, shared by
 /// [`crate::transient::TransientAnalysis::new`] and
@@ -298,6 +299,11 @@ pub struct SolveSettings {
     /// Cooperative-cancellation token polled from the inner solver
     /// loops. `None` (the default) makes the analysis uninterruptible.
     pub cancel: Option<CancelToken>,
+    /// Phase profiler armed on analyses run under these settings:
+    /// stamping, device evaluation, LU factor/solve, residual update
+    /// and timestep control are attributed per-phase on it. `None`
+    /// (the default) keeps the hot path free of clock reads.
+    pub profile: Option<Arc<PhaseProfiler>>,
 }
 
 impl SolveSettings {
@@ -318,6 +324,12 @@ impl SolveSettings {
         self.cancel = Some(cancel);
         self
     }
+
+    /// `self` with a [`PhaseProfiler`] armed (builder style).
+    pub fn profile(mut self, profile: Arc<PhaseProfiler>) -> Self {
+        self.profile = Some(profile);
+        self
+    }
 }
 
 impl Default for SolveSettings {
@@ -330,6 +342,7 @@ impl Default for SolveSettings {
             metrics: None,
             flight: None,
             cancel: None,
+            profile: None,
         }
     }
 }

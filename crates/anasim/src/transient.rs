@@ -71,6 +71,7 @@ pub struct TransientAnalysis {
     metrics: Option<Arc<SolverMetrics>>,
     flight: Option<Arc<FlightRecorder>>,
     cancel: Option<CancelToken>,
+    profile: Option<Arc<obs::profile::PhaseProfiler>>,
 }
 
 impl TransientAnalysis {
@@ -95,6 +96,7 @@ impl TransientAnalysis {
             metrics: None,
             flight: None,
             cancel: None,
+            profile: None,
         }
     }
 
@@ -161,6 +163,14 @@ impl TransientAnalysis {
         self
     }
 
+    /// Arms a phase profiler: the run's wall time is attributed across
+    /// the [`obs::profile::Phase`] taxonomy (stamping, device
+    /// evaluation, LU factor/solve, residual update, timestep control).
+    pub fn profile(mut self, profile: Arc<obs::profile::PhaseProfiler>) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
     /// Applies a complete [`SolveSettings`]: the escalation-rung scaling
     /// (timestep, integrator, `gmin`) plus the resource budget.
     ///
@@ -186,6 +196,9 @@ impl TransientAnalysis {
         }
         if let Some(cancel) = &settings.cancel {
             self.cancel = Some(cancel.clone());
+        }
+        if let Some(profile) = &settings.profile {
+            self.profile = Some(Arc::clone(profile));
         }
         self
     }
@@ -214,7 +227,14 @@ impl TransientAnalysis {
         let hooks = SolveHooks {
             metrics: self.metrics.as_deref(),
             flight: self.flight.as_deref(),
+            profile: self.profile.as_deref(),
         };
+        // Everything in this run not attributed to a nested phase (the
+        // Newton solve internals, the DC start) is timestep control:
+        // step selection, history updates, dt halving, result storage.
+        let _march = hooks
+            .profile
+            .map(|p| p.enter(obs::profile::Phase::StepControl));
         let metrics = hooks.metrics;
         if let Some(flight) = hooks.flight {
             flight.install_names(netlist, &layout);
@@ -1025,6 +1045,7 @@ mod tests {
             metrics: None,
             flight: None,
             cancel: None,
+            profile: None,
         };
         let tuned = base.clone().with_settings(&settings);
         assert!((tuned.dt - 0.5e-6).abs() < 1e-18);

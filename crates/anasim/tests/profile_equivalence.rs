@@ -1,0 +1,107 @@
+//! Arming the phase profiler must not change a single simulated bit:
+//! the profiler reads the clock and bumps atomics, nothing else. These
+//! tests run the same nonlinear transient disarmed (the pre-profiler
+//! fast path) and armed, and require bit-identical waveforms and
+//! byte-identical canonical solver counters.
+
+use std::sync::Arc;
+
+use anasim::metrics::SolverMetrics;
+use anasim::netlist::Netlist;
+use anasim::robust::SolveSettings;
+use anasim::source::SourceWaveform;
+use anasim::transient::TransientAnalysis;
+use obs::profile::PhaseProfiler;
+use obs::AggregatingRecorder;
+
+/// A diode clipper: nonlinear, so the Newton loop (and with it every
+/// profiled phase) actually runs.
+fn clipper() -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.node("in");
+    let b = nl.node("out");
+    nl.vsource("V1", a, Netlist::GROUND, SourceWaveform::step(2.0, 1e-6));
+    nl.resistor("R1", a, b, 1e3);
+    nl.capacitor("C1", b, Netlist::GROUND, 1e-9);
+    nl.diode("D1", b, Netlist::GROUND, anasim::devices::DiodeParams::default());
+    nl
+}
+
+/// Runs the transient with the given settings and returns the output
+/// waveform bits plus the solver metrics snapshot.
+fn run_with(settings: SolveSettings) -> (Vec<u64>, anasim::metrics::SolverSnapshot) {
+    let nl = clipper();
+    let out = nl.find_node("out").expect("node out");
+    let metrics = settings.metrics.clone().expect("metrics attached");
+    let result = TransientAnalysis::new(20e-6, 0.5e-6)
+        .with_settings(&settings)
+        .run(&nl)
+        .expect("clipper converges");
+    let w = result.voltage(out);
+    let bits = (0..40)
+        .map(|k| w.value_at(k as f64 * 0.5e-6).to_bits())
+        .collect();
+    (bits, metrics.snapshot())
+}
+
+#[test]
+fn armed_profiler_changes_no_simulated_bit() {
+    let disarmed_metrics = Arc::new(SolverMetrics::new());
+    let disarmed = SolveSettings {
+        metrics: Some(Arc::clone(&disarmed_metrics)),
+        ..SolveSettings::default()
+    };
+
+    let profiler = Arc::new(PhaseProfiler::new());
+    let armed_metrics = Arc::new(
+        SolverMetrics::new().with_profile(Arc::clone(&profiler)),
+    );
+    let armed = SolveSettings {
+        metrics: Some(Arc::clone(&armed_metrics)),
+        profile: Some(Arc::clone(&profiler)),
+        ..SolveSettings::default()
+    };
+
+    let (bits_disarmed, snap_disarmed) = run_with(disarmed);
+    let (bits_armed, snap_armed) = run_with(armed);
+
+    // Bit-identical waveforms: profiling is observation only.
+    assert_eq!(bits_disarmed, bits_armed);
+
+    // The armed run actually attributed phase time...
+    assert!(snap_armed.phases.total_ns() > 0);
+    assert!(snap_disarmed.phases.is_empty());
+    // ...but the canonical counters are equal, so any canonical report
+    // built from them is byte-identical.
+    assert_eq!(snap_disarmed.as_array(), snap_armed.as_array());
+    let canonical = |snap: &anasim::metrics::SolverSnapshot| {
+        let recorder = AggregatingRecorder::new();
+        snap.emit_to(&recorder);
+        format!("{:?}", recorder.snapshot().counters)
+    };
+    assert_eq!(canonical(&snap_disarmed), canonical(&snap_armed));
+}
+
+#[test]
+fn default_settings_never_touch_the_clock_path() {
+    // The pre-profiler entry point — no settings at all — still works
+    // and is the same disarmed fast path.
+    let nl = clipper();
+    let out = nl.find_node("out").expect("node out");
+    let plain = TransientAnalysis::new(20e-6, 0.5e-6)
+        .run(&nl)
+        .expect("clipper converges");
+
+    let metrics = Arc::new(SolverMetrics::new());
+    let (bits, snap) = run_with(SolveSettings {
+        metrics: Some(Arc::clone(&metrics)),
+        ..SolveSettings::default()
+    });
+    assert!(snap.phases.is_empty());
+    assert!(snap.newton_iterations > 0);
+    let w = plain.voltage(out);
+    let plain_bits: Vec<u64> = (0..40)
+        .map(|k| w.value_at(k as f64 * 0.5e-6).to_bits())
+        .collect();
+    assert_eq!(plain_bits, bits);
+}

@@ -39,6 +39,15 @@ pub struct IntegrationAblation {
 /// integrator at a +0.5 V input; the ideal output steps −73.5 mV per
 /// cycle.
 pub fn integration_rule(sim_dt: f64) -> IntegrationAblation {
+    integration_rule_with(sim_dt, &anasim::robust::SolveSettings::default())
+}
+
+/// [`integration_rule`] under explicit [`anasim::robust::SolveSettings`]
+/// (so a profiled invocation attributes these sweeps too).
+pub fn integration_rule_with(
+    sim_dt: f64,
+    settings: &anasim::robust::SolveSettings,
+) -> IntegrationAblation {
     let run = |method: Integrator| -> (f64, usize) {
         let mut nl = Netlist::new();
         let params = ScIntegratorParams::behavioral();
@@ -52,6 +61,7 @@ pub fn integration_rule(sim_dt: f64) -> IntegrationAblation {
         let cycles = 8usize;
         let res = TransientAnalysis::new(params.clock_period * cycles as f64, sim_dt)
             .integrator(method)
+            .with_settings(settings)
             .run(&nl)
             .expect("sc integrator must simulate");
         let w = res.voltage(sc.out);
@@ -109,32 +119,58 @@ pub fn signature_kind() -> SignatureAblation {
     signature_kind_with(super::e6::E6_WORKERS)
 }
 
+/// Runs the signature ablation without hooks (no journal, no profiler).
+pub fn signature_kind_with(workers: usize) -> SignatureAblation {
+    signature_kind_hooked(workers, &crate::hooks::CampaignHooks::none())
+}
+
 /// Runs the signature ablation on circuit 1's full fault universe,
 /// using the resilient campaign engine so every fault yields a typed
 /// outcome even when an extraction fails at nominal solver settings.
-pub fn signature_kind_with(workers: usize) -> SignatureAblation {
+/// The three campaigns run under `hooks` (journal labels
+/// `ablation.raw` / `.correlation` / `.spectral`, phase profiling,
+/// trace lanes).
+pub fn signature_kind_hooked(
+    workers: usize,
+    hooks: &crate::hooks::CampaignHooks,
+) -> SignatureAblation {
     use faultsim::campaign::CampaignConfig;
     let c1 = circuit1(&ProcessParams::nominal());
     let raw_report = c1
         .bench
-        .run_raw_campaign_with(&c1.faults, &CampaignConfig::new(0.1).workers(workers))
+        .run_raw_campaign_with(
+            &c1.faults,
+            &hooks.apply(CampaignConfig::new(0.1).workers(workers), "ablation.raw"),
+        )
         .expect("golden must simulate");
+    hooks.observe("ablation.raw", &raw_report);
     let cor_report = c1
         .bench
-        .run_correlation_campaign_with(&c1.faults, &CampaignConfig::new(0.01).workers(workers))
+        .run_correlation_campaign_with(
+            &c1.faults,
+            &hooks.apply(
+                CampaignConfig::new(0.01).workers(workers),
+                "ablation.correlation",
+            ),
+        )
         .expect("golden must simulate");
+    hooks.observe("ablation.correlation", &cor_report);
     let golden_psd = c1
         .bench
-        .spectral_signature(c1.bench.netlist())
+        .spectral_signature_with(c1.bench.netlist(), &hooks.solve_settings())
         .expect("golden must simulate");
     let psd_peak = golden_psd.iter().fold(0.0_f64, |m, &v| m.max(v));
     let spec_report = c1
         .bench
         .run_spectral_campaign_with(
             &c1.faults,
-            &CampaignConfig::new(0.002 * psd_peak).workers(workers),
+            &hooks.apply(
+                CampaignConfig::new(0.002 * psd_peak).workers(workers),
+                "ablation.spectral",
+            ),
         )
         .expect("golden must simulate");
+    hooks.observe("ablation.spectral", &spec_report);
     let series = |report: &faultsim::campaign::CampaignReport| {
         report
             .outcomes
@@ -327,9 +363,16 @@ pub fn run() -> AblationReport {
 /// Runs all three ablations, the signature campaigns on `workers`
 /// threads.
 pub fn run_with(workers: usize) -> AblationReport {
+    run_with_hooks(workers, &crate::hooks::CampaignHooks::none())
+}
+
+/// [`run_with`] under campaign hooks: the signature campaigns journal,
+/// profile and trace through `hooks`, and the integration-rule sweeps
+/// run under profiler-armed solve settings.
+pub fn run_with_hooks(workers: usize, hooks: &crate::hooks::CampaignHooks) -> AblationReport {
     AblationReport {
-        integration: integration_rule(50e-9),
-        signature: signature_kind_with(workers),
+        integration: integration_rule_with(50e-9, &hooks.solve_settings()),
+        signature: signature_kind_hooked(workers, hooks),
         overhead: bist_overhead(),
     }
 }

@@ -170,6 +170,7 @@ pub fn run_with_hooks(
         "diverge",
     );
     let campaign = run_campaign_with(&golden, &faults, &config, tight_extract)?;
+    hooks.observe("diverge", &campaign);
     Ok(DivergeReport { campaign })
 }
 

@@ -6,10 +6,13 @@
 //! 2.6, 2.2, 1.9, 1.2, 0.8, and 0.1 msec."
 
 use std::fmt;
+use std::sync::Arc;
 
+use anasim::metrics::{SolverMetrics, SolverSnapshot, COUNTER_NAMES};
 use macrolib::process::ProcessParams;
 use msbist::adc::circuit::CircuitAdc;
 use msbist::bist::StepGenerator;
+use obs::profile::PhaseProfiler;
 
 /// The paper's published fall times (ms), index-aligned with the step
 /// levels.
@@ -32,6 +35,10 @@ pub struct E1Row {
 pub struct E1Report {
     /// One row per step level.
     pub rows: Vec<E1Row>,
+    /// Solver effort spent across every fall-time simulation. E1 runs
+    /// real circuit transients, so this is non-zero — the bench sidecar
+    /// reads its `newton_iterations` instead of reporting 0.
+    pub solver: SolverSnapshot,
 }
 
 impl E1Report {
@@ -69,6 +76,9 @@ impl E1Report {
             )
             .counter("monotone_decreasing", u64::from(self.monotone_decreasing()))
             .value("worst_deviation_ms", self.worst_deviation_ms());
+        for (counter, value) in COUNTER_NAMES.iter().zip(self.solver.as_array()) {
+            section.counter(counter, value);
+        }
         section
     }
 }
@@ -98,7 +108,24 @@ impl fmt::Display for E1Report {
 /// `sim_dt` trades accuracy for speed (4 µs default in the binary,
 /// coarser in the Criterion bench).
 pub fn run(sim_dt: f64) -> E1Report {
-    let adc = CircuitAdc::new(ProcessParams::nominal()).with_sim_dt(sim_dt);
+    run_instrumented(sim_dt, None)
+}
+
+/// Runs E1 with solver-effort accounting, and — when `profile` is
+/// given — phase cost attribution, threaded into every conversion
+/// transient.
+pub fn run_instrumented(sim_dt: f64, profile: Option<Arc<PhaseProfiler>>) -> E1Report {
+    let mut metrics = SolverMetrics::new();
+    if let Some(p) = &profile {
+        metrics = metrics.with_profile(Arc::clone(p));
+    }
+    let metrics = Arc::new(metrics);
+    let mut adc = CircuitAdc::new(ProcessParams::nominal())
+        .with_sim_dt(sim_dt)
+        .with_metrics(Arc::clone(&metrics));
+    if let Some(p) = profile {
+        adc = adc.with_profile(p);
+    }
     let generator = StepGenerator::paper();
     let rows = generator
         .levels()
@@ -110,7 +137,10 @@ pub fn run(sim_dt: f64) -> E1Report {
             measured_ms: adc.fall_time(level).ok().map(|s| s * 1e3),
         })
         .collect();
-    E1Report { rows }
+    E1Report {
+        rows,
+        solver: metrics.snapshot(),
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +154,30 @@ mod tests {
         // The measured-data scatter in the paper is a few hundred µs;
         // our simulated macro should stay within that envelope.
         assert!(report.worst_deviation_ms() < 0.35, "{report}");
+    }
+
+    #[test]
+    fn e1_accounts_its_solver_effort() {
+        let report = run(20e-6);
+        assert!(
+            report.solver.newton_iterations > 0,
+            "circuit transients must spend Newton iterations"
+        );
+        let section = report.to_section();
+        assert_eq!(
+            section.counters.get("solver.newton_iterations"),
+            Some(&report.solver.newton_iterations)
+        );
+        // Disarmed run: no profiler attached, no phase wall-time.
+        assert!(report.solver.phases.is_empty());
+
+        let profiler = Arc::new(PhaseProfiler::new());
+        let armed = run_instrumented(20e-6, Some(Arc::clone(&profiler)));
+        assert!(!armed.solver.phases.is_empty());
+        assert_eq!(profiler.snapshot(), armed.solver.phases);
+        // Canonical counters are wall-clock-free: armed and disarmed
+        // runs agree exactly.
+        assert_eq!(armed.solver.as_array(), report.solver.as_array());
     }
 
     #[test]

@@ -199,15 +199,17 @@ fn correlation_campaign(
         .correlation_signature(circuit.bench.netlist())
         .expect("golden circuit must simulate");
     let peak = golden.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    let label = format!("e6.c{}.correlation", circuit.number);
     let config = hooks.apply(
         CampaignConfig::new(RELATIVE_THRESHOLD * peak).workers(workers),
-        &format!("e6.c{}.correlation", circuit.number),
+        &label,
     );
     let report = circuit
         .bench
         .run_correlation_campaign_with(&circuit.faults, &config)?;
     solver.absorb(&report);
     figure.add_campaign(circuit.number, &report);
+    hooks.observe(&label, &report);
     Ok(())
 }
 
@@ -215,14 +217,21 @@ fn correlation_campaign(
 /// the golden and each faulty variant are identified as first-order
 /// discrete systems from their cycle-sampled PRBS responses, and the
 /// fitted impulse responses are compared.
-fn impulse_campaign(figure: &mut DetectionFigure, circuit: &ExampleCircuit) {
+fn impulse_campaign(figure: &mut DetectionFigure, circuit: &ExampleCircuit, hooks: &CampaignHooks) {
     let one_period: Vec<f64> = stimulus_levels(circuit).iter().map(|&v| v - 2.5).collect();
     let p: Vec<f64> = std::iter::repeat_n(one_period, circuit.bench.periods())
         .flatten()
         .collect();
 
+    // Not a resilient campaign — but its solves are real solver time,
+    // so they run under profiler-armed settings when the hooks carry
+    // one.
+    let settings = hooks.solve_settings();
     let impulse_of = |netlist: &anasim::netlist::Netlist| -> Option<Vec<f64>> {
-        let y = circuit.bench.response_at(netlist, circuit.impulse_probe).ok()?;
+        let y = circuit
+            .bench
+            .response_at_with(netlist, circuit.impulse_probe, &settings)
+            .ok()?;
         // One sample per cycle: take the last sample of each bit.
         let spb = y.len() / p.len();
         let cycle_y: Vec<f64> = y
@@ -254,10 +263,8 @@ fn idd_campaign(
     workers: usize,
     hooks: &CampaignHooks,
 ) -> Result<(), AnalysisError> {
-    let config = hooks.apply(
-        CampaignConfig::new(0.0).workers(workers),
-        &format!("e6.c{}.idd", circuit.number),
-    );
+    let label = format!("e6.c{}.idd", circuit.number);
+    let config = hooks.apply(CampaignConfig::new(0.0).workers(workers), &label);
     let report = run_idd_campaign_with(
         &circuit.bench,
         &circuit.vdd_sources,
@@ -267,6 +274,7 @@ fn idd_campaign(
     )?;
     solver.absorb(&report);
     figure.add_campaign(circuit.number, &report);
+    hooks.observe(&label, &report);
     Ok(())
 }
 
@@ -314,8 +322,8 @@ pub fn run_with_hooks(workers: usize, hooks: &CampaignHooks) -> Result<E6Report,
     correlation_campaign(&mut correlation, &mut solver, &c3, workers, hooks)?;
 
     let mut impulse = DetectionFigure::new();
-    impulse_campaign(&mut impulse, &c2);
-    impulse_campaign(&mut impulse, &c3);
+    impulse_campaign(&mut impulse, &c2, hooks);
+    impulse_campaign(&mut impulse, &c3, hooks);
 
     let mut idd = DetectionFigure::new();
     idd_campaign(&mut idd, &mut solver, &c1, workers, hooks)?;

@@ -498,11 +498,10 @@ mod tests {
         let b = nl.node("b");
         let faults = [Fault::stuck_at_0("f0", a), Fault::stuck_at_1("f1", b)];
         let telemetry = FaultTelemetry {
-            solver: anasim::metrics::SolverSnapshot::default(),
             rung: Some(0),
             rungs_tried: 1,
             wall: std::time::Duration::from_millis(1),
-            postmortem: None,
+            ..FaultTelemetry::default()
         };
         let mut text = start_record("rc", &faults, 0.05, 4).to_json();
         text.push('\n');

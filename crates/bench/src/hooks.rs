@@ -8,12 +8,21 @@
 //! ...), so a single journal file checkpoints a whole `experiments`
 //! invocation and a resumed run replays exactly the campaigns that
 //! completed.
+//!
+//! The same value carries the cost-attribution side: an invocation-wide
+//! [`PhaseProfiler`] (`profile` subcommand / `--bench-json`) and a
+//! shared [`CampaignTrace`] (`--trace-json`). Experiments call
+//! [`CampaignHooks::observe`] after each completed campaign to fold its
+//! phase rollup into the profiler and append its timeline to the trace.
 
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
-use anasim::robust::CancelToken;
-use faultsim::campaign::{CampaignConfig, DegradePolicy, JournalConfig};
+use anasim::robust::{CancelToken, SolveSettings};
+use faultsim::campaign::{CampaignConfig, CampaignReport, DegradePolicy, JournalConfig};
+use faultsim::trace::CampaignTrace;
 use obs::chaos::FaultPlan;
+use obs::profile::PhaseProfiler;
 
 /// Where a journaled experiment run checkpoints to.
 #[derive(Debug, Clone)]
@@ -42,6 +51,12 @@ pub struct CampaignHooks {
     pub chaos: Option<FaultPlan>,
     /// Persistent-journal-failure policy (`--degrade`).
     pub degrade: DegradePolicy,
+    /// Invocation-wide phase profiler: arms campaign profiling and
+    /// accumulates every campaign's phase rollup.
+    pub profile: Option<Arc<PhaseProfiler>>,
+    /// Shared Chrome-trace timeline (`--trace-json`): arms campaign
+    /// profiling and collects every campaign's worker/fault spans.
+    pub trace: Option<Arc<Mutex<CampaignTrace>>>,
 }
 
 impl CampaignHooks {
@@ -81,9 +96,41 @@ impl CampaignHooks {
         self
     }
 
+    /// Attaches the invocation-wide phase profiler (builder style).
+    /// Campaigns run by these hooks arm per-fault phase accounting.
+    pub fn with_profile(mut self, profile: Arc<PhaseProfiler>) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Attaches the shared Chrome-trace timeline (builder style,
+    /// `--trace-json`). Campaigns run by these hooks arm per-fault
+    /// phase accounting so fault spans carry phase sub-spans.
+    pub fn with_trace(mut self, trace: Arc<Mutex<CampaignTrace>>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// True when campaigns should arm per-fault phase accounting.
+    pub fn profiling(&self) -> bool {
+        self.profile.is_some() || self.trace.is_some()
+    }
+
+    /// Solve settings for simulations an experiment runs *outside* any
+    /// campaign (golden references, impulse-response fits), armed with
+    /// the invocation-wide profiler so that solver time is attributed
+    /// too instead of silently widening the unattributed gap.
+    pub fn solve_settings(&self) -> SolveSettings {
+        let mut settings = SolveSettings::default();
+        if let Some(profile) = &self.profile {
+            settings = settings.profile(Arc::clone(profile));
+        }
+        settings
+    }
+
     /// Applies the hooks to one campaign's config: the journal under
     /// the campaign's `label` (with any chaos plan and degrade policy),
-    /// and the shared cancellation token.
+    /// the shared cancellation token, and phase-profiler arming.
     pub fn apply(&self, mut config: CampaignConfig, label: &str) -> CampaignConfig {
         if let Some(spec) = &self.journal {
             let mut jc = if spec.resume {
@@ -99,7 +146,25 @@ impl CampaignHooks {
         if let Some(cancel) = &self.cancel {
             config = config.cancel(cancel.clone());
         }
+        if self.profiling() {
+            config = config.profile(true);
+        }
         config
+    }
+
+    /// Folds one completed campaign into the cost-attribution side:
+    /// its phase rollup into the invocation-wide profiler, and its
+    /// timeline (labelled `label`) onto the shared trace.
+    pub fn observe(&self, label: &str, report: &CampaignReport) {
+        if let Some(profile) = &self.profile {
+            profile.add_snapshot(&report.stats.total_solver().phases);
+        }
+        if let Some(trace) = &self.trace {
+            trace
+                .lock()
+                .expect("campaign trace lock")
+                .add_campaign(label, report);
+        }
     }
 }
 
@@ -125,6 +190,21 @@ mod tests {
         assert!(jc.chaos.is_none());
         assert!(config.cancel.is_some());
         assert_eq!(config.degrade, DegradePolicy::Abort);
+    }
+
+    #[test]
+    fn profiling_hooks_arm_every_campaign() {
+        let hooks = CampaignHooks::none();
+        assert!(!hooks.profiling());
+        assert!(!hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation").profile);
+
+        let profiler = Arc::new(PhaseProfiler::new());
+        let trace = Arc::new(Mutex::new(CampaignTrace::new()));
+        let hooks = CampaignHooks::none()
+            .with_profile(Arc::clone(&profiler))
+            .with_trace(Arc::clone(&trace));
+        assert!(hooks.profiling());
+        assert!(hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation").profile);
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [e1|e2|e3|e4|e5|e6|e6c1|e7|e8|ablation|diverge|all]
+//! experiments [profile] [e1|e2|e3|e4|e5|e6|e6c1|e7|e8|ablation|diverge|all]
 //!             [--workers N] [--metrics-json PATH] [--canonical-metrics]
-//!             [--bench-json PATH] [--journal PATH | --resume PATH]
+//!             [--bench-json PATH] [--trace-json PATH]
+//!             [--journal PATH | --resume PATH]
 //!             [--chaos SPEC] [--degrade abort|continue]
 //! experiments check-report PATH
 //! experiments explain PATH [--fault N]
@@ -19,9 +20,20 @@
 //! postmortems frozen by armed flight recorders.
 //! `--canonical-metrics` zeroes the wall-clock milliseconds (keeping
 //! sample counts) so the bytes are identical for any `--workers` value.
-//! `--bench-json` writes a `mixsig.solver-bench/1` sidecar with each
-//! experiment's wall-clock and Newton-iteration totals (the committed
-//! `BENCH_solver.json` snapshot).
+//! `--bench-json` writes a `mixsig.solver-bench/2` sidecar with each
+//! experiment's wall-clock, Newton-iteration totals and solver-phase
+//! cost breakdown (the committed `BENCH_solver.json` snapshot); writing
+//! it arms the phase profiler for the whole run.
+//!
+//! The `profile` subcommand runs the selected experiments with the
+//! phase profiler armed and prints a cost-attribution table: per-phase
+//! self-time, call count and share of attributed time. `--trace-json`
+//! additionally writes a Chrome Trace Event timeline
+//! (`chrome://tracing` / Perfetto) of every campaign the run executed:
+//! one process lane per campaign, one thread lane per worker, per-fault
+//! spans with solver-phase sub-spans. Phase wall-times never enter the
+//! canonical metrics: `--canonical-metrics` output is byte-identical
+//! with or without profiling armed.
 //!
 //! `--journal` checkpoints every campaign-backed experiment (`e6`,
 //! `e6c1`, `diverge`) to an append-only `mixsig.campaign-journal/1`
@@ -38,7 +50,11 @@
 //! finishes the campaign journal-less and marks the run degraded.
 //! `check-report` validates a previously written report (the CI smoke
 //! test), including the structure of any postmortems it carries; given
-//! a journal it validates the record stream instead. Degraded runs are
+//! a journal it validates the record stream instead, given a
+//! `--trace-json` timeline it validates the Chrome-trace structure
+//! (mandatory fields, finite non-negative durations, balanced duration
+//! events), and given a `--bench-json` sidecar it validates either
+//! schema version and lints v2 phase attribution against wall-clock. Degraded runs are
 //! reported in both forms: the report summary carries a
 //! `journal_degraded` count and the journal's terminal `degraded`
 //! record names how many fault outcomes went unjournaled and why.
@@ -53,17 +69,19 @@
 use std::env;
 use std::fs;
 use std::process::ExitCode;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use anasim::robust::CancelToken;
 use anasim::AnalysisError;
 use faultsim::campaign::DegradePolicy;
+use faultsim::trace::CampaignTrace;
 use msbist_bench::hooks::CampaignHooks;
 use msbist_bench::solver_bench::{self, BenchEntry};
 use msbist_bench::{experiments, explain};
 use obs::json::JsonValue;
-use obs::{RunReport, Section};
+use obs::profile::{Phase, PhaseProfiler, PhaseSnapshot};
+use obs::{Align, RunReport, Section, Table};
 
 /// Exit code for a run stopped by SIGINT, per shell convention
 /// (128 + signal 2).
@@ -108,10 +126,15 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("explain") {
         return explain_command(&args[1..]);
     }
+    // `experiments profile <tag> ...` is the run command with the phase
+    // profiler armed and a cost-attribution table printed at the end.
+    let profile_mode = args.first().map(String::as_str) == Some("profile");
+    let args = if profile_mode { &args[1..] } else { &args[..] };
 
     let mut which: Option<String> = None;
     let mut metrics_json: Option<String> = None;
     let mut bench_json: Option<String> = None;
+    let mut trace_json: Option<String> = None;
     let mut canonical = false;
     let mut journal: Option<String> = None;
     let mut resume: Option<String> = None;
@@ -128,6 +151,10 @@ fn main() -> ExitCode {
             "--bench-json" => match it.next() {
                 Some(path) => bench_json = Some(path.clone()),
                 None => return usage_error("--bench-json needs a path"),
+            },
+            "--trace-json" => match it.next() {
+                Some(path) => trace_json = Some(path.clone()),
+                None => return usage_error("--trace-json needs a path"),
             },
             "--canonical-metrics" => canonical = true,
             "--journal" => match it.next() {
@@ -191,12 +218,30 @@ fn main() -> ExitCode {
         None => hooks.with_degrade(degrade),
     };
 
+    // Phase profiling arms for the `profile` subcommand, for a trace,
+    // and for the bench sidecar (whose v2 schema carries the phase
+    // breakdown). Plain runs stay disarmed: no clock reads on the hot
+    // path, and canonical output proven byte-identical either way.
+    let profiler = (profile_mode || trace_json.is_some() || bench_json.is_some())
+        .then(|| Arc::new(PhaseProfiler::new()));
+    let trace = trace_json
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(CampaignTrace::new())));
+    let mut hooks = hooks;
+    if let Some(profiler) = &profiler {
+        hooks = hooks.with_profile(Arc::clone(profiler));
+    }
+    if let Some(trace) = &trace {
+        hooks = hooks.with_trace(Arc::clone(trace));
+    }
+
     let mut report = RunReport::new();
     let mut bench_entries: Vec<BenchEntry> = Vec::new();
     let ran = match run_experiments(
         &which,
         workers,
         &hooks,
+        profiler.as_ref(),
         &mut report,
         &mut bench_entries,
     ) {
@@ -220,6 +265,33 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if profile_mode {
+        let snapshot = profiler
+            .as_ref()
+            .map(|p| p.snapshot())
+            .unwrap_or_default();
+        println!("{}", render_profile_table(&snapshot, &bench_entries));
+    }
+    if let Some(path) = trace_json {
+        let trace = trace.expect("trace allocated with --trace-json");
+        let trace = trace.lock().expect("campaign trace lock");
+        if trace.is_empty() {
+            eprintln!(
+                "warning: no campaign ran ('{which}' has no campaign-backed experiment); \
+                 {path} not written"
+            );
+        } else {
+            if let Err(err) = fs::write(&path, trace.render()) {
+                eprintln!("cannot write trace to {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "trace written to {path} ({} campaign(s), {} event(s))",
+                trace.campaigns(),
+                trace.events().len()
+            );
+        }
+    }
     if let Some(path) = metrics_json {
         let text = if canonical {
             report.canonical_json_string()
@@ -246,25 +318,35 @@ fn main() -> ExitCode {
 /// Runs every experiment selected by `which`, filling `report` and
 /// `bench_entries`. Returns whether any experiment matched.
 /// Campaign-backed experiments receive the crash-safety `hooks`; the
-/// rest ignore them (they have no campaign to checkpoint).
+/// rest ignore them (they have no campaign to checkpoint). When
+/// `profiler` is armed, each experiment's slice of the shared phase
+/// accounting (a snapshot delta around its run) lands in its bench
+/// entry.
 fn run_experiments(
     which: &str,
     workers: usize,
     hooks: &CampaignHooks,
+    profiler: Option<&Arc<PhaseProfiler>>,
     report: &mut RunReport,
     bench_entries: &mut Vec<BenchEntry>,
 ) -> Result<bool, AnalysisError> {
     let mut ran = false;
     // Each experiment prints its human report, contributes one section
     // (timed under `bench.<experiment>`) to the run report, and one
-    // cost line to the solver-bench sidecar.
+    // cost line to the solver-bench sidecar. An experiment that never
+    // publishes `solver.*` counters runs no solver at all
+    // (`linear_only`): its zero Newton count is by construction.
     let mut run_one = |name: &str,
                        run: &dyn Fn(usize) -> Result<(String, Section), AnalysisError>|
      -> Result<(), AnalysisError> {
         ran = true;
+        let before = profiler.map(|p| p.snapshot()).unwrap_or_default();
         let started = Instant::now();
         let (text, mut section) = run(workers)?;
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let phases = profiler
+            .map(|p| p.snapshot().saturating_sub(&before))
+            .unwrap_or_default();
         section.timing_ms(&format!("bench.{name}"), wall_ms);
         bench_entries.push(BenchEntry {
             name: name.to_owned(),
@@ -274,6 +356,9 @@ fn run_experiments(
                 .get("solver.newton_iterations")
                 .copied()
                 .unwrap_or(0),
+            linear_only: !section.counters.contains_key("solver.newton_iterations"),
+            workers,
+            phases,
         });
         println!("{text}\n");
         report.push(section);
@@ -283,7 +368,7 @@ fn run_experiments(
 
     if want("e1") {
         run_one("e1", &|_| {
-            let r = experiments::e1::run(4e-6);
+            let r = experiments::e1::run_instrumented(4e-6, profiler.cloned());
             Ok((r.to_string(), r.to_section()))
         })?;
     }
@@ -337,7 +422,7 @@ fn run_experiments(
     }
     if want("ablation") {
         run_one("ablation", &|w| {
-            let r = experiments::ablation::run_with(w);
+            let r = experiments::ablation::run_with_hooks(w, hooks);
             Ok((r.to_string(), r.to_section()))
         })?;
     }
@@ -350,11 +435,61 @@ fn run_experiments(
     Ok(ran)
 }
 
+/// Renders the `profile` subcommand's cost-attribution table: per-phase
+/// self-time, call count and share of all attributed time, followed by
+/// a per-experiment attribution summary.
+fn render_profile_table(snapshot: &PhaseSnapshot, entries: &[BenchEntry]) -> String {
+    let total_ns = snapshot.total_ns();
+    let mut table = Table::new(&["phase", "self (ms)", "calls", "share"])
+        .align(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    for &phase in Phase::ALL.iter() {
+        let ns = snapshot.ns(phase);
+        let share = if total_ns == 0 {
+            0.0
+        } else {
+            100.0 * ns as f64 / total_ns as f64
+        };
+        table.row(&[
+            phase.label().to_owned(),
+            format!("{:.3}", ns as f64 / 1e6),
+            snapshot.calls(phase).to_string(),
+            format!("{share:.1} %"),
+        ]);
+    }
+    let mut out = String::from("solver phase cost attribution\n");
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "total attributed: {:.3} ms\n",
+        total_ns as f64 / 1e6
+    ));
+    for e in entries {
+        let attributed_ms = e.phases.total_ns() as f64 / 1e6;
+        let line = if e.linear_only {
+            format!("{}: linear only (no solver work to attribute)\n", e.name)
+        } else {
+            format!(
+                "{}: {:.3} of {:.3} ms attributed ({:.1} %)\n",
+                e.name,
+                attributed_ms,
+                e.wall_ms,
+                if e.wall_ms > 0.0 {
+                    100.0 * attributed_ms / e.wall_ms
+                } else {
+                    0.0
+                }
+            )
+        };
+        out.push_str(&line);
+    }
+    out
+}
+
 fn usage_error(message: &str) -> ExitCode {
     eprintln!(
-        "{message}\nusage: experiments [e1..e8|e6c1|ablation|diverge|all] \
+        "{message}\nusage: experiments [profile] [e1..e8|e6c1|ablation|diverge|all] \
          [--workers N] [--metrics-json PATH] [--canonical-metrics] [--bench-json PATH]\n\
-         \x20      [--journal PATH | --resume PATH] [--chaos SPEC] [--degrade abort|continue]\n\
+         \x20      [--trace-json PATH] [--journal PATH | --resume PATH] [--chaos SPEC] \
+         [--degrade abort|continue]\n\
          \x20      experiments check-report PATH\n\
          \x20      experiments explain PATH [--fault N]"
     );
@@ -425,6 +560,36 @@ fn check_report(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Chrome-trace timelines (--trace-json) and solver-bench sidecars
+    // (--bench-json) have their own validators.
+    if obs::trace::looks_like_trace(&parsed) {
+        return match obs::trace::validate_trace(&text) {
+            Ok(events) => {
+                println!("{path}: ok (chrome trace, {events} event(s))");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{path}: invalid trace: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if parsed
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .is_some_and(|s| s.starts_with("mixsig.solver-bench/"))
+    {
+        return match solver_bench::validate(&text) {
+            Ok(entries) => {
+                println!("{path}: ok (solver bench, {entries} experiment(s))");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{path}: invalid solver bench: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut failures = Vec::new();
     if parsed.get("schema").and_then(JsonValue::as_str) != Some(obs::report::SCHEMA) {
         failures.push(format!("schema is not {}", obs::report::SCHEMA));

@@ -1,12 +1,36 @@
-//! The `--bench-json` sidecar: per-experiment wall-clock and solver
-//! effort, written as a small schema-versioned JSON document so CI can
-//! track solver-performance drift between commits (the committed
-//! `BENCH_solver.json` snapshot at the repository root is one of these).
+//! The `--bench-json` sidecar: per-experiment wall-clock, solver effort
+//! and phase cost attribution, written as a small schema-versioned JSON
+//! document so CI can track solver-performance drift between commits
+//! (the committed `BENCH_solver.json` snapshot at the repository root is
+//! one of these).
+//!
+//! Schema `mixsig.solver-bench/2` extends `/1` with three members per
+//! experiment:
+//!
+//! * `linear_only` — true when the experiment never entered the Newton
+//!   solver (purely behavioural models), so its `newton_iterations: 0`
+//!   is a statement rather than a plumbing gap;
+//! * `workers` — the campaign worker count the run used (phase times
+//!   are per-thread, so this is the attribution ceiling multiplier);
+//! * `phases` — the experiment's solver-phase self-time breakdown, one
+//!   `{"ns", "calls"}` object per [`Phase`] label. The key set is the
+//!   full phase taxonomy regardless of which phases ran, so documents
+//!   diff structurally.
+//!
+//! [`validate`] accepts both schema versions and, for `/2`, lints the
+//! physically impossible: an experiment whose attributed phase
+//! nanoseconds sum to more than `workers` threads could have produced
+//! in its wall-clock. (The committed snapshot is regenerated with
+//! `--workers 1`, where the ceiling is the wall itself.)
 
 use obs::json::JsonValue;
+use obs::profile::{Phase, PhaseSnapshot};
 
-/// Schema tag written into every solver-bench document.
-pub const SCHEMA: &str = "mixsig.solver-bench/1";
+/// Schema tag written into every new solver-bench document.
+pub const SCHEMA: &str = "mixsig.solver-bench/2";
+
+/// The previous schema, still accepted by [`validate`].
+pub const SCHEMA_V1: &str = "mixsig.solver-bench/1";
 
 /// One experiment's cost line.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +42,14 @@ pub struct BenchEntry {
     /// Newton iterations the experiment spent (0 for experiments that
     /// never enter the nonlinear solver).
     pub newton_iterations: u64,
+    /// True when the experiment runs no Newton solves at all — its
+    /// zero `newton_iterations` is by construction, not a measurement.
+    pub linear_only: bool,
+    /// Campaign worker threads the run used; bounds how far the phase
+    /// totals can legitimately exceed the wall-clock.
+    pub workers: usize,
+    /// Solver-phase self-times attributed to this experiment.
+    pub phases: PhaseSnapshot,
 }
 
 /// Renders the document. Entries appear in the order given (the order
@@ -29,6 +61,21 @@ pub fn render(entries: &[BenchEntry]) -> String {
     let rows = entries
         .iter()
         .map(|e| {
+            let phases = Phase::ALL
+                .iter()
+                .map(|&phase| {
+                    (
+                        phase.label().to_owned(),
+                        JsonValue::Obj(vec![
+                            ("ns".to_owned(), JsonValue::Num(e.phases.ns(phase) as f64)),
+                            (
+                                "calls".to_owned(),
+                                JsonValue::Num(e.phases.calls(phase) as f64),
+                            ),
+                        ]),
+                    )
+                })
+                .collect();
             JsonValue::Obj(vec![
                 ("name".to_owned(), JsonValue::Str(e.name.clone())),
                 (
@@ -39,6 +86,9 @@ pub fn render(entries: &[BenchEntry]) -> String {
                     "newton_iterations".to_owned(),
                     JsonValue::Num(e.newton_iterations as f64),
                 ),
+                ("linear_only".to_owned(), JsonValue::Bool(e.linear_only)),
+                ("workers".to_owned(), JsonValue::Num(e.workers as f64)),
+                ("phases".to_owned(), JsonValue::Obj(phases)),
             ])
         })
         .collect();
@@ -46,17 +96,22 @@ pub fn render(entries: &[BenchEntry]) -> String {
     JsonValue::Obj(obj).to_json_pretty()
 }
 
-/// Validates a previously written solver-bench document: schema tag,
-/// non-empty experiment list, finite wall-clock values.
+/// Validates a previously written solver-bench document (either schema
+/// version): schema tag, non-empty experiment list, finite wall-clock
+/// values; for `/2`, well-formed `linear_only` and `phases` members and
+/// the impossible-attribution lint (summed phase time must not exceed
+/// the experiment's wall-clock).
 ///
 /// # Errors
 ///
 /// Returns a message naming the first structural problem found.
 pub fn validate(text: &str) -> Result<usize, String> {
     let parsed = obs::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
-    if parsed.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
-        return Err(format!("schema is not {SCHEMA}"));
-    }
+    let v2 = match parsed.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == SCHEMA => true,
+        Some(s) if s == SCHEMA_V1 => false,
+        _ => return Err(format!("schema is neither {SCHEMA_V1} nor {SCHEMA}")),
+    };
     let entries = parsed
         .get("experiments")
         .and_then(JsonValue::as_array)
@@ -68,12 +123,52 @@ pub fn validate(text: &str) -> Result<usize, String> {
         if e.get("name").and_then(JsonValue::as_str).is_none() {
             return Err(format!("experiments[{i}].name missing"));
         }
-        match e.get("wall_ms").and_then(JsonValue::as_f64) {
-            Some(w) if w.is_finite() && w >= 0.0 => {}
+        let wall_ms = match e.get("wall_ms").and_then(JsonValue::as_f64) {
+            Some(w) if w.is_finite() && w >= 0.0 => w,
             _ => return Err(format!("experiments[{i}].wall_ms missing or invalid")),
-        }
+        };
         if e.get("newton_iterations").and_then(JsonValue::as_f64).is_none() {
             return Err(format!("experiments[{i}].newton_iterations missing"));
+        }
+        if !v2 {
+            continue;
+        }
+        if e.get("linear_only").and_then(JsonValue::as_bool).is_none() {
+            return Err(format!("experiments[{i}].linear_only missing"));
+        }
+        let workers = match e.get("workers").and_then(JsonValue::as_f64) {
+            Some(w) if w.is_finite() && w >= 1.0 => w,
+            _ => return Err(format!("experiments[{i}].workers missing or invalid")),
+        };
+        let phases = e
+            .get("phases")
+            .ok_or_else(|| format!("experiments[{i}].phases missing"))?;
+        let mut total_ns = 0.0;
+        for &phase in Phase::ALL.iter() {
+            let label = phase.label();
+            let entry = phases.get(label).ok_or_else(|| {
+                format!("experiments[{i}].phases.{label} missing")
+            })?;
+            let ns = match entry.get("ns").and_then(JsonValue::as_f64) {
+                Some(ns) if ns.is_finite() && ns >= 0.0 => ns,
+                _ => return Err(format!("experiments[{i}].phases.{label}.ns invalid")),
+            };
+            match entry.get("calls").and_then(JsonValue::as_f64) {
+                Some(c) if c.is_finite() && c >= 0.0 => {}
+                _ => return Err(format!("experiments[{i}].phases.{label}.calls invalid")),
+            }
+            total_ns += ns;
+        }
+        // Impossible attribution: phase self-times are disjoint slices
+        // of per-thread execution, so `workers` threads can attribute
+        // at most `workers × wall_ms` between them (modulo the µs
+        // rounding of wall_ms).
+        if total_ns / 1e6 > wall_ms * workers + 1e-3 {
+            return Err(format!(
+                "experiments[{i}]: phase total {:.3} ms exceeds wall_ms {wall_ms} \
+                 across {workers} worker(s) (impossible attribution)",
+                total_ns / 1e6
+            ));
         }
     }
     Ok(entries.len())
@@ -84,16 +179,25 @@ mod tests {
     use super::*;
 
     fn entries() -> Vec<BenchEntry> {
+        let mut phases = PhaseSnapshot::default();
+        phases.ns[Phase::Factor as usize] = 200_000_000; // 200 ms
+        phases.calls[Phase::Factor as usize] = 12_345;
         vec![
             BenchEntry {
-                name: "e1".to_owned(),
+                name: "e2".to_owned(),
                 wall_ms: 12.3456789,
                 newton_iterations: 0,
+                linear_only: true,
+                workers: 1,
+                phases: PhaseSnapshot::default(),
             },
             BenchEntry {
                 name: "e6c1".to_owned(),
                 wall_ms: 456.7,
                 newton_iterations: 12345,
+                linear_only: false,
+                workers: 1,
+                phases,
             },
         ]
     }
@@ -108,18 +212,64 @@ mod tests {
             Some(SCHEMA)
         );
         let rows = parsed.get("experiments").and_then(JsonValue::as_array).unwrap();
-        assert_eq!(rows[0].get("name").and_then(JsonValue::as_str), Some("e1"));
+        assert_eq!(rows[0].get("name").and_then(JsonValue::as_str), Some("e2"));
         assert_eq!(
             rows[1]
                 .get("newton_iterations")
                 .and_then(JsonValue::as_f64),
             Some(12345.0)
         );
+        assert_eq!(
+            rows[0].get("linear_only").and_then(JsonValue::as_bool),
+            Some(true)
+        );
         // Wall-clock rounded to µs precision.
         assert_eq!(
             rows[0].get("wall_ms").and_then(JsonValue::as_f64),
             Some(12.346)
         );
+        // Full phase key set even for entries that ran no phases.
+        let phases = rows[0].get("phases").unwrap();
+        for phase in Phase::ALL {
+            assert!(phases.get(phase.label()).is_some(), "{}", phase.label());
+        }
+        assert_eq!(
+            rows[1]
+                .get("phases")
+                .and_then(|p| p.get("lu_factor"))
+                .and_then(|p| p.get("calls"))
+                .and_then(JsonValue::as_f64),
+            Some(12345.0)
+        );
+    }
+
+    #[test]
+    fn v1_documents_still_validate() {
+        let text = format!(
+            "{{\"schema\": \"{SCHEMA_V1}\", \"experiments\": [\
+             {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 0}}]}}"
+        );
+        assert_eq!(validate(&text), Ok(1));
+    }
+
+    #[test]
+    fn impossible_attribution_is_flagged() {
+        let mut rows = entries();
+        // 200 ms of lu_factor inside a 10 ms experiment: impossible.
+        rows[1].wall_ms = 10.0;
+        let err = validate(&render(&rows)).unwrap_err();
+        assert!(err.contains("impossible attribution"), "{err}");
+    }
+
+    #[test]
+    fn parallel_attribution_is_bounded_by_worker_count() {
+        // 200 ms of phase time in a 150 ms experiment: impossible on
+        // one thread, fine across two campaign workers.
+        let mut rows = entries();
+        rows[1].wall_ms = 150.0;
+        assert!(validate(&render(&rows)).is_err());
+        rows[1].workers = 2;
+        assert_eq!(validate(&render(&rows)), Ok(2));
     }
 
     #[test]
@@ -128,5 +278,11 @@ mod tests {
         assert!(validate("{\"schema\": \"wrong\"}").unwrap_err().contains("schema"));
         let no_rows = format!("{{\"schema\": \"{SCHEMA}\", \"experiments\": []}}");
         assert!(validate(&no_rows).unwrap_err().contains("empty"));
+        // v2 entry without the new members.
+        let missing = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"experiments\": [\
+             {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 0}}]}}"
+        );
+        assert!(validate(&missing).unwrap_err().contains("linear_only"));
     }
 }

@@ -14,6 +14,9 @@
 //! *decrease* linearly with input amplitude (2.6 ms at 0 V down to
 //! 0.1 ms at 2.5 V).
 
+use std::sync::Arc;
+
+use anasim::metrics::SolverMetrics;
 use anasim::netlist::Netlist;
 use anasim::source::SourceWaveform;
 use anasim::transient::TransientAnalysis;
@@ -21,6 +24,7 @@ use anasim::waveform::Waveform;
 use anasim::AnalysisError;
 use macrolib::opamp::{BehavioralOpamp, OpampParams};
 use macrolib::process::ProcessParams;
+use obs::profile::PhaseProfiler;
 use sigproc::measure::{first_crossing_after, CrossingDirection};
 
 use super::AdcConverter;
@@ -51,6 +55,10 @@ pub struct CircuitAdc {
     clock_hz: f64,
     /// Transient step used for conversion runs.
     sim_dt: f64,
+    /// Solver-effort accounting shared across conversion runs.
+    metrics: Option<Arc<SolverMetrics>>,
+    /// Phase cost-attribution profiler shared across conversion runs.
+    profile: Option<Arc<PhaseProfiler>>,
 }
 
 impl CircuitAdc {
@@ -64,6 +72,8 @@ impl CircuitAdc {
             full_count: 250,
             clock_hz: 100e3,
             sim_dt: 4e-6,
+            metrics: None,
+            profile: None,
         }
     }
 
@@ -75,6 +85,21 @@ impl CircuitAdc {
     pub fn with_sim_dt(mut self, dt: f64) -> Self {
         assert!(dt > 0.0, "dt must be positive");
         self.sim_dt = dt;
+        self
+    }
+
+    /// Attaches a shared solver-effort counter: every conversion's
+    /// transient run accumulates into it, so callers (the bench
+    /// sidecar) can report the macro's true Newton cost instead of 0.
+    pub fn with_metrics(mut self, metrics: Arc<SolverMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a shared phase profiler: every conversion's transient
+    /// run attributes its wall-clock to solver phases.
+    pub fn with_profile(mut self, profile: Arc<PhaseProfiler>) -> Self {
+        self.profile = Some(profile);
         self
     }
 
@@ -161,7 +186,14 @@ impl CircuitAdc {
         );
 
         let t_stop = t_rst + t1 * 3.0;
-        let res = TransientAnalysis::new(t_stop, self.sim_dt).run(&nl)?;
+        let mut analysis = TransientAnalysis::new(t_stop, self.sim_dt);
+        if let Some(metrics) = &self.metrics {
+            analysis = analysis.metrics(Arc::clone(metrics));
+        }
+        if let Some(profile) = &self.profile {
+            analysis = analysis.profile(Arc::clone(profile));
+        }
+        let res = analysis.run(&nl)?;
         Ok(res.voltage(op.out))
     }
 

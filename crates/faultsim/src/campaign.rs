@@ -42,6 +42,7 @@ use anasim::robust::{escalation_ladder, CancelToken, SolveBudget, SolveSettings,
 use anasim::AnalysisError;
 use obs::chaos::FaultPlan;
 use obs::journal::{JournalOptions, JournalWriter, RetryPolicy};
+use obs::profile::PhaseProfiler;
 use obs::{Postmortem, Recorder, Section};
 use sigproc::correlation::detection_instances;
 
@@ -164,6 +165,15 @@ pub struct FaultTelemetry {
     pub rungs_tried: usize,
     /// Wall-clock time spent on this fault.
     pub wall: Duration,
+    /// Worker lane (0-based thread index) that simulated this fault.
+    /// Scheduling-dependent wall-clock metadata for timeline rendering
+    /// ([`crate::trace`]): never part of canonical output, and not
+    /// journaled — replayed faults report lane 0.
+    pub lane: usize,
+    /// Offset of this fault's simulation start from the campaign epoch
+    /// (the instant [`run_campaign_with`] began). Same caveats as
+    /// [`FaultTelemetry::lane`].
+    pub start: Duration,
     /// Frozen flight-recorder trace, present only when the campaign's
     /// flight recorder was armed ([`CampaignConfig::flight`]) *and* the
     /// fault exhausted every ladder rung without producing a signature.
@@ -400,6 +410,16 @@ pub struct CampaignConfig {
     /// (the default) or continue journal-less with the degradation
     /// accounted for in the report.
     pub degrade: DegradePolicy,
+    /// Arms phase-level cost attribution: the golden extraction and
+    /// every fault get a fresh [`PhaseProfiler`] shared across ladder
+    /// rungs, and the per-phase nanosecond rollup lands in
+    /// [`FaultTelemetry::solver`] (the
+    /// [`SolverSnapshot::phases`](anasim::metrics::SolverSnapshot)
+    /// field). Phase times are wall-clock measurements and never reach
+    /// canonical report output, so arming this cannot perturb
+    /// byte-stability; the cost is a few monotonic-clock reads per
+    /// Newton iteration. Disarmed (the default), no clocks are read.
+    pub profile: bool,
 }
 
 impl fmt::Debug for CampaignConfig {
@@ -415,6 +435,7 @@ impl fmt::Debug for CampaignConfig {
             .field("journal", &self.journal)
             .field("has_cancel", &self.cancel.is_some())
             .field("degrade", &self.degrade)
+            .field("profile", &self.profile)
             .finish()
     }
 }
@@ -435,6 +456,7 @@ impl CampaignConfig {
             journal: None,
             cancel: None,
             degrade: DegradePolicy::default(),
+            profile: false,
         }
     }
 
@@ -506,6 +528,13 @@ impl CampaignConfig {
     /// [`DegradePolicy`].
     pub fn degrade(mut self, degrade: DegradePolicy) -> Self {
         self.degrade = degrade;
+        self
+    }
+
+    /// Arms (or disarms) phase-level cost attribution; see
+    /// [`CampaignConfig::profile`].
+    pub fn profile(mut self, armed: bool) -> Self {
+        self.profile = armed;
         self
     }
 }
@@ -825,13 +854,21 @@ where
     // so re-deriving the golden signature is both cheap (one fault's
     // worth of work) and exactly reproducible, which keeps the journal
     // free of bulk golden data.
-    let golden_metrics = Arc::new(SolverMetrics::new());
+    let golden_profile = config.profile.then(|| Arc::new(PhaseProfiler::new()));
+    let golden_metrics = {
+        let mut metrics = SolverMetrics::new();
+        if let Some(p) = &golden_profile {
+            metrics = metrics.with_profile(Arc::clone(p));
+        }
+        Arc::new(metrics)
+    };
     let golden_settings = SolveSettings {
         rung: SolverRung::nominal(),
         budget: config.budget,
         metrics: Some(Arc::clone(&golden_metrics)),
         flight: None,
         cancel: config.cancel.clone(),
+        profile: golden_profile.clone(),
     };
     let golden_start = Instant::now();
     let golden_sig = extract(golden, &golden_settings)?;
@@ -934,13 +971,23 @@ where
         None => None,
     };
 
-    let simulate_fault = |fault: &Fault| -> Option<(FaultOutcome, FaultTelemetry)> {
+    let simulate_fault = |fault: &Fault, lane: usize| -> Option<(FaultOutcome, FaultTelemetry)> {
         let faulty = inject(golden, fault);
-        // One handle per fault, accumulated across ladder rungs.
-        let metrics = Arc::new(SolverMetrics::new());
+        // One handle per fault, accumulated across ladder rungs. When
+        // profiling is armed the profiler is fresh per fault too, so the
+        // phase rollup in the telemetry is exact for this fault alone.
+        let profile = config.profile.then(|| Arc::new(PhaseProfiler::new()));
+        let metrics = {
+            let mut metrics = SolverMetrics::new();
+            if let Some(p) = &profile {
+                metrics = metrics.with_profile(Arc::clone(p));
+            }
+            Arc::new(metrics)
+        };
         // One flight recorder per fault too, shared across every rung so
         // a frozen postmortem shows the whole escalation path.
         let flight = config.flight.map(|cap| Arc::new(FlightRecorder::new(cap)));
+        let start_offset = campaign_start.elapsed();
         let start = Instant::now();
 
         let mut rungs_tried = 0usize;
@@ -959,6 +1006,7 @@ where
                 metrics: Some(Arc::clone(&metrics)),
                 flight: flight.clone(),
                 cancel: config.cancel.clone(),
+                profile: profile.clone(),
             };
             // The extraction is the untrusted part of the engine: a
             // panicking solver must become this fault's outcome, not
@@ -1081,6 +1129,8 @@ where
                 rung,
                 rungs_tried,
                 wall,
+                lane,
+                start: start_offset,
                 postmortem,
             },
         ))
@@ -1094,8 +1144,8 @@ where
     // `DegradePolicy` decides whether workers stop claiming (Abort) or
     // keep simulating with the gap accounted (Continue) — dropping
     // checkpoints *silently* would break the resume guarantee.
-    let run_one = |i: usize| -> Option<(FaultOutcome, FaultTelemetry)> {
-        let result = simulate_fault(&faults[i])?;
+    let run_one = |i: usize, lane: usize| -> Option<(FaultOutcome, FaultTelemetry)> {
+        let result = simulate_fault(&faults[i], lane)?;
         if let Some(js) = &journal_state {
             if js.failed.load(Ordering::Acquire) {
                 js.unjournaled.fetch_add(1, Ordering::AcqRel);
@@ -1138,7 +1188,7 @@ where
             if should_stop() {
                 break;
             }
-            let Some(result) = run_one(i) else { break };
+            let Some(result) = run_one(i, 0) else { break };
             results[i] = Some(result);
         }
     } else {
@@ -1152,14 +1202,16 @@ where
             pending.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for lane in 0..workers {
+                let (cursor, slots, pending) = (&cursor, &slots, &pending);
+                let (run_one, should_stop) = (&run_one, &should_stop);
+                scope.spawn(move || loop {
                     if should_stop() {
                         break;
                     }
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = pending.get(k) else { break };
-                    let Some(result) = run_one(i) else { break };
+                    let Some(result) = run_one(i, lane) else { break };
                     *slots[k].lock().expect("slot lock") = Some(result);
                 });
             }

@@ -310,12 +310,17 @@ pub fn telemetry_from_json(v: &JsonValue) -> Result<FaultTelemetry, String> {
         JsonValue::Null => None,
         other => Some(Postmortem::from_json(other)?),
     };
+    // Worker lane, start offset and solver phase times are live
+    // wall-clock measurements, not campaign semantics: they are never
+    // journaled, so replayed telemetry carries the defaults (lane 0,
+    // zero offset, zero phases).
     Ok(FaultTelemetry {
         solver,
         rung,
         rungs_tried: get_usize(v, "rungs_tried")?,
         wall: Duration::from_secs_f64(get_f64(v, "wall_ms")?.max(0.0) / 1e3),
         postmortem,
+        ..FaultTelemetry::default()
     })
 }
 
@@ -625,11 +630,13 @@ mod tests {
                 dt_shrinks: 2,
                 dc_gmin_steps: 1,
                 dc_source_steps: 0,
+                ..SolverSnapshot::default()
             },
             rung: Some(1),
             rungs_tried: 2,
             wall: Duration::from_millis(12),
             postmortem: None,
+            ..FaultTelemetry::default()
         }
     }
 

@@ -16,7 +16,11 @@
 //! * [`journal`] — the `mixsig.campaign-journal/1` checkpoint format:
 //!   campaigns journal every completed fault to an append-only JSONL
 //!   file and [`campaign::run_campaign_resumed`] replays it, so a
-//!   killed or cancelled campaign resumes instead of restarting.
+//!   killed or cancelled campaign resumes instead of restarting,
+//! * [`trace`] — Chrome Trace Event timelines of completed campaigns:
+//!   worker lanes, per-fault spans and (with
+//!   [`campaign::CampaignConfig::profile`] armed) solver phase
+//!   sub-spans, loadable by `chrome://tracing` / Perfetto.
 //!
 //! # Example
 //!
@@ -46,3 +50,4 @@ pub mod dictionary;
 pub mod inject;
 pub mod journal;
 pub mod model;
+pub mod trace;

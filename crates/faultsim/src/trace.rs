@@ -1,0 +1,273 @@
+//! Campaign timeline assembly: converts completed [`CampaignReport`]s
+//! into Chrome Trace Event timelines ([`obs::trace`]).
+//!
+//! Each campaign becomes one process lane (`pid`), holding a `golden`
+//! thread lane plus one thread lane per worker. Every fault renders as
+//! a complete span on the lane of the worker that simulated it, placed
+//! at its recorded offset from the campaign epoch
+//! ([`FaultTelemetry::start`] / [`FaultTelemetry::wall`]). When the
+//! campaign ran with [`CampaignConfig::profile`] armed, each fault span
+//! carries synthetic sub-spans for its solver phases: phase self-times
+//! are laid end-to-end from the span's start, which preserves the cost
+//! *proportions* (the profiler guarantees their sum never exceeds the
+//! span) without pretending to know when each phase actually ran.
+//!
+//! Successive campaigns are laid out sequentially along the timeline —
+//! the trace of a whole experiment reads left to right in execution
+//! order. Faults replayed from a checkpoint journal carry no live
+//! timing (lane 0, zero offset), so a resumed campaign's replayed spans
+//! pile up at its epoch; the trace is a wall-clock visualisation, not a
+//! canonical artifact.
+//!
+//! [`CampaignConfig::profile`]: crate::campaign::CampaignConfig::profile
+
+use obs::json::JsonValue;
+use obs::profile::{Phase, PhaseSnapshot};
+use obs::trace::{render_trace, TraceEvent};
+
+use crate::campaign::CampaignReport;
+
+#[cfg(doc)]
+use crate::campaign::FaultTelemetry;
+
+/// Thread lane reserved for the golden extraction within each
+/// campaign's process; worker `w` renders on lane `w + 1`.
+const GOLDEN_TID: u64 = 0;
+
+/// Gap inserted between consecutive campaigns on the shared timeline
+/// (microseconds), so adjacent campaigns stay visually distinct.
+const CAMPAIGN_GAP_US: f64 = 1_000.0;
+
+/// Accumulates campaign timelines into one Chrome-trace event list.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignTrace {
+    events: Vec<TraceEvent>,
+    cursor_us: f64,
+    next_pid: u64,
+}
+
+impl CampaignTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        CampaignTrace::default()
+    }
+
+    /// Appends one completed campaign as a new process lane, placed
+    /// after every campaign already added.
+    pub fn add_campaign(&mut self, name: &str, report: &CampaignReport) {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let base = self.cursor_us;
+
+        self.events.push(TraceEvent::process_name(pid, name));
+        self.events
+            .push(TraceEvent::thread_name(GOLDEN_TID, "golden").pid(pid));
+
+        let golden_dur = report.stats.golden_wall.as_secs_f64() * 1e6;
+        self.events.push(
+            TraceEvent::complete("golden", base, golden_dur, GOLDEN_TID)
+                .pid(pid)
+                .cat("campaign")
+                .arg(
+                    "newton_iterations",
+                    JsonValue::Num(report.stats.golden_solver.newton_iterations as f64),
+                ),
+        );
+        self.push_phases(pid, GOLDEN_TID, base, &report.stats.golden_solver.phases);
+
+        let mut max_tid = GOLDEN_TID;
+        for (outcome, t) in report.outcomes.iter().zip(&report.stats.per_fault) {
+            let tid = t.lane as u64 + 1;
+            max_tid = max_tid.max(tid);
+            let ts = base + t.start.as_secs_f64() * 1e6;
+            let dur = t.wall.as_secs_f64() * 1e6;
+            let mut event = TraceEvent::complete(outcome.fault.name(), ts, dur, tid)
+                .pid(pid)
+                .cat("fault")
+                .arg("status", JsonValue::Str(outcome.status.tag().into()))
+                .arg("rungs_tried", JsonValue::Num(t.rungs_tried as f64))
+                .arg(
+                    "newton_iterations",
+                    JsonValue::Num(t.solver.newton_iterations as f64),
+                );
+            if let Some(rung) = t.rung {
+                event = event.arg("rung", JsonValue::Num(rung as f64));
+            }
+            self.events.push(event);
+            self.push_phases(pid, tid, ts, &t.solver.phases);
+        }
+        for tid in (GOLDEN_TID + 1)..=max_tid {
+            self.events
+                .push(TraceEvent::thread_name(tid, format!("worker {}", tid - 1)).pid(pid));
+        }
+
+        let campaign_dur = report.stats.campaign_wall.as_secs_f64() * 1e6;
+        self.cursor_us = base + campaign_dur.max(golden_dur) + CAMPAIGN_GAP_US;
+    }
+
+    /// Synthetic phase sub-spans: self-times laid end-to-end from the
+    /// parent span's start. Their sum never exceeds the parent span
+    /// (the profiler attributes self-time only), so nesting holds.
+    fn push_phases(&mut self, pid: u64, tid: u64, ts: f64, phases: &PhaseSnapshot) {
+        let mut cursor = ts;
+        for &phase in Phase::ALL.iter() {
+            let ns = phases.ns(phase);
+            if ns == 0 {
+                continue;
+            }
+            let dur = ns as f64 / 1e3;
+            self.events.push(
+                TraceEvent::complete(phase.label(), cursor, dur, tid)
+                    .pid(pid)
+                    .cat("phase")
+                    .arg("calls", JsonValue::Num(phases.calls(phase) as f64)),
+            );
+            cursor += dur;
+        }
+    }
+
+    /// The accumulated events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True when no campaign has been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of campaigns added so far.
+    pub fn campaigns(&self) -> usize {
+        self.next_pid as usize
+    }
+
+    /// Renders the timeline to the Trace Event Format's JSON object
+    /// form (loadable by `chrome://tracing` and Perfetto).
+    pub fn render(&self) -> String {
+        render_trace(&self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign_with, CampaignConfig};
+    use crate::model::Fault;
+    use anasim::netlist::Netlist;
+    use anasim::source::SourceWaveform;
+    use anasim::transient::TransientAnalysis;
+
+    fn rc_netlist() -> (Netlist, anasim::netlist::NodeId) {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V1", inp, Netlist::GROUND, SourceWaveform::step(5.0, 1e-6));
+        nl.resistor("R1", inp, out, 1e3);
+        nl.capacitor("C1", out, Netlist::GROUND, 1e-9);
+        (nl, out)
+    }
+
+    fn extract(
+        nl: &Netlist,
+        settings: &anasim::robust::SolveSettings,
+    ) -> Result<Vec<f64>, anasim::AnalysisError> {
+        let out = nl.find_node("out").expect("node out");
+        let result = TransientAnalysis::new(20e-6, 0.5e-6)
+            .with_settings(settings)
+            .run(nl)?;
+        let w = result.voltage(out);
+        Ok((0..20).map(|k| w.value_at(k as f64 * 1e-6)).collect())
+    }
+
+    fn run_profiled(workers: usize) -> CampaignReport {
+        let (nl, out) = rc_netlist();
+        let faults = vec![
+            Fault::stuck_at_0("out-sa0", out),
+            Fault::stuck_at_1("out-sa1", out),
+        ];
+        let config = CampaignConfig::new(0.5).workers(workers).profile(true);
+        run_campaign_with(&nl, &faults, &config, extract).unwrap()
+    }
+
+    #[test]
+    fn profiled_campaign_renders_a_valid_trace() {
+        let report = run_profiled(1);
+        // Profiling armed: the rollup reaches the telemetry.
+        assert!(report.stats.golden_solver.phases.total_ns() > 0);
+        for t in &report.stats.per_fault {
+            assert!(
+                t.solver.phases.total_ns() > 0,
+                "armed fault telemetry should carry phase costs"
+            );
+            assert!(t.solver.phases.total_ns() <= t.wall.as_nanos() as u64);
+        }
+
+        let mut trace = CampaignTrace::new();
+        trace.add_campaign("rc-demo", &report);
+        assert_eq!(trace.campaigns(), 1);
+        let text = trace.render();
+        let n = obs::trace::validate_trace(&text).unwrap();
+        assert!(n > 4, "expected golden + fault + phase spans, got {n}");
+        // Fault spans and phase sub-spans are both present.
+        assert!(text.contains("\"out-sa0\""));
+        assert!(text.contains("\"lu_factor\""));
+        assert!(text.contains("\"process_name\""));
+    }
+
+    #[test]
+    fn sequential_campaigns_do_not_overlap() {
+        let report = run_profiled(1);
+        let mut trace = CampaignTrace::new();
+        trace.add_campaign("first", &report);
+        let first_end = trace.cursor_us;
+        trace.add_campaign("second", &report);
+        assert_eq!(trace.campaigns(), 2);
+        for event in trace.events() {
+            if event.pid == 1 && event.ph == 'X' {
+                assert!(
+                    event.ts_us >= first_end,
+                    "second campaign span at {} starts before {}",
+                    event.ts_us,
+                    first_end
+                );
+            }
+        }
+        obs::trace::validate_trace(&trace.render()).unwrap();
+    }
+
+    #[test]
+    fn disarmed_campaign_still_renders_worker_lanes() {
+        let (nl, out) = rc_netlist();
+        let faults = vec![Fault::stuck_at_0("out-sa0", out)];
+        let config = CampaignConfig::new(0.5);
+        let report = run_campaign_with(&nl, &faults, &config, extract).unwrap();
+        assert!(report.stats.golden_solver.phases.is_empty());
+        let mut trace = CampaignTrace::new();
+        trace.add_campaign("disarmed", &report);
+        let text = trace.render();
+        obs::trace::validate_trace(&text).unwrap();
+        assert!(text.contains("\"golden\""));
+        assert!(!text.contains("\"lu_factor\""));
+    }
+
+    #[test]
+    fn armed_and_disarmed_reports_share_canonical_text() {
+        let (nl, out) = rc_netlist();
+        let faults = vec![
+            Fault::stuck_at_0("out-sa0", out),
+            Fault::stuck_at_1("out-sa1", out),
+        ];
+        let disarmed =
+            run_campaign_with(&nl, &faults, &CampaignConfig::new(0.5), extract).unwrap();
+        let armed =
+            run_campaign_with(&nl, &faults, &CampaignConfig::new(0.5).profile(true), extract)
+                .unwrap();
+        assert_eq!(disarmed.canonical_text(), armed.canonical_text());
+        // Deterministic counters agree exactly; only phase wall-times
+        // (non-canonical) differ.
+        let d = disarmed.stats.total_solver();
+        let a = armed.stats.total_solver();
+        assert_eq!(d.as_array(), a.as_array());
+        assert!(d.phases.is_empty() && !a.phases.is_empty());
+    }
+}

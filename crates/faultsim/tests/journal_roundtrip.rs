@@ -299,11 +299,13 @@ fn arb_telemetry() -> impl Strategy<Value = FaultTelemetry> {
                     dt_shrinks: counters[3],
                     dc_gmin_steps: counters[4],
                     dc_source_steps: counters[5],
+                    ..SolverSnapshot::default()
                 },
                 rung: if has_rung { Some(rung) } else { None },
                 rungs_tried,
                 wall: Duration::from_millis(wall_ms),
                 postmortem: None,
+                ..FaultTelemetry::default()
             },
         )
 }
@@ -402,6 +404,7 @@ proptest! {
             rungs_tried: 1,
             wall: Duration::from_millis(1),
             postmortem: None,
+            ..FaultTelemetry::default()
         };
         let mut text = start_record("p", &faults, 0.05, 20).to_json();
         text.push('\n');

@@ -59,6 +59,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean inside `Bool`, if that's what this is.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string inside `Str`, if that's what this is.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -39,6 +39,12 @@
 //! ([`chaos::FaultySink`]) so the whole failure surface is testable
 //! with reproducible, seeded schedules.
 //!
+//! Cost attribution is the [`profile`] module: a
+//! [`profile::PhaseProfiler`] splits solver wall time across a fixed
+//! phase taxonomy with self-time nesting semantics, and the [`trace`]
+//! module exports timelines in the Chrome Trace Event format for
+//! `chrome://tracing` / Perfetto.
+//!
 //! Human-facing output goes through [`table::Table`], so printed tables
 //! and the JSON report cannot drift apart.
 
@@ -47,11 +53,13 @@ pub mod histogram;
 pub mod journal;
 pub mod json;
 pub mod postmortem;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod ring;
 pub mod span;
 pub mod table;
+pub mod trace;
 
 pub use chaos::{FaultPlan, FaultySink};
 pub use histogram::Histogram;
@@ -60,7 +68,9 @@ pub use journal::{
     RetryPolicy,
 };
 pub use postmortem::{LadderStep, Postmortem, PostmortemIteration};
+pub use profile::{Phase, PhaseProfiler, PhaseSnapshot};
 pub use recorder::{AggregatingRecorder, NoopRecorder, Recorder};
 pub use report::{RunReport, Section};
+pub use trace::{render_trace, validate_trace, TraceEvent};
 pub use ring::RingBuffer;
 pub use table::{Align, Table};

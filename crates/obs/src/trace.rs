@@ -1,0 +1,310 @@
+//! Chrome Trace Event export — timelines loadable by `chrome://tracing`
+//! and Perfetto.
+//!
+//! Hand-rolled like the rest of the [`crate::json`] pipeline: a
+//! [`TraceEvent`] list renders to the Trace Event Format's "JSON object
+//! format" (`{"traceEvents": [...]}`), using complete (`"ph": "X"`)
+//! events with microsecond timestamps plus `"M"` metadata events to
+//! name process/thread lanes. [`validate_trace`] is the strict
+//! re-reader used by `experiments check-report`: every event must
+//! carry the mandatory fields, durations must be non-negative and
+//! finite, and any `B`/`E` duration events must balance per lane.
+
+use crate::json::{parse, JsonValue};
+
+/// One trace event. Timestamps and durations are microseconds, per the
+/// Trace Event Format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (the label rendered on the span).
+    pub name: String,
+    /// Comma-separated categories; used by trace viewers for filtering.
+    pub cat: String,
+    /// Event type: `X` (complete), `B`/`E` (duration begin/end) or `M`
+    /// (metadata).
+    pub ph: char,
+    /// Timestamp, microseconds from the trace epoch.
+    pub ts_us: f64,
+    /// Duration, microseconds. Only rendered for `X` events.
+    pub dur_us: f64,
+    /// Process lane.
+    pub pid: u64,
+    /// Thread lane within the process.
+    pub tid: u64,
+    /// Extra `args` members shown in the viewer's detail pane.
+    pub args: Vec<(String, JsonValue)>,
+}
+
+impl TraceEvent {
+    /// A complete (`X`) event spanning `[ts_us, ts_us + dur_us]` on
+    /// thread lane `tid` of process 0.
+    pub fn complete(name: impl Into<String>, ts_us: f64, dur_us: f64, tid: u64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: String::new(),
+            ph: 'X',
+            ts_us,
+            dur_us,
+            pid: 0,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// A `thread_name` metadata event labelling lane `tid`.
+    pub fn thread_name(tid: u64, name: impl Into<String>) -> Self {
+        TraceEvent {
+            name: "thread_name".into(),
+            cat: String::new(),
+            ph: 'M',
+            ts_us: 0.0,
+            dur_us: 0.0,
+            pid: 0,
+            tid,
+            args: vec![("name".into(), JsonValue::Str(name.into()))],
+        }
+    }
+
+    /// A `process_name` metadata event labelling process lane `pid`.
+    pub fn process_name(pid: u64, name: impl Into<String>) -> Self {
+        TraceEvent {
+            name: "process_name".into(),
+            cat: String::new(),
+            ph: 'M',
+            ts_us: 0.0,
+            dur_us: 0.0,
+            pid,
+            tid: 0,
+            args: vec![("name".into(), JsonValue::Str(name.into()))],
+        }
+    }
+
+    /// Sets the category list (builder style).
+    pub fn cat(mut self, cat: impl Into<String>) -> Self {
+        self.cat = cat.into();
+        self
+    }
+
+    /// Sets the process lane (builder style).
+    pub fn pid(mut self, pid: u64) -> Self {
+        self.pid = pid;
+        self
+    }
+
+    /// Appends an `args` member (builder style).
+    pub fn arg(mut self, key: impl Into<String>, value: JsonValue) -> Self {
+        self.args.push((key.into(), value));
+        self
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("name", JsonValue::Str(self.name.clone()));
+        if !self.cat.is_empty() {
+            obj.push("cat", JsonValue::Str(self.cat.clone()));
+        }
+        obj.push("ph", JsonValue::Str(self.ph.to_string()));
+        obj.push("ts", JsonValue::Num(self.ts_us));
+        if self.ph == 'X' {
+            obj.push("dur", JsonValue::Num(self.dur_us));
+        }
+        obj.push("pid", JsonValue::Num(self.pid as f64));
+        obj.push("tid", JsonValue::Num(self.tid as f64));
+        if !self.args.is_empty() {
+            obj.push("args", JsonValue::Obj(self.args.clone()));
+        }
+        obj
+    }
+}
+
+/// Renders events to the Trace Event Format's JSON object form.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut doc = JsonValue::object();
+    doc.push(
+        "traceEvents",
+        JsonValue::Arr(events.iter().map(TraceEvent::to_json).collect()),
+    );
+    doc.push("displayTimeUnit", JsonValue::Str("ms".into()));
+    doc.to_json_pretty()
+}
+
+/// True if a parsed JSON document looks like a Chrome trace (either the
+/// object form with a `traceEvents` array, or a bare event array).
+pub fn looks_like_trace(doc: &JsonValue) -> bool {
+    match doc {
+        JsonValue::Obj(_) => doc.get("traceEvents").and_then(JsonValue::as_array).is_some(),
+        JsonValue::Arr(items) => items
+            .first()
+            .is_some_and(|e| e.get("ph").is_some()),
+        _ => false,
+    }
+}
+
+/// Validates a rendered trace document: parses, checks every event's
+/// mandatory fields, rejects negative or non-finite timestamps and
+/// durations, and requires `B`/`E` duration events to balance per
+/// `(pid, tid)` lane.
+///
+/// Returns the number of events.
+///
+/// # Errors
+///
+/// A human-readable message naming the first offending event.
+pub fn validate_trace(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match &doc {
+        JsonValue::Obj(_) => doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing traceEvents array")?,
+        JsonValue::Arr(items) => items.as_slice(),
+        _ => return Err("trace must be an object or array".into()),
+    };
+    if events.is_empty() {
+        return Err("trace has no events".into());
+    }
+    // Open B events per (pid, tid) lane, for balance checking.
+    let mut open: Vec<((u64, u64), usize)> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        event
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let lane = |key: &str| -> Result<u64, String> {
+            let v = event
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("event {i}: missing {key}"))?;
+            if !v.is_finite() || v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("event {i}: {key} {v} is not a non-negative integer"));
+            }
+            Ok(v as u64)
+        };
+        let pid = lane("pid")?;
+        let tid = lane("tid")?;
+        match ph {
+            "M" => continue,
+            "X" | "B" | "E" | "I" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+        let ts = event
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: ts {ts} is not finite and non-negative"));
+        }
+        match ph {
+            "X" => {
+                let dur = event
+                    .get("dur")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("event {i}: X event missing dur"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: dur {dur} is negative or non-finite"));
+                }
+            }
+            "B" => open.push(((pid, tid), i)),
+            "E" => {
+                let lane_key = (pid, tid);
+                match open.iter().rposition(|(k, _)| *k == lane_key) {
+                    Some(pos) => {
+                        open.remove(pos);
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {i}: E without matching B on pid {pid} tid {tid}"
+                        ))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(((pid, tid), i)) = open.first() {
+        return Err(format!(
+            "unbalanced B event {i} on pid {pid} tid {tid} never closed"
+        ));
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_trace_validates_and_round_trips() {
+        let events = vec![
+            TraceEvent::thread_name(0, "worker 0"),
+            TraceEvent::complete("fault \"n1-sa0\"", 0.0, 120.5, 0)
+                .cat("campaign")
+                .arg("newton_iterations", JsonValue::Num(42.0)),
+            TraceEvent::complete("lu_factor", 10.0, 30.25, 0).cat("phase"),
+        ];
+        let text = render_trace(&events);
+        assert_eq!(validate_trace(&text).unwrap(), 3);
+        let doc = parse(&text).unwrap();
+        assert!(looks_like_trace(&doc));
+        let rendered = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(
+            rendered[1].get("name").unwrap().as_str(),
+            Some("fault \"n1-sa0\"")
+        );
+        assert_eq!(rendered[2].get("dur").unwrap().as_f64(), Some(30.25));
+    }
+
+    #[test]
+    fn negative_duration_is_rejected() {
+        let text = r#"{"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "dur": -1, "pid": 0, "tid": 0}
+        ]}"#;
+        let err = validate_trace(text).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+    }
+
+    #[test]
+    fn unbalanced_duration_events_are_rejected() {
+        let text = r#"{"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 0, "tid": 1}
+        ]}"#;
+        let err = validate_trace(text).unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
+
+        let text = r#"{"traceEvents": [
+            {"name": "a", "ph": "E", "ts": 0, "pid": 0, "tid": 1}
+        ]}"#;
+        let err = validate_trace(text).unwrap_err();
+        assert!(err.contains("without matching B"), "{err}");
+
+        let balanced = r#"{"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 0, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 5, "pid": 0, "tid": 1}
+        ]}"#;
+        assert_eq!(validate_trace(balanced).unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        let text = r#"{"traceEvents": [{"ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0}]}"#;
+        assert!(validate_trace(text).unwrap_err().contains("name"));
+        let text = r#"{"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}]}"#;
+        assert!(validate_trace(text).unwrap_err().contains("dur"));
+        assert!(validate_trace("{}").is_err());
+        assert!(validate_trace(r#"{"traceEvents": []}"#).is_err());
+        assert!(validate_trace("not json").is_err());
+    }
+
+    #[test]
+    fn bare_event_arrays_are_recognised() {
+        let text = r#"[{"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0}]"#;
+        assert_eq!(validate_trace(text).unwrap(), 1);
+        assert!(looks_like_trace(&parse(text).unwrap()));
+        assert!(!looks_like_trace(&parse("[1]").unwrap()));
+        assert!(!looks_like_trace(&parse(r#"{"schema": "other"}"#).unwrap()));
+    }
+}
