@@ -8,8 +8,9 @@
 
 use crate::flight::{SolveHooks, SolvePhase};
 use crate::metrics::SolverMetrics;
-use crate::mna::{newton_solve_budgeted, CompanionMode, MnaLayout, NewtonOptions, StampParams};
+use crate::mna::{newton_solve_with_context, CompanionMode, MnaLayout, NewtonOptions, StampParams};
 use crate::netlist::{DeviceId, Netlist, NodeId};
+use crate::solver::{Rank1Setup, SolverContext, WarmStart};
 use crate::AnalysisError;
 
 use std::time::Instant;
@@ -140,8 +141,35 @@ pub fn dc_operating_point_hooked(
     options: &DcOptions,
     hooks: SolveHooks<'_>,
 ) -> Result<OperatingPoint, AnalysisError> {
+    let mut ctx = SolverContext::default();
+    dc_operating_point_solver(netlist, options, hooks, None, None, &mut ctx)
+}
+
+/// [`dc_operating_point_hooked`] against a caller-owned
+/// [`SolverContext`], optionally warm-started from a golden operating
+/// point and routed through a rank-1 golden-factorisation cache.
+///
+/// The context's cached symbolic structure and factorisation carry
+/// across the homotopy stages (and, when the caller is a transient
+/// analysis, into the timestep march). A `warm` seed is tried with
+/// plain Newton before the usual cold-start chain; on failure the
+/// solve falls back to exactly the cold behaviour, so warm-starting
+/// can only add one cheap attempt, never change the answer's
+/// robustness.
+///
+/// # Errors
+///
+/// See [`dc_operating_point`].
+pub fn dc_operating_point_solver(
+    netlist: &Netlist,
+    options: &DcOptions,
+    hooks: SolveHooks<'_>,
+    warm: Option<&WarmStart>,
+    rank1: Option<&Rank1Setup>,
+    ctx: &mut SolverContext,
+) -> Result<OperatingPoint, AnalysisError> {
     let started = Instant::now();
-    let result = dc_solve(netlist, options, hooks);
+    let result = dc_solve(netlist, options, hooks, warm, rank1, ctx);
     if let Some(metrics) = hooks.metrics {
         metrics.record_span("anasim.dc", started.elapsed());
     }
@@ -152,6 +180,9 @@ fn dc_solve(
     netlist: &Netlist,
     options: &DcOptions,
     hooks: SolveHooks<'_>,
+    warm: Option<&WarmStart>,
+    rank1: Option<&Rank1Setup>,
+    ctx: &mut SolverContext,
 ) -> Result<OperatingPoint, AnalysisError> {
     // Homotopy scheduling is DC self-time; the Newton solves underneath
     // attribute their own stamp/factor/solve/residual phases.
@@ -169,9 +200,29 @@ fn dc_solve(
         flight.install_names(netlist, &layout);
     }
 
+    // 0. Golden warm start: seed the guess from a golden operating
+    // point and try plain Newton. Faulty variants of a circuit usually
+    // sit near the golden bias, so this converges in a handful of
+    // iterations and skips the homotopy chain entirely. Any failure
+    // falls through to the untouched cold-start ladder.
+    if let Some(warm) = warm {
+        set_phase(SolvePhase::DcDirect);
+        warm.seed(&layout, &mut x);
+        if try_newton(
+            netlist, &layout, options, options.gmin, 1.0, hooks, ctx, rank1, &mut x,
+        )
+        .is_ok()
+        {
+            return Ok(OperatingPoint::new(layout, x));
+        }
+        x.iter_mut().for_each(|v| *v = 0.0);
+    }
+
     // 1. Plain Newton.
     set_phase(SolvePhase::DcDirect);
-    let direct = try_newton(netlist, &layout, options, options.gmin, 1.0, hooks, &mut x);
+    let direct = try_newton(
+        netlist, &layout, options, options.gmin, 1.0, hooks, ctx, rank1, &mut x,
+    );
     if direct.is_ok() {
         return Ok(OperatingPoint::new(layout, x));
     }
@@ -187,7 +238,9 @@ fn dc_solve(
             if let Some(metrics) = hooks.metrics {
                 metrics.dc_gmin_step();
             }
-            if let Err(e) = try_newton(netlist, &layout, options, gmin, 1.0, hooks, &mut x) {
+            if let Err(e) = try_newton(
+                netlist, &layout, options, gmin, 1.0, hooks, ctx, rank1, &mut x,
+            ) {
                 last_err = e;
                 ok = false;
                 break;
@@ -196,7 +249,11 @@ fn dc_solve(
         }
         if ok {
             // Final solve at the target gmin.
-            if try_newton(netlist, &layout, options, options.gmin, 1.0, hooks, &mut x).is_ok() {
+            if try_newton(
+                netlist, &layout, options, options.gmin, 1.0, hooks, ctx, rank1, &mut x,
+            )
+            .is_ok()
+            {
                 return Ok(OperatingPoint::new(layout, x));
             }
         }
@@ -211,7 +268,9 @@ fn dc_solve(
         if let Some(metrics) = hooks.metrics {
             metrics.dc_source_step();
         }
-        if let Err(e) = try_newton(netlist, &layout, options, options.gmin, scale, hooks, &mut x) {
+        if let Err(e) = try_newton(
+            netlist, &layout, options, options.gmin, scale, hooks, ctx, rank1, &mut x,
+        ) {
             last_err = e;
             ok = false;
             break;
@@ -223,6 +282,7 @@ fn dc_solve(
     Err(last_err)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn try_newton(
     netlist: &Netlist,
     layout: &MnaLayout,
@@ -230,6 +290,8 @@ fn try_newton(
     gmin: f64,
     source_scale: f64,
     hooks: SolveHooks<'_>,
+    ctx: &mut SolverContext,
+    rank1: Option<&Rank1Setup>,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
     let params = StampParams {
@@ -238,7 +300,17 @@ fn try_newton(
         gmin,
         source_scale,
     };
-    newton_solve_budgeted(netlist, layout, &params, &options.newton, None, hooks, x)
+    newton_solve_with_context(
+        netlist,
+        layout,
+        &params,
+        &options.newton,
+        None,
+        hooks,
+        ctx,
+        rank1,
+        x,
+    )
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod mna;
 pub mod netlist;
 pub mod robust;
+pub mod solver;
 pub mod source;
 pub mod spice;
 pub mod sweep;

@@ -25,13 +25,15 @@ use obs::Recorder;
 
 /// Counter names under which [`SolverSnapshot::emit_to`] publishes to a
 /// recorder, in emission order.
-pub const COUNTER_NAMES: [&str; 6] = [
+pub const COUNTER_NAMES: [&str; 8] = [
     "solver.newton_iterations",
     "solver.steps_accepted",
     "solver.steps_rejected",
     "solver.dt_shrinks",
     "solver.dc_gmin_steps",
     "solver.dc_source_steps",
+    "solver.factor_reuse_hits",
+    "solver.factor_reuse_misses",
 ];
 
 /// Live, thread-safe solver counters plus an optional span recorder.
@@ -43,6 +45,8 @@ pub struct SolverMetrics {
     dt_shrinks: AtomicU64,
     dc_gmin_steps: AtomicU64,
     dc_source_steps: AtomicU64,
+    factor_reuse_hits: AtomicU64,
+    factor_reuse_misses: AtomicU64,
     recorder: Option<Arc<dyn Recorder>>,
     profile: Option<Arc<PhaseProfiler>>,
 }
@@ -117,6 +121,20 @@ impl SolverMetrics {
         self.dc_source_steps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One Newton iteration served by a cached factorisation (a
+    /// modified-Newton stale step, a cached linear solve, or a
+    /// Sherman–Morrison rank-1 application).
+    #[inline]
+    pub fn factor_reuse_hit(&self) {
+        self.factor_reuse_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One Newton iteration that (re)factorised the system matrix.
+    #[inline]
+    pub fn factor_reuse_miss(&self) {
+        self.factor_reuse_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reports a completed analysis span (e.g. `anasim.dc`) to the
     /// attached recorder, if any.
     pub fn record_span(&self, name: &str, elapsed: Duration) {
@@ -145,6 +163,8 @@ impl SolverMetrics {
             dt_shrinks: self.dt_shrinks.load(Ordering::Relaxed),
             dc_gmin_steps: self.dc_gmin_steps.load(Ordering::Relaxed),
             dc_source_steps: self.dc_source_steps.load(Ordering::Relaxed),
+            factor_reuse_hits: self.factor_reuse_hits.load(Ordering::Relaxed),
+            factor_reuse_misses: self.factor_reuse_misses.load(Ordering::Relaxed),
             phases: self.profile.as_ref().map(|p| p.snapshot()).unwrap_or_default(),
         }
     }
@@ -166,6 +186,10 @@ pub struct SolverSnapshot {
     pub dc_gmin_steps: u64,
     /// Source-stepping homotopy stages solved.
     pub dc_source_steps: u64,
+    /// Newton iterations served by a cached factorisation.
+    pub factor_reuse_hits: u64,
+    /// Newton iterations that (re)factorised the system matrix.
+    pub factor_reuse_misses: u64,
     /// Per-phase self-time nanoseconds and span counts from an attached
     /// [`PhaseProfiler`]; all-zero when profiling was disarmed. Being
     /// wall-clock measurements these are *not* deterministic, so they
@@ -179,13 +203,15 @@ impl SolverSnapshot {
     /// recorder-facing [`COUNTER_NAMES`] are these with a `solver.`
     /// prefix. Keeping one authoritative name list next to the value
     /// list stops the two from drifting into positional magic.
-    pub const FIELDS: [&'static str; 6] = [
+    pub const FIELDS: [&'static str; 8] = [
         "newton_iterations",
         "steps_accepted",
         "steps_rejected",
         "dt_shrinks",
         "dc_gmin_steps",
         "dc_source_steps",
+        "factor_reuse_hits",
+        "factor_reuse_misses",
     ];
 
     /// Publishes each counter to `recorder` under its
@@ -198,7 +224,7 @@ impl SolverSnapshot {
     }
 
     /// Counter values in [`COUNTER_NAMES`] order.
-    pub fn as_array(&self) -> [u64; 6] {
+    pub fn as_array(&self) -> [u64; 8] {
         [
             self.newton_iterations,
             self.steps_accepted,
@@ -206,6 +232,8 @@ impl SolverSnapshot {
             self.dt_shrinks,
             self.dc_gmin_steps,
             self.dc_source_steps,
+            self.factor_reuse_hits,
+            self.factor_reuse_misses,
         ]
     }
 }
@@ -221,6 +249,8 @@ impl Add for SolverSnapshot {
             dt_shrinks: self.dt_shrinks + rhs.dt_shrinks,
             dc_gmin_steps: self.dc_gmin_steps + rhs.dc_gmin_steps,
             dc_source_steps: self.dc_source_steps + rhs.dc_source_steps,
+            factor_reuse_hits: self.factor_reuse_hits + rhs.factor_reuse_hits,
+            factor_reuse_misses: self.factor_reuse_misses + rhs.factor_reuse_misses,
             phases: self.phases + rhs.phases,
         }
     }
@@ -247,6 +277,9 @@ mod tests {
         m.dt_shrink();
         m.dc_gmin_step();
         m.dc_source_step();
+        m.factor_reuse_hit();
+        m.factor_reuse_hit();
+        m.factor_reuse_miss();
         let snap = m.snapshot();
         assert_eq!(snap.newton_iterations, 2);
         assert_eq!(snap.steps_accepted, 1);
@@ -254,6 +287,8 @@ mod tests {
         assert_eq!(snap.dt_shrinks, 1);
         assert_eq!(snap.dc_gmin_steps, 1);
         assert_eq!(snap.dc_source_steps, 1);
+        assert_eq!(snap.factor_reuse_hits, 2);
+        assert_eq!(snap.factor_reuse_misses, 1);
     }
 
     #[test]
@@ -308,9 +343,11 @@ mod tests {
             dt_shrinks: 4,
             dc_gmin_steps: 5,
             dc_source_steps: 6,
+            factor_reuse_hits: 7,
+            factor_reuse_misses: 8,
             ..SolverSnapshot::default()
         };
-        assert_eq!(snap.as_array(), [1, 2, 3, 4, 5, 6]);
+        assert_eq!(snap.as_array(), [1, 2, 3, 4, 5, 6, 7, 8]);
         let rec = AggregatingRecorder::new();
         snap.emit_to(&rec);
         let agg = rec.snapshot();

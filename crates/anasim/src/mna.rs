@@ -1,12 +1,18 @@
 //! Modified nodal analysis: unknown layout, device stamps and the shared
 //! Newton–Raphson solver used by DC and transient analyses.
 
-use crate::dense::{Lu, Matrix};
+use std::sync::Arc;
+
+use crate::dense::Matrix;
 use crate::devices::{Device, MosPolarity};
 use crate::flight::SolveHooks;
 use crate::netlist::{DeviceId, Netlist, NodeId};
 use crate::robust::BudgetClock;
+use crate::solver::{
+    FactorKey, MnaMatrix, PositionProbe, Rank1Action, Rank1Setup, SolverContext, SystemMatrix,
+};
 use crate::AnalysisError;
+use linsys::sparse::{SparseMatrix, SparseStructure};
 use obs::profile::{LapTimer, Phase};
 
 /// Mapping from circuit topology to MNA unknown indices.
@@ -137,12 +143,12 @@ pub struct StampParams<'a> {
 }
 
 /// Stamps the full linearised MNA system `A·x_new = b` around the guess `x`.
-pub fn stamp_system(
+pub fn stamp_system<M: MnaMatrix>(
     netlist: &Netlist,
     layout: &MnaLayout,
     x: &[f64],
     params: &StampParams<'_>,
-    a: &mut Matrix,
+    a: &mut M,
     b: &mut [f64],
 ) {
     stamp_system_profiled(netlist, layout, x, params, a, b, None);
@@ -158,21 +164,40 @@ pub fn stamp_system(
 /// pass split is unconditional (armed and disarmed runs assemble in
 /// the same order), so arming the profiler never changes a bit of the
 /// stamped system.
-pub fn stamp_system_profiled(
+pub fn stamp_system_profiled<M: MnaMatrix>(
     netlist: &Netlist,
     layout: &MnaLayout,
     x: &[f64],
     params: &StampParams<'_>,
-    a: &mut Matrix,
+    a: &mut M,
     b: &mut [f64],
     mut lap: Option<&mut LapTimer>,
 ) {
     a.clear();
     b.iter_mut().for_each(|v| *v = 0.0);
+    stamp_linear(netlist, layout, params, a, b);
+    if let Some(lap) = lap.as_deref_mut() {
+        lap.lap(Phase::Stamp);
+    }
+    if !netlist.has_nonlinear_devices() {
+        return;
+    }
+    stamp_nonlinear(netlist, layout, x, a, b);
+    if let Some(lap) = lap {
+        lap.lap(Phase::DeviceEval);
+    }
+}
 
-    // Helper closures for ground-aware stamping.
-    let v_at = |node: NodeId| layout.voltage(x, node);
-
+/// Pass 1: every linear device plus gmin. Independent of the Newton
+/// iterate `x`, so one assembly per solve can serve every iteration
+/// through a values snapshot.
+pub fn stamp_linear<M: MnaMatrix>(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    params: &StampParams<'_>,
+    a: &mut M,
+    b: &mut [f64],
+) {
     for (dev_id, _, dev) in netlist.devices() {
         match dev {
             Device::Resistor { a: na, b: nb, ohms } => {
@@ -293,14 +318,19 @@ pub fn stamp_system_profiled(
             a.add(n, n, params.gmin);
         }
     }
+}
 
-    if let Some(lap) = lap.as_deref_mut() {
-        lap.lap(Phase::Stamp);
-    }
-
-    if !netlist.has_nonlinear_devices() {
-        return;
-    }
+/// Pass 2: nonlinear device models (MOSFET / diode / switch) linearised
+/// around the present guess `x`, stamped on top of the linear baseline.
+pub fn stamp_nonlinear<M: MnaMatrix>(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    x: &[f64],
+    a: &mut M,
+    b: &mut [f64],
+) {
+    // Helper closure for ground-aware stamping.
+    let v_at = |node: NodeId| layout.voltage(x, node);
     for (_, _, dev) in netlist.devices() {
         match dev {
             Device::Mosfet {
@@ -336,15 +366,11 @@ pub fn stamp_system_profiled(
             _ => {}
         }
     }
-
-    if let Some(lap) = lap {
-        lap.lap(Phase::DeviceEval);
-    }
 }
 
 /// Stamps a two-terminal conductance.
 #[inline]
-fn stamp_conductance(layout: &MnaLayout, a: &mut Matrix, na: NodeId, nb: NodeId, g: f64) {
+fn stamp_conductance<M: MnaMatrix>(layout: &MnaLayout, a: &mut M, na: NodeId, nb: NodeId, g: f64) {
     let ia = layout.node_index(na);
     let ib = layout.node_index(nb);
     if let Some(i) = ia {
@@ -375,7 +401,7 @@ fn stamp_current_injection(layout: &MnaLayout, b: &mut [f64], pos: NodeId, neg: 
 /// Stamps the KCL ±1 entries and the branch-row voltage terms for a
 /// voltage-defined branch `j` between `pos` and `neg`.
 #[inline]
-fn stamp_branch_kcl(layout: &MnaLayout, a: &mut Matrix, pos: NodeId, neg: NodeId, j: usize) {
+fn stamp_branch_kcl<M: MnaMatrix>(layout: &MnaLayout, a: &mut M, pos: NodeId, neg: NodeId, j: usize) {
     if let Some(ip) = layout.node_index(pos) {
         a.add(ip, j, 1.0);
         a.add(j, ip, 1.0);
@@ -388,9 +414,9 @@ fn stamp_branch_kcl(layout: &MnaLayout, a: &mut Matrix, pos: NodeId, neg: NodeId
 
 /// Stamps a transconductance `gm·(v(cpos) − v(cneg))` flowing `pos → neg`.
 #[inline]
-fn stamp_transconductance(
+fn stamp_transconductance<M: MnaMatrix>(
     layout: &MnaLayout,
-    a: &mut Matrix,
+    a: &mut M,
     pos: NodeId,
     neg: NodeId,
     cpos: NodeId,
@@ -412,9 +438,9 @@ fn stamp_transconductance(
 
 /// Stamps a level-1 MOSFET linearised around the present guess.
 #[allow(clippy::too_many_arguments)]
-fn stamp_mosfet(
+fn stamp_mosfet<M: MnaMatrix>(
     layout: &MnaLayout,
-    a: &mut Matrix,
+    a: &mut M,
     b: &mut [f64],
     v_at: impl Fn(NodeId) -> f64,
     drain: NodeId,
@@ -433,43 +459,30 @@ fn stamp_mosfet(
     // For each polarity we compute the current `i` leaving node `hi`
     // through the channel into `lo`, plus its partial derivatives w.r.t.
     // (v_hi, v_g, v_lo).
-    let (hi, lo, i0, d_hi, d_g, d_lo) = match polarity {
+    let (hi, lo, vhi, vlo, i0, d_hi, d_g, d_lo) = match polarity {
         MosPolarity::Nmos => {
-            let (hi, lo) = if vd >= vs { (drain, source) } else { (source, drain) };
-            let vhi = v_at(hi);
-            let vlo = v_at(lo);
+            let (hi, lo, vhi, vlo) = if vd >= vs {
+                (drain, source, vd, vs)
+            } else {
+                (source, drain, vs, vd)
+            };
             let op = mp.evaluate(vg - vlo, vhi - vlo);
             // i(v_hi, v_g, v_lo) = Ids(vgs = vg - vlo, vds = vhi - vlo)
-            (
-                hi,
-                lo,
-                op.ids,
-                op.gds,
-                op.gm,
-                -(op.gm + op.gds),
-            )
+            (hi, lo, vhi, vlo, op.ids, op.gds, op.gm, -(op.gm + op.gds))
         }
         MosPolarity::Pmos => {
             // PMOS conducts source -> drain when Vsg > Vt; the "hi" node is
             // the more positive of source/drain and acts as the source.
-            let (hi, lo) = if vs >= vd { (source, drain) } else { (drain, source) };
-            let vhi = v_at(hi);
-            let vlo = v_at(lo);
+            let (hi, lo, vhi, vlo) = if vs >= vd {
+                (source, drain, vs, vd)
+            } else {
+                (drain, source, vd, vs)
+            };
             let op = mp.evaluate(vhi - vg, vhi - vlo);
             // i(v_hi, v_g, v_lo) = Ids(vgs = vhi - vg, vds = vhi - vlo)
-            (
-                hi,
-                lo,
-                op.ids,
-                op.gm + op.gds,
-                -op.gm,
-                -op.gds,
-            )
+            (hi, lo, vhi, vlo, op.ids, op.gm + op.gds, -op.gm, -op.gds)
         }
     };
-
-    let vhi = v_at(hi);
-    let vlo = v_at(lo);
     // Linearisation: i ≈ i0 + d_hi·(v_hi−vhi0) + d_g·(v_g−vg0) + d_lo·(v_lo−vlo0)
     let ieq = i0 - d_hi * vhi - d_g * vg - d_lo * vlo;
 
@@ -566,6 +579,38 @@ pub fn newton_solve_budgeted(
     hooks: SolveHooks<'_>,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
+    let mut ctx = SolverContext::default();
+    newton_solve_with_context(
+        netlist, layout, params, options, clock, hooks, &mut ctx, None, x,
+    )
+}
+
+/// [`newton_solve_budgeted`] against a caller-owned [`SolverContext`].
+///
+/// The context carries the sparse symbolic structure, the assembled
+/// system workspace and the cached factorisation *across* solves, which
+/// is where the reuse wins come from: a transient march passes the same
+/// context for every timestep, so a factorisation computed at one
+/// timepoint keeps serving as the modified-Newton preconditioner until
+/// the reuse policy retires it. `rank1` optionally routes linear solves
+/// through a golden factorisation cache (capture on the golden run,
+/// Sherman–Morrison application on fault runs).
+///
+/// # Errors
+///
+/// As [`newton_solve_budgeted`].
+#[allow(clippy::too_many_arguments)]
+pub fn newton_solve_with_context(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    params: &StampParams<'_>,
+    options: &NewtonOptions,
+    clock: Option<&BudgetClock>,
+    hooks: SolveHooks<'_>,
+    ctx: &mut SolverContext,
+    rank1: Option<&Rank1Setup>,
+    x: &mut Vec<f64>,
+) -> Result<(), AnalysisError> {
     // One lap timer per solve: phase boundaries inside the Newton loop
     // are single clock reads into local accumulators, published (and
     // credited to any enclosing phase guard) in one flush. Per-phase
@@ -574,15 +619,194 @@ pub fn newton_solve_budgeted(
     // digits. The flush runs on every exit path so partial attribution
     // survives singular matrices and convergence failures.
     let mut lap = hooks.profile.map(|_| LapTimer::start());
-    let result = newton_iterate(netlist, layout, params, options, clock, &hooks, lap.as_mut(), x);
+    let result = newton_iterate(
+        netlist,
+        layout,
+        params,
+        options,
+        clock,
+        &hooks,
+        ctx,
+        rank1,
+        lap.as_mut(),
+        x,
+    );
     if let (Some(lap), Some(profile)) = (lap, hooks.profile) {
         lap.flush(profile);
     }
     result
 }
 
-/// The damped Newton loop behind [`newton_solve_budgeted`], with phase
-/// boundaries marked on the caller's [`LapTimer`].
+/// Consecutive Newton iterations a cached factorisation may serve
+/// before a refactorisation is forced regardless of contraction. The
+/// contraction guard is what protects solution quality; this cap only
+/// bounds how long a lucky-but-marginal factorisation can linger, so
+/// it can be generous.
+const STALE_ITER_CAP: u32 = 64;
+
+/// Minimum per-iteration contraction a stale factorisation must keep
+/// delivering: a trial stale step with `worst >= STALE_CONTRACTION *
+/// prev_worst` is rejected and the iteration refactorises instead.
+///
+/// The value trades cheap stale iterations (an assembly plus two
+/// back-substitutions) against expensive refactorisations. Sweeping it
+/// on the e6 campaigns: 0.5 demands near-Newton contraction and
+/// refactorises on a quarter of all iterations; 0.9 tolerates slowly
+/// converging stale chains and cuts refactorisations 4× for ~20% more
+/// iterations — a net win because a refactorisation costs ~3× a stale
+/// iteration at macro scale. Beyond 0.9 the curve is flat, so the
+/// guard keeps the tightest setting on the plateau. Solution quality
+/// is unaffected either way: acceptance only decides *which matrix*
+/// solves the next step, and convergence is still declared against the
+/// caller's tolerances.
+const STALE_CONTRACTION: f64 = 0.9;
+
+/// [`STALE_CONTRACTION`] for **DC** solves. Far from an operating
+/// point, Newton steps are clamped by `vstep_limit`, so a stale
+/// Jacobian can shuffle the iterate sideways in barely-contracting
+/// steps that each pass a loose guard yet never reach the solution —
+/// a diode-connected bias from a cold start cycles exactly this way.
+/// Demanding near-Newton contraction makes any DC stale chain earn its
+/// keep or hand over to a fresh factorisation immediately. DC solves
+/// are a rounding error of campaign time (hundreds of calls against
+/// millions of transient steps), so this buys homotopy robustness for
+/// free.
+const STALE_CONTRACTION_DC: f64 = 0.5;
+
+/// Tolerance tightening applied when declaring convergence on a stale
+/// step of a **DC** solve. The residual-form step
+/// `x − M⁻¹(A(x)·x − b(x))` has the true solution as its fixed point
+/// and the contraction guard bounds the rate at [`STALE_CONTRACTION`],
+/// so stopping at `tol` leaves at most `tol·ρ/(1−ρ) ≤ tol` of error —
+/// fine inside a transient step, whose local truncation error already
+/// dwarfs the solver tolerance. DC sweeps are different: each point is
+/// reported directly and adjacent points share cached factors, so
+/// point-to-point solver error of `O(tol)` shows up as visible wiggle
+/// on an otherwise monotone curve (the inverter-VTC quality test
+/// catches exactly this). Tightening only the DC stale stop keeps
+/// sweep quality at fresh-Newton levels without touching the transient
+/// hot path.
+const STALE_TOL_SCALE_DC: f64 = 1e-4;
+
+/// Length, in solves, of the distrust window opened when a stale trial
+/// step fails its contraction guard. During fast transients (source
+/// edges, switch flips) consecutive solves keep landing in new
+/// operating regions where the cached Jacobian loses every trial;
+/// refactorising immediately on the first iteration of the next few
+/// solves saves the doomed trial's assembly, two back-substitutions
+/// and a wasted Newton iteration per solve. The window is short so
+/// reuse resumes a few steps after the circuit settles.
+const DISTRUST_SOLVES: u8 = 4;
+
+/// Cache key for the current stamp parameters. Time and `source_scale`
+/// only shape the right-hand side, so they stay out of the key.
+fn factor_key(params: &StampParams<'_>) -> FactorKey {
+    match &params.companion {
+        CompanionMode::Dc => FactorKey {
+            mode: 0,
+            method: 2,
+            dt_bits: 0,
+            gmin_bits: params.gmin.to_bits(),
+        },
+        CompanionMode::Transient { method, dt, .. } => FactorKey {
+            mode: 1,
+            method: match method {
+                Integrator::BackwardEuler => 0,
+                Integrator::Trapezoidal => 1,
+            },
+            dt_bits: dt.to_bits(),
+            gmin_bits: params.gmin.to_bits(),
+        },
+    }
+}
+
+/// Prepares the context's assembled-system workspace for this solve:
+/// sizes the scratch vectors, and (for the sparse backend) builds the
+/// per-mode symbolic structure with a one-time stamping probe.
+fn ensure_system(
+    ctx: &mut SolverContext,
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    x: &[f64],
+    params: &StampParams<'_>,
+    lap: Option<&mut LapTimer>,
+) {
+    let n = layout.size();
+    let mode = match &params.companion {
+        CompanionMode::Dc => 0,
+        CompanionMode::Transient { .. } => 1,
+    };
+    if ctx.b.len() != n {
+        // Dimension change: this context is being pointed at a new
+        // layout, so nothing cached about the old one survives.
+        ctx.structures = [None, None];
+        ctx.sys = None;
+        ctx.factor = None;
+        ctx.force_refactor = false;
+        ctx.stale_iters = 0;
+        ctx.b.resize(n, 0.0);
+        ctx.x_new.resize(n, 0.0);
+        ctx.resid.resize(n, 0.0);
+        ctx.scratch.resize(n, 0.0);
+    }
+    if matches!(&ctx.sys, Some((m, sys)) if *m == mode && sys.n() == n) {
+        return;
+    }
+    let sys = match ctx.backend {
+        crate::solver::Backend::Dense => SystemMatrix::Dense(Matrix::zeros(n, n)),
+        // Even at macro scale (tens of unknowns) the sparse kernel wins
+        // on the campaign hot path: factor-from-scratch favours dense
+        // below ~64 unknowns, but the reuse tiers make back-substitution
+        // (O(nnz), not O(n²)) and baseline restore (nnz values, not n²)
+        // the dominant per-iteration costs, and those stay sparse-cheap
+        // at every size.
+        crate::solver::Backend::Sparse => {
+            if ctx.structures[mode].is_none() {
+                let mut probe = PositionProbe::new();
+                let mut scratch_b = vec![0.0; n];
+                stamp_linear(netlist, layout, params, &mut probe, &mut scratch_b);
+                if netlist.has_nonlinear_devices() {
+                    stamp_nonlinear(netlist, layout, x, &mut probe, &mut scratch_b);
+                }
+                // The nonlinear position set is iterate-independent
+                // (MOSFET hi/lo frame swaps reorder adds inside a fixed
+                // symmetric position set), and covering the diagonal
+                // keeps gmin sweeps on the same structure.
+                probe.cover_diagonal(n);
+                ctx.structures[mode] = Some(SparseStructure::from_positions(n, probe.positions()));
+                if let Some(lap) = lap {
+                    lap.lap(Phase::Symbolic);
+                }
+            }
+            let structure = ctx.structures[mode].as_ref().expect("structure just built");
+            SystemMatrix::Sparse(SparseMatrix::zeros(Arc::clone(structure)))
+        }
+    };
+    ctx.sys = Some((mode, sys));
+}
+
+/// The damped Newton loop behind [`newton_solve_with_context`], with
+/// phase boundaries marked on the caller's [`LapTimer`].
+///
+/// Per iteration the loop restores the linear-baseline stamp snapshot
+/// (first iteration of a solve assembles and captures it), stamps the
+/// nonlinear devices on top, then picks a linear-solve tier:
+///
+/// 1. **Sherman–Morrison** (linear netlists with a rank-1 fault delta
+///    and a golden factorisation cached under this key) — two
+///    back-substitutions against the *golden* factors, no
+///    factorisation of the faulty matrix at all.
+/// 2. **Cached factorisation** (key matches, not forced): linear
+///    netlists solve directly; nonlinear ones take a modified-Newton
+///    step in residual form `x_new = x − M⁻¹(A(x)·x − b(x))` against
+///    the stale factors.
+/// 3. **(Re)factorisation** otherwise, attributed to
+///    [`Phase::Factor`] on a fresh key and [`Phase::Refactor`] when the
+///    reuse policy retired a same-key factorisation.
+///
+/// The stale policy is deterministic and depends only on quantities
+/// that are bit-identical across backends (`worst` update magnitudes),
+/// so dense and sparse runs take identical iteration trajectories.
 #[allow(clippy::too_many_arguments)]
 fn newton_iterate(
     netlist: &Netlist,
@@ -591,13 +815,16 @@ fn newton_iterate(
     options: &NewtonOptions,
     clock: Option<&BudgetClock>,
     hooks: &SolveHooks<'_>,
+    ctx: &mut SolverContext,
+    rank1: Option<&Rank1Setup>,
     mut lap: Option<&mut LapTimer>,
     x: &mut Vec<f64>,
 ) -> Result<(), AnalysisError> {
     let n = layout.size();
     let nv = layout.node_count() - 1;
-    let mut a = Matrix::zeros(n, n);
-    let mut b = vec![0.0; n];
+    let key = factor_key(params);
+
+    ensure_system(ctx, netlist, layout, x, params, lap.as_deref_mut());
 
     // Flight records need the attempted step size; DC solves carry 0.
     let dt = match &params.companion {
@@ -608,7 +835,26 @@ fn newton_iterate(
     // Linear circuits need exactly one solve.
     let linear = !netlist.has_nonlinear_devices();
 
+    // Stale steps of a DC solve stop against a tightened tolerance (see
+    // STALE_TOL_SCALE_DC); transient steps use the plain tolerance.
+    let stale_tol_scale = match &params.companion {
+        CompanionMode::Dc => STALE_TOL_SCALE_DC,
+        CompanionMode::Transient { .. } => 1.0,
+    };
+    let stale_contraction = match &params.companion {
+        CompanionMode::Dc => STALE_CONTRACTION_DC,
+        CompanionMode::Transient { .. } => STALE_CONTRACTION,
+    };
+
+    // One solve has begun: age the distrust window. While it is open,
+    // the first iteration refactorises instead of trialling the cached
+    // factors (the gate below), because a just-failed contraction guard
+    // says the circuit is moving too fast for the stale Jacobian.
+    ctx.distrust = ctx.distrust.saturating_sub(1);
+
     let mut worst = f64::INFINITY;
+    let mut prev_worst = f64::INFINITY;
+    let mut baseline_ready = false;
     for iter in 0..options.max_iterations {
         if let Some(clock) = clock {
             clock.check_wall(params.time)?;
@@ -621,27 +867,185 @@ fn newton_iterate(
         if let Some(l) = lap.as_deref_mut() {
             l.skip();
         }
-        stamp_system_profiled(netlist, layout, x, params, &mut a, &mut b, lap.as_deref_mut());
-        let lu = Lu::factor(&a)?;
-        if let Some(l) = lap.as_deref_mut() {
-            l.lap(Phase::Factor);
-        }
-        let x_new = lu.solve(&b);
-        if let Some(l) = lap.as_deref_mut() {
-            l.lap(Phase::BackSubstitute);
+
+        // Assemble: restore the linear baseline (captured on the first
+        // iteration of this solve), then stamp nonlinear devices at x.
+        {
+            let (_, sys) = ctx.sys.as_mut().expect("system prepared");
+            if baseline_ready {
+                sys.load_values(&ctx.baseline_a);
+                ctx.b.copy_from_slice(&ctx.baseline_b);
+            } else {
+                sys.clear();
+                ctx.b.iter_mut().for_each(|v| *v = 0.0);
+                stamp_linear(netlist, layout, params, sys, &mut ctx.b);
+                ctx.baseline_a.clear();
+                ctx.baseline_a.extend_from_slice(sys.values());
+                ctx.baseline_b.clear();
+                ctx.baseline_b.extend_from_slice(&ctx.b);
+                baseline_ready = true;
+            }
+            if let Some(l) = lap.as_deref_mut() {
+                l.lap(Phase::Stamp);
+            }
+            if !linear {
+                stamp_nonlinear(netlist, layout, x, sys, &mut ctx.b);
+                if let Some(l) = lap.as_deref_mut() {
+                    l.lap(Phase::DeviceEval);
+                }
+            }
         }
 
+        // Tier 1: Sherman–Morrison against the golden factorisation.
         if linear {
-            *x = x_new;
+            if let Some(setup) = rank1 {
+                if let Rank1Action::Apply(delta) = &setup.action {
+                    if let Some(golden) = setup.cache.get(&key) {
+                        // x = y − z·(g·wᵀy)/(1 + g·wᵀz) with
+                        // y = M⁻¹b, z = M⁻¹w and A = M + g·w·wᵀ.
+                        golden.solve_into(&ctx.b, &mut ctx.x_new);
+                        delta.w_into(&mut ctx.resid);
+                        golden.solve_into(&ctx.resid, &mut ctx.scratch);
+                        let g = delta.conductance;
+                        let denom = 1.0 + g * delta.w_dot(&ctx.scratch);
+                        if denom.abs() > 1e-300 {
+                            let coef = g * delta.w_dot(&ctx.x_new) / denom;
+                            for k in 0..n {
+                                ctx.x_new[k] -= coef * ctx.scratch[k];
+                            }
+                            if let Some(l) = lap.as_deref_mut() {
+                                l.lap(Phase::Rank1Update);
+                            }
+                            if let Some(metrics) = hooks.metrics {
+                                metrics.factor_reuse_hit();
+                            }
+                            x.clear();
+                            x.extend_from_slice(&ctx.x_new);
+                            return Ok(());
+                        }
+                        // Degenerate update (1 + g·wᵀz ≈ 0): fall back
+                        // to factoring the faulty matrix directly.
+                    }
+                }
+            }
+        }
+
+        let cached = !ctx.force_refactor && matches!(&ctx.factor, Some((k, _)) if *k == key);
+        let mut stale_accepted = false;
+        let mut stale_rejected = false;
+        if cached && linear {
+            if let Some(metrics) = hooks.metrics {
+                metrics.factor_reuse_hit();
+            }
+            // The matrix is exactly the one the factorisation was
+            // computed from (linear stamps depend only on the key), so
+            // the cached solve is exact.
+            let (_, factor) = ctx.factor.as_ref().expect("cached factor present");
+            factor.solve_into(&ctx.b, &mut ctx.x_new);
+            if let Some(l) = lap.as_deref_mut() {
+                l.lap(Phase::BackSubstitute);
+            }
+            x.clear();
+            x.extend_from_slice(&ctx.x_new);
             return Ok(());
+        }
+        if cached && ctx.stale_iters < STALE_ITER_CAP && (iter > 0 || ctx.distrust == 0) {
+            // Tier 2: trial modified-Newton step in residual form
+            // against the stale factors: x_new = x − M⁻¹(A(x)·x − b(x)).
+            // The step is only *accepted* if it keeps contracting the
+            // update; otherwise this iteration refactorises below, so a
+            // stale Jacobian can never push the iterate off course.
+            // Inside a distrust window the first iteration skips the
+            // trial outright — after a recent rejection the odds of the
+            // cached Jacobian carrying a brand-new solve are poor, and a
+            // doomed trial costs an assembly and two back-substitutions.
+            let (_, factor) = ctx.factor.as_ref().expect("cached factor present");
+            let (_, sys) = ctx.sys.as_ref().expect("system prepared");
+            sys.residual_into(x, &ctx.b, &mut ctx.resid);
+            factor.solve_into(&ctx.resid, &mut ctx.scratch);
+            for (slot, (xk, step)) in ctx.x_new.iter_mut().zip(x.iter().zip(&ctx.scratch)) {
+                *slot = xk - step;
+            }
+            if let Some(l) = lap.as_deref_mut() {
+                l.lap(Phase::BackSubstitute);
+            }
+            let mut candidate_worst: f64 = 0.0;
+            for (xn, xk) in ctx.x_new.iter().zip(x.iter()) {
+                let d = (xn - xk).abs();
+                if !d.is_finite() {
+                    candidate_worst = f64::INFINITY;
+                    break;
+                }
+                if d > candidate_worst {
+                    candidate_worst = d;
+                }
+            }
+            if candidate_worst < stale_contraction * prev_worst {
+                if let Some(metrics) = hooks.metrics {
+                    metrics.factor_reuse_hit();
+                }
+                ctx.stale_iters += 1;
+                stale_accepted = true;
+            } else {
+                stale_rejected = true;
+            }
+        }
+        if !stale_accepted {
+            // Tier 3: (re)factorise at the current iterate.
+            if stale_rejected {
+                // The contraction guard just retired these factors: open
+                // a distrust window so the next few solves go straight
+                // to a fresh Jacobian instead of repeating the trial.
+                ctx.distrust = DISTRUST_SOLVES;
+            }
+            if let Some(metrics) = hooks.metrics {
+                metrics.factor_reuse_miss();
+            }
+            let same_key = matches!(&ctx.factor, Some((k, _)) if *k == key);
+            let reuse = ctx.factor.take().map(|(_, f)| f);
+            let (_, sys) = ctx.sys.as_ref().expect("system prepared");
+            let factor = match sys.factor(&mut ctx.ws, reuse) {
+                Ok(f) => f,
+                Err(err) => {
+                    ctx.force_refactor = false;
+                    ctx.stale_iters = 0;
+                    return Err(err.into());
+                }
+            };
+            if let Some(l) = lap.as_deref_mut() {
+                l.lap(if same_key {
+                    Phase::Refactor
+                } else {
+                    Phase::Factor
+                });
+            }
+            factor.solve_into(&ctx.b, &mut ctx.x_new);
+            if let Some(l) = lap.as_deref_mut() {
+                l.lap(Phase::BackSubstitute);
+            }
+            if linear {
+                if let Some(setup) = rank1 {
+                    if matches!(setup.action, Rank1Action::Capture) {
+                        setup.cache.insert(key, &factor);
+                    }
+                }
+            }
+            ctx.factor = Some((key, factor));
+            ctx.force_refactor = false;
+            ctx.stale_iters = 0;
+            if linear {
+                x.clear();
+                x.extend_from_slice(&ctx.x_new);
+                return Ok(());
+            }
         }
 
         // Damped update with convergence check.
         worst = 0.0;
         let mut worst_index = 0;
         let mut converged = true;
-        for k in 0..n {
-            let mut delta = x_new[k] - x[k];
+        for (k, (xk, xn)) in x.iter_mut().zip(ctx.x_new.iter()).enumerate() {
+            let mut delta = xn - *xk;
             if !delta.is_finite() {
                 if let Some(flight) = hooks.flight {
                     flight.record_iteration(
@@ -652,6 +1056,7 @@ fn newton_iterate(
                         k,
                     );
                 }
+                ctx.invalidate();
                 return Err(AnalysisError::NoConvergence {
                     time: params.time,
                     residual: f64::INFINITY,
@@ -663,7 +1068,8 @@ fn newton_iterate(
             } else {
                 (options.iabstol, f64::INFINITY)
             };
-            if delta.abs() > abstol + options.reltol * x_new[k].abs() {
+            let tol_scale = if stale_accepted { stale_tol_scale } else { 1.0 };
+            if delta.abs() > tol_scale * (abstol + options.reltol * xn.abs()) {
                 converged = false;
             }
             if delta.abs() > worst {
@@ -673,7 +1079,7 @@ fn newton_iterate(
             if delta.abs() > limit {
                 delta = limit.copysign(delta);
             }
-            x[k] += delta;
+            *xk += delta;
         }
         if let Some(l) = lap.as_deref_mut() {
             l.lap(Phase::Residual);
@@ -684,7 +1090,9 @@ fn newton_iterate(
         if converged {
             return Ok(());
         }
+        prev_worst = worst;
     }
+    ctx.invalidate();
     Err(AnalysisError::NoConvergence {
         time: params.time,
         residual: worst,

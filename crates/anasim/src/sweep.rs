@@ -277,3 +277,4 @@ mod tests {
         ));
     }
 }
+

@@ -1,15 +1,16 @@
 //! Transient (time-domain) analysis.
 
-use crate::dc::{dc_operating_point_hooked, dc_operating_point_metered, DcOptions};
+use crate::dc::{dc_operating_point_metered, dc_operating_point_solver, DcOptions};
 use crate::devices::Device;
 use crate::flight::{FlightRecorder, SolveHooks, SolvePhase};
 use crate::metrics::SolverMetrics;
 use crate::mna::{
-    newton_solve_budgeted, CompanionMode, Integrator, MnaLayout, NewtonOptions, ReactiveHistory,
-    StampParams,
+    newton_solve_with_context, CompanionMode, Integrator, MnaLayout, NewtonOptions,
+    ReactiveHistory, StampParams,
 };
 use crate::netlist::{DeviceId, Netlist, NodeId};
 use crate::robust::{BudgetClock, CancelToken, SolveBudget, SolveSettings, DEFAULT_MAX_STEPS};
+use crate::solver::{Backend, Rank1Setup, SolverContext, WarmStart};
 use crate::waveform::Waveform;
 use crate::AnalysisError;
 
@@ -72,6 +73,9 @@ pub struct TransientAnalysis {
     flight: Option<Arc<FlightRecorder>>,
     cancel: Option<CancelToken>,
     profile: Option<Arc<obs::profile::PhaseProfiler>>,
+    backend: Backend,
+    warm_start: Option<Arc<WarmStart>>,
+    rank1: Option<Rank1Setup>,
 }
 
 impl TransientAnalysis {
@@ -97,7 +101,31 @@ impl TransientAnalysis {
             flight: None,
             cancel: None,
             profile: None,
+            backend: Backend::default(),
+            warm_start: None,
+            rank1: None,
         }
+    }
+
+    /// Selects the linear-solver backend (default: sparse).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Seeds the DC starting point from a previously solved golden
+    /// operating point instead of the zero vector.
+    pub fn warm_start(mut self, warm: Arc<WarmStart>) -> Self {
+        self.warm_start = Some(warm);
+        self
+    }
+
+    /// Attaches a rank-1 factorization-reuse setup: either capturing
+    /// linear factors into a shared cache (golden run) or applying a
+    /// Sherman–Morrison update against it (faulty run).
+    pub fn rank1(mut self, rank1: Rank1Setup) -> Self {
+        self.rank1 = Some(rank1);
+        self
     }
 
     /// Selects the integration rule (default: trapezoidal).
@@ -200,6 +228,13 @@ impl TransientAnalysis {
         if let Some(profile) = &settings.profile {
             self.profile = Some(Arc::clone(profile));
         }
+        self.backend = settings.backend;
+        if let Some(warm) = &settings.warm_start {
+            self.warm_start = Some(Arc::clone(warm));
+        }
+        if let Some(rank1) = &settings.rank1 {
+            self.rank1 = Some(rank1.clone());
+        }
         self
     }
 
@@ -240,10 +275,15 @@ impl TransientAnalysis {
             flight.install_names(netlist, &layout);
         }
 
+        // One solver context serves the DC start and the whole march:
+        // the sparse symbolic analysis, baseline stamps and LU factors
+        // it accumulates are reused across every timestep.
+        let mut ctx = SolverContext::new(self.backend);
+
         // --- Initial condition ------------------------------------------
         let mut x = match self.start {
             StartCondition::OperatingPoint => {
-                let op = dc_operating_point_hooked(
+                let op = dc_operating_point_solver(
                     netlist,
                     &DcOptions {
                         newton: self.newton,
@@ -251,6 +291,9 @@ impl TransientAnalysis {
                         time: 0.0,
                     },
                     hooks,
+                    self.warm_start.as_deref(),
+                    self.rank1.as_ref(),
+                    &mut ctx,
                 )?;
                 op.into_solution()
             }
@@ -291,6 +334,9 @@ impl TransientAnalysis {
         // breakpoint: backward Euler damps the discontinuity that would
         // make trapezoidal ring.
         let mut post_discontinuity = true;
+        // Previous accepted solution and step, for the linear
+        // extrapolation predictor.
+        let mut prev: Option<(Vec<f64>, f64)> = None;
         let mut clock = BudgetClock::new(self.budget).with_cancel(self.cancel.clone());
 
         while t < self.t_stop - 1e-15 * self.t_stop {
@@ -323,6 +369,19 @@ impl TransientAnalysis {
                     self.integrator
                 };
                 let mut x_try = x.clone();
+                // Linear extrapolation predictor: seed Newton from the
+                // trajectory's tangent rather than the previous point.
+                // Skipped across discontinuities, where extrapolating
+                // through the corner would mislead; recomputed from the
+                // accepted state on every dt-halving retry.
+                if !post_discontinuity {
+                    if let Some((x_prev, dt_prev)) = &prev {
+                        let ratio = dt_try / dt_prev;
+                        for (k, guess) in x_try.iter_mut().enumerate() {
+                            *guess = x[k] + (x[k] - x_prev[k]) * ratio;
+                        }
+                    }
+                }
                 let params = StampParams {
                     time: t + dt_try,
                     companion: CompanionMode::Transient {
@@ -333,13 +392,15 @@ impl TransientAnalysis {
                     gmin: self.gmin,
                     source_scale: 1.0,
                 };
-                match newton_solve_budgeted(
+                match newton_solve_with_context(
                     netlist,
                     &layout,
                     &params,
                     &self.newton,
                     Some(&clock),
                     hooks,
+                    &mut ctx,
+                    self.rank1.as_ref(),
                     &mut x_try,
                 ) {
                     Ok(()) => break (x_try, method, dt_try),
@@ -362,6 +423,7 @@ impl TransientAnalysis {
                 metrics.step_accepted();
             }
             update_history(netlist, &layout, &x_new, method, dt_used, &mut history);
+            prev = Some((std::mem::take(&mut x), dt_used));
             x = x_new;
             result.time.push(t);
             result.solutions.push(x.clone());
@@ -541,6 +603,9 @@ pub struct TransientSession {
     /// Damp the first step after a source rewrite or session start.
     post_discontinuity: bool,
     metrics: Option<Arc<SolverMetrics>>,
+    /// Persistent solver state: sparse structure, baseline stamps and
+    /// LU factors survive between `advance_to` calls.
+    ctx: SolverContext,
 }
 
 impl TransientSession {
@@ -584,6 +649,7 @@ impl TransientSession {
             gmin,
             post_discontinuity: true,
             metrics: None,
+            ctx: SolverContext::default(),
         })
     }
 
@@ -701,13 +767,15 @@ impl TransientSession {
                     gmin: self.gmin,
                     source_scale: 1.0,
                 };
-                match newton_solve_budgeted(
+                match newton_solve_with_context(
                     &self.netlist,
                     &self.layout,
                     &params,
                     &self.newton,
                     None,
                     SolveHooks::metrics(self.metrics.as_deref()),
+                    &mut self.ctx,
+                    None,
                     &mut x_try,
                 ) {
                     Ok(()) => {
@@ -979,16 +1047,20 @@ mod tests {
     #[test]
     fn dt_halving_rescues_a_tight_newton_budget() {
         use crate::devices::DiodeParams;
-        // A 1 mA step into R ∥ C wants to move the node 2.5 V in one
-        // nominal-dt solve, but the per-iteration voltage clamp walks
-        // at most 0.5 V per Newton iteration, so 5 iterations cannot
-        // converge there. Every dt halving doubles the capacitor's
-        // companion conductance and shrinks the per-step excursion, so
-        // a halved retry fits inside the iteration cap. The isolated
-        // reverse diode only marks the system nonlinear so the damped
-        // Newton walk (and thus the cap) is actually exercised.
+        // A 1 mA step into R ∥ C wants to move the node ~1.7 V in the
+        // nominal-dt solve at the source corner, but the per-iteration
+        // voltage clamp walks at most 0.5 V per Newton iteration, so 4
+        // iterations cannot converge there. (The corner step is the
+        // binding one: the extrapolation predictor seeds later steps
+        // from the trajectory's tangent, but extrapolating the flat
+        // pre-step history says nothing about the corner itself.)
+        // Every dt halving doubles the capacitor's companion
+        // conductance and shrinks the per-step excursion, so a halved
+        // retry fits inside the iteration cap. The isolated reverse
+        // diode only marks the system nonlinear so the damped Newton
+        // walk (and thus the cap) is actually exercised.
         let tight = NewtonOptions {
-            max_iterations: 5,
+            max_iterations: 4,
             vstep_limit: 0.5,
             ..NewtonOptions::default()
         };
@@ -1046,6 +1118,9 @@ mod tests {
             flight: None,
             cancel: None,
             profile: None,
+            backend: crate::solver::Backend::default(),
+            warm_start: None,
+            rank1: None,
         };
         let tuned = base.clone().with_settings(&settings);
         assert!((tuned.dt - 0.5e-6).abs() < 1e-18);

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use anasim::robust::{CancelToken, SolveSettings};
+use anasim::solver::Backend;
 use faultsim::campaign::{CampaignConfig, CampaignReport, DegradePolicy, JournalConfig};
 use faultsim::trace::CampaignTrace;
 use obs::chaos::FaultPlan;
@@ -57,6 +58,9 @@ pub struct CampaignHooks {
     /// Shared Chrome-trace timeline (`--trace-json`): arms campaign
     /// profiling and collects every campaign's worker/fault spans.
     pub trace: Option<Arc<Mutex<CampaignTrace>>>,
+    /// Linear-solver backend (`--backend`). Both backends produce
+    /// bit-identical solutions, so this only changes speed.
+    pub backend: Backend,
 }
 
 impl CampaignHooks {
@@ -111,6 +115,12 @@ impl CampaignHooks {
         self
     }
 
+    /// Selects the linear-solver backend (builder style, `--backend`).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// True when campaigns should arm per-fault phase accounting.
     pub fn profiling(&self) -> bool {
         self.profile.is_some() || self.trace.is_some()
@@ -121,7 +131,7 @@ impl CampaignHooks {
     /// the invocation-wide profiler so that solver time is attributed
     /// too instead of silently widening the unattributed gap.
     pub fn solve_settings(&self) -> SolveSettings {
-        let mut settings = SolveSettings::default();
+        let mut settings = SolveSettings::default().backend(self.backend);
         if let Some(profile) = &self.profile {
             settings = settings.profile(Arc::clone(profile));
         }
@@ -149,7 +159,7 @@ impl CampaignHooks {
         if self.profiling() {
             config = config.profile(true);
         }
-        config
+        config.backend(self.backend)
     }
 
     /// Folds one completed campaign into the cost-attribution side:
@@ -205,6 +215,21 @@ mod tests {
             .with_trace(Arc::clone(&trace));
         assert!(hooks.profiling());
         assert!(hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation").profile);
+    }
+
+    #[test]
+    fn backend_reaches_campaigns_and_standalone_solves() {
+        let hooks = CampaignHooks::none();
+        assert_eq!(
+            hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation").backend,
+            Backend::Sparse
+        );
+        let hooks = hooks.with_backend(Backend::Dense);
+        assert_eq!(
+            hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation").backend,
+            Backend::Dense
+        );
+        assert_eq!(hooks.solve_settings().backend, Backend::Dense);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! experiments [profile] [e1|e2|e3|e4|e5|e6|e6c1|e7|e8|ablation|diverge|all]
-//!             [--workers N] [--metrics-json PATH] [--canonical-metrics]
+//!             [--workers N] [--backend dense|sparse]
+//!             [--metrics-json PATH] [--canonical-metrics]
 //!             [--bench-json PATH] [--trace-json PATH]
 //!             [--journal PATH | --resume PATH]
 //!             [--chaos SPEC] [--degrade abort|continue]
@@ -20,10 +21,13 @@
 //! postmortems frozen by armed flight recorders.
 //! `--canonical-metrics` zeroes the wall-clock milliseconds (keeping
 //! sample counts) so the bytes are identical for any `--workers` value.
-//! `--bench-json` writes a `mixsig.solver-bench/2` sidecar with each
-//! experiment's wall-clock, Newton-iteration totals and solver-phase
-//! cost breakdown (the committed `BENCH_solver.json` snapshot); writing
-//! it arms the phase profiler for the whole run.
+//! `--bench-json` writes a `mixsig.solver-bench/3` sidecar with each
+//! experiment's wall-clock, Newton-iteration totals, factorisation
+//! reuse counters and solver-phase cost breakdown (the committed
+//! `BENCH_solver.json` snapshot); writing it arms the phase profiler
+//! for the whole run. `--backend` selects the linear-solver core
+//! (sparse by default); both backends produce bit-identical solutions,
+//! so canonical metrics do not depend on the choice.
 //!
 //! The `profile` subcommand runs the selected experiments with the
 //! phase profiler armed and prints a cost-attribution table: per-phase
@@ -53,8 +57,9 @@
 //! a journal it validates the record stream instead, given a
 //! `--trace-json` timeline it validates the Chrome-trace structure
 //! (mandatory fields, finite non-negative durations, balanced duration
-//! events), and given a `--bench-json` sidecar it validates either
-//! schema version and lints v2 phase attribution against wall-clock. Degraded runs are
+//! events), and given a `--bench-json` sidecar it validates any
+//! schema version, lints phase attribution against wall-clock and (v3)
+//! factorisation counts against Newton iterations. Degraded runs are
 //! reported in both forms: the report summary carries a
 //! `journal_degraded` count and the journal's terminal `degraded`
 //! record names how many fault outcomes went unjournaled and why.
@@ -73,6 +78,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use anasim::robust::CancelToken;
+use anasim::solver::Backend;
 use anasim::AnalysisError;
 use faultsim::campaign::DegradePolicy;
 use faultsim::trace::CampaignTrace;
@@ -141,6 +147,7 @@ fn main() -> ExitCode {
     let mut chaos: Option<obs::FaultPlan> = None;
     let mut degrade = DegradePolicy::Abort;
     let mut workers = experiments::e6::E6_WORKERS;
+    let mut backend = Backend::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -185,6 +192,10 @@ fn main() -> ExitCode {
                 Some(w) if w >= 1 => workers = w,
                 _ => return usage_error("--workers needs a positive integer"),
             },
+            "--backend" => match it.next().and_then(|b| Backend::parse(b)) {
+                Some(b) => backend = b,
+                None => return usage_error("--backend needs 'dense' or 'sparse'"),
+            },
             tag if !tag.starts_with('-') && which.is_none() => which = Some(tag.to_owned()),
             other => return usage_error(&format!("unknown argument '{other}'")),
         }
@@ -217,6 +228,7 @@ fn main() -> ExitCode {
         Some(plan) => hooks.with_chaos(plan).with_degrade(degrade),
         None => hooks.with_degrade(degrade),
     };
+    let hooks = hooks.with_backend(backend);
 
     // Phase profiling arms for the `profile` subcommand, for a trace,
     // and for the bench sidecar (whose v2 schema carries the phase
@@ -358,6 +370,16 @@ fn run_experiments(
                 .unwrap_or(0),
             linear_only: !section.counters.contains_key("solver.newton_iterations"),
             workers,
+            factor_reuse_hits: section
+                .counters
+                .get("solver.factor_reuse_hits")
+                .copied()
+                .unwrap_or(0),
+            factor_reuse_misses: section
+                .counters
+                .get("solver.factor_reuse_misses")
+                .copied()
+                .unwrap_or(0),
             phases,
         });
         println!("{text}\n");
@@ -480,6 +502,20 @@ fn render_profile_table(snapshot: &PhaseSnapshot, entries: &[BenchEntry]) -> Str
             )
         };
         out.push_str(&line);
+        // Factorisation-reuse economy: how many Newton iterations were
+        // served by an existing factorisation, and how many of those by
+        // a golden Sherman–Morrison rank-1 update.
+        let decisions = e.factor_reuse_hits + e.factor_reuse_misses;
+        if decisions > 0 {
+            out.push_str(&format!(
+                "{}: factor reuse {}/{} ({:.1} %), {} rank-1 update(s)\n",
+                e.name,
+                e.factor_reuse_hits,
+                decisions,
+                100.0 * e.factor_reuse_hits as f64 / decisions as f64,
+                e.phases.calls(Phase::Rank1Update),
+            ));
+        }
     }
     out
 }
@@ -487,7 +523,8 @@ fn render_profile_table(snapshot: &PhaseSnapshot, entries: &[BenchEntry]) -> Str
 fn usage_error(message: &str) -> ExitCode {
     eprintln!(
         "{message}\nusage: experiments [profile] [e1..e8|e6c1|ablation|diverge|all] \
-         [--workers N] [--metrics-json PATH] [--canonical-metrics] [--bench-json PATH]\n\
+         [--workers N] [--backend dense|sparse] [--metrics-json PATH] \
+         [--canonical-metrics] [--bench-json PATH]\n\
          \x20      [--trace-json PATH] [--journal PATH | --resume PATH] [--chaos SPEC] \
          [--degrade abort|continue]\n\
          \x20      experiments check-report PATH\n\

@@ -17,19 +17,36 @@
 //!   full phase taxonomy regardless of which phases ran, so documents
 //!   diff structurally.
 //!
-//! [`validate`] accepts both schema versions and, for `/2`, lints the
-//! physically impossible: an experiment whose attributed phase
-//! nanoseconds sum to more than `workers` threads could have produced
-//! in its wall-clock. (The committed snapshot is regenerated with
-//! `--workers 1`, where the ceiling is the wall itself.)
+//! Schema `mixsig.solver-bench/3` extends `/2` with the
+//! factorisation-reuse economy of the sparse solver core:
+//!
+//! * `factor_reuse_hits` / `factor_reuse_misses` — how often a Newton
+//!   iteration was served by an existing factorisation (cached, stale
+//!   modified-Newton, or golden Sherman–Morrison) versus how often one
+//!   had to be computed;
+//! * the `phases` key set grows to the full 10-phase taxonomy
+//!   (`symbolic`, `refactor`, `rank1_update` join the legacy seven).
+//!
+//! [`validate`] accepts all three schema versions. For `/2` it checks
+//! the legacy seven-phase key set; for `/3` the full taxonomy plus the
+//! reuse members, and lints the solver-economy invariant directly: an
+//! experiment that entered the Newton loop must not have factorised
+//! more often than it iterated (`lu_factor.calls ≤
+//! newton_iterations`) — if it did, factorisation reuse is not working.
+//! Both versions get the physically-impossible-attribution lint: phase
+//! nanoseconds must fit in `workers` threads of wall-clock.
 
 use obs::json::JsonValue;
 use obs::profile::{Phase, PhaseSnapshot};
 
 /// Schema tag written into every new solver-bench document.
-pub const SCHEMA: &str = "mixsig.solver-bench/2";
+pub const SCHEMA: &str = "mixsig.solver-bench/3";
 
-/// The previous schema, still accepted by [`validate`].
+/// The previous schema (seven-phase taxonomy, no reuse counters),
+/// still accepted by [`validate`].
+pub const SCHEMA_V2: &str = "mixsig.solver-bench/2";
+
+/// The original schema, still accepted by [`validate`].
 pub const SCHEMA_V1: &str = "mixsig.solver-bench/1";
 
 /// One experiment's cost line.
@@ -48,6 +65,12 @@ pub struct BenchEntry {
     /// Campaign worker threads the run used; bounds how far the phase
     /// totals can legitimately exceed the wall-clock.
     pub workers: usize,
+    /// Newton iterations served by an existing factorisation (cached
+    /// direct solve, accepted stale modified-Newton step, or golden
+    /// Sherman–Morrison update).
+    pub factor_reuse_hits: u64,
+    /// Newton iterations that had to (re)factorise.
+    pub factor_reuse_misses: u64,
     /// Solver-phase self-times attributed to this experiment.
     pub phases: PhaseSnapshot,
 }
@@ -88,6 +111,14 @@ pub fn render(entries: &[BenchEntry]) -> String {
                 ),
                 ("linear_only".to_owned(), JsonValue::Bool(e.linear_only)),
                 ("workers".to_owned(), JsonValue::Num(e.workers as f64)),
+                (
+                    "factor_reuse_hits".to_owned(),
+                    JsonValue::Num(e.factor_reuse_hits as f64),
+                ),
+                (
+                    "factor_reuse_misses".to_owned(),
+                    JsonValue::Num(e.factor_reuse_misses as f64),
+                ),
                 ("phases".to_owned(), JsonValue::Obj(phases)),
             ])
         })
@@ -96,21 +127,27 @@ pub fn render(entries: &[BenchEntry]) -> String {
     JsonValue::Obj(obj).to_json_pretty()
 }
 
-/// Validates a previously written solver-bench document (either schema
-/// version): schema tag, non-empty experiment list, finite wall-clock
-/// values; for `/2`, well-formed `linear_only` and `phases` members and
-/// the impossible-attribution lint (summed phase time must not exceed
-/// the experiment's wall-clock).
+/// Validates a previously written solver-bench document (any accepted
+/// schema version): schema tag, non-empty experiment list, finite
+/// wall-clock values; for `/2`+ well-formed `linear_only` and `phases`
+/// members and the impossible-attribution lint; for `/3` the reuse
+/// counters and the factorisation-economy lint (`lu_factor.calls ≤
+/// newton_iterations` whenever the experiment entered the Newton loop).
 ///
 /// # Errors
 ///
 /// Returns a message naming the first structural problem found.
 pub fn validate(text: &str) -> Result<usize, String> {
     let parsed = obs::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
-    let v2 = match parsed.get("schema").and_then(JsonValue::as_str) {
-        Some(s) if s == SCHEMA => true,
-        Some(s) if s == SCHEMA_V1 => false,
-        _ => return Err(format!("schema is neither {SCHEMA_V1} nor {SCHEMA}")),
+    let version = match parsed.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == SCHEMA => 3,
+        Some(s) if s == SCHEMA_V2 => 2,
+        Some(s) if s == SCHEMA_V1 => 1,
+        _ => {
+            return Err(format!(
+                "schema is none of {SCHEMA_V1}, {SCHEMA_V2}, {SCHEMA}"
+            ))
+        }
     };
     let entries = parsed
         .get("experiments")
@@ -127,10 +164,11 @@ pub fn validate(text: &str) -> Result<usize, String> {
             Some(w) if w.is_finite() && w >= 0.0 => w,
             _ => return Err(format!("experiments[{i}].wall_ms missing or invalid")),
         };
-        if e.get("newton_iterations").and_then(JsonValue::as_f64).is_none() {
-            return Err(format!("experiments[{i}].newton_iterations missing"));
-        }
-        if !v2 {
+        let newton = match e.get("newton_iterations").and_then(JsonValue::as_f64) {
+            Some(n) if n.is_finite() && n >= 0.0 => n,
+            _ => return Err(format!("experiments[{i}].newton_iterations missing")),
+        };
+        if version < 2 {
             continue;
         }
         if e.get("linear_only").and_then(JsonValue::as_bool).is_none() {
@@ -140,11 +178,27 @@ pub fn validate(text: &str) -> Result<usize, String> {
             Some(w) if w.is_finite() && w >= 1.0 => w,
             _ => return Err(format!("experiments[{i}].workers missing or invalid")),
         };
+        if version >= 3 {
+            for key in ["factor_reuse_hits", "factor_reuse_misses"] {
+                match e.get(key).and_then(JsonValue::as_f64) {
+                    Some(v) if v.is_finite() && v >= 0.0 => {}
+                    _ => return Err(format!("experiments[{i}].{key} missing or invalid")),
+                }
+            }
+        }
+        // `/2` documents predate the reuse phases: only the legacy
+        // seven-phase prefix of the taxonomy is required of them.
+        let required = if version >= 3 {
+            &Phase::ALL[..]
+        } else {
+            &Phase::ALL[..Phase::LEGACY_COUNT]
+        };
         let phases = e
             .get("phases")
             .ok_or_else(|| format!("experiments[{i}].phases missing"))?;
         let mut total_ns = 0.0;
-        for &phase in Phase::ALL.iter() {
+        let mut lu_factor_calls = 0.0;
+        for &phase in required {
             let label = phase.label();
             let entry = phases.get(label).ok_or_else(|| {
                 format!("experiments[{i}].phases.{label} missing")
@@ -153,9 +207,12 @@ pub fn validate(text: &str) -> Result<usize, String> {
                 Some(ns) if ns.is_finite() && ns >= 0.0 => ns,
                 _ => return Err(format!("experiments[{i}].phases.{label}.ns invalid")),
             };
-            match entry.get("calls").and_then(JsonValue::as_f64) {
-                Some(c) if c.is_finite() && c >= 0.0 => {}
+            let calls = match entry.get("calls").and_then(JsonValue::as_f64) {
+                Some(c) if c.is_finite() && c >= 0.0 => c,
                 _ => return Err(format!("experiments[{i}].phases.{label}.calls invalid")),
+            };
+            if phase == Phase::Factor {
+                lu_factor_calls = calls;
             }
             total_ns += ns;
         }
@@ -170,6 +227,15 @@ pub fn validate(text: &str) -> Result<usize, String> {
                 total_ns / 1e6
             ));
         }
+        // Factorisation economy: with reuse working, at most one fresh
+        // factorisation per Newton iteration — any more means the solver
+        // is factorising outside its own iteration accounting.
+        if version >= 3 && newton > 0.0 && lu_factor_calls > newton {
+            return Err(format!(
+                "experiments[{i}]: lu_factor.calls {lu_factor_calls} exceeds \
+                 newton_iterations {newton} (factorisation reuse is not engaging)"
+            ));
+        }
     }
     Ok(entries.len())
 }
@@ -181,7 +247,7 @@ mod tests {
     fn entries() -> Vec<BenchEntry> {
         let mut phases = PhaseSnapshot::default();
         phases.ns[Phase::Factor as usize] = 200_000_000; // 200 ms
-        phases.calls[Phase::Factor as usize] = 12_345;
+        phases.calls[Phase::Factor as usize] = 12_000;
         vec![
             BenchEntry {
                 name: "e2".to_owned(),
@@ -189,6 +255,8 @@ mod tests {
                 newton_iterations: 0,
                 linear_only: true,
                 workers: 1,
+                factor_reuse_hits: 0,
+                factor_reuse_misses: 0,
                 phases: PhaseSnapshot::default(),
             },
             BenchEntry {
@@ -197,6 +265,8 @@ mod tests {
                 newton_iterations: 12345,
                 linear_only: false,
                 workers: 1,
+                factor_reuse_hits: 345,
+                factor_reuse_misses: 12_000,
                 phases,
             },
         ]
@@ -223,6 +293,16 @@ mod tests {
             rows[0].get("linear_only").and_then(JsonValue::as_bool),
             Some(true)
         );
+        assert_eq!(
+            rows[1].get("factor_reuse_hits").and_then(JsonValue::as_f64),
+            Some(345.0)
+        );
+        assert_eq!(
+            rows[1]
+                .get("factor_reuse_misses")
+                .and_then(JsonValue::as_f64),
+            Some(12000.0)
+        );
         // Wall-clock rounded to µs precision.
         assert_eq!(
             rows[0].get("wall_ms").and_then(JsonValue::as_f64),
@@ -239,7 +319,7 @@ mod tests {
                 .and_then(|p| p.get("lu_factor"))
                 .and_then(|p| p.get("calls"))
                 .and_then(JsonValue::as_f64),
-            Some(12345.0)
+            Some(12000.0)
         );
     }
 
@@ -248,6 +328,24 @@ mod tests {
         let text = format!(
             "{{\"schema\": \"{SCHEMA_V1}\", \"experiments\": [\
              {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 0}}]}}"
+        );
+        assert_eq!(validate(&text), Ok(1));
+    }
+
+    #[test]
+    fn v2_documents_validate_with_the_legacy_phase_set() {
+        // A /2 document carries only the legacy seven phases and no
+        // reuse counters; it must keep validating as-is.
+        let phases: Vec<String> = Phase::ALL[..Phase::LEGACY_COUNT]
+            .iter()
+            .map(|p| format!("\"{}\": {{\"ns\": 0, \"calls\": 0}}", p.label()))
+            .collect();
+        let text = format!(
+            "{{\"schema\": \"{SCHEMA_V2}\", \"experiments\": [\
+             {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 3, \
+             \"linear_only\": false, \"workers\": 1, \
+             \"phases\": {{{}}}}}]}}",
+            phases.join(", ")
         );
         assert_eq!(validate(&text), Ok(1));
     }
@@ -273,16 +371,30 @@ mod tests {
     }
 
     #[test]
+    fn factorising_more_than_iterating_is_flagged() {
+        let mut rows = entries();
+        // 12 000 factorisations against 11 999 Newton iterations: the
+        // solver factorised outside its own iteration accounting.
+        rows[1].newton_iterations = 11_999;
+        let err = validate(&render(&rows)).unwrap_err();
+        assert!(err.contains("reuse is not engaging"), "{err}");
+        // Linear-only experiments (newton_iterations 0) are exempt.
+        rows[1].newton_iterations = 0;
+        assert_eq!(validate(&render(&rows)), Ok(2));
+    }
+
+    #[test]
     fn validation_names_the_failure() {
         assert!(validate("{oops").is_err());
         assert!(validate("{\"schema\": \"wrong\"}").unwrap_err().contains("schema"));
         let no_rows = format!("{{\"schema\": \"{SCHEMA}\", \"experiments\": []}}");
         assert!(validate(&no_rows).unwrap_err().contains("empty"));
-        // v2 entry without the new members.
+        // v3 entry without the new members.
         let missing = format!(
             "{{\"schema\": \"{SCHEMA}\", \"experiments\": [\
-             {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 0}}]}}"
+             {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 0, \
+             \"linear_only\": true, \"workers\": 1}}]}}"
         );
-        assert!(validate(&missing).unwrap_err().contains("linear_only"));
+        assert!(validate(&missing).unwrap_err().contains("factor_reuse_hits"));
     }
 }

@@ -37,8 +37,10 @@ use std::time::{Duration, Instant};
 
 use anasim::flight::FlightRecorder;
 use anasim::metrics::{SolverMetrics, SolverSnapshot};
+use anasim::mna::MnaLayout;
 use anasim::netlist::Netlist;
 use anasim::robust::{escalation_ladder, CancelToken, SolveBudget, SolveSettings, SolverRung};
+use anasim::solver::{Backend, Rank1Cache, Rank1Delta, Rank1Setup, WarmStart};
 use anasim::AnalysisError;
 use obs::chaos::FaultPlan;
 use obs::journal::{JournalOptions, JournalWriter, RetryPolicy};
@@ -420,6 +422,11 @@ pub struct CampaignConfig {
     /// byte-stability; the cost is a few monotonic-clock reads per
     /// Newton iteration. Disarmed (the default), no clocks are read.
     pub profile: bool,
+    /// Linear-solver backend used for the golden extraction and every
+    /// fault (default: sparse). Dense and sparse runs produce
+    /// bit-identical solutions, so this only changes speed, never
+    /// canonical report bytes.
+    pub backend: Backend,
 }
 
 impl fmt::Debug for CampaignConfig {
@@ -436,6 +443,7 @@ impl fmt::Debug for CampaignConfig {
             .field("has_cancel", &self.cancel.is_some())
             .field("degrade", &self.degrade)
             .field("profile", &self.profile)
+            .field("backend", &self.backend)
             .finish()
     }
 }
@@ -457,6 +465,7 @@ impl CampaignConfig {
             cancel: None,
             degrade: DegradePolicy::default(),
             profile: false,
+            backend: Backend::default(),
         }
     }
 
@@ -535,6 +544,13 @@ impl CampaignConfig {
     /// [`CampaignConfig::profile`].
     pub fn profile(mut self, armed: bool) -> Self {
         self.profile = armed;
+        self
+    }
+
+    /// Selects the linear-solver backend; see
+    /// [`CampaignConfig::backend`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -797,6 +813,33 @@ impl JournalState {
     }
 }
 
+/// The rank-1 reuse setup for one fault, if its faulty system is a
+/// rank-1 perturbation of the golden one: a [`FaultKind::Bridge`] on a
+/// circuit with no nonlinear devices adds exactly `g·w·wᵀ` (one
+/// resistor between the bridged nodes, no new unknowns), so faulty
+/// solves can reuse the golden factorisations via Sherman–Morrison.
+/// Everything else factorises normally.
+fn rank1_for(faulty: &Netlist, fault: &Fault, cache: &Arc<Rank1Cache>) -> Option<Rank1Setup> {
+    use crate::model::FaultKind;
+    if faulty.has_nonlinear_devices() || cache.is_empty() {
+        return None;
+    }
+    match fault.kind() {
+        FaultKind::Bridge { a, b } => {
+            let layout = MnaLayout::new(faulty);
+            Some(Rank1Setup::apply(
+                Arc::clone(cache),
+                Rank1Delta {
+                    pos: layout.node_index(a),
+                    neg: layout.node_index(b),
+                    conductance: 1.0 / fault.impedance(),
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
 /// Runs a fault campaign with the resilient engine.
 ///
 /// `extract` simulates a netlist under the given [`SolveSettings`] and
@@ -862,6 +905,12 @@ where
         }
         Arc::new(metrics)
     };
+    // The golden extraction *captures* every linear factorisation it
+    // computes into a shared cache, keyed by stamp parameters. The
+    // cache is frozen before any fault simulates, so lookups are
+    // deterministic regardless of worker scheduling — a prerequisite
+    // for byte-identical reports at any worker count.
+    let rank1_cache = Arc::new(Rank1Cache::new());
     let golden_settings = SolveSettings {
         rung: SolverRung::nominal(),
         budget: config.budget,
@@ -869,11 +918,27 @@ where
         flight: None,
         cancel: config.cancel.clone(),
         profile: golden_profile.clone(),
+        backend: config.backend,
+        warm_start: None,
+        rank1: Some(Rank1Setup::capture(Arc::clone(&rank1_cache))),
     };
     let golden_start = Instant::now();
     let golden_sig = extract(golden, &golden_settings)?;
     let golden_wall = golden_start.elapsed();
     let golden_solver = golden_metrics.snapshot();
+    rank1_cache.freeze();
+
+    // Golden DC operating point, reused as the Newton seed for every
+    // fault: injection appends hardware at the end of the netlist, so
+    // golden unknowns map directly onto the faulty layout and only the
+    // fault's own unknowns start cold. Best-effort — a circuit whose
+    // golden DC point does not converge simply skips warm-starting.
+    let warm_start: Option<Arc<WarmStart>> = anasim::dc::dc_operating_point(golden)
+        .ok()
+        .map(|op| {
+            let node_count = MnaLayout::new(golden).node_count();
+            Arc::new(WarmStart::new(op.into_solution(), node_count))
+        });
 
     // Replay the checkpoint journal (resume) and open it for appending.
     // `results[i]` starts as the replayed outcome for fault `i`, or
@@ -973,6 +1038,11 @@ where
 
     let simulate_fault = |fault: &Fault, lane: usize| -> Option<(FaultOutcome, FaultTelemetry)> {
         let faulty = inject(golden, fault);
+        // A bridge across a *linear* circuit perturbs the golden matrix
+        // by exactly `g·w·wᵀ` (one resistor, no new unknowns), so its
+        // solves can go through the golden factorisations via
+        // Sherman–Morrison instead of factorising the faulty matrix.
+        let rank1 = rank1_for(&faulty, fault, &rank1_cache);
         // One handle per fault, accumulated across ladder rungs. When
         // profiling is armed the profiler is fresh per fault too, so the
         // phase rollup in the telemetry is exact for this fault alone.
@@ -1007,6 +1077,9 @@ where
                 flight: flight.clone(),
                 cancel: config.cancel.clone(),
                 profile: profile.clone(),
+                backend: config.backend,
+                warm_start: warm_start.clone(),
+                rank1: rank1.clone(),
             };
             // The extraction is the untrusted part of the engine: a
             // panicking solver must become this fault's outcome, not
@@ -2243,5 +2316,83 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, AnalysisError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn linear_bridge_faults_reuse_golden_factorisations() {
+        use obs::profile::Phase;
+        // rc_fixture is linear, so its bridge faults are rank-1
+        // perturbations of the golden matrix: their solves should go
+        // through the golden factorisations via Sherman–Morrison
+        // instead of factorising the faulty matrix per timestep.
+        let (nl, faults) = rc_fixture();
+        let config = CampaignConfig::new(0.05).profile(true);
+        let report = run_campaign_with(&nl, &faults, &config, transient_extract).unwrap();
+        let idx = faults.iter().position(|f| f.name() == "b-c-br").unwrap();
+        let t = &report.stats.per_fault[idx];
+        assert!(
+            t.solver.factor_reuse_hits > 0,
+            "bridge fault never reused a factorisation: {:?}",
+            t.solver
+        );
+        assert!(
+            t.solver.phases.calls(Phase::Rank1Update) > 0,
+            "no Sherman–Morrison updates attributed: {:?}",
+            t.solver.phases
+        );
+        // Reuse must far outnumber factorisations: the whole point is
+        // that a faulty timestep costs back-substitutions, not LU.
+        assert!(
+            t.solver.factor_reuse_hits > t.solver.factor_reuse_misses,
+            "hits {} vs misses {}",
+            t.solver.factor_reuse_hits,
+            t.solver.factor_reuse_misses
+        );
+        // The bridge outcome is unchanged by the reuse path: same
+        // detection verdict the direct-solve tests established.
+        assert!(matches!(
+            report.outcomes[idx].status,
+            FaultStatus::Detected { .. }
+        ));
+    }
+
+    #[test]
+    fn dense_and_sparse_backends_produce_identical_reports() {
+        use anasim::solver::Backend;
+        // The sparse LU replicates the dense pivoting and arithmetic,
+        // so campaign reports — canonical text *and* canonical JSON —
+        // must be byte-identical across backends.
+        let (nl, faults) = rc_fixture();
+        let run = |backend: Backend| {
+            run_campaign_with(
+                &nl,
+                &faults,
+                &CampaignConfig::new(0.05).backend(backend),
+                transient_extract,
+            )
+            .unwrap()
+        };
+        let sparse = run(Backend::Sparse);
+        let dense = run(Backend::Dense);
+        assert_eq!(sparse.canonical_text(), dense.canonical_text());
+        let canonical_json = |report: &CampaignReport| {
+            let mut run = obs::RunReport::new();
+            run.push(report.to_section("campaign.backend"));
+            run.canonical_json_string()
+        };
+        assert_eq!(canonical_json(&sparse), canonical_json(&dense));
+        // And the solutions themselves, not just the rendered reports:
+        // every signature sample is bit-identical.
+        for (s, d) in sparse.outcomes.iter().zip(&dense.outcomes) {
+            match (&s.signature, &d.signature) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (va, vb) in a.iter().zip(b) {
+                        assert_eq!(va.to_bits(), vb.to_bits(), "{va} vs {vb}");
+                    }
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
     }
 }

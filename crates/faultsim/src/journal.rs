@@ -285,18 +285,26 @@ pub fn telemetry_to_json(t: &FaultTelemetry) -> JsonValue {
 pub fn telemetry_from_json(v: &JsonValue) -> Result<FaultTelemetry, String> {
     let solver_obj = get(v, "solver")?;
     let mut solver = SolverSnapshot::default();
-    let fields: [&mut u64; 6] = [
+    let fields: [&mut u64; 8] = [
         &mut solver.newton_iterations,
         &mut solver.steps_accepted,
         &mut solver.steps_rejected,
         &mut solver.dt_shrinks,
         &mut solver.dc_gmin_steps,
         &mut solver.dc_source_steps,
+        &mut solver.factor_reuse_hits,
+        &mut solver.factor_reuse_misses,
     ];
     for (field, slot) in SolverSnapshot::FIELDS.iter().zip(fields) {
-        *slot = get(solver_obj, field)?
-            .as_f64()
-            .ok_or_else(|| format!("solver counter {field:?} is not a number"))? as u64;
+        // Counters absent from the record default to zero, so journals
+        // written before a counter existed keep replaying.
+        *slot = match get(solver_obj, field) {
+            Ok(value) => value
+                .as_f64()
+                .ok_or_else(|| format!("solver counter {field:?} is not a number"))?
+                as u64,
+            Err(_) => 0,
+        };
     }
     let rung = match get(v, "rung")? {
         JsonValue::Null => None,

@@ -35,6 +35,7 @@ pub mod complex;
 pub mod matrix;
 pub mod polynomial;
 pub mod response;
+pub mod sparse;
 pub mod statespace;
 pub mod transfer;
 

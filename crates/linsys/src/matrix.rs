@@ -109,6 +109,55 @@ impl Matrix {
             .collect()
     }
 
+    /// [`Matrix::mul_vec`] into a caller-provided buffer, with the same
+    /// per-row ascending-column accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `out` have the wrong length.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec_into");
+        assert_eq!(out.len(), self.rows, "output length in mul_vec_into");
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *slot = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Residual `A·v − b` into `out` in one pass: each row accumulates
+    /// its product with [`Matrix::mul_vec_into`]'s ascending-column
+    /// order, then subtracts `b[r]` — the identical operations of the
+    /// two-pass form, fused so hot callers touch `out` once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v`, `b` or `out` have the wrong length.
+    pub fn residual_into(&self, v: &[f64], b: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in residual_into");
+        assert_eq!(b.len(), self.rows, "rhs length in residual_into");
+        assert_eq!(out.len(), self.rows, "output length in residual_into");
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let acc: f64 = row.iter().zip(v).map(|(a, b)| a * b).sum();
+            *slot = acc - b[r];
+        }
+    }
+
+    /// The backing storage in row-major order.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Overwrites the backing storage from a snapshot taken with
+    /// [`Matrix::values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length.
+    pub fn load_values(&mut self, values: &[f64]) {
+        self.data.copy_from_slice(values);
+    }
+
     /// Matrix product `self * other`.
     ///
     /// # Panics
@@ -242,6 +291,11 @@ pub struct Lu {
 }
 
 impl Lu {
+    /// Matrix dimension the factorisation was computed for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
     /// Factorises `a` (a copy is taken).
     ///
     /// # Errors
@@ -316,6 +370,36 @@ impl Lu {
             x[r] = sum / self.lu[r * n + r];
         }
         x
+    }
+
+    /// [`Lu::solve`] into a caller-provided buffer, identical
+    /// arithmetic, no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` have the wrong length.
+    #[allow(clippy::needless_range_loop)] // triangular index patterns read clearest this way
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        assert_eq!(x.len(), self.n, "solution dimension mismatch");
+        let n = self.n;
+        for i in 0..n {
+            x[i] = b[self.perm[i]];
+        }
+        for r in 1..n {
+            let mut sum = x[r];
+            for c in 0..r {
+                sum -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = sum;
+        }
+        for r in (0..n).rev() {
+            let mut sum = x[r];
+            for c in r + 1..n {
+                sum -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = sum / self.lu[r * n + r];
+        }
     }
 }
 

@@ -3,7 +3,8 @@
 //! A [`PhaseProfiler`] splits a solve's wall time across a fixed
 //! [`Phase`] taxonomy (stamping, device evaluation, LU factorisation,
 //! back-substitution, residual/update, timestep control, DC homotopy
-//! control) with monotonic-clock accounting. Like
+//! control, symbolic analysis, numeric refactorisation, rank-1
+//! updates) with monotonic-clock accounting. Like
 //! `anasim::FlightRecorder`, arming is explicit and the disarmed path
 //! is an `Option` branch — no clock reads, no atomics.
 //!
@@ -121,11 +122,27 @@ pub enum Phase {
     /// DC operating-point control: homotopy scheduling around the
     /// Newton solves (self-time).
     DcSolve,
+    /// Symbolic analysis of the system structure: sparsity pattern and
+    /// assembly slot-map construction, done once per (netlist, fault)
+    /// structure and reused across all iterations and timesteps.
+    Symbolic,
+    /// Numeric-only refactorisation of an already-analysed system (the
+    /// factor cache held a factorisation for this structure already;
+    /// [`Phase::Factor`] counts only first factorisations).
+    Refactor,
+    /// Sherman–Morrison rank-1 update solves against a cached golden
+    /// factorisation (low-rank fault deltas in campaigns).
+    Rank1Update,
 }
 
 impl Phase {
     /// Number of phases; the length of [`Phase::ALL`].
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 10;
+
+    /// Phases that existed in the `mixsig.solver-bench/2` sidecar
+    /// schema; `/2` documents carry exactly this prefix of the
+    /// taxonomy.
+    pub const LEGACY_COUNT: usize = 7;
 
     /// Every phase, in serialisation order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -136,6 +153,9 @@ impl Phase {
         Phase::Residual,
         Phase::StepControl,
         Phase::DcSolve,
+        Phase::Symbolic,
+        Phase::Refactor,
+        Phase::Rank1Update,
     ];
 
     /// Stable snake_case label used in reports, the bench sidecar and
@@ -149,6 +169,9 @@ impl Phase {
             Phase::Residual => "residual",
             Phase::StepControl => "step_control",
             Phase::DcSolve => "dc_solve",
+            Phase::Symbolic => "symbolic",
+            Phase::Refactor => "refactor",
+            Phase::Rank1Update => "rank1_update",
         }
     }
 }

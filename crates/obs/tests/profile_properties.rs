@@ -142,9 +142,12 @@ fn deep_nesting_attributes_each_level_once() {
         let _b = profiler.enter(Phase::DcSolve);
         let _c = profiler.enter(Phase::Stamp);
         let _d = profiler.enter(Phase::DeviceEval);
-        let _e = profiler.enter(Phase::Factor);
-        let _f = profiler.enter(Phase::BackSubstitute);
-        let _g = profiler.enter(Phase::Residual);
+        let _e = profiler.enter(Phase::Symbolic);
+        let _f = profiler.enter(Phase::Factor);
+        let _g = profiler.enter(Phase::Refactor);
+        let _h = profiler.enter(Phase::Rank1Update);
+        let _i = profiler.enter(Phase::BackSubstitute);
+        let _j = profiler.enter(Phase::Residual);
         spin();
     }
     let wall_ns = started.elapsed().as_nanos() as u64;
