@@ -269,6 +269,25 @@ fn render_campaign_progress(label: &str, campaign: &ReplayedCampaign) -> String 
         let _ = writeln!(out, "  outcomes: {}", rollup.join(", "));
     }
 
+    // Per-worker progress, through the same fold the live status
+    // snapshot uses (`experiments watch`): which lane simulated what,
+    // for how long, and where its solver time went.
+    let folded = crate::watch::fold_campaign(label, campaign, None);
+    if folded.done > 0 && !folded.workers.is_empty() {
+        let _ = writeln!(out, "  worker lanes:");
+        let mut t = Table::new(&["lane", "done", "busy (ms)", "hot phase"])
+            .align(&[Align::Right, Align::Right, Align::Right, Align::Left]);
+        for w in &folded.workers {
+            t.row(&[
+                w.lane.to_string(),
+                w.completed.to_string(),
+                format!("{:.1}", w.busy_ms),
+                w.hot_phase.clone().unwrap_or_default(),
+            ]);
+        }
+        out.push_str(&indent(&t.render(), "    "));
+    }
+
     for fault in campaign.faults.values() {
         match &fault.status {
             FaultStatus::Panicked { payload } => {
@@ -551,6 +570,9 @@ mod tests {
         );
         assert!(text.contains("1 detected, 1 panicked"), "{text}");
         assert!(text.contains("f1: panicked — boom: solver invariant"), "{text}");
+        // Per-worker progress rides the same fold the watch console uses.
+        assert!(text.contains("worker lanes:"), "{text}");
+        assert!(text.contains("lane"), "{text}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex};
 use anasim::robust::{CancelToken, SolveSettings};
 use anasim::solver::Backend;
 use faultsim::campaign::{CampaignConfig, CampaignReport, DegradePolicy, JournalConfig};
+use faultsim::telemetry::TelemetryConfig;
 use faultsim::trace::CampaignTrace;
 use obs::chaos::FaultPlan;
 use obs::profile::PhaseProfiler;
@@ -61,6 +62,10 @@ pub struct CampaignHooks {
     /// Linear-solver backend (`--backend`). Both backends produce
     /// bit-identical solutions, so this only changes speed.
     pub backend: Backend,
+    /// Live-telemetry directory (`--telemetry`): every campaign of the
+    /// invocation arms heartbeat/status sidecars there, sequentially —
+    /// `status.json` always shows the campaign currently running.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl CampaignHooks {
@@ -121,6 +126,12 @@ impl CampaignHooks {
         self
     }
 
+    /// Arms live telemetry into `dir` (builder style, `--telemetry`).
+    pub fn with_telemetry(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.telemetry = Some(dir.into());
+        self
+    }
+
     /// True when campaigns should arm per-fault phase accounting.
     pub fn profiling(&self) -> bool {
         self.profile.is_some() || self.trace.is_some()
@@ -158,6 +169,9 @@ impl CampaignHooks {
         }
         if self.profiling() {
             config = config.profile(true);
+        }
+        if let Some(dir) = &self.telemetry {
+            config = config.telemetry(TelemetryConfig::new(dir.clone()));
         }
         config.backend(self.backend)
     }
@@ -230,6 +244,16 @@ mod tests {
             Backend::Dense
         );
         assert_eq!(hooks.solve_settings().backend, Backend::Dense);
+    }
+
+    #[test]
+    fn telemetry_hooks_arm_every_campaign() {
+        let config = CampaignHooks::none().apply(CampaignConfig::new(0.5), "e6.c1.correlation");
+        assert!(config.telemetry.is_none());
+        let hooks = CampaignHooks::none().with_telemetry("/tmp/tele");
+        let config = hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation");
+        let tc = config.telemetry.expect("telemetry configured");
+        assert_eq!(tc.dir, PathBuf::from("/tmp/tele"));
     }
 
     #[test]

@@ -21,9 +21,15 @@
 //! Campaign-backed experiments (`e6`, `e6c1`, `diverge`) accept
 //! [`hooks::CampaignHooks`]: the `--journal`/`--resume` checkpoint file
 //! and the SIGINT cancellation token the `experiments` binary threads
-//! through, so long runs are kill-safe and resumable.
+//! through, so long runs are kill-safe and resumable. The same hooks
+//! carry `--telemetry DIR`, arming live heartbeat/status sidecars that
+//! the [`watch`] module (the `experiments watch` console) tails; the
+//! [`bench_diff`] module is the `bench-diff` perf-regression gate over
+//! `--bench-json` sidecars.
 
+pub mod bench_diff;
 pub mod experiments;
 pub mod explain;
 pub mod hooks;
 pub mod solver_bench;
+pub mod watch;

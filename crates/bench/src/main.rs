@@ -10,8 +10,12 @@
 //!             [--bench-json PATH] [--trace-json PATH]
 //!             [--journal PATH | --resume PATH]
 //!             [--chaos SPEC] [--degrade abort|continue]
+//!             [--telemetry DIR]
 //! experiments check-report PATH
 //! experiments explain PATH [--fault N]
+//! experiments watch DIR|JOURNAL [--once] [--json] [--interval MS]
+//! experiments bench-diff OLD NEW [--tolerance PCT] [--count-tolerance PCT]
+//!             [--reuse-tolerance PCT] [--counts-only]
 //! ```
 //!
 //! With `--metrics-json` the run also writes a machine-readable
@@ -70,6 +74,21 @@
 //! per-campaign checkpoint progress instead. The `diverge` experiment
 //! is a deliberately non-convergent campaign that demonstrates the
 //! pipeline.
+//!
+//! `--telemetry DIR` arms live, strictly advisory campaign telemetry:
+//! per-worker heartbeats append to `DIR/heartbeats.jsonl` and a
+//! `mixsig.campaign-status/1` snapshot is atomically rewritten at
+//! `DIR/status.json` while campaigns run (canonical output stays
+//! byte-identical, armed or not). `watch` tails that directory — or a
+//! checkpoint journal directly — as a refreshing console: progress bar,
+//! throughput and ETA, outcome rollup, per-worker lanes with stall
+//! flags and phase hot spots. `--once` renders a single frame,
+//! `--json` emits the raw snapshot for machines; a dead campaign is
+//! reconstructed from its journal. `bench-diff` compares two
+//! `--bench-json` sidecars as a perf-regression gate (timing, solver
+//! counts and factorisation-reuse rate, each with its own tolerance)
+//! and exits nonzero on regression; `--counts-only` skips the timing
+//! comparisons for cross-machine diffs.
 
 use std::env;
 use std::fs;
@@ -84,7 +103,7 @@ use faultsim::campaign::DegradePolicy;
 use faultsim::trace::CampaignTrace;
 use msbist_bench::hooks::CampaignHooks;
 use msbist_bench::solver_bench::{self, BenchEntry};
-use msbist_bench::{experiments, explain};
+use msbist_bench::{bench_diff, experiments, explain, watch};
 use obs::json::JsonValue;
 use obs::profile::{Phase, PhaseProfiler, PhaseSnapshot};
 use obs::{Align, RunReport, Section, Table};
@@ -132,6 +151,12 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("explain") {
         return explain_command(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("watch") {
+        return watch_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        return bench_diff_command(&args[1..]);
+    }
     // `experiments profile <tag> ...` is the run command with the phase
     // profiler armed and a cost-attribution table printed at the end.
     let profile_mode = args.first().map(String::as_str) == Some("profile");
@@ -146,6 +171,7 @@ fn main() -> ExitCode {
     let mut resume: Option<String> = None;
     let mut chaos: Option<obs::FaultPlan> = None;
     let mut degrade = DegradePolicy::Abort;
+    let mut telemetry: Option<String> = None;
     let mut workers = experiments::e6::E6_WORKERS;
     let mut backend = Backend::default();
     let mut it = args.iter();
@@ -188,6 +214,10 @@ fn main() -> ExitCode {
                 Some("continue") => degrade = DegradePolicy::Continue,
                 _ => return usage_error("--degrade needs 'abort' or 'continue'"),
             },
+            "--telemetry" => match it.next() {
+                Some(dir) => telemetry = Some(dir.clone()),
+                None => return usage_error("--telemetry needs a directory"),
+            },
             "--workers" => match it.next().and_then(|w| w.parse::<usize>().ok()) {
                 Some(w) if w >= 1 => workers = w,
                 _ => return usage_error("--workers needs a positive integer"),
@@ -229,6 +259,10 @@ fn main() -> ExitCode {
         None => hooks.with_degrade(degrade),
     };
     let hooks = hooks.with_backend(backend);
+    let hooks = match telemetry {
+        Some(dir) => hooks.with_telemetry(dir),
+        None => hooks,
+    };
 
     // Phase profiling arms for the `profile` subcommand, for a trace,
     // and for the bench sidecar (whose v2 schema carries the phase
@@ -526,9 +560,12 @@ fn usage_error(message: &str) -> ExitCode {
          [--workers N] [--backend dense|sparse] [--metrics-json PATH] \
          [--canonical-metrics] [--bench-json PATH]\n\
          \x20      [--trace-json PATH] [--journal PATH | --resume PATH] [--chaos SPEC] \
-         [--degrade abort|continue]\n\
+         [--degrade abort|continue] [--telemetry DIR]\n\
          \x20      experiments check-report PATH\n\
-         \x20      experiments explain PATH [--fault N]"
+         \x20      experiments explain PATH [--fault N]\n\
+         \x20      experiments watch DIR|JOURNAL [--once] [--json] [--interval MS]\n\
+         \x20      experiments bench-diff OLD NEW [--tolerance PCT] \
+         [--count-tolerance PCT] [--reuse-tolerance PCT] [--counts-only]"
     );
     ExitCode::FAILURE
 }
@@ -576,6 +613,143 @@ fn explain_command(args: &[String]) -> ExitCode {
     }
 }
 
+/// Milliseconds since the Unix epoch, for judging snapshot freshness.
+fn unix_ms() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0.0, |d| d.as_secs_f64() * 1e3)
+}
+
+/// The `watch` subcommand: tails a telemetry directory (or a checkpoint
+/// journal) as a refreshing console. `--once` renders a single frame,
+/// `--json` emits the raw `mixsig.campaign-status/1` snapshot, and the
+/// live loop refreshes every `--interval MS` until the campaign reaches
+/// a terminal state.
+fn watch_command(args: &[String]) -> ExitCode {
+    let mut target: Option<&String> = None;
+    let mut once = false;
+    let mut json = false;
+    let mut interval_ms: u64 = 500;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--json" => json = true,
+            "--interval" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => interval_ms = ms,
+                _ => return usage_error("--interval needs a positive millisecond count"),
+            },
+            tag if !tag.starts_with('-') && target.is_none() => target = Some(arg),
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(target) = target else {
+        return usage_error("watch needs a telemetry directory or journal path");
+    };
+    let target = std::path::Path::new(target);
+    let mut waiting = false;
+    loop {
+        let view = match watch::observe(target, unix_ms()) {
+            Ok(view) => view,
+            Err(err) => {
+                eprintln!("{}: {err}", target.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match view {
+            Some(view) => {
+                if json {
+                    println!("{}", view.status.to_json().to_json_pretty());
+                } else {
+                    if !once {
+                        // Clear and rehome for the refreshing console.
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    print!("{}", watch::render(&view));
+                }
+                if once || view.status.is_terminal() {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            None if once => {
+                eprintln!(
+                    "{}: no status snapshot or campaign journal to watch",
+                    target.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                if !waiting {
+                    println!("waiting for telemetry in {} ...", target.display());
+                    waiting = true;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// The `bench-diff` subcommand: compares two `--bench-json` sidecars
+/// and exits nonzero when NEW regresses past the tolerances.
+fn bench_diff_command(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tol = bench_diff::Tolerances::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let pct = |name: &str, it: &mut std::slice::Iter<String>| {
+            it.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|p| p.is_finite() && *p >= 0.0)
+                .ok_or_else(|| format!("{name} needs a non-negative percentage"))
+        };
+        match arg.as_str() {
+            "--tolerance" => match pct("--tolerance", &mut it) {
+                Ok(p) => tol.timing_pct = p,
+                Err(e) => return usage_error(&e),
+            },
+            "--count-tolerance" => match pct("--count-tolerance", &mut it) {
+                Ok(p) => tol.count_pct = p,
+                Err(e) => return usage_error(&e),
+            },
+            "--reuse-tolerance" => match pct("--reuse-tolerance", &mut it) {
+                Ok(p) => tol.reuse_drop_pct = p,
+                Err(e) => return usage_error(&e),
+            },
+            "--counts-only" => tol.counts_only = true,
+            tag if !tag.starts_with('-') && paths.len() < 2 => paths.push(arg),
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    if paths.len() != 2 {
+        return usage_error("bench-diff needs OLD and NEW sidecar paths");
+    }
+    let read = |path: &String| {
+        fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))
+    };
+    let (old_text, new_text) = match (read(paths[0]), read(paths[1])) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match bench_diff::diff(&old_text, &new_text, &tol) {
+        Ok(cmp) => {
+            print!("{}", bench_diff::render(&cmp));
+            if cmp.regressed() {
+                eprintln!("bench-diff: {} regression(s) past tolerance", cmp.regressions.len());
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Validates a run report written by `--metrics-json` (it must parse,
 /// carry the expected schema and expose the headline summary keys), or
 /// — when the file is a campaign journal — the journal's record stream.
@@ -607,6 +781,29 @@ fn check_report(path: &str) -> ExitCode {
             }
             Err(err) => {
                 eprintln!("{path}: invalid trace: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if parsed
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .is_some_and(|s| s.starts_with("mixsig.campaign-status/"))
+    {
+        return match obs::status::parse_status(&text) {
+            Ok(status) => {
+                println!(
+                    "{path}: ok (campaign status, {} {}/{} {}, {} worker lane(s))",
+                    status.label,
+                    status.done,
+                    status.total,
+                    status.state,
+                    status.workers.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{path}: invalid campaign status: {err}");
                 ExitCode::FAILURE
             }
         };
@@ -756,7 +953,17 @@ fn check_journal(path: &str, text: &str) -> ExitCode {
                 } else {
                     "interrupted".to_owned()
                 };
-                format!("{label} {}/{} {state}", c.faults.len(), c.names.len())
+                // The same fold the live status snapshot uses, so the
+                // two progress views cannot disagree.
+                let rollup = msbist_bench::watch::fold_campaign(label, c, None);
+                format!(
+                    "{label} {}/{} {state} ({} detected, {} undetected, {} failed)",
+                    c.faults.len(),
+                    c.names.len(),
+                    rollup.detected,
+                    rollup.undetected,
+                    rollup.failed
+                )
             })
             .collect();
         println!(

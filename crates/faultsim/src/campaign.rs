@@ -51,6 +51,7 @@ use sigproc::correlation::detection_instances;
 use crate::inject::inject;
 use crate::journal;
 use crate::model::Fault;
+use crate::telemetry::{StatusEmitter, TelemetryConfig};
 
 /// How one fault's simulation ended.
 ///
@@ -427,6 +428,15 @@ pub struct CampaignConfig {
     /// bit-identical solutions, so this only changes speed, never
     /// canonical report bytes.
     pub backend: Backend,
+    /// Live telemetry: per-worker heartbeat records and periodically
+    /// rewritten `mixsig.campaign-status/1` snapshots in the configured
+    /// directory ([`TelemetryConfig`]), tailed by `experiments watch`.
+    /// Purely advisory — telemetry writes are best-effort (failures are
+    /// counted in the next snapshot, never surfaced as campaign
+    /// errors), and nothing here reaches canonical report output, so
+    /// arming it cannot perturb byte-stability. `None` (the default)
+    /// runs without live telemetry and spawns no monitor thread.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl fmt::Debug for CampaignConfig {
@@ -444,6 +454,7 @@ impl fmt::Debug for CampaignConfig {
             .field("degrade", &self.degrade)
             .field("profile", &self.profile)
             .field("backend", &self.backend)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -466,6 +477,7 @@ impl CampaignConfig {
             degrade: DegradePolicy::default(),
             profile: false,
             backend: Backend::default(),
+            telemetry: None,
         }
     }
 
@@ -551,6 +563,12 @@ impl CampaignConfig {
     /// [`CampaignConfig::backend`].
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Arms live telemetry; see [`CampaignConfig::telemetry`].
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -1036,6 +1054,34 @@ where
         None => None,
     };
 
+    // Live telemetry arms after replay so replayed outcomes seed the
+    // progress rollup, and before any fault simulates so the first
+    // snapshot is on disk the moment workers start. Everything the
+    // emitter does is advisory and best-effort: a dead telemetry
+    // directory costs dropped snapshots, never the campaign.
+    let emitter: Option<StatusEmitter> = config.telemetry.as_ref().map(|tc| {
+        let mut rollup = (0usize, 0usize, 0usize);
+        for (outcome, _) in results.iter().flatten() {
+            match outcome.status.tag() {
+                "detected" => rollup.0 += 1,
+                "undetected" => rollup.1 += 1,
+                _ => rollup.2 += 1,
+            }
+        }
+        StatusEmitter::arm(
+            tc.clone(),
+            config
+                .journal
+                .as_ref()
+                .map_or("campaign", |jc| jc.label.as_str()),
+            config.journal.as_ref().map(|jc| jc.path.as_path()),
+            faults.len(),
+            config.workers.max(1),
+            rollup,
+            config.budget,
+        )
+    });
+
     let simulate_fault = |fault: &Fault, lane: usize| -> Option<(FaultOutcome, FaultTelemetry)> {
         let faulty = inject(golden, fault);
         // A bridge across a *linear* circuit perturbs the golden matrix
@@ -1218,7 +1264,20 @@ where
     // keep simulating with the gap accounted (Continue) — dropping
     // checkpoints *silently* would break the resume guarantee.
     let run_one = |i: usize, lane: usize| -> Option<(FaultOutcome, FaultTelemetry)> {
-        let result = simulate_fault(&faults[i], lane)?;
+        if let Some(em) = &emitter {
+            em.fault_claimed(lane, i, faults[i].name());
+        }
+        let Some(result) = simulate_fault(&faults[i], lane) else {
+            // Cancellation abandoned the in-flight fault: release the
+            // lane so the terminal snapshot shows it idle, not hung.
+            if let Some(em) = &emitter {
+                em.fault_abandoned(lane);
+            }
+            return None;
+        };
+        if let Some(em) = &emitter {
+            em.fault_done(lane, i, faults[i].name(), result.0.status.tag(), &result.1.solver);
+        }
         if let Some(js) = &journal_state {
             if js.failed.load(Ordering::Acquire) {
                 js.unjournaled.fetch_add(1, Ordering::AcqRel);
@@ -1253,48 +1312,61 @@ where
                 .is_some_and(|js| js.abort.load(Ordering::Acquire))
     };
 
-    // Only faults without a replayed outcome are simulated.
+    // Only faults without a replayed outcome are simulated. The whole
+    // execution block runs inside one scope so the telemetry monitor
+    // (when armed) can tick on its own scoped thread beside either the
+    // serial loop or the worker pool; it is told to stop (and joins at
+    // scope exit) before results are inspected.
     let pending: Vec<usize> = (0..faults.len()).filter(|&i| results[i].is_none()).collect();
     let workers = config.workers.max(1).min(pending.len().max(1));
-    if workers <= 1 {
-        for &i in &pending {
-            if should_stop() {
-                break;
-            }
-            let Some(result) = run_one(i, 0) else { break };
-            results[i] = Some(result);
+    std::thread::scope(|scope| {
+        if let Some(em) = &emitter {
+            scope.spawn(move || em.monitor());
         }
-    } else {
-        // Deterministic parallel execution: an atomic cursor hands out
-        // pending fault indices, each fault runs entirely on one
-        // thread, and results land in per-index slots so universe order
-        // is restored exactly regardless of scheduling. Workers check
-        // the cancellation token (and the journal-abort latch) at every
-        // fault boundary and stop claiming once either trips.
-        let slots: Vec<Mutex<Option<(FaultOutcome, FaultTelemetry)>>> =
-            pending.iter().map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for lane in 0..workers {
-                let (cursor, slots, pending) = (&cursor, &slots, &pending);
-                let (run_one, should_stop) = (&run_one, &should_stop);
-                scope.spawn(move || loop {
-                    if should_stop() {
-                        break;
-                    }
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = pending.get(k) else { break };
-                    let Some(result) = run_one(i, lane) else { break };
-                    *slots[k].lock().expect("slot lock") = Some(result);
-                });
+        if workers <= 1 {
+            for &i in &pending {
+                if should_stop() {
+                    break;
+                }
+                let Some(result) = run_one(i, 0) else { break };
+                results[i] = Some(result);
             }
-        });
-        for (k, slot) in slots.into_iter().enumerate() {
-            if let Some(result) = slot.into_inner().expect("slot lock") {
-                results[pending[k]] = Some(result);
+        } else {
+            // Deterministic parallel execution: an atomic cursor hands
+            // out pending fault indices, each fault runs entirely on
+            // one thread, and results land in per-index slots so
+            // universe order is restored exactly regardless of
+            // scheduling. Workers check the cancellation token (and the
+            // journal-abort latch) at every fault boundary and stop
+            // claiming once either trips.
+            let slots: Vec<Mutex<Option<(FaultOutcome, FaultTelemetry)>>> =
+                pending.iter().map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for lane in 0..workers {
+                    let (cursor, slots, pending) = (&cursor, &slots, &pending);
+                    let (run_one, should_stop) = (&run_one, &should_stop);
+                    scope.spawn(move || loop {
+                        if should_stop() {
+                            break;
+                        }
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending.get(k) else { break };
+                        let Some(result) = run_one(i, lane) else { break };
+                        *slots[k].lock().expect("slot lock") = Some(result);
+                    });
+                }
+            });
+            for (k, slot) in slots.into_iter().enumerate() {
+                if let Some(result) = slot.into_inner().expect("slot lock") {
+                    results[pending[k]] = Some(result);
+                }
             }
         }
-    }
+        if let Some(em) = &emitter {
+            em.finish();
+        }
+    });
 
     // A persistent journal failure under Abort fails the campaign at
     // the fault boundary it stopped at, exactly like a cancellation: a
@@ -1309,6 +1381,9 @@ where
                 .lock()
                 .expect("journal lock")
                 .append(&journal::cancelled_record(&js.label, js.journaled_total()));
+            if let Some(em) = &emitter {
+                em.emit_terminal("aborted");
+            }
             return Err(AnalysisError::InvalidParameter(format!(
                 "campaign journal: write failed ({} of {} fault outcomes journaled, \
                  aborted at the next fault boundary): {}",
@@ -1325,6 +1400,9 @@ where
     // the caller.
     let completed = results.iter().filter(|r| r.is_some()).count();
     if completed < faults.len() {
+        if let Some(em) = &emitter {
+            em.emit_terminal("cancelled");
+        }
         if let Some(js) = &journal_state {
             let append = js
                 .writer
@@ -1414,6 +1492,13 @@ where
     // the workers interleaved.
     if let Some(recorder) = &config.recorder {
         emit_campaign(recorder.as_ref(), &report);
+    }
+
+    // The terminal snapshot lands after the journal's own terminal
+    // records, so a watcher seeing `state: "complete"` can rely on the
+    // journal being finished too.
+    if let Some(em) = &emitter {
+        em.emit_terminal("complete");
     }
 
     Ok(report)

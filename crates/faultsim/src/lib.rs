@@ -20,7 +20,11 @@
 //! * [`trace`] — Chrome Trace Event timelines of completed campaigns:
 //!   worker lanes, per-fault spans and (with
 //!   [`campaign::CampaignConfig::profile`] armed) solver phase
-//!   sub-spans, loadable by `chrome://tracing` / Perfetto.
+//!   sub-spans, loadable by `chrome://tracing` / Perfetto,
+//! * [`telemetry`] — live campaign telemetry: per-worker heartbeat
+//!   records, periodically rewritten `mixsig.campaign-status/1`
+//!   snapshots (`experiments watch` tails them) and stall detection,
+//!   all advisory and fully outside the canonical byte-stable path.
 //!
 //! # Example
 //!
@@ -50,4 +54,5 @@ pub mod dictionary;
 pub mod inject;
 pub mod journal;
 pub mod model;
+pub mod telemetry;
 pub mod trace;

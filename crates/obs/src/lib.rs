@@ -45,6 +45,13 @@
 //! module exports timelines in the Chrome Trace Event format for
 //! `chrome://tracing` / Perfetto.
 //!
+//! Live telemetry is the [`timeseries`] and [`status`] pair:
+//! fixed-capacity windowed counters and gauges derive rates and EWMAs
+//! from ring-buffered samples, and [`status::CampaignStatus`] is the
+//! `mixsig.campaign-status/1` snapshot a running campaign atomically
+//! rewrites (write-temp-then-rename) for concurrent watchers to poll
+//! without ever seeing a torn document.
+//!
 //! Human-facing output goes through [`table::Table`], so printed tables
 //! and the JSON report cannot drift apart.
 
@@ -58,7 +65,9 @@ pub mod recorder;
 pub mod report;
 pub mod ring;
 pub mod span;
+pub mod status;
 pub mod table;
+pub mod timeseries;
 pub mod trace;
 
 pub use chaos::{FaultPlan, FaultySink};
@@ -71,6 +80,8 @@ pub use postmortem::{LadderStep, Postmortem, PostmortemIteration};
 pub use profile::{Phase, PhaseProfiler, PhaseSnapshot};
 pub use recorder::{AggregatingRecorder, NoopRecorder, Recorder};
 pub use report::{RunReport, Section};
+pub use status::{CampaignStatus, WorkerLane};
+pub use timeseries::{Ewma, Gauge, TimeSeries, WindowedCounter};
 pub use trace::{render_trace, validate_trace, TraceEvent};
 pub use ring::RingBuffer;
 pub use table::{Align, Table};
