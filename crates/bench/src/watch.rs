@@ -203,6 +203,9 @@ pub fn overlay_heartbeats(dir: &Path, status: &mut CampaignStatus) {
         };
         let entry = lanes.entry(lane as u64).or_default();
         entry.lane = lane as u64;
+        // The record's own `completed` field is the campaign-global
+        // done count (a progress stamp), so per-lane completion is
+        // derived by counting this lane's `done` events instead.
         match rec.get("event").and_then(JsonValue::as_str) {
             Some("claim") => {
                 entry.fault = rec.get("fault").and_then(JsonValue::as_f64).map(|f| f as u64);
@@ -211,14 +214,16 @@ pub fn overlay_heartbeats(dir: &Path, status: &mut CampaignStatus) {
                     .and_then(JsonValue::as_str)
                     .map(str::to_owned);
             }
-            Some("done" | "abandon") => {
+            Some("done") => {
+                entry.fault = None;
+                entry.fault_name = None;
+                entry.completed += 1;
+            }
+            Some("abandon") => {
                 entry.fault = None;
                 entry.fault_name = None;
             }
             _ => {}
-        }
-        if let Some(completed) = rec.get("completed").and_then(JsonValue::as_f64) {
-            entry.completed = completed as u64;
         }
     }
     if !lanes.is_empty() {
@@ -327,8 +332,11 @@ pub fn observe(target: &Path, now_unix_ms: f64) -> Result<Option<WatchView>, Str
 
 /// Formats a millisecond quantity for the console.
 fn fmt_ms(ms: f64) -> String {
-    if ms >= 60_000.0 {
-        format!("{:.0}m{:02.0}s", (ms / 60_000.0).floor(), (ms % 60_000.0) / 1e3)
+    // Round to whole seconds before splitting so 119 950 ms renders as
+    // 2m00s, never 1m60s.
+    let secs = (ms / 1e3).round();
+    if secs >= 60.0 {
+        format!("{:.0}m{:02.0}s", (secs / 60.0).floor(), secs % 60.0)
     } else if ms >= 1_000.0 {
         format!("{:.1}s", ms / 1e3)
     } else {
@@ -649,12 +657,15 @@ mod tests {
         let dir = temp_dir("heartbeat-overlay");
         fs::write(dir.join("campaign.jsonl"), journal_text(false)).unwrap();
         let mut lines = String::new();
+        // The `completed` stamp on each record is the campaign-global
+        // done count — the overlay must count per-lane `done` events
+        // instead of copying it into a lane.
         for rec in [
             heartbeat_record("rc", 0, "claim", Some((0, "f0")), 0, 1.0),
             heartbeat_record("rc", 1, "claim", Some((1, "f1")), 0, 2.0),
             heartbeat_record("rc", 0, "done", Some((0, "f0")), 1, 3.0),
-            heartbeat_record("rc", 1, "done", Some((1, "f1")), 1, 4.0),
-            heartbeat_record("rc", 0, "claim", Some((2, "f2")), 1, 5.0),
+            heartbeat_record("rc", 1, "done", Some((1, "f1")), 2, 4.0),
+            heartbeat_record("rc", 0, "claim", Some((2, "f2")), 2, 5.0),
             // Records for another campaign must not leak in.
             heartbeat_record("other", 7, "claim", Some((9, "x")), 0, 6.0),
         ] {
@@ -714,6 +725,15 @@ mod tests {
         assert!(text.contains("#1 f1"), "{text}");
         assert!(text.contains("STALLED: lane 1"), "{text}");
         assert!(text.contains("19 Newton iterations"), "{text}");
+    }
+
+    #[test]
+    fn fmt_ms_carries_rounded_seconds_into_minutes() {
+        assert_eq!(fmt_ms(119_950.0), "2m00s");
+        assert_eq!(fmt_ms(59_999.0), "1m00s");
+        assert_eq!(fmt_ms(90_000.0), "1m30s");
+        assert_eq!(fmt_ms(1_500.0), "1.5s");
+        assert_eq!(fmt_ms(250.0), "250ms");
     }
 
     #[test]

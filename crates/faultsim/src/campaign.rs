@@ -1400,9 +1400,6 @@ where
     // the caller.
     let completed = results.iter().filter(|r| r.is_some()).count();
     if completed < faults.len() {
-        if let Some(em) = &emitter {
-            em.emit_terminal("cancelled");
-        }
         if let Some(js) = &journal_state {
             let append = js
                 .writer
@@ -1415,11 +1412,20 @@ where
                 // gets best-effort terminal records only.
                 Err(_) if js.failed.load(Ordering::Acquire) => {}
                 Err(err) => {
+                    if let Some(em) = &emitter {
+                        em.emit_terminal("cancelled");
+                    }
                     return Err(AnalysisError::InvalidParameter(format!(
                         "campaign journal: write failed: {err}"
                     )));
                 }
             }
+        }
+        // After the journal's terminal record, like the complete path:
+        // a watcher seeing a terminal snapshot can rely on the journal
+        // being finished too.
+        if let Some(em) = &emitter {
+            em.emit_terminal("cancelled");
         }
         return Err(AnalysisError::Cancelled);
     }

@@ -131,6 +131,11 @@ impl TelemetryConfig {
 /// records (a `record` discriminator plus a label) so journal tooling
 /// that stumbles on a heartbeat file fails soft, but heartbeats live in
 /// their own sidecar and never enter the canonical journal.
+///
+/// `completed` is the campaign-global done count at the time of the
+/// beat (a progress stamp), *not* the emitting lane's own tally —
+/// per-lane completion is recovered by counting `done` events per lane
+/// (see `bench`'s heartbeat overlay).
 pub fn heartbeat_record(
     label: &str,
     lane: usize,
@@ -175,15 +180,19 @@ struct LaneState {
 struct EmitState {
     throughput: WindowedCounter,
     last_emit: Instant,
-    /// Sum of completed-fault wall time, for the budget-less stall
-    /// fallback.
-    fault_wall: Duration,
 }
 
 /// Folds live campaign state into the status snapshot and heartbeat
 /// sidecar. Shared by reference between worker threads (claim/done
 /// events) and the monitor thread (periodic emission); every method is
 /// `&self`.
+///
+/// Lock order: `emit` strictly before any lane lock (`snapshot_locked`
+/// holds `emit` while visiting every lane). Nothing may acquire `emit`
+/// while holding a lane lock — that inversion deadlocks the monitor
+/// thread against a finishing worker. Cross-lock counters that worker
+/// events update under a lane lock ([`StatusEmitter::fault_wall_ns`])
+/// are atomics for exactly that reason.
 pub struct StatusEmitter {
     config: TelemetryConfig,
     label: String,
@@ -197,6 +206,10 @@ pub struct StatusEmitter {
     detected: AtomicUsize,
     undetected: AtomicUsize,
     failed: AtomicUsize,
+    /// Sum of completed-fault wall time in nanoseconds, for the
+    /// budget-less stall fallback. Atomic (not part of [`EmitState`])
+    /// because workers add to it while holding their lane lock.
+    fault_wall_ns: AtomicU64,
     solver: Mutex<SolverSnapshot>,
     heartbeats: Mutex<Option<JournalWriter>>,
     heartbeat_drops: AtomicU64,
@@ -254,6 +267,7 @@ impl StatusEmitter {
             detected: AtomicUsize::new(detected),
             undetected: AtomicUsize::new(undetected),
             failed: AtomicUsize::new(failed),
+            fault_wall_ns: AtomicU64::new(0),
             solver: Mutex::new(SolverSnapshot::default()),
             heartbeats: Mutex::new(heartbeats),
             heartbeat_drops: AtomicU64::new(0),
@@ -261,7 +275,6 @@ impl StatusEmitter {
             emit: Mutex::new(EmitState {
                 throughput: WindowedCounter::new(),
                 last_emit: now,
-                fault_wall: Duration::ZERO,
             }),
             finished: AtomicBool::new(false),
             config,
@@ -331,8 +344,13 @@ impl StatusEmitter {
         {
             let mut state = self.lanes[lane].lock().expect("lane lock");
             if let Some((_, _, claimed)) = state.current.take() {
-                let mut emit = self.emit.lock().expect("emit lock");
-                emit.fault_wall += now.saturating_duration_since(claimed);
+                // Atomic, not the emit lock: taking emit here while
+                // holding the lane lock would invert the emit→lane
+                // order snapshot_locked relies on and deadlock against
+                // the monitor thread.
+                let wall = now.saturating_duration_since(claimed);
+                self.fault_wall_ns
+                    .fetch_add(wall.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::AcqRel);
             }
             state.last_beat = now;
             state.completed += 1;
@@ -352,7 +370,7 @@ impl StatusEmitter {
     /// budget when one is configured, else `stall_factor` × the average
     /// observed fault duration (floored at 1 s), else `None` before any
     /// fault completed.
-    fn stall_after_ms(&self, emit: &EmitState) -> Option<f64> {
+    fn stall_after_ms(&self) -> Option<f64> {
         if let Some(wall) = self.budget_wall {
             return Some(self.config.stall_factor * wall.as_secs_f64() * 1e3);
         }
@@ -360,7 +378,7 @@ impl StatusEmitter {
         if fresh == 0 {
             return None;
         }
-        let avg_ms = emit.fault_wall.as_secs_f64() * 1e3 / fresh as f64;
+        let avg_ms = self.fault_wall_ns.load(Ordering::Acquire) as f64 / 1e6 / fresh as f64;
         Some(self.config.stall_factor * avg_ms.max(1e3))
     }
 
@@ -386,7 +404,7 @@ impl StatusEmitter {
             let best = ewma.max(rate);
             (best > 0.0).then(|| remaining as f64 / best * 1e3)
         };
-        let stall_after_ms = self.stall_after_ms(emit);
+        let stall_after_ms = self.stall_after_ms();
         let workers = self
             .lanes
             .iter()
