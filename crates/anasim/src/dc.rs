@@ -229,7 +229,10 @@ fn dc_solve(
 
     // 2. gmin stepping: start heavily damped, relax by decades.
     let mut last_err = direct.unwrap_err();
-    if matches!(last_err, AnalysisError::NoConvergence { .. }) {
+    if matches!(
+        last_err,
+        AnalysisError::NoConvergence { .. } | AnalysisError::Numerical { .. }
+    ) {
         set_phase(SolvePhase::DcGmin);
         x.iter_mut().for_each(|v| *v = 0.0);
         let mut ok = true;

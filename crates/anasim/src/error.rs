@@ -46,6 +46,16 @@ pub enum AnalysisError {
     /// campaign shutting down). Not a solver failure: the circuit may
     /// have been perfectly solvable.
     Cancelled,
+    /// A numerical hazard survived the entire tier-demotion ladder:
+    /// every recovery tier (cached factor, refactor, symbolic rebuild,
+    /// dense fallback) was tried and the hazard persisted. This is the
+    /// typed replacement for NaN-poisoned reports and panics.
+    Numerical {
+        /// The hazard kind that exhausted the ladder.
+        hazard: linsys::NumericalHazard,
+        /// Simulation time in seconds at which it struck (0.0 for DC).
+        time: f64,
+    },
 }
 
 /// The budget dimension that ran out in
@@ -86,6 +96,11 @@ impl fmt::Display for AnalysisError {
                 )
             }
             AnalysisError::Cancelled => write!(f, "analysis cancelled by caller"),
+            AnalysisError::Numerical { hazard, time } => write!(
+                f,
+                "numerical hazard {hazard} persisted through every recovery tier \
+                 at t = {time:.3e} s"
+            ),
         }
     }
 }
@@ -119,6 +134,17 @@ mod tests {
     fn error_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<AnalysisError>();
+    }
+
+    #[test]
+    fn numerical_hazard_reports_kind_and_time() {
+        let err = AnalysisError::Numerical {
+            hazard: linsys::NumericalHazard::Rank1Breakdown,
+            time: 2e-6,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("rank1-breakdown"), "{msg}");
+        assert!(msg.contains("2.000e-6"), "{msg}");
     }
 
     #[test]

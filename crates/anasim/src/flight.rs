@@ -17,7 +17,7 @@
 
 use std::sync::Mutex;
 
-use obs::postmortem::{LadderStep, Postmortem, PostmortemIteration};
+use obs::postmortem::{HazardStep, LadderStep, Postmortem, PostmortemIteration};
 use obs::ring::RingBuffer;
 
 use crate::error::AnalysisError;
@@ -75,6 +75,7 @@ struct FlightState {
     /// One name per MNA unknown, installed once per topology.
     names: Vec<String>,
     ladder: Vec<LadderStep>,
+    hazards: Vec<HazardStep>,
     phase: SolvePhase,
     total_iterations: u64,
 }
@@ -107,6 +108,7 @@ impl FlightRecorder {
                 ring: RingBuffer::new(capacity),
                 names: Vec::new(),
                 ladder: Vec::new(),
+                hazards: Vec::new(),
                 phase: SolvePhase::default(),
                 total_iterations: 0,
             }),
@@ -176,6 +178,27 @@ impl FlightRecorder {
         }
     }
 
+    /// Hazard entries retained per recorder: enough to narrate any
+    /// realistic demotion story, bounded so a pathologically unstable
+    /// solve cannot grow the postmortem without limit.
+    pub const MAX_HAZARDS: usize = 32;
+
+    /// Records one numerical hazard and the recovery action taken
+    /// (e.g. `rank1-breakdown` → `demote:refactor`). Entries beyond
+    /// [`FlightRecorder::MAX_HAZARDS`] are dropped — the *counters* in
+    /// [`SolverMetrics`] stay exact; this trace exists so postmortems
+    /// and `experiments explain` can narrate the order of events.
+    pub fn record_hazard(&self, hazard: &str, action: &str, time: f64) {
+        let mut state = self.lock();
+        if state.hazards.len() < Self::MAX_HAZARDS {
+            state.hazards.push(HazardStep {
+                hazard: hazard.to_owned(),
+                action: action.to_owned(),
+                time,
+            });
+        }
+    }
+
     /// Total Newton iterations recorded, including ones the ring has
     /// already overwritten.
     pub fn total_iterations(&self) -> u64 {
@@ -208,6 +231,7 @@ impl FlightRecorder {
     ) -> Postmortem {
         let (time, residual) = match error {
             AnalysisError::NoConvergence { time, residual, .. } => (*time, *residual),
+            AnalysisError::Numerical { time, .. } => (*time, f64::NAN),
             AnalysisError::BudgetExceeded { time, .. } => (*time, f64::NAN),
             _ => (0.0, f64::NAN),
         };
@@ -272,6 +296,7 @@ impl FlightRecorder {
             trace,
             worst_nodes,
             ladder: state.ladder.clone(),
+            hazards: state.hazards.clone(),
             budget_steps,
         }
     }
@@ -292,6 +317,10 @@ pub struct SolveHooks<'a> {
     /// Phase profiler ([`obs::profile::PhaseProfiler`]) — per-phase
     /// wall-time attribution of the Newton loop.
     pub profile: Option<&'a obs::profile::PhaseProfiler>,
+    /// Numeric-chaos firing state ([`obs::NumericChaosState`]) —
+    /// deterministic arithmetic fault injection. Disarmed, each
+    /// injection site is one `None` branch.
+    pub chaos: Option<&'a obs::NumericChaosState>,
 }
 
 impl<'a> SolveHooks<'a> {
@@ -422,6 +451,40 @@ mod tests {
             None,
         );
         assert_eq!(pm.worst_nodes, vec![("out".into(), 2), ("in".into(), 1)]);
+    }
+
+    #[test]
+    fn hazard_history_reaches_the_postmortem_and_is_bounded() {
+        let flight = FlightRecorder::new(4);
+        flight.record_hazard("rank1-breakdown", "demote:refactor", 1e-6);
+        flight.record_hazard("non-finite", "terminal", 2e-6);
+        let pm = flight.freeze(
+            "t",
+            &AnalysisError::NoConvergence {
+                time: 2e-6,
+                residual: 1.0,
+                iterations: 1,
+            },
+            None,
+        );
+        assert_eq!(pm.hazards.len(), 2);
+        assert_eq!(pm.hazards[0].hazard, "rank1-breakdown");
+        assert_eq!(pm.hazards[0].action, "demote:refactor");
+        assert_eq!(pm.hazards[1].time, 2e-6);
+        // The trace is bounded at MAX_HAZARDS even if a solve thrashes.
+        for _ in 0..(FlightRecorder::MAX_HAZARDS * 2) {
+            flight.record_hazard("non-finite", "demote:refactor", 0.0);
+        }
+        let pm = flight.freeze(
+            "t",
+            &AnalysisError::NoConvergence {
+                time: 0.0,
+                residual: 1.0,
+                iterations: 1,
+            },
+            None,
+        );
+        assert_eq!(pm.hazards.len(), FlightRecorder::MAX_HAZARDS);
     }
 
     #[test]

@@ -20,12 +20,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use linsys::NumericalHazard;
 use obs::profile::{PhaseProfiler, PhaseSnapshot};
 use obs::Recorder;
 
 /// Counter names under which [`SolverSnapshot::emit_to`] publishes to a
 /// recorder, in emission order.
-pub const COUNTER_NAMES: [&str; 8] = [
+pub const COUNTER_NAMES: [&str; 19] = [
     "solver.newton_iterations",
     "solver.steps_accepted",
     "solver.steps_rejected",
@@ -34,7 +35,56 @@ pub const COUNTER_NAMES: [&str; 8] = [
     "solver.dc_source_steps",
     "solver.factor_reuse_hits",
     "solver.factor_reuse_misses",
+    "solver.hazard.near_singular_pivot",
+    "solver.hazard.pivot_growth",
+    "solver.hazard.rank1_breakdown",
+    "solver.hazard.nonfinite",
+    "solver.hazard.refinement_stall",
+    "solver.hazard.ill_conditioned",
+    "solver.demote.stale",
+    "solver.demote.refactor",
+    "solver.demote.symbolic",
+    "solver.demote.dense",
+    "solver.refinement.rounds",
 ];
+
+/// The recovery tier the solver demoted *to* after a numerical hazard,
+/// ordered from cheapest to most expensive. The tiers mirror the
+/// factorisation-reuse ladder in `mna`: reuse a cached same-key factor
+/// as-is, numerically refactor in the existing symbolic structure,
+/// rebuild the symbolic analysis from scratch, and finally abandon the
+/// sparse backend for dense LU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DemotionTier {
+    /// Fall back to a cached (stale or same-key) factorisation.
+    Stale,
+    /// Force a numeric refactorisation of the current structure.
+    Refactor,
+    /// Rebuild the symbolic structure and refactor.
+    Symbolic,
+    /// Abandon the sparse backend for dense LU.
+    Dense,
+}
+
+impl DemotionTier {
+    /// Every tier, cheapest first.
+    pub const ALL: [DemotionTier; 4] = [
+        DemotionTier::Stale,
+        DemotionTier::Refactor,
+        DemotionTier::Symbolic,
+        DemotionTier::Dense,
+    ];
+
+    /// Stable lowercase label used in counters, markers and journals.
+    pub fn label(self) -> &'static str {
+        match self {
+            DemotionTier::Stale => "stale",
+            DemotionTier::Refactor => "refactor",
+            DemotionTier::Symbolic => "symbolic",
+            DemotionTier::Dense => "dense",
+        }
+    }
+}
 
 /// Live, thread-safe solver counters plus an optional span recorder.
 #[derive(Default)]
@@ -47,6 +97,17 @@ pub struct SolverMetrics {
     dc_source_steps: AtomicU64,
     factor_reuse_hits: AtomicU64,
     factor_reuse_misses: AtomicU64,
+    hazard_near_singular_pivot: AtomicU64,
+    hazard_pivot_growth: AtomicU64,
+    hazard_rank1_breakdown: AtomicU64,
+    hazard_nonfinite: AtomicU64,
+    hazard_refinement_stall: AtomicU64,
+    hazard_ill_conditioned: AtomicU64,
+    demote_stale: AtomicU64,
+    demote_refactor: AtomicU64,
+    demote_symbolic: AtomicU64,
+    demote_dense: AtomicU64,
+    refinement_rounds: AtomicU64,
     recorder: Option<Arc<dyn Recorder>>,
     profile: Option<Arc<PhaseProfiler>>,
 }
@@ -135,6 +196,42 @@ impl SolverMetrics {
         self.factor_reuse_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One numerical hazard of the given kind detected. Hazards are
+    /// *detections*, not necessarily failures: advisory kinds
+    /// (pivot-growth, ill-conditioned) are counted without forcing a
+    /// demotion, while the rest trigger the demotion ladder.
+    #[inline]
+    pub fn hazard(&self, hazard: NumericalHazard) {
+        let counter = match hazard {
+            NumericalHazard::NearSingularPivot => &self.hazard_near_singular_pivot,
+            NumericalHazard::PivotGrowth => &self.hazard_pivot_growth,
+            NumericalHazard::Rank1Breakdown => &self.hazard_rank1_breakdown,
+            NumericalHazard::NonFinite => &self.hazard_nonfinite,
+            NumericalHazard::RefinementStall => &self.hazard_refinement_stall,
+            NumericalHazard::IllConditioned => &self.hazard_ill_conditioned,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One demotion onto the given recovery tier after a hazard.
+    #[inline]
+    pub fn demotion(&self, tier: DemotionTier) {
+        let counter = match tier {
+            DemotionTier::Stale => &self.demote_stale,
+            DemotionTier::Refactor => &self.demote_refactor,
+            DemotionTier::Symbolic => &self.demote_symbolic,
+            DemotionTier::Dense => &self.demote_dense,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One round of iterative refinement executed (whether or not the
+    /// corrected iterate was accepted).
+    #[inline]
+    pub fn refinement_round(&self) {
+        self.refinement_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reports a completed analysis span (e.g. `anasim.dc`) to the
     /// attached recorder, if any.
     pub fn record_span(&self, name: &str, elapsed: Duration) {
@@ -165,6 +262,17 @@ impl SolverMetrics {
             dc_source_steps: self.dc_source_steps.load(Ordering::Relaxed),
             factor_reuse_hits: self.factor_reuse_hits.load(Ordering::Relaxed),
             factor_reuse_misses: self.factor_reuse_misses.load(Ordering::Relaxed),
+            hazard_near_singular_pivot: self.hazard_near_singular_pivot.load(Ordering::Relaxed),
+            hazard_pivot_growth: self.hazard_pivot_growth.load(Ordering::Relaxed),
+            hazard_rank1_breakdown: self.hazard_rank1_breakdown.load(Ordering::Relaxed),
+            hazard_nonfinite: self.hazard_nonfinite.load(Ordering::Relaxed),
+            hazard_refinement_stall: self.hazard_refinement_stall.load(Ordering::Relaxed),
+            hazard_ill_conditioned: self.hazard_ill_conditioned.load(Ordering::Relaxed),
+            demote_stale: self.demote_stale.load(Ordering::Relaxed),
+            demote_refactor: self.demote_refactor.load(Ordering::Relaxed),
+            demote_symbolic: self.demote_symbolic.load(Ordering::Relaxed),
+            demote_dense: self.demote_dense.load(Ordering::Relaxed),
+            refinement_rounds: self.refinement_rounds.load(Ordering::Relaxed),
             phases: self.profile.as_ref().map(|p| p.snapshot()).unwrap_or_default(),
         }
     }
@@ -190,6 +298,29 @@ pub struct SolverSnapshot {
     pub factor_reuse_hits: u64,
     /// Newton iterations that (re)factorised the system matrix.
     pub factor_reuse_misses: u64,
+    /// Near-singular pivots detected (scale-relative threshold).
+    pub hazard_near_singular_pivot: u64,
+    /// Excessive element growth observed during factorisation
+    /// (advisory).
+    pub hazard_pivot_growth: u64,
+    /// Degenerate Sherman–Morrison rank-1 denominators.
+    pub hazard_rank1_breakdown: u64,
+    /// Non-finite residuals, solutions or trial steps scrubbed.
+    pub hazard_nonfinite: u64,
+    /// Refinement rounds that failed to contract the true residual.
+    pub hazard_refinement_stall: u64,
+    /// Condition estimates above the advisory threshold.
+    pub hazard_ill_conditioned: u64,
+    /// Demotions onto a cached factorisation.
+    pub demote_stale: u64,
+    /// Demotions forcing a numeric refactorisation.
+    pub demote_refactor: u64,
+    /// Demotions rebuilding the symbolic structure.
+    pub demote_symbolic: u64,
+    /// Demotions abandoning the sparse backend for dense LU.
+    pub demote_dense: u64,
+    /// Iterative-refinement rounds executed.
+    pub refinement_rounds: u64,
     /// Per-phase self-time nanoseconds and span counts from an attached
     /// [`PhaseProfiler`]; all-zero when profiling was disarmed. Being
     /// wall-clock measurements these are *not* deterministic, so they
@@ -203,7 +334,7 @@ impl SolverSnapshot {
     /// recorder-facing [`COUNTER_NAMES`] are these with a `solver.`
     /// prefix. Keeping one authoritative name list next to the value
     /// list stops the two from drifting into positional magic.
-    pub const FIELDS: [&'static str; 8] = [
+    pub const FIELDS: [&'static str; 19] = [
         "newton_iterations",
         "steps_accepted",
         "steps_rejected",
@@ -212,6 +343,17 @@ impl SolverSnapshot {
         "dc_source_steps",
         "factor_reuse_hits",
         "factor_reuse_misses",
+        "hazard.near_singular_pivot",
+        "hazard.pivot_growth",
+        "hazard.rank1_breakdown",
+        "hazard.nonfinite",
+        "hazard.refinement_stall",
+        "hazard.ill_conditioned",
+        "demote.stale",
+        "demote.refactor",
+        "demote.symbolic",
+        "demote.dense",
+        "refinement.rounds",
     ];
 
     /// Publishes each counter to `recorder` under its
@@ -224,7 +366,7 @@ impl SolverSnapshot {
     }
 
     /// Counter values in [`COUNTER_NAMES`] order.
-    pub fn as_array(&self) -> [u64; 8] {
+    pub fn as_array(&self) -> [u64; 19] {
         [
             self.newton_iterations,
             self.steps_accepted,
@@ -234,6 +376,42 @@ impl SolverSnapshot {
             self.dc_source_steps,
             self.factor_reuse_hits,
             self.factor_reuse_misses,
+            self.hazard_near_singular_pivot,
+            self.hazard_pivot_growth,
+            self.hazard_rank1_breakdown,
+            self.hazard_nonfinite,
+            self.hazard_refinement_stall,
+            self.hazard_ill_conditioned,
+            self.demote_stale,
+            self.demote_refactor,
+            self.demote_symbolic,
+            self.demote_dense,
+            self.refinement_rounds,
+        ]
+    }
+
+    /// Hazard counters paired with their [`NumericalHazard::label`]s,
+    /// in [`NumericalHazard::ALL`] order — the shape canonical-report
+    /// markers and `experiments explain` render from.
+    pub fn hazards(&self) -> [(&'static str, u64); 6] {
+        [
+            ("near-singular-pivot", self.hazard_near_singular_pivot),
+            ("pivot-growth", self.hazard_pivot_growth),
+            ("rank1-breakdown", self.hazard_rank1_breakdown),
+            ("non-finite", self.hazard_nonfinite),
+            ("refinement-stall", self.hazard_refinement_stall),
+            ("ill-conditioned", self.hazard_ill_conditioned),
+        ]
+    }
+
+    /// Demotion counters paired with their [`DemotionTier::label`]s, in
+    /// [`DemotionTier::ALL`] (cheapest-first) order.
+    pub fn demotions(&self) -> [(&'static str, u64); 4] {
+        [
+            ("stale", self.demote_stale),
+            ("refactor", self.demote_refactor),
+            ("symbolic", self.demote_symbolic),
+            ("dense", self.demote_dense),
         ]
     }
 }
@@ -251,6 +429,18 @@ impl Add for SolverSnapshot {
             dc_source_steps: self.dc_source_steps + rhs.dc_source_steps,
             factor_reuse_hits: self.factor_reuse_hits + rhs.factor_reuse_hits,
             factor_reuse_misses: self.factor_reuse_misses + rhs.factor_reuse_misses,
+            hazard_near_singular_pivot: self.hazard_near_singular_pivot
+                + rhs.hazard_near_singular_pivot,
+            hazard_pivot_growth: self.hazard_pivot_growth + rhs.hazard_pivot_growth,
+            hazard_rank1_breakdown: self.hazard_rank1_breakdown + rhs.hazard_rank1_breakdown,
+            hazard_nonfinite: self.hazard_nonfinite + rhs.hazard_nonfinite,
+            hazard_refinement_stall: self.hazard_refinement_stall + rhs.hazard_refinement_stall,
+            hazard_ill_conditioned: self.hazard_ill_conditioned + rhs.hazard_ill_conditioned,
+            demote_stale: self.demote_stale + rhs.demote_stale,
+            demote_refactor: self.demote_refactor + rhs.demote_refactor,
+            demote_symbolic: self.demote_symbolic + rhs.demote_symbolic,
+            demote_dense: self.demote_dense + rhs.demote_dense,
+            refinement_rounds: self.refinement_rounds + rhs.refinement_rounds,
             phases: self.phases + rhs.phases,
         }
     }
@@ -280,6 +470,11 @@ mod tests {
         m.factor_reuse_hit();
         m.factor_reuse_hit();
         m.factor_reuse_miss();
+        m.hazard(NumericalHazard::Rank1Breakdown);
+        m.hazard(NumericalHazard::NonFinite);
+        m.hazard(NumericalHazard::NonFinite);
+        m.demotion(DemotionTier::Refactor);
+        m.refinement_round();
         let snap = m.snapshot();
         assert_eq!(snap.newton_iterations, 2);
         assert_eq!(snap.steps_accepted, 1);
@@ -289,6 +484,37 @@ mod tests {
         assert_eq!(snap.dc_source_steps, 1);
         assert_eq!(snap.factor_reuse_hits, 2);
         assert_eq!(snap.factor_reuse_misses, 1);
+        assert_eq!(snap.hazard_rank1_breakdown, 1);
+        assert_eq!(snap.hazard_nonfinite, 2);
+        assert_eq!(snap.hazard_near_singular_pivot, 0);
+        assert_eq!(snap.demote_refactor, 1);
+        assert_eq!(snap.demote_dense, 0);
+        assert_eq!(snap.refinement_rounds, 1);
+    }
+
+    #[test]
+    fn every_hazard_and_tier_lands_on_its_own_counter() {
+        let m = SolverMetrics::new();
+        for h in NumericalHazard::ALL {
+            m.hazard(h);
+        }
+        for t in DemotionTier::ALL {
+            m.demotion(t);
+        }
+        let snap = m.snapshot();
+        for (label, count) in snap.hazards() {
+            assert_eq!(count, 1, "hazard {label}");
+        }
+        for (label, count) in snap.demotions() {
+            assert_eq!(count, 1, "demotion {label}");
+        }
+        // The label pairing matches the authoritative enums.
+        for ((label, _), h) in snap.hazards().iter().zip(NumericalHazard::ALL) {
+            assert_eq!(*label, h.label());
+        }
+        for ((label, _), t) in snap.demotions().iter().zip(DemotionTier::ALL) {
+            assert_eq!(*label, t.label());
+        }
     }
 
     #[test]
@@ -345,9 +571,23 @@ mod tests {
             dc_source_steps: 6,
             factor_reuse_hits: 7,
             factor_reuse_misses: 8,
+            hazard_near_singular_pivot: 9,
+            hazard_pivot_growth: 10,
+            hazard_rank1_breakdown: 11,
+            hazard_nonfinite: 12,
+            hazard_refinement_stall: 13,
+            hazard_ill_conditioned: 14,
+            demote_stale: 15,
+            demote_refactor: 16,
+            demote_symbolic: 17,
+            demote_dense: 18,
+            refinement_rounds: 19,
             ..SolverSnapshot::default()
         };
-        assert_eq!(snap.as_array(), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            snap.as_array(),
+            [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19]
+        );
         let rec = AggregatingRecorder::new();
         snap.emit_to(&rec);
         let agg = rec.snapshot();

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crate::dense::Matrix;
 use crate::devices::{Device, MosPolarity};
 use crate::flight::SolveHooks;
+use crate::metrics::DemotionTier;
 use crate::netlist::{DeviceId, Netlist, NodeId};
 use crate::robust::BudgetClock;
 use crate::solver::{
@@ -13,7 +14,9 @@ use crate::solver::{
 };
 use crate::AnalysisError;
 use linsys::sparse::{SparseMatrix, SparseStructure};
+use linsys::{refine_once, NumericalHazard, SingularMatrixError};
 use obs::profile::{LapTimer, Phase};
+use obs::NumericSite;
 
 /// Mapping from circuit topology to MNA unknown indices.
 ///
@@ -698,6 +701,67 @@ const STALE_TOL_SCALE_DC: f64 = 1e-4;
 /// reuse resumes a few steps after the circuit settles.
 const DISTRUST_SOLVES: u8 = 4;
 
+/// Pivot-growth factor above which a fresh factorisation raises the
+/// advisory [`NumericalHazard::PivotGrowth`]. Partial pivoting keeps
+/// growth near 1 on every well-behaved MNA system; values past 1e8 mean
+/// elimination amplified entries enough to eat half the mantissa.
+/// Advisory only: the acceptance gates decide whether the answer
+/// stands, the counter tells the postmortem *why* it might not have.
+const GROWTH_LIMIT: f64 = 1e8;
+
+/// 1-norm condition estimate above which a fresh factorisation raises
+/// the advisory [`NumericalHazard::IllConditioned`]. κ₁ ≈ 1e14 leaves
+/// roughly two significant decimal digits in the solve — the point
+/// where a fault signature stops being trustworthy. Estimated only on
+/// fresh-key factorisations (a handful per analysis) because the Hager
+/// probe costs a few extra back-substitutions.
+const COND_LIMIT: f64 = 1e14;
+
+/// Componentwise acceptance gate for solves returned off a *reused* (or
+/// single-shot fresh) factorisation: the solve passes when the true
+/// residual ∞-norm is below this fraction of its Oettli–Prager scale
+/// `max_r(Σ_c |a_rc·x_c| + |b_r|)`. Honest solves sit at rounding level
+/// (~1e-13 of scale even through a rank-1 update), so 1e-8 leaves four
+/// orders of margin while still catching a corrupted factor, a stale
+/// structure or a poisoned right-hand side. Failures take one round of
+/// iterative refinement before the tier demotes.
+const RESID_GATE_TOL: f64 = 1e-8;
+
+/// Scale-relative breakdown threshold for the Sherman–Morrison
+/// denominator `1 + g·wᵀz`: the update is degenerate when the sum
+/// cancels to within this fraction of its operands' magnitude. The old
+/// absolute `1e-300` floor only caught underflow — a denominator of
+/// 1e-14 built from operands of size 1e2 is pure cancellation noise yet
+/// sailed through it.
+const RANK1_DENOM_REL_TOL: f64 = 1e-12;
+
+/// Counts a hazard and appends it to the flight-recorder history.
+fn note_hazard(hooks: &SolveHooks<'_>, hazard: NumericalHazard, action: &str, time: f64) {
+    if let Some(metrics) = hooks.metrics {
+        metrics.hazard(hazard);
+    }
+    if let Some(flight) = hooks.flight {
+        flight.record_hazard(hazard.label(), action, time);
+    }
+}
+
+/// Counts a demotion to `tier`.
+fn note_demotion(hooks: &SolveHooks<'_>, tier: DemotionTier) {
+    if let Some(metrics) = hooks.metrics {
+        metrics.demotion(tier);
+    }
+}
+
+/// Flight-recorder action string for a demotion to `tier`.
+fn demote_action(tier: DemotionTier) -> &'static str {
+    match tier {
+        DemotionTier::Stale => "demote:stale",
+        DemotionTier::Refactor => "demote:refactor",
+        DemotionTier::Symbolic => "demote:symbolic",
+        DemotionTier::Dense => "demote:dense",
+    }
+}
+
 /// Cache key for the current stamp parameters. Time and `source_scale`
 /// only shape the right-hand side, so they stay out of the key.
 fn factor_key(params: &StampParams<'_>) -> FactorKey {
@@ -748,6 +812,7 @@ fn ensure_system(
         ctx.x_new.resize(n, 0.0);
         ctx.resid.resize(n, 0.0);
         ctx.scratch.resize(n, 0.0);
+        ctx.trial.resize(n, 0.0);
     }
     if matches!(&ctx.sys, Some((m, sys)) if *m == mode && sys.n() == n) {
         return;
@@ -855,7 +920,13 @@ fn newton_iterate(
     let mut worst = f64::INFINITY;
     let mut prev_worst = f64::INFINITY;
     let mut baseline_ready = false;
-    for iter in 0..options.max_iterations {
+    // Per-solve recovery latches: each rung of the demotion ladder may
+    // fire once per `newton_iterate` call, so recovery work stays
+    // bounded and a persistent hazard reaches its typed error promptly.
+    let mut demoted: u8 = 0;
+    let mut fresh_retry = false;
+    let mut nonfinite_retry = false;
+    'newton: for iter in 0..options.max_iterations {
         if let Some(clock) = clock {
             clock.check_wall(params.time)?;
         }
@@ -907,8 +978,18 @@ fn newton_iterate(
                         delta.w_into(&mut ctx.resid);
                         golden.solve_into(&ctx.resid, &mut ctx.scratch);
                         let g = delta.conductance;
-                        let denom = 1.0 + g * delta.w_dot(&ctx.scratch);
-                        if denom.abs() > 1e-300 {
+                        let gwz = g * delta.w_dot(&ctx.scratch);
+                        let denom = 1.0 + gwz;
+                        // The update is degenerate when `1 + g·wᵀz`
+                        // cancels to rounding level of its operands — a
+                        // scale-relative test, unlike the absolute
+                        // underflow floor it replaces, which waved
+                        // through catastrophically cancelled sums. The
+                        // chaos hook forces a breakdown on schedule.
+                        let breakdown = hooks.chaos.is_some_and(|c| c.fire(NumericSite::Denom))
+                            || denom.abs() <= RANK1_DENOM_REL_TOL * 1.0_f64.max(gwz.abs());
+                        let mut sm_hazard = NumericalHazard::Rank1Breakdown;
+                        if !breakdown {
                             let coef = g * delta.w_dot(&ctx.x_new) / denom;
                             for k in 0..n {
                                 ctx.x_new[k] -= coef * ctx.scratch[k];
@@ -916,38 +997,111 @@ fn newton_iterate(
                             if let Some(l) = lap.as_deref_mut() {
                                 l.lap(Phase::Rank1Update);
                             }
-                            if let Some(metrics) = hooks.metrics {
-                                metrics.factor_reuse_hit();
+                            // Acceptance gate: the golden factors are a
+                            // reused tier, so the corrected solve must
+                            // reproduce the assembled faulty system
+                            // before it is returned. One refinement
+                            // round through the same factors (M ≈ A)
+                            // repairs marginal solves; anything still
+                            // above the gate demotes below.
+                            let (_, sys) = ctx.sys.as_ref().expect("system prepared");
+                            let (rnorm, scale) =
+                                sys.residual_gate_into(&ctx.x_new, &ctx.b, &mut ctx.resid);
+                            let mut accepted = rnorm <= RESID_GATE_TOL * scale;
+                            if !accepted {
+                                if let Some(metrics) = hooks.metrics {
+                                    metrics.refinement_round();
+                                }
+                                let b = &ctx.b;
+                                let out = refine_once(
+                                    &mut ctx.x_new,
+                                    &mut ctx.resid,
+                                    &mut ctx.scratch,
+                                    &mut ctx.trial,
+                                    |xv, out| sys.residual_into(xv, b, out),
+                                    |r, out| golden.solve_into(r, out),
+                                );
+                                accepted = out.residual_after <= RESID_GATE_TOL * scale;
                             }
-                            x.clear();
-                            x.extend_from_slice(&ctx.x_new);
-                            return Ok(());
+                            if accepted {
+                                if let Some(metrics) = hooks.metrics {
+                                    metrics.factor_reuse_hit();
+                                }
+                                x.clear();
+                                x.extend_from_slice(&ctx.x_new);
+                                return Ok(());
+                            }
+                            sm_hazard = NumericalHazard::RefinementStall;
                         }
-                        // Degenerate update (1 + g·wᵀz ≈ 0): fall back
-                        // to factoring the faulty matrix directly.
+                        // Degenerate or unrepairable update: demote to
+                        // the cached factorisation of the faulty matrix
+                        // when one exists under this key, else to a
+                        // refactorisation, and fall through to those
+                        // tiers.
+                        let tier = if !ctx.force_refactor
+                            && matches!(&ctx.factor, Some((k, _)) if *k == key)
+                        {
+                            DemotionTier::Stale
+                        } else {
+                            DemotionTier::Refactor
+                        };
+                        note_demotion(hooks, tier);
+                        note_hazard(hooks, sm_hazard, demote_action(tier), params.time);
                     }
                 }
             }
         }
 
-        let cached = !ctx.force_refactor && matches!(&ctx.factor, Some((k, _)) if *k == key);
+        let mut cached = !ctx.force_refactor && matches!(&ctx.factor, Some((k, _)) if *k == key);
         let mut stale_accepted = false;
         let mut stale_rejected = false;
         if cached && linear {
-            if let Some(metrics) = hooks.metrics {
-                metrics.factor_reuse_hit();
-            }
             // The matrix is exactly the one the factorisation was
             // computed from (linear stamps depend only on the key), so
-            // the cached solve is exact.
+            // the cached solve is exact — but the factors are still a
+            // reused tier, so the acceptance gate (plus one refinement
+            // round) must pass before the solve is returned.
             let (_, factor) = ctx.factor.as_ref().expect("cached factor present");
             factor.solve_into(&ctx.b, &mut ctx.x_new);
             if let Some(l) = lap.as_deref_mut() {
                 l.lap(Phase::BackSubstitute);
             }
-            x.clear();
-            x.extend_from_slice(&ctx.x_new);
-            return Ok(());
+            let (_, sys) = ctx.sys.as_ref().expect("system prepared");
+            let (rnorm, scale) = sys.residual_gate_into(&ctx.x_new, &ctx.b, &mut ctx.resid);
+            let mut accepted = rnorm <= RESID_GATE_TOL * scale;
+            if !accepted {
+                if let Some(metrics) = hooks.metrics {
+                    metrics.refinement_round();
+                }
+                let b = &ctx.b;
+                let out = refine_once(
+                    &mut ctx.x_new,
+                    &mut ctx.resid,
+                    &mut ctx.scratch,
+                    &mut ctx.trial,
+                    |xv, out| sys.residual_into(xv, b, out),
+                    |r, out| factor.solve_into(r, out),
+                );
+                accepted = out.residual_after <= RESID_GATE_TOL * scale;
+            }
+            if accepted {
+                if let Some(metrics) = hooks.metrics {
+                    metrics.factor_reuse_hit();
+                }
+                x.clear();
+                x.extend_from_slice(&ctx.x_new);
+                return Ok(());
+            }
+            // The cached factors failed their gate even after
+            // refinement: retire them so this iteration refactorises.
+            note_demotion(hooks, DemotionTier::Refactor);
+            note_hazard(
+                hooks,
+                NumericalHazard::RefinementStall,
+                demote_action(DemotionTier::Refactor),
+                params.time,
+            );
+            cached = false;
         }
         if cached && ctx.stale_iters < STALE_ITER_CAP && (iter > 0 || ctx.distrust == 0) {
             // Tier 2: trial modified-Newton step in residual form
@@ -1004,12 +1158,62 @@ fn newton_iterate(
             let same_key = matches!(&ctx.factor, Some((k, _)) if *k == key);
             let reuse = ctx.factor.take().map(|(_, f)| f);
             let (_, sys) = ctx.sys.as_ref().expect("system prepared");
-            let factor = match sys.factor(&mut ctx.ws, reuse) {
+            // Numeric-chaos hook: a forced pivot breakdown walks the
+            // demotion ladder exactly as a genuinely unfactorable
+            // system would, without needing one in the netlist.
+            let factored = if hooks.chaos.is_some_and(|c| c.fire(NumericSite::Pivot)) {
+                Err(SingularMatrixError { row: 0 })
+            } else {
+                sys.factor(&mut ctx.ws, reuse)
+            };
+            let mut factor = match factored {
                 Ok(f) => f,
                 Err(err) => {
                     ctx.force_refactor = false;
                     ctx.stale_iters = 0;
-                    return Err(err.into());
+                    // Demotion ladder for a failed factorisation:
+                    // rebuild the symbolic structure (a stale pattern
+                    // can starve the numeric phase of the positions it
+                    // needs), then abandon the sparse backend for dense
+                    // LU (partial pivoting over the full column), then
+                    // give up with the typed error. Each rung consumes
+                    // one Newton iteration of budget, so a genuinely
+                    // singular system still terminates promptly.
+                    let tier = match (demoted, ctx.backend) {
+                        (0, crate::solver::Backend::Sparse) => Some(DemotionTier::Symbolic),
+                        (1, crate::solver::Backend::Sparse) => Some(DemotionTier::Dense),
+                        _ => None,
+                    };
+                    match tier {
+                        Some(tier) => {
+                            demoted = if tier == DemotionTier::Dense { 2 } else { 1 };
+                            if tier == DemotionTier::Dense {
+                                ctx.backend = crate::solver::Backend::Dense;
+                            }
+                            note_demotion(hooks, tier);
+                            note_hazard(
+                                hooks,
+                                NumericalHazard::NearSingularPivot,
+                                demote_action(tier),
+                                params.time,
+                            );
+                            ctx.structures = [None, None];
+                            ctx.sys = None;
+                            ctx.factor = None;
+                            ensure_system(ctx, netlist, layout, x, params, lap.as_deref_mut());
+                            baseline_ready = false;
+                            continue 'newton;
+                        }
+                        None => {
+                            note_hazard(
+                                hooks,
+                                NumericalHazard::NearSingularPivot,
+                                "terminal",
+                                params.time,
+                            );
+                            return Err(err.into());
+                        }
+                    }
                 }
             };
             if let Some(l) = lap.as_deref_mut() {
@@ -1019,25 +1223,102 @@ fn newton_iterate(
                     Phase::Factor
                 });
             }
+            // Numeric-chaos hook: corrupting a pivot hands the
+            // acceptance gate a realistically-wrong factorisation.
+            if hooks.chaos.is_some_and(|c| c.fire(NumericSite::Perturb)) {
+                factor.chaos_perturb_pivot(1.5);
+            }
+            // Advisory hazards on fresh factorisations: flagged for
+            // diagnosis, never demoted on — the acceptance gates and
+            // Newton's own convergence tests decide whether the answer
+            // stands; the counters tell the postmortem why it may not.
+            if factor.pivot_growth() > GROWTH_LIMIT {
+                note_hazard(hooks, NumericalHazard::PivotGrowth, "advisory", params.time);
+            }
+            if !same_key && factor.condest(sys.norm_one()) > COND_LIMIT {
+                note_hazard(
+                    hooks,
+                    NumericalHazard::IllConditioned,
+                    "advisory",
+                    params.time,
+                );
+            }
             factor.solve_into(&ctx.b, &mut ctx.x_new);
             if let Some(l) = lap.as_deref_mut() {
                 l.lap(Phase::BackSubstitute);
             }
+            // Numeric-chaos hook: a poisoned solution exercises the
+            // non-finite scrub downstream of every fresh solve.
+            if hooks.chaos.is_some_and(|c| c.fire(NumericSite::Nan)) {
+                ctx.x_new[0] = f64::NAN;
+            }
             if linear {
+                // A linear solve returns this answer directly, so even
+                // a fresh factorisation proves it first: the gate is
+                // what turns a corrupted factor or a poisoned solution
+                // into a typed hazard instead of a silent wrong report.
+                let (rnorm, scale) = sys.residual_gate_into(&ctx.x_new, &ctx.b, &mut ctx.resid);
+                let mut accepted = rnorm <= RESID_GATE_TOL * scale;
+                if !accepted {
+                    if let Some(metrics) = hooks.metrics {
+                        metrics.refinement_round();
+                    }
+                    let b = &ctx.b;
+                    let out = refine_once(
+                        &mut ctx.x_new,
+                        &mut ctx.resid,
+                        &mut ctx.scratch,
+                        &mut ctx.trial,
+                        |xv, out| sys.residual_into(xv, b, out),
+                        |r, out| factor.solve_into(r, out),
+                    );
+                    accepted = out.residual_after <= RESID_GATE_TOL * scale;
+                }
+                if !accepted {
+                    let hazard = if rnorm.is_finite() {
+                        NumericalHazard::RefinementStall
+                    } else {
+                        NumericalHazard::NonFinite
+                    };
+                    ctx.invalidate();
+                    if !fresh_retry {
+                        // One retry from a full refactorisation: a
+                        // transiently corrupted factor or solution is
+                        // repaired; a persistent hazard lands on the
+                        // typed error below.
+                        fresh_retry = true;
+                        ctx.force_refactor = true;
+                        note_demotion(hooks, DemotionTier::Refactor);
+                        note_hazard(
+                            hooks,
+                            hazard,
+                            demote_action(DemotionTier::Refactor),
+                            params.time,
+                        );
+                        baseline_ready = false;
+                        continue 'newton;
+                    }
+                    note_hazard(hooks, hazard, "terminal", params.time);
+                    return Err(AnalysisError::Numerical {
+                        hazard,
+                        time: params.time,
+                    });
+                }
                 if let Some(setup) = rank1 {
                     if matches!(setup.action, Rank1Action::Capture) {
                         setup.cache.insert(key, &factor);
                     }
                 }
-            }
-            ctx.factor = Some((key, factor));
-            ctx.force_refactor = false;
-            ctx.stale_iters = 0;
-            if linear {
+                ctx.factor = Some((key, factor));
+                ctx.force_refactor = false;
+                ctx.stale_iters = 0;
                 x.clear();
                 x.extend_from_slice(&ctx.x_new);
                 return Ok(());
             }
+            ctx.factor = Some((key, factor));
+            ctx.force_refactor = false;
+            ctx.stale_iters = 0;
         }
 
         // Damped update with convergence check.
@@ -1057,10 +1338,28 @@ fn newton_iterate(
                     );
                 }
                 ctx.invalidate();
-                return Err(AnalysisError::NoConvergence {
+                if !nonfinite_retry {
+                    // One demotion retry from a fresh factorisation at
+                    // the last finite iterate: a transient overflow (a
+                    // bad stale step, a corrupted factor) is repaired;
+                    // a genuinely divergent system fails again and
+                    // lands on the typed hazard below.
+                    nonfinite_retry = true;
+                    ctx.force_refactor = true;
+                    note_demotion(hooks, DemotionTier::Refactor);
+                    note_hazard(
+                        hooks,
+                        NumericalHazard::NonFinite,
+                        demote_action(DemotionTier::Refactor),
+                        params.time,
+                    );
+                    baseline_ready = false;
+                    continue 'newton;
+                }
+                note_hazard(hooks, NumericalHazard::NonFinite, "terminal", params.time);
+                return Err(AnalysisError::Numerical {
+                    hazard: NumericalHazard::NonFinite,
                     time: params.time,
-                    residual: f64::INFINITY,
-                    iterations: iter + 1,
                 });
             }
             let (abstol, limit) = if k < nv {

@@ -315,6 +315,11 @@ pub struct SolveSettings {
     /// extraction, Sherman–Morrison application on fault extractions
     /// of linear circuits. `None` disables the tier.
     pub rank1: Option<Rank1Setup>,
+    /// Numeric-chaos firing state: deterministic arithmetic fault
+    /// injection into the Newton solver's factorisations, solutions and
+    /// rank-1 denominators. `None` (the default) keeps every injection
+    /// site inert with a single branch.
+    pub numeric_chaos: Option<Arc<obs::NumericChaosState>>,
 }
 
 impl SolveSettings {
@@ -360,6 +365,12 @@ impl SolveSettings {
         self.rank1 = Some(rank1);
         self
     }
+
+    /// `self` with a numeric-chaos firing state armed (builder style).
+    pub fn numeric_chaos(mut self, state: Arc<obs::NumericChaosState>) -> Self {
+        self.numeric_chaos = Some(state);
+        self
+    }
 }
 
 impl Default for SolveSettings {
@@ -376,6 +387,7 @@ impl Default for SolveSettings {
             backend: Backend::default(),
             warm_start: None,
             rank1: None,
+            numeric_chaos: None,
         }
     }
 }

@@ -194,6 +194,28 @@ impl SystemMatrix {
         }
     }
 
+    /// Residual `A·x − b` into `out` plus the componentwise gate scale
+    /// `max_r(Σ_c |a_rc·x_c| + |b_r|)`, in one pass; returns
+    /// `(residual_norm, scale)`. The acceptance gates for reused
+    /// factorisations compare the residual against `scale`, never
+    /// against an absolute number, so uniformly graded systems gate the
+    /// same as O(1) ones.
+    pub fn residual_gate_into(&self, x: &[f64], b: &[f64], out: &mut [f64]) -> (f64, f64) {
+        match self {
+            SystemMatrix::Dense(m) => m.residual_gate_into(x, b, out),
+            SystemMatrix::Sparse(m) => m.residual_gate_into(x, b, out),
+        }
+    }
+
+    /// 1-norm of the assembled matrix (bit-identical across backends),
+    /// the scale fed to [`LinearFactor::condest`].
+    pub fn norm_one(&self) -> f64 {
+        match self {
+            SystemMatrix::Dense(m) => m.norm_one(),
+            SystemMatrix::Sparse(m) => m.norm_one(),
+        }
+    }
+
     /// Snapshot of the backing values (dense storage or CSC slots).
     pub fn values(&self) -> &[f64] {
         match self {
@@ -281,6 +303,13 @@ impl LinearSolver for SparseLu {
 }
 
 /// A cached factorisation from either backend.
+///
+/// The variants differ in size (a `SparseLu` carries its pattern and
+/// condest workspaces), but at most a handful of these exist per
+/// solver context — one live cache slot plus the golden/rank-1 cache —
+/// so boxing the large variant would buy nothing and cost an
+/// indirection on the back-substitution hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum LinearFactor {
     /// Dense LU.
@@ -306,6 +335,35 @@ impl LinearFactor {
         }
         for v in x.iter_mut() {
             *v += 0.0;
+        }
+    }
+
+    /// Element-growth factor observed while this factorisation was
+    /// computed (bit-identical across backends).
+    pub fn pivot_growth(&self) -> f64 {
+        match self {
+            LinearFactor::Dense(lu) => lu.pivot_growth(),
+            LinearFactor::Sparse(slu) => slu.pivot_growth(),
+        }
+    }
+
+    /// Hager 1-norm condition estimate `anorm · ||A⁻¹||₁` against this
+    /// factorisation (bit-identical across backends).
+    pub fn condest(&self, anorm: f64) -> f64 {
+        match self {
+            LinearFactor::Dense(lu) => lu.condest(anorm),
+            LinearFactor::Sparse(slu) => slu.condest(anorm),
+        }
+    }
+
+    /// Fault injection only: scales the first pivot, corrupting every
+    /// subsequent solve the same way on both backends. This is how the
+    /// numeric-chaos harness manufactures a factorisation whose solves
+    /// fail the residual gate.
+    pub fn chaos_perturb_pivot(&mut self, scale: f64) {
+        match self {
+            LinearFactor::Dense(lu) => lu.perturb_first_pivot(scale),
+            LinearFactor::Sparse(slu) => slu.perturb_first_pivot(scale),
         }
     }
 }
@@ -435,18 +493,27 @@ impl Rank1Cache {
         if self.frozen.load(Ordering::SeqCst) {
             return;
         }
-        let mut map = self.map.lock().expect("rank1 cache poisoned");
+        // A panicking worker poisons the mutex, but every mutation here
+        // is a single `HashMap` operation that leaves the map
+        // consistent even if the *caller* panicked mid-campaign — so
+        // recover the guard instead of cascading the panic into every
+        // surviving worker that still shares this cache.
+        let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
         map.entry(key).or_insert_with(|| Arc::new(factor.clone()));
     }
 
     /// The captured factorisation for `key`, if any.
     pub fn get(&self, key: &FactorKey) -> Option<Arc<LinearFactor>> {
-        self.map.lock().expect("rank1 cache poisoned").get(key).cloned()
+        self.map
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(key)
+            .cloned()
     }
 
     /// Number of captured factorisations.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("rank1 cache poisoned").len()
+        self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// True when nothing has been captured.
@@ -518,6 +585,8 @@ pub struct SolverContext {
     pub(crate) resid: Vec<f64>,
     /// Correction / rank-1 `z` workspace.
     pub(crate) scratch: Vec<f64>,
+    /// Refinement trial-iterate workspace.
+    pub(crate) trial: Vec<f64>,
     /// Snapshot of the linear-device stamps (matrix values), taken on
     /// the first iteration of each solve and restored on later ones.
     pub(crate) baseline_a: Vec<f64>,
@@ -556,6 +625,7 @@ impl SolverContext {
             x_new: Vec::new(),
             resid: Vec::new(),
             scratch: Vec::new(),
+            trial: Vec::new(),
             baseline_a: Vec::new(),
             baseline_b: Vec::new(),
             factor: None,
@@ -663,6 +733,38 @@ mod tests {
         assert_eq!(cache.len(), 1, "frozen cache accepted an insert");
         assert!(cache.get(&key).is_some());
         assert!(cache.get(&key2).is_none());
+    }
+
+    #[test]
+    fn rank1_cache_survives_a_panicking_worker() {
+        // A worker that panics while holding the cache mutex poisons
+        // it; the cache must keep serving the surviving workers (the
+        // map itself is never left mid-mutation). Campaign-level
+        // coverage lives in the faultsim chaos tests; this pins the
+        // primitive.
+        let cache = Arc::new(Rank1Cache::new());
+        let key = FactorKey {
+            mode: 0,
+            method: 2,
+            dt_bits: 0,
+            gmin_bits: 0,
+        };
+        let mut m = Matrix::zeros(1, 1);
+        m.add(0, 0, 2.0);
+        let factor = LinearFactor::Dense(Lu::factor(&m).unwrap());
+        cache.insert(key, &factor);
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.map.lock().unwrap();
+            panic!("worker dies mid-campaign");
+        })
+        .join();
+        // All three accessors recover from the poison.
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.len(), 1);
+        let key2 = FactorKey { mode: 1, ..key };
+        cache.insert(key2, &factor);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub struct TransientAnalysis {
     backend: Backend,
     warm_start: Option<Arc<WarmStart>>,
     rank1: Option<Rank1Setup>,
+    numeric_chaos: Option<Arc<obs::NumericChaosState>>,
 }
 
 impl TransientAnalysis {
@@ -104,6 +105,7 @@ impl TransientAnalysis {
             backend: Backend::default(),
             warm_start: None,
             rank1: None,
+            numeric_chaos: None,
         }
     }
 
@@ -235,6 +237,9 @@ impl TransientAnalysis {
         if let Some(rank1) = &settings.rank1 {
             self.rank1 = Some(rank1.clone());
         }
+        if let Some(chaos) = &settings.numeric_chaos {
+            self.numeric_chaos = Some(Arc::clone(chaos));
+        }
         self
     }
 
@@ -263,6 +268,7 @@ impl TransientAnalysis {
             metrics: self.metrics.as_deref(),
             flight: self.flight.as_deref(),
             profile: self.profile.as_deref(),
+            chaos: self.numeric_chaos.as_deref(),
         };
         // Everything in this run not attributed to a nested phase (the
         // Newton solve internals, the DC start) is timestep control:
@@ -404,7 +410,9 @@ impl TransientAnalysis {
                     &mut x_try,
                 ) {
                     Ok(()) => break (x_try, method, dt_try),
-                    Err(AnalysisError::NoConvergence { .. }) if dt_try / 2.0 >= self.min_dt => {
+                    Err(
+                        AnalysisError::NoConvergence { .. } | AnalysisError::Numerical { .. },
+                    ) if dt_try / 2.0 >= self.min_dt => {
                         // Each halving retry is a fresh attempted step as
                         // far as the budget is concerned.
                         clock.charge_step(t)?;
@@ -795,7 +803,9 @@ impl TransientSession {
                         self.post_discontinuity = false;
                         break;
                     }
-                    Err(AnalysisError::NoConvergence { .. }) if dt_try / 2.0 >= self.min_dt => {
+                    Err(
+                        AnalysisError::NoConvergence { .. } | AnalysisError::Numerical { .. },
+                    ) if dt_try / 2.0 >= self.min_dt => {
                         if let Some(metrics) = &self.metrics {
                             metrics.step_rejected();
                             metrics.dt_shrink();
@@ -1121,6 +1131,7 @@ mod tests {
             backend: crate::solver::Backend::default(),
             warm_start: None,
             rank1: None,
+            numeric_chaos: None,
         };
         let tuned = base.clone().with_settings(&settings);
         assert!((tuned.dt - 0.5e-6).abs() < 1e-18);

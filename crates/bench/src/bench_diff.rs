@@ -19,6 +19,13 @@
 //!   `hits / (hits + misses)` must not drop by more than the tolerance
 //!   in percentage points: the reuse economy eroding is exactly the
 //!   regression the sparse-solver work guards against.
+//! * **Numerical resilience** — the demotion rate
+//!   `demotions / newton_iterations` must not grow by more than the
+//!   tolerance in percentage points: a build that starts demoting
+//!   healthy solves down the recovery ladder is numerically regressing
+//!   even if it still converges. Compared only when *both* documents
+//!   carry the `/4` resilience counters, so a `/3` baseline (like the
+//!   committed snapshot) diffs cleanly against a `/4` candidate.
 //!
 //! Experiments present in only one document are reported as notes, not
 //! regressions (the experiment roster is allowed to grow). Any
@@ -49,6 +56,10 @@ pub struct Tolerances {
     /// Allowed drop of the factorisation reuse rate, in percentage
     /// points.
     pub reuse_drop_pct: f64,
+    /// Allowed growth of the tier-demotion rate
+    /// (`demotions / newton_iterations`), in percentage points. Only
+    /// gates when both documents carry the `/4` resilience counters.
+    pub demotion_growth_pp: f64,
     /// When set, timing comparisons are skipped entirely (counts and
     /// reuse still gate) — for diffs across machines.
     pub counts_only: bool,
@@ -62,6 +73,7 @@ impl Default for Tolerances {
             count_pct: 5.0,
             count_slack: 16.0,
             reuse_drop_pct: 10.0,
+            demotion_growth_pp: 0.5,
             counts_only: false,
         }
     }
@@ -74,6 +86,9 @@ struct Entry {
     newton: f64,
     hits: f64,
     misses: f64,
+    /// `Some(total demotions)` when the document carries the `/4`
+    /// resilience counters; `None` for older schemas.
+    demotions: Option<f64>,
     /// phase label → (ns, calls); empty for `/1` documents.
     phases: Vec<(String, f64, f64)>,
 }
@@ -132,6 +147,7 @@ fn entries_of(which: &str, text: &str) -> Result<BTreeMap<String, Entry>, String
                 newton: num("newton_iterations"),
                 hits: num("factor_reuse_hits"),
                 misses: num("factor_reuse_misses"),
+                demotions: row.get("demotions").and_then(JsonValue::as_f64),
                 phases,
             },
         );
@@ -232,6 +248,22 @@ pub fn diff(old_text: &str, new_text: &str, tol: &Tolerances) -> Result<Comparis
             );
         }
 
+        // Demotion rate: only gated when both documents carry the /4
+        // resilience counters — a /3 baseline simply skips the row.
+        if let (Some(o_dem), Some(n_dem)) = (o.demotions, n.demotions) {
+            if o.newton > 0.0 && n.newton > 0.0 {
+                let o_rate = 100.0 * o_dem / o.newton;
+                let n_rate = 100.0 * n_dem / n.newton;
+                row(
+                    "demotion_rate",
+                    format!("{o_rate:.2} %"),
+                    format!("{n_rate:.2} %"),
+                    n_rate - o_rate > tol.demotion_growth_pp,
+                    format!("{:+.2} pp", n_rate - o_rate),
+                );
+            }
+        }
+
         // Phases: compared only where both documents carry the label;
         // rows are emitted only for regressions to keep the table
         // readable (ten phases × ten experiments of "ok" says nothing).
@@ -326,6 +358,9 @@ mod tests {
             workers: 1,
             factor_reuse_hits: hits,
             factor_reuse_misses: misses,
+            hazards: 0,
+            demotions: 0,
+            refinement_rounds: 0,
             phases,
         }
     }
@@ -402,6 +437,61 @@ mod tests {
         // A 5-point drop rides the 10-point tolerance.
         let mild = doc(&[entry("e6c1", 400.0, 10_000, 8_500, 1_500)]); // 85 %
         assert!(!diff(&old, &mild, &Tolerances::default()).unwrap().regressed());
+    }
+
+    #[test]
+    fn demotion_rate_growth_regresses() {
+        let old = doc(&[entry("e6c1", 400.0, 10_000, 9_000, 1_000)]); // 0 %
+        let mut worse = entry("e6c1", 400.0, 10_000, 9_000, 1_000);
+        worse.hazards = 150;
+        worse.demotions = 150; // 1.5 % of the Newton iterations
+        let cmp = diff(&old, &doc(&[worse]), &Tolerances::default()).unwrap();
+        assert!(cmp.regressed());
+        assert!(
+            cmp.regressions.iter().any(|r| r.contains("demotion_rate")),
+            "{:?}",
+            cmp.regressions
+        );
+        // A whiff of demotions (0.3 %) rides the 0.5-point tolerance.
+        let mut mild = entry("e6c1", 400.0, 10_000, 9_000, 1_000);
+        mild.demotions = 30;
+        assert!(!diff(&old, &doc(&[mild]), &Tolerances::default())
+            .unwrap()
+            .regressed());
+    }
+
+    #[test]
+    fn v3_baseline_skips_the_demotion_gate() {
+        // A /3 baseline has no resilience counters; even a demotion-
+        // heavy /4 candidate must diff without a demotion_rate row.
+        let phases: Vec<String> = Phase::ALL
+            .iter()
+            .map(|p| {
+                // Match the candidate fixture's lu_factor numbers so the
+                // only difference between the documents is the counters.
+                if *p == Phase::Factor {
+                    format!("\"{}\": {{\"ns\": 20000000, \"calls\": 1000}}", p.label())
+                } else {
+                    format!("\"{}\": {{\"ns\": 0, \"calls\": 0}}", p.label())
+                }
+            })
+            .collect();
+        let old = format!(
+            "{{\"schema\": \"mixsig.solver-bench/3\", \"experiments\": [\
+             {{\"name\": \"e6c1\", \"wall_ms\": 400.0, \
+             \"newton_iterations\": 10000, \"linear_only\": false, \
+             \"workers\": 1, \"factor_reuse_hits\": 9000, \
+             \"factor_reuse_misses\": 1000, \"phases\": {{{}}}}}]}}",
+            phases.join(", ")
+        );
+        let mut new = entry("e6c1", 400.0, 10_000, 9_000, 1_000);
+        new.demotions = 500;
+        let cmp = diff(&old, &doc(&[new]), &Tolerances::default()).unwrap();
+        assert!(!cmp.regressed(), "{:?}", cmp.regressions);
+        assert!(
+            !cmp.rows.iter().any(|r| r[1] == "demotion_rate"),
+            "demotion_rate row emitted against a /3 baseline"
+        );
     }
 
     #[test]

@@ -82,6 +82,16 @@ pub fn render_postmortem(section: &str, pm: &Postmortem) -> String {
         out.push_str(&indent(&t.render(), "    "));
     }
 
+    if !pm.hazards.is_empty() {
+        let _ = writeln!(out, "\n  numerical hazards (detection order):");
+        let mut t = Table::new(&["t [s]", "hazard", "solver response"])
+            .align(&[Align::Right, Align::Left, Align::Left]);
+        for h in &pm.hazards {
+            t.row(&[format!("{:.3e}", h.time), h.hazard.clone(), h.action.clone()]);
+        }
+        out.push_str(&indent(&t.render(), "    "));
+    }
+
     if !pm.worst_nodes.is_empty() {
         let full = pm.worst_nodes.first().map_or(1, |(_, c)| *c) as f64;
         let _ = writeln!(out, "\n  worst-offending nodes (iterations dominated):");
@@ -269,6 +279,47 @@ fn render_campaign_progress(label: &str, campaign: &ReplayedCampaign) -> String 
         let _ = writeln!(out, "  outcomes: {}", rollup.join(", "));
     }
 
+    // Numerical-resilience rollup across the checkpointed faults: which
+    // hazards the solver hit and how far down the recovery ladder it
+    // had to demote. Silent for healthy campaigns.
+    let mut hazards: Vec<(&'static str, u64)> = Vec::new();
+    let mut demotions: Vec<(&'static str, u64)> = Vec::new();
+    let mut refinement = 0_u64;
+    for fault in campaign.faults.values() {
+        for (label, n) in fault.telemetry.solver.hazards() {
+            match hazards.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, total)) => *total += n,
+                None => hazards.push((label, n)),
+            }
+        }
+        for (label, n) in fault.telemetry.solver.demotions() {
+            match demotions.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, total)) => *total += n,
+                None => demotions.push((label, n)),
+            }
+        }
+        refinement += fault.telemetry.solver.refinement_rounds;
+    }
+    let join = |pairs: &[(&'static str, u64)]| -> String {
+        pairs
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(label, n)| format!("{label} x {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let hazard_text = join(&hazards);
+    let demote_text = join(&demotions);
+    if !hazard_text.is_empty() {
+        let _ = writeln!(out, "  numerical hazards: {hazard_text}");
+    }
+    if !demote_text.is_empty() {
+        let _ = writeln!(out, "  tier demotions: {demote_text}");
+    }
+    if refinement > 0 {
+        let _ = writeln!(out, "  iterative-refinement rounds: {refinement}");
+    }
+
     // Per-worker progress, through the same fold the live status
     // snapshot uses (`experiments watch`): which lane simulated what,
     // for how long, and where its solver time went.
@@ -453,6 +504,11 @@ mod tests {
                     outcome: "no-convergence".to_owned(),
                 },
             ],
+            hazards: vec![obs::postmortem::HazardStep {
+                hazard: "rank1-breakdown".to_owned(),
+                action: "demote:refactor".to_owned(),
+                time: 9e-7,
+            }],
             budget_steps: None,
         };
         let mut section = Section::new("campaign.diverge");
@@ -470,6 +526,9 @@ mod tests {
         assert!(text.contains("postmortem: f2"));
         assert!(text.contains("escalation ladder"));
         assert!(text.contains("no-convergence"));
+        assert!(text.contains("numerical hazards (detection order)"), "{text}");
+        assert!(text.contains("rank1-breakdown"), "{text}");
+        assert!(text.contains("demote:refactor"), "{text}");
         assert!(text.contains("gen1"));
         assert!(text.contains("top offending nodes across all postmortems"));
     }
@@ -520,6 +579,12 @@ mod tests {
             rung: Some(0),
             rungs_tried: 1,
             wall: std::time::Duration::from_millis(1),
+            solver: anasim::metrics::SolverSnapshot {
+                hazard_rank1_breakdown: 2,
+                demote_refactor: 1,
+                refinement_rounds: 3,
+                ..anasim::metrics::SolverSnapshot::default()
+            },
             ..FaultTelemetry::default()
         };
         let mut text = start_record("rc", &faults, 0.05, 4).to_json();
@@ -573,6 +638,10 @@ mod tests {
         // Per-worker progress rides the same fold the watch console uses.
         assert!(text.contains("worker lanes:"), "{text}");
         assert!(text.contains("lane"), "{text}");
+        // Both faults carried hazard telemetry: the rollup sums it.
+        assert!(text.contains("numerical hazards: rank1-breakdown x 4"), "{text}");
+        assert!(text.contains("tier demotions: refactor x 2"), "{text}");
+        assert!(text.contains("iterative-refinement rounds: 6"), "{text}");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use anasim::solver::Backend;
 use faultsim::campaign::{CampaignConfig, CampaignReport, DegradePolicy, JournalConfig};
 use faultsim::telemetry::TelemetryConfig;
 use faultsim::trace::CampaignTrace;
-use obs::chaos::FaultPlan;
+use obs::chaos::{FaultPlan, NumericChaosPlan};
 use obs::profile::PhaseProfiler;
 
 /// Where a journaled experiment run checkpoints to.
@@ -66,6 +66,11 @@ pub struct CampaignHooks {
     /// invocation arms heartbeat/status sidecars there, sequentially —
     /// `status.json` always shows the campaign currently running.
     pub telemetry: Option<PathBuf>,
+    /// Deterministic solver arithmetic fault-injection plan
+    /// (`--numeric-chaos`), armed on every campaign of the invocation.
+    /// Unlike `--chaos` (journal I/O faults) this needs no journal: it
+    /// injects into the linear-solver tiers of each fault extraction.
+    pub numeric_chaos: Option<NumericChaosPlan>,
 }
 
 impl CampaignHooks {
@@ -132,6 +137,13 @@ impl CampaignHooks {
         self
     }
 
+    /// Adds a solver numeric-chaos plan (builder style,
+    /// `--numeric-chaos`).
+    pub fn with_numeric_chaos(mut self, plan: NumericChaosPlan) -> Self {
+        self.numeric_chaos = Some(plan);
+        self
+    }
+
     /// True when campaigns should arm per-fault phase accounting.
     pub fn profiling(&self) -> bool {
         self.profile.is_some() || self.trace.is_some()
@@ -172,6 +184,9 @@ impl CampaignHooks {
         }
         if let Some(dir) = &self.telemetry {
             config = config.telemetry(TelemetryConfig::new(dir.clone()));
+        }
+        if let Some(plan) = &self.numeric_chaos {
+            config = config.numeric_chaos(plan.clone());
         }
         config.backend(self.backend)
     }
@@ -254,6 +269,17 @@ mod tests {
         let config = hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation");
         let tc = config.telemetry.expect("telemetry configured");
         assert_eq!(tc.dir, PathBuf::from("/tmp/tele"));
+    }
+
+    #[test]
+    fn numeric_chaos_reaches_every_campaign_without_a_journal() {
+        let config = CampaignHooks::none().apply(CampaignConfig::new(0.5), "e6.c1.correlation");
+        assert!(config.numeric_chaos.is_none());
+        let plan = NumericChaosPlan::parse("pivot@0,nan@2").unwrap();
+        let hooks = CampaignHooks::none().with_numeric_chaos(plan.clone());
+        let config = hooks.apply(CampaignConfig::new(0.5), "e6.c1.correlation");
+        assert_eq!(config.numeric_chaos, Some(plan));
+        assert!(config.journal.is_none(), "numeric chaos must not require a journal");
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //!             [--metrics-json PATH] [--canonical-metrics]
 //!             [--bench-json PATH] [--trace-json PATH]
 //!             [--journal PATH | --resume PATH]
-//!             [--chaos SPEC] [--degrade abort|continue]
-//!             [--telemetry DIR]
+//!             [--chaos SPEC] [--numeric-chaos SPEC]
+//!             [--degrade abort|continue] [--telemetry DIR]
 //! experiments check-report PATH
 //! experiments explain PATH [--fault N]
 //! experiments watch DIR|JOURNAL [--once] [--json] [--interval MS]
@@ -56,6 +56,15 @@
 //! what a persistent journal failure does: `abort` (default) stops at
 //! the next fault boundary with a clean partial journal, `continue`
 //! finishes the campaign journal-less and marks the run degraded.
+//! `--numeric-chaos` arms deterministic *solver* fault injection (for
+//! example `pivot@0`, `nan@2..4`, `denom@0`, `perturb@1`, `seed@7:10`,
+//! see [`obs::chaos::NumericChaosPlan::parse`]) into every fault
+//! extraction of every campaign: forced pivot breakdowns, corrupted
+//! factors, poisoned solutions and degenerate rank-1 denominators
+//! exercise the hazard taxonomy and tier-demotion ladder end to end.
+//! It needs no journal, golden extractions always run clean, and
+//! `hazard.*` / `demote.*` counters land in the metrics, the bench
+//! sidecar and the canonical `[hazard … → demote …]` markers.
 //! `check-report` validates a previously written report (the CI smoke
 //! test), including the structure of any postmortems it carries; given
 //! a journal it validates the record stream instead, given a
@@ -170,6 +179,7 @@ fn main() -> ExitCode {
     let mut journal: Option<String> = None;
     let mut resume: Option<String> = None;
     let mut chaos: Option<obs::FaultPlan> = None;
+    let mut numeric_chaos: Option<obs::NumericChaosPlan> = None;
     let mut degrade = DegradePolicy::Abort;
     let mut telemetry: Option<String> = None;
     let mut workers = experiments::e6::E6_WORKERS;
@@ -206,6 +216,17 @@ fn main() -> ExitCode {
                 None => {
                     return usage_error(
                         "--chaos needs a fault spec (e.g. write@4..7, sync@2, seed@7:20)",
+                    )
+                }
+            },
+            "--numeric-chaos" => match it.next() {
+                Some(spec) => match obs::NumericChaosPlan::parse(spec) {
+                    Ok(plan) => numeric_chaos = Some(plan),
+                    Err(err) => return usage_error(&format!("--numeric-chaos: {err}")),
+                },
+                None => {
+                    return usage_error(
+                        "--numeric-chaos needs a site spec (e.g. pivot@0, nan@2, seed@7:20)",
                     )
                 }
             },
@@ -257,6 +278,12 @@ fn main() -> ExitCode {
     let hooks = match chaos {
         Some(plan) => hooks.with_chaos(plan).with_degrade(degrade),
         None => hooks.with_degrade(degrade),
+    };
+    // Unlike --chaos (journal I/O faults), --numeric-chaos targets the
+    // solver itself and needs no journal to inject into.
+    let hooks = match numeric_chaos {
+        Some(plan) => hooks.with_numeric_chaos(plan),
+        None => hooks,
     };
     let hooks = hooks.with_backend(backend);
     let hooks = match telemetry {
@@ -368,6 +395,19 @@ fn main() -> ExitCode {
 /// `profiler` is armed, each experiment's slice of the shared phase
 /// accounting (a snapshot delta around its run) lands in its bench
 /// entry.
+/// Sums every counter of `section` whose name starts with `prefix`.
+/// The hazard/demotion counters are published per category
+/// (`solver.hazard.*`, `solver.demote.*`); the bench sidecar tracks the
+/// totals.
+fn prefix_sum(section: &Section, prefix: &str) -> u64 {
+    section
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .map(|(_, count)| *count)
+        .sum()
+}
+
 fn run_experiments(
     which: &str,
     workers: usize,
@@ -412,6 +452,13 @@ fn run_experiments(
             factor_reuse_misses: section
                 .counters
                 .get("solver.factor_reuse_misses")
+                .copied()
+                .unwrap_or(0),
+            hazards: prefix_sum(&section, "solver.hazard."),
+            demotions: prefix_sum(&section, "solver.demote."),
+            refinement_rounds: section
+                .counters
+                .get("solver.refinement.rounds")
                 .copied()
                 .unwrap_or(0),
             phases,
@@ -560,7 +607,7 @@ fn usage_error(message: &str) -> ExitCode {
          [--workers N] [--backend dense|sparse] [--metrics-json PATH] \
          [--canonical-metrics] [--bench-json PATH]\n\
          \x20      [--trace-json PATH] [--journal PATH | --resume PATH] [--chaos SPEC] \
-         [--degrade abort|continue] [--telemetry DIR]\n\
+         [--numeric-chaos SPEC] [--degrade abort|continue] [--telemetry DIR]\n\
          \x20      experiments check-report PATH\n\
          \x20      experiments explain PATH [--fault N]\n\
          \x20      experiments watch DIR|JOURNAL [--once] [--json] [--interval MS]\n\

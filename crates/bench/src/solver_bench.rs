@@ -27,23 +27,43 @@
 //! * the `phases` key set grows to the full 10-phase taxonomy
 //!   (`symbolic`, `refactor`, `rank1_update` join the legacy seven).
 //!
-//! [`validate`] accepts all three schema versions. For `/2` it checks
-//! the legacy seven-phase key set; for `/3` the full taxonomy plus the
+//! Schema `mixsig.solver-bench/4` extends `/3` with the numerical
+//! resilience economy:
+//!
+//! * `hazards` — total numerical hazards the solver detected (pivot
+//!   breakdowns, rank-1 denominators, non-finite iterates, refinement
+//!   stalls, advisory growth/conditioning flags);
+//! * `demotions` — how often a hazard demoted the solve down the
+//!   recovery ladder (stale → refactor → symbolic → dense);
+//! * `refinement_rounds` — iterative-refinement rounds spent vetting
+//!   reused factorisations at the residual acceptance gate.
+//!
+//! [`validate`] accepts all four schema versions. For `/2` it checks
+//! the legacy seven-phase key set; for `/3`+ the full taxonomy plus the
 //! reuse members, and lints the solver-economy invariant directly: an
 //! experiment that entered the Newton loop must not have factorised
 //! more often than it iterated (`lu_factor.calls ≤
 //! newton_iterations`) — if it did, factorisation reuse is not working.
-//! Both versions get the physically-impossible-attribution lint: phase
-//! nanoseconds must fit in `workers` threads of wall-clock.
+//! The lint survives `/4` unchanged: every demotion-ladder retry
+//! consumes one Newton iteration (`continue 'newton`), so even a solve
+//! that demotes all the way to dense never factorises more often than
+//! it iterates. For `/4` the resilience members must be present and
+//! well-formed. Every version ≥ `/2` gets the
+//! physically-impossible-attribution lint: phase nanoseconds must fit
+//! in `workers` threads of wall-clock.
 
 use obs::json::JsonValue;
 use obs::profile::{Phase, PhaseSnapshot};
 
 /// Schema tag written into every new solver-bench document.
-pub const SCHEMA: &str = "mixsig.solver-bench/3";
+pub const SCHEMA: &str = "mixsig.solver-bench/4";
 
-/// The previous schema (seven-phase taxonomy, no reuse counters),
-/// still accepted by [`validate`].
+/// The previous schema (full phase taxonomy and reuse counters, no
+/// numerical-resilience counters), still accepted by [`validate`].
+pub const SCHEMA_V3: &str = "mixsig.solver-bench/3";
+
+/// The seven-phase-taxonomy schema without reuse counters, still
+/// accepted by [`validate`].
 pub const SCHEMA_V2: &str = "mixsig.solver-bench/2";
 
 /// The original schema, still accepted by [`validate`].
@@ -71,6 +91,15 @@ pub struct BenchEntry {
     pub factor_reuse_hits: u64,
     /// Newton iterations that had to (re)factorise.
     pub factor_reuse_misses: u64,
+    /// Numerical hazards detected across every solve of the experiment
+    /// (all `solver.hazard.*` categories summed).
+    pub hazards: u64,
+    /// Tier demotions the hazards forced (all `solver.demote.*`
+    /// rungs summed).
+    pub demotions: u64,
+    /// Iterative-refinement rounds spent at the residual acceptance
+    /// gate when vetting reused factorisations.
+    pub refinement_rounds: u64,
     /// Solver-phase self-times attributed to this experiment.
     pub phases: PhaseSnapshot,
 }
@@ -119,6 +148,12 @@ pub fn render(entries: &[BenchEntry]) -> String {
                     "factor_reuse_misses".to_owned(),
                     JsonValue::Num(e.factor_reuse_misses as f64),
                 ),
+                ("hazards".to_owned(), JsonValue::Num(e.hazards as f64)),
+                ("demotions".to_owned(), JsonValue::Num(e.demotions as f64)),
+                (
+                    "refinement_rounds".to_owned(),
+                    JsonValue::Num(e.refinement_rounds as f64),
+                ),
                 ("phases".to_owned(), JsonValue::Obj(phases)),
             ])
         })
@@ -130,9 +165,12 @@ pub fn render(entries: &[BenchEntry]) -> String {
 /// Validates a previously written solver-bench document (any accepted
 /// schema version): schema tag, non-empty experiment list, finite
 /// wall-clock values; for `/2`+ well-formed `linear_only` and `phases`
-/// members and the impossible-attribution lint; for `/3` the reuse
+/// members and the impossible-attribution lint; for `/3`+ the reuse
 /// counters and the factorisation-economy lint (`lu_factor.calls ≤
-/// newton_iterations` whenever the experiment entered the Newton loop).
+/// newton_iterations` whenever the experiment entered the Newton
+/// loop — demotion retries consume an iteration each, so the lint holds
+/// even for hazard-heavy runs); for `/4` the numerical-resilience
+/// counters (`hazards`, `demotions`, `refinement_rounds`).
 ///
 /// # Errors
 ///
@@ -140,12 +178,13 @@ pub fn render(entries: &[BenchEntry]) -> String {
 pub fn validate(text: &str) -> Result<usize, String> {
     let parsed = obs::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let version = match parsed.get("schema").and_then(JsonValue::as_str) {
-        Some(s) if s == SCHEMA => 3,
+        Some(s) if s == SCHEMA => 4,
+        Some(s) if s == SCHEMA_V3 => 3,
         Some(s) if s == SCHEMA_V2 => 2,
         Some(s) if s == SCHEMA_V1 => 1,
         _ => {
             return Err(format!(
-                "schema is none of {SCHEMA_V1}, {SCHEMA_V2}, {SCHEMA}"
+                "schema is none of {SCHEMA_V1}, {SCHEMA_V2}, {SCHEMA_V3}, {SCHEMA}"
             ))
         }
     };
@@ -180,6 +219,14 @@ pub fn validate(text: &str) -> Result<usize, String> {
         };
         if version >= 3 {
             for key in ["factor_reuse_hits", "factor_reuse_misses"] {
+                match e.get(key).and_then(JsonValue::as_f64) {
+                    Some(v) if v.is_finite() && v >= 0.0 => {}
+                    _ => return Err(format!("experiments[{i}].{key} missing or invalid")),
+                }
+            }
+        }
+        if version >= 4 {
+            for key in ["hazards", "demotions", "refinement_rounds"] {
                 match e.get(key).and_then(JsonValue::as_f64) {
                     Some(v) if v.is_finite() && v >= 0.0 => {}
                     _ => return Err(format!("experiments[{i}].{key} missing or invalid")),
@@ -257,6 +304,9 @@ mod tests {
                 workers: 1,
                 factor_reuse_hits: 0,
                 factor_reuse_misses: 0,
+                hazards: 0,
+                demotions: 0,
+                refinement_rounds: 0,
                 phases: PhaseSnapshot::default(),
             },
             BenchEntry {
@@ -267,6 +317,9 @@ mod tests {
                 workers: 1,
                 factor_reuse_hits: 345,
                 factor_reuse_misses: 12_000,
+                hazards: 7,
+                demotions: 3,
+                refinement_rounds: 4,
                 phases,
             },
         ]
@@ -302,6 +355,17 @@ mod tests {
                 .get("factor_reuse_misses")
                 .and_then(JsonValue::as_f64),
             Some(12000.0)
+        );
+        assert_eq!(rows[1].get("hazards").and_then(JsonValue::as_f64), Some(7.0));
+        assert_eq!(
+            rows[1].get("demotions").and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            rows[1]
+                .get("refinement_rounds")
+                .and_then(JsonValue::as_f64),
+            Some(4.0)
         );
         // Wall-clock rounded to µs precision.
         assert_eq!(
@@ -351,6 +415,27 @@ mod tests {
     }
 
     #[test]
+    fn v3_documents_validate_without_resilience_counters() {
+        // A /3 document carries the full phase taxonomy and the reuse
+        // counters but predates the hazard/demotion members; it must
+        // keep validating as-is (the committed BENCH_solver.json
+        // baseline is one of these).
+        let phases: Vec<String> = Phase::ALL
+            .iter()
+            .map(|p| format!("\"{}\": {{\"ns\": 0, \"calls\": 0}}", p.label()))
+            .collect();
+        let text = format!(
+            "{{\"schema\": \"{SCHEMA_V3}\", \"experiments\": [\
+             {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 3, \
+             \"linear_only\": false, \"workers\": 1, \
+             \"factor_reuse_hits\": 2, \"factor_reuse_misses\": 1, \
+             \"phases\": {{{}}}}}]}}",
+            phases.join(", ")
+        );
+        assert_eq!(validate(&text), Ok(1));
+    }
+
+    #[test]
     fn impossible_attribution_is_flagged() {
         let mut rows = entries();
         // 200 ms of lu_factor inside a 10 ms experiment: impossible.
@@ -389,12 +474,20 @@ mod tests {
         assert!(validate("{\"schema\": \"wrong\"}").unwrap_err().contains("schema"));
         let no_rows = format!("{{\"schema\": \"{SCHEMA}\", \"experiments\": []}}");
         assert!(validate(&no_rows).unwrap_err().contains("empty"));
-        // v3 entry without the new members.
+        // Current-schema entry without the reuse members.
         let missing = format!(
             "{{\"schema\": \"{SCHEMA}\", \"experiments\": [\
              {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 0, \
              \"linear_only\": true, \"workers\": 1}}]}}"
         );
         assert!(validate(&missing).unwrap_err().contains("factor_reuse_hits"));
+        // /4 entry with reuse counters but no resilience counters.
+        let missing = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"experiments\": [\
+             {{\"name\": \"e1\", \"wall_ms\": 5.0, \"newton_iterations\": 0, \
+             \"linear_only\": true, \"workers\": 1, \
+             \"factor_reuse_hits\": 0, \"factor_reuse_misses\": 0}}]}}"
+        );
+        assert!(validate(&missing).unwrap_err().contains("hazards"));
     }
 }

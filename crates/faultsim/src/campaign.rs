@@ -437,6 +437,16 @@ pub struct CampaignConfig {
     /// arming it cannot perturb byte-stability. `None` (the default)
     /// runs without live telemetry and spawns no monitor thread.
     pub telemetry: Option<TelemetryConfig>,
+    /// Numeric-chaos plan: deterministic arithmetic fault injection
+    /// into each *fault* extraction's solver (pivot breakdowns, factor
+    /// perturbations, NaN solutions, rank-1 denominator poisoning).
+    /// Each fault arms a fresh firing state shared across its ladder
+    /// rungs, so injection is a pure function of the fault's solve
+    /// sequence and reports stay byte-identical at any worker count.
+    /// The golden extraction always runs clean — chaos probes the
+    /// recovery ladder, not the reference signature. `None` (the
+    /// default) keeps every site inert.
+    pub numeric_chaos: Option<obs::NumericChaosPlan>,
 }
 
 impl fmt::Debug for CampaignConfig {
@@ -455,6 +465,7 @@ impl fmt::Debug for CampaignConfig {
             .field("profile", &self.profile)
             .field("backend", &self.backend)
             .field("telemetry", &self.telemetry)
+            .field("numeric_chaos", &self.numeric_chaos)
             .finish()
     }
 }
@@ -478,6 +489,7 @@ impl CampaignConfig {
             profile: false,
             backend: Backend::default(),
             telemetry: None,
+            numeric_chaos: None,
         }
     }
 
@@ -569,6 +581,14 @@ impl CampaignConfig {
     /// Arms live telemetry; see [`CampaignConfig::telemetry`].
     pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Arms deterministic numeric-chaos injection for every fault
+    /// extraction (the golden extraction always runs clean); see
+    /// [`CampaignConfig::numeric_chaos`].
+    pub fn numeric_chaos(mut self, plan: obs::NumericChaosPlan) -> Self {
+        self.numeric_chaos = Some(plan);
         self
     }
 }
@@ -752,6 +772,39 @@ impl CampaignReport {
             }
             if let FaultStatus::Panicked { payload } = &o.status {
                 let _ = write!(out, " [panic {}]", payload.lines().next().unwrap_or(""));
+            }
+            // Counter-derived numerical-resilience marker, in the same
+            // family as [rung]/[worst]/[panic]: hazards the solver
+            // observed for this fault and the recovery tiers it demoted
+            // to. Healthy faults carry no marker, so canonical bytes
+            // are untouched unless something actually went wrong.
+            let join = |pairs: &[(&'static str, u64)]| -> String {
+                pairs
+                    .iter()
+                    .filter(|(_, count)| *count > 0)
+                    .map(|(label, count)| {
+                        if *count == 1 {
+                            (*label).to_owned()
+                        } else {
+                            format!("{label} x {count}")
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let hazards = join(&t.solver.hazards());
+            let demotes = join(&t.solver.demotions());
+            match (hazards.is_empty(), demotes.is_empty()) {
+                (false, false) => {
+                    let _ = write!(out, " [hazard {hazards} → demote {demotes}]");
+                }
+                (false, true) => {
+                    let _ = write!(out, " [hazard {hazards}]");
+                }
+                (true, false) => {
+                    let _ = write!(out, " [demote {demotes}]");
+                }
+                (true, true) => {}
             }
             let _ = writeln!(out, " [newton {}]", t.solver.newton_iterations);
         }
@@ -939,6 +992,9 @@ where
         backend: config.backend,
         warm_start: None,
         rank1: Some(Rank1Setup::capture(Arc::clone(&rank1_cache))),
+        // The golden run always solves clean: chaos tests the recovery
+        // ladder against faults, never the reference signature.
+        numeric_chaos: None,
     };
     let golden_start = Instant::now();
     let golden_sig = extract(golden, &golden_settings)?;
@@ -1103,6 +1159,15 @@ where
         // One flight recorder per fault too, shared across every rung so
         // a frozen postmortem shows the whole escalation path.
         let flight = config.flight.map(|cap| Arc::new(FlightRecorder::new(cap)));
+        // Fresh numeric-chaos firing state per fault, shared across
+        // rungs: attempt indices depend only on this fault's own solve
+        // sequence, so the injection schedule — and with it the typed
+        // outcome — replays bit-for-bit at any worker count.
+        let numeric_chaos = config
+            .numeric_chaos
+            .as_ref()
+            .filter(|plan| !plan.is_empty())
+            .map(|plan| Arc::new(plan.arm()));
         let start_offset = campaign_start.elapsed();
         let start = Instant::now();
 
@@ -1126,6 +1191,7 @@ where
                 backend: config.backend,
                 warm_start: warm_start.clone(),
                 rank1: rank1.clone(),
+                numeric_chaos: numeric_chaos.clone(),
             };
             // The extraction is the untrusted part of the engine: a
             // panicking solver must become this fault's outcome, not
@@ -1173,6 +1239,7 @@ where
                         flight.end_rung(match &err {
                             AnalysisError::NoConvergence { .. } => "no-convergence",
                             AnalysisError::SingularMatrix { .. } => "singular",
+                            AnalysisError::Numerical { .. } => "numerical",
                             _ => "error",
                         });
                     }
@@ -2485,5 +2552,103 @@ mod tests {
                 (a, b) => assert_eq!(a.is_some(), b.is_some()),
             }
         }
+    }
+
+    #[test]
+    fn numeric_chaos_sweep_yields_typed_outcomes_and_hazard_counters() {
+        // Every chaos site armed at once: a forced pivot breakdown on
+        // the first factorisation, a corrupted pivot on the second, a
+        // poisoned solution on the third, and a degenerate rank-1
+        // denominator on the first Sherman–Morrison attempt. The
+        // campaign must absorb all of it through the demotion ladder:
+        // typed statuses only, no panic, no NaN anywhere in the report.
+        let (nl, faults) = rc_fixture();
+        let plan =
+            obs::NumericChaosPlan::parse("pivot@0,perturb@1,nan@2,denom@0").expect("valid spec");
+        let report = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05).numeric_chaos(plan).flight(64),
+            transient_extract,
+        )
+        .unwrap();
+        let total = report.stats.total_solver();
+        let hazards: u64 = total.hazards().iter().map(|(_, n)| n).sum();
+        let demotions: u64 = total.demotions().iter().map(|(_, n)| n).sum();
+        assert!(hazards > 0, "injected hazards must be counted: {total:?}");
+        assert!(demotions > 0, "recovery must demote: {total:?}");
+        for o in &report.outcomes {
+            assert!(
+                !matches!(o.status, FaultStatus::Panicked { .. }),
+                "chaos must never panic: {:?}",
+                o.status
+            );
+            if let Some(sig) = &o.signature {
+                assert!(
+                    sig.iter().all(|v| v.is_finite()),
+                    "NaN leaked into a signature"
+                );
+            }
+        }
+        let text = report.canonical_text();
+        assert!(!text.contains("NaN"), "NaN leaked into the report:\n{text}");
+        assert!(
+            text.contains("[hazard "),
+            "hazard marker missing from canonical text:\n{text}"
+        );
+        assert!(
+            text.contains("demote "),
+            "demotion marker missing from canonical text:\n{text}"
+        );
+    }
+
+    #[test]
+    fn numeric_chaos_report_is_worker_count_deterministic() {
+        // Injection is keyed to each fault's own solve sequence (a
+        // fresh firing state per fault), so scheduling must not shift
+        // which solves get hit.
+        let (nl, faults) = rc_fixture();
+        let run = |workers: usize| {
+            let plan = obs::NumericChaosPlan::parse("pivot@0,nan@3").expect("valid spec");
+            run_campaign_with(
+                &nl,
+                &faults,
+                &CampaignConfig::new(0.05).numeric_chaos(plan).workers(workers),
+                transient_extract,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(1).canonical_text(), run(4).canonical_text());
+    }
+
+    #[test]
+    fn disarmed_numeric_chaos_is_byte_identical_to_none() {
+        // A plan whose windows never fire must not perturb a single
+        // byte of the canonical report — the probes themselves (gate
+        // checks, counters) are exercised but observe nothing.
+        let (nl, faults) = rc_fixture();
+        let plain = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05),
+            transient_extract,
+        )
+        .unwrap();
+        let inert = obs::NumericChaosPlan::parse("pivot@99999999").expect("valid spec");
+        let armed = run_campaign_with(
+            &nl,
+            &faults,
+            &CampaignConfig::new(0.05).numeric_chaos(inert),
+            transient_extract,
+        )
+        .unwrap();
+        assert_eq!(plain.canonical_text(), armed.canonical_text());
+        let total = armed.stats.total_solver();
+        assert!(
+            total.hazards().iter().all(|(_, n)| *n == 0)
+                && total.demotions().iter().all(|(_, n)| *n == 0)
+                && total.refinement_rounds == 0,
+            "healthy run must keep every resilience counter at zero: {total:?}"
+        );
     }
 }

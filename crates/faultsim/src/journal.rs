@@ -158,6 +158,11 @@ fn error_to_json(err: &AnalysisError) -> JsonValue {
         AnalysisError::Cancelled => {
             obj.push("kind", JsonValue::Str("cancelled".into()));
         }
+        AnalysisError::Numerical { hazard, time } => {
+            obj.push("kind", JsonValue::Str("numerical".into()));
+            obj.push("hazard", JsonValue::Str(hazard.label().into()));
+            obj.push("time", float_to_json(*time));
+        }
     }
     obj
 }
@@ -184,6 +189,14 @@ fn error_from_json(v: &JsonValue) -> Result<AnalysisError, String> {
             },
         },
         "cancelled" => AnalysisError::Cancelled,
+        "numerical" => {
+            let label = get_str(v, "hazard")?;
+            AnalysisError::Numerical {
+                hazard: linsys::NumericalHazard::from_label(label)
+                    .ok_or_else(|| format!("unknown hazard label {label:?}"))?,
+                time: get_f64(v, "time")?,
+            }
+        }
         other => return Err(format!("unknown error kind {other:?}")),
     })
 }
@@ -285,7 +298,7 @@ pub fn telemetry_to_json(t: &FaultTelemetry) -> JsonValue {
 pub fn telemetry_from_json(v: &JsonValue) -> Result<FaultTelemetry, String> {
     let solver_obj = get(v, "solver")?;
     let mut solver = SolverSnapshot::default();
-    let fields: [&mut u64; 8] = [
+    let fields: [&mut u64; 19] = [
         &mut solver.newton_iterations,
         &mut solver.steps_accepted,
         &mut solver.steps_rejected,
@@ -294,6 +307,17 @@ pub fn telemetry_from_json(v: &JsonValue) -> Result<FaultTelemetry, String> {
         &mut solver.dc_source_steps,
         &mut solver.factor_reuse_hits,
         &mut solver.factor_reuse_misses,
+        &mut solver.hazard_near_singular_pivot,
+        &mut solver.hazard_pivot_growth,
+        &mut solver.hazard_rank1_breakdown,
+        &mut solver.hazard_nonfinite,
+        &mut solver.hazard_refinement_stall,
+        &mut solver.hazard_ill_conditioned,
+        &mut solver.demote_stale,
+        &mut solver.demote_refactor,
+        &mut solver.demote_symbolic,
+        &mut solver.demote_dense,
+        &mut solver.refinement_rounds,
     ];
     for (field, slot) in SolverSnapshot::FIELDS.iter().zip(fields) {
         // Counters absent from the record default to zero, so journals
@@ -643,6 +667,12 @@ mod tests {
                 dt_shrinks: 2,
                 dc_gmin_steps: 1,
                 dc_source_steps: 0,
+                hazard_near_singular_pivot: 2,
+                hazard_rank1_breakdown: 1,
+                hazard_nonfinite: 4,
+                demote_symbolic: 2,
+                demote_dense: 1,
+                refinement_rounds: 5,
                 ..SolverSnapshot::default()
             },
             rung: Some(1),
@@ -677,6 +707,13 @@ mod tests {
             FaultStatus::SimFailed {
                 error: AnalysisError::SingularMatrix { row: 7 },
                 rungs_tried: 2,
+            },
+            FaultStatus::SimFailed {
+                error: AnalysisError::Numerical {
+                    hazard: linsys::NumericalHazard::RefinementStall,
+                    time: 3.5e-6,
+                },
+                rungs_tried: 3,
             },
             FaultStatus::SimFailed {
                 error: AnalysisError::InvalidParameter("dt \"quoted\"\n".into()),

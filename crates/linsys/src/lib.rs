@@ -34,11 +34,25 @@ pub mod cmatrix;
 pub mod complex;
 pub mod matrix;
 pub mod polynomial;
+pub mod refine;
 pub mod response;
 pub mod sparse;
 pub mod statespace;
 pub mod transfer;
 
+mod condest;
 mod error;
 
-pub use error::SingularMatrixError;
+pub use error::{NumericalHazard, SingularMatrixError};
+pub use refine::{refine_once, RefineOutcome};
+
+/// Scale-relative pivot floor shared by the dense and sparse LU
+/// kernels: elimination fails with [`SingularMatrixError`] when the
+/// chosen pivot is smaller than this fraction of the largest updated
+/// magnitude in its column. The value sits just below f64 machine
+/// epsilon (≈2.2e-16): a pivot that small relative to its column is
+/// indistinguishable from rounding noise, so any factorisation built on
+/// it would be garbage — while badly *scaled* but well-conditioned
+/// systems (whole matrix near 1e-300, say) factor cleanly, which the
+/// old absolute `1e-300` floor forbade.
+pub const PIVOT_REL_TOL: f64 = 1e-16;

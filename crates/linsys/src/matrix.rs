@@ -143,6 +143,74 @@ impl Matrix {
         }
     }
 
+    /// Residual `A·v − b` into `out` plus the Oettli–Prager gate scale,
+    /// in one pass. Returns `(residual_norm, scale)` where
+    /// `residual_norm` is the ∞-norm of the residual (NaN reads as
+    /// `INFINITY`) and `scale = max_r(Σ_c |a_rc·v_c| + |b_r|)` — the
+    /// componentwise backward-error scale a residual must be compared
+    /// against before calling a solve "accurate". Relative gates built
+    /// on it survive uniformly graded systems that would fool any
+    /// absolute threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v`, `b` or `out` have the wrong length.
+    pub fn residual_gate_into(&self, v: &[f64], b: &[f64], out: &mut [f64]) -> (f64, f64) {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in residual_gate_into");
+        assert_eq!(b.len(), self.rows, "rhs length in residual_gate_into");
+        assert_eq!(out.len(), self.rows, "output length in residual_gate_into");
+        let mut rnorm = 0.0_f64;
+        let mut scale = 0.0_f64;
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0_f64;
+            let mut mag = 0.0_f64;
+            for (a, x) in row.iter().zip(v) {
+                let p = a * x;
+                acc += p;
+                mag += p.abs();
+            }
+            *slot = acc - b[r];
+            let ra = slot.abs();
+            if ra.is_nan() {
+                rnorm = f64::INFINITY;
+            } else if ra > rnorm {
+                rnorm = ra;
+            }
+            let s = mag + b[r].abs();
+            if s.is_nan() {
+                scale = f64::INFINITY;
+            } else if s > scale {
+                scale = s;
+            }
+        }
+        (rnorm, scale)
+    }
+
+    /// 1-norm `max_c Σ_r |a_rc|`, accumulated per column in ascending
+    /// row order (the sparse twin visits entries in the same order, so
+    /// the two agree bit for bit — skipped zeros add `+0.0` to a
+    /// non-negative sum, which cannot change it).
+    pub fn norm_one(&self) -> f64 {
+        let mut colsum = vec![0.0_f64; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (s, a) in colsum.iter_mut().zip(row) {
+                *s += a.abs();
+            }
+        }
+        let mut m = 0.0_f64;
+        for s in colsum {
+            if s.is_nan() {
+                return f64::INFINITY;
+            }
+            if s > m {
+                m = s;
+            }
+        }
+        m
+    }
+
     /// The backing storage in row-major order.
     pub fn values(&self) -> &[f64] {
         &self.data
@@ -288,6 +356,7 @@ pub struct Lu {
     n: usize,
     lu: Vec<f64>,
     perm: Vec<usize>,
+    growth: f64,
 }
 
 impl Lu {
@@ -300,8 +369,13 @@ impl Lu {
     ///
     /// # Errors
     ///
-    /// Returns [`SingularMatrixError`] if no pivot above the singularity
-    /// threshold can be found for some column.
+    /// Returns [`SingularMatrixError`] if elimination finds a column
+    /// whose best pivot is smaller than [`crate::PIVOT_REL_TOL`] times
+    /// the largest updated magnitude in that column (or exactly zero).
+    /// The threshold is scale-relative, so uniformly tiny or huge but
+    /// well-conditioned matrices factor cleanly while numerically
+    /// rank-deficient ones are rejected instead of factoring
+    /// cancellation garbage.
     ///
     /// # Panics
     ///
@@ -311,6 +385,14 @@ impl Lu {
         let n = a.rows;
         let mut lu = a.data.clone();
         let mut perm: Vec<usize> = (0..n).collect();
+        let mut max_orig = 0.0_f64;
+        for v in &lu {
+            let m = v.abs();
+            if m > max_orig {
+                max_orig = m;
+            }
+        }
+        let mut max_grown = max_orig;
 
         for col in 0..n {
             let mut pivot_row = col;
@@ -322,8 +404,22 @@ impl Lu {
                     pivot_row = r;
                 }
             }
-            if pivot_val < 1e-300 {
+            // Column scale: the largest updated magnitude anywhere in
+            // the column — U entries above the diagonal are final,
+            // candidate rows are fully updated by the right-looking
+            // elimination.
+            let mut col_scale = pivot_val;
+            for r in 0..col {
+                let v = lu[r * n + col].abs();
+                if v > col_scale {
+                    col_scale = v;
+                }
+            }
+            if pivot_val == 0.0 || pivot_val < crate::PIVOT_REL_TOL * col_scale {
                 return Err(SingularMatrixError { row: col });
+            }
+            if col_scale > max_grown {
+                max_grown = col_scale;
             }
             if pivot_row != col {
                 perm.swap(col, pivot_row);
@@ -342,7 +438,52 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { n, lu, perm })
+        let growth = if max_orig > 0.0 {
+            max_grown / max_orig
+        } else {
+            1.0
+        };
+        Ok(Lu {
+            n,
+            lu,
+            perm,
+            growth,
+        })
+    }
+
+    /// Element growth factor of the elimination: the largest updated
+    /// magnitude seen during factorisation divided by the largest input
+    /// magnitude. Growth near 1 means the factorisation lost no
+    /// accuracy; very large growth (say above 1e8) is an advisory
+    /// hazard — the factors are usable but solutions deserve a residual
+    /// check.
+    pub fn pivot_growth(&self) -> f64 {
+        self.growth
+    }
+
+    /// Estimates the 1-norm condition number `||A||₁·||A⁻¹||₁` with
+    /// Hager's algorithm, given `anorm` = `||A||₁` of the factored
+    /// matrix. Costs a handful of substitutions against the stored
+    /// factors; returns `f64::INFINITY` when solves produce non-finite
+    /// values.
+    pub fn condest(&self, anorm: f64) -> f64 {
+        crate::condest::condest_1(
+            self.n,
+            |b, x| self.solve_into(b, x),
+            |b, x| self.solve_transpose_into(b, x),
+            anorm,
+        )
+    }
+
+    /// Multiplies the first stored pivot `U(0,0)` by `scale`, making
+    /// every subsequent solve deterministically wrong by a known
+    /// amount. This exists for numeric fault-injection drills (the
+    /// numeric-chaos harness perturbs a factor entry and expects the
+    /// residual gate to catch it); it has no place on any healthy path.
+    pub fn perturb_first_pivot(&mut self, scale: f64) {
+        if self.n > 0 {
+            self.lu[0] *= scale;
+        }
     }
 
     /// Solves `A·x = b` using the stored factorisation.
@@ -399,6 +540,39 @@ impl Lu {
                 sum -= self.lu[r * n + c] * x[c];
             }
             x[r] = sum / self.lu[r * n + r];
+        }
+    }
+
+    /// Solves `Aᵀ·x = b` using the stored factorisation: with
+    /// `P·A = L·U`, forward-substitute `Uᵀ·z = b`, back-substitute
+    /// `Lᵀ·w = z`, then scatter through the permutation
+    /// (`x[perm[i]] = w[i]`). Needed by the 1-norm condition estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` have the wrong length.
+    #[allow(clippy::needless_range_loop)] // triangular index patterns read clearest this way
+    pub fn solve_transpose_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        assert_eq!(x.len(), self.n, "solution dimension mismatch");
+        let n = self.n;
+        let mut w = vec![0.0; n];
+        for r in 0..n {
+            let mut sum = b[r];
+            for k in 0..r {
+                sum -= self.lu[k * n + r] * w[k];
+            }
+            w[r] = sum / self.lu[r * n + r];
+        }
+        for r in (0..n).rev() {
+            let mut sum = w[r];
+            for k in r + 1..n {
+                sum -= self.lu[k * n + r] * w[k];
+            }
+            w[r] = sum;
+        }
+        for i in 0..n {
+            x[self.perm[i]] = w[i];
         }
     }
 }

@@ -30,9 +30,12 @@
 //!
 //! * **Pivoting** — the dense code scans physical rows `col..n` in
 //!   current order, keeps the strictly-greater maximum of `|value|`,
-//!   rejects pivots below `1e-300`, and swaps whole rows. Here the
-//!   physical order lives in a permutation vector scanned the same way
-//!   with the same strict comparison and threshold.
+//!   rejects pivots below [`crate::PIVOT_REL_TOL`] times the column's
+//!   largest updated magnitude, and swaps whole rows. Here the physical
+//!   order lives in a permutation vector scanned the same way with the
+//!   same strict comparison; the column scale is the maximum over the
+//!   accumulator pattern, which matches the dense maximum because every
+//!   entry the dense code sees outside the pattern is an exact zero.
 //! * **Update order** — the dense right-looking elimination applies,
 //!   to each entry, the updates from pivot columns `k` in ascending
 //!   order, skipping a pivot row whose multiplier is exactly `0.0`.
@@ -248,6 +251,64 @@ impl SparseMatrix {
         }
     }
 
+    /// Residual `A·x − b` into `out` plus the Oettli–Prager gate scale
+    /// `max_r(Σ_c |a_rc·x_c| + |b_r|)`, in one pass — the sparse twin of
+    /// [`Matrix::residual_gate_into`], bit-identical to it because both
+    /// visit each row's entries in ascending column order and the
+    /// entries this one skips are exact zeros whose `|0·x|` contribution
+    /// cannot change a non-negative sum.
+    pub fn residual_gate_into(&self, x: &[f64], b: &[f64], out: &mut [f64]) -> (f64, f64) {
+        let s = &*self.structure;
+        let mut rnorm = 0.0_f64;
+        let mut scale = 0.0_f64;
+        for (r, slot) in out.iter_mut().enumerate().take(s.n) {
+            let mut acc = 0.0_f64;
+            let mut mag = 0.0_f64;
+            for e in s.row_ptr[r]..s.row_ptr[r + 1] {
+                let p = self.values[s.row_slot[e] as usize] * x[s.row_col[e] as usize];
+                acc += p;
+                mag += p.abs();
+            }
+            *slot = acc - b[r];
+            let ra = slot.abs();
+            if ra.is_nan() {
+                rnorm = f64::INFINITY;
+            } else if ra > rnorm {
+                rnorm = ra;
+            }
+            let g = mag + b[r].abs();
+            if g.is_nan() {
+                scale = f64::INFINITY;
+            } else if g > scale {
+                scale = g;
+            }
+        }
+        (rnorm, scale)
+    }
+
+    /// 1-norm `max_c Σ_r |a_rc|`, bit-identical to the dense
+    /// [`Matrix::norm_one`]: both accumulate each column in ascending
+    /// row order and the entries skipped here are exact zeros.
+    pub fn norm_one(&self) -> f64 {
+        let s = &*self.structure;
+        let mut colsum = vec![0.0_f64; s.n];
+        for r in 0..s.n {
+            for e in s.row_ptr[r]..s.row_ptr[r + 1] {
+                colsum[s.row_col[e] as usize] += self.values[s.row_slot[e] as usize].abs();
+            }
+        }
+        let mut m = 0.0_f64;
+        for v in colsum {
+            if v.is_nan() {
+                return f64::INFINITY;
+            }
+            if v > m {
+                m = v;
+            }
+        }
+        m
+    }
+
     /// Dense copy (diagnostics and tests).
     pub fn to_dense(&self) -> Matrix {
         let n = self.structure.n;
@@ -328,6 +389,18 @@ pub struct SparseLu {
     urow_col: Vec<u32>,
     urow_val: Vec<f64>,
     diag: Vec<f64>,
+    /// Column-major transposes of L and strict-upper U (row indices
+    /// ascending within each column), consumed by
+    /// [`SparseLu::solve_transpose_into`] in the dense accumulation
+    /// order.
+    lcolt_ptr: Vec<usize>,
+    lcolt_row: Vec<u32>,
+    lcolt_val: Vec<f64>,
+    ucolt_ptr: Vec<usize>,
+    ucolt_row: Vec<u32>,
+    ucolt_val: Vec<f64>,
+    /// Element growth factor of the last (re)factorisation.
+    growth: f64,
 }
 
 impl SparseLu {
@@ -373,6 +446,14 @@ impl SparseLu {
         for (row, pos) in ws.pos.iter_mut().enumerate() {
             *pos = row;
         }
+        let mut max_orig = 0.0_f64;
+        for v in &a.values {
+            let m = v.abs();
+            if m > max_orig {
+                max_orig = m;
+            }
+        }
+        let mut max_grown = max_orig;
 
         for col in 0..n {
             // Scatter A's column into the dense accumulator.
@@ -432,8 +513,23 @@ impl SparseLu {
                     pivot_phys = i;
                 }
             }
-            if pivot_val < 1e-300 {
+            // Column scale over the accumulator pattern: U entries
+            // already gathered for this column plus the pivot
+            // candidates. Entries outside the pattern are exact zeros
+            // on the dense side too, so the maximum matches the dense
+            // scan over all rows.
+            let mut col_scale = pivot_val;
+            for &r in &ws.pattern {
+                let v = ws.x[r as usize].abs();
+                if v > col_scale {
+                    col_scale = v;
+                }
+            }
+            if pivot_val == 0.0 || pivot_val < crate::PIVOT_REL_TOL * col_scale {
                 return Err(SingularMatrixError { row: col });
+            }
+            if col_scale > max_grown {
+                max_grown = col_scale;
             }
             self.perm.swap(col, pivot_phys);
             let pr = self.perm[col];
@@ -471,6 +567,11 @@ impl SparseLu {
             }
         }
 
+        self.growth = if max_orig > 0.0 {
+            max_grown / max_orig
+        } else {
+            1.0
+        };
         self.build_row_forms(ws);
         Ok(())
     }
@@ -535,6 +636,55 @@ impl SparseLu {
                 }
             }
         }
+
+        // Transpose the row-major forms once more into column-major
+        // forms for Aᵀ solves. Iterating source rows ascending lands
+        // each column's row indices already sorted, which is exactly
+        // the ascending-k accumulation order the dense transpose
+        // substitutions use.
+        ws.row_count[..n].fill(0);
+        for &k in &self.lrow_col {
+            ws.row_count[k as usize] += 1;
+        }
+        self.lcolt_ptr.clear();
+        self.lcolt_ptr.push(0);
+        for c in 0..n {
+            self.lcolt_ptr.push(self.lcolt_ptr[c] + ws.row_count[c]);
+        }
+        self.lcolt_row.resize(self.lrow_col.len(), 0);
+        self.lcolt_val.resize(self.lrow_val.len(), 0.0);
+        ws.row_count[..n].copy_from_slice(&self.lcolt_ptr[..n]);
+        for r in 0..n {
+            for e in self.lrow_ptr[r]..self.lrow_ptr[r + 1] {
+                let c = self.lrow_col[e] as usize;
+                let dst = ws.row_count[c];
+                ws.row_count[c] += 1;
+                self.lcolt_row[dst] = r as u32;
+                self.lcolt_val[dst] = self.lrow_val[e];
+            }
+        }
+
+        ws.row_count[..n].fill(0);
+        for &c in &self.urow_col {
+            ws.row_count[c as usize] += 1;
+        }
+        self.ucolt_ptr.clear();
+        self.ucolt_ptr.push(0);
+        for c in 0..n {
+            self.ucolt_ptr.push(self.ucolt_ptr[c] + ws.row_count[c]);
+        }
+        self.ucolt_row.resize(self.urow_col.len(), 0);
+        self.ucolt_val.resize(self.urow_val.len(), 0.0);
+        ws.row_count[..n].copy_from_slice(&self.ucolt_ptr[..n]);
+        for r in 0..n {
+            for e in self.urow_ptr[r]..self.urow_ptr[r + 1] {
+                let c = self.urow_col[e] as usize;
+                let dst = ws.row_count[c];
+                ws.row_count[c] += 1;
+                self.ucolt_row[dst] = r as u32;
+                self.ucolt_val[dst] = self.urow_val[e];
+            }
+        }
     }
 
     /// Matrix dimension.
@@ -577,6 +727,66 @@ impl SparseLu {
         let mut x = vec![0.0; self.n];
         self.solve_into(b, &mut x);
         x
+    }
+
+    /// Solves `Aᵀ·x = b`, mirroring [`crate::matrix::Lu::solve_transpose_into`]:
+    /// forward-substitute `Uᵀ·z = b` and back-substitute `Lᵀ·w = z`
+    /// over the column-major transposes (row indices ascending inside
+    /// each column, the dense accumulation order), then scatter through
+    /// the permutation. Entries the dense code touches that the pattern
+    /// omits are exact zeros, so nonzero results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` have the wrong length.
+    pub fn solve_transpose_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length");
+        assert_eq!(x.len(), n, "solution length");
+        let mut w = vec![0.0; n];
+        for r in 0..n {
+            let mut sum = b[r];
+            for e in self.ucolt_ptr[r]..self.ucolt_ptr[r + 1] {
+                sum -= self.ucolt_val[e] * w[self.ucolt_row[e] as usize];
+            }
+            w[r] = sum / self.diag[r];
+        }
+        for r in (0..n).rev() {
+            let mut sum = w[r];
+            for e in self.lcolt_ptr[r]..self.lcolt_ptr[r + 1] {
+                sum -= self.lcolt_val[e] * w[self.lcolt_row[e] as usize];
+            }
+            w[r] = sum;
+        }
+        for (i, &wv) in w.iter().enumerate() {
+            x[self.perm[i]] = wv;
+        }
+    }
+
+    /// Element growth factor of the last (re)factorisation; see
+    /// [`crate::matrix::Lu::pivot_growth`].
+    pub fn pivot_growth(&self) -> f64 {
+        self.growth
+    }
+
+    /// 1-norm condition estimate; see [`crate::matrix::Lu::condest`].
+    /// Bit-identical to the dense estimate for the same matrix.
+    pub fn condest(&self, anorm: f64) -> f64 {
+        crate::condest::condest_1(
+            self.n,
+            |b, x| self.solve_into(b, x),
+            |b, x| self.solve_transpose_into(b, x),
+            anorm,
+        )
+    }
+
+    /// Multiplies the first stored pivot `U(0,0)` by `scale`; see
+    /// [`crate::matrix::Lu::perturb_first_pivot`]. Fault-injection
+    /// support only.
+    pub fn perturb_first_pivot(&mut self, scale: f64) {
+        if self.n > 0 {
+            self.diag[0] *= scale;
+        }
     }
 }
 

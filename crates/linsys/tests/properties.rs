@@ -324,3 +324,211 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The scale-relative pivot threshold classifies identically on the
+    /// dense and sparse backends: graded (uniformly rescaled) systems
+    /// factor on both, rank-deficient ones fail on both with the same
+    /// breakdown row — byte-compared campaign reports depend on the two
+    /// backends never disagreeing about what is singular.
+    #[test]
+    fn dense_and_sparse_classify_graded_and_rank_deficient_alike(
+        stamp in mna_stamp(6),
+        scale_exp in 0..605usize,
+        kill in 0..7usize,
+    ) {
+        use linsys::matrix::Lu;
+        use linsys::sparse::SparseLu;
+
+        // Shifted draws: the shim only samples unsigned ranges.
+        let scale = 10f64.powi(scale_exp as i32 - 305);
+        let kill = if kill == 6 { None } else { Some(kill) };
+        let mut dense = Matrix::zeros(stamp.n, stamp.n);
+        let structure =
+            linsys::sparse::SparseStructure::from_positions(stamp.n, &stamp.positions());
+        let mut sparse = linsys::sparse::SparseMatrix::zeros(structure);
+        stamp.stamp(|r, c, v| {
+            // `kill` empties one node's row and column (stamping zeros
+            // keeps the sparsity pattern), leaving the system exactly
+            // rank-deficient at O(scale) magnitude — the shape the old
+            // absolute 1e-300 floor silently factored into garbage.
+            let v = if Some(r) == kill || Some(c) == kill { 0.0 } else { v * scale };
+            dense.add(r, c, v);
+            sparse.add(r, c, v);
+        });
+        let d = Lu::factor(&dense);
+        let s = SparseLu::factor(&sparse);
+        match (&d, &s) {
+            (Ok(dlu), Ok(slu)) => {
+                prop_assert!(kill.is_none(), "rank-deficient system factored");
+                let b: Vec<f64> = (0..stamp.n).map(|i| i as f64 - 1.5).collect();
+                for (k, (dv, sv)) in dlu.solve(&b).iter().zip(&slu.solve(&b)).enumerate() {
+                    prop_assert!(
+                        dv.to_bits() == sv.to_bits(),
+                        "x[{k}]: dense {dv:e} != sparse {sv:e}"
+                    );
+                }
+                // The growth factor is part of the hazard story, so it
+                // must agree bit for bit too.
+                prop_assert!(dlu.pivot_growth().to_bits() == slu.pivot_growth().to_bits());
+            }
+            (Err(de), Err(se)) => prop_assert_eq!(de, se),
+            _ => prop_assert!(
+                false,
+                "classification split: dense {:?} vs sparse {:?}",
+                d.as_ref().map(|_| ()),
+                s.as_ref().map(|_| ())
+            ),
+        }
+    }
+
+    /// One round of iterative refinement through a deliberately
+    /// perturbed factorisation never increases the true residual norm:
+    /// the contraction gate commits the corrected iterate only when it
+    /// strictly improves.
+    #[test]
+    fn refinement_round_never_increases_the_true_residual(
+        stamp in mna_stamp(5),
+        b in proptest::collection::vec(-10.0..10.0f64, 5),
+        perturb in 1.0..4.0f64,
+    ) {
+        use linsys::matrix::Lu;
+        use linsys::refine::{norm_inf, refine_once};
+
+        let a = stamp.dense();
+        let mut lu = Lu::factor(&a).expect("dominant");
+        lu.perturb_first_pivot(perturb);
+        let mut x = lu.solve(&b);
+        let n = stamp.n;
+        let residual_of = |x: &[f64], out: &mut [f64]| {
+            let ax = a.mul_vec(x);
+            for (o, (axv, bv)) in out.iter_mut().zip(ax.iter().zip(&b)) {
+                *o = axv - bv;
+            }
+        };
+        let mut before_buf = vec![0.0; n];
+        residual_of(&x, &mut before_buf);
+        let before = norm_inf(&before_buf);
+        let (mut r, mut d, mut t) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let out = refine_once(
+            &mut x,
+            &mut r,
+            &mut d,
+            &mut t,
+            residual_of,
+            |rhs, sol| lu.solve_into(rhs, sol),
+        );
+        let mut after_buf = vec![0.0; n];
+        residual_of(&x, &mut after_buf);
+        let after = norm_inf(&after_buf);
+        prop_assert!(after <= before, "residual grew: {before:e} -> {after:e} ({out:?})");
+        prop_assert_eq!(out.accepted, out.residual_after < out.residual_before);
+    }
+
+    /// Transpose solves and the Hager condition estimate built on them
+    /// are bit-identical between backends (zeros may differ only in
+    /// sign), and the transpose solve actually solves Aᵀx = b.
+    #[test]
+    fn transpose_solve_and_condest_are_bit_identical_across_backends(
+        stamp in mna_stamp(6),
+        b in proptest::collection::vec(-10.0..10.0f64, 6),
+    ) {
+        use linsys::matrix::Lu;
+        use linsys::sparse::SparseLu;
+
+        let dense = stamp.dense();
+        let dlu = Lu::factor(&dense).expect("dominant");
+        let slu = SparseLu::factor(&stamp.sparse()).expect("dominant");
+        let n = stamp.n;
+        let (mut xd, mut xs) = (vec![0.0; n], vec![0.0; n]);
+        dlu.solve_transpose_into(&b, &mut xd);
+        slu.solve_transpose_into(&b, &mut xs);
+        for (k, (d, s)) in xd.iter().zip(&xs).enumerate() {
+            prop_assert!(
+                d.to_bits() == s.to_bits() || (*d == 0.0 && *s == 0.0),
+                "xT[{k}]: dense {d:e} != sparse {s:e}"
+            );
+        }
+        // Aᵀ·x reproduces b (the matrix is symmetric only in pattern,
+        // not in values, so this genuinely exercises the transpose).
+        let back = dense.transpose().mul_vec(&xd);
+        for (want, got) in b.iter().zip(&back) {
+            prop_assert!((want - got).abs() < 1e-7 * (1.0 + want.abs()), "{want} vs {got}");
+        }
+        let anorm = 1.0; // placeholder scale: identical on both sides
+        let cd = dlu.condest(anorm);
+        let cs = slu.condest(anorm);
+        prop_assert!(cd.to_bits() == cs.to_bits(), "condest dense {cd:e} != sparse {cs:e}");
+        prop_assert!(cd.is_finite() && cd > 0.0);
+    }
+}
+
+/// A well-conditioned system scaled far below the old absolute pivot
+/// floor of `1e-300` must still factor: singularity is a property of
+/// the matrix, not of its units. This is the regression the
+/// scale-relative threshold exists for.
+#[test]
+fn graded_matrix_below_the_old_absolute_floor_still_factors() {
+    use linsys::matrix::Lu;
+    use linsys::sparse::SparseLu;
+
+    let scale = 1e-305;
+    let mut dense = Matrix::zeros(3, 3);
+    let structure = linsys::sparse::SparseStructure::from_positions(
+        3,
+        &[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2)],
+    );
+    let mut sparse = linsys::sparse::SparseMatrix::zeros(structure);
+    for (r, c, v) in [
+        (0, 0, 4.0),
+        (0, 1, -1.0),
+        (1, 0, -1.0),
+        (1, 1, 4.0),
+        (1, 2, -1.0),
+        (2, 1, -1.0),
+        (2, 2, 4.0),
+    ] {
+        dense.add(r, c, v * scale);
+        sparse.add(r, c, v * scale);
+    }
+    let dlu = Lu::factor(&dense).expect("well-conditioned tiny-scale system must factor");
+    let slu = SparseLu::factor(&sparse).expect("well-conditioned tiny-scale system must factor");
+    // Scale b the same way so the solution is O(1) and checkable.
+    let b = [scale, 2.0 * scale, 3.0 * scale];
+    let xd = dlu.solve(&b);
+    let xs = slu.solve(&b);
+    for (d, s) in xd.iter().zip(&xs) {
+        assert_eq!(d.to_bits(), s.to_bits());
+    }
+    let back = dense.mul_vec(&xd);
+    for (want, got) in b.iter().zip(&back) {
+        assert!((want - got).abs() <= 1e-10 * scale, "{want:e} vs {got:e}");
+    }
+}
+
+/// An O(1)-scale matrix whose elimination collapses a column to
+/// rounding noise is *numerically* rank-deficient: the old absolute
+/// floor happily divided by the ~1e-17 leftover and returned garbage;
+/// the scale-relative threshold classifies it as singular on both
+/// backends, at the same column.
+#[test]
+fn cancellation_garbage_is_rejected_as_singular() {
+    use linsys::matrix::Lu;
+    use linsys::sparse::SparseLu;
+
+    // Row 1 is row 0 plus a perturbation 1e-17 — far below the working
+    // precision of the O(1) entries, so the matrix is rank-1 for any
+    // practical purpose.
+    let mut dense = Matrix::zeros(2, 2);
+    let structure =
+        linsys::sparse::SparseStructure::from_positions(2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+    let mut sparse = linsys::sparse::SparseMatrix::zeros(structure);
+    for (r, c, v) in [(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0 + 1e-17)] {
+        dense.add(r, c, v);
+        sparse.add(r, c, v);
+    }
+    let de = Lu::factor(&dense).expect_err("numerically rank-deficient");
+    let se = SparseLu::factor(&sparse).expect_err("numerically rank-deficient");
+    assert_eq!(de, se);
+    assert_eq!(de.row, 1, "breakdown at the collapsed second column");
+}

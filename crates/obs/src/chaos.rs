@@ -73,6 +73,18 @@ impl OpSchedule {
 
     /// Does the operation at `index` fail under this schedule?
     fn fails(&self, op: Op, index: u64) -> bool {
+        let salt = match op {
+            Op::Write => 0x57,
+            Op::Sync => 0x53,
+            Op::Reopen => 0x52,
+        };
+        self.fails_salted(salt, index)
+    }
+
+    /// Salt-parameterised form of [`OpSchedule::fails`]; the salt keys
+    /// the seeded coin per operation/site kind so schedules sharing a
+    /// seed stay decorrelated.
+    fn fails_salted(&self, salt: u64, index: u64) -> bool {
         for &(start, end) in &self.windows {
             let inside = index >= start && end.is_none_or(|e| index < e);
             if inside {
@@ -80,12 +92,7 @@ impl OpSchedule {
             }
         }
         if let Some((seed, p)) = self.random {
-            // splitmix64 of (seed, op, index) → uniform in [0,1).
-            let salt = match op {
-                Op::Write => 0x57,
-                Op::Sync => 0x53,
-                Op::Reopen => 0x52,
-            };
+            // splitmix64 of (seed, salt, index) → uniform in [0,1).
             let h = mix(seed ^ mix(salt) ^ mix(index));
             let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
             return unit < p;
@@ -329,6 +336,234 @@ impl<S: JournalSink + ?Sized> JournalSink for FaultySink<S> {
     }
 }
 
+/// A numeric-chaos injection site inside the nonlinear solver.
+///
+/// Where [`FaultPlan`] attacks the storage layer, a
+/// [`NumericChaosPlan`] attacks the *arithmetic*: each site corrupts
+/// one specific quantity the solver's hazard detectors are supposed to
+/// catch, so a seeded sweep can prove every detector fires and every
+/// recovery tier engages — deterministically, with a typed outcome,
+/// never a panic or a NaN-poisoned report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericSite {
+    /// Report the factorisation attempt as a singular-pivot breakdown.
+    Pivot,
+    /// Scale the first pivot of a fresh factorisation, corrupting its
+    /// solves (caught by the residual gate / refinement stall).
+    Perturb,
+    /// Overwrite one solution entry with NaN (caught by the non-finite
+    /// scrub).
+    Nan,
+    /// Degrade the Sherman–Morrison rank-1 denominator (caught as a
+    /// rank-1 breakdown).
+    Denom,
+}
+
+impl NumericSite {
+    /// Every site, in parse-grammar order.
+    pub const ALL: [NumericSite; 4] = [
+        NumericSite::Pivot,
+        NumericSite::Perturb,
+        NumericSite::Nan,
+        NumericSite::Denom,
+    ];
+
+    /// Clause keyword and display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            NumericSite::Pivot => "pivot",
+            NumericSite::Perturb => "perturb",
+            NumericSite::Nan => "nan",
+            NumericSite::Denom => "denom",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            NumericSite::Pivot => 0x70,
+            NumericSite::Perturb => 0x65,
+            NumericSite::Nan => 0x6e,
+            NumericSite::Denom => 0x64,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            NumericSite::Pivot => 0,
+            NumericSite::Perturb => 1,
+            NumericSite::Nan => 2,
+            NumericSite::Denom => 3,
+        }
+    }
+}
+
+/// A reproducible numerical fault-injection schedule for one analysis.
+///
+/// Spec grammar mirrors [`FaultPlan::parse`] (the `--numeric-chaos`
+/// CLI flag): comma-separated clauses
+///
+/// ```text
+/// pivot@0        the 1st factorisation attempt reports a breakdown
+/// perturb@2..4   factorisations 2,3 come out corrupted
+/// nan@1..        every solve from index 1 on gets a NaN entry
+/// denom@0        the 1st rank-1 application sees a degraded denominator
+/// seed@9:20      each site attempt fires with p=20% under seed 9
+/// ```
+///
+/// Indices count *attempts per site* within one
+/// [`NumericChaosState`]; a retry after a fired injection lands on the
+/// next index, so single-index clauses are naturally one-shot and a
+/// demotion ladder can be proven to recover.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NumericChaosPlan {
+    /// Schedule for [`NumericSite::Pivot`].
+    pub pivot: OpSchedule,
+    /// Schedule for [`NumericSite::Perturb`].
+    pub perturb: OpSchedule,
+    /// Schedule for [`NumericSite::Nan`].
+    pub nan: OpSchedule,
+    /// Schedule for [`NumericSite::Denom`].
+    pub denom: OpSchedule,
+}
+
+impl NumericChaosPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        NumericChaosPlan::default()
+    }
+
+    /// True when the plan injects nothing, ever.
+    pub fn is_empty(&self) -> bool {
+        self.pivot.is_empty()
+            && self.perturb.is_empty()
+            && self.nan.is_empty()
+            && self.denom.is_empty()
+    }
+
+    fn schedule(&self, site: NumericSite) -> &OpSchedule {
+        match site {
+            NumericSite::Pivot => &self.pivot,
+            NumericSite::Perturb => &self.perturb,
+            NumericSite::Nan => &self.nan,
+            NumericSite::Denom => &self.denom,
+        }
+    }
+
+    fn schedule_mut(&mut self, site: NumericSite) -> &mut OpSchedule {
+        match site {
+            NumericSite::Pivot => &mut self.pivot,
+            NumericSite::Perturb => &mut self.perturb,
+            NumericSite::Nan => &mut self.nan,
+            NumericSite::Denom => &mut self.denom,
+        }
+    }
+
+    /// Parses the compact spec grammar (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = NumericChaosPlan::default();
+        'clauses: for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (kind, body) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("numeric-chaos clause `{clause}`: expected `kind@spec`"))?;
+            for site in NumericSite::ALL {
+                if kind == site.name() {
+                    plan.schedule_mut(site)
+                        .windows
+                        .push(parse_window(clause, body)?);
+                    continue 'clauses;
+                }
+            }
+            if kind == "seed" {
+                let (seed, pct) = body.split_once(':').ok_or_else(|| {
+                    format!("numeric-chaos clause `{clause}`: expected `seed@SEED:PERCENT`")
+                })?;
+                let seed = parse_num(clause, seed)?;
+                let pct = parse_num(clause, pct)?;
+                if pct > 100 {
+                    return Err(format!("numeric-chaos clause `{clause}`: percent > 100"));
+                }
+                let p = pct as f64 / 100.0;
+                for site in NumericSite::ALL {
+                    plan.schedule_mut(site).random = Some((seed, p));
+                }
+            } else {
+                return Err(format!(
+                    "numeric-chaos clause `{clause}`: unknown kind `{kind}` \
+                     (expected pivot/perturb/nan/denom/seed)"
+                ));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// A fresh per-analysis firing state over this plan.
+    pub fn arm(&self) -> NumericChaosState {
+        NumericChaosState {
+            plan: self.clone(),
+            attempts: Default::default(),
+            injected: Default::default(),
+        }
+    }
+}
+
+/// Live firing state for a [`NumericChaosPlan`]: per-site attempt
+/// counters plus per-site injection tallies.
+///
+/// Counters are atomics so one state can be shared across the retries
+/// and escalation rungs of a single analysis; determinism comes from
+/// giving each analysed fault its *own* state (attempt indices then
+/// depend only on that fault's solve sequence, not on worker
+/// scheduling).
+#[derive(Debug, Default)]
+pub struct NumericChaosState {
+    plan: NumericChaosPlan,
+    attempts: [std::sync::atomic::AtomicU64; 4],
+    injected: [std::sync::atomic::AtomicU64; 4],
+}
+
+impl NumericChaosState {
+    /// Consumes one attempt index at `site` and reports whether the
+    /// plan injects there. Each call advances the site's index, so a
+    /// retried operation naturally moves past a single-index window.
+    pub fn fire(&self, site: NumericSite) -> bool {
+        use std::sync::atomic::Ordering;
+        let i = site.index();
+        let attempt = self.attempts[i].fetch_add(1, Ordering::Relaxed);
+        let hit = self.plan.schedule(site).fails_salted(site.salt(), attempt);
+        if hit {
+            self.injected[i].fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Total injections fired so far.
+    pub fn injected(&self) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-site injection tallies, in [`NumericSite::ALL`] order.
+    pub fn injected_by_site(&self) -> [(&'static str, u64); 4] {
+        use std::sync::atomic::Ordering;
+        let mut out = [("", 0); 4];
+        for (slot, site) in out.iter_mut().zip(NumericSite::ALL) {
+            *slot = (
+                site.name(),
+                self.injected[site.index()].load(Ordering::Relaxed),
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +646,63 @@ mod tests {
             self.buf.truncate(truncate_to as usize);
             Ok(())
         }
+    }
+
+    #[test]
+    fn numeric_plan_parses_and_fires_one_shot() {
+        let plan = NumericChaosPlan::parse("pivot@0,nan@1..3,denom@2").unwrap();
+        assert!(!plan.is_empty());
+        let state = plan.arm();
+        // pivot@0 fires exactly once: the retry lands on index 1.
+        assert!(state.fire(NumericSite::Pivot));
+        assert!(!state.fire(NumericSite::Pivot));
+        // nan window [1,3): indices 0,3 clean, 1,2 fire.
+        assert!(!state.fire(NumericSite::Nan));
+        assert!(state.fire(NumericSite::Nan));
+        assert!(state.fire(NumericSite::Nan));
+        assert!(!state.fire(NumericSite::Nan));
+        // Unconfigured site never fires.
+        assert!(!state.fire(NumericSite::Perturb));
+        assert_eq!(state.injected(), 3);
+        let by_site = state.injected_by_site();
+        assert_eq!(by_site[0], ("pivot", 1));
+        assert_eq!(by_site[2], ("nan", 2));
+        assert_eq!(by_site[3], ("denom", 0));
+        // A fresh state over the same plan replays identically.
+        let replay = plan.arm();
+        assert!(replay.fire(NumericSite::Pivot));
+        assert!(!replay.fire(NumericSite::Pivot));
+    }
+
+    #[test]
+    fn numeric_seed_clause_covers_all_sites_but_stays_decorrelated() {
+        let plan = NumericChaosPlan::parse("seed@7:50").unwrap();
+        for site in NumericSite::ALL {
+            assert!(plan.schedule(site).random.is_some(), "{}", site.name());
+        }
+        // Same seed, different sites → different firing sequences
+        // (salts decorrelate them).
+        let a: Vec<bool> = (0..64)
+            .map(|i| plan.pivot.fails_salted(NumericSite::Pivot.salt(), i))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|i| plan.nan.fails_salted(NumericSite::Nan.salt(), i))
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn numeric_parse_rejects_malformed_clauses() {
+        for bad in ["pivot", "pivot@x", "nan@5..3", "write@1", "seed@1:200"] {
+            let err = NumericChaosPlan::parse(bad).unwrap_err();
+            // Window/number errors come from the helpers shared with
+            // FaultPlan, so the prefix is `chaos clause` there and
+            // `numeric-chaos clause` for grammar-level errors.
+            assert!(err.contains("clause"), "{bad}: {err}");
+            assert!(err.contains(bad), "{bad}: {err}");
+        }
+        assert!(NumericChaosPlan::parse("").unwrap().is_empty());
+        assert!(NumericChaosPlan::none().is_empty());
     }
 
     #[test]

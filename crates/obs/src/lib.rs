@@ -70,13 +70,13 @@ pub mod table;
 pub mod timeseries;
 pub mod trace;
 
-pub use chaos::{FaultPlan, FaultySink};
+pub use chaos::{FaultPlan, FaultySink, NumericChaosPlan, NumericChaosState, NumericSite};
 pub use histogram::Histogram;
 pub use journal::{
     read_journal, JournalContents, JournalError, JournalOptions, JournalSink, JournalWriter,
     RetryPolicy,
 };
-pub use postmortem::{LadderStep, Postmortem, PostmortemIteration};
+pub use postmortem::{HazardStep, LadderStep, Postmortem, PostmortemIteration};
 pub use profile::{Phase, PhaseProfiler, PhaseSnapshot};
 pub use recorder::{AggregatingRecorder, NoopRecorder, Recorder};
 pub use report::{RunReport, Section};

@@ -43,6 +43,19 @@ pub struct LadderStep {
     pub outcome: String,
 }
 
+/// One numerical hazard detected during the solve, with the recovery
+/// action the solver took in response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HazardStep {
+    /// Hazard label, e.g. `rank1-breakdown` or `non-finite`.
+    pub hazard: String,
+    /// What the solver did about it: `demote:refactor`,
+    /// `demote:dense`, `refined`, `advisory`, `terminal`, ...
+    pub action: String,
+    /// Simulated time in seconds at detection (0 for DC).
+    pub time: f64,
+}
+
 /// A frozen record of one terminally failed solve.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Postmortem {
@@ -65,6 +78,12 @@ pub struct Postmortem {
     pub worst_nodes: Vec<(String, u64)>,
     /// Escalation path: every rung tried, in order.
     pub ladder: Vec<LadderStep>,
+    /// Numerical hazards detected during the solve with the recovery
+    /// action taken for each, in detection order (bounded by the
+    /// recorder). Empty for solves that died without numerical
+    /// trouble — and for postmortems decoded from journals written
+    /// before hazard tracking existed.
+    pub hazards: Vec<HazardStep>,
     /// Budget steps charged at the moment of death, when a budget was
     /// armed.
     pub budget_steps: Option<u64>,
@@ -148,6 +167,18 @@ impl Postmortem {
             })
             .collect();
         obj.push("ladder", JsonValue::Arr(ladder));
+        let hazards = self
+            .hazards
+            .iter()
+            .map(|h| {
+                let mut rec = JsonValue::object();
+                rec.push("hazard", JsonValue::Str(h.hazard.clone()));
+                rec.push("action", JsonValue::Str(h.action.clone()));
+                rec.push("time", JsonValue::Num(h.time));
+                rec
+            })
+            .collect();
+        obj.push("hazards", JsonValue::Arr(hazards));
         obj.push(
             "budget_steps",
             self.budget_steps
@@ -199,6 +230,18 @@ impl Postmortem {
                 outcome: str_field(rec, "outcome")?,
             });
         }
+        // Absent in journals written before hazard tracking: decode as
+        // empty rather than failing old archives.
+        let mut hazards = Vec::new();
+        if let Some(arr) = v.get("hazards").and_then(JsonValue::as_array) {
+            for rec in arr {
+                hazards.push(HazardStep {
+                    hazard: str_field(rec, "hazard")?,
+                    action: str_field(rec, "action")?,
+                    time: num_field(rec, "time")?,
+                });
+            }
+        }
         Ok(Postmortem {
             label: str_field(v, "label")?,
             error: str_field(v, "error")?,
@@ -208,6 +251,7 @@ impl Postmortem {
             trace,
             worst_nodes,
             ladder,
+            hazards,
             budget_steps: v.get("budget_steps").and_then(JsonValue::as_f64).map(|s| s as u64),
         })
     }
@@ -258,8 +302,25 @@ mod tests {
                     outcome: "no-convergence".into(),
                 },
             ],
+            hazards: vec![HazardStep {
+                hazard: "rank1-breakdown".into(),
+                action: "demote:refactor".into(),
+                time: 3.1e-6,
+            }],
             budget_steps: Some(42),
         }
+    }
+
+    #[test]
+    fn hazardless_legacy_json_decodes_with_empty_hazards() {
+        // Journals written before hazard tracking carry no `hazards`
+        // array; they must keep decoding.
+        let mut pm = sample();
+        pm.hazards.clear();
+        let text = pm.to_json().to_json().replace(",\"hazards\":[]", "");
+        assert!(!text.contains("hazards"));
+        let parsed = json::parse(&text).unwrap();
+        assert_eq!(Postmortem::from_json(&parsed).unwrap(), pm);
     }
 
     #[test]
